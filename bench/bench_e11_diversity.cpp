@@ -1,0 +1,161 @@
+// E11 — §3.4/§5.4: heterogeneity and "diversity-support" metrics. "A
+// network might end up incorporating switches with multiple radixes, or
+// different line rates. Ideally, then, a network design should support
+// heterogeneity"; §5.4 proposes counting "the number of different link
+// speeds or switch radixes that can be included in one network without
+// severe problems."
+//
+// Method: evolve a Clos in place — new pods arrive with newer (faster,
+// higher-radix) gear each generation. Measure, per generation count:
+// constraint violations, envelope findings, throughput skew, and the
+// cable-SKU blowup. A second table shows Xpander's radix-mixing question
+// (§4.2: "unclear whether Xpander supports mixing ToRs of several
+// radixes").
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/physnet.h"
+
+namespace {
+
+// A Clos where pods 0..g-1 use generation-g_i gear: rate 100*2^g_i, and
+// proportionally fewer uplinks so the spine port budget holds.
+pn::network_graph heterogeneous_clos(int generations) {
+  using namespace pn;
+  using namespace pn::literals;
+  PN_CHECK(generations >= 1 && generations <= 3);
+  network_graph g;
+  g.family = "clos";
+  const int pods_per_gen = 4;
+  const int spine_groups = 4;
+  const int spines_per_group = 2;
+  // Spine switches carry mixed rates on dedicated port banks.
+  const int spine_radix = 64;
+  std::vector<node_id> spines;
+  for (int sg = 0; sg < spine_groups; ++sg) {
+    for (int s = 0; s < spines_per_group; ++s) {
+      spines.push_back(g.add_node({str_format("spine%d/sw%d", sg, s),
+                                   node_kind::spine, spine_radix,
+                                   400_gbps, 0, 2,
+                                   generations * pods_per_gen + sg}));
+    }
+  }
+  for (int gen = 0; gen < generations; ++gen) {
+    const gbps rate{100.0 * (1 << gen)};
+    const int tors = 4, aggs = spine_groups;
+    const int hosts = 8;
+    for (int pod = gen * pods_per_gen; pod < (gen + 1) * pods_per_gen;
+         ++pod) {
+      std::vector<node_id> pod_tors, pod_aggs;
+      for (int t = 0; t < tors; ++t) {
+        pod_tors.push_back(g.add_node(
+            {str_format("pod%d/tor%d", pod, t), node_kind::tor,
+             hosts + aggs, rate, hosts, 0, pod}));
+      }
+      for (int a = 0; a < aggs; ++a) {
+        pod_aggs.push_back(g.add_node(
+            {str_format("pod%d/agg%d", pod, a), node_kind::aggregation,
+             tors + spines_per_group, rate, 0, 1, pod}));
+      }
+      for (node_id t : pod_tors) {
+        for (node_id a : pod_aggs) g.add_edge(t, a, rate);
+      }
+      for (int a = 0; a < aggs; ++a) {
+        for (int s = 0; s < spines_per_group; ++s) {
+          g.add_edge(pod_aggs[static_cast<std::size_t>(a)],
+                     spines[static_cast<std::size_t>(
+                         a * spines_per_group + s)],
+                     rate);
+        }
+      }
+    }
+  }
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  bench::banner("E11: heterogeneity / diversity-support", "§3.4, §5.4",
+                "how many co-existing rates & radixes before automation "
+                "and physical plant complain");
+
+  const catalog cat = catalog::standard();
+  const capability_envelope envelope =
+      capability_envelope::clos_automation();
+
+  text_table t1({"generations", "rates in fabric", "radixes",
+                 "cable SKUs", "envelope findings", "constraint errors",
+                 "tput alpha (uniform)"});
+  for (int gens = 1; gens <= 3; ++gens) {
+    const network_graph g = heterogeneous_clos(gens);
+    evaluation_options opt;
+    opt.run_repair_sim = false;
+    auto ev = evaluate_design(g, "hclos", opt);
+    if (!ev.is_ok()) {
+      std::cerr << ev.error().to_string() << "\n";
+      return 1;
+    }
+    const design_summary sum = summarize_design(g, ev.value().cables);
+    const auto findings = envelope.check_design(g, ev.value().cables);
+    const physical_design d{&g, &ev.value().place, &ev.value().floor,
+                            &ev.value().cables, &cat};
+    t1.row()
+        .cell(gens)
+        .cell(sum.distinct_link_rates)
+        .cell(sum.distinct_radixes)
+        .cell(ev.value().bundles.distinct_skus)
+        .cell(findings.size())
+        .cell(count_errors(run_all_checks(d)))
+        .cell(ev.value().report.throughput_alpha_uniform, 2);
+  }
+  t1.print(std::cout,
+           "Table E11.1: a Clos evolving in place (100G -> 200G -> 400G "
+           "pods)");
+
+  // Xpander's open question (§4.2): mixing ToR radixes. Groups must stay
+  // matched; a higher-radix switch cannot use its extra ports without
+  // breaking the lift structure — measure stranded ports.
+  text_table t2({"mixed-radix groups", "switches", "stranded ports",
+                 "stranded fraction"});
+  for (const int upgraded_groups : {0, 2, 4}) {
+    xpander_params xp;
+    xp.degree = 8;
+    xp.lift_size = 6;
+    xp.hosts_per_switch = 4;
+    xp.seed = 1;
+    network_graph g = build_xpander(xp);
+    // Upgrading a group to radix+8 switches strands 8 ports per switch:
+    // the lift of K_{d+1} has no meta-edges for them.
+    int stranded = 0;
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+      if (g.node(node_id{i}).block < upgraded_groups) {
+        g.node(node_id{i}).radix += 8;
+        stranded += 8;
+      }
+    }
+    const int total_ports =
+        static_cast<int>(g.node_count()) * (xp.degree + xp.hosts_per_switch) +
+        stranded;
+    t2.row()
+        .cell(upgraded_groups)
+        .cell(g.node_count())
+        .cell(stranded)
+        .cell_pct(static_cast<double>(stranded) / total_ports);
+  }
+  t2.print(std::cout,
+           "Table E11.2: Xpander with mixed ToR radixes (§4.2's open "
+           "question) — extra ports strand");
+
+  bench::note(
+      "shape check: the fabric keeps working across generations (alpha "
+      "stays near 1), but SKUs and envelope findings climb with each "
+      "added rate — heterogeneity is an automation problem before it is "
+      "a performance problem. Xpander strands every port above the "
+      "lift degree.");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E12 — §4.1: "Poutievski et al. showed that replacing these patch panels
+// with a relatively slow optical circuit switch not only further eases
+// expansions, but also supports frequent changes to the capacity between
+// aggregation blocks, to respond to changing and uneven inter-block
+// traffic demands. (In real networks, inter-rack and inter-block demands
+// are often persistently and highly non-uniform...)"
+//
+// Table 1: uniform vs demand-engineered OCS mesh under increasingly
+// skewed inter-block matrices — throughput, retunes, and the labor bill
+// (zero: it is software).
+// Table 2: routing matters too — ECMP vs VLB on the direct mesh.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/physnet.h"
+#include "deploy/topology_engineering.h"
+
+namespace {
+
+using namespace pn;
+using namespace pn::literals;
+
+// A TM where `hot_pairs` block pairs carry `skew`x the background demand.
+traffic_matrix skewed_block_tm(const jupiter_fabric& f, int hot_pairs,
+                               double skew, double base_gbps) {
+  traffic_matrix tm(f.graph.host_facing_nodes());
+  const auto& eps = tm.endpoints();
+  const int blocks = f.params.agg_blocks;
+  auto is_hot = [&](int b1, int b2) {
+    // Hot pairs: (0,1), (2,3), ... the first `hot_pairs` disjoint pairs.
+    for (int h = 0; h < hot_pairs; ++h) {
+      if ((b1 == 2 * h && b2 == 2 * h + 1) ||
+          (b2 == 2 * h && b1 == 2 * h + 1)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (s == t) continue;
+      const int bs = f.graph.node(eps[s]).block;
+      const int bt = f.graph.node(eps[t]).block;
+      if (bs == bt || bs >= blocks || bt >= blocks) continue;
+      tm.set_demand(s, t,
+                    is_hot(bs, bt) ? base_gbps * skew : base_gbps);
+    }
+  }
+  return tm;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E12: OCS topology engineering", "§4.1 / Poutievski et al.",
+                "retuning the OCS mesh to the demand matrix is a software "
+                "operation that buys real throughput under skew");
+
+  jupiter_params p;
+  p.agg_blocks = 8;
+  p.tors_per_block = 4;
+  p.mbs_per_block = 4;
+  p.uplinks_per_mb = 8;  // 32 uplinks per block
+  p.ocs_count = 16;
+  p.hosts_per_tor = 8;
+  p.mode = jupiter_mode::direct;
+  const jupiter_fabric uniform = build_jupiter(p);
+
+  text_table t1({"skew", "alpha uniform mesh", "alpha engineered mesh",
+                 "gain", "ocs retunes", "floor labor h"});
+  for (const double skew : {1.0, 4.0, 16.0, 64.0}) {
+    const traffic_matrix tm = skewed_block_tm(uniform, 2, skew, 0.4);
+    const auto demand = block_demand_matrix(uniform, tm);
+    const auto mesh = engineer_jupiter_mesh(p, demand);
+    if (!mesh.is_ok()) {
+      std::cerr << mesh.error().to_string() << "\n";
+      return 1;
+    }
+    const double a_uniform = best_routing_throughput(uniform.graph, tm).alpha;
+
+    // Rebuild the TM against the engineered fabric's endpoints (same
+    // order by construction).
+    traffic_matrix tm2(mesh.value().fabric.graph.host_facing_nodes());
+    for (std::size_t s = 0; s < tm.size(); ++s) {
+      for (std::size_t t = 0; t < tm.size(); ++t) {
+        tm2.set_demand(s, t, tm.demand(s, t));
+      }
+    }
+    const double a_eng =
+        best_routing_throughput(mesh.value().fabric.graph, tm2).alpha;
+    t1.row()
+        .cell(skew, 0)
+        .cell(a_uniform, 2)
+        .cell(a_eng, 2)
+        .cell(str_format("%.2fx", a_eng / a_uniform))
+        .cell(mesh.value().ocs_retunes)
+        .cell(0);
+  }
+  t1.print(std::cout,
+           "Table E12.1: demand-proportional OCS mesh vs uniform mesh");
+
+  // Routing ablation on the uniform mesh.
+  text_table t2({"traffic", "ECMP alpha", "VLB alpha", "best"});
+  struct tmcase {
+    std::string name;
+    traffic_matrix tm;
+  };
+  std::vector<tmcase> cases;
+  cases.push_back({"uniform all-to-all",
+                   uniform_traffic(uniform.graph, 5_gbps)});
+  cases.push_back({"permutation",
+                   permutation_traffic(uniform.graph, 20_gbps, 3)});
+  cases.push_back({"2 hot block pairs (16x)",
+                   skewed_block_tm(uniform, 2, 16.0, 0.4)});
+  for (const auto& c : cases) {
+    const double ecmp = ecmp_throughput(uniform.graph, c.tm).alpha;
+    const double vlb = vlb_throughput(uniform.graph, c.tm).alpha;
+    t2.row()
+        .cell(c.name)
+        .cell(ecmp, 2)
+        .cell(vlb, 2)
+        .cell(ecmp >= vlb ? "ECMP" : "VLB");
+  }
+  t2.print(std::cout,
+           "Table E12.2: the direct mesh needs non-minimal routing "
+           "(§4.2 / Harsh et al.)");
+
+  bench::note(
+      "shape check: at skew 1 the engineered mesh changes (almost) "
+      "nothing; under skew it always wins, with the largest gains at "
+      "moderate skew (beyond that the block uplink budget itself binds). "
+      "Retunes stay software-only — labor 0h, contrast E4's floor hours. "
+      "VLB wins on adversarial matrices, ECMP on uniform.");
+  return 0;
+}

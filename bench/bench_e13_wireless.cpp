@@ -1,0 +1,82 @@
+// E13 — §3.1: "Free-space optics require unobstructed paths between
+// racks, which is hard to guarantee ... 60GHz wireless links probably
+// cannot be packed tightly enough to entirely replace large bundles of
+// fibers."
+//
+// Table: for two fabric scales, what fraction of the inter-rack cable
+// plan's capacity a 60GHz ceiling-mirror deployment or an FSO deployment
+// could actually deliver, and which limit binds (range, radios, beam
+// packing, obstruction).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/physnet.h"
+#include "physical/wireless.h"
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  bench::banner("E13: can wireless replace the cables?", "§3.1",
+                "FSO needs unobstructed paths; 60GHz cannot pack tightly "
+                "enough to replace cable bundles");
+
+  text_table t({"fabric", "technology", "inter-rack links", "in range",
+                "radio-limited to", "concurrent beams", "demanded Gbps",
+                "deliverable Gbps", "capacity replaced"});
+
+  // Rack-level fabrics with one ToR per rack — the setting the wireless
+  // proposals actually target (beams between rack tops).
+  struct fabric {
+    std::string label;
+    network_graph g;
+  };
+  std::vector<fabric> fabrics;
+  {
+    // A flat ToR-to-ToR fabric spread one switch per rack — exactly the
+    // "replace the cable mesh with beams" proposal.
+    flattened_butterfly_params p;
+    p.dims = {8, 8};
+    p.hosts_per_switch = 16;
+    fabrics.push_back({"flat ToR mesh 8x8", build_flattened_butterfly(p)});
+  }
+  fabrics.push_back({"fat-tree k=12", build_fat_tree(12, 100_gbps)});
+
+  for (const auto& f : fabrics) {
+    evaluation_options opt;
+    opt.run_repair_sim = false;
+    opt.run_throughput = false;
+    const auto ev = evaluate_design(f.g, f.label, opt);
+    if (!ev.is_ok()) {
+      std::cerr << ev.error().to_string() << "\n";
+      return 1;
+    }
+    for (const auto& [label, params] :
+         {std::pair<const char*, wireless_params>{"60GHz (ceiling mirror)",
+                                                  wireless_params::wigig()},
+          {"free-space optics", wireless_params::fso()}}) {
+      const wireless_report rep = assess_wireless_substitution(
+          ev.value().floor, ev.value().cables, params);
+      t.row()
+          .cell(f.label)
+          .cell(label)
+          .cell(rep.links_requested)
+          .cell(rep.links_in_range)
+          .cell(rep.links_with_radios)
+          .cell(rep.concurrent_beams)
+          .cell(human_count(rep.demanded_gbps))
+          .cell(human_count(rep.deliverable_gbps))
+          .cell_pct(rep.capacity_fraction);
+    }
+  }
+  t.print(std::cout,
+          "Table E13.1: wireless substitution of the inter-rack cable "
+          "plan");
+
+  bench::note(
+      "shape check: both technologies replace only a small fraction of "
+      "the cable plan's capacity — 60GHz is beam-packing- and rate-"
+      "limited, FSO is obstruction- and radio-limited — matching the "
+      "paper's dismissal of both as bundle replacements.");
+  return 0;
+}

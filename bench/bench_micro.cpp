@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths: a
+// digital twin is only useful if dry runs and constraint sweeps are
+// "rapid" (§5.3), so we track the cost of the core algorithms.
+#include <benchmark/benchmark.h>
+
+#include "core/physnet.h"
+
+namespace {
+
+using namespace pn;
+using namespace pn::literals;
+
+void bm_build_fat_tree(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_fat_tree(k, 100_gbps));
+  }
+}
+BENCHMARK(bm_build_fat_tree)->Arg(8)->Arg(16);
+
+void bm_build_jellyfish(benchmark::State& state) {
+  jellyfish_params p;
+  p.switches = static_cast<int>(state.range(0));
+  p.radix = 24;
+  p.hosts_per_switch = 12;
+  for (auto _ : state) {
+    p.seed++;
+    benchmark::DoNotOptimize(build_jellyfish(p));
+  }
+}
+BENCHMARK(bm_build_jellyfish)->Arg(128)->Arg(512);
+
+void bm_path_length_stats(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_path_length_stats(g));
+  }
+}
+BENCHMARK(bm_path_length_stats)->Arg(8)->Arg(16);
+
+void bm_ecmp_throughput(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 25_gbps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecmp_throughput(g, tm));
+  }
+}
+BENCHMARK(bm_ecmp_throughput)->Arg(8)->Arg(12);
+
+void bm_plan_cabling(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const catalog cat = catalog::standard();
+  evaluation_options opt;
+  const floorplan_params fpp = auto_size_floor(g, opt.floor, 0.3);
+  for (auto _ : state) {
+    floorplan fp(fpp);
+    auto pl = block_placement(g, fp);
+    benchmark::DoNotOptimize(plan_cabling(g, pl.value(), fp, cat, {}));
+  }
+}
+BENCHMARK(bm_plan_cabling)->Arg(8)->Arg(12);
+
+void bm_tray_route(benchmark::State& state) {
+  floorplan_params p;
+  p.rows = 8;
+  p.racks_per_row = 32;
+  floorplan fp(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const rack_id a{i % fp.rack_count()};
+    const rack_id b{(i * 7 + 13) % fp.rack_count()};
+    if (a != b) {
+      benchmark::DoNotOptimize(fp.routed_length(a, b));
+    }
+    ++i;
+  }
+}
+BENCHMARK(bm_tray_route);
+
+void bm_dry_run_decom(benchmark::State& state) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  const auto ev = evaluate_design(g, "x", opt);
+  const twin_model twin =
+      build_network_twin(g, ev.value().place, ev.value().floor,
+                         ev.value().cables, catalog::standard());
+  const twin_schema schema = twin_schema::network_schema();
+  const auto plan = safe_decom_plan(twin, {"spine0/sw0"});
+  dry_run_options dopt;
+  dopt.validate_each_step = false;
+  for (auto _ : state) {
+    dry_run_engine eng(twin, &schema);
+    benchmark::DoNotOptimize(eng.run(plan, dopt));
+  }
+}
+BENCHMARK(bm_dry_run_decom);
+
+void bm_constraint_sweep(benchmark::State& state) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  auto ev = evaluate_design(g, "x", opt);
+  const catalog cat = catalog::standard();
+  const physical_design d{&g, &ev.value().place, &ev.value().floor,
+                          &ev.value().cables, &cat};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_all_checks(d));
+  }
+}
+BENCHMARK(bm_constraint_sweep);
+
+void bm_simulate_deployment(benchmark::State& state) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  auto ev = evaluate_design(g, "x", opt);
+  const work_order wo = build_deployment_order(
+      g, ev.value().place, ev.value().floor, ev.value().cables, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_deployment(wo, {}));
+  }
+}
+BENCHMARK(bm_simulate_deployment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+// Shared banner/formatting for the experiment benches. Each bench
+// regenerates one quantitative claim from the paper (see DESIGN.md §4)
+// and prints labeled tables; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace pn::bench {
+
+inline void banner(const std::string& experiment, const std::string& anchor,
+                   const std::string& claim) {
+  std::cout << "\n" << std::string(78, '=') << "\n"
+            << experiment << "  (" << anchor << ")\n"
+            << claim << "\n"
+            << std::string(78, '=') << "\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "note: " << text << "\n";
+}
+
+}  // namespace pn::bench

@@ -1,0 +1,66 @@
+// Digital-twin dry runs for decommissioning (§2.1 + §5.3).
+//
+// Builds a fabric, mirrors it into the declarative twin, then dry-runs
+// two decom plans for the same spine switch: a naive per-asset plan and a
+// dependency-aware one. The naive plan's failures are exactly the
+// in-service cables a twin-less decom would have yanked.
+#include <iostream>
+
+#include "core/physnet.h"
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  const auto ev = evaluate_design(g, "ft8", opt);
+  if (!ev.is_ok()) {
+    std::cerr << ev.error().to_string() << "\n";
+    return 1;
+  }
+
+  const twin_model twin = build_network_twin(
+      g, ev.value().place, ev.value().floor, ev.value().cables,
+      catalog::standard());
+  const twin_schema schema = twin_schema::network_schema();
+  std::cout << "twin: " << twin.live_entity_count() << " entities, "
+            << twin.live_relation_count() << " relations\n";
+
+  const std::vector<std::string> victims{"spine0/sw0", "spine0/sw1"};
+  std::cout << "decommissioning: ";
+  for (const auto& v : victims) std::cout << v << " ";
+  std::cout << "\n\n";
+
+  const auto blockers = blocking_cables(twin, victims);
+  std::cout << blockers.size()
+            << " cables still serve in-service peers and must be drained "
+               "first\n\n";
+
+  for (const bool naive : {true, false}) {
+    const auto plan = naive ? naive_decom_plan(twin, victims)
+                            : safe_decom_plan(twin, victims);
+    dry_run_engine engine(twin, &schema);
+    dry_run_options dopt;
+    dopt.validate_each_step = false;  // big model; validate at the end
+    const auto report = engine.run(plan, dopt);
+    std::cout << (naive ? "naive" : "safe") << " plan: " << plan.size()
+              << " steps, dry run "
+              << (report.ok ? "PASSED" : "FAILED") << "\n";
+    for (std::size_t i = 0; i < report.failures.size() && i < 3; ++i) {
+      const auto& f = report.failures[i];
+      std::cout << "    step " << f.step << " (" << f.description
+                << "): " << f.op_status.to_string() << "\n";
+    }
+    if (report.failures.size() > 3) {
+      std::cout << "    ... and " << report.failures.size() - 3
+                << " more failures\n";
+    }
+  }
+
+  std::cout << "\nThe twin caught the naive plan before anyone touched a "
+               "rack — §5.3's\n\"almost all of [our mistakes] could have "
+               "been averted\" in practice.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The §4.3 case study: converting a live Jupiter-style fabric from
+// fat-tree (aggregation blocks -> spine blocks via OCS) to direct
+// aggregation-to-aggregation connectivity, one drained OCS rack at a
+// time, and what the indirection layer buys during the redesign.
+#include <iostream>
+
+#include "core/physnet.h"
+
+int main() {
+  using namespace pn;
+  using namespace pn::literals;
+
+  jupiter_params params;
+  params.agg_blocks = 16;
+  params.tors_per_block = 8;
+  params.mbs_per_block = 4;
+  params.uplinks_per_mb = 16;
+  params.spine_blocks = 8;
+  params.ocs_count = 16;
+  params.link_rate = 200_gbps;
+
+  const jupiter_fabric before = build_jupiter(params);
+  jupiter_params direct_params = params;
+  direct_params.mode = jupiter_mode::direct;
+  const jupiter_fabric after = build_jupiter(direct_params);
+
+  // What the redesign changes in the abstract graph.
+  const auto before_stats = compute_path_length_stats(before.graph);
+  const auto after_stats = compute_path_length_stats(after.graph);
+  text_table shape({"fabric", "switches", "fabric links", "mean path",
+                    "diameter"});
+  shape.row()
+      .cell("fat-tree (spine blocks)")
+      .cell(before.graph.node_count())
+      .cell(before.graph.edge_count())
+      .cell(before_stats.mean, 2)
+      .cell(before_stats.diameter);
+  shape.row()
+      .cell("direct (OCS mesh)")
+      .cell(after.graph.node_count())
+      .cell(after.graph.edge_count())
+      .cell(after_stats.mean, 2)
+      .cell(after_stats.diameter);
+  shape.print(std::cout, "before / after the redesign");
+
+  // The physical conversion plan, at three drain concurrencies.
+  text_table plan({"concurrent drains", "fiber ops", "labor h",
+                   "labor h/rack", "elapsed h", "capacity floor",
+                   "miswires caught"});
+  for (int concurrent : {1, 2, 4}) {
+    migration_params mp;
+    mp.concurrent_drains = concurrent;
+    const migration_report rep = plan_jupiter_migration(before, mp);
+    plan.row()
+        .cell(concurrent)
+        .cell(rep.fiber_disconnects + rep.fiber_connects)
+        .cell(rep.labor.value(), 1)
+        .cell(rep.labor_per_rack.value(), 1)
+        .cell(rep.elapsed.value(), 1)
+        .cell_pct(rep.min_residual_capacity)
+        .cell(rep.miswires_caught);
+  }
+  plan.print(std::cout,
+             "live conversion plan (drain one OCS rack, move fibers, "
+             "validate, un-drain)");
+
+  std::cout << "\nLessons from §4.3, reproduced:\n"
+               "  1. indirection made the redesign possible at all — every\n"
+               "     fiber move happens at an OCS shelf, not across the "
+               "floor;\n"
+               "  2. the control plane segments the work into low-impact "
+               "chunks:\n"
+               "     more concurrency finishes sooner but cuts the capacity "
+               "floor.\n";
+  return 0;
+}

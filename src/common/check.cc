@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace pn::internal {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "PN_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace pn::internal

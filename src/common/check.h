@@ -1,0 +1,35 @@
+// Precondition / invariant checking.
+//
+// PN_CHECK fires on programming errors (bad arguments, broken invariants)
+// and always stays on, including in release builds: a deployability model
+// that silently computes nonsense is worse than one that stops. Expected,
+// recoverable failures use pn::status / pn::result instead (status.h).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pn::internal {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace pn::internal
+
+#define PN_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::pn::internal::check_failed(#expr, __FILE__, __LINE__, {});  \
+    }                                                               \
+  } while (false)
+
+#define PN_CHECK_MSG(expr, ...)                                   \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::std::ostringstream pn_check_oss;                          \
+      pn_check_oss << __VA_ARGS__;                                \
+      ::pn::internal::check_failed(#expr, __FILE__, __LINE__,     \
+                                   pn_check_oss.str());           \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,71 @@
+// Strongly-typed integer identifiers.
+//
+// physnet models several id spaces (nodes, ports, racks, trays, cables,
+// work-order tasks, twin entities). Using a distinct type per space makes
+// it impossible to index a rack table with a node id.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace pn {
+
+template <typename Tag>
+class id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type invalid_value =
+      std::numeric_limits<value_type>::max();
+
+  constexpr id() = default;
+  constexpr explicit id(value_type v) : v_(v) {}
+  constexpr explicit id(std::size_t v) : v_(static_cast<value_type>(v)) {}
+  constexpr explicit id(int v) : v_(static_cast<value_type>(v)) {}
+
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != invalid_value; }
+
+  friend constexpr auto operator<=>(id, id) = default;
+
+ private:
+  value_type v_ = invalid_value;
+};
+
+struct node_tag {};
+struct port_tag {};
+struct edge_tag {};
+struct rack_tag {};
+struct slot_tag {};
+struct tray_tag {};
+struct cable_tag {};
+struct bundle_tag {};
+struct task_tag {};
+struct entity_tag {};
+struct panel_tag {};
+
+using node_id = id<node_tag>;
+using port_id = id<port_tag>;
+using edge_id = id<edge_tag>;
+using rack_id = id<rack_tag>;
+using slot_id = id<slot_tag>;
+using tray_id = id<tray_tag>;
+using cable_id = id<cable_tag>;
+using bundle_id = id<bundle_tag>;
+using task_id = id<task_tag>;
+using entity_id = id<entity_tag>;
+using panel_id = id<panel_tag>;
+
+}  // namespace pn
+
+namespace std {
+template <typename Tag>
+struct hash<pn::id<Tag>> {
+  size_t operator()(pn::id<Tag> v) const noexcept {
+    return std::hash<typename pn::id<Tag>::value_type>{}(v.value());
+  }
+};
+}  // namespace std

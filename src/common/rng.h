@@ -1,0 +1,122 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (Jellyfish wiring, technician error injection,
+// failure arrivals, annealing moves) takes an explicit pn::rng so that runs
+// are reproducible from a seed. The generator is xoshiro256** seeded via
+// splitmix64 — fast, tiny state, and identical on every platform, unlike
+// std::default_random_engine / std::*_distribution.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pn {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    PN_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    PN_CHECK(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63 in practice
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  std::size_t next_index(std::size_t size) {
+    return static_cast<std::size_t>(next_below(size));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  // Standard normal via Box–Muller (deterministic; no cached spare).
+  double next_normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  // Exponential with the given mean (inter-arrival times of failures).
+  double next_exponential(double mean) {
+    PN_CHECK(mean > 0.0);
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_index(i)]);
+    }
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    PN_CHECK(!v.empty());
+    return v[next_index(v.size())];
+  }
+
+  // Derive an independent child stream (for per-component substreams).
+  rng fork() { return rng{next_u64()}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pn

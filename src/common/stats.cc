@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pn {
+
+void sample_stats::add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+void sample_stats::add_all(const std::vector<double>& vs) {
+  for (double v : vs) add(v);
+}
+
+double sample_stats::mean() const {
+  PN_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double sample_stats::min() const {
+  PN_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double sample_stats::max() const {
+  PN_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double sample_stats::stddev() const {
+  PN_CHECK(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double sample_stats::percentile(double q) const {
+  PN_CHECK(!samples_.empty());
+  PN_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  PN_CHECK(bins > 0);
+  PN_CHECK(hi > lo);
+}
+
+void histogram::add(double v) {
+  double raw = (v - lo_) / width_;
+  if (raw < 0.0) raw = 0.0;
+  auto bin = static_cast<std::size_t>(raw);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t histogram::count(std::size_t bin) const {
+  PN_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double histogram::bin_lo(std::size_t bin) const {
+  PN_CHECK(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + width_;
+}
+
+}  // namespace pn

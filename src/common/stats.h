@@ -1,0 +1,54 @@
+// Summary statistics over samples (cable lengths, task times, MTTR, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pn {
+
+// Accumulates doubles and answers mean / percentile / extrema queries.
+// Percentile queries sort a copy lazily; fine at the sample counts we use.
+class sample_stats {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // Population standard deviation.
+  [[nodiscard]] double stddev() const;
+  // q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pn

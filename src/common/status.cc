@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace pn {
+
+const char* status_code_name(status_code c) {
+  switch (c) {
+    case status_code::ok:
+      return "ok";
+    case status_code::invalid_argument:
+      return "invalid_argument";
+    case status_code::not_found:
+      return "not_found";
+    case status_code::out_of_range:
+      return "out_of_range";
+    case status_code::infeasible:
+      return "infeasible";
+    case status_code::capacity_exceeded:
+      return "capacity_exceeded";
+    case status_code::constraint_violated:
+      return "constraint_violated";
+    case status_code::unavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+std::string status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,109 @@
+// Lightweight status / result types for expected, recoverable failures.
+//
+// Library APIs that can fail for domain reasons (a cable that cannot reach,
+// a tray with no remaining capacity, an expansion that is infeasible) return
+// pn::status or pn::result<T> instead of throwing. Throwing is reserved for
+// programming errors (see check.h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pn {
+
+enum class status_code {
+  ok,
+  invalid_argument,   // caller supplied a value outside the domain
+  not_found,          // a referenced object does not exist
+  out_of_range,       // an index/length exceeds a bound
+  infeasible,         // no solution satisfies the constraints
+  capacity_exceeded,  // a physical capacity (tray, plenum, power) overflows
+  constraint_violated,// a twin constraint check failed
+  unavailable,        // the operation cannot run in the current state
+};
+
+[[nodiscard]] const char* status_code_name(status_code c);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class status {
+ public:
+  status() = default;  // ok
+  status(status_code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == status_code::ok; }
+  [[nodiscard]] status_code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  status_code code_ = status_code::ok;
+  std::string message_;
+};
+
+[[nodiscard]] inline status invalid_argument_error(std::string msg) {
+  return {status_code::invalid_argument, std::move(msg)};
+}
+[[nodiscard]] inline status not_found_error(std::string msg) {
+  return {status_code::not_found, std::move(msg)};
+}
+[[nodiscard]] inline status out_of_range_error(std::string msg) {
+  return {status_code::out_of_range, std::move(msg)};
+}
+[[nodiscard]] inline status infeasible_error(std::string msg) {
+  return {status_code::infeasible, std::move(msg)};
+}
+[[nodiscard]] inline status capacity_error(std::string msg) {
+  return {status_code::capacity_exceeded, std::move(msg)};
+}
+[[nodiscard]] inline status constraint_error(std::string msg) {
+  return {status_code::constraint_violated, std::move(msg)};
+}
+[[nodiscard]] inline status unavailable_error(std::string msg) {
+  return {status_code::unavailable, std::move(msg)};
+}
+
+// A value or an error status. value() PN_CHECKs on error, so call sites
+// that have already tested is_ok() stay terse.
+template <typename T>
+class result {
+ public:
+  result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  result(status s) : status_(std::move(s)) {     // NOLINT: implicit by design
+    PN_CHECK_MSG(!status_.is_ok(), "result constructed from ok status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const status& error() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    PN_CHECK_MSG(value_.has_value(),
+                 "result::value() on error: " << status_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    PN_CHECK_MSG(value_.has_value(),
+                 "result::value() on error: " << status_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    PN_CHECK_MSG(value_.has_value(),
+                 "result::value() on error: " << status_.to_string());
+    return std::move(*value_);
+  }
+  [[nodiscard]] const T& value_or(const T& fallback) const {
+    return value_.has_value() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  status status_;
+};
+
+}  // namespace pn

@@ -1,0 +1,68 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pn {
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  PN_CHECK(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string human_count(double v) {
+  const double a = std::fabs(v);
+  if (a >= 1e9) return str_format("%.2fG", v / 1e9);
+  if (a >= 1e6) return str_format("%.2fM", v / 1e6);
+  if (a >= 1e4) return str_format("%.1fk", v / 1e3);
+  if (a == std::floor(a)) return str_format("%.0f", v);
+  return str_format("%.2f", v);
+}
+
+std::string human_dollars(double usd) {
+  const double a = std::fabs(usd);
+  if (a >= 1e9) return str_format("$%.2fB", usd / 1e9);
+  if (a >= 1e6) return str_format("$%.2fM", usd / 1e6);
+  if (a >= 1e3) return str_format("$%.1fk", usd / 1e3);
+  return str_format("$%.0f", usd);
+}
+
+}  // namespace pn

@@ -1,0 +1,25 @@
+// Small string helpers shared by tables, reports, and twin attributes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pn {
+
+// printf-style formatting into a std::string.
+[[nodiscard]] std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+// Compact human formats used in printed tables: 12345 -> "12.3k", etc.
+[[nodiscard]] std::string human_count(double v);
+[[nodiscard]] std::string human_dollars(double usd);
+
+}  // namespace pn

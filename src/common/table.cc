@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PN_CHECK(!headers_.empty());
+}
+
+text_table& text_table::row() {
+  PN_CHECK_MSG(rows_.empty() || rows_.back().size() == headers_.size(),
+               "previous row has " << rows_.back().size() << " cells, want "
+                                   << headers_.size());
+  rows_.emplace_back();
+  return *this;
+}
+
+text_table& text_table::cell(std::string v) {
+  PN_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  PN_CHECK_MSG(rows_.back().size() < headers_.size(), "row overflow");
+  rows_.back().push_back(std::move(v));
+  return *this;
+}
+
+text_table& text_table::cell(const char* v) { return cell(std::string(v)); }
+
+text_table& text_table::cell(double v, int precision) {
+  return cell(str_format("%.*f", precision, v));
+}
+
+text_table& text_table::cell(long long v) {
+  return cell(str_format("%lld", v));
+}
+
+text_table& text_table::cell_pct(double fraction, int precision) {
+  return cell(str_format("%.*f%%", precision, fraction * 100.0));
+}
+
+std::string text_table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    oss << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      oss << " " << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    oss << "\n";
+  };
+  auto emit_rule = [&] {
+    oss << "+";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      oss << std::string(widths[c] + 2, '-') << "+";
+    }
+    oss << "\n";
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& r : rows_) emit_row(r);
+  emit_rule();
+  return oss.str();
+}
+
+void text_table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "\n== " << title << " ==\n";
+  os << to_string();
+}
+
+}  // namespace pn

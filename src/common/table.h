@@ -1,0 +1,37 @@
+// ASCII table rendering for experiment benches and reports.
+//
+// Every experiment binary prints the rows the paper (or the claim it cites)
+// would tabulate; this keeps that output uniform and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pn {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  // Start a new row; subsequent add_* calls fill it left to right.
+  text_table& row();
+  text_table& cell(std::string v);
+  text_table& cell(const char* v);
+  text_table& cell(double v, int precision = 2);
+  text_table& cell(long long v);
+  text_table& cell(int v) { return cell(static_cast<long long>(v)); }
+  text_table& cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+  // Percentage with a trailing %.
+  text_table& cell_pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pn

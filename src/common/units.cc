@@ -1,0 +1,29 @@
+#include "common/units.h"
+
+#include <ostream>
+
+namespace pn {
+
+std::ostream& operator<<(std::ostream& os, meters m) {
+  return os << m.value() << "m";
+}
+std::ostream& operator<<(std::ostream& os, millimeters mm) {
+  return os << mm.value() << "mm";
+}
+std::ostream& operator<<(std::ostream& os, gbps g) {
+  return os << g.value() << "Gbps";
+}
+std::ostream& operator<<(std::ostream& os, dollars d) {
+  return os << "$" << d.value();
+}
+std::ostream& operator<<(std::ostream& os, hours h) {
+  return os << h.value() << "h";
+}
+std::ostream& operator<<(std::ostream& os, watts w) {
+  return os << w.value() << "W";
+}
+std::ostream& operator<<(std::ostream& os, decibels db) {
+  return os << db.value() << "dB";
+}
+
+}  // namespace pn

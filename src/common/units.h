@@ -1,0 +1,156 @@
+// Strongly-typed physical quantities used throughout physnet.
+//
+// The paper's whole argument is that abstract network design ignores
+// physical quantities (lengths, diameters, dollars, hours, watts, dB).
+// Mixing those up silently is exactly the class of bug a deployability
+// framework must not have, so each quantity gets its own type. Arithmetic
+// is closed within a unit (add/sub/scale); cross-unit products that make
+// sense (e.g. $/m * m) are expressed explicitly at call sites via value().
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace pn {
+
+// A one-dimensional quantity tagged by its unit. Tag types are empty
+// structs; they exist only to make, say, meters and dollars incompatible.
+template <typename Tag>
+class quantity {
+ public:
+  constexpr quantity() = default;
+  constexpr explicit quantity(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr quantity& operator+=(quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr quantity& operator-=(quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr quantity operator+(quantity a, quantity b) {
+    return quantity{a.v_ + b.v_};
+  }
+  friend constexpr quantity operator-(quantity a, quantity b) {
+    return quantity{a.v_ - b.v_};
+  }
+  friend constexpr quantity operator-(quantity a) { return quantity{-a.v_}; }
+  friend constexpr quantity operator*(quantity a, double s) {
+    return quantity{a.v_ * s};
+  }
+  friend constexpr quantity operator*(double s, quantity a) {
+    return quantity{a.v_ * s};
+  }
+  friend constexpr quantity operator/(quantity a, double s) {
+    return quantity{a.v_ / s};
+  }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(quantity a, quantity b) {
+    return a.v_ / b.v_;
+  }
+  friend constexpr auto operator<=>(quantity a, quantity b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+struct meters_tag {};
+struct millimeters_tag {};
+struct square_millimeters_tag {};
+struct gbps_tag {};
+struct dollars_tag {};
+struct hours_tag {};
+struct watts_tag {};
+struct decibels_tag {};
+
+using meters = quantity<meters_tag>;
+using millimeters = quantity<millimeters_tag>;
+using square_millimeters = quantity<square_millimeters_tag>;
+using gbps = quantity<gbps_tag>;
+using dollars = quantity<dollars_tag>;
+using hours = quantity<hours_tag>;
+using watts = quantity<watts_tag>;
+using decibels = quantity<decibels_tag>;
+
+// Conversions that are unambiguous.
+[[nodiscard]] constexpr millimeters to_millimeters(meters m) {
+  return millimeters{m.value() * 1000.0};
+}
+[[nodiscard]] constexpr meters to_meters(millimeters mm) {
+  return meters{mm.value() / 1000.0};
+}
+[[nodiscard]] constexpr hours hours_from_minutes(double minutes) {
+  return hours{minutes / 60.0};
+}
+[[nodiscard]] constexpr double minutes(hours h) { return h.value() * 60.0; }
+
+// Cross-sectional area of a round cable of outside diameter `od`.
+[[nodiscard]] inline square_millimeters circle_area(millimeters od) {
+  const double r = od.value() / 2.0;
+  return square_millimeters{M_PI * r * r};
+}
+
+// User-defined literals for readable constants in tests and catalogs.
+namespace literals {
+constexpr meters operator""_m(long double v) {
+  return meters{static_cast<double>(v)};
+}
+constexpr meters operator""_m(unsigned long long v) {
+  return meters{static_cast<double>(v)};
+}
+constexpr millimeters operator""_mm(long double v) {
+  return millimeters{static_cast<double>(v)};
+}
+constexpr millimeters operator""_mm(unsigned long long v) {
+  return millimeters{static_cast<double>(v)};
+}
+constexpr gbps operator""_gbps(unsigned long long v) {
+  return gbps{static_cast<double>(v)};
+}
+constexpr dollars operator""_usd(long double v) {
+  return dollars{static_cast<double>(v)};
+}
+constexpr dollars operator""_usd(unsigned long long v) {
+  return dollars{static_cast<double>(v)};
+}
+constexpr hours operator""_h(long double v) {
+  return hours{static_cast<double>(v)};
+}
+constexpr hours operator""_h(unsigned long long v) {
+  return hours{static_cast<double>(v)};
+}
+constexpr watts operator""_w(long double v) {
+  return watts{static_cast<double>(v)};
+}
+constexpr watts operator""_w(unsigned long long v) {
+  return watts{static_cast<double>(v)};
+}
+constexpr decibels operator""_db(long double v) {
+  return decibels{static_cast<double>(v)};
+}
+}  // namespace literals
+
+std::ostream& operator<<(std::ostream& os, meters m);
+std::ostream& operator<<(std::ostream& os, millimeters mm);
+std::ostream& operator<<(std::ostream& os, gbps g);
+std::ostream& operator<<(std::ostream& os, dollars d);
+std::ostream& operator<<(std::ostream& os, hours h);
+std::ostream& operator<<(std::ostream& os, watts w);
+std::ostream& operator<<(std::ostream& os, decibels db);
+
+}  // namespace pn

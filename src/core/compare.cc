@@ -1,0 +1,78 @@
+#include "core/compare.h"
+
+#include "common/strings.h"
+
+namespace pn {
+
+text_table abstract_metrics_table(
+    const std::vector<deployability_report>& reports) {
+  text_table t({"design", "switches", "hosts", "links", "mean path", "diam",
+                "tput alpha", "bisect Gbps/host"});
+  for (const auto& r : reports) {
+    t.row()
+        .cell(r.name)
+        .cell(r.switches)
+        .cell(r.hosts)
+        .cell(r.links)
+        .cell(r.mean_path_length, 2)
+        .cell(r.diameter)
+        .cell(r.throughput_alpha_uniform, 2)
+        .cell(r.bisection_gbps_per_host, 1);
+  }
+  return t;
+}
+
+text_table cost_table(const std::vector<deployability_report>& reports) {
+  text_table t({"design", "switch capex", "cable capex", "optics capex",
+                "total", "$/host", "switch kW", "cable kW"});
+  for (const auto& r : reports) {
+    t.row()
+        .cell(r.name)
+        .cell(human_dollars(r.switch_cost.value()))
+        .cell(human_dollars(r.cable_cost.value()))
+        .cell(human_dollars(r.transceiver_cost.value()))
+        .cell(human_dollars(r.capex().value()))
+        .cell(human_dollars(r.capex_per_host.value()))
+        .cell(r.switch_power.value() / 1000.0, 1)
+        .cell(r.cable_power.value() / 1000.0, 1);
+  }
+  return t;
+}
+
+text_table deployability_table(
+    const std::vector<deployability_report>& reports) {
+  text_table t({"design", "deploy h", "labor h", "yield", "bundleable",
+                "SKUs", "optics", "mean len m", "p95 len m", "tray fill",
+                "plenum fill"});
+  for (const auto& r : reports) {
+    t.row()
+        .cell(r.name)
+        .cell(r.time_to_deploy.value(), 1)
+        .cell(r.deploy_labor.value(), 1)
+        .cell_pct(r.first_pass_yield, 2)
+        .cell_pct(r.bundleability)
+        .cell(r.distinct_bundle_skus)
+        .cell_pct(r.optics_fraction)
+        .cell(r.mean_cable_length_m, 1)
+        .cell(r.p95_cable_length_m, 1)
+        .cell_pct(r.max_tray_fill)
+        .cell_pct(r.max_plenum_fill);
+  }
+  return t;
+}
+
+text_table operations_table(
+    const std::vector<deployability_report>& reports) {
+  text_table t({"design", "availability", "mean MTTR h",
+                "rewires/added switch"});
+  for (const auto& r : reports) {
+    t.row()
+        .cell(r.name)
+        .cell(str_format("%.5f", r.availability))
+        .cell(r.mean_mttr.value(), 2)
+        .cell(r.rewires_per_added_switch, 1);
+  }
+  return t;
+}
+
+}  // namespace pn

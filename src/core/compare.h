@@ -1,0 +1,30 @@
+// Side-by-side design comparison — the table §4.2 implies when asking why
+// expanders are not deployed: abstract wins in one column block, physical
+// costs in the next.
+#pragma once
+
+#include <vector>
+
+#include "common/table.h"
+#include "core/report.h"
+
+namespace pn {
+
+// Abstract metrics: hosts, path length, diameter, throughput, bisection.
+[[nodiscard]] text_table abstract_metrics_table(
+    const std::vector<deployability_report>& reports);
+
+// Capex/power: switch, cable, transceiver cost; $/host; watts.
+[[nodiscard]] text_table cost_table(
+    const std::vector<deployability_report>& reports);
+
+// Physical deployability: time-to-deploy, labor, yield, bundleability,
+// SKUs, optics share, cable lengths, tray/plenum fill.
+[[nodiscard]] text_table deployability_table(
+    const std::vector<deployability_report>& reports);
+
+// Operations: availability, MTTR, expansion rewires.
+[[nodiscard]] text_table operations_table(
+    const std::vector<deployability_report>& reports);
+
+}  // namespace pn

@@ -1,0 +1,187 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "topology/metrics.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+
+const char* placement_strategy_name(placement_strategy s) {
+  switch (s) {
+    case placement_strategy::block:
+      return "block";
+    case placement_strategy::random:
+      return "random";
+    case placement_strategy::annealed:
+      return "annealed";
+  }
+  return "unknown";
+}
+
+floorplan_params auto_size_floor(const network_graph& g,
+                                 const floorplan_params& base,
+                                 double headroom) {
+  PN_CHECK(headroom >= 0.0);
+  // Racks are filled in block order by the placer, so estimate the count
+  // by replaying that greedy packing — a pure RU sum undercounts when
+  // large ToR+server footprints fragment racks.
+  int racks = 1;
+  int free_in_rack = base.rack_units;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const int ru = node_rack_units(g, node_id{i});
+    PN_CHECK_MSG(ru <= base.rack_units,
+                 "switch " << g.node(node_id{i}).name << " needs " << ru
+                           << " RU, rack has " << base.rack_units);
+    if (ru > free_in_rack) {
+      ++racks;
+      free_in_rack = base.rack_units;
+    }
+    free_in_rack -= ru;
+  }
+  const double racks_needed =
+      std::ceil(static_cast<double>(racks) * (1.0 + headroom));
+  // Near 2:1 aspect (rows of racks are long in real floors).
+  const int rows = std::max(
+      2, static_cast<int>(std::floor(std::sqrt(racks_needed / 2.0))));
+  const int per_row = static_cast<int>(
+      std::ceil(racks_needed / static_cast<double>(rows)));
+
+  floorplan_params p = base;
+  p.rows = rows;
+  p.racks_per_row = std::max(per_row, 2);
+  return p;
+}
+
+result<evaluation> evaluate_design(const network_graph& g,
+                                   const std::string& name,
+                                   const evaluation_options& opt) {
+  PN_CHECK(g.node_count() > 0);
+
+  const floorplan_params fpp =
+      opt.auto_size_floor ? auto_size_floor(g, opt.floor, opt.floor_headroom)
+                          : opt.floor;
+
+  // The evaluation owns its floorplan (tray occupancy is mutated by
+  // cabling) and its catalog (cable runs point into it) — build
+  // everything in place.
+  evaluation ev{deployability_report{},
+                opt.cat,
+                floorplan(fpp),
+                placement(g.node_count(), floorplan(fpp)),
+                cabling_plan{},
+                bundling_report{},
+                tech_sim_result{},
+                repair_sim_result{}};
+
+  // Placement.
+  result<placement> placed = [&]() -> result<placement> {
+    switch (opt.strategy) {
+      case placement_strategy::block:
+        return block_placement(g, ev.floor);
+      case placement_strategy::random:
+        return random_placement(g, ev.floor, opt.seed);
+      case placement_strategy::annealed: {
+        auto start = block_placement(g, ev.floor);
+        if (!start.is_ok()) return start.error();
+        anneal_options a = opt.anneal;
+        a.seed = opt.seed;
+        return anneal_placement(g, ev.floor, ev.cat,
+                                std::move(start).value(), a);
+      }
+    }
+    return invalid_argument_error("unknown placement strategy");
+  }();
+  if (!placed.is_ok()) return placed.error();
+  ev.place = std::move(placed).value();
+
+  // Cabling.
+  auto plan = plan_cabling(g, ev.place, ev.floor, ev.cat, opt.cabling);
+  if (!plan.is_ok()) return plan.error();
+  ev.cables = std::move(plan).value();
+
+  // Bundling.
+  ev.bundles = analyze_bundling(ev.cables, opt.deployment.bundling);
+
+  // Deployment simulation.
+  const work_order wo =
+      build_deployment_order(g, ev.place, ev.floor, ev.cables,
+                             opt.deployment);
+  tech_sim_params tsp = opt.technicians;
+  tsp.seed = opt.seed;
+  auto deploy_result = simulate_deployment(wo, tsp);
+  if (!deploy_result.is_ok()) return deploy_result.error();
+  ev.deployment = deploy_result.value();
+
+  // Repair simulation.
+  if (opt.run_repair_sim) {
+    repair_params rp = opt.repair;
+    rp.seed = opt.seed + 17;
+    ev.repairs =
+        simulate_repairs(g, ev.place, ev.floor, ev.cables, ev.cat, rp);
+  }
+
+  // Report assembly.
+  deployability_report& rep = ev.report;
+  rep.name = name;
+  rep.family = g.family;
+  rep.switches = g.node_count();
+  rep.hosts = g.total_hosts();
+  rep.links = g.live_edges().size();
+
+  const path_length_stats pls = compute_path_length_stats(g);
+  rep.mean_path_length = pls.mean;
+  rep.diameter = pls.diameter;
+  if (opt.run_throughput) {
+    const traffic_matrix tm = uniform_traffic(g, opt.traffic_per_host);
+    rep.throughput_alpha_uniform = ecmp_throughput(g, tm).alpha;
+    rep.bisection_gbps_per_host =
+        estimate_bisection(g, opt.seed).per_host_gbps;
+  }
+
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_info& n = g.node(node_id{i});
+    rep.switch_cost += ev.cat.switches().cost(n.radix, n.port_rate);
+    rep.switch_power += ev.cat.switches().power(n.radix, n.port_rate);
+  }
+  rep.cable_cost = ev.cables.cable_cost;
+  rep.transceiver_cost = ev.cables.transceiver_cost;
+  rep.cable_power = ev.cables.cable_power;
+  rep.capex_per_host =
+      rep.hosts > 0 ? rep.capex() / static_cast<double>(rep.hosts)
+                    : dollars{0.0};
+
+  rep.time_to_deploy = ev.deployment.makespan;
+  rep.deploy_labor = ev.deployment.labor;
+  rep.first_pass_yield = ev.deployment.first_pass_yield;
+  rep.bundleability = ev.bundles.bundleability;
+  rep.distinct_bundle_skus = ev.bundles.distinct_skus;
+  rep.optics_fraction =
+      !ev.cables.runs.empty()
+          ? static_cast<double>(ev.cables.optical_runs) /
+                static_cast<double>(ev.cables.runs.size())
+          : 0.0;
+
+  sample_stats lengths;
+  for (const cable_run& r : ev.cables.runs) {
+    lengths.add(r.length.value());
+  }
+  if (!lengths.empty()) {
+    rep.mean_cable_length_m = lengths.mean();
+    rep.p95_cable_length_m = lengths.percentile(0.95);
+  }
+  rep.max_tray_fill = ev.cables.max_tray_fill;
+  for (const auto& [rk, fill] : ev.cables.plenum_fill) {
+    rep.max_plenum_fill = std::max(rep.max_plenum_fill, fill);
+  }
+
+  rep.availability = ev.repairs.availability;
+  rep.mean_mttr = ev.repairs.mean_mttr;
+  return ev;
+}
+
+}  // namespace pn

@@ -1,0 +1,76 @@
+// End-to-end design evaluator: topology -> placement -> cabling ->
+// deployment simulation -> repair simulation -> deployability report.
+//
+// This is the top of the library: one call takes an abstract design and
+// returns both the traditional metrics and the physical-deployability
+// metrics the paper argues must sit beside them.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/report.h"
+#include "deploy/plan_builder.h"
+#include "deploy/repair_sim.h"
+#include "deploy/tech_sim.h"
+#include "physical/bundling.h"
+#include "physical/cabling.h"
+#include "physical/catalog.h"
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+enum class placement_strategy { block, random, annealed };
+
+[[nodiscard]] const char* placement_strategy_name(placement_strategy s);
+
+struct evaluation_options {
+  catalog cat = catalog::standard();
+  floorplan_params floor;         // geometry template; rack grid is sized
+                                  // automatically unless auto_size = false
+  bool auto_size_floor = true;
+  double floor_headroom = 0.30;   // spare rack capacity when auto-sizing
+
+  placement_strategy strategy = placement_strategy::block;
+  anneal_options anneal;
+
+  cabling_options cabling;
+  deployment_plan_options deployment;
+  tech_sim_params technicians;
+
+  bool run_repair_sim = true;
+  repair_params repair;
+
+  bool run_throughput = true;
+  gbps traffic_per_host{25.0};
+
+  std::uint64_t seed = 1;
+};
+
+// Everything produced along the way, for callers that need more than the
+// summary numbers. Owns its own catalog copy: `cables` points into `cat`,
+// so the evaluation is self-contained regardless of the options' lifetime.
+struct evaluation {
+  deployability_report report;
+  catalog cat;
+  floorplan floor;
+  placement place;
+  cabling_plan cables;
+  bundling_report bundles;
+  tech_sim_result deployment;
+  repair_sim_result repairs;
+};
+
+// Sizes a floor for the design with headroom, preserving the template's
+// per-rack parameters. Rows/racks-per-row are chosen near a 2:1 aspect.
+[[nodiscard]] floorplan_params auto_size_floor(const network_graph& g,
+                                               const floorplan_params& base,
+                                               double headroom);
+
+[[nodiscard]] result<evaluation> evaluate_design(const network_graph& g,
+                                                 const std::string& name,
+                                                 const evaluation_options& opt);
+
+}  // namespace pn

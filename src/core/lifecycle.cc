@@ -1,0 +1,61 @@
+#include "core/lifecycle.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+result<lifecycle_cost> compute_lifecycle_cost(const network_graph& g,
+                                              const std::string& name,
+                                              const lifecycle_options& opt) {
+  PN_CHECK(opt.service_years > 0.0);
+  evaluation_options eopt = opt.evaluation;
+  eopt.run_repair_sim = true;
+  eopt.repair.horizon = hours{opt.service_years * 365.0 * 24.0};
+  auto ev = evaluate_design(g, name, eopt);
+  if (!ev.is_ok()) return ev.error();
+  const deployability_report& rep = ev.value().report;
+
+  lifecycle_cost out;
+  out.name = name;
+  out.hosts = rep.hosts;
+  out.availability = rep.availability;
+  out.day1_hardware = rep.capex();
+  out.day1_labor =
+      dollars{rep.deploy_labor.value() * opt.labor_rate_per_hour};
+
+  for (const clos_expansion_params& ex : opt.expansions) {
+    const expansion_plan plan = plan_clos_expansion(ex);
+    out.expansion_labor +=
+        dollars{plan.labor.value() * opt.labor_rate_per_hour};
+  }
+
+  out.repair_labor = dollars{ev.value().repairs.technician_hours.value() *
+                             opt.labor_rate_per_hour};
+  out.downtime_cost =
+      dollars{(1.0 - rep.availability) * opt.downtime_cost_per_host_year *
+              static_cast<double>(rep.hosts) * opt.service_years};
+  return out;
+}
+
+text_table lifecycle_table(const std::vector<lifecycle_cost>& costs) {
+  text_table t({"design", "hosts", "day-1 hw", "day-1 labor",
+                "expansion labor", "repair labor", "downtime",
+                "lifetime total", "lifetime $/host"});
+  for (const lifecycle_cost& c : costs) {
+    t.row()
+        .cell(c.name)
+        .cell(c.hosts)
+        .cell(human_dollars(c.day1_hardware.value()))
+        .cell(human_dollars(c.day1_labor.value()))
+        .cell(human_dollars(c.expansion_labor.value()))
+        .cell(human_dollars(c.repair_labor.value()))
+        .cell(human_dollars(c.downtime_cost.value()))
+        .cell(human_dollars(c.lifetime().value()))
+        .cell(human_dollars(c.lifetime().value() /
+                            static_cast<double>(c.hosts)));
+  }
+  return t;
+}
+
+}  // namespace pn

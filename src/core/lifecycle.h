@@ -1,0 +1,54 @@
+// Lifecycle (total-cost-of-ownership) model — §5.4's "tradeoff between
+// day-1 costs and longer-term costs", assembled from the library's
+// simulators: day-1 capex + deployment labor, expansion campaigns over
+// the service life, and the repair/availability opex stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+#include "core/evaluator.h"
+#include "deploy/expansion.h"
+
+namespace pn {
+
+struct lifecycle_options {
+  evaluation_options evaluation;
+  double service_years = 6.0;
+  double labor_rate_per_hour = 120.0;
+  // Expansion campaigns executed over the service life (each priced via
+  // plan_clos_expansion with this wiring style). Empty = no growth.
+  std::vector<clos_expansion_params> expansions;
+  // Revenue-side weight of availability: dollars lost per (1 - A) per
+  // host per year, to convert the repair sim's availability into money.
+  double downtime_cost_per_host_year = 2000.0;
+};
+
+struct lifecycle_cost {
+  std::string name;
+  dollars day1_hardware;
+  dollars day1_labor;
+  dollars expansion_labor;
+  dollars repair_labor;
+  dollars downtime_cost;
+  [[nodiscard]] dollars day1() const { return day1_hardware + day1_labor; }
+  [[nodiscard]] dollars lifetime() const {
+    return day1() + expansion_labor + repair_labor + downtime_cost;
+  }
+  double availability = 1.0;
+  std::size_t hosts = 0;
+};
+
+// Evaluates the design, replays the configured expansion campaigns, and
+// extrapolates the repair simulation to the service life.
+[[nodiscard]] result<lifecycle_cost> compute_lifecycle_cost(
+    const network_graph& g, const std::string& name,
+    const lifecycle_options& opt);
+
+// Comparison table over several lifecycle results.
+[[nodiscard]] text_table lifecycle_table(
+    const std::vector<lifecycle_cost>& costs);
+
+}  // namespace pn

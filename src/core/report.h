@@ -1,0 +1,64 @@
+// The deployability report: the paper's §5.4 metrics in one struct.
+//
+// "Internally, we use metrics such as 'time to deploy' (hours of effort),
+// cost to deploy, and 'first-pass yield'" — plus the lifecycle metrics of
+// Zhang et al. (re-wiring steps, re-wired links per panel) and the
+// diversity/locality metrics §5.4 proposes. Everything a design review
+// would put next to the traditional throughput numbers.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace pn {
+
+struct deployability_report {
+  // Identity.
+  std::string name;
+  std::string family;
+  std::size_t switches = 0;
+  std::size_t hosts = 0;
+  std::size_t links = 0;
+
+  // Abstract "goodness" (the traditional metrics).
+  double mean_path_length = 0.0;
+  int diameter = 0;
+  double throughput_alpha_uniform = 0.0;  // ECMP uniform-TM scaling factor
+  double bisection_gbps_per_host = 0.0;
+
+  // Capital cost.
+  dollars switch_cost;
+  dollars cable_cost;
+  dollars transceiver_cost;
+  [[nodiscard]] dollars capex() const {
+    return switch_cost + cable_cost + transceiver_cost;
+  }
+  dollars capex_per_host;
+
+  // Power.
+  watts switch_power;
+  watts cable_power;
+
+  // Physical deployment.
+  hours time_to_deploy;       // makespan with the configured crew
+  hours deploy_labor;         // technician hours
+  double first_pass_yield = 1.0;
+  double bundleability = 0.0;          // fraction of cables in viable bundles
+  std::size_t distinct_bundle_skus = 0;
+  double optics_fraction = 0.0;        // optical runs / all runs
+  double mean_cable_length_m = 0.0;
+  double p95_cable_length_m = 0.0;
+  double max_tray_fill = 0.0;
+  double max_plenum_fill = 0.0;
+
+  // Operations.
+  double availability = 1.0;
+  hours mean_mttr{0.0};
+
+  // Expansion (family-specific; links that must be physically rewired to
+  // add one host-facing switch / unit of capacity).
+  double rewires_per_added_switch = 0.0;
+};
+
+}  // namespace pn

@@ -1,0 +1,54 @@
+#include "core/sweep.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pn {
+
+sweep_results run_sweep(const std::vector<sweep_point>& grid,
+                        const evaluation_options& opt) {
+  sweep_results out;
+  for (const sweep_point& point : grid) {
+    const network_graph g = point.build();
+    auto ev = evaluate_design(g, point.label, opt);
+    if (ev.is_ok()) {
+      out.reports.push_back(std::move(ev).value().report);
+    } else {
+      out.failures.push_back(point.label + ": " + ev.error().to_string());
+    }
+  }
+  return out;
+}
+
+std::string sweep_to_csv(const sweep_results& results) {
+  std::ostringstream out;
+  out << "name,family,switches,hosts,links,mean_path,diameter,"
+         "tput_alpha_uniform,bisection_gbps_per_host,switch_cost_usd,"
+         "cable_cost_usd,transceiver_cost_usd,capex_usd,capex_per_host_usd,"
+         "switch_power_w,cable_power_w,time_to_deploy_h,deploy_labor_h,"
+         "first_pass_yield,bundleability,distinct_bundle_skus,"
+         "optics_fraction,mean_cable_length_m,p95_cable_length_m,"
+         "max_tray_fill,max_plenum_fill,availability,mean_mttr_h,"
+         "rewires_per_added_switch\n";
+  for (const deployability_report& r : results.reports) {
+    out << str_format(
+        "%s,%s,%zu,%zu,%zu,%.4f,%d,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,"
+        "%.1f,%.1f,%.3f,%.3f,%.5f,%.4f,%zu,%.4f,%.2f,%.2f,%.4f,%.4f,"
+        "%.6f,%.3f,%.2f\n",
+        r.name.c_str(), r.family.c_str(), r.switches, r.hosts, r.links,
+        r.mean_path_length, r.diameter, r.throughput_alpha_uniform,
+        r.bisection_gbps_per_host, r.switch_cost.value(),
+        r.cable_cost.value(), r.transceiver_cost.value(),
+        r.capex().value(), r.capex_per_host.value(),
+        r.switch_power.value(), r.cable_power.value(),
+        r.time_to_deploy.value(), r.deploy_labor.value(),
+        r.first_pass_yield, r.bundleability, r.distinct_bundle_skus,
+        r.optics_fraction, r.mean_cable_length_m, r.p95_cable_length_m,
+        r.max_tray_fill, r.max_plenum_fill, r.availability,
+        r.mean_mttr.value(), r.rewires_per_added_switch);
+  }
+  return out.str();
+}
+
+}  // namespace pn

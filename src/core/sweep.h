@@ -1,0 +1,35 @@
+// Design-space sweep driver: evaluate a family of designs across a
+// parameter grid and emit the results as a table and as CSV — the raw
+// material for the "well-specified objectives and metrics" the paper
+// hopes researchers will optimize against (§5.4), without everyone
+// re-writing the evaluation loop.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+
+namespace pn {
+
+struct sweep_point {
+  std::string label;                        // e.g. "k=8"
+  std::function<network_graph()> build;
+};
+
+struct sweep_results {
+  std::vector<deployability_report> reports;  // one per completed point
+  std::vector<std::string> failures;          // "label: error" for the rest
+};
+
+// Evaluates every point with the same options (seed fixed across points
+// so differences are design differences, not noise).
+[[nodiscard]] sweep_results run_sweep(const std::vector<sweep_point>& grid,
+                                      const evaluation_options& opt);
+
+// All report fields, machine-readable. One header row; one row per report.
+[[nodiscard]] std::string sweep_to_csv(const sweep_results& results);
+
+}  // namespace pn

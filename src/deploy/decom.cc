@@ -1,0 +1,112 @@
+#include "deploy/decom.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace pn {
+
+namespace {
+
+// Cables terminating on a switch entity.
+std::vector<entity_id> cables_on(const twin_model& m, entity_id sw) {
+  return m.related_in(sw, "terminates_on");
+}
+
+std::set<entity_id> resolve_switches(
+    const twin_model& m, const std::vector<std::string>& names) {
+  std::set<entity_id> out;
+  for (const std::string& n : names) {
+    const auto e = m.find("switch", n);
+    PN_CHECK_MSG(e.has_value(), "no live switch named " << n);
+    out.insert(*e);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<twin_op> naive_decom_plan(
+    const twin_model& m, const std::vector<std::string>& switch_names) {
+  // Remove switches first, cables afterwards: the ordering a spreadsheet-
+  // driven decom tends to produce (per-asset, not per-dependency).
+  std::vector<twin_op> plan;
+  const auto switches = resolve_switches(m, switch_names);
+  for (entity_id sw : switches) {
+    plan.push_back(op_remove_entity("switch", m.entity(sw).name,
+                                    "decom switch " + m.entity(sw).name));
+  }
+  std::set<entity_id> seen;
+  for (entity_id sw : switches) {
+    for (entity_id c : cables_on(m, sw)) {
+      if (!seen.insert(c).second) continue;
+      plan.push_back(op_remove_entity("cable", m.entity(c).name,
+                                      "pull cable " + m.entity(c).name));
+    }
+  }
+  return plan;
+}
+
+std::vector<std::string> blocking_cables(
+    const twin_model& m, const std::vector<std::string>& switch_names) {
+  const auto switches = resolve_switches(m, switch_names);
+  std::vector<std::string> out;
+  std::set<entity_id> seen;
+  for (entity_id sw : switches) {
+    for (entity_id c : cables_on(m, sw)) {
+      if (!seen.insert(c).second) continue;
+      for (entity_id peer : m.related(c, "terminates_on")) {
+        if (!switches.contains(peer)) {
+          // Peer stays in service: this cable needs a drain first.
+          out.push_back(m.entity(c).name);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<twin_op> safe_decom_plan(
+    const twin_model& m, const std::vector<std::string>& switch_names) {
+  const auto switches = resolve_switches(m, switch_names);
+  std::vector<twin_op> plan;
+  std::set<entity_id> handled_cables;
+
+  for (entity_id sw : switches) {
+    const std::string& sw_name = m.entity(sw).name;
+    for (entity_id c : cables_on(m, sw)) {
+      if (!handled_cables.insert(c).second) continue;
+      const std::string& cable_name = m.entity(c).name;
+      // Drain any still-in-service peer port before touching the cable.
+      for (entity_id peer : m.related(c, "terminates_on")) {
+        if (!switches.contains(peer)) {
+          plan.push_back(op_set_attr("switch", m.entity(peer).name,
+                                     "drained", true,
+                                     "drain peer port on " +
+                                         m.entity(peer).name));
+        }
+      }
+      // Detach both ends, then remove the cable entity.
+      for (entity_id peer : m.related(c, "terminates_on")) {
+        plan.push_back(op_remove_relation(
+            "terminates_on", "cable", cable_name, "switch",
+            m.entity(peer).name,
+            "disconnect " + cable_name + " from " + m.entity(peer).name));
+      }
+      plan.push_back(
+          op_remove_entity("cable", cable_name, "pull cable " + cable_name));
+    }
+    // Unplace and remove the switch itself.
+    for (entity_id rk : m.related(sw, "placed_in")) {
+      plan.push_back(op_remove_relation("placed_in", "switch", sw_name,
+                                        "rack", m.entity(rk).name,
+                                        "unrack " + sw_name));
+    }
+    plan.push_back(
+        op_remove_entity("switch", sw_name, "decom switch " + sw_name));
+  }
+  return plan;
+}
+
+}  // namespace pn

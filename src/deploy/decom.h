@@ -1,0 +1,40 @@
+// Decommissioning planners (§2.1).
+//
+// "It is surprisingly hard to automate a decom procedure, because it can
+// be hard to know for sure what cannot be removed." Two planners over the
+// digital twin: a naive one that removes equipment in request order (what
+// an operator without a twin might schedule), and a safe one that derives
+// the dependency-respecting order from the twin's relations. E10 replays
+// both through the dry-run engine: the naive plan's violations are
+// exactly the outages a twin-less decom risks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "twin/dryrun.h"
+#include "twin/model.h"
+
+namespace pn {
+
+// Decommission the named switches. The naive plan issues remove_entity
+// for each switch immediately, then cleans up cables — which the twin
+// rejects because live cables still terminate on the switch (and in the
+// physical world would have yanked in-service links).
+[[nodiscard]] std::vector<twin_op> naive_decom_plan(
+    const twin_model& m, const std::vector<std::string>& switch_names);
+
+// The safe plan: for each switch, first remove every cable terminating on
+// it (relation removals then entity removal), skipping cables whose other
+// end is NOT being decommissioned and is still carrying service — those
+// must be drained; the plan marks the peer switch drained first.
+[[nodiscard]] std::vector<twin_op> safe_decom_plan(
+    const twin_model& m, const std::vector<std::string>& switch_names);
+
+// Cables that cannot be removed yet because an endpoint outside the decom
+// set still serves traffic (§2.1's "we can only remove a cable bundle
+// once none of the affected ports are still in service").
+[[nodiscard]] std::vector<std::string> blocking_cables(
+    const twin_model& m, const std::vector<std::string>& switch_names);
+
+}  // namespace pn

@@ -1,0 +1,123 @@
+#include "deploy/degradation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "topology/metrics.h"
+#include "topology/routing.h"
+
+namespace pn {
+
+degradation_report analyze_degradation(const network_graph& g,
+                                       const traffic_matrix& tm,
+                                       const degradation_params& p) {
+  PN_CHECK(p.samples > 0);
+  PN_CHECK(p.concurrent_switch_failures >= 0);
+  PN_CHECK(p.concurrent_link_failures >= 0);
+  PN_CHECK(p.concurrent_switch_failures <
+           static_cast<int>(g.node_count()));
+
+  const double baseline = ecmp_throughput(g, tm).alpha;
+  PN_CHECK_MSG(baseline > 0.0, "baseline fabric carries no traffic");
+
+  rng r(p.seed);
+  degradation_report out;
+  double retention_sum = 0.0;
+  int connected_samples = 0;
+  int partitions = 0;
+
+  for (int s = 0; s < p.samples; ++s) {
+    network_graph degraded = g;
+
+    // Fail switches: remove every incident link.
+    std::vector<std::size_t> switches(g.node_count());
+    for (std::size_t i = 0; i < switches.size(); ++i) switches[i] = i;
+    r.shuffle(switches);
+    std::vector<bool> failed_switch(g.node_count(), false);
+    for (int f = 0; f < p.concurrent_switch_failures; ++f) {
+      const node_id victim{switches[static_cast<std::size_t>(f)]};
+      failed_switch[victim.index()] = true;
+      // Copy the adjacency list: removal mutates it.
+      std::vector<edge_id> incident;
+      for (const auto& adj : degraded.neighbors(victim)) {
+        incident.push_back(adj.edge);
+      }
+      for (edge_id e : incident) {
+        if (degraded.edge_alive(e)) degraded.remove_edge(e);
+      }
+    }
+
+    // Fail additional random links.
+    for (int f = 0; f < p.concurrent_link_failures; ++f) {
+      const auto live = degraded.live_edges();
+      if (live.empty()) break;
+      degraded.remove_edge(live[r.next_index(live.size())]);
+    }
+
+    // Surviving demand: drop flows touching failed switches.
+    traffic_matrix surviving(tm.endpoints());
+    const auto& eps = tm.endpoints();
+    double surviving_demand = 0.0;
+    for (std::size_t a = 0; a < eps.size(); ++a) {
+      if (failed_switch[eps[a].index()]) continue;
+      for (std::size_t b = 0; b < eps.size(); ++b) {
+        if (a == b || failed_switch[eps[b].index()]) continue;
+        const double d = tm.demand(a, b);
+        if (d > 0.0) {
+          surviving.set_demand(a, b, d);
+          surviving_demand += d;
+        }
+      }
+    }
+    if (surviving_demand <= 0.0) {
+      ++partitions;  // nothing left to carry: count as a dead sample
+      continue;
+    }
+
+    // Check reachability of every surviving demand pair.
+    bool partitioned = false;
+    for (std::size_t a = 0; a < eps.size() && !partitioned; ++a) {
+      if (failed_switch[eps[a].index()]) continue;
+      bool sources_from_a = false;
+      for (std::size_t b = 0; b < eps.size(); ++b) {
+        if (surviving.demand(a, b) > 0.0) {
+          sources_from_a = true;
+          break;
+        }
+      }
+      if (!sources_from_a) continue;
+      const auto dist = bfs_distances(degraded, eps[a]);
+      for (std::size_t b = 0; b < eps.size(); ++b) {
+        if (surviving.demand(a, b) > 0.0 && dist[eps[b].index()] < 0) {
+          partitioned = true;
+          break;
+        }
+      }
+    }
+    if (partitioned) {
+      ++partitions;
+      continue;
+    }
+
+    const double alpha = ecmp_throughput(degraded, surviving).alpha;
+    const double retention = std::min(1.0, alpha / baseline);
+    retention_sum += retention;
+    out.worst_capacity_retention =
+        std::min(out.worst_capacity_retention, retention);
+    ++connected_samples;
+  }
+
+  out.samples_evaluated = p.samples;
+  out.partition_probability =
+      static_cast<double>(partitions) / static_cast<double>(p.samples);
+  out.mean_capacity_retention =
+      connected_samples > 0
+          ? retention_sum / static_cast<double>(connected_samples)
+          : 0.0;
+  if (connected_samples == 0) out.worst_capacity_retention = 0.0;
+  return out;
+}
+
+}  // namespace pn

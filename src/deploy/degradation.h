@@ -1,0 +1,46 @@
+// Concurrent-failure degradation analysis (§3.3).
+//
+// "Mitigation techniques generally cannot tolerate large numbers of
+// concurrent failures. Therefore, network availability depends on mean
+// time to repair." This module samples failure states — k switches and/or
+// cables down at once, the world a slow repair pipeline lives in — and
+// measures the surviving ECMP throughput, including the probability the
+// fabric partitions outright. Crossed with MTTR (repair_sim), it shows
+// *why* the paper calls repair speed an availability parameter.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "topology/graph.h"
+#include "topology/traffic.h"
+
+namespace pn {
+
+struct degradation_params {
+  int concurrent_switch_failures = 1;
+  int concurrent_link_failures = 0;
+  int samples = 50;
+  std::uint64_t seed = 1;
+};
+
+struct degradation_report {
+  // Throughput alpha of the degraded fabric / alpha of the intact one,
+  // over samples that remained connected (host-facing demand reachable).
+  double mean_capacity_retention = 0.0;
+  double worst_capacity_retention = 1.0;
+  // Fraction of samples where some surviving host pair with demand was
+  // disconnected (retention counted as 0 and excluded from the means).
+  double partition_probability = 0.0;
+  int samples_evaluated = 0;
+};
+
+// Draws `samples` random failure states (failed switches lose all their
+// links; failed links just disappear), re-runs the ECMP throughput proxy
+// on the survivors with demands of failed host-facing switches removed,
+// and compares to the intact fabric.
+[[nodiscard]] degradation_report analyze_degradation(
+    const network_graph& g, const traffic_matrix& tm,
+    const degradation_params& p);
+
+}  // namespace pn

@@ -1,0 +1,72 @@
+#include "deploy/drain_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+result<drain_schedule> schedule_drains(const std::vector<drain_item>& items,
+                                       const drain_schedule_params& p) {
+  PN_CHECK(p.capacity_floor >= 0.0 && p.capacity_floor < 1.0);
+  PN_CHECK(p.technicians_available > 0);
+  const double budget = 1.0 - p.capacity_floor;
+
+  for (const drain_item& item : items) {
+    PN_CHECK(item.capacity_share >= 0.0 && item.capacity_share <= 1.0);
+    PN_CHECK(item.technicians_needed >= 0);
+    if (item.capacity_share > budget + 1e-12) {
+      return infeasible_error(str_format(
+          "item '%s' drains %.0f%% alone but the floor allows %.0f%%",
+          item.name.c_str(), item.capacity_share * 100.0, budget * 100.0));
+    }
+    if (item.technicians_needed > p.technicians_available) {
+      return infeasible_error(str_format(
+          "item '%s' needs %d technicians, have %d", item.name.c_str(),
+          item.technicians_needed, p.technicians_available));
+    }
+  }
+
+  // Greedy: longest items first; each opens a new wave or joins the first
+  // existing wave with enough capacity and technician budget. Packing
+  // long items together keeps short ones from stretching a wave.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return items[a].duration > items[b].duration;
+                   });
+
+  drain_schedule out;
+  for (const std::size_t idx : order) {
+    const drain_item& item = items[idx];
+    drain_wave* target = nullptr;
+    for (drain_wave& wave : out.waves) {
+      if (wave.drained_share + item.capacity_share <= budget + 1e-12 &&
+          wave.technicians_used + item.technicians_needed <=
+              p.technicians_available) {
+        target = &wave;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      out.waves.emplace_back();
+      target = &out.waves.back();
+    }
+    target->items.push_back(idx);
+    target->drained_share += item.capacity_share;
+    target->technicians_used += item.technicians_needed;
+    target->duration = std::max(target->duration, item.duration);
+  }
+
+  for (const drain_wave& wave : out.waves) {
+    out.makespan += wave.duration;
+    out.peak_drained_share =
+        std::max(out.peak_drained_share, wave.drained_share);
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,55 @@
+// Drain-window scheduling (§4.3).
+//
+// "An SDN control plane can do more than update flow tables; it can also
+// coordinate between demand forecasts, availability requirements, manual
+// operations segmented into low-impact chunks, the necessary drains /
+// undrains, and automated testing." Given a set of maintenance items —
+// each draining some fraction of fabric capacity for some duration — and
+// an availability floor, the scheduler packs items into concurrent waves
+// so the floor is never violated, technicians are never oversubscribed,
+// and calendar time is minimized (greedy longest-first packing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace pn {
+
+struct drain_item {
+  std::string name;
+  // Fraction of fabric capacity unavailable while this item is open.
+  double capacity_share = 0.0;
+  hours duration{1.0};
+  int technicians_needed = 1;
+};
+
+struct drain_schedule_params {
+  // The availability floor: total concurrently drained share must stay
+  // at or below 1 - floor.
+  double capacity_floor = 0.75;
+  int technicians_available = 4;
+};
+
+struct drain_wave {
+  std::vector<std::size_t> items;  // indices into the input
+  hours duration{0.0};             // longest item in the wave
+  double drained_share = 0.0;
+  int technicians_used = 0;
+};
+
+struct drain_schedule {
+  std::vector<drain_wave> waves;
+  hours makespan{0.0};
+  // The worst concurrent drained share across waves (<= 1 - floor).
+  double peak_drained_share = 0.0;
+};
+
+// Fails with infeasible if any single item alone violates the floor or
+// needs more technicians than exist.
+[[nodiscard]] result<drain_schedule> schedule_drains(
+    const std::vector<drain_item>& items, const drain_schedule_params& p);
+
+}  // namespace pn

@@ -1,0 +1,126 @@
+#include "deploy/expansion.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pn {
+
+const char* spine_wiring_name(spine_wiring w) {
+  switch (w) {
+    case spine_wiring::direct:
+      return "direct";
+    case spine_wiring::patch_panel:
+      return "patch_panel";
+    case spine_wiring::ocs:
+      return "ocs";
+  }
+  return "unknown";
+}
+
+std::vector<int> stripe_ports(int total_ports, int pods) {
+  PN_CHECK(total_ports >= 0 && pods > 0);
+  std::vector<int> out(static_cast<std::size_t>(pods), total_ports / pods);
+  const int rem = total_ports % pods;
+  for (int i = 0; i < rem; ++i) {
+    ++out[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+expansion_plan plan_clos_expansion(const clos_expansion_params& p) {
+  PN_CHECK(p.spine_groups > 0 && p.spines_per_group > 0);
+  PN_CHECK(p.ports_per_spine > 0);
+  PN_CHECK(p.from_pods > 0 && p.to_pods > p.from_pods);
+  PN_CHECK(p.panel_ports > 0);
+
+  expansion_plan out;
+
+  const int group_ports = p.spines_per_group * p.ports_per_spine;
+  PN_CHECK_MSG(p.to_pods <= group_ports,
+               "more pods than spine ports per group");
+
+  const std::vector<int> before = stripe_ports(group_ports, p.from_pods);
+  const std::vector<int> after = stripe_ports(group_ports, p.to_pods);
+
+  int rewired_per_group = 0;
+  int added_per_group = 0;
+  for (int pod = 0; pod < p.to_pods; ++pod) {
+    const int b = pod < p.from_pods ? before[static_cast<std::size_t>(pod)]
+                                    : 0;
+    const int a = after[static_cast<std::size_t>(pod)];
+    if (pod < p.from_pods) {
+      // Existing pod: links above the new share move away.
+      rewired_per_group += std::max(0, b - a);
+    } else {
+      added_per_group += a;
+    }
+  }
+
+  out.links_rewired = rewired_per_group * p.spine_groups;
+  out.links_added = added_per_group * p.spine_groups;
+  // Every moved link re-attaches at a new pod, so moves cover part of the
+  // new pods' needs; the remaining additions are brand-new capacity links.
+  // (links_added already counts all new-pod links; rewired links satisfy
+  // links_rewired of them, pulled cables cover the rest.)
+  const int new_cables_needed =
+      std::max(0, out.links_added - out.links_rewired);
+
+  double minutes = 0.0;
+  switch (p.wiring) {
+    case spine_wiring::direct: {
+      // A rewired link's cable physically runs pod<->spine: the old cable
+      // cannot be reused for a different pod without re-pulling.
+      out.floor_cable_pulls = out.links_added;
+      if (p.leave_dead_cables) {
+        out.dead_cables_left = out.links_rewired;
+      } else {
+        out.floor_cable_removals = out.links_rewired;
+      }
+      // Each spine switch whose striping changes needs one drain window.
+      out.drain_windows = p.spine_groups * p.spines_per_group;
+      minutes += out.floor_cable_pulls * p.floor_pull_minutes;
+      minutes += out.floor_cable_removals * p.floor_remove_minutes;
+      break;
+    }
+    case spine_wiring::patch_panel: {
+      // Pod->panel cables for new pods are new pulls; all striping changes
+      // are jumper moves at the panels.
+      out.floor_cable_pulls = new_cables_needed;
+      out.jumper_moves = out.links_rewired + out.links_added;
+      const int panels_per_group =
+          (2 * group_ports + p.panel_ports - 1) / p.panel_ports;
+      const int total_panels = panels_per_group * p.spine_groups;
+      // Jumper moves spread across the group's panels; every panel with at
+      // least one move is "touched" (§5.4's locality metric).
+      const int moves_per_group = out.jumper_moves / p.spine_groups;
+      const int touched_per_group = std::min(panels_per_group,
+                                             moves_per_group);
+      out.panels_touched =
+          std::min(touched_per_group * p.spine_groups, total_panels);
+      out.rewired_links_per_panel =
+          out.panels_touched > 0
+              ? static_cast<double>(out.jumper_moves) /
+                    static_cast<double>(out.panels_touched)
+              : 0.0;
+      // Drains are per panel being re-jumpered.
+      out.drain_windows = out.panels_touched;
+      minutes += out.floor_cable_pulls * p.floor_pull_minutes;
+      minutes += out.jumper_moves * p.jumper_move_minutes;
+      break;
+    }
+    case spine_wiring::ocs: {
+      out.floor_cable_pulls = new_cables_needed;
+      out.ocs_reconfigs = out.links_rewired + out.links_added;
+      out.drain_windows = 1;  // one software-coordinated drain sweep
+      minutes += out.floor_cable_pulls * p.floor_pull_minutes;
+      minutes += out.ocs_reconfigs * p.ocs_reconfig_minutes;
+      break;
+    }
+  }
+  minutes += out.drain_windows * p.drain_window_minutes;
+  out.labor = hours_from_minutes(minutes);
+  return out;
+}
+
+}  // namespace pn

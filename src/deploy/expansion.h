@@ -1,0 +1,78 @@
+// Incremental-expansion planners and the §5.4 lifecycle metrics.
+//
+// §4.1 / Zhao et al.: a patch-panel layer between aggregation and spine
+// turns expansion from floor-wide cable pulls into localized jumper moves;
+// an OCS layer turns it into software. This module computes, for a Clos
+// expansion from P to P' pods, exactly how many links must move and what
+// that costs under each wiring style — plus the §5.4 metrics: re-wiring
+// steps, re-wired links per panel, panels touched, and drain windows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pn {
+
+enum class spine_wiring {
+  direct,       // agg cables run straight to spine switches
+  patch_panel,  // both sides terminate on panels; links are jumpers
+  ocs,          // links are OCS cross-connects (software)
+};
+
+[[nodiscard]] const char* spine_wiring_name(spine_wiring w);
+
+struct clos_expansion_params {
+  int spine_groups = 4;
+  int spines_per_group = 4;
+  // Pod-facing ports per spine switch (sized for the max build-out).
+  int ports_per_spine = 32;
+  int from_pods = 4;
+  int to_pods = 8;
+  spine_wiring wiring = spine_wiring::direct;
+  // Patch-panel sizing (ports per panel; panels are per spine group).
+  int panel_ports = 64;
+
+  // Labor model (minutes).
+  double floor_pull_minutes = 30.0;     // pull one new long cable
+  double floor_remove_minutes = 15.0;   // extract one old cable (§2.1:
+                                        // risky; often skipped — see
+                                        // leave_dead_cables)
+  double jumper_move_minutes = 2.0;     // re-patch at a panel
+  double ocs_reconfig_minutes = 0.0;    // software
+  double drain_window_minutes = 20.0;   // per drain/undrain cycle
+  // §2.1: "when we must add cables ... we seldom remove old ones."
+  bool leave_dead_cables = true;
+};
+
+struct expansion_plan {
+  // §5.4 metrics.
+  int links_added = 0;        // brand-new pod->fabric links
+  int links_rewired = 0;      // existing links whose far end moves
+  int floor_cable_pulls = 0;  // new cables pulled across the floor
+  int floor_cable_removals = 0;
+  int jumper_moves = 0;
+  int ocs_reconfigs = 0;
+  int panels_touched = 0;
+  double rewired_links_per_panel = 0.0;
+  int drain_windows = 0;      // distinct drain/undrain cycles
+  hours labor{0.0};
+  // Dead cable cross-section left in trays (future §2.1 headroom cost).
+  int dead_cables_left = 0;
+};
+
+// Fails only via PN_CHECK on invalid parameters (to_pods > max the spine
+// ports can serve, etc.). Striping distributes each spine group's ports
+// over pods as evenly as integers allow; the rewired count is the minimal
+// number of links whose pod-side endpoint must change (Zhao et al.'s
+// "minimal rewiring" objective for one group, summed over groups).
+[[nodiscard]] expansion_plan plan_clos_expansion(
+    const clos_expansion_params& p);
+
+// The per-pod allocation of one spine group's `total_ports` among `pods`
+// (largest-remainder striping). Exposed for tests and for the benches'
+// tables.
+[[nodiscard]] std::vector<int> stripe_ports(int total_ports, int pods);
+
+}  // namespace pn

@@ -1,0 +1,102 @@
+#include "deploy/expansion_executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+work_order build_expansion_order(const expansion_plan& plan,
+                                 const clos_expansion_params& params,
+                                 const floorplan& fp,
+                                 const expansion_execution_options& opt) {
+  PN_CHECK(plan.drain_windows >= 1);
+  work_order wo;
+
+  // Distribute the physical work items evenly over the drain windows.
+  const int windows = plan.drain_windows;
+  auto share = [&](int total, int window) {
+    return total / windows + (window < total % windows ? 1 : 0);
+  };
+
+  // Coarse locations: spine/panel work near the floor origin row, new-pod
+  // pulls spread along the last row.
+  const point spine_loc = fp.rack_at(rack_id{0}).position;
+  const point pod_loc =
+      fp.rack_at(rack_id{fp.rack_count() - 1}).position;
+
+  task_id previous_undrain{};
+  bool have_previous = false;
+  for (int w = 0; w < windows; ++w) {
+    work_task drain;
+    drain.kind = task_kind::drain;
+    drain.subject = str_format("window%d", w);
+    drain.location = spine_loc;
+    drain.base_minutes = params.drain_window_minutes / 2.0;
+    if (have_previous) drain.depends_on = {previous_undrain};
+    const task_id drain_id = wo.add_task(std::move(drain));
+
+    std::vector<task_id> work_ids;
+    auto add_work = [&](task_kind kind, int count, double minutes,
+                        double error_p, point loc) {
+      for (int i = 0; i < count; ++i) {
+        work_task t;
+        t.kind = kind;
+        // The window's automated test covers every item in the window,
+        // so work items share the window subject (coarse defect model).
+        t.subject = str_format("window%d", w);
+        t.location = loc;
+        t.base_minutes = minutes;
+        t.error_probability = error_p;
+        t.rework_minutes = opt.rework_minutes;
+        t.depends_on = {drain_id};
+        work_ids.push_back(wo.add_task(std::move(t)));
+      }
+    };
+    add_work(task_kind::pull_cable, share(plan.floor_cable_pulls, w),
+             params.floor_pull_minutes, opt.pull_error_probability,
+             pod_loc);
+    add_work(task_kind::remove_cable, share(plan.floor_cable_removals, w),
+             params.floor_remove_minutes, opt.pull_error_probability,
+             spine_loc);
+    add_work(task_kind::move_fiber, share(plan.jumper_moves, w),
+             params.jumper_move_minutes, opt.jumper_error_probability,
+             spine_loc);
+    // OCS reconfigs are software: fold each window's batch into one
+    // zero-error drain-scoped task.
+    if (share(plan.ocs_reconfigs, w) > 0) {
+      work_task t;
+      t.kind = task_kind::drain;  // software step, no floor presence
+      t.subject = str_format("ocs_retune_w%d", w);
+      t.location = spine_loc;
+      t.base_minutes = params.ocs_reconfig_minutes *
+                       share(plan.ocs_reconfigs, w);
+      t.depends_on = {drain_id};
+      work_ids.push_back(wo.add_task(std::move(t)));
+    }
+
+    // Per-window automated test covering this window's work.
+    work_task test;
+    test.kind = task_kind::test_link;
+    test.subject = str_format("window%d", w);
+    test.location = spine_loc;
+    test.base_minutes = opt.test_minutes;
+    test.rework_minutes = opt.rework_minutes;
+    test.depends_on = work_ids.empty() ? std::vector<task_id>{drain_id}
+                                       : std::move(work_ids);
+    const task_id test_id = wo.add_task(std::move(test));
+
+    work_task undrain;
+    undrain.kind = task_kind::undrain;
+    undrain.subject = str_format("window%d", w);
+    undrain.location = spine_loc;
+    undrain.base_minutes = params.drain_window_minutes / 2.0;
+    undrain.depends_on = {test_id};
+    previous_undrain = wo.add_task(std::move(undrain));
+    have_previous = true;
+  }
+  return wo;
+}
+
+}  // namespace pn

@@ -1,0 +1,33 @@
+// Turns an expansion plan into an executable work order (§2's pipeline:
+// plan -> instruct humans -> validate). The planner (expansion.h) counts
+// what must move; this executor lays those moves out as located, timed,
+// dependency-ordered tasks so the technician simulator can answer the
+// §2-internal questions — time-to-deploy and first-pass yield — for an
+// *expansion*, not just a greenfield build.
+#pragma once
+
+#include "deploy/expansion.h"
+#include "deploy/workorder.h"
+#include "physical/floorplan.h"
+
+namespace pn {
+
+struct expansion_execution_options {
+  // Where the work happens: spine rows sit at the floor's far end; new
+  // pods land at increasing rack positions. Only coarse locations are
+  // needed — they drive technician walking, not correctness.
+  double pull_error_probability = 0.01;
+  double jumper_error_probability = 0.003;  // panel work is tidier
+  double rework_minutes = 25.0;
+  double test_minutes = 0.3;
+};
+
+// Builds the work order for one planned expansion on the given floor.
+// Task structure per drain window: drain -> (pulls | jumper moves |
+// software reconfigs in that window) -> test -> undrain; windows are
+// serialized (the §4.3 discipline: one low-impact chunk at a time).
+[[nodiscard]] work_order build_expansion_order(
+    const expansion_plan& plan, const clos_expansion_params& params,
+    const floorplan& fp, const expansion_execution_options& opt = {});
+
+}  // namespace pn

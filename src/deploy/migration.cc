@@ -1,0 +1,106 @@
+#include "deploy/migration.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pn {
+
+migration_report plan_jupiter_migration(const jupiter_fabric& from,
+                                        const migration_params& p,
+                                        int extra_uplinks_per_block) {
+  PN_CHECK_MSG(from.params.mode == jupiter_mode::fat_tree,
+               "migration source must be a fat-tree Jupiter");
+  PN_CHECK(p.technicians_per_rack > 0);
+  PN_CHECK(p.concurrent_drains > 0);
+  PN_CHECK(extra_uplinks_per_block >= 0);
+
+  rng r(p.seed);
+  migration_report out;
+  const auto fibers = ocs_fiber_counts(from);
+  out.ocs_racks = static_cast<int>(fibers.size());
+
+  std::size_t total_fibers = 0;
+  std::size_t max_fibers = 0;
+  for (std::size_t f : fibers) {
+    total_fibers += f;
+    max_fibers = std::max(max_fibers, f);
+  }
+  PN_CHECK_MSG(total_fibers > 0, "fabric has no OCS fibers");
+
+  // New agg-side fibers, striped over OCSes like the originals.
+  const int new_fibers_total =
+      extra_uplinks_per_block * from.params.agg_blocks;
+  const int new_per_ocs = new_fibers_total / out.ocs_racks;
+
+  double total_labor_minutes = 0.0;
+  std::vector<double> rack_elapsed;
+  rack_elapsed.reserve(fibers.size());
+
+  for (std::size_t k = 0; k < fibers.size(); ++k) {
+    // Each fat-tree link through this OCS has one spine-side fiber to
+    // disconnect; its agg-side fiber stays and is re-mapped in software.
+    const int disconnects = static_cast<int>(fibers[k]);
+    const int connects = new_per_ocs;
+    out.fiber_disconnects += disconnects;
+    out.fiber_connects += connects;
+
+    int rework_ops = 0;
+    for (int i = 0; i < disconnects + connects; ++i) {
+      if (r.next_bool(p.miswire_probability)) {
+        ++out.miswires_caught;
+        ++rework_ops;
+      }
+    }
+
+    const double hands_on =
+        (disconnects + connects) * p.minutes_per_fiber_op +
+        rework_ops * p.rework_minutes;
+    const double rack_labor = hands_on + p.validate_minutes;
+    total_labor_minutes += rack_labor;
+
+    // Elapsed per rack: drain + parallelized hands-on + validate + undrain.
+    rack_elapsed.push_back(p.drain_minutes +
+                           hands_on /
+                               static_cast<double>(p.technicians_per_rack) +
+                           p.validate_minutes + p.undrain_minutes);
+  }
+
+  out.labor = hours_from_minutes(total_labor_minutes);
+  out.labor_per_rack =
+      hours_from_minutes(total_labor_minutes /
+                         static_cast<double>(out.ocs_racks));
+
+  // Calendar time: racks processed in waves of `concurrent_drains`.
+  double elapsed_minutes = 0.0;
+  for (std::size_t i = 0; i < rack_elapsed.size();
+       i += static_cast<std::size_t>(p.concurrent_drains)) {
+    double wave = 0.0;
+    for (std::size_t j = i;
+         j < std::min(rack_elapsed.size(),
+                      i + static_cast<std::size_t>(p.concurrent_drains));
+         ++j) {
+      wave = std::max(wave, rack_elapsed[j]);
+    }
+    elapsed_minutes += wave;
+  }
+  out.elapsed = hours_from_minutes(elapsed_minutes);
+
+  // Residual capacity: with c concurrent drains, worst case is the c
+  // largest OCS shares out simultaneously.
+  std::vector<std::size_t> sorted = fibers;
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::size_t worst_out = 0;
+  for (int i = 0; i < p.concurrent_drains &&
+                  i < static_cast<int>(sorted.size());
+       ++i) {
+    worst_out += sorted[static_cast<std::size_t>(i)];
+  }
+  out.min_residual_capacity =
+      1.0 - static_cast<double>(worst_out) /
+                static_cast<double>(total_fibers);
+  return out;
+}
+
+}  // namespace pn

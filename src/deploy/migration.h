@@ -1,0 +1,59 @@
+// Live-migration planner for the §4.3 case study: converting a Jupiter
+// fabric from fat-tree (aggregation blocks -> spine blocks via OCS) to
+// direct-connect (aggregation blocks -> aggregation blocks via OCS).
+//
+// The physical procedure the paper describes: drain one OCS rack, have
+// technicians move its fibers ("the complex task of moving a lot of
+// fibers without breaking or mis-connecting any of them" — multiple hours
+// of human labor per rack), run automated wiring tests, un-drain, repeat.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/generators/jupiter.h"
+
+namespace pn {
+
+struct migration_params {
+  // Minutes per fiber disconnect or connect at the OCS shelf.
+  double minutes_per_fiber_op = 3.0;
+  double drain_minutes = 20.0;     // software drain of one OCS
+  double undrain_minutes = 10.0;
+  double validate_minutes = 25.0;  // automated wiring test per OCS
+  int technicians_per_rack = 2;
+  // How many OCS racks may be drained concurrently. 1 preserves the most
+  // capacity; higher trades availability for calendar time.
+  int concurrent_drains = 1;
+  // Probability a fiber ends up in the wrong port; the automated test
+  // catches it and the fix costs rework_minutes.
+  double miswire_probability = 0.01;
+  double rework_minutes = 15.0;
+  std::uint64_t seed = 1;
+};
+
+struct migration_report {
+  int ocs_racks = 0;
+  int fiber_disconnects = 0;   // spine-side fibers removed
+  int fiber_connects = 0;      // new agg-side fibers landed
+  int miswires_caught = 0;
+  hours labor{0.0};            // total technician hours
+  hours labor_per_rack{0.0};   // mean per OCS rack (the §4.3 anecdote)
+  hours elapsed{0.0};          // calendar time with concurrency
+  // Worst-case fraction of inter-block capacity still up during the
+  // migration (1 - largest drained OCS share).
+  double min_residual_capacity = 1.0;
+};
+
+// Plans the conversion of `from` (must be fat_tree mode). The direct
+// fabric it converts to reuses the same aggregation uplinks, so each OCS
+// keeps its agg-side fibers and sheds its spine-side fibers; any capacity
+// previously consumed by the spine hop is recovered as direct links via
+// internal OCS cross-connects (software). Fiber connects arise only when
+// `extra_uplinks_per_block` adds net-new capacity.
+[[nodiscard]] migration_report plan_jupiter_migration(
+    const jupiter_fabric& from, const migration_params& p,
+    int extra_uplinks_per_block = 0);
+
+}  // namespace pn

@@ -1,0 +1,159 @@
+#include "deploy/plan_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+work_order build_deployment_order(const network_graph& g, const placement& pl,
+                                  const floorplan& fp,
+                                  const cabling_plan& plan,
+                                  const deployment_plan_options& opt) {
+  PN_CHECK_MSG(pl.complete(), "deployment needs a complete placement");
+  const deployment_task_times& tt = opt.times;
+  work_order wo;
+
+  // Racks actually in use.
+  std::set<rack_id> used_racks;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    used_racks.insert(pl.rack_of(node_id{i}));
+  }
+
+  std::map<rack_id, task_id> rack_ready;
+  for (rack_id r : used_racks) {
+    work_task t;
+    t.kind = task_kind::position_rack;
+    t.subject = fp.rack_at(r).name;
+    t.location = fp.rack_at(r).position;
+    t.base_minutes = tt.position_rack + tt.per_task_overhead;
+    rack_ready[r] = wo.add_task(std::move(t));
+  }
+
+  std::vector<task_id> switch_ready(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_id n{i};
+    const rack_id r = pl.rack_of(n);
+    work_task t;
+    t.kind = task_kind::mount_switch;
+    t.subject = g.node(n).name;
+    t.location = fp.rack_at(r).position;
+    t.base_minutes = tt.mount_switch + tt.per_task_overhead;
+    t.depends_on = {rack_ready.at(r)};
+    switch_ready[i] = wo.add_task(std::move(t));
+  }
+
+  // Decide which rack pairs ship as pre-built bundles.
+  std::map<std::pair<rack_id, rack_id>, std::size_t> pair_counts;
+  if (opt.use_bundles) {
+    for (const cable_run& run : plan.runs) {
+      if (run.rack_a != run.rack_b) {
+        ++pair_counts[std::minmax(run.rack_a, run.rack_b)];
+      }
+    }
+  }
+  std::map<std::pair<rack_id, rack_id>, task_id> bundle_tasks;
+
+  for (const cable_run& run : plan.runs) {
+    const edge_info& einfo = g.edge(run.edge);
+    const std::string cable_name = str_format("cable%u", run.edge.value());
+    const bool intra = run.rack_a == run.rack_b;
+    const point loc_a = fp.rack_at(run.rack_a).position;
+    const point loc_b = fp.rack_at(run.rack_b).position;
+
+    task_id pulled;  // task after which the cable is physically in place
+    bool have_pull = false;
+
+    if (intra) {
+      if (!opt.prewired_intra_rack) {
+        work_task t;
+        t.kind = task_kind::pull_cable;
+        t.subject = cable_name;
+        t.location = loc_a;
+        t.base_minutes = tt.pull_cable_fixed +
+                         tt.pull_cable_per_meter * run.length.value() +
+                         tt.per_task_overhead;
+        t.error_probability = tt.pull_damage_probability;
+        t.rework_minutes = tt.rework_minutes;
+        t.depends_on = {rack_ready.at(run.rack_a)};
+        pulled = wo.add_task(std::move(t));
+        have_pull = true;
+      }
+    } else {
+      const auto key = std::minmax(run.rack_a, run.rack_b);
+      const bool bundled =
+          opt.use_bundles &&
+          pair_counts[key] >= opt.bundling.min_bundle_size;
+      if (bundled) {
+        auto it = bundle_tasks.find(key);
+        if (it == bundle_tasks.end()) {
+          work_task t;
+          t.kind = task_kind::pull_bundle;
+          t.subject = str_format("bundle %s-%s",
+                                 fp.rack_at(key.first).name.c_str(),
+                                 fp.rack_at(key.second).name.c_str());
+          t.location = loc_a;
+          t.base_minutes = tt.pull_bundle_fixed +
+                           tt.pull_bundle_per_meter * run.length.value() +
+                           tt.per_task_overhead;
+          t.error_probability = tt.pull_damage_probability;
+          t.rework_minutes = tt.rework_minutes;
+          t.depends_on = {rack_ready.at(run.rack_a),
+                          rack_ready.at(run.rack_b)};
+          it = bundle_tasks.emplace(key, wo.add_task(std::move(t))).first;
+        }
+        pulled = it->second;
+        have_pull = true;
+      } else {
+        work_task t;
+        t.kind = task_kind::pull_cable;
+        t.subject = cable_name;
+        t.location = loc_a;
+        t.base_minutes = tt.pull_cable_fixed +
+                         tt.pull_cable_per_meter * run.length.value() +
+                         tt.per_task_overhead;
+        t.error_probability = tt.pull_damage_probability;
+        t.rework_minutes = tt.rework_minutes;
+        t.depends_on = {rack_ready.at(run.rack_a), rack_ready.at(run.rack_b)};
+        pulled = wo.add_task(std::move(t));
+        have_pull = true;
+      }
+    }
+
+    std::vector<task_id> test_deps;
+    if (!(intra && opt.prewired_intra_rack)) {
+      // Connect both ends; each needs the cable in place plus its switch.
+      for (int end = 0; end < 2; ++end) {
+        const node_id sw = end == 0 ? einfo.a : einfo.b;
+        work_task t;
+        t.kind = task_kind::connect_port;
+        t.subject = cable_name;
+        t.location = end == 0 ? loc_a : loc_b;
+        t.base_minutes = tt.connect_port + tt.per_task_overhead;
+        t.error_probability = tt.connect_error_probability;
+        t.rework_minutes = tt.rework_minutes;
+        t.depends_on = {switch_ready[sw.index()]};
+        if (have_pull) t.depends_on.push_back(pulled);
+        test_deps.push_back(wo.add_task(std::move(t)));
+      }
+    } else {
+      test_deps = {switch_ready[einfo.a.index()],
+                   switch_ready[einfo.b.index()]};
+    }
+
+    work_task t;
+    t.kind = task_kind::test_link;
+    t.subject = cable_name;
+    t.location = loc_b;
+    t.base_minutes = tt.test_link;
+    t.depends_on = std::move(test_deps);
+    wo.add_task(std::move(t));
+  }
+
+  return wo;
+}
+
+}  // namespace pn

@@ -1,0 +1,56 @@
+// Builds deployment work orders from a cabling plan.
+//
+// Encodes the process shape of §2.3/§3.1: racks are positioned, switches
+// mounted, inter-rack cables pulled (loose, or as pre-built bundles per
+// Singh et al.), connectors seated, and every link validated by automated
+// test. Task times are explicit parameters so E1 can sweep the "extra 5
+// minutes per thing" overhead.
+#pragma once
+
+#include "deploy/workorder.h"
+#include "physical/bundling.h"
+#include "physical/cabling.h"
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct deployment_task_times {
+  // Hands-on minutes.
+  double position_rack = 30.0;
+  double mount_switch = 12.0;
+  double pull_bundle_fixed = 18.0;       // land one pre-built bundle
+  double pull_bundle_per_meter = 0.15;
+  double pull_cable_fixed = 5.0;         // pull one loose cable
+  double pull_cable_per_meter = 0.30;
+  double connect_port = 1.2;             // seat + dress one connector
+  double test_link = 0.3;                // operator share of automated test
+  // §2.3: "An extra 5 minutes per thing adds up quickly" — applied to
+  // every physical task when > 0 (bad tooling, unclear instructions).
+  double per_task_overhead = 0.0;
+
+  // Defect injection.
+  double connect_error_probability = 0.01;   // miswire / bad seat
+  double pull_damage_probability = 0.002;    // cable damaged during pull
+  double rework_minutes = 25.0;              // diagnose + redo when caught
+};
+
+struct deployment_plan_options {
+  deployment_task_times times;
+  // Use pre-built bundles for rack pairs with >= bundling.min_bundle_size
+  // cables; otherwise every inter-rack cable is pulled individually.
+  bool use_bundles = true;
+  bundling_params bundling;
+  // §3.1: intra-rack cables are often pre-installed before delivery; when
+  // true they need no pull/connect on the floor, only the link test.
+  bool prewired_intra_rack = false;
+};
+
+// The full greenfield deployment: position every used rack, mount every
+// switch, pull/connect/test every cable run.
+[[nodiscard]] work_order build_deployment_order(
+    const network_graph& g, const placement& pl, const floorplan& fp,
+    const cabling_plan& plan, const deployment_plan_options& opt);
+
+}  // namespace pn

@@ -1,0 +1,224 @@
+#include "deploy/repair_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pn {
+
+const char* repair_unit_name(repair_unit u) {
+  switch (u) {
+    case repair_unit::port:
+      return "port";
+    case repair_unit::line_card:
+      return "line_card";
+    case repair_unit::chassis:
+      return "chassis";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Poisson arrivals over the horizon for one component.
+template <typename OnFailure>
+void draw_failures(rng& r, double fit, hours horizon, OnFailure&& on_failure) {
+  if (fit <= 0.0) return;
+  const double rate_per_hour = fit * 1e-9;
+  double t = r.next_exponential(1.0 / rate_per_hour);
+  while (t < horizon.value()) {
+    on_failure(t);
+    t += r.next_exponential(1.0 / rate_per_hour);
+  }
+}
+
+struct repair_event {
+  double time_h = 0.0;       // failure instant
+  double replace_minutes = 0.0;
+  double stock_hours = 0.0;  // supply-chain delay (drawn at failure time)
+  point where;
+  double drained_gbps = 0.0;
+  double failed_gbps = 0.0;
+};
+
+}  // namespace
+
+repair_sim_result simulate_repairs(const network_graph& g,
+                                   const placement& pl, const floorplan& fp,
+                                   const cabling_plan& plan,
+                                   const catalog& cat,
+                                   const repair_params& p) {
+  PN_CHECK(p.horizon.value() > 0.0);
+  PN_CHECK(p.repair_technicians >= 0);
+  rng r(p.seed);
+  repair_sim_result out;
+
+  // Incident link capacity per node (what a chassis drain takes out).
+  std::vector<double> incident_gbps(g.node_count(), 0.0);
+  double total_gbps = 0.0;
+  for (edge_id e : g.live_edges()) {
+    const edge_info& info = g.edge(e);
+    incident_gbps[info.a.index()] += info.capacity.value();
+    incident_gbps[info.b.index()] += info.capacity.value();
+    total_gbps += info.capacity.value();
+  }
+  PN_CHECK_MSG(total_gbps > 0.0, "graph has no link capacity");
+
+  std::vector<repair_event> events;
+  auto enqueue = [&](double t, double replace_minutes, point where,
+                     double drained, double failed) {
+    repair_event ev;
+    ev.time_h = t;
+    ev.replace_minutes = replace_minutes;
+    if (!p.fungible_parts && r.next_bool(p.stockout_probability)) {
+      ev.stock_hours = p.stockout_delay.value();
+    }
+    ev.where = where;
+    ev.drained_gbps = drained;
+    ev.failed_gbps = failed;
+    events.push_back(ev);
+  };
+
+  const double switch_fit = cat.switches().fit;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_id n{i};
+    const node_info& info = g.node(n);
+    const point where = fp.rack_at(pl.rack_of(n)).position;
+
+    // Whole-switch failures: everything incident drains regardless of the
+    // repair unit.
+    draw_failures(r, switch_fit, p.horizon, [&](double t) {
+      ++out.switch_failures;
+      enqueue(t, p.replace_switch_minutes, where, incident_gbps[i],
+              incident_gbps[i]);
+    });
+
+    // Per-port failures: the repair unit decides the drain domain.
+    const double all_ports_fit =
+        p.port_fit * static_cast<double>(info.radix);
+    draw_failures(r, all_ports_fit, p.horizon, [&](double t) {
+      ++out.port_failures;
+      const double per_port_gbps =
+          static_cast<double>(g.degree(n)) > 0
+              ? incident_gbps[i] / static_cast<double>(g.degree(n))
+              : 0.0;
+      double drained = per_port_gbps;
+      double replace = p.replace_port_minutes;
+      switch (p.unit) {
+        case repair_unit::port:
+          break;
+        case repair_unit::line_card:
+          drained = std::min(incident_gbps[i],
+                             per_port_gbps *
+                                 static_cast<double>(p.ports_per_line_card));
+          replace = p.replace_line_card_minutes;
+          break;
+        case repair_unit::chassis:
+          drained = incident_gbps[i];
+          replace = p.replace_switch_minutes;
+          break;
+      }
+      enqueue(t, replace, where, drained, per_port_gbps);
+    });
+  }
+
+  // Cable failures (cable FIT + 2x transceiver FIT where applicable).
+  for (const cable_run& run : plan.runs) {
+    const edge_info& info = g.edge(run.edge);
+    double fit = run.choice.cable->fit;
+    if (run.choice.transceiver != nullptr) {
+      fit += 2.0 * run.choice.transceiver->fit;
+    }
+    const point where = fp.rack_at(run.rack_a).position;
+    draw_failures(r, fit, p.horizon, [&](double t) {
+      ++out.cable_failures;
+      enqueue(t, p.replace_cable_minutes, where, info.capacity.value(),
+              info.capacity.value());
+    });
+  }
+
+  // Power-feed failures: the whole busway segment's switches drain.
+  if (p.feed_fit > 0.0) {
+    for (int feed = 0; feed < fp.feed_count(); ++feed) {
+      double feed_gbps = 0.0;
+      point where{0.0, 0.0};
+      bool any = false;
+      std::vector<bool> on_feed(g.node_count(), false);
+      for (rack_id rk : fp.racks_on_feed(feed)) {
+        for (node_id n : pl.nodes_in(rk)) {
+          on_feed[n.index()] = true;
+        }
+        where = fp.rack_at(rk).position;
+      }
+      for (edge_id e : g.live_edges()) {
+        const edge_info& info = g.edge(e);
+        if (on_feed[info.a.index()] || on_feed[info.b.index()]) {
+          feed_gbps += info.capacity.value();
+          any = true;
+        }
+      }
+      if (!any) continue;
+      draw_failures(r, p.feed_fit, p.horizon, [&](double t) {
+        ++out.feed_failures;
+        enqueue(t, p.replace_feed_minutes, where, feed_gbps, 0.0);
+      });
+    }
+  }
+
+  // Work the failures in arrival order, optionally through a finite
+  // repair crew: a busy crew means failures wait, and waiting is
+  // capacity-down time.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const repair_event& a, const repair_event& b) {
+                     return a.time_h < b.time_h;
+                   });
+  // Min-heap of technician next-free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> crew;
+  for (int i = 0; i < p.repair_technicians; ++i) {
+    crew.push(0.0);
+  }
+
+  sample_stats mttr_samples;
+  for (const repair_event& ev : events) {
+    const double walk =
+        2.0 * manhattan_distance(point{0.0, 0.0}, ev.where).value() /
+        p.walk_speed_m_per_min;
+    const double hands_on_h =
+        (p.dispatch_minutes + walk + ev.replace_minutes +
+         p.validate_minutes) /
+        60.0;
+    const double ready_at = ev.time_h + p.detection_minutes / 60.0;
+
+    double waiting = 0.0;
+    if (p.repair_technicians > 0) {
+      const double free_at = crew.top();
+      crew.pop();
+      const double start = std::max(ready_at, free_at);
+      waiting = start - ready_at;
+      crew.push(start + hands_on_h);
+    }
+
+    const double mttr = p.detection_minutes / 60.0 + waiting +
+                        ev.stock_hours + hands_on_h;
+    mttr_samples.add(mttr);
+    out.lost_gbps_hours += ev.drained_gbps * mttr;
+    out.collateral_gbps_hours +=
+        std::max(0.0, ev.drained_gbps - ev.failed_gbps) * mttr;
+    out.technician_hours += hours{hands_on_h};
+    out.queueing_hours += hours{waiting};
+  }
+
+  if (!mttr_samples.empty()) {
+    out.mean_mttr = hours{mttr_samples.mean()};
+    out.p95_mttr = hours{mttr_samples.percentile(0.95)};
+  }
+  out.availability =
+      1.0 - out.lost_gbps_hours / (total_gbps * p.horizon.value());
+  return out;
+}
+
+}  // namespace pn

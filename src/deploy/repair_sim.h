@@ -1,0 +1,98 @@
+// Failure / repair process simulator.
+//
+// §3.3: "network availability depends on mean time to repair (MTTR), an
+// inherently physical problem," and the size of the physical unit of
+// repair decides how much capacity one repair drains (a whole high-radix
+// switch for one bad port). §2.2/§3.3: parts fungibility converts vendor
+// stockouts from long outages into non-events. This simulator draws
+// component failures from FIT rates, walks a technician to the failure,
+// models spares availability, and accounts capacity-weighted downtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "physical/cabling.h"
+#include "physical/catalog.h"
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// What must be drained to repair one failed port.
+enum class repair_unit {
+  port,       // ideal: only the failed link drains
+  line_card,  // the card's port group drains (correlated downtime, §2.1)
+  chassis,    // the whole switch drains
+};
+
+[[nodiscard]] const char* repair_unit_name(repair_unit u);
+
+struct repair_params {
+  hours horizon{3.0 * 365.0 * 24.0};
+  repair_unit unit = repair_unit::line_card;
+  int ports_per_line_card = 8;
+
+  // MTTR components (minutes).
+  double detection_minutes = 5.0;        // automation localizes the fault
+  double dispatch_minutes = 20.0;        // get a tech to the floor
+  double replace_switch_minutes = 45.0;
+  double replace_line_card_minutes = 25.0;
+  double replace_port_minutes = 12.0;    // reseat/replace one pluggable
+  double replace_cable_minutes = 35.0;
+  double validate_minutes = 10.0;        // automated re-test + undrain
+  double walk_speed_m_per_min = 70.0;    // depot at floor origin
+
+  // Spares: probability the exact part is out of stock, and the resulting
+  // wait. Fungible designs can substitute a compatible part immediately.
+  double stockout_probability = 0.08;
+  hours stockout_delay{72.0};
+  bool fungible_parts = true;
+
+  // Per-port failure rate (FIT); switch- and cable-level FITs come from
+  // the catalog.
+  double port_fit = 150.0;
+
+  // Power-feed (busway segment) failures: every switch in every rack on
+  // the feed goes dark at once — §3.3's concealed failure domain. Set to
+  // 0 to disable.
+  double feed_fit = 200.0;
+  double replace_feed_minutes = 120.0;
+
+  // On-call repair technicians. 0 = unlimited (every failure is worked
+  // immediately); small crews queue concurrent failures, inflating MTTR —
+  // the staffing knob behind §3.3's "availability depends on MTTR".
+  int repair_technicians = 0;
+
+  std::uint64_t seed = 1;
+};
+
+struct repair_sim_result {
+  std::size_t switch_failures = 0;
+  std::size_t port_failures = 0;
+  std::size_t cable_failures = 0;
+  std::size_t feed_failures = 0;
+  hours mean_mttr{0.0};
+  hours p95_mttr{0.0};
+  // Capacity-weighted availability: 1 - lost Gbps-hours / total Gbps-hours.
+  double availability = 1.0;
+  // Gbps-hours drained beyond the failed element itself (the §3.3
+  // correlated-downtime cost of a big unit of repair).
+  double collateral_gbps_hours = 0.0;
+  double lost_gbps_hours = 0.0;
+  hours technician_hours{0.0};
+  // Time failures spent waiting for a free technician (0 when unlimited).
+  hours queueing_hours{0.0};
+};
+
+[[nodiscard]] repair_sim_result simulate_repairs(const network_graph& g,
+                                                 const placement& pl,
+                                                 const floorplan& fp,
+                                                 const cabling_plan& plan,
+                                                 const catalog& cat,
+                                                 const repair_params& p);
+
+}  // namespace pn

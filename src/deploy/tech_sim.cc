@@ -1,0 +1,157 @@
+#include "deploy/tech_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pn {
+
+result<tech_sim_result> simulate_deployment(const work_order& wo,
+                                            const tech_sim_params& p) {
+  PN_CHECK(p.technicians > 0);
+  PN_CHECK(p.walk_speed_m_per_min > 0.0);
+  auto order_or = wo.topological_order();
+  if (!order_or.is_ok()) return order_or.error();
+  const std::vector<task_id>& order = order_or.value();
+
+  rng r(p.seed);
+  tech_sim_result out;
+
+  struct tech_state {
+    double available_at = 0.0;  // minutes
+    point location{0.0, 0.0};   // everyone starts at the floor entrance
+  };
+  std::vector<tech_state> techs(static_cast<std::size_t>(p.technicians));
+
+  // Per-location occupancy slots (§3.2: limited workers per rack). Each
+  // heap holds the end times of the tasks currently occupying that
+  // location's worker slots.
+  using slot_heap =
+      std::priority_queue<double, std::vector<double>, std::greater<>>;
+  std::map<std::pair<long long, long long>, slot_heap> location_slots;
+  auto location_key = [](point pt) {
+    return std::make_pair(static_cast<long long>(pt.x * 1000.0),
+                          static_cast<long long>(pt.y * 1000.0));
+  };
+
+  std::vector<double> finish(wo.task_count(), 0.0);
+  // Subjects with an uncaught defect.
+  std::set<std::string> defective;
+
+  double total_walk = 0.0;
+  double total_rework = 0.0;
+  double total_busy = 0.0;
+  double makespan = 0.0;
+
+  for (const task_id tid : order) {
+    const work_task& t = wo.task(tid);
+    double ready_at = 0.0;
+    for (task_id dep : t.depends_on) {
+      ready_at = std::max(ready_at, finish[dep.index()]);
+    }
+
+    const double minutes = t.base_minutes;
+    double rework_minutes = 0.0;
+
+    // Defect mechanics.
+    if (t.kind == task_kind::test_link) {
+      ++out.links_tested;
+      if (defective.contains(t.subject) &&
+          r.next_bool(p.test_detection_probability)) {
+        ++out.defects_caught;
+        defective.erase(t.subject);
+        // A failing test dispatches a technician: diagnose, redo the bad
+        // work, re-test. Rework budget comes from the work order (falls
+        // back to a generic 25 min).
+        rework_minutes =
+            (t.rework_minutes > 0.0 ? t.rework_minutes : 25.0) +
+            t.base_minutes;
+      }
+    } else if (t.error_probability > 0.0 &&
+               r.next_bool(t.error_probability)) {
+      ++out.defects_introduced;
+      defective.insert(t.subject);
+    }
+
+    // Software-only steps need no technician: drains/undrains, and link
+    // tests that pass (the test harness is automated; only a failure puts
+    // a human on the floor).
+    const bool software_only =
+        t.kind == task_kind::drain || t.kind == task_kind::undrain ||
+        (t.kind == task_kind::test_link && rework_minutes == 0.0);
+    if (software_only) {
+      finish[tid.index()] = ready_at + minutes;
+      makespan = std::max(makespan, finish[tid.index()]);
+      ++out.tasks_executed;
+      out.hours_by_kind[task_kind_name(t.kind)] += minutes / 60.0;
+      continue;
+    }
+
+    // Pick the technician with the earliest possible finish.
+    std::size_t best = 0;
+    double best_start = std::numeric_limits<double>::infinity();
+    double best_walk = 0.0;
+    for (std::size_t i = 0; i < techs.size(); ++i) {
+      const double walk_min =
+          manhattan_distance(techs[i].location, t.location).value() /
+          p.walk_speed_m_per_min;
+      const double start = std::max(ready_at, techs[i].available_at) +
+                           walk_min;
+      if (start < best_start) {
+        best_start = start;
+        best = i;
+        best_walk = walk_min;
+      }
+    }
+
+    // Respect the per-location worker cap: if every slot at this rack is
+    // taken, wait for the earliest one to free up.
+    double start = best_start;
+    if (p.max_workers_per_location > 0) {
+      slot_heap& slots = location_slots[location_key(t.location)];
+      while (!slots.empty() && slots.top() <= start) {
+        slots.pop();  // already vacated
+      }
+      if (static_cast<int>(slots.size()) >= p.max_workers_per_location) {
+        start = std::max(start, slots.top());
+        slots.pop();
+      }
+    }
+
+    const double work_minutes = minutes + rework_minutes;
+    const double end = start + work_minutes;
+    if (p.max_workers_per_location > 0) {
+      location_slots[location_key(t.location)].push(end);
+    }
+    techs[best].available_at = end;
+    techs[best].location = t.location;
+    finish[tid.index()] = end;
+    makespan = std::max(makespan, end);
+
+    total_walk += best_walk;
+    total_rework += rework_minutes;
+    total_busy += best_walk + work_minutes;
+    out.hours_by_kind[task_kind_name(t.kind)] += work_minutes / 60.0;
+    ++out.tasks_executed;
+  }
+
+  out.defects_escaped = defective.size();
+  out.makespan = hours_from_minutes(makespan);
+  out.labor = hours_from_minutes(total_busy);
+  out.walking = hours_from_minutes(total_walk);
+  out.rework = hours_from_minutes(total_rework);
+  out.first_pass_yield =
+      out.links_tested > 0
+          ? 1.0 - static_cast<double>(out.defects_introduced) /
+                      static_cast<double>(out.links_tested)
+          : 1.0;
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,52 @@
+// Technician discrete-event simulator.
+//
+// Executes a work_order with a crew of technicians: list scheduling over
+// the dependency DAG, walking time between task locations, defect
+// injection on manual tasks and detection at test_link tasks. Produces
+// the §2-internal metrics: time-to-deploy (makespan), labor hours, and
+// first-pass yield.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "deploy/workorder.h"
+
+namespace pn {
+
+struct tech_sim_params {
+  int technicians = 8;
+  double walk_speed_m_per_min = 70.0;  // ~1.2 m/s on a crowded floor
+  // Probability a test actually catches an existing defect; misses become
+  // latent faults that surface as early-life failures post-deployment.
+  double test_detection_probability = 0.95;
+  // §3.2: "how many people at a time can work on one rack" — tasks at the
+  // same location serialize beyond this limit. 0 = unlimited.
+  int max_workers_per_location = 2;
+  std::uint64_t seed = 1;
+};
+
+struct tech_sim_result {
+  hours makespan;          // wall-clock time to finish the order
+  hours labor;             // summed busy time (hands-on + walking + rework)
+  hours walking;           // walking share of labor
+  hours rework;            // rework share of labor
+  std::size_t tasks_executed = 0;
+  std::size_t defects_introduced = 0;
+  std::size_t defects_caught = 0;   // found by tests, fixed via rework
+  std::size_t defects_escaped = 0;  // latent faults shipped
+  std::size_t links_tested = 0;
+  // Fraction of tested links that passed their first test (§2's
+  // "first-pass yield").
+  double first_pass_yield = 1.0;
+  // Busy time by task kind, in hours.
+  std::map<std::string, double> hours_by_kind;
+};
+
+// Fails (invalid_argument) only on a cyclic work order.
+[[nodiscard]] result<tech_sim_result> simulate_deployment(
+    const work_order& wo, const tech_sim_params& p);
+
+}  // namespace pn

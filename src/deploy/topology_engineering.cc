@@ -1,0 +1,111 @@
+#include "deploy/topology_engineering.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+std::vector<std::vector<double>> block_demand_matrix(
+    const jupiter_fabric& f, const traffic_matrix& tm) {
+  const auto n = static_cast<std::size_t>(f.params.agg_blocks);
+  std::vector<std::vector<double>> out(n, std::vector<double>(n, 0.0));
+  const auto& eps = tm.endpoints();
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    const int bs = f.graph.node(eps[s]).block;
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (s == t) continue;
+      const int bt = f.graph.node(eps[t]).block;
+      if (bs == bt) continue;  // intra-block traffic never hits the mesh
+      const auto i = static_cast<std::size_t>(std::min(bs, bt));
+      const auto j = static_cast<std::size_t>(std::max(bs, bt));
+      out[i][j] += tm.demand(s, t);
+    }
+  }
+  return out;
+}
+
+result<engineered_mesh> engineer_jupiter_mesh(
+    const jupiter_params& params,
+    const std::vector<std::vector<double>>& block_demand,
+    int min_links_per_pair) {
+  const int n = params.agg_blocks;
+  const auto un = static_cast<std::size_t>(n);
+  if (block_demand.size() != un) {
+    return invalid_argument_error("block_demand has wrong dimension");
+  }
+  PN_CHECK(min_links_per_pair >= 0);
+  const int block_uplinks = params.mbs_per_block * params.uplinks_per_mb;
+  if (min_links_per_pair * (n - 1) > block_uplinks) {
+    return invalid_argument_error(str_format(
+        "base mesh needs %d uplinks per block but only %d exist",
+        min_links_per_pair * (n - 1), block_uplinks));
+  }
+
+  std::vector<std::vector<int>> w(un, std::vector<int>(un, 0));
+  std::vector<int> remaining(un, block_uplinks);
+  // Connectivity floor first.
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = i + 1; j < un; ++j) {
+      w[i][j] = min_links_per_pair;
+    }
+    remaining[i] -= min_links_per_pair * (n - 1);
+  }
+
+  // Total links to place: floor(n * uplinks / 2).
+  const int total_links =
+      n * block_uplinks / 2 - min_links_per_pair * n * (n - 1) / 2;
+
+  // Phase 1 (demand-driven): grant links to the pair with the largest
+  // demand per granted link, while both endpoints have budget. Phase 2
+  // (connectivity/leftovers): same greedy with demand floored at epsilon
+  // so zero-demand pairs still absorb spare uplinks.
+  for (int phase = 0; phase < 2; ++phase) {
+    const double floor_demand = phase == 0 ? 0.0 : 1e-9;
+    for (int placed = 0; placed < total_links; ++placed) {
+      double best_score = 0.0;
+      int bi = -1, bj = -1;
+      for (int i = 0; i < n; ++i) {
+        if (remaining[static_cast<std::size_t>(i)] == 0) continue;
+        for (int j = i + 1; j < n; ++j) {
+          if (remaining[static_cast<std::size_t>(j)] == 0) continue;
+          const double d =
+              std::max(block_demand[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(j)],
+                       floor_demand);
+          if (d <= 0.0) continue;
+          const double score =
+              d / (1.0 + w[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)]);
+          if (score > best_score) {
+            best_score = score;
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+      if (bi < 0) break;  // nothing placeable this phase
+      ++w[static_cast<std::size_t>(bi)][static_cast<std::size_t>(bj)];
+      --remaining[static_cast<std::size_t>(bi)];
+      --remaining[static_cast<std::size_t>(bj)];
+    }
+  }
+
+  auto fabric = build_jupiter_direct_with_pairs(params, w);
+  if (!fabric.is_ok()) return fabric.error();
+
+  engineered_mesh out{std::move(fabric).value(), std::move(w), 0};
+  const auto uniform = uniform_pair_links(params);
+  int moved = 0;
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = i + 1; j < un; ++j) {
+      moved += std::max(0, out.pair_links[i][j] - uniform[i][j]);
+    }
+  }
+  out.ocs_retunes = moved;  // each surplus link was re-pointed from a
+                            // deficit pair: one cross-connect change
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,47 @@
+// OCS topology engineering (§4.1 / Poutievski et al.).
+//
+// "Replacing these patch panels with a relatively slow optical circuit
+// switch not only further eases expansions, but also supports frequent
+// changes to the capacity between aggregation blocks, to respond to
+// changing and uneven inter-block traffic demands." Given a direct-mode
+// Jupiter and an inter-block demand matrix, this module computes a
+// demand-proportional mesh (a maximum-weight degree-constrained
+// b-matching, greedily), rebuilds the fabric, and counts the OCS
+// cross-connect retunes — the zero-floor-labor reconfiguration that is
+// the whole point of the indirection layer.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "topology/generators/jupiter.h"
+#include "topology/traffic.h"
+
+namespace pn {
+
+// Aggregates a switch-level traffic matrix to block level (symmetrized:
+// demand between blocks i and j in either direction).
+[[nodiscard]] std::vector<std::vector<double>> block_demand_matrix(
+    const jupiter_fabric& f, const traffic_matrix& tm);
+
+struct engineered_mesh {
+  jupiter_fabric fabric;
+  std::vector<std::vector<int>> pair_links;  // upper-triangular
+  // Cross-connects moved relative to the uniform mesh (each is one OCS
+  // software operation; no humans involved).
+  int ocs_retunes = 0;
+};
+
+// Allocates each block's uplinks across peers proportionally to demand
+// (greedy max-weight: repeatedly grant a link to the block pair with the
+// highest demand per already-granted link), on top of a guaranteed base
+// mesh of `min_links_per_pair` between every pair — without the floor, a
+// hot pair would absorb whole blocks' budgets and partition the fabric,
+// which no production traffic engineer would install. Fails with
+// invalid_argument when the uplink budget cannot fund the base mesh.
+[[nodiscard]] result<engineered_mesh> engineer_jupiter_mesh(
+    const jupiter_params& params,
+    const std::vector<std::vector<double>>& block_demand,
+    int min_links_per_pair = 1);
+
+}  // namespace pn

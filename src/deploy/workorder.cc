@@ -1,0 +1,93 @@
+#include "deploy/workorder.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace pn {
+
+const char* task_kind_name(task_kind k) {
+  switch (k) {
+    case task_kind::position_rack:
+      return "position_rack";
+    case task_kind::mount_switch:
+      return "mount_switch";
+    case task_kind::pull_bundle:
+      return "pull_bundle";
+    case task_kind::pull_cable:
+      return "pull_cable";
+    case task_kind::connect_port:
+      return "connect_port";
+    case task_kind::test_link:
+      return "test_link";
+    case task_kind::drain:
+      return "drain";
+    case task_kind::undrain:
+      return "undrain";
+    case task_kind::move_fiber:
+      return "move_fiber";
+    case task_kind::remove_cable:
+      return "remove_cable";
+    case task_kind::remove_switch:
+      return "remove_switch";
+  }
+  return "unknown";
+}
+
+task_id work_order::add_task(work_task t) {
+  t.id = task_id{tasks_.size()};
+  for (task_id dep : t.depends_on) {
+    PN_CHECK_MSG(dep.index() < tasks_.size(),
+                 "dependency on not-yet-added task");
+  }
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+void work_order::add_dependency(task_id task, task_id prerequisite) {
+  PN_CHECK(task.index() < tasks_.size());
+  PN_CHECK(prerequisite.index() < tasks_.size());
+  tasks_[task.index()].depends_on.push_back(prerequisite);
+}
+
+const work_task& work_order::task(task_id t) const {
+  PN_CHECK(t.index() < tasks_.size());
+  return tasks_[t.index()];
+}
+
+double work_order::total_base_minutes() const {
+  double total = 0.0;
+  for (const work_task& t : tasks_) total += t.base_minutes;
+  return total;
+}
+
+result<std::vector<task_id>> work_order::topological_order() const {
+  std::vector<int> indegree(tasks_.size(), 0);
+  std::vector<std::vector<task_id>> dependents(tasks_.size());
+  for (const work_task& t : tasks_) {
+    for (task_id dep : t.depends_on) {
+      ++indegree[t.id.index()];
+      dependents[dep.index()].push_back(t.id);
+    }
+  }
+  std::queue<task_id> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(task_id{i});
+  }
+  std::vector<task_id> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const task_id t = ready.front();
+    ready.pop();
+    order.push_back(t);
+    for (task_id d : dependents[t.index()]) {
+      if (--indegree[d.index()] == 0) ready.push(d);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    return invalid_argument_error("work order dependency graph has a cycle");
+  }
+  return order;
+}
+
+}  // namespace pn

@@ -1,0 +1,74 @@
+// Work orders: the unit of physical deployment labor.
+//
+// §2: large-scale physical processes are "managed by complex automation
+// systems, which plan the placement and connectivity ... order the correct
+// materials ... instruct the humans or robots where and when to place and
+// connect equipment; and validate that everything is in its proper place."
+// A work_order is that plan: a DAG of located, timed tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "geom/point.h"
+
+namespace pn {
+
+enum class task_kind : std::uint8_t {
+  position_rack,    // roll a rack into place
+  mount_switch,     // rack a switch, power it, load firmware
+  pull_bundle,      // land one pre-built cable bundle between two racks
+  pull_cable,       // pull one loose inter-rack cable
+  connect_port,     // seat one connector (both ends of an intra-rack cable
+                    // or one end of an inter-rack run)
+  test_link,        // automated validation of one link
+  drain,            // software drain (no on-floor time, blocks others)
+  undrain,
+  move_fiber,       // re-patch one fiber at a panel/OCS (§4.3)
+  remove_cable,
+  remove_switch,
+};
+
+[[nodiscard]] const char* task_kind_name(task_kind k);
+
+struct work_task {
+  task_id id;
+  task_kind kind = task_kind::connect_port;
+  std::string subject;           // what is being acted on
+  point location;                // where the technician must stand
+  double base_minutes = 0.0;     // hands-on time, excluding walking
+  // A defect introduced with this probability (wrong port, damaged
+  // connector, ...) — discovered by a later test_link covering the same
+  // subject, forcing rework. Only meaningful for manual task kinds.
+  double error_probability = 0.0;
+  // Rework cost if this task's defect is caught.
+  double rework_minutes = 0.0;
+  std::vector<task_id> depends_on;
+};
+
+class work_order {
+ public:
+  task_id add_task(work_task t);
+  // Convenience: add a dependency after creation.
+  void add_dependency(task_id task, task_id prerequisite);
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] const work_task& task(task_id t) const;
+  [[nodiscard]] const std::vector<work_task>& tasks() const { return tasks_; }
+
+  // Total hands-on minutes, ignoring parallelism and walking — the naive
+  // lower bound on labor.
+  [[nodiscard]] double total_base_minutes() const;
+
+  // Tasks in a topological order; fails if the DAG has a cycle.
+  [[nodiscard]] result<std::vector<task_id>> topological_order() const;
+
+ private:
+  std::vector<work_task> tasks_;
+};
+
+}  // namespace pn

@@ -1,0 +1,49 @@
+// 2-D floor geometry primitives.
+//
+// The datacenter floor is modeled in meters on a fixed grid of tiles.
+// Cable runs between racks follow tray segments (see tray_graph.h) plus
+// vertical drops, so Manhattan-style metrics dominate; Euclidean distance
+// is used only for straight tray segments.
+#pragma once
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace pn {
+
+struct point {
+  double x = 0.0;  // meters
+  double y = 0.0;  // meters
+
+  friend constexpr bool operator==(const point&, const point&) = default;
+};
+
+[[nodiscard]] inline meters manhattan_distance(point a, point b) {
+  return meters{std::fabs(a.x - b.x) + std::fabs(a.y - b.y)};
+}
+
+[[nodiscard]] inline meters euclidean_distance(point a, point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return meters{std::sqrt(dx * dx + dy * dy)};
+}
+
+// Axis-aligned rectangle, used for rack footprints and keep-out zones.
+struct rect {
+  point min;
+  point max;
+
+  [[nodiscard]] bool contains(point p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  [[nodiscard]] bool overlaps(const rect& o) const {
+    return min.x < o.max.x && o.min.x < max.x && min.y < o.max.y &&
+           o.min.y < max.y;
+  }
+  [[nodiscard]] point center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+};
+
+}  // namespace pn

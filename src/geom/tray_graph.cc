@@ -1,0 +1,157 @@
+#include "geom/tray_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+tray_graph::junction_index tray_graph::add_junction(point pos) {
+  junctions_.push_back(pos);
+  adj_.emplace_back();
+  return junctions_.size() - 1;
+}
+
+tray_id tray_graph::add_segment(junction_index a, junction_index b,
+                                square_millimeters capacity) {
+  PN_CHECK(a < junctions_.size() && b < junctions_.size());
+  PN_CHECK(a != b);
+  PN_CHECK(capacity.value() > 0.0);
+  const tray_id id{segments_.size()};
+  segments_.push_back({a, b, euclidean_distance(junctions_[a], junctions_[b]),
+                       capacity, square_millimeters{0.0}});
+  adj_[a].push_back({b, id});
+  adj_[b].push_back({a, id});
+  return id;
+}
+
+point tray_graph::junction_position(junction_index j) const {
+  PN_CHECK(j < junctions_.size());
+  return junctions_[j];
+}
+
+meters tray_graph::segment_length(tray_id t) const {
+  PN_CHECK(t.index() < segments_.size());
+  return segments_[t.index()].length;
+}
+
+square_millimeters tray_graph::segment_capacity(tray_id t) const {
+  PN_CHECK(t.index() < segments_.size());
+  return segments_[t.index()].capacity;
+}
+
+square_millimeters tray_graph::segment_used(tray_id t) const {
+  PN_CHECK(t.index() < segments_.size());
+  return segments_[t.index()].used;
+}
+
+square_millimeters tray_graph::segment_free(tray_id t) const {
+  const auto& s = segments_[t.index()];
+  return s.capacity - s.used;
+}
+
+double tray_graph::fill_fraction(tray_id t) const {
+  const auto& s = segments_[t.index()];
+  return s.used.value() / s.capacity.value();
+}
+
+tray_graph::junction_index tray_graph::nearest_junction(point p) const {
+  PN_CHECK(!junctions_.empty());
+  junction_index best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (junction_index j = 0; j < junctions_.size(); ++j) {
+    const double d = manhattan_distance(p, junctions_[j]).value();
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+result<tray_route> tray_graph::route(junction_index a, junction_index b,
+                                     square_millimeters required) const {
+  return dijkstra(a, b, required, /*constrained=*/true);
+}
+
+result<tray_route> tray_graph::route_unconstrained(junction_index a,
+                                                   junction_index b) const {
+  return dijkstra(a, b, square_millimeters{0.0}, /*constrained=*/false);
+}
+
+result<tray_route> tray_graph::dijkstra(junction_index a, junction_index b,
+                                        square_millimeters required,
+                                        bool constrained) const {
+  PN_CHECK(a < junctions_.size() && b < junctions_.size());
+  if (a == b) return tray_route{{}, meters{0.0}};
+
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(junctions_.size(), inf);
+  std::vector<tray_id> via(junctions_.size());
+  std::vector<junction_index> prev(junctions_.size(), 0);
+
+  using entry = std::pair<double, junction_index>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> pq;
+  dist[a] = 0.0;
+  pq.push({0.0, a});
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == b) break;
+    for (const auto& e : adj_[u]) {
+      const segment& s = segments_[e.seg.index()];
+      if (constrained && (s.capacity - s.used) < required) continue;
+      const double nd = d + s.length.value();
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        via[e.to] = e.seg;
+        prev[e.to] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+
+  if (dist[b] == inf) {
+    return infeasible_error(
+        str_format("no tray route from junction %zu to %zu with %.1f mm^2 free",
+                   a, b, required.value()));
+  }
+
+  tray_route r;
+  r.length = meters{dist[b]};
+  for (junction_index u = b; u != a; u = prev[u]) {
+    r.segments.push_back(via[u]);
+  }
+  std::reverse(r.segments.begin(), r.segments.end());
+  return r;
+}
+
+status tray_graph::reserve(const tray_route& r, square_millimeters area) {
+  for (tray_id t : r.segments) {
+    const segment& s = segments_[t.index()];
+    if (s.capacity - s.used < area) {
+      return capacity_error(str_format(
+          "tray segment %u full: %.1f of %.1f mm^2 used, need %.1f",
+          t.value(), s.used.value(), s.capacity.value(), area.value()));
+    }
+  }
+  for (tray_id t : r.segments) {
+    segments_[t.index()].used += area;
+  }
+  return status::ok();
+}
+
+void tray_graph::release(const tray_route& r, square_millimeters area) {
+  for (tray_id t : r.segments) {
+    segment& s = segments_[t.index()];
+    PN_CHECK_MSG(s.used >= area, "releasing more tray area than reserved");
+    s.used -= area;
+  }
+}
+
+}  // namespace pn

@@ -1,0 +1,92 @@
+// Overhead cable-tray routing graph.
+//
+// §3.1 of the paper: cables between racks run through trays of finite
+// cross-section; Agarwal et al. extended cabling optimization to account
+// for tray routes. This graph models tray junctions (nodes) and straight
+// tray segments (edges) with a cross-sectional capacity. Routing a cable
+// means finding the shortest junction-to-junction path whose every segment
+// still has enough free cross-section for the cable, then reserving that
+// area. Decommissioning releases it (§2.1 notes that in practice operators
+// rarely remove cables — callers model that by simply not releasing).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "geom/point.h"
+
+namespace pn {
+
+struct tray_route {
+  std::vector<tray_id> segments;  // in path order; empty if same junction
+  meters length;                  // sum of segment lengths
+};
+
+class tray_graph {
+ public:
+  // Junctions are identified by dense indices returned from add_junction.
+  using junction_index = std::size_t;
+
+  junction_index add_junction(point pos);
+
+  // Adds a straight tray segment between two junctions with the given free
+  // cross-sectional capacity. Length is the Euclidean distance between the
+  // junction positions.
+  tray_id add_segment(junction_index a, junction_index b,
+                      square_millimeters capacity);
+
+  [[nodiscard]] std::size_t junction_count() const { return junctions_.size(); }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] point junction_position(junction_index j) const;
+  [[nodiscard]] meters segment_length(tray_id t) const;
+  [[nodiscard]] square_millimeters segment_capacity(tray_id t) const;
+  [[nodiscard]] square_millimeters segment_used(tray_id t) const;
+  [[nodiscard]] square_millimeters segment_free(tray_id t) const;
+  // Fraction of capacity in use, 0..1.
+  [[nodiscard]] double fill_fraction(tray_id t) const;
+
+  // Nearest junction to a floor position (e.g. a rack's drop point).
+  [[nodiscard]] junction_index nearest_junction(point p) const;
+
+  // Shortest route from a to b over segments whose free capacity is at
+  // least `required`. Returns infeasible if no such route exists.
+  [[nodiscard]] result<tray_route> route(junction_index a, junction_index b,
+                                         square_millimeters required) const;
+
+  // Shortest route ignoring capacity (for planning / length estimates).
+  [[nodiscard]] result<tray_route> route_unconstrained(junction_index a,
+                                                       junction_index b) const;
+
+  // Reserve / release cross-section along a previously computed route.
+  // reserve fails (capacity_exceeded) without partial effects if any
+  // segment lacks room.
+  status reserve(const tray_route& r, square_millimeters area);
+  void release(const tray_route& r, square_millimeters area);
+
+ private:
+  struct segment {
+    junction_index a;
+    junction_index b;
+    meters length;
+    square_millimeters capacity;
+    square_millimeters used;
+  };
+  struct adjacency_entry {
+    junction_index to;
+    tray_id seg;
+  };
+
+  [[nodiscard]] result<tray_route> dijkstra(junction_index a,
+                                            junction_index b,
+                                            square_millimeters required,
+                                            bool constrained) const;
+
+  std::vector<point> junctions_;
+  std::vector<segment> segments_;
+  std::vector<std::vector<adjacency_entry>> adj_;
+};
+
+}  // namespace pn

@@ -1,0 +1,78 @@
+#include "physical/bundling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace pn {
+
+bundling_report analyze_bundling(const cabling_plan& plan,
+                                 const bundling_params& p) {
+  PN_CHECK(p.min_bundle_size >= 1);
+  PN_CHECK(p.sku_length_quantum.value() > 0.0);
+
+  bundling_report out;
+
+  // Group inter-rack runs by unordered rack pair.
+  std::map<std::pair<rack_id, rack_id>, cable_bundle> groups;
+  dollars bundled_cable_cost{0.0};
+  std::map<std::pair<rack_id, rack_id>, dollars> group_cost;
+  for (const cable_run& r : plan.runs) {
+    if (r.rack_a == r.rack_b) continue;
+    ++out.inter_rack_cables;
+    auto key = std::minmax(r.rack_a, r.rack_b);
+    cable_bundle& b = groups[key];
+    b.rack_a = key.first;
+    b.rack_b = key.second;
+    ++b.cable_count;
+    b.length = std::max(b.length, r.length);
+    b.cross_section += circle_area(r.choice.diameter);
+    group_cost[key] += r.choice.cable->cost_fixed +
+                       r.choice.cable->cost_per_meter * r.length.value();
+  }
+
+  std::set<std::pair<long long, std::size_t>> skus;
+  double loose_minutes = 0.0;
+  double bundled_minutes = 0.0;
+  double size_sum = 0.0;
+  for (auto& [key, b] : groups) {
+    out.bundles.push_back(b);
+    loose_minutes += p.minutes_per_loose_cable *
+                     static_cast<double>(b.cable_count);
+    if (b.cable_count >= p.min_bundle_size) {
+      ++out.viable_bundles;
+      out.bundled_cables += b.cable_count;
+      size_sum += static_cast<double>(b.cable_count);
+      const auto sku_len = static_cast<long long>(
+          std::ceil(b.length.value() / p.sku_length_quantum.value()));
+      skus.insert({sku_len, b.cable_count});
+      bundled_minutes += p.minutes_per_bundle +
+                         p.minutes_per_bundled_cable *
+                             static_cast<double>(b.cable_count);
+      bundled_cable_cost += group_cost[key];
+    } else {
+      bundled_minutes += p.minutes_per_loose_cable *
+                         static_cast<double>(b.cable_count);
+    }
+  }
+
+  out.bundleability =
+      out.inter_rack_cables > 0
+          ? static_cast<double>(out.bundled_cables) /
+                static_cast<double>(out.inter_rack_cables)
+          : 0.0;
+  out.distinct_skus = skus.size();
+  out.mean_bundle_size =
+      out.viable_bundles > 0
+          ? size_sum / static_cast<double>(out.viable_bundles)
+          : 0.0;
+  out.loose_install_time = hours_from_minutes(loose_minutes);
+  out.bundled_install_time = hours_from_minutes(bundled_minutes);
+  out.capex_savings = bundled_cable_cost * p.bundle_cable_discount;
+  return out;
+}
+
+}  // namespace pn

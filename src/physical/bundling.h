@@ -1,0 +1,65 @@
+// Cable bundling analysis and the pre-built-bundle cost model.
+//
+// §3.1: Singh et al. report ~40% (capex+opex) savings and weeks less
+// delay from "regular, pre-constructed bundles of cables"; §4.2 argues
+// Jellyfish's random wiring defeats bundling while Clos/Xpander allow it.
+// A bundle here is the set of same-rack-pair inter-rack runs; regularity
+// is how much of the fabric's cabling lands in bundles big enough to
+// pre-build, and how few distinct bundle SKUs (pair lengths x counts) a
+// supplier would have to manufacture.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "physical/cabling.h"
+
+namespace pn {
+
+struct cable_bundle {
+  rack_id rack_a;
+  rack_id rack_b;
+  std::size_t cable_count = 0;
+  meters length;               // longest member, what the SKU must be cut to
+  square_millimeters cross_section;
+};
+
+struct bundling_params {
+  // A bundle is pre-buildable only at or above this size (small bundles
+  // are not worth the manufacturing overhead).
+  std::size_t min_bundle_size = 4;
+  // Lengths are rounded up to multiples of this to form SKUs.
+  meters sku_length_quantum{5.0};
+  // Unit-cost discount for cables purchased inside a pre-built bundle.
+  double bundle_cable_discount = 0.10;
+  // Field-install minutes per individual inter-rack cable vs. per cable
+  // within a pre-built bundle (pulling one bundle amortizes the walk,
+  // routing and dressing across its members).
+  double minutes_per_loose_cable = 8.0;
+  double minutes_per_bundled_cable = 1.5;
+  // Fixed minutes to land one pre-built bundle (both ends).
+  double minutes_per_bundle = 20.0;
+};
+
+struct bundling_report {
+  std::vector<cable_bundle> bundles;          // all rack-pair groups
+  std::size_t inter_rack_cables = 0;
+  std::size_t bundled_cables = 0;             // members of viable bundles
+  std::size_t viable_bundles = 0;             // >= min_bundle_size
+  double bundleability = 0.0;                 // bundled / inter-rack
+  std::size_t distinct_skus = 0;              // (rounded length, count) pairs
+  double mean_bundle_size = 0.0;              // over viable bundles
+
+  // Install labor with and without pre-built bundles, and cable capex
+  // delta from the bundle discount.
+  hours loose_install_time;
+  hours bundled_install_time;
+  dollars capex_savings;
+};
+
+[[nodiscard]] bundling_report analyze_bundling(const cabling_plan& plan,
+                                               const bundling_params& p);
+
+}  // namespace pn

@@ -1,0 +1,135 @@
+#include "physical/cabling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+std::map<rack_id, double> compute_plenum_fill(
+    const floorplan& fp, const std::vector<cable_run>& runs) {
+  std::map<rack_id, square_millimeters> used;
+  for (const cable_run& r : runs) {
+    const square_millimeters area = circle_area(r.choice.diameter);
+    used[r.rack_a] += area;
+    if (r.rack_b != r.rack_a) used[r.rack_b] += area;
+  }
+  std::map<rack_id, double> out;
+  for (const auto& [rk, area] : used) {
+    out[rk] = area.value() / fp.rack_at(rk).plenum.value();
+  }
+  return out;
+}
+
+result<cabling_plan> plan_cabling(const network_graph& g, const placement& pl,
+                                  floorplan& fp, const catalog& cat,
+                                  const cabling_options& opt) {
+  PN_CHECK_MSG(pl.complete(), "cabling needs a complete placement");
+  cabling_plan plan;
+  plan.runs.reserve(g.edge_count());
+
+  for (edge_id e : g.live_edges()) {
+    const edge_info& info = g.edge(e);
+    cable_run run;
+    run.edge = e;
+    run.rack_a = pl.rack_of(info.a);
+    run.rack_b = pl.rack_of(info.b);
+    run.indirections =
+        run.rack_a == run.rack_b ? 0 : opt.indirections_inter_rack;
+
+    if (run.rack_a == run.rack_b) {
+      run.length = floorplan::intra_rack_length();
+    } else {
+      // Media selection interacts with routing through the required tray
+      // cross-section; resolve with the thinnest plausible requirement
+      // first, then re-check the chosen cable actually fits.
+      auto path = fp.routed_path_between(run.rack_a, run.rack_b,
+                                         square_millimeters{0.0});
+      if (!path.is_ok()) return path.error();
+      run.length = path.value().length;
+      run.route = std::move(path).value().route;
+    }
+
+    auto choice = cat.best_link(info.capacity, run.length, run.indirections);
+    if (!choice.is_ok()) {
+      return infeasible_error(str_format(
+          "edge %s -> %s: %s", g.node(info.a).name.c_str(),
+          g.node(info.b).name.c_str(), choice.error().message().c_str()));
+    }
+    run.choice = choice.value();
+
+    if (opt.reserve_tray_capacity && run.rack_a != run.rack_b) {
+      const square_millimeters area = circle_area(run.choice.diameter);
+      status s = fp.trays().reserve(run.route, area);
+      if (!s.is_ok()) {
+        // The shortest route is full for this cable: retry constrained on
+        // remaining capacity (a longer detour), then re-pick media.
+        auto retry = fp.routed_path_between(run.rack_a, run.rack_b, area);
+        if (!retry.is_ok()) {
+          return capacity_error(str_format(
+              "edge %s -> %s: trays full on every route",
+              g.node(info.a).name.c_str(), g.node(info.b).name.c_str()));
+        }
+        run.length = retry.value().length;
+        run.route = std::move(retry).value().route;
+        auto rechoice =
+            cat.best_link(info.capacity, run.length, run.indirections);
+        if (!rechoice.is_ok()) return rechoice.error();
+        run.choice = rechoice.value();
+        PN_CHECK(fp.trays()
+                     .reserve(run.route, circle_area(run.choice.diameter))
+                     .is_ok());
+      }
+    }
+
+    // Totals.
+    const bool optical =
+        run.choice.cable->medium == cable_medium::active_optical ||
+        run.choice.cable->medium == cable_medium::fiber;
+    if (run.rack_a == run.rack_b) {
+      ++plan.intra_rack_runs;
+    }
+    if (optical) {
+      ++plan.optical_runs;
+    } else {
+      ++plan.copper_runs;
+    }
+    if (run.choice.transceiver != nullptr) {
+      plan.transceiver_cost += run.choice.transceiver->cost * 2.0;
+      plan.cable_cost +=
+          run.choice.total_cost - run.choice.transceiver->cost * 2.0;
+    } else {
+      plan.cable_cost += run.choice.total_cost;
+    }
+    plan.cable_power += run.choice.total_power;
+    plan.runs.push_back(std::move(run));
+  }
+
+  // Tray fill statistics.
+  const tray_graph& trays = fp.trays();
+  double fill_sum = 0.0;
+  for (std::size_t t = 0; t < trays.segment_count(); ++t) {
+    const double f = trays.fill_fraction(tray_id{t});
+    plan.max_tray_fill = std::max(plan.max_tray_fill, f);
+    fill_sum += f;
+  }
+  plan.mean_tray_fill =
+      trays.segment_count() > 0
+          ? fill_sum / static_cast<double>(trays.segment_count())
+          : 0.0;
+
+  plan.plenum_fill = compute_plenum_fill(fp, plan.runs);
+  if (opt.enforce_plenum) {
+    for (const auto& [rk, fill] : plan.plenum_fill) {
+      if (fill > 1.0) {
+        return capacity_error(str_format(
+            "rack %s plenum at %.0f%% of capacity",
+            fp.rack_at(rk).name.c_str(), fill * 100.0));
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace pn

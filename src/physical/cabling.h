@@ -1,0 +1,86 @@
+// Cabling engine: turns (topology, placement, floorplan, catalog) into a
+// concrete cable plan — per-link media choice, routed tray paths, tray and
+// plenum occupancy, bend-radius feasibility, cost and power totals.
+//
+// This is the optimization §3.1 describes: "complex ... since some network
+// topologies gain shorter cable runs (on average) at the cost of more
+// switch hops"; the plan makes that tradeoff measurable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "physical/catalog.h"
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct cable_run {
+  edge_id edge;
+  rack_id rack_a;
+  rack_id rack_b;            // == rack_a for intra-rack runs
+  meters length;
+  link_choice choice;        // selected media
+  tray_route route;          // empty for intra-rack runs
+  int indirections = 0;      // patch panel / OCS traversals
+};
+
+struct cabling_plan {
+  std::vector<cable_run> runs;
+
+  // Totals.
+  dollars cable_cost;        // cables incl. AOC/AEC electronics
+  dollars transceiver_cost;  // pluggables for bare-fiber runs
+  watts cable_power;
+  std::size_t optical_runs = 0;   // AOC or fiber
+  std::size_t copper_runs = 0;    // DAC or AEC
+  std::size_t intra_rack_runs = 0;
+
+  // Physical occupancy after planning.
+  double max_tray_fill = 0.0;            // worst tray segment, 0..1
+  double mean_tray_fill = 0.0;
+  std::map<rack_id, double> plenum_fill; // per rack, fraction of plenum
+
+  [[nodiscard]] dollars total_cost() const {
+    return cable_cost + transceiver_cost;
+  }
+};
+
+struct cabling_options {
+  // Reserve tray cross-section while routing (first-come first-served in
+  // edge order). When false, lengths use unconstrained shortest routes —
+  // the "abstract" view that ignores congestion in trays.
+  bool reserve_tray_capacity = true;
+  // Fail the plan if any rack's plenum overflows (§3.1's 256-cables-in-a-
+  // rack problem); when false the overflow is just reported.
+  bool enforce_plenum = false;
+  // Count every inter-rack run as crossing this many patch panels (0 for
+  // point-to-point fiber, 1 for a patch-panel fabric, 2 for panel+OCS).
+  int indirections_inter_rack = 0;
+};
+
+// Plans every live edge. Fails with infeasible if some link has no viable
+// medium (too long, loss budget exceeded) or capacity_exceeded if
+// reservation/plenum enforcement fails. Tray reservations are applied to
+// `fp.trays()` when reserve_tray_capacity is set.
+//
+// Lifetime: every cable_run's link_choice points into `cat`; the catalog
+// must outlive the returned plan.
+[[nodiscard]] result<cabling_plan> plan_cabling(const network_graph& g,
+                                                const placement& pl,
+                                                floorplan& fp,
+                                                const catalog& cat,
+                                                const cabling_options& opt);
+
+// Per-rack plenum fill from a set of runs (sum of cable cross-sections of
+// all runs touching the rack / plenum area).
+[[nodiscard]] std::map<rack_id, double> compute_plenum_fill(
+    const floorplan& fp, const std::vector<cable_run>& runs);
+
+}  // namespace pn

@@ -1,0 +1,184 @@
+#include "physical/catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+using namespace pn::literals;
+
+const char* cable_medium_name(cable_medium m) {
+  switch (m) {
+    case cable_medium::copper_dac:
+      return "DAC";
+    case cable_medium::active_electrical:
+      return "AEC";
+    case cable_medium::active_optical:
+      return "AOC";
+    case cable_medium::fiber:
+      return "fiber";
+  }
+  return "unknown";
+}
+
+dollars switch_cost_model::cost(int radix, gbps rate) const {
+  PN_CHECK(radix > 0);
+  return base + per_gbps * (static_cast<double>(radix) * rate.value());
+}
+
+watts switch_cost_model::power(int radix, gbps rate) const {
+  PN_CHECK(radix > 0);
+  return power_base +
+         power_per_gbps * (static_cast<double>(radix) * rate.value());
+}
+
+int switch_cost_model::rack_units(int radix) {
+  PN_CHECK(radix > 0);
+  if (radix <= 32) return 1;
+  if (radix <= 64) return 2;
+  if (radix <= 128) return 4;
+  if (radix <= 256) return 8;
+  return 16;  // chassis
+}
+
+catalog catalog::standard() {
+  catalog c;
+  // Passive copper (DAC). Diameters at 100G/400G follow the AWS numbers
+  // quoted in §3.1 (6.7 mm and 11 mm); reach shrinks as rates climb.
+  c.add_cable({"dac-100g", cable_medium::copper_dac, 100_gbps, 3.0_m,
+               6.7_mm, 40_mm, 80_usd, 12.0_usd, 0.2_w, 50});
+  c.add_cable({"dac-200g", cable_medium::copper_dac, 200_gbps, 3.0_m,
+               8.5_mm, 50_mm, 130_usd, 22.0_usd, 0.3_w, 50});
+  c.add_cable({"dac-400g", cable_medium::copper_dac, 400_gbps, 2.5_m,
+               11.0_mm, 65_mm, 200_usd, 40.0_usd, 0.4_w, 50});
+  c.add_cable({"dac-800g", cable_medium::copper_dac, 800_gbps, 2.0_m,
+               13.0_mm, 80_mm, 340_usd, 65.0_usd, 0.5_w, 50});
+
+  // Active electrical (AEC): what AWS switched to in-rack at 400G —
+  // thinner than 400G DAC, longer reach, still cheaper than optics.
+  c.add_cable({"aec-100g", cable_medium::active_electrical, 100_gbps, 7.0_m,
+               5.5_mm, 30_mm, 260_usd, 18.0_usd, 4.0_w, 120});
+  c.add_cable({"aec-400g", cable_medium::active_electrical, 400_gbps, 7.0_m,
+               6.5_mm, 35_mm, 480_usd, 28.0_usd, 7.0_w, 150});
+  c.add_cable({"aec-800g", cable_medium::active_electrical, 800_gbps, 5.0_m,
+               7.5_mm, 40_mm, 780_usd, 45.0_usd, 12.0_w, 180});
+
+  // Active optical cables (AOC): mid-range runs, optics glued on.
+  c.add_cable({"aoc-100g", cable_medium::active_optical, 100_gbps, 100.0_m,
+               3.0_mm, 25_mm, 360_usd, 4.0_usd, 4.5_w, 300});
+  c.add_cable({"aoc-400g", cable_medium::active_optical, 400_gbps, 100.0_m,
+               3.5_mm, 25_mm, 950_usd, 6.0_usd, 10.0_w, 400});
+  c.add_cable({"aoc-800g", cable_medium::active_optical, 800_gbps, 70.0_m,
+               4.0_mm, 25_mm, 1900_usd, 9.0_usd, 16.0_w, 500});
+
+  // Duplex single-mode fiber: the only medium for long runs; needs a
+  // transceiver pair. Reach below is the fiber's own handling limit — the
+  // real constraint is the transceiver reach and loss budget.
+  c.add_cable({"smf-duplex", cable_medium::fiber, 0_gbps, 2000.0_m, 2.9_mm,
+               15_mm, 12_usd, 0.5_usd, 0.0_w, 20});
+
+  // Transceivers (per module; a link needs two).
+  c.add_transceiver({"100g-cwdm4", 100_gbps, 2000.0_m, 380_usd, 3.5_w,
+                     decibels{5.0}, 600});
+  c.add_transceiver({"200g-fr4", 200_gbps, 2000.0_m, 700_usd, 4.5_w,
+                     decibels{4.5}, 650});
+  c.add_transceiver({"400g-dr4", 400_gbps, 500.0_m, 1100_usd, 8.0_w,
+                     decibels{4.0}, 700});
+  c.add_transceiver({"400g-fr4", 400_gbps, 2000.0_m, 1500_usd, 9.0_w,
+                     decibels{4.0}, 700});
+  c.add_transceiver({"800g-dr8", 800_gbps, 500.0_m, 2400_usd, 14.0_w,
+                     decibels{3.5}, 900});
+  c.add_transceiver({"800g-2xfr4", 800_gbps, 2000.0_m, 3200_usd, 16.0_w,
+                     decibels{3.5}, 900});
+  return c;
+}
+
+void catalog::add_cable(cable_type c) {
+  PN_CHECK(c.max_length.value() > 0.0);
+  PN_CHECK(c.outside_diameter.value() > 0.0);
+  cables_.push_back(std::move(c));
+}
+
+void catalog::add_transceiver(transceiver_type t) {
+  PN_CHECK(t.rate.value() > 0.0);
+  transceivers_.push_back(std::move(t));
+}
+
+std::vector<link_choice> catalog::link_options(gbps rate, meters length,
+                                               int indirections) const {
+  PN_CHECK(rate.value() > 0.0);
+  PN_CHECK(length.value() >= 0.0);
+  PN_CHECK(indirections >= 0);
+  std::vector<link_choice> out;
+
+  for (const cable_type& c : cables_) {
+    if (c.medium == cable_medium::fiber) {
+      // Pair the fiber with every transceiver of the right rate whose
+      // reach and loss budget cover this run.
+      if (length > c.max_length) continue;
+      const decibels loss =
+          fiber_loss_per_meter() * length.value() +
+          connector_loss() * 2.0 +
+          indirection_loss() * static_cast<double>(indirections);
+      for (const transceiver_type& t : transceivers_) {
+        if (t.rate != rate) continue;
+        if (length > t.reach) continue;
+        if (loss > t.loss_budget) continue;
+        link_choice lc;
+        lc.cable = &c;
+        lc.transceiver = &t;
+        lc.total_cost =
+            c.cost_fixed + c.cost_per_meter * length.value() + t.cost * 2.0;
+        lc.total_power = c.power + t.power * 2.0;
+        lc.diameter = c.outside_diameter;
+        out.push_back(lc);
+      }
+    } else {
+      if (c.rate != rate) continue;
+      if (length > c.max_length) continue;
+      // Electrical and glued-optics cables cannot traverse a patch panel
+      // or OCS: there is nothing to re-terminate.
+      if (indirections > 0) continue;
+      link_choice lc;
+      lc.cable = &c;
+      lc.total_cost = c.cost_fixed + c.cost_per_meter * length.value();
+      lc.total_power = c.power;
+      lc.diameter = c.outside_diameter;
+      out.push_back(lc);
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const link_choice& a, const link_choice& b) {
+              return a.total_cost < b.total_cost;
+            });
+  return out;
+}
+
+result<link_choice> catalog::best_link(gbps rate, meters length,
+                                       int indirections) const {
+  auto options = link_options(rate, length, indirections);
+  if (options.empty()) {
+    return infeasible_error(str_format(
+        "no cable can carry %.0f Gbps over %.1f m with %d indirections",
+        rate.value(), length.value(), indirections));
+  }
+  return options.front();
+}
+
+dollars catalog::cheapest_cost_estimate(gbps rate, meters length) const {
+  const auto best = best_link(rate, length, 0);
+  if (best.is_ok()) return best.value().total_cost;
+  // Nothing reaches: charge the most expensive option at its max length
+  // plus a steep penalty per extra meter, so optimizers still see a
+  // gradient pushing endpoints closer together.
+  dollars worst{0.0};
+  for (const cable_type& c : cables_) {
+    worst = std::max(worst, c.cost_fixed + c.cost_per_meter * length.value());
+  }
+  return worst + dollars{50.0} * length.value();
+}
+
+}  // namespace pn

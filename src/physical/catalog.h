@@ -1,0 +1,126 @@
+// Hardware catalog: cables, transceivers, switch pricing.
+//
+// §3.1 is about exactly this data: copper is cheap but short and thick
+// (AWS: 6.7 mm OD at 100G -> 11 mm at 400G, 2.7x the cross-section);
+// active electrical cables (AEC) trade a little cost for thinner, longer
+// runs; optics reach hundreds of meters but are power-hungry and
+// expensive, and patch panels / OCSes eat 0.5-1.0 dB of the loss budget.
+// Absolute prices here are public ballparks; every conclusion in the
+// benches depends only on their relative ordering, which is robust.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace pn {
+
+enum class cable_medium : std::uint8_t {
+  copper_dac,        // passive direct-attach copper
+  active_electrical, // AEC: retimed copper, thinner + longer than DAC
+  active_optical,    // AOC: fixed optics glued to the cable
+  fiber,             // duplex SMF; needs a pluggable transceiver per end
+};
+
+[[nodiscard]] const char* cable_medium_name(cable_medium m);
+
+struct cable_type {
+  std::string name;
+  cable_medium medium = cable_medium::copper_dac;
+  gbps rate;
+  meters max_length;            // signal-integrity reach of the cable itself
+  millimeters outside_diameter;
+  millimeters min_bend_radius;
+  dollars cost_fixed;           // connectors/assembly per cable
+  dollars cost_per_meter;
+  watts power;                  // consumed by the cable (active media)
+  double fit = 0.0;             // failures per 1e9 device-hours
+};
+
+struct transceiver_type {
+  std::string name;
+  gbps rate;
+  meters reach;
+  dollars cost;                 // per module (a link needs two)
+  watts power;                  // per module
+  decibels loss_budget;         // max end-to-end optical loss it tolerates
+  double fit = 0.0;
+};
+
+// Parametric switch pricing: the paper's comparisons need switch capex and
+// power to scale with radix * rate, not a per-SKU price list.
+struct switch_cost_model {
+  dollars base{2000.0};
+  dollars per_gbps{2.0};        // times radix * port rate
+  watts power_base{150.0};
+  watts power_per_gbps{0.03};
+  double fit = 2000.0;          // whole-switch FIT
+
+  [[nodiscard]] dollars cost(int radix, gbps rate) const;
+  [[nodiscard]] watts power(int radix, gbps rate) const;
+  // Rack units occupied, by radix (1 RU up to 32 ports, doubling after).
+  [[nodiscard]] static int rack_units(int radix);
+};
+
+// A concrete way to realize one link of a given rate and routed length.
+struct link_choice {
+  const cable_type* cable = nullptr;            // always set
+  const transceiver_type* transceiver = nullptr; // set iff medium == fiber
+  dollars total_cost;   // cable + 2 transceivers if any
+  watts total_power;
+  millimeters diameter; // what occupies tray / plenum cross-section
+};
+
+class catalog {
+ public:
+  // The default catalog described in DESIGN.md (100/200/400/800G DAC, AEC,
+  // AOC, SMF + transceivers).
+  [[nodiscard]] static catalog standard();
+
+  void add_cable(cable_type c);
+  void add_transceiver(transceiver_type t);
+
+  [[nodiscard]] const std::vector<cable_type>& cables() const {
+    return cables_;
+  }
+  [[nodiscard]] const std::vector<transceiver_type>& transceivers() const {
+    return transceivers_;
+  }
+  [[nodiscard]] const switch_cost_model& switches() const { return switches_; }
+  void set_switch_cost_model(switch_cost_model m) { switches_ = m; }
+
+  // Fixed optical losses a link must absorb besides the fiber itself.
+  [[nodiscard]] static decibels connector_loss() { return decibels{0.3}; }
+  // §3.1 / Telescent: each patch panel or OCS traversal costs 0.5-1.0 dB.
+  [[nodiscard]] static decibels indirection_loss() { return decibels{0.75}; }
+  // Fiber attenuation per meter (0.4 dB/km for SMF).
+  [[nodiscard]] static decibels fiber_loss_per_meter() {
+    return decibels{0.0004};
+  }
+
+  // All feasible realizations of a link, cheapest first. `indirections`
+  // counts patch-panel/OCS traversals (each adds loss for fiber media and
+  // is simply infeasible for copper beyond 0 — you cannot patch a DAC).
+  [[nodiscard]] std::vector<link_choice> link_options(
+      gbps rate, meters length, int indirections = 0) const;
+
+  // Cheapest feasible realization, or infeasible error.
+  [[nodiscard]] result<link_choice> best_link(gbps rate, meters length,
+                                              int indirections = 0) const;
+
+  // Cheapest realization ignoring every constraint except rate — used as
+  // an optimistic lower bound by placement optimizers.
+  [[nodiscard]] dollars cheapest_cost_estimate(gbps rate,
+                                               meters length) const;
+
+ private:
+  std::vector<cable_type> cables_;
+  std::vector<transceiver_type> transceivers_;
+  switch_cost_model switches_;
+};
+
+}  // namespace pn

@@ -1,0 +1,59 @@
+#include "physical/conjoin.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace pn {
+
+conjoin_report analyze_conjoining(const floorplan& fp,
+                                  const cabling_plan& plan,
+                                  const conjoin_params& p) {
+  conjoin_report out;
+
+  // Cables between adjacent same-row rack pairs.
+  std::map<std::pair<rack_id, rack_id>, std::size_t> adjacent_cables;
+  for (const cable_run& run : plan.runs) {
+    if (run.rack_a == run.rack_b) continue;
+    const rack& ra = fp.rack_at(run.rack_a);
+    const rack& rb = fp.rack_at(run.rack_b);
+    if (ra.row != rb.row) continue;
+    if (std::abs(ra.index_in_row - rb.index_in_row) != 1) continue;
+    ++adjacent_cables[std::minmax(run.rack_a, run.rack_b)];
+  }
+
+  // Greedy non-overlapping selection, densest pairs first.
+  std::vector<std::pair<std::size_t, std::pair<rack_id, rack_id>>> ranked;
+  for (const auto& [pair, count] : adjacent_cables) {
+    if (count >= p.min_shared_cables) ranked.push_back({count, pair});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  const bool door_allows = fp.max_conjoined_racks() >= 2;
+  std::set<rack_id> used;
+  std::set<int> rows_with_units;
+  for (const auto& [count, pair] : ranked) {
+    if (used.contains(pair.first) || used.contains(pair.second)) continue;
+    if (!door_allows) {
+      ++out.blocked_by_doorway;
+      continue;
+    }
+    used.insert(pair.first);
+    used.insert(pair.second);
+    out.units.push_back({pair.first, pair.second, count});
+    out.precabled_cables += count;
+    rows_with_units.insert(fp.rack_at(pair.first).row);
+  }
+
+  out.install_time_saved = hours_from_minutes(
+      static_cast<double>(out.precabled_cables) *
+      p.minutes_saved_per_cable);
+  if (fp.params().racks_per_row % 2 == 1) {
+    out.stranded_slots = static_cast<int>(rows_with_units.size());
+  }
+  return out;
+}
+
+}  // namespace pn

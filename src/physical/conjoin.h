@@ -1,0 +1,50 @@
+// Conjoined, pre-cabled rack units (§3.1).
+//
+// "Intra-rack cables are often pre-installed before a rack full of
+// switches is delivered. In some cases, it can be helpful to pre-cable a
+// conjoined pair of racks (representing an atomic unit of network
+// capacity). However, this can conflict with floor-space constraints
+// limiting a row to an odd number of racks ... (Also, double-wide racks
+// don't always fit through doors.)" This analysis finds adjacent rack
+// pairs dense enough in mutual cabling to ship as one pre-cabled unit,
+// honoring the doorway constraint, and prices both the install time saved
+// and the §3.1 side effects (stranded odd slots).
+#pragma once
+
+#include "common/units.h"
+#include "physical/cabling.h"
+#include "physical/floorplan.h"
+
+namespace pn {
+
+struct conjoin_params {
+  // Minimum cables between adjacent racks to justify factory pre-cabling.
+  std::size_t min_shared_cables = 8;
+  // Field minutes avoided per pre-cabled cable (pull + both connects move
+  // to the factory).
+  double minutes_saved_per_cable = 7.4;
+};
+
+struct conjoined_unit {
+  rack_id a;
+  rack_id b;            // adjacent in the same row
+  std::size_t cables;   // inter-rack runs that become factory work
+};
+
+struct conjoin_report {
+  std::vector<conjoined_unit> units;
+  // Pairs dense enough to conjoin but blocked because the doubled unit
+  // does not fit the doorway.
+  int blocked_by_doorway = 0;
+  std::size_t precabled_cables = 0;
+  hours install_time_saved{0.0};
+  // Rows with an odd rack count that used conjoined units: their leftover
+  // single slot is the §3.1 stranded floor space.
+  int stranded_slots = 0;
+};
+
+[[nodiscard]] conjoin_report analyze_conjoining(const floorplan& fp,
+                                                const cabling_plan& plan,
+                                                const conjoin_params& p);
+
+}  // namespace pn

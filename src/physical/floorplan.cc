@@ -1,0 +1,151 @@
+#include "physical/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+floorplan::floorplan(const floorplan_params& p) : params_(p) {
+  PN_CHECK(p.rows > 0 && p.racks_per_row > 0);
+  PN_CHECK(p.rack_units > 0);
+  PN_CHECK(p.cross_every > 0);
+  PN_CHECK(p.racks_per_feed > 0);
+
+  const double pitch_x = p.rack_width.value();
+  const double pitch_y = p.rack_depth.value() + p.aisle_width.value();
+
+  auto obstructed = [&](point pos) {
+    return std::any_of(p.obstacles.begin(), p.obstacles.end(),
+                       [&](const rect& r) { return r.contains(pos); });
+  };
+
+  // One tray junction above every unobstructed rack position; a junction
+  // row is a chain of segments along the row, severed at obstacles.
+  constexpr auto no_junction =
+      std::numeric_limits<tray_graph::junction_index>::max();
+  std::vector<std::vector<tray_graph::junction_index>> row_junctions(
+      static_cast<std::size_t>(p.rows),
+      std::vector<tray_graph::junction_index>(
+          static_cast<std::size_t>(p.racks_per_row), no_junction));
+
+  for (int row = 0; row < p.rows; ++row) {
+    for (int i = 0; i < p.racks_per_row; ++i) {
+      const point pos{(static_cast<double>(i) + 0.5) * pitch_x,
+                      (static_cast<double>(row) + 0.5) * pitch_y};
+      if (obstructed(pos)) continue;  // no rack, no tray here
+      const auto junction = trays_.add_junction(pos);
+      row_junctions[static_cast<std::size_t>(row)]
+                   [static_cast<std::size_t>(i)] = junction;
+
+      rack r;
+      r.id = rack_id{racks_.size()};
+      r.name = str_format("r%02d.%02d", row, i);
+      r.row = row;
+      r.index_in_row = i;
+      r.position = pos;
+      r.rack_units = p.rack_units;
+      r.power_budget = p.rack_power_budget;
+      r.plenum = p.rack_plenum;
+      r.drop_junction = junction;
+      racks_.push_back(std::move(r));
+    }
+  }
+  PN_CHECK_MSG(!racks_.empty(), "obstacles cover the whole floor");
+
+  // Row trays between adjacent existing junctions (an obstacle severs
+  // the run; routes must detour via a cross tray).
+  for (int row = 0; row < p.rows; ++row) {
+    const auto& js = row_junctions[static_cast<std::size_t>(row)];
+    for (int i = 0; i + 1 < p.racks_per_row; ++i) {
+      const auto a = js[static_cast<std::size_t>(i)];
+      const auto b = js[static_cast<std::size_t>(i + 1)];
+      if (a == no_junction || b == no_junction) continue;
+      trays_.add_segment(a, b, p.row_tray_capacity);
+    }
+  }
+  // Cross trays: at both ends and every cross_every positions, where both
+  // endpoints exist.
+  for (int i = 0; i < p.racks_per_row; ++i) {
+    const bool is_cross = i == 0 || i == p.racks_per_row - 1 ||
+                          (i % p.cross_every) == 0;
+    if (!is_cross) continue;
+    for (int row = 0; row + 1 < p.rows; ++row) {
+      const auto a = row_junctions[static_cast<std::size_t>(row)]
+                                  [static_cast<std::size_t>(i)];
+      const auto b = row_junctions[static_cast<std::size_t>(row + 1)]
+                                  [static_cast<std::size_t>(i)];
+      if (a == no_junction || b == no_junction) continue;
+      trays_.add_segment(a, b, p.cross_tray_capacity);
+    }
+  }
+}
+
+const rack& floorplan::rack_at(rack_id r) const {
+  PN_CHECK(r.index() < racks_.size());
+  return racks_[r.index()];
+}
+
+meters floorplan::rack_distance(rack_id a, rack_id b) const {
+  return manhattan_distance(rack_at(a).position, rack_at(b).position);
+}
+
+result<meters> floorplan::routed_length(rack_id a, rack_id b) const {
+  if (a == b) return intra_rack_length();
+  auto p = routed_path_between(a, b, square_millimeters{0.0});
+  if (!p.is_ok()) return p.error();
+  return p.value().length;
+}
+
+result<floorplan::routed_path> floorplan::routed_path_between(
+    rack_id a, rack_id b, square_millimeters required) const {
+  PN_CHECK(a != b);
+  const rack& ra = rack_at(a);
+  const rack& rb = rack_at(b);
+  auto route = required.value() > 0.0
+                   ? trays_.route(ra.drop_junction, rb.drop_junction, required)
+                   : trays_.route_unconstrained(ra.drop_junction,
+                                                rb.drop_junction);
+  if (!route.is_ok()) return route.error();
+
+  routed_path out;
+  out.route = std::move(route).value();
+  const double raw = out.route.length.value() +
+                     2.0 * params_.drop_length.value();
+  out.length = meters{raw * (1.0 + params_.slack_fraction)};
+  return out;
+}
+
+int floorplan::feed_of(rack_id r) const {
+  const rack& rk = rack_at(r);
+  const int feeds_per_row =
+      (params_.racks_per_row + params_.racks_per_feed - 1) /
+      params_.racks_per_feed;
+  return rk.row * feeds_per_row + rk.index_in_row / params_.racks_per_feed;
+}
+
+int floorplan::feed_count() const {
+  const int feeds_per_row =
+      (params_.racks_per_row + params_.racks_per_feed - 1) /
+      params_.racks_per_feed;
+  return params_.rows * feeds_per_row;
+}
+
+std::vector<rack_id> floorplan::racks_on_feed(int feed) const {
+  std::vector<rack_id> out;
+  for (const rack& r : racks_) {
+    if (feed_of(r.id) == feed) out.push_back(r.id);
+  }
+  return out;
+}
+
+int floorplan::max_conjoined_racks() const {
+  const int n = static_cast<int>(
+      std::floor(params_.doorway_width.value() / params_.rack_width.value()));
+  return n < 1 ? 1 : n;
+}
+
+}  // namespace pn

@@ -1,0 +1,112 @@
+// Datacenter floor model: rows of racks on a tile grid, an overhead
+// cable-tray network, per-rack plenum budgets, and doorway constraints.
+//
+// This is the "physical environment" of §2/§3.1: where things fit, how
+// cables get from A to B, and which pre-fab units make it through a door.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "geom/point.h"
+#include "geom/tray_graph.h"
+
+namespace pn {
+
+struct floorplan_params {
+  int rows = 4;
+  int racks_per_row = 16;
+  meters rack_width{0.6};
+  meters rack_depth{1.2};
+  meters aisle_width{1.8};       // gap between rows (hot/cold aisles)
+  int rack_units = 42;           // usable RU per rack
+  watts rack_power_budget{17000.0};
+  // Vertical plenum cross-section available for cables inside one rack.
+  square_millimeters rack_plenum{30000.0};
+  // Overhead tray above each row, one junction per rack position, plus
+  // cross-trays joining the rows at both ends and every `cross_every`
+  // positions.
+  square_millimeters row_tray_capacity{40000.0};
+  square_millimeters cross_tray_capacity{60000.0};
+  int cross_every = 8;
+  // Vertical distance a cable travels from a rack to the overhead tray
+  // (counted once per end of every inter-rack run).
+  meters drop_length{2.5};
+  // Extra service-loop slack applied to every routed length.
+  double slack_fraction = 0.10;
+  // Door width limits how many pre-cabled racks can be conjoined (§3.1:
+  // "double-wide racks don't always fit through doors").
+  meters doorway_width{1.2};
+  // Racks share power feeds in contiguous groups along a row (a busway
+  // segment). §3.3: abstract designs conceal "physical-world failure
+  // domains (e.g., shared power feeds)".
+  int racks_per_feed = 8;
+  // Keep-out zones (columns, CRAC units, ramps — the 1961 IBM 7090
+  // doorway problem in miniature): no rack is placed and no tray passes
+  // through these rectangles. Tray routes detour around them.
+  std::vector<rect> obstacles;
+};
+
+struct rack {
+  rack_id id;
+  std::string name;
+  int row = 0;
+  int index_in_row = 0;
+  point position;               // center of the rack footprint
+  int rack_units = 42;
+  watts power_budget;
+  square_millimeters plenum;
+  tray_graph::junction_index drop_junction = 0;  // tray junction above
+};
+
+class floorplan {
+ public:
+  explicit floorplan(const floorplan_params& p);
+
+  [[nodiscard]] const floorplan_params& params() const { return params_; }
+  [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
+  [[nodiscard]] const rack& rack_at(rack_id r) const;
+  [[nodiscard]] const std::vector<rack>& racks() const { return racks_; }
+
+  [[nodiscard]] tray_graph& trays() { return trays_; }
+  [[nodiscard]] const tray_graph& trays() const { return trays_; }
+
+  // Straight-line (Manhattan) rack-to-rack distance; a lower bound used by
+  // placement optimizers because it needs no tray routing.
+  [[nodiscard]] meters rack_distance(rack_id a, rack_id b) const;
+
+  // Full routed cable length between racks: drops at both ends, the tray
+  // route, and slack. For a==b returns the intra-rack patch length.
+  // Does not reserve tray capacity.
+  [[nodiscard]] result<meters> routed_length(rack_id a, rack_id b) const;
+  // Same, but also returns the route so the caller can reserve capacity.
+  struct routed_path {
+    tray_route route;
+    meters length;
+  };
+  [[nodiscard]] result<routed_path> routed_path_between(
+      rack_id a, rack_id b, square_millimeters required) const;
+
+  [[nodiscard]] static meters intra_rack_length() { return meters{2.0}; }
+
+  // How many racks can be conjoined and still fit through the door
+  // (pre-cabled multi-rack units, §3.1).
+  [[nodiscard]] int max_conjoined_racks() const;
+
+  // Power-feed (busway segment) topology: feed_of groups racks_per_feed
+  // consecutive racks of a row onto one feed.
+  [[nodiscard]] int feed_of(rack_id r) const;
+  [[nodiscard]] int feed_count() const;
+  // All racks sharing the feed — the blast radius of one feed failure.
+  [[nodiscard]] std::vector<rack_id> racks_on_feed(int feed) const;
+
+ private:
+  floorplan_params params_;
+  std::vector<rack> racks_;
+  tray_graph trays_;
+};
+
+}  // namespace pn

@@ -1,0 +1,264 @@
+#include "physical/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace pn {
+
+placement::placement(std::size_t node_count, const floorplan& fp)
+    : rack_of_(node_count), used_units_(fp.rack_count(), 0) {
+  capacity_.reserve(fp.rack_count());
+  for (const rack& r : fp.racks()) {
+    capacity_.push_back(r.rack_units);
+  }
+}
+
+status placement::assign(node_id n, rack_id r, int rack_units) {
+  PN_CHECK(n.index() < rack_of_.size());
+  PN_CHECK(r.index() < used_units_.size());
+  PN_CHECK_MSG(!rack_of_[n.index()].valid(), "node already placed");
+  if (used_units_[r.index()] + rack_units > capacity_[r.index()]) {
+    return capacity_error(str_format("rack %u has %d RU free, need %d",
+                                     r.value(),
+                                     capacity_[r.index()] -
+                                         used_units_[r.index()],
+                                     rack_units));
+  }
+  rack_of_[n.index()] = r;
+  used_units_[r.index()] += rack_units;
+  return status::ok();
+}
+
+void placement::unassign(node_id n, int rack_units) {
+  PN_CHECK(n.index() < rack_of_.size());
+  const rack_id r = rack_of_[n.index()];
+  PN_CHECK_MSG(r.valid(), "node not placed");
+  used_units_[r.index()] -= rack_units;
+  PN_CHECK(used_units_[r.index()] >= 0);
+  rack_of_[n.index()] = rack_id{};
+}
+
+bool placement::is_assigned(node_id n) const {
+  PN_CHECK(n.index() < rack_of_.size());
+  return rack_of_[n.index()].valid();
+}
+
+rack_id placement::rack_of(node_id n) const {
+  PN_CHECK(n.index() < rack_of_.size());
+  PN_CHECK_MSG(rack_of_[n.index()].valid(), "node not placed");
+  return rack_of_[n.index()];
+}
+
+int placement::used_units(rack_id r) const {
+  PN_CHECK(r.index() < used_units_.size());
+  return used_units_[r.index()];
+}
+
+int placement::free_units(rack_id r) const {
+  PN_CHECK(r.index() < used_units_.size());
+  return capacity_[r.index()] - used_units_[r.index()];
+}
+
+std::vector<node_id> placement::nodes_in(rack_id r) const {
+  std::vector<node_id> out;
+  for (std::size_t i = 0; i < rack_of_.size(); ++i) {
+    if (rack_of_[i] == r) out.push_back(node_id{i});
+  }
+  return out;
+}
+
+bool placement::complete() const {
+  return std::all_of(rack_of_.begin(), rack_of_.end(),
+                     [](rack_id r) { return r.valid(); });
+}
+
+int node_rack_units(const network_graph& g, node_id n) {
+  const node_info& info = g.node(n);
+  return switch_cost_model::rack_units(info.radix) +
+         info.host_ports * server_rack_units;
+}
+
+meters estimated_length(const floorplan& fp, rack_id a, rack_id b) {
+  if (a == b) return floorplan::intra_rack_length();
+  const double raw = fp.rack_distance(a, b).value() +
+                     2.0 * fp.params().drop_length.value();
+  return meters{raw * (1.0 + fp.params().slack_fraction)};
+}
+
+dollars placement_cable_cost(const network_graph& g, const floorplan& fp,
+                             const catalog& cat, const placement& pl) {
+  dollars total{0.0};
+  for (edge_id e : g.live_edges()) {
+    const edge_info& info = g.edge(e);
+    const meters len =
+        estimated_length(fp, pl.rack_of(info.a), pl.rack_of(info.b));
+    total += cat.cheapest_cost_estimate(info.capacity, len);
+  }
+  return total;
+}
+
+namespace {
+
+// Nodes ordered for block placement: upper layers first (they sit in the
+// middle rows near the cross trays in real deployments we approximate by
+// just keeping blocks contiguous), then by block, preserving generator
+// order within a block.
+std::vector<node_id> block_order(const network_graph& g) {
+  std::vector<node_id> order;
+  order.reserve(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) order.push_back(node_id{i});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](node_id a, node_id b) {
+                     const node_info& na = g.node(a);
+                     const node_info& nb = g.node(b);
+                     if (na.layer != nb.layer) return na.layer > nb.layer;
+                     return na.block < nb.block;
+                   });
+  return order;
+}
+
+}  // namespace
+
+result<placement> block_placement(const network_graph& g,
+                                  const floorplan& fp) {
+  placement pl(g.node_count(), fp);
+  std::size_t rack_cursor = 0;
+  for (node_id n : block_order(g)) {
+    const int ru = node_rack_units(g, n);
+    while (rack_cursor < fp.rack_count() &&
+           pl.free_units(rack_id{rack_cursor}) < ru) {
+      ++rack_cursor;
+    }
+    if (rack_cursor >= fp.rack_count()) {
+      return capacity_error(
+          str_format("floor full after placing %zu of %zu switches",
+                     n.index(), g.node_count()));
+    }
+    const status s = pl.assign(n, rack_id{rack_cursor}, ru);
+    if (!s.is_ok()) return s;
+  }
+  return pl;
+}
+
+result<placement> random_placement(const network_graph& g,
+                                   const floorplan& fp, std::uint64_t seed) {
+  placement pl(g.node_count(), fp);
+  rng r(seed);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_id n{i};
+    const int ru = node_rack_units(g, n);
+    bool placed = false;
+    for (int attempt = 0; attempt < 1000 && !placed; ++attempt) {
+      const rack_id cand{r.next_index(fp.rack_count())};
+      if (pl.free_units(cand) >= ru) {
+        PN_CHECK(pl.assign(n, cand, ru).is_ok());
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Fall back to first fit before declaring the floor full.
+      for (std::size_t rk = 0; rk < fp.rack_count() && !placed; ++rk) {
+        if (pl.free_units(rack_id{rk}) >= ru) {
+          PN_CHECK(pl.assign(n, rack_id{rk}, ru).is_ok());
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      return capacity_error("floor has no rack with enough free units");
+    }
+  }
+  return pl;
+}
+
+placement anneal_placement(const network_graph& g, const floorplan& fp,
+                           const catalog& cat, placement start,
+                           const anneal_options& opt) {
+  PN_CHECK_MSG(start.complete(), "anneal_placement needs a complete start");
+  rng r(opt.seed);
+
+  // Cost of all edges incident to a node under the current placement.
+  auto incident_cost = [&](const placement& pl, node_id n) {
+    dollars c{0.0};
+    for (const auto& adj : g.neighbors(n)) {
+      const meters len = estimated_length(fp, pl.rack_of(n),
+                                          pl.rack_of(adj.neighbor));
+      c += cat.cheapest_cost_estimate(g.edge(adj.edge).capacity, len);
+    }
+    return c;
+  };
+
+  placement current = start;
+  placement best = start;
+  dollars best_cost = placement_cable_cost(g, fp, cat, current);
+  dollars current_cost = best_cost;
+  double temperature = opt.initial_temperature;
+
+  for (int it = 0; it < opt.iterations; ++it, temperature *= opt.cooling) {
+    const node_id a{r.next_index(g.node_count())};
+    const int ru_a = node_rack_units(g, a);
+    const rack_id rack_a = current.rack_of(a);
+
+    // Either move `a` to a random rack with room, or swap with another
+    // node of the same footprint.
+    const bool do_swap = r.next_bool(0.5);
+    node_id b;
+    rack_id rack_b;
+    if (do_swap) {
+      b = node_id{r.next_index(g.node_count())};
+      if (b == a || node_rack_units(g, b) != ru_a) continue;
+      rack_b = current.rack_of(b);
+      if (rack_b == rack_a) continue;
+    } else {
+      rack_b = rack_id{r.next_index(fp.rack_count())};
+      if (rack_b == rack_a || current.free_units(rack_b) < ru_a) continue;
+    }
+
+    dollars before = incident_cost(current, a);
+    if (do_swap) before += incident_cost(current, b);
+
+    // Apply tentatively.
+    current.unassign(a, ru_a);
+    if (do_swap) {
+      current.unassign(b, ru_a);
+      PN_CHECK(current.assign(a, rack_b, ru_a).is_ok());
+      PN_CHECK(current.assign(b, rack_a, ru_a).is_ok());
+    } else {
+      PN_CHECK(current.assign(a, rack_b, ru_a).is_ok());
+    }
+
+    dollars after = incident_cost(current, a);
+    if (do_swap) after += incident_cost(current, b);
+    // A swap where a and b are adjacent double-counts their shared edges
+    // in both before and after, so the delta stays consistent.
+    const double delta = (after - before).value();
+
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 1e-9 && r.next_bool(std::exp(-delta / temperature)));
+    if (accept) {
+      current_cost += dollars{delta};
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = current;
+      }
+    } else {
+      // Revert.
+      current.unassign(a, ru_a);
+      if (do_swap) {
+        current.unassign(b, ru_a);
+        PN_CHECK(current.assign(a, rack_a, ru_a).is_ok());
+        PN_CHECK(current.assign(b, rack_b, ru_a).is_ok());
+      } else {
+        PN_CHECK(current.assign(a, rack_a, ru_a).is_ok());
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pn

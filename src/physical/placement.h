@@ -1,0 +1,93 @@
+// Assignment of logical switches to physical racks.
+//
+// Mudigonda et al. ("Taming the Flying Cable Monster", §3.1) framed
+// topology-to-floor placement as an optimization problem: some topologies
+// buy shorter average cable runs at the cost of more hops, and placement
+// decides how much of the cable bill is copper vs. optics. We provide the
+// strategies the benches ablate: random (strawman), block (pre-planned,
+// what real Clos deployments do), and simulated annealing on top of
+// either.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "physical/catalog.h"
+#include "physical/floorplan.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+class placement {
+ public:
+  placement(std::size_t node_count, const floorplan& fp);
+
+  // Fails with capacity_exceeded if the rack lacks rack units.
+  status assign(node_id n, rack_id r, int rack_units);
+  void unassign(node_id n, int rack_units);
+
+  [[nodiscard]] bool is_assigned(node_id n) const;
+  [[nodiscard]] rack_id rack_of(node_id n) const;
+  [[nodiscard]] int used_units(rack_id r) const;
+  [[nodiscard]] int free_units(rack_id r) const;
+  [[nodiscard]] std::vector<node_id> nodes_in(rack_id r) const;
+  [[nodiscard]] std::size_t node_count() const { return rack_of_.size(); }
+
+  // True when every node has a rack.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  std::vector<rack_id> rack_of_;
+  std::vector<int> used_units_;
+  std::vector<int> capacity_;
+};
+
+// Rack units a switch occupies. A host-facing switch (ToR/expander) is
+// placed together with the servers it serves — that is what "top of rack"
+// means — so it also claims `server_rack_units` per host port. Middle and
+// spine switches occupy only their own chassis.
+inline constexpr int server_rack_units = 2;
+[[nodiscard]] int node_rack_units(const network_graph& g, node_id n);
+
+// Estimated rack-to-rack cable length without tray routing (Manhattan +
+// drops + slack); the lower-bound metric placement optimizers use.
+[[nodiscard]] meters estimated_length(const floorplan& fp, rack_id a,
+                                      rack_id b);
+
+// Total estimated cable cost of a placement (sum of cheapest feasible
+// media per edge at estimated lengths).
+[[nodiscard]] dollars placement_cable_cost(const network_graph& g,
+                                           const floorplan& fp,
+                                           const catalog& cat,
+                                           const placement& pl);
+
+// Fills racks in node order grouped by (layer, block): pods and spine
+// groups land in contiguous racks — the "regular, bundleable" layout.
+[[nodiscard]] result<placement> block_placement(const network_graph& g,
+                                                const floorplan& fp);
+
+// Uniform random placement; the strawman showing what ignoring physical
+// locality costs.
+[[nodiscard]] result<placement> random_placement(const network_graph& g,
+                                                 const floorplan& fp,
+                                                 std::uint64_t seed);
+
+struct anneal_options {
+  int iterations = 20000;
+  double initial_temperature = 500.0;  // dollars
+  double cooling = 0.9995;             // per-iteration geometric factor
+  std::uint64_t seed = 1;
+};
+
+// Simulated annealing over node->rack moves and swaps, minimizing
+// placement_cable_cost. Returns the improved placement (never worse than
+// the input).
+[[nodiscard]] placement anneal_placement(const network_graph& g,
+                                         const floorplan& fp,
+                                         const catalog& cat, placement start,
+                                         const anneal_options& opt);
+
+}  // namespace pn

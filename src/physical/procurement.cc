@@ -1,0 +1,115 @@
+#include "physical/procurement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// Built-in market model: who sells what, at which premium and lead time.
+std::vector<vendor_offer> offers_for(cable_medium medium) {
+  switch (medium) {
+    case cable_medium::copper_dac:
+      // Commodity: several interchangeable manufacturers.
+      return {{"CuLink", 1.0, 10.0},
+              {"WireWorks", 1.06, 12.0},
+              {"GenericCable Co", 1.12, 21.0}};
+    case cable_medium::active_electrical:
+      // The retimer silicon has one source at any given moment.
+      return {{"ActiveWire", 1.0, 28.0}};
+    case cable_medium::active_optical:
+      return {{"PhotonCord", 1.0, 35.0}};
+    case cable_medium::fiber:
+      // Bare fiber is fully commodity.
+      return {{"LumenSys", 1.0, 7.0},
+              {"FiberFab", 1.04, 9.0},
+              {"OptiBulk", 1.08, 14.0}};
+  }
+  return {};
+}
+
+}  // namespace
+
+procurement_order build_procurement_order(const cabling_plan& plan,
+                                          const procurement_params& p) {
+  PN_CHECK(p.spares_fraction >= 0.0);
+  PN_CHECK(p.length_quantum.value() > 0.0);
+
+  // Key: (cable name, quantized length).
+  struct sku_accum {
+    const cable_type* cable = nullptr;
+    gbps rate;
+    std::size_t count = 0;
+  };
+  std::map<std::pair<std::string, long long>, sku_accum> accum;
+  for (const cable_run& run : plan.runs) {
+    const auto quanta = static_cast<long long>(
+        std::ceil(run.length.value() / p.length_quantum.value()));
+    auto& a = accum[{run.choice.cable->name, std::max(1LL, quanta)}];
+    a.cable = run.choice.cable;
+    a.rate = run.choice.cable->rate;
+    ++a.count;
+  }
+
+  procurement_order out;
+  for (const auto& [key, a] : accum) {
+    procurement_sku sku;
+    const double sku_len =
+        static_cast<double>(key.second) * p.length_quantum.value();
+    sku.description = str_format("%s @ %.0fm", key.first.c_str(), sku_len);
+    sku.medium = a.cable->medium;
+    sku.rate = a.rate;
+    sku.length = meters{sku_len};
+    sku.quantity = a.count + static_cast<std::size_t>(std::ceil(
+                                 static_cast<double>(a.count) *
+                                 p.spares_fraction));
+    sku.unit_cost = a.cable->cost_fixed + a.cable->cost_per_meter * sku_len;
+    sku.offers = offers_for(a.cable->medium);
+    PN_CHECK(!sku.offers.empty());
+
+    out.total_cost += sku.unit_cost * static_cast<double>(sku.quantity);
+    out.total_cables += sku.quantity;
+    out.max_lead_time_days =
+        std::max(out.max_lead_time_days, sku.offers.front().lead_time_days);
+    if (sku.offers.size() == 1) {
+      ++out.sole_source_skus;
+    }
+    out.skus.push_back(std::move(sku));
+  }
+  return out;
+}
+
+vendor_outage_report assess_vendor_outage(const procurement_order& order,
+                                          const std::string& vendor,
+                                          double outage_days) {
+  PN_CHECK(outage_days >= 0.0);
+  vendor_outage_report out;
+  out.vendor = vendor;
+  for (const procurement_sku& sku : order.skus) {
+    if (sku.offers.empty() || sku.offers.front().vendor != vendor) {
+      continue;  // primary source unaffected
+    }
+    ++out.affected_skus;
+    if (sku.offers.size() == 1) {
+      ++out.blocked_skus;
+      out.delay_days = std::max(out.delay_days, outage_days);
+      continue;
+    }
+    // Re-source from the next offer: pay the premium, eat its lead time.
+    const vendor_offer& alt = sku.offers[1];
+    ++out.resourced_skus;
+    out.cost_premium += sku.unit_cost *
+                        static_cast<double>(sku.quantity) *
+                        (alt.price_multiplier -
+                         sku.offers.front().price_multiplier);
+    out.delay_days = std::max(out.delay_days, alt.lead_time_days);
+  }
+  return out;
+}
+
+}  // namespace pn

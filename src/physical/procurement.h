@@ -1,0 +1,80 @@
+// Procurement planning and supply-chain fungibility (§2, §2.2).
+//
+// §2: automation must "order the correct materials (e.g., cables
+// pre-built to proper lengths)". §2.2: "if the network design ... supports
+// fungible hardware ... a supply-chain problem at one vendor can be
+// resolved by buying compatible parts from another," and a fungibility
+// requirement may mean designing for the second-best part. This module
+// turns a cabling plan into an order book of length-quantized SKUs with
+// vendor alternatives, and assesses what a vendor outage does to the
+// deployment schedule with and without fungibility.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "physical/cabling.h"
+#include "physical/catalog.h"
+
+namespace pn {
+
+struct vendor_offer {
+  std::string vendor;
+  double price_multiplier = 1.0;  // vs. catalog price
+  double lead_time_days = 14.0;
+};
+
+struct procurement_sku {
+  std::string description;   // e.g. "dac-100g @ 5m"
+  cable_medium medium = cable_medium::copper_dac;
+  gbps rate;
+  meters length;             // quantized SKU length
+  std::size_t quantity = 0;  // incl. spares
+  dollars unit_cost;         // primary vendor
+  // Offers sorted by price; front() is the primary source. A SKU with a
+  // single offer is the §2.2 sole-source risk.
+  std::vector<vendor_offer> offers;
+};
+
+struct procurement_params {
+  // Spare stock ordered beyond the plan (repair pipeline, §3.3).
+  double spares_fraction = 0.05;
+  meters length_quantum{5.0};
+};
+
+struct procurement_order {
+  std::vector<procurement_sku> skus;
+  dollars total_cost;
+  std::size_t total_cables = 0;
+  double max_lead_time_days = 0.0;
+  std::size_t sole_source_skus = 0;
+};
+
+// Builds the order book from a cabling plan. Vendor offers come from a
+// built-in market model: passive copper and bare fiber have multiple
+// interchangeable vendors; active cables (AEC/AOC) are effectively
+// sole-source at any moment (their DSPs are), which is exactly where the
+// paper's fungibility worry bites.
+[[nodiscard]] procurement_order build_procurement_order(
+    const cabling_plan& plan, const procurement_params& p);
+
+struct vendor_outage_report {
+  std::string vendor;
+  std::size_t affected_skus = 0;
+  std::size_t blocked_skus = 0;    // no alternative source
+  std::size_t resourced_skus = 0;  // switched to another vendor
+  dollars cost_premium;            // paying the second-best price
+  // Deployment delay: longest alternative lead time among re-sourced
+  // SKUs, or the outage duration for blocked ones.
+  double delay_days = 0.0;
+};
+
+// What happens to the order if `vendor` stops shipping for
+// `outage_days`: fungible SKUs are re-sourced at a premium; sole-source
+// SKUs block the schedule for the whole outage.
+[[nodiscard]] vendor_outage_report assess_vendor_outage(
+    const procurement_order& order, const std::string& vendor,
+    double outage_days);
+
+}  // namespace pn

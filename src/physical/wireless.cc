@@ -1,0 +1,122 @@
+#include "physical/wireless.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pn {
+
+wireless_params wireless_params::wigig() {
+  wireless_params p;
+  p.link_rate = gbps{7.0};
+  p.max_range = meters{15.0};
+  p.interference_radius = meters{2.5};
+  p.radios_per_rack = 4;
+  p.obstruction_probability = 0.0;  // the mirror clears obstructions
+  return p;
+}
+
+wireless_params wireless_params::fso() {
+  wireless_params p;
+  p.link_rate = gbps{25.0};
+  p.max_range = meters{40.0};
+  p.interference_radius = meters{0.3};  // pencil beams barely interfere
+  p.radios_per_rack = 8;
+  // §3.1: "unobstructed paths between racks ... hard to guarantee".
+  p.obstruction_probability = 0.15;
+  return p;
+}
+
+wireless_report assess_wireless_substitution(const floorplan& fp,
+                                             const cabling_plan& plan,
+                                             const wireless_params& p,
+                                             std::uint64_t seed) {
+  PN_CHECK(p.link_rate.value() > 0.0);
+  PN_CHECK(p.radios_per_rack > 0);
+  rng r(seed);
+
+  struct beam {
+    point midpoint;
+    double gbps_needed = 0.0;
+  };
+  std::vector<beam> beams;
+  std::map<rack_id, int> radios_used;
+
+  wireless_report out;
+  for (const cable_run& run : plan.runs) {
+    if (run.rack_a == run.rack_b) continue;
+    ++out.links_requested;
+    const double needed = run.choice.cable->rate.value() > 0.0
+                              ? run.choice.cable->rate.value()
+                              : (run.choice.transceiver != nullptr
+                                     ? run.choice.transceiver->rate.value()
+                                     : 0.0);
+    out.demanded_gbps += needed;
+
+    const point a = fp.rack_at(run.rack_a).position;
+    const point b = fp.rack_at(run.rack_b).position;
+    if (euclidean_distance(a, b) > p.max_range) continue;
+    ++out.links_in_range;
+
+    if (radios_used[run.rack_a] >= p.radios_per_rack ||
+        radios_used[run.rack_b] >= p.radios_per_rack) {
+      continue;
+    }
+    if (p.obstruction_probability > 0.0 &&
+        r.next_bool(p.obstruction_probability)) {
+      continue;  // blocked path, no mirror shot either
+    }
+    ++radios_used[run.rack_a];
+    ++radios_used[run.rack_b];
+    ++out.links_with_radios;
+    beams.push_back({{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0}, needed});
+  }
+
+  // Greedy maximum independent set on the interference graph: fewest-
+  // conflicts first.
+  const double min_sep = p.interference_radius.value();
+  std::vector<int> conflicts(beams.size(), 0);
+  for (std::size_t i = 0; i < beams.size(); ++i) {
+    for (std::size_t j = i + 1; j < beams.size(); ++j) {
+      if (euclidean_distance(beams[i].midpoint, beams[j].midpoint)
+              .value() < min_sep) {
+        ++conflicts[i];
+        ++conflicts[j];
+      }
+    }
+  }
+  std::vector<std::size_t> order(beams.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return conflicts[a] < conflicts[b];
+                   });
+  std::vector<bool> chosen(beams.size(), false);
+  for (const std::size_t i : order) {
+    bool ok = true;
+    for (std::size_t j = 0; j < beams.size() && ok; ++j) {
+      if (chosen[j] &&
+          euclidean_distance(beams[i].midpoint, beams[j].midpoint)
+                  .value() < min_sep) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      chosen[i] = true;
+      ++out.concurrent_beams;
+    }
+  }
+
+  out.deliverable_gbps =
+      static_cast<double>(out.concurrent_beams) * p.link_rate.value();
+  out.capacity_fraction =
+      out.demanded_gbps > 0.0
+          ? std::min(1.0, out.deliverable_gbps / out.demanded_gbps)
+          : 0.0;
+  return out;
+}
+
+}  // namespace pn

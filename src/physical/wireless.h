@@ -1,0 +1,54 @@
+// Wireless / free-space-optics substitution analysis (§3.1).
+//
+// "Some papers have proposed using free-space optics or 60GHz wireless
+// links within datacenters. While these avoid the physical challenges of
+// cables, these too suffer from real-world issues. Free-space optics
+// require unobstructed paths between racks ... 60GHz wireless links
+// probably cannot be packed tightly enough to entirely replace large
+// bundles of fibers." This module tests that claim against a concrete
+// cabling plan: model each inter-rack cable as a candidate beam bounced
+// off a ceiling mirror (Zhou et al.), apply range, per-rack radio, and
+// beam-interference limits, and report how much of the cable plan's
+// capacity wireless could actually carry.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "physical/cabling.h"
+#include "physical/floorplan.h"
+
+namespace pn {
+
+struct wireless_params {
+  gbps link_rate{7.0};            // per-beam data rate
+  meters max_range{15.0};         // reach via the ceiling bounce
+  // Two beams interfere when their ceiling footprints (disks at the path
+  // midpoint) come closer than this.
+  meters interference_radius{2.5};
+  int radios_per_rack = 4;
+
+  // 60GHz per Zhou et al. (wide beams, modest rate).
+  [[nodiscard]] static wireless_params wigig();
+  // Free-space optics per Hamedazimi et al. (narrow beams, high rate,
+  // but an obstruction fraction: a beam blocked by ducts/trays/people).
+  [[nodiscard]] static wireless_params fso();
+  double obstruction_probability = 0.0;  // beams unusable outright
+};
+
+struct wireless_report {
+  std::size_t links_requested = 0;   // inter-rack cable runs to replace
+  std::size_t links_in_range = 0;
+  std::size_t links_with_radios = 0; // also satisfy per-rack radio limits
+  std::size_t concurrent_beams = 0;  // interference-free set (greedy MIS)
+  double demanded_gbps = 0.0;        // capacity the cables provide
+  double deliverable_gbps = 0.0;     // concurrent beams x per-beam rate
+  double capacity_fraction = 0.0;    // deliverable / demanded
+};
+
+// Deterministic (obstruction draws use `seed`).
+[[nodiscard]] wireless_report assess_wireless_substitution(
+    const floorplan& fp, const cabling_plan& plan, const wireless_params& p,
+    std::uint64_t seed = 1);
+
+}  // namespace pn

@@ -1,0 +1,73 @@
+#include "topology/export.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+const char* layer_color(int layer) {
+  switch (layer) {
+    case 0:
+      return "#8ecae6";  // ToR
+    case 1:
+      return "#ffb703";  // aggregation
+    default:
+      return "#fb8500";  // spine and above
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const network_graph& g, const dot_options& opt) {
+  std::ostringstream out;
+  out << "graph \"" << g.family << "\" {\n";
+  out << "  node [shape=box, style=filled];\n";
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_info& n = g.node(node_id{i});
+    out << "  n" << i << " [label=\"" << n.name << "\"";
+    if (opt.color_by_layer) {
+      out << ", fillcolor=\"" << layer_color(n.layer) << "\"";
+    }
+    out << "];\n";
+  }
+
+  if (opt.merge_parallel) {
+    std::map<std::pair<node_id, node_id>, std::pair<int, double>> merged;
+    for (edge_id e : g.live_edges()) {
+      const edge_info& info = g.edge(e);
+      auto key = std::minmax(info.a, info.b);
+      auto& [count, capacity] = merged[key];
+      ++count;
+      capacity += info.capacity.value();
+    }
+    for (const auto& [key, cc] : merged) {
+      out << "  n" << key.first.index() << " -- n" << key.second.index();
+      std::string label;
+      if (cc.first > 1) label = str_format("x%d", cc.first);
+      if (opt.label_capacity) {
+        if (!label.empty()) label += " ";
+        label += str_format("%.0fG", cc.second);
+      }
+      if (!label.empty()) out << " [label=\"" << label << "\"]";
+      out << ";\n";
+    }
+  } else {
+    for (edge_id e : g.live_edges()) {
+      const edge_info& info = g.edge(e);
+      out << "  n" << info.a.index() << " -- n" << info.b.index();
+      if (opt.label_capacity) {
+        out << " [label=\"" << str_format("%.0fG", info.capacity.value())
+            << "\"]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pn

@@ -1,0 +1,21 @@
+// Graphviz DOT export of switch graphs, for design review and debugging
+// of generated fabrics.
+#pragma once
+
+#include <string>
+
+#include "topology/graph.h"
+
+namespace pn {
+
+struct dot_options {
+  bool color_by_layer = true;  // ToR / aggregation / spine shades
+  bool label_capacity = false; // annotate edges with Gbps
+  // Collapse parallel edges into one with a multiplicity label.
+  bool merge_parallel = true;
+};
+
+[[nodiscard]] std::string to_dot(const network_graph& g,
+                                 const dot_options& opt = {});
+
+}  // namespace pn

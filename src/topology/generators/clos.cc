@@ -1,0 +1,98 @@
+#include "topology/generators/clos.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+network_graph build_clos(const clos_params& p, int min_radix) {
+  PN_CHECK(p.pods > 0 && p.tors_per_pod > 0 && p.aggs_per_pod > 0);
+  PN_CHECK(p.spine_groups > 0 && p.spines_per_group > 0);
+  PN_CHECK_MSG(p.aggs_per_pod == p.spine_groups,
+               "folded Clos wiring needs aggs_per_pod == spine_groups");
+  PN_CHECK(p.hosts_per_tor >= 0);
+  PN_CHECK(p.tor_agg_links > 0 && p.agg_spine_links > 0);
+
+  network_graph g;
+  g.family = "clos";
+
+  const int tor_radix = std::max(
+      min_radix, p.hosts_per_tor + p.aggs_per_pod * p.tor_agg_links);
+  const int agg_radix = std::max(
+      min_radix, p.tors_per_pod * p.tor_agg_links +
+                     p.spines_per_group * p.agg_spine_links);
+  const int spine_radix = std::max(min_radix, p.pods * p.agg_spine_links);
+
+  // ToRs and aggregation switches, pod by pod.
+  std::vector<std::vector<node_id>> tors(static_cast<std::size_t>(p.pods));
+  std::vector<std::vector<node_id>> aggs(static_cast<std::size_t>(p.pods));
+  for (int pod = 0; pod < p.pods; ++pod) {
+    for (int t = 0; t < p.tors_per_pod; ++t) {
+      tors[static_cast<std::size_t>(pod)].push_back(g.add_node(
+          {str_format("pod%d/tor%d", pod, t), node_kind::tor, tor_radix,
+           p.link_rate, p.hosts_per_tor, 0, pod}));
+    }
+    for (int a = 0; a < p.aggs_per_pod; ++a) {
+      aggs[static_cast<std::size_t>(pod)].push_back(g.add_node(
+          {str_format("pod%d/agg%d", pod, a), node_kind::aggregation,
+           agg_radix, p.link_rate, 0, 1, pod}));
+    }
+  }
+
+  // Spine groups. Block index continues after pods so that placement can
+  // keep each spine group together.
+  std::vector<std::vector<node_id>> spines(
+      static_cast<std::size_t>(p.spine_groups));
+  for (int gidx = 0; gidx < p.spine_groups; ++gidx) {
+    for (int s = 0; s < p.spines_per_group; ++s) {
+      spines[static_cast<std::size_t>(gidx)].push_back(g.add_node(
+          {str_format("spine%d/sw%d", gidx, s), node_kind::spine, spine_radix,
+           p.link_rate, 0, 2, p.pods + gidx}));
+    }
+  }
+
+  for (int pod = 0; pod < p.pods; ++pod) {
+    for (node_id tor : tors[static_cast<std::size_t>(pod)]) {
+      for (node_id agg : aggs[static_cast<std::size_t>(pod)]) {
+        for (int l = 0; l < p.tor_agg_links; ++l) {
+          g.add_edge(tor, agg, p.link_rate);
+        }
+      }
+    }
+    for (int a = 0; a < p.aggs_per_pod; ++a) {
+      const node_id agg = aggs[static_cast<std::size_t>(pod)]
+                              [static_cast<std::size_t>(a)];
+      for (node_id spine : spines[static_cast<std::size_t>(a)]) {
+        for (int l = 0; l < p.agg_spine_links; ++l) {
+          g.add_edge(agg, spine, p.link_rate);
+        }
+      }
+    }
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+clos_params fat_tree_params(int k, gbps link_rate) {
+  PN_CHECK_MSG(k > 0 && k % 2 == 0, "fat-tree arity must be even");
+  clos_params p;
+  p.pods = k;
+  p.tors_per_pod = k / 2;
+  p.aggs_per_pod = k / 2;
+  p.spine_groups = k / 2;
+  p.spines_per_group = k / 2;
+  p.hosts_per_tor = k / 2;
+  p.link_rate = link_rate;
+  return p;
+}
+
+network_graph build_fat_tree(int k, gbps link_rate) {
+  network_graph g = build_clos(fat_tree_params(k, link_rate));
+  g.family = "fat_tree";
+  return g;
+}
+
+}  // namespace pn

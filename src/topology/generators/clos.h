@@ -1,0 +1,38 @@
+// Folded-Clos / fat-tree generators.
+//
+// The baseline every expander paper compares against, and the design whose
+// physical deployability story (§4.1, §4.3) the paper examines in detail.
+#pragma once
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct clos_params {
+  int pods = 4;
+  int tors_per_pod = 4;
+  int aggs_per_pod = 4;
+  // Spine layer is organized in groups; aggregation switch j of every pod
+  // connects to every switch in spine group j (requires aggs_per_pod ==
+  // spine_groups).
+  int spine_groups = 4;
+  int spines_per_group = 4;
+  int hosts_per_tor = 8;
+  int tor_agg_links = 1;   // parallel links between a ToR and each pod agg
+  int agg_spine_links = 1; // parallel links between an agg and each spine
+  gbps link_rate{100.0};
+};
+
+// Builds a three-stage folded Clos. Switch radixes are derived from the
+// wiring (no spare ports) unless a larger radix is forced via min_radix.
+[[nodiscard]] network_graph build_clos(const clos_params& p,
+                                       int min_radix = 0);
+
+// Classic k-ary fat-tree (k even): k pods, (k/2)^2 spines, k/2 hosts/ToR.
+[[nodiscard]] network_graph build_fat_tree(int k, gbps link_rate);
+
+// Derives the parameter block for a fat-tree without building it.
+[[nodiscard]] clos_params fat_tree_params(int k, gbps link_rate);
+
+}  // namespace pn

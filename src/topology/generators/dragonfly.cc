@@ -1,0 +1,107 @@
+#include "topology/generators/dragonfly.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+dragonfly_params balanced_dragonfly(int h, int groups, gbps link_rate) {
+  PN_CHECK(h >= 1);
+  dragonfly_params p;
+  p.global_per_switch = h;
+  p.switches_per_group = 2 * h;
+  p.hosts_per_switch = h;
+  p.groups = groups;
+  p.link_rate = link_rate;
+  return p;
+}
+
+result<network_graph> build_dragonfly(const dragonfly_params& p) {
+  PN_CHECK(p.groups >= 2);
+  PN_CHECK(p.switches_per_group >= 1);
+  PN_CHECK(p.global_per_switch >= 1);
+
+  const int n = p.groups;
+  const int group_globals = p.switches_per_group * p.global_per_switch;
+  const int others = n - 1;
+  const int base = group_globals / others;
+  const int extra = group_globals % others;
+  if (extra % 2 == 1 && n % 2 == 1) {
+    return invalid_argument_error(str_format(
+        "cannot stripe %d global links evenly over %d peer groups",
+        group_globals, others));
+  }
+
+  network_graph g;
+  g.family = "dragonfly";
+  const int radix = (p.switches_per_group - 1) + p.global_per_switch +
+                    p.hosts_per_switch;
+
+  auto nid = [&](int group, int sw) {
+    return node_id{
+        static_cast<std::size_t>(group * p.switches_per_group + sw)};
+  };
+  for (int grp = 0; grp < n; ++grp) {
+    for (int sw = 0; sw < p.switches_per_group; ++sw) {
+      g.add_node({str_format("df%d_%d", grp, sw), node_kind::expander,
+                  radix, p.link_rate, p.hosts_per_switch, 0, grp});
+    }
+    // Intra-group clique.
+    for (int a = 0; a < p.switches_per_group; ++a) {
+      for (int b = a + 1; b < p.switches_per_group; ++b) {
+        g.add_edge(nid(grp, a), nid(grp, b), p.link_rate);
+      }
+    }
+  }
+
+  // Pairwise global-link counts: uniform base + circulant remainder.
+  std::vector<std::vector<int>> pair_links(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), 0));
+  auto bump = [&](int i, int j) {
+    if (i > j) std::swap(i, j);
+    ++pair_links[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      pair_links[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          base;
+    }
+  }
+  int remaining = extra;
+  if (remaining % 2 == 1) {
+    for (int i = 0; i < n / 2; ++i) bump(i, i + n / 2);
+    --remaining;
+  }
+  for (int o = 1; remaining > 0; ++o) {
+    PN_CHECK(o < (n + 1) / 2);
+    for (int i = 0; i < n; ++i) bump(i, (i + o) % n);
+    remaining -= 2;
+  }
+
+  // Attach global links round-robin over each group's switches.
+  std::vector<int> next_slot(static_cast<std::size_t>(n), 0);
+  auto take_switch = [&](int grp) {
+    const int slot = next_slot[static_cast<std::size_t>(grp)]++;
+    PN_CHECK_MSG(slot < group_globals,
+                 "group " << grp << " out of global ports");
+    return nid(grp, slot % p.switches_per_group);
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const int links = pair_links[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)];
+      for (int l = 0; l < links; ++l) {
+        g.add_edge(take_switch(i), take_switch(j), p.link_rate);
+      }
+    }
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+}  // namespace pn

@@ -1,0 +1,33 @@
+// Dragonfly (Kim et al., ISCA'08): groups of fully-connected switches
+// joined by a global link mesh. The canonical "short cables inside a
+// group, long expensive cables between groups" design — exactly the
+// copper/optics split §3.1 describes — and a natural companion to the
+// flattened butterfly in the §4.2 comparison.
+#pragma once
+
+#include "common/status.h"
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct dragonfly_params {
+  int groups = 9;              // g
+  int switches_per_group = 4;  // a (intra-group clique)
+  int global_per_switch = 2;   // h global links per switch
+  int hosts_per_switch = 4;    // p
+  gbps link_rate{100.0};
+};
+
+// Global links are distributed over group pairs as evenly as integers
+// allow (same circulant remainder scheme as the Jupiter direct mesh).
+// Fails with invalid_argument when a*h cannot stripe over g-1 peers
+// (odd remainder with an odd group count).
+[[nodiscard]] result<network_graph> build_dragonfly(
+    const dragonfly_params& p);
+
+// The balanced sizing rule a = 2p = 2h for a given h.
+[[nodiscard]] dragonfly_params balanced_dragonfly(int h, int groups,
+                                                  gbps link_rate);
+
+}  // namespace pn

@@ -1,0 +1,70 @@
+#include "topology/generators/flattened_butterfly.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+network_graph build_flattened_butterfly(
+    const flattened_butterfly_params& p) {
+  PN_CHECK(!p.dims.empty());
+  int total = 1;
+  int degree = 0;
+  for (int d : p.dims) {
+    PN_CHECK(d >= 2);
+    total *= d;
+    degree += d - 1;
+  }
+
+  network_graph g;
+  g.family = "flattened_butterfly";
+  const int radix = degree + p.hosts_per_switch;
+
+  // Mixed-radix address per switch.
+  auto address = [&](int index) {
+    std::vector<int> a(p.dims.size());
+    for (std::size_t d = 0; d < p.dims.size(); ++d) {
+      a[d] = index % p.dims[d];
+      index /= p.dims[d];
+    }
+    return a;
+  };
+  auto index_of = [&](const std::vector<int>& a) {
+    int idx = 0;
+    for (std::size_t d = p.dims.size(); d-- > 0;) {
+      idx = idx * p.dims[d] + a[d];
+    }
+    return idx;
+  };
+
+  for (int i = 0; i < total; ++i) {
+    const auto a = address(i);
+    std::string name = "fb";
+    for (int c : a) name += str_format("_%d", c);
+    // block = first coordinate (a row of racks) for placement locality.
+    g.add_node({name, node_kind::expander, radix, p.link_rate,
+                p.hosts_per_switch, 0, a[0]});
+  }
+
+  // Connect nodes differing in exactly one coordinate (each dimension is a
+  // clique). Add each edge once: only when the neighbor index is larger.
+  for (int i = 0; i < total; ++i) {
+    const auto a = address(i);
+    for (std::size_t d = 0; d < p.dims.size(); ++d) {
+      auto b = a;
+      for (int v = a[d] + 1; v < p.dims[d]; ++v) {
+        b[d] = v;
+        g.add_edge(node_id{static_cast<std::size_t>(i)},
+                   node_id{static_cast<std::size_t>(index_of(b))},
+                   p.link_rate);
+      }
+    }
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+}  // namespace pn

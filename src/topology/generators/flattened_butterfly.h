@@ -1,0 +1,25 @@
+// Flattened butterfly (Kim, Dally, Abts ISCA'07): a "flat" direct topology
+// where switches sharing all but one coordinate of a k-ary n-cube address
+// are fully connected. §4.1 cites Marty et al.: direct ToR-to-ToR wiring
+// was "operationally challenging" — E5 quantifies its cabling footprint.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct flattened_butterfly_params {
+  // Array dimensions; switches = product(dims). 2D {8,8} is the classic
+  // within-datacenter arrangement (rows x columns of racks).
+  std::vector<int> dims{8, 8};
+  int hosts_per_switch = 12;  // "concentration"
+  gbps link_rate{100.0};
+};
+
+[[nodiscard]] network_graph build_flattened_butterfly(
+    const flattened_butterfly_params& p);
+
+}  // namespace pn

@@ -1,0 +1,119 @@
+#include "topology/generators/jellyfish.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// Collect switches that still have free inter-switch ports.
+std::vector<node_id> switches_with_free_ports(const network_graph& g) {
+  std::vector<node_id> out;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_id n{i};
+    if (g.free_ports(n) > 0) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+network_graph build_jellyfish(const jellyfish_params& p) {
+  PN_CHECK(p.switches > 2);
+  PN_CHECK(p.radix > p.hosts_per_switch);
+  const int degree = p.radix - p.hosts_per_switch;
+  PN_CHECK_MSG(degree < p.switches,
+               "inter-switch degree must be < switch count");
+
+  network_graph g;
+  g.family = "jellyfish";
+  rng r(p.seed);
+
+  for (int i = 0; i < p.switches; ++i) {
+    g.add_node({str_format("jf%d", i), node_kind::expander, p.radix,
+                p.link_rate, p.hosts_per_switch, 0, i});
+  }
+
+  // Phase 1: connect random pairs with free ports and no existing link.
+  int stall = 0;
+  while (stall < 200) {
+    auto free = switches_with_free_ports(g);
+    if (free.size() < 2) break;
+    const node_id a = free[r.next_index(free.size())];
+    const node_id b = free[r.next_index(free.size())];
+    if (a == b || g.has_edge_between(a, b)) {
+      ++stall;
+      continue;
+    }
+    g.add_edge(a, b, p.link_rate);
+    stall = 0;
+  }
+
+  // Phase 2 (paper's fixup): while some switch has >= 2 free ports, break
+  // a random edge not incident to it and splice the switch in.
+  for (int guard = 0; guard < 10 * p.switches * degree; ++guard) {
+    auto free = switches_with_free_ports(g);
+    node_id w;
+    bool found = false;
+    for (node_id n : free) {
+      if (g.free_ports(n) >= 2) {
+        w = n;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    const auto edges = g.live_edges();
+    PN_CHECK(!edges.empty());
+    const edge_id victim = edges[r.next_index(edges.size())];
+    const edge_info info = g.edge(victim);
+    if (info.a == w || info.b == w) continue;
+    if (g.has_edge_between(w, info.a) || g.has_edge_between(w, info.b)) {
+      continue;
+    }
+    g.remove_edge(victim);
+    g.add_edge(w, info.a, p.link_rate);
+    g.add_edge(w, info.b, p.link_rate);
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+int jellyfish_add_switch(network_graph& g, const jellyfish_params& p,
+                         std::uint64_t seed) {
+  rng r(seed);
+  const int degree = p.radix - p.hosts_per_switch;
+  const node_id fresh = g.add_node(
+      {str_format("jf%zu", g.node_count()), node_kind::expander, p.radix,
+       p.link_rate, p.hosts_per_switch, 0, static_cast<int>(g.node_count())});
+
+  // Splice into degree/2 random existing edges: each splice consumes two
+  // of the new switch's ports and rewires one existing link.
+  int rewired = 0;
+  int guard = 0;
+  while (g.free_ports(fresh) >= 2 && guard++ < 1000) {
+    const auto edges = g.live_edges();
+    const edge_id victim = edges[r.next_index(edges.size())];
+    const edge_info info = g.edge(victim);
+    if (info.a == fresh || info.b == fresh) continue;
+    if (g.has_edge_between(fresh, info.a) ||
+        g.has_edge_between(fresh, info.b)) {
+      continue;
+    }
+    g.remove_edge(victim);
+    g.add_edge(fresh, info.a, p.link_rate);
+    g.add_edge(fresh, info.b, p.link_rate);
+    ++rewired;
+  }
+  PN_CHECK_MSG(rewired >= degree / 2 - 1 || guard >= 1000,
+               "jellyfish expansion failed to splice");
+  return rewired;
+}
+
+}  // namespace pn

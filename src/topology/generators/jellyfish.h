@@ -1,0 +1,33 @@
+// Jellyfish: a uniform-random regular graph over ToR switches
+// (Singla et al., NSDI'12). §4.2: its random wiring "deters the
+// pre-placement of intra-datacenter fiber" — the physical-deployability
+// benches quantify exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct jellyfish_params {
+  int switches = 64;
+  int radix = 32;          // total ports per switch
+  int hosts_per_switch = 24;
+  gbps link_rate{100.0};
+  std::uint64_t seed = 1;
+};
+
+// Inter-switch degree is radix - hosts_per_switch. Uses the construction
+// from the Jellyfish paper: connect random free-port pairs; when stuck,
+// break a random existing edge to free compatible ports.
+[[nodiscard]] network_graph build_jellyfish(const jellyfish_params& p);
+
+// Incremental expansion (Jellyfish §"expandability"): add one switch by
+// removing `degree/2` random existing edges and splicing the new switch
+// into them. Returns the number of links removed (rewired).
+int jellyfish_add_switch(network_graph& g, const jellyfish_params& p,
+                         std::uint64_t seed);
+
+}  // namespace pn

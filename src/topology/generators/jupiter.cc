@@ -1,0 +1,219 @@
+#include "topology/generators/jupiter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// Builds the aggregation blocks (ToRs + middle blocks) and returns the
+// middle-block node ids per block.
+std::vector<std::vector<node_id>> build_agg_blocks(const jupiter_params& p,
+                                                   network_graph& g) {
+  const int tor_radix = p.hosts_per_tor + p.mbs_per_block;
+  const int mb_radix = p.tors_per_block + p.uplinks_per_mb;
+  std::vector<std::vector<node_id>> mbs(
+      static_cast<std::size_t>(p.agg_blocks));
+  for (int b = 0; b < p.agg_blocks; ++b) {
+    std::vector<node_id> tors;
+    for (int t = 0; t < p.tors_per_block; ++t) {
+      tors.push_back(g.add_node({str_format("ab%d/tor%d", b, t),
+                                 node_kind::tor, tor_radix, p.link_rate,
+                                 p.hosts_per_tor, 0, b}));
+    }
+    for (int m = 0; m < p.mbs_per_block; ++m) {
+      const node_id mb = g.add_node({str_format("ab%d/mb%d", b, m),
+                                     node_kind::aggregation, mb_radix,
+                                     p.link_rate, 0, 1, b});
+      mbs[static_cast<std::size_t>(b)].push_back(mb);
+      for (node_id tor : tors) {
+        g.add_edge(tor, mb, p.link_rate);
+      }
+    }
+  }
+  return mbs;
+}
+
+// Installs the inter-block links of a direct-mode fabric per pair_links.
+void wire_direct(const jupiter_params& p,
+                 const std::vector<std::vector<int>>& pair_links,
+                 const std::vector<std::vector<node_id>>& mbs,
+                 jupiter_fabric& f) {
+  network_graph& g = f.graph;
+  const int block_uplinks = p.mbs_per_block * p.uplinks_per_mb;
+  f.edges_by_ocs.assign(static_cast<std::size_t>(p.ocs_count), {});
+  int next_ocs = 0;
+  std::vector<int> next_slot(static_cast<std::size_t>(p.agg_blocks), 0);
+  auto take_mb = [&](int b) {
+    const int slot = next_slot[static_cast<std::size_t>(b)]++;
+    PN_CHECK_MSG(slot < block_uplinks,
+                 "block " << b << " out of fabric uplinks");
+    return mbs[static_cast<std::size_t>(b)]
+              [static_cast<std::size_t>(slot / p.uplinks_per_mb)];
+  };
+  for (int b1 = 0; b1 < p.agg_blocks; ++b1) {
+    for (int b2 = b1 + 1; b2 < p.agg_blocks; ++b2) {
+      const int links = pair_links[static_cast<std::size_t>(b1)]
+                                  [static_cast<std::size_t>(b2)];
+      for (int l = 0; l < links; ++l) {
+        edge_info e{take_mb(b1), take_mb(b2), p.link_rate,
+                    /*via_indirection=*/true, next_ocs};
+        const edge_id id = g.add_edge(e);
+        f.edges_by_ocs[static_cast<std::size_t>(next_ocs)].push_back(id);
+        next_ocs = (next_ocs + 1) % p.ocs_count;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> uniform_pair_links(const jupiter_params& p) {
+  const int n = p.agg_blocks;
+  const int block_uplinks = p.mbs_per_block * p.uplinks_per_mb;
+  const int others = n - 1;
+  const int base = block_uplinks / others;
+  const int extra = block_uplinks % others;
+  PN_CHECK_MSG(extra % 2 == 0 || n % 2 == 0,
+               "cannot stripe " << block_uplinks << " uplinks evenly over "
+                                << others
+                                << " peer blocks (odd remainder with an "
+                                   "odd number of blocks)");
+
+  std::vector<std::vector<int>> pair_links(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), 0));
+  auto bump = [&](int i, int j) {
+    if (i > j) std::swap(i, j);
+    ++pair_links[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      pair_links[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          base;
+    }
+  }
+  // Circulant overlay for the remainder: a perfect matching when odd,
+  // then +-o rings, each adding degree 2 per block.
+  int remaining = extra;
+  if (remaining % 2 == 1) {
+    for (int i = 0; i < n / 2; ++i) bump(i, i + n / 2);
+    --remaining;
+  }
+  for (int o = 1; remaining > 0; ++o) {
+    PN_CHECK(o < (n + 1) / 2);
+    for (int i = 0; i < n; ++i) bump(i, (i + o) % n);
+    remaining -= 2;
+  }
+  return pair_links;
+}
+
+jupiter_fabric build_jupiter(const jupiter_params& p) {
+  PN_CHECK(p.agg_blocks >= 2);
+  PN_CHECK(p.tors_per_block > 0 && p.mbs_per_block > 0);
+  PN_CHECK(p.uplinks_per_mb > 0 && p.ocs_count > 0);
+  if (p.mode == jupiter_mode::fat_tree) PN_CHECK(p.spine_blocks > 0);
+
+  jupiter_fabric f;
+  f.params = p;
+  network_graph& g = f.graph;
+  g.family =
+      p.mode == jupiter_mode::fat_tree ? "jupiter_fat_tree" : "jupiter_direct";
+
+  const int block_uplinks = p.mbs_per_block * p.uplinks_per_mb;
+  const auto mbs = build_agg_blocks(p, g);
+
+  if (p.mode == jupiter_mode::fat_tree) {
+    // Uplink u of every block lands on spine block u % spine_blocks. A
+    // spine block is abstracted as one high-radix switch (its internal
+    // stages do not matter to inter-block deployability).
+    f.edges_by_ocs.assign(static_cast<std::size_t>(p.ocs_count), {});
+    int next_ocs = 0;
+    const int per_spine =
+        (block_uplinks + p.spine_blocks - 1) / p.spine_blocks;
+    const int spine_radix = p.agg_blocks * per_spine;
+    std::vector<node_id> spines;
+    for (int s = 0; s < p.spine_blocks; ++s) {
+      spines.push_back(g.add_node({str_format("sb%d", s), node_kind::spine,
+                                   spine_radix, p.link_rate, 0, 2,
+                                   p.agg_blocks + s}));
+    }
+    for (int b = 0; b < p.agg_blocks; ++b) {
+      for (int u = 0; u < block_uplinks; ++u) {
+        const node_id mb = mbs[static_cast<std::size_t>(b)]
+                              [static_cast<std::size_t>(u / p.uplinks_per_mb)];
+        edge_info e{mb,
+                    spines[static_cast<std::size_t>(u % p.spine_blocks)],
+                    p.link_rate, /*via_indirection=*/true, next_ocs};
+        const edge_id id = g.add_edge(e);
+        f.edges_by_ocs[static_cast<std::size_t>(next_ocs)].push_back(id);
+        next_ocs = (next_ocs + 1) % p.ocs_count;
+      }
+    }
+  } else {
+    wire_direct(p, uniform_pair_links(p), mbs, f);
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return f;
+}
+
+result<jupiter_fabric> build_jupiter_direct_with_pairs(
+    const jupiter_params& p, const std::vector<std::vector<int>>& pair_links) {
+  PN_CHECK(p.agg_blocks >= 2);
+  const auto n = static_cast<std::size_t>(p.agg_blocks);
+  const int block_uplinks = p.mbs_per_block * p.uplinks_per_mb;
+  if (pair_links.size() != n) {
+    return invalid_argument_error("pair_links has wrong dimension");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pair_links[i].size() != n) {
+      return invalid_argument_error("pair_links has wrong dimension");
+    }
+    int degree = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const int w = pair_links[std::min(i, j)][std::max(i, j)];
+      if (i == j) {
+        if (pair_links[i][i] != 0) {
+          return invalid_argument_error("pair_links diagonal must be zero");
+        }
+        continue;
+      }
+      if (w < 0) return invalid_argument_error("negative pair link count");
+      degree += w;
+    }
+    if (degree > block_uplinks) {
+      return invalid_argument_error(str_format(
+          "block %zu needs %d uplinks but has %d", i, degree,
+          block_uplinks));
+    }
+  }
+
+  jupiter_fabric f;
+  f.params = p;
+  f.params.mode = jupiter_mode::direct;
+  f.graph.family = "jupiter_direct";
+  const auto mbs = build_agg_blocks(p, f.graph);
+  wire_direct(p, pair_links, mbs, f);
+  PN_CHECK_MSG(f.graph.validate().empty(), f.graph.validate());
+  return f;
+}
+
+std::vector<std::size_t> ocs_fiber_counts(const jupiter_fabric& f) {
+  std::vector<std::size_t> out;
+  out.reserve(f.edges_by_ocs.size());
+  for (const auto& edges : f.edges_by_ocs) {
+    std::size_t alive = 0;
+    for (edge_id e : edges) {
+      if (f.graph.edge_alive(e)) ++alive;
+    }
+    out.push_back(alive);
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,69 @@
+// Jupiter-style fabric with an OCS/patch-panel indirection layer.
+//
+// §4.3: Google's Jupiter connects aggregation blocks to the rest of the
+// fabric through an optical circuit switch (OCS) layer. In the original
+// design the OCS layer patches aggregation uplinks to *spine blocks*
+// (fat-tree mode); in the evolved design it patches them *directly to
+// other aggregation blocks* (direct mode). Because every inter-block fiber
+// terminates on an OCS, converting between the two modes is a sequence of
+// per-OCS fiber moves — the live-migration case study of E6.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+enum class jupiter_mode {
+  fat_tree,  // aggregation blocks <-> spine blocks via OCS
+  direct,    // aggregation blocks <-> aggregation blocks via OCS
+};
+
+struct jupiter_params {
+  int agg_blocks = 8;
+  int tors_per_block = 8;
+  int mbs_per_block = 4;    // middle blocks (the block's internal stage)
+  int uplinks_per_mb = 8;   // fabric-facing uplinks per middle block
+  int spine_blocks = 4;     // used in fat_tree mode
+  int ocs_count = 16;       // OCS units the uplinks are striped across
+  int hosts_per_tor = 16;
+  gbps link_rate{200.0};
+  jupiter_mode mode = jupiter_mode::fat_tree;
+};
+
+struct jupiter_fabric {
+  network_graph graph;
+  jupiter_params params;
+  // For every inter-block edge, edge_info::indirection_unit holds the OCS
+  // it is patched through; this mirror lists the edges per OCS so the
+  // migration planner can drain one OCS at a time.
+  std::vector<std::vector<edge_id>> edges_by_ocs;
+};
+
+// Builds the fabric. Uplinks per block = mbs_per_block * uplinks_per_mb,
+// striped round-robin across OCS units. In fat_tree mode, uplinks are
+// spread evenly over spine blocks; in direct mode, evenly over the other
+// aggregation blocks.
+[[nodiscard]] jupiter_fabric build_jupiter(const jupiter_params& p);
+
+// Number of inter-block fibers terminating on each OCS in the fabric.
+[[nodiscard]] std::vector<std::size_t> ocs_fiber_counts(
+    const jupiter_fabric& f);
+
+// Direct-mode fabric with an explicit symmetric block-pair link-count
+// matrix (pair_links[i][j] for i < j). Row degrees must not exceed the
+// per-block uplink budget; this is how topology engineering installs a
+// demand-proportional mesh (§4.1 / Poutievski et al.). Fails with
+// invalid_argument on asymmetric/overweight matrices.
+[[nodiscard]] result<jupiter_fabric> build_jupiter_direct_with_pairs(
+    const jupiter_params& p, const std::vector<std::vector<int>>& pair_links);
+
+// The uniform mesh direct mode installs by default (base + circulant
+// remainder), exposed for comparison and retune counting.
+[[nodiscard]] std::vector<std::vector<int>> uniform_pair_links(
+    const jupiter_params& p);
+
+}  // namespace pn

@@ -1,0 +1,41 @@
+#include "topology/generators/leaf_spine.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+network_graph build_leaf_spine(const leaf_spine_params& p) {
+  PN_CHECK(p.leaves > 0 && p.spines > 0 && p.links_per_pair > 0);
+  PN_CHECK(p.hosts_per_leaf >= 0);
+
+  network_graph g;
+  g.family = "leaf_spine";
+
+  const int leaf_radix = p.hosts_per_leaf + p.spines * p.links_per_pair;
+  const int spine_radix = p.leaves * p.links_per_pair;
+
+  std::vector<node_id> leaves;
+  for (int l = 0; l < p.leaves; ++l) {
+    leaves.push_back(g.add_node({str_format("leaf%d", l), node_kind::tor,
+                                 leaf_radix, p.link_rate, p.hosts_per_leaf, 0,
+                                 l}));
+  }
+  std::vector<node_id> spines;
+  for (int s = 0; s < p.spines; ++s) {
+    spines.push_back(g.add_node({str_format("spine%d", s), node_kind::spine,
+                                 spine_radix, p.link_rate, 0, 1,
+                                 p.leaves + s}));
+  }
+  for (node_id leaf : leaves) {
+    for (node_id spine : spines) {
+      for (int l = 0; l < p.links_per_pair; ++l) {
+        g.add_edge(leaf, spine, p.link_rate);
+      }
+    }
+  }
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+}  // namespace pn

@@ -1,0 +1,21 @@
+// Two-tier leaf-spine fabric — the small/medium datacenter baseline the
+// paper (and Harsh et al.'s "Spineless Data Centers") compare flat
+// topologies against.
+#pragma once
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct leaf_spine_params {
+  int leaves = 16;
+  int spines = 4;
+  int links_per_pair = 1;  // parallel links leaf<->each spine
+  int hosts_per_leaf = 24;
+  gbps link_rate{100.0};
+};
+
+[[nodiscard]] network_graph build_leaf_spine(const leaf_spine_params& p);
+
+}  // namespace pn

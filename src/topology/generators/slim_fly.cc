@@ -1,0 +1,136 @@
+#include "topology/generators/slim_fly.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+bool is_prime(int n) {
+  if (n < 2) return false;
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+// Smallest primitive root modulo prime q.
+int primitive_root(int q) {
+  // Factor q-1.
+  std::vector<int> factors;
+  int m = q - 1;
+  for (int d = 2; d * d <= m; ++d) {
+    if (m % d == 0) {
+      factors.push_back(d);
+      while (m % d == 0) m /= d;
+    }
+  }
+  if (m > 1) factors.push_back(m);
+
+  auto pow_mod = [&](long long base, long long exp) {
+    long long out = 1;
+    base %= q;
+    while (exp > 0) {
+      if (exp & 1) out = out * base % q;
+      base = base * base % q;
+      exp >>= 1;
+    }
+    return static_cast<int>(out);
+  };
+
+  for (int g = 2; g < q; ++g) {
+    bool ok = true;
+    for (int f : factors) {
+      if (pow_mod(g, (q - 1) / f) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  PN_CHECK_MSG(false, "no primitive root found for prime " << q);
+  return -1;
+}
+
+}  // namespace
+
+result<network_graph> build_slim_fly(const slim_fly_params& p) {
+  if (!is_prime(p.q) || p.q % 4 != 1) {
+    return invalid_argument_error(str_format(
+        "Slim Fly (delta=+1) needs a prime q with q %% 4 == 1; got %d", p.q));
+  }
+  const int q = p.q;
+
+  // Generator sets: X = even powers of a primitive root xi (the quadratic
+  // residues), X' = odd powers (non-residues). Both are symmetric sets
+  // because -1 is a QR when q ≡ 1 (mod 4).
+  const int xi = primitive_root(q);
+  std::vector<bool> in_x(static_cast<std::size_t>(q), false);
+  std::vector<bool> in_xp(static_cast<std::size_t>(q), false);
+  {
+    long long v = 1;
+    for (int k = 0; k < q - 1; ++k) {
+      if (k % 2 == 0) {
+        in_x[static_cast<std::size_t>(v)] = true;
+      } else {
+        in_xp[static_cast<std::size_t>(v)] = true;
+      }
+      v = v * xi % q;
+    }
+  }
+
+  network_graph g;
+  g.family = "slim_fly";
+  const int degree = slim_fly_degree(q);
+  const int radix = degree + p.hosts_per_switch;
+
+  // Group 0 node (x, y) and group 1 node (m, c).
+  auto nid = [&](int group, int a, int b) {
+    return node_id{
+        static_cast<std::size_t>(group * q * q + a * q + b)};
+  };
+  for (int group = 0; group < 2; ++group) {
+    for (int a = 0; a < q; ++a) {
+      for (int b = 0; b < q; ++b) {
+        // block: a column of q switches shares (group, a) — the natural
+        // "subgroup" unit Slim Fly's own physical-layout discussion uses.
+        g.add_node({str_format("sf%d_%d_%d", group, a, b),
+                    node_kind::expander, radix, p.link_rate,
+                    p.hosts_per_switch, 0, group * q + a});
+      }
+    }
+  }
+
+  // Intra-group edges: (0,x,y)~(0,x,y') iff y-y' in X;
+  //                    (1,m,c)~(1,m,c') iff c-c' in X'.
+  for (int a = 0; a < q; ++a) {
+    for (int y = 0; y < q; ++y) {
+      for (int yp = y + 1; yp < q; ++yp) {
+        const int diff = (yp - y) % q;
+        if (in_x[static_cast<std::size_t>(diff)]) {
+          g.add_edge(nid(0, a, y), nid(0, a, yp), p.link_rate);
+        }
+        if (in_xp[static_cast<std::size_t>(diff)]) {
+          g.add_edge(nid(1, a, y), nid(1, a, yp), p.link_rate);
+        }
+      }
+    }
+  }
+  // Cross edges: (0,x,y)~(1,m,c) iff y = m*x + c (mod q).
+  for (int x = 0; x < q; ++x) {
+    for (int m = 0; m < q; ++m) {
+      for (int c = 0; c < q; ++c) {
+        const int y = (m * x + c) % q;
+        g.add_edge(nid(0, x, y), nid(1, m, c), p.link_rate);
+      }
+    }
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+}  // namespace pn

@@ -1,0 +1,26 @@
+// Slim Fly (Besta & Hoefler, SC'14): diameter-2 MMS graphs.
+// One of the three expander families §4.2 asks "why aren't these in wide
+// use?" about. We implement the McKay–Miller–Širáň construction for prime
+// q with q ≡ 1 (mod 4) (δ = +1), which covers the sizes the paper's
+// comparisons need (q = 5, 13, 17, 29 → 50…1682 switches).
+#pragma once
+
+#include "common/status.h"
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct slim_fly_params {
+  int q = 13;  // prime, q % 4 == 1; switches = 2*q^2, network degree (3q-1)/2
+  int hosts_per_switch = 9;
+  gbps link_rate{100.0};
+};
+
+// Fails with invalid_argument if q is not a prime ≡ 1 (mod 4).
+[[nodiscard]] result<network_graph> build_slim_fly(const slim_fly_params& p);
+
+// Network (inter-switch) degree for a given q.
+[[nodiscard]] constexpr int slim_fly_degree(int q) { return (3 * q - 1) / 2; }
+
+}  // namespace pn

@@ -1,0 +1,76 @@
+#include "topology/generators/vl2.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace pn {
+
+network_graph build_vl2(const vl2_params& p) {
+  PN_CHECK(p.tors > 0 && p.aggs >= 2 && p.intermediates > 0);
+  PN_CHECK(p.tor_uplinks >= 1);
+
+  network_graph g;
+  g.family = p.spread_tor_uplinks ? "vl2_spread" : "vl2";
+  rng r(p.seed);
+
+  // Radixes derived from worst-case attachment.
+  const int tor_radix = p.hosts_per_tor + p.tor_uplinks;
+  const int per_agg_tor_links =
+      (p.tors * p.tor_uplinks + p.aggs - 1) / p.aggs;
+  const int agg_radix = per_agg_tor_links + p.intermediates + p.tor_uplinks;
+  const int int_radix =
+      p.aggs + (p.spread_tor_uplinks ? per_agg_tor_links : 0) + p.tor_uplinks;
+
+  std::vector<node_id> tors, aggs, ints;
+  for (int t = 0; t < p.tors; ++t) {
+    tors.push_back(g.add_node({str_format("tor%d", t), node_kind::tor,
+                               tor_radix, p.link_rate, p.hosts_per_tor, 0,
+                               t}));
+  }
+  for (int a = 0; a < p.aggs; ++a) {
+    aggs.push_back(g.add_node({str_format("agg%d", a), node_kind::aggregation,
+                               agg_radix, p.link_rate, 0, 1, p.tors + a}));
+  }
+  for (int i = 0; i < p.intermediates; ++i) {
+    ints.push_back(g.add_node({str_format("int%d", i), node_kind::spine,
+                               int_radix, p.link_rate, 0, 2,
+                               p.tors + p.aggs + i}));
+  }
+
+  // Aggregation <-> intermediate complete bipartite.
+  for (node_id a : aggs) {
+    for (node_id i : ints) {
+      g.add_edge(a, i, p.link_rate);
+    }
+  }
+
+  // ToR uplinks.
+  std::vector<node_id> upper;
+  upper.insert(upper.end(), aggs.begin(), aggs.end());
+  if (p.spread_tor_uplinks) {
+    upper.insert(upper.end(), ints.begin(), ints.end());
+  }
+  PN_CHECK_MSG(static_cast<std::size_t>(p.tor_uplinks) <= upper.size(),
+               "more ToR uplinks than attachment points");
+  std::size_t rr = 0;
+  for (std::size_t t = 0; t < tors.size(); ++t) {
+    // Round-robin with a random start keeps attachment balanced while
+    // avoiding the fully deterministic striping of tiny examples.
+    std::size_t start = r.next_index(upper.size());
+    int placed = 0;
+    while (placed < p.tor_uplinks) {
+      const node_id u = upper[(start + rr++) % upper.size()];
+      if (g.has_edge_between(tors[t], u)) continue;
+      g.add_edge(tors[t], u, p.link_rate);
+      ++placed;
+    }
+  }
+
+  PN_CHECK_MSG(g.validate().empty(), g.validate());
+  return g;
+}
+
+}  // namespace pn

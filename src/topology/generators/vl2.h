@@ -1,0 +1,31 @@
+// VL2 (Greenberg et al., SIGCOMM'09): ToRs dual-homed to an aggregation
+// layer that forms a complete bipartite graph with intermediate switches.
+// §4.2 discusses Singla et al.'s proposal to rewire ToR uplinks across
+// both layers; build_vl2 supports both wirings so E5 can price the
+// physical consequences.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct vl2_params {
+  int tors = 32;
+  int aggs = 8;
+  int intermediates = 4;
+  int tor_uplinks = 2;    // uplinks per ToR
+  int hosts_per_tor = 20;
+  gbps link_rate{100.0};
+  // If true, ToR uplinks are spread across aggregation *and* intermediate
+  // switches (Singla et al.'s modification); otherwise ToRs connect only
+  // to aggregation switches (classic VL2).
+  bool spread_tor_uplinks = false;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] network_graph build_vl2(const vl2_params& p);
+
+}  // namespace pn

@@ -1,0 +1,36 @@
+// Xpander (Valadarsky et al., CoNEXT'16): a deterministic-structure
+// expander built by random lifts of the complete graph K_{d+1}.
+// §4.2: "Xpander requires as many as d/2 links to be rewired each time a
+// d-port ToR is added" — xpander_add_switch reproduces that cost.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct xpander_params {
+  int degree = 8;      // inter-switch ports per switch (d)
+  int lift_size = 8;   // copies per meta-node (l); switches = (d+1)*l
+  int hosts_per_switch = 24;
+  gbps link_rate{100.0};
+  std::uint64_t seed = 1;
+};
+
+// Builds the l-lift of K_{d+1}: meta-nodes become groups of l switches;
+// each meta-edge becomes a random perfect matching between the two groups.
+// Every switch ends with exactly `degree` inter-switch links, and the
+// group structure (node_info::block = meta-node) is what makes Xpander
+// more bundleable than Jellyfish.
+[[nodiscard]] network_graph build_xpander(const xpander_params& p);
+
+// Incremental expansion as described by the Xpander authors: grow one
+// group by a switch, stealing one endpoint from an existing matching edge
+// per needed port (~d/2 full rewires worth of moves, counted and
+// returned).
+int xpander_add_switch(network_graph& g, const xpander_params& p,
+                       int group, std::uint64_t seed);
+
+}  // namespace pn

@@ -1,0 +1,163 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+const char* node_kind_name(node_kind k) {
+  switch (k) {
+    case node_kind::tor:
+      return "tor";
+    case node_kind::aggregation:
+      return "aggregation";
+    case node_kind::spine:
+      return "spine";
+    case node_kind::expander:
+      return "expander";
+  }
+  return "unknown";
+}
+
+node_id network_graph::add_node(node_info info) {
+  PN_CHECK_MSG(info.radix > 0, "node " << info.name << " has no ports");
+  PN_CHECK_MSG(info.host_ports >= 0 && info.host_ports <= info.radix,
+               "node " << info.name << " host_ports out of range");
+  nodes_.push_back(std::move(info));
+  adj_.emplace_back();
+  return node_id{nodes_.size() - 1};
+}
+
+edge_id network_graph::add_edge(node_id a, node_id b, gbps capacity) {
+  return add_edge(edge_info{a, b, capacity, false, -1});
+}
+
+edge_id network_graph::add_edge(edge_info e) {
+  PN_CHECK(e.a.index() < nodes_.size() && e.b.index() < nodes_.size());
+  PN_CHECK_MSG(e.a != e.b, "self loop on node " << nodes_[e.a.index()].name);
+  const edge_id id{edges_.size()};
+  edges_.push_back(e);
+  edge_dead_.push_back(false);
+  adj_[e.a.index()].push_back({e.b, id});
+  adj_[e.b.index()].push_back({e.a, id});
+  return id;
+}
+
+const node_info& network_graph::node(node_id n) const {
+  PN_CHECK(n.index() < nodes_.size());
+  return nodes_[n.index()];
+}
+
+node_info& network_graph::node(node_id n) {
+  PN_CHECK(n.index() < nodes_.size());
+  return nodes_[n.index()];
+}
+
+const edge_info& network_graph::edge(edge_id e) const {
+  PN_CHECK(e.index() < edges_.size());
+  return edges_[e.index()];
+}
+
+edge_info& network_graph::edge(edge_id e) {
+  PN_CHECK(e.index() < edges_.size());
+  return edges_[e.index()];
+}
+
+std::span<const network_graph::adjacency_entry> network_graph::neighbors(
+    node_id n) const {
+  PN_CHECK(n.index() < adj_.size());
+  return adj_[n.index()];
+}
+
+int network_graph::degree(node_id n) const {
+  return static_cast<int>(neighbors(n).size());
+}
+
+int network_graph::free_ports(node_id n) const {
+  const node_info& info = node(n);
+  return info.radix - info.host_ports - degree(n);
+}
+
+std::vector<node_id> network_graph::nodes_of_kind(node_kind k) const {
+  std::vector<node_id> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == k) out.push_back(node_id{i});
+  }
+  return out;
+}
+
+std::vector<node_id> network_graph::host_facing_nodes() const {
+  std::vector<node_id> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].host_ports > 0) out.push_back(node_id{i});
+  }
+  return out;
+}
+
+std::size_t network_graph::total_hosts() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) {
+    total += static_cast<std::size_t>(n.host_ports);
+  }
+  return total;
+}
+
+void network_graph::remove_edge(edge_id e) {
+  PN_CHECK(e.index() < edges_.size());
+  PN_CHECK_MSG(!edge_dead_[e.index()], "edge already removed");
+  edge_dead_[e.index()] = true;
+  const edge_info& info = edges_[e.index()];
+  auto scrub = [&](node_id n) {
+    auto& lst = adj_[n.index()];
+    lst.erase(std::remove_if(lst.begin(), lst.end(),
+                             [&](const adjacency_entry& a) {
+                               return a.edge == e;
+                             }),
+              lst.end());
+  };
+  scrub(info.a);
+  scrub(info.b);
+}
+
+bool network_graph::edge_alive(edge_id e) const {
+  PN_CHECK(e.index() < edges_.size());
+  return !edge_dead_[e.index()];
+}
+
+std::vector<edge_id> network_graph::live_edges() const {
+  std::vector<edge_id> out;
+  out.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edge_dead_[i]) out.push_back(edge_id{i});
+  }
+  return out;
+}
+
+bool network_graph::has_edge_between(node_id a, node_id b) const {
+  for (const auto& e : neighbors(a)) {
+    if (e.neighbor == b) return true;
+  }
+  return false;
+}
+
+std::string network_graph::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const node_info& n = nodes_[i];
+    const int used = n.host_ports + static_cast<int>(adj_[i].size());
+    if (used > n.radix) {
+      return str_format("node %s uses %d ports but radix is %d",
+                        n.name.c_str(), used, n.radix);
+    }
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edge_dead_[i]) continue;
+    if (edges_[i].a == edges_[i].b) {
+      return str_format("edge %zu is a self loop", i);
+    }
+  }
+  return {};
+}
+
+}  // namespace pn

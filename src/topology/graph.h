@@ -1,0 +1,101 @@
+// Switch-level network multigraph.
+//
+// Nodes are switches; hosts are not graph nodes but counted per-ToR
+// (host_ports), matching how the topology papers the paper discusses
+// (Jellyfish, Xpander, fat-tree) account for servers. Edges are individual
+// inter-switch links with a capacity; parallel links between the same pair
+// of switches are distinct edges (a multigraph), because physically they
+// are distinct cables — which is the whole point of this library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace pn {
+
+enum class node_kind : std::uint8_t {
+  tor,           // top-of-rack / leaf (has host-facing ports)
+  aggregation,   // pod/agg-block middle stage
+  spine,         // spine / core
+  expander,      // switch in a flat/expander fabric (ToR-like, direct-wired)
+};
+
+[[nodiscard]] const char* node_kind_name(node_kind k);
+
+struct node_info {
+  std::string name;
+  node_kind kind = node_kind::tor;
+  int radix = 0;        // total ports on the switch
+  gbps port_rate;       // line rate of each port
+  int host_ports = 0;   // ports reserved for servers (ToRs only)
+  int layer = 0;        // 0 = ToR layer, increasing upward
+  int block = 0;        // pod / aggregation-block / group index
+};
+
+struct edge_info {
+  node_id a;
+  node_id b;
+  gbps capacity;        // one direction; links are full duplex
+  bool via_indirection = false;  // passes through a patch panel / OCS layer
+  int indirection_unit = -1;     // which panel/OCS carries it (if any)
+};
+
+class network_graph {
+ public:
+  node_id add_node(node_info info);
+  edge_id add_edge(node_id a, node_id b, gbps capacity);
+  edge_id add_edge(edge_info e);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const node_info& node(node_id n) const;
+  [[nodiscard]] node_info& node(node_id n);
+  [[nodiscard]] const edge_info& edge(edge_id e) const;
+  [[nodiscard]] edge_info& edge(edge_id e);
+
+  struct adjacency_entry {
+    node_id neighbor;
+    edge_id edge;
+  };
+  [[nodiscard]] std::span<const adjacency_entry> neighbors(node_id n) const;
+
+  // Inter-switch degree (number of incident edges).
+  [[nodiscard]] int degree(node_id n) const;
+  // Ports not used by hosts or inter-switch links.
+  [[nodiscard]] int free_ports(node_id n) const;
+
+  [[nodiscard]] std::vector<node_id> nodes_of_kind(node_kind k) const;
+  // ToRs plus expander switches — everything that sources host traffic.
+  [[nodiscard]] std::vector<node_id> host_facing_nodes() const;
+  [[nodiscard]] std::size_t total_hosts() const;
+
+  // Removes an edge (marks it dead; ids remain stable). Dead edges are
+  // skipped by neighbors()/degree(). Used by rewiring planners.
+  void remove_edge(edge_id e);
+  [[nodiscard]] bool edge_alive(edge_id e) const;
+  [[nodiscard]] std::vector<edge_id> live_edges() const;
+
+  // True if an edge a-b (either direction, alive) exists.
+  [[nodiscard]] bool has_edge_between(node_id a, node_id b) const;
+
+  // Checks structural invariants: no node exceeds its radix, no self loops.
+  // Returns a human-readable problem description, or empty if valid.
+  [[nodiscard]] std::string validate() const;
+
+  // Descriptive family label set by generators ("clos", "jellyfish", ...).
+  std::string family;
+
+ private:
+  std::vector<node_info> nodes_;
+  std::vector<edge_info> edges_;
+  std::vector<bool> edge_dead_;
+  std::vector<std::vector<adjacency_entry>> adj_;  // maintained eagerly
+};
+
+}  // namespace pn

@@ -1,0 +1,176 @@
+#include "topology/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pn {
+
+std::vector<int> bfs_distances(const network_graph& g, node_id src) {
+  std::vector<int> dist(g.node_count(), -1);
+  std::queue<node_id> q;
+  dist[src.index()] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const node_id u = q.front();
+    q.pop();
+    for (const auto& e : g.neighbors(u)) {
+      if (dist[e.neighbor.index()] == -1) {
+        dist[e.neighbor.index()] = dist[u.index()] + 1;
+        q.push(e.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const network_graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_distances(g, node_id{0});
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+path_length_stats compute_path_length_stats(const network_graph& g) {
+  const auto sources = g.host_facing_nodes();
+  PN_CHECK_MSG(!sources.empty(), "graph has no host-facing nodes");
+
+  path_length_stats out;
+  sample_stats hops;
+  std::vector<bool> is_source(g.node_count(), false);
+  for (node_id n : sources) is_source[n.index()] = true;
+
+  for (node_id s : sources) {
+    const auto dist = bfs_distances(g, s);
+    for (node_id t : sources) {
+      if (s == t) continue;
+      PN_CHECK_MSG(dist[t.index()] >= 0, "graph is disconnected");
+      hops.add(static_cast<double>(dist[t.index()]));
+    }
+  }
+  out.mean = hops.mean();
+  out.diameter = static_cast<int>(hops.max());
+  out.p99 = hops.percentile(0.99);
+  out.hop_histogram.assign(static_cast<std::size_t>(out.diameter) + 1, 0.0);
+  for (double h : hops.samples()) {
+    out.hop_histogram[static_cast<std::size_t>(h)] += 1.0;
+  }
+  for (double& f : out.hop_histogram) {
+    f /= static_cast<double>(hops.count());
+  }
+  return out;
+}
+
+double spectral_lambda2(const network_graph& g, int iterations) {
+  const std::size_t n = g.node_count();
+  if (n < 2 || !is_connected(g)) return 1.0;
+
+  // Random-walk matrix P = D^-1 A. Its top eigenvector (eigenvalue 1) is
+  // uniform in the degree measure; we deflate it and power-iterate.
+  std::vector<double> deg(n, 0.0);
+  double total_deg = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    deg[i] = static_cast<double>(g.degree(node_id{i}));
+    total_deg += deg[i];
+    if (deg[i] == 0.0) return 1.0;  // isolated switch: not an expander
+  }
+
+  rng r(0x5eedULL);
+  std::vector<double> v(n), next(n);
+  for (auto& x : v) x = r.next_double() - 0.5;
+
+  auto deflate = [&](std::vector<double>& x) {
+    // Remove the component along the stationary distribution pi_i =
+    // deg_i / total_deg (left eigenvector), using the inner product in
+    // which P is self-adjoint for the symmetrized walk.
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dot += x[i] * deg[i];
+    dot /= total_deg;
+    for (std::size_t i = 0; i < n; ++i) x[i] -= dot;
+  };
+  auto norm = [&](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double a : x) s += a * a;
+    return std::sqrt(s);
+  };
+
+  deflate(v);
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double share = v[i] / deg[i];
+      for (const auto& e : g.neighbors(node_id{i})) {
+        next[e.neighbor.index()] += share;
+      }
+    }
+    deflate(next);
+    const double nn = norm(next);
+    if (nn < 1e-12) return 0.0;
+    lambda = nn / norm(v);
+    for (std::size_t i = 0; i < n; ++i) v[i] = next[i] / nn;
+  }
+  return std::min(lambda, 1.0);
+}
+
+bisection_estimate estimate_bisection(const network_graph& g,
+                                      std::uint64_t seed, int trials) {
+  const std::size_t n = g.node_count();
+  PN_CHECK(n >= 2);
+  rng r(seed);
+  double best_cut = std::numeric_limits<double>::infinity();
+
+  for (int t = 0; t < trials; ++t) {
+    // Grow a BFS ball from a random seed to n/2 nodes: this finds locality
+    // cuts (the weak bisections) far better than uniform random halves.
+    std::vector<bool> in_a(n, false);
+    std::size_t size_a = 0;
+    std::queue<node_id> q;
+    const node_id start{r.next_index(n)};
+    q.push(start);
+    in_a[start.index()] = true;
+    ++size_a;
+    std::vector<node_id> frontier_overflow;
+    while (size_a < n / 2 && !q.empty()) {
+      const node_id u = q.front();
+      q.pop();
+      for (const auto& e : g.neighbors(u)) {
+        if (size_a >= n / 2) break;
+        if (!in_a[e.neighbor.index()]) {
+          in_a[e.neighbor.index()] = true;
+          ++size_a;
+          q.push(e.neighbor);
+        }
+      }
+    }
+    // Top up with random nodes if BFS stalled (disconnected remainder).
+    while (size_a < n / 2) {
+      const node_id u{r.next_index(n)};
+      if (!in_a[u.index()]) {
+        in_a[u.index()] = true;
+        ++size_a;
+      }
+    }
+
+    double cut = 0.0;
+    for (edge_id e : g.live_edges()) {
+      const edge_info& info = g.edge(e);
+      if (in_a[info.a.index()] != in_a[info.b.index()]) {
+        cut += info.capacity.value();
+      }
+    }
+    best_cut = std::min(best_cut, cut);
+  }
+
+  bisection_estimate out;
+  out.cut_gbps = best_cut;
+  const auto hosts = static_cast<double>(g.total_hosts());
+  out.per_host_gbps = hosts > 0 ? best_cut / (hosts / 2.0) : 0.0;
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,51 @@
+// Abstract graph metrics — the "traditional goodness" measures the paper
+// says are necessary but not sufficient. They feed the deployability
+// comparison benches (E5/E8) so that physical costs can be shown *next to*
+// the abstract wins that made expanders attractive in the first place.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// Unweighted hop distances from src to every node; -1 for unreachable.
+[[nodiscard]] std::vector<int> bfs_distances(const network_graph& g,
+                                             node_id src);
+
+[[nodiscard]] bool is_connected(const network_graph& g);
+
+struct path_length_stats {
+  double mean = 0.0;       // over ordered host-facing pairs
+  int diameter = 0;        // max over host-facing pairs
+  double p99 = 0.0;
+  std::vector<double> hop_histogram;  // fraction of pairs at each hop count
+};
+
+// Shortest-path statistics between host-facing switches (ToR/expander).
+// Host pairs are weighted equally (not by host counts).
+[[nodiscard]] path_length_stats compute_path_length_stats(
+    const network_graph& g);
+
+// Estimate of the second-largest eigenvalue modulus of the degree-
+// normalized adjacency matrix via power iteration with deflation of the
+// stationary component. Smaller = better expander. Returns 1.0 for a
+// disconnected graph.
+[[nodiscard]] double spectral_lambda2(const network_graph& g,
+                                      int iterations = 200);
+
+// Lower-bound estimate of bisection capacity (Gbps) by sampling `trials`
+// random balanced bisections seeded from BFS ball growth and taking the
+// minimum observed cut; normalized per host in `per_host`.
+struct bisection_estimate {
+  double cut_gbps = 0.0;
+  double per_host_gbps = 0.0;
+};
+[[nodiscard]] bisection_estimate estimate_bisection(const network_graph& g,
+                                                    std::uint64_t seed,
+                                                    int trials = 32);
+
+}  // namespace pn

@@ -1,0 +1,171 @@
+#include "topology/paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pn {
+
+namespace {
+
+// BFS shortest path avoiding masked nodes/edges; empty if unreachable.
+node_path bfs_path(const network_graph& g, node_id s, node_id t,
+                   const std::vector<bool>& node_masked,
+                   const std::set<std::pair<node_id, node_id>>& edge_masked) {
+  if (node_masked[s.index()] || node_masked[t.index()]) return {};
+  std::vector<node_id> prev(g.node_count(), node_id{});
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<node_id> q;
+  q.push(s);
+  seen[s.index()] = true;
+  while (!q.empty()) {
+    const node_id u = q.front();
+    q.pop();
+    if (u == t) break;
+    for (const auto& adj : g.neighbors(u)) {
+      const node_id v = adj.neighbor;
+      if (seen[v.index()] || node_masked[v.index()]) continue;
+      if (edge_masked.contains({u, v}) || edge_masked.contains({v, u})) {
+        continue;
+      }
+      seen[v.index()] = true;
+      prev[v.index()] = u;
+      q.push(v);
+    }
+  }
+  if (!seen[t.index()]) return {};
+  node_path path;
+  for (node_id u = t; u != s; u = prev[u.index()]) {
+    path.push_back(u);
+  }
+  path.push_back(s);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<node_path> k_shortest_paths(const network_graph& g, node_id s,
+                                        node_id t, int k) {
+  PN_CHECK(k >= 1);
+  PN_CHECK(s != t);
+  std::vector<node_path> result;
+  std::vector<bool> no_mask(g.node_count(), false);
+
+  const node_path first = bfs_path(g, s, t, no_mask, {});
+  if (first.empty()) return result;
+  result.push_back(first);
+
+  // Candidate set ordered by (length, path) for determinism.
+  std::set<std::pair<std::size_t, node_path>> candidates;
+
+  while (static_cast<int>(result.size()) < k) {
+    const node_path& last = result.back();
+    // For each spur node in the previous path, mask the shared root's
+    // outgoing edges used by existing paths and the root nodes.
+    for (std::size_t i = 0; i + 1 < last.size(); ++i) {
+      const node_id spur = last[i];
+      const node_path root(last.begin(),
+                           last.begin() + static_cast<std::ptrdiff_t>(i + 1));
+
+      std::set<std::pair<node_id, node_id>> masked_edges;
+      for (const node_path& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          masked_edges.insert({p[i], p[i + 1]});
+        }
+      }
+      std::vector<bool> masked_nodes(g.node_count(), false);
+      for (std::size_t j = 0; j < i; ++j) {
+        masked_nodes[root[j].index()] = true;
+      }
+
+      const node_path spur_path =
+          bfs_path(g, spur, t, masked_nodes, masked_edges);
+      if (spur_path.empty()) continue;
+      node_path total = root;
+      total.pop_back();
+      total.insert(total.end(), spur_path.begin(), spur_path.end());
+      candidates.insert({total.size(), std::move(total)});
+    }
+    if (candidates.empty()) break;
+    auto best = candidates.begin();
+    // Skip duplicates of already-selected paths.
+    while (best != candidates.end() &&
+           std::find(result.begin(), result.end(), best->second) !=
+               result.end()) {
+      best = candidates.erase(best);
+    }
+    if (best == candidates.end()) break;
+    result.push_back(best->second);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+int edge_connectivity(const network_graph& g, node_id s, node_id t,
+                      int cap) {
+  PN_CHECK(s != t);
+  // Unit-capacity undirected max flow: residual use count per (edge,dir).
+  // flow[e] in {-1, 0, +1}: +1 = used a->b, -1 = used b->a.
+  std::vector<int> flow(g.edge_count(), 0);
+  int total = 0;
+
+  while (total < cap) {
+    // BFS over residual edges.
+    std::vector<edge_id> via(g.node_count());
+    std::vector<node_id> prev(g.node_count(), node_id{});
+    std::vector<bool> seen(g.node_count(), false);
+    std::queue<node_id> q;
+    q.push(s);
+    seen[s.index()] = true;
+    while (!q.empty() && !seen[t.index()]) {
+      const node_id u = q.front();
+      q.pop();
+      for (const auto& adj : g.neighbors(u)) {
+        const node_id v = adj.neighbor;
+        if (seen[v.index()]) continue;
+        const edge_info& info = g.edge(adj.edge);
+        const int dir = info.a == u ? 1 : -1;
+        // Residual capacity exists unless this direction already carries
+        // a unit of flow.
+        if (flow[adj.edge.index()] == dir) continue;
+        seen[v.index()] = true;
+        via[v.index()] = adj.edge;
+        prev[v.index()] = u;
+        q.push(v);
+      }
+    }
+    if (!seen[t.index()]) break;
+    // Augment along the path.
+    for (node_id u = t; u != s; u = prev[u.index()]) {
+      const edge_id e = via[u.index()];
+      const edge_info& info = g.edge(e);
+      flow[e.index()] += info.b == u ? 1 : -1;
+    }
+    ++total;
+  }
+  return total;
+}
+
+int sampled_min_edge_connectivity(const network_graph& g, int samples,
+                                  std::uint64_t seed) {
+  const auto hosts = g.host_facing_nodes();
+  PN_CHECK(hosts.size() >= 2);
+  rng r(seed);
+  int min_conn = std::numeric_limits<int>::max();
+  for (int i = 0; i < samples; ++i) {
+    const node_id a = hosts[r.next_index(hosts.size())];
+    node_id b = a;
+    while (b == a) {
+      b = hosts[r.next_index(hosts.size())];
+    }
+    min_conn = std::min(min_conn, edge_connectivity(g, a, b));
+  }
+  return min_conn;
+}
+
+}  // namespace pn

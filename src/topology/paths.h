@@ -1,0 +1,37 @@
+// Path enumeration and disjointness metrics.
+//
+// Repair planning (§3.3) and physical-SPOF analysis (§3.1) need to know
+// not just distances but how many *independent* ways exist between two
+// switches: a drain is safe only if enough disjoint capacity remains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+using node_path = std::vector<node_id>;  // s ... t inclusive
+
+// Yen's algorithm on the unweighted switch graph: up to k loopless
+// shortest paths, ordered by hop count. Returns fewer when the graph has
+// fewer distinct paths.
+[[nodiscard]] std::vector<node_path> k_shortest_paths(const network_graph& g,
+                                                      node_id s, node_id t,
+                                                      int k);
+
+// Maximum number of edge-disjoint paths between s and t (Menger): unit-
+// capacity max-flow with BFS augmentation. `cap` bounds the search for
+// dense graphs.
+[[nodiscard]] int edge_connectivity(const network_graph& g, node_id s,
+                                    node_id t, int cap = 64);
+
+// Robustness proxy: minimum edge connectivity over `samples` random
+// host-facing pairs — how close the fabric is to a partition.
+[[nodiscard]] int sampled_min_edge_connectivity(const network_graph& g,
+                                                int samples,
+                                                std::uint64_t seed);
+
+}  // namespace pn

@@ -1,0 +1,234 @@
+#include "topology/routing.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "topology/metrics.h"
+
+namespace pn {
+
+link_load_report compute_ecmp_loads(const network_graph& g,
+                                    const traffic_matrix& tm) {
+  link_load_report out;
+  out.loads_ab.assign(g.edge_count(), 0.0);
+  out.loads_ba.assign(g.edge_count(), 0.0);
+
+  const auto& eps = tm.endpoints();
+  // Map node -> endpoint index (or npos).
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> ep_of_node(g.node_count(), npos);
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    ep_of_node[eps[i].index()] = i;
+  }
+
+  // Per destination t: BFS distances *to* t, then push flow from all
+  // sources toward t, processing nodes in decreasing distance. At each
+  // node, outgoing flow splits equally over neighbors one hop closer.
+  std::vector<double> inflow(g.node_count());
+  for (std::size_t ti = 0; ti < eps.size(); ++ti) {
+    const node_id t = eps[ti];
+    const std::vector<int> dist = bfs_distances(g, t);
+
+    std::fill(inflow.begin(), inflow.end(), 0.0);
+    bool any = false;
+    int max_d = 0;
+    for (std::size_t si = 0; si < eps.size(); ++si) {
+      if (si == ti) continue;
+      const double d = tm.demand(si, ti);
+      if (d <= 0.0) continue;
+      const node_id s = eps[si];
+      PN_CHECK_MSG(dist[s.index()] >= 0, "traffic between disconnected nodes");
+      inflow[s.index()] += d;
+      max_d = std::max(max_d, dist[s.index()]);
+      any = true;
+    }
+    if (!any) continue;
+
+    // Bucket nodes by distance so we can sweep far-to-near.
+    std::vector<std::vector<node_id>> by_dist(
+        static_cast<std::size_t>(max_d) + 1);
+    for (std::size_t u = 0; u < g.node_count(); ++u) {
+      const int d = dist[u];
+      if (d > 0 && d <= max_d) by_dist[static_cast<std::size_t>(d)].push_back(node_id{u});
+    }
+
+    for (std::size_t d = by_dist.size(); d-- > 1;) {
+      for (node_id u : by_dist[d]) {
+        const double flow = inflow[u.index()];
+        if (flow <= 0.0) continue;
+        // Count next hops (neighbors one closer to t).
+        int nh = 0;
+        for (const auto& e : g.neighbors(u)) {
+          if (dist[e.neighbor.index()] == static_cast<int>(d) - 1) ++nh;
+        }
+        PN_CHECK(nh > 0);
+        const double share = flow / nh;
+        for (const auto& e : g.neighbors(u)) {
+          if (dist[e.neighbor.index()] != static_cast<int>(d) - 1) continue;
+          const edge_info& info = g.edge(e.edge);
+          if (info.a == u) {
+            out.loads_ab[e.edge.index()] += share;
+          } else {
+            out.loads_ba[e.edge.index()] += share;
+          }
+          inflow[e.neighbor.index()] += share;
+        }
+      }
+    }
+  }
+
+  double total = 0.0;
+  std::size_t live = 0;
+  for (edge_id e : g.live_edges()) {
+    const double m = std::max(out.loads_ab[e.index()], out.loads_ba[e.index()]);
+    out.max_load = std::max(out.max_load, m);
+    total += out.loads_ab[e.index()] + out.loads_ba[e.index()];
+    live += 2;
+  }
+  out.mean_load = live > 0 ? total / static_cast<double>(live) : 0.0;
+  return out;
+}
+
+namespace {
+
+throughput_result throughput_from_loads(const network_graph& g,
+                                        const link_load_report& loads) {
+  throughput_result out;
+  double min_headroom = std::numeric_limits<double>::infinity();
+  double util_sum = 0.0;
+  std::size_t util_n = 0;
+  for (edge_id e : g.live_edges()) {
+    const double cap = g.edge(e).capacity.value();
+    PN_CHECK(cap > 0.0);
+    for (const double load :
+         {loads.loads_ab[e.index()], loads.loads_ba[e.index()]}) {
+      const double util = load / cap;
+      out.max_utilization = std::max(out.max_utilization, util);
+      util_sum += util;
+      ++util_n;
+      if (load > 0.0) min_headroom = std::min(min_headroom, cap / load);
+    }
+  }
+  out.alpha = std::isinf(min_headroom) ? 0.0 : min_headroom;
+  out.mean_utilization =
+      util_n > 0 ? util_sum / static_cast<double>(util_n) : 0.0;
+  return out;
+}
+
+}  // namespace
+
+throughput_result ecmp_throughput(const network_graph& g,
+                                  const traffic_matrix& tm) {
+  return throughput_from_loads(g, compute_ecmp_loads(g, tm));
+}
+
+link_load_report compute_vlb_loads(const network_graph& g,
+                                   const traffic_matrix& tm) {
+  const std::size_t n = tm.size();
+  PN_CHECK(n > 1);
+  // Phase 1: every source spreads its total egress uniformly over all
+  // intermediates; phase 2: every destination's total ingress arrives
+  // uniformly from all intermediates. Both phases are plain ECMP loads of
+  // transformed matrices.
+  traffic_matrix phase1(tm.endpoints());
+  traffic_matrix phase2(tm.endpoints());
+  const double share = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    double egress = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      egress += tm.demand(s, t);
+    }
+    if (egress <= 0.0) continue;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (w == s) continue;  // bouncing off yourself is a direct send
+      phase1.add_demand(s, w, egress * share);
+    }
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    double ingress = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      ingress += tm.demand(s, t);
+    }
+    if (ingress <= 0.0) continue;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (w == t) continue;
+      phase2.add_demand(w, t, ingress * share);
+    }
+  }
+
+  const link_load_report a = compute_ecmp_loads(g, phase1);
+  const link_load_report b = compute_ecmp_loads(g, phase2);
+  link_load_report out;
+  out.loads_ab.resize(g.edge_count());
+  out.loads_ba.resize(g.edge_count());
+  double total = 0.0;
+  std::size_t live = 0;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    out.loads_ab[e] = a.loads_ab[e] + b.loads_ab[e];
+    out.loads_ba[e] = a.loads_ba[e] + b.loads_ba[e];
+  }
+  for (edge_id e : g.live_edges()) {
+    out.max_load = std::max(
+        out.max_load,
+        std::max(out.loads_ab[e.index()], out.loads_ba[e.index()]));
+    total += out.loads_ab[e.index()] + out.loads_ba[e.index()];
+    live += 2;
+  }
+  out.mean_load = live > 0 ? total / static_cast<double>(live) : 0.0;
+  return out;
+}
+
+throughput_result vlb_throughput(const network_graph& g,
+                                 const traffic_matrix& tm) {
+  return throughput_from_loads(g, compute_vlb_loads(g, tm));
+}
+
+throughput_result best_routing_throughput(const network_graph& g,
+                                          const traffic_matrix& tm) {
+  const throughput_result direct = ecmp_throughput(g, tm);
+  const throughput_result vlb = vlb_throughput(g, tm);
+  return vlb.alpha > direct.alpha ? vlb : direct;
+}
+
+double mean_ecmp_path_count(const network_graph& g, int cap) {
+  const auto sources = g.host_facing_nodes();
+  PN_CHECK(!sources.empty());
+  double total = 0.0;
+  std::size_t pairs = 0;
+
+  std::vector<double> count(g.node_count());
+  for (node_id s : sources) {
+    const auto dist = bfs_distances(g, s);
+    std::fill(count.begin(), count.end(), 0.0);
+    count[s.index()] = 1.0;
+
+    // Process nodes in BFS-distance order to accumulate path counts.
+    int max_d = 0;
+    for (int d : dist) max_d = std::max(max_d, d);
+    std::vector<std::vector<node_id>> by_dist(
+        static_cast<std::size_t>(max_d) + 1);
+    for (std::size_t u = 0; u < g.node_count(); ++u) {
+      if (dist[u] >= 0) by_dist[static_cast<std::size_t>(dist[u])].push_back(node_id{u});
+    }
+    for (std::size_t d = 1; d < by_dist.size(); ++d) {
+      for (node_id u : by_dist[d]) {
+        double c = 0.0;
+        for (const auto& e : g.neighbors(u)) {
+          if (dist[e.neighbor.index()] == static_cast<int>(d) - 1) {
+            c += count[e.neighbor.index()];
+          }
+        }
+        count[u.index()] = std::min(c, static_cast<double>(cap));
+      }
+    }
+    for (node_id t : sources) {
+      if (t == s) continue;
+      total += count[t.index()];
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace pn

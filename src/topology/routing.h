@@ -1,0 +1,66 @@
+// ECMP shortest-path routing and the uniform-scaling throughput proxy.
+//
+// We do not simulate packets: the comparisons the paper cares about
+// (Jellyfish/Xpander vs. Clos) were made with flow-level throughput, and
+// the deployability question only needs a consistent proxy. The proxy is
+// "max alpha such that alpha * TM, split over ECMP shortest paths, fits
+// all link capacities" — deterministic and identical across topologies.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/graph.h"
+#include "topology/traffic.h"
+
+namespace pn {
+
+struct link_load_report {
+  // Directed load per live edge, Gbps, for the *unscaled* TM.
+  // loads_ab[e] is flow from edge(e).a to edge(e).b.
+  std::vector<double> loads_ab;
+  std::vector<double> loads_ba;
+  double max_load = 0.0;
+  double mean_load = 0.0;
+};
+
+// Splits the matrix over ECMP shortest paths (equal split across
+// next hops at every node, per destination) and accumulates link loads.
+[[nodiscard]] link_load_report compute_ecmp_loads(const network_graph& g,
+                                                  const traffic_matrix& tm);
+
+struct throughput_result {
+  // Largest alpha with alpha*TM feasible. >1 means the TM fits with slack.
+  double alpha = 0.0;
+  // Utilization of the most loaded direction of any link at alpha=1.
+  double max_utilization = 0.0;
+  double mean_utilization = 0.0;
+};
+
+// The throughput proxy: alpha = min over directed links of cap/load.
+[[nodiscard]] throughput_result ecmp_throughput(const network_graph& g,
+                                                const traffic_matrix& tm);
+
+// All-pairs ECMP path diversity: number of distinct shortest paths between
+// two nodes (capped to avoid overflow on expanders).
+[[nodiscard]] double mean_ecmp_path_count(const network_graph& g,
+                                          int cap = 1024);
+
+// Valiant load balancing: every flow is split over two ECMP phases,
+// s -> w -> t, uniformly across all host-facing intermediates w. This is
+// the routing family expanders and Jupiter's direct-connect mesh actually
+// run (§4.2 cites Harsh et al.: shortest-path-only routing is why flat
+// topologies underperformed on real hardware; §4.3's direct mesh relies
+// on non-minimal routing through intermediate blocks).
+[[nodiscard]] link_load_report compute_vlb_loads(const network_graph& g,
+                                                 const traffic_matrix& tm);
+
+[[nodiscard]] throughput_result vlb_throughput(const network_graph& g,
+                                               const traffic_matrix& tm);
+
+// Best of direct ECMP and VLB per the usual hybrid argument (route
+// minimally when the matrix is benign, bounce when it is adversarial).
+[[nodiscard]] throughput_result best_routing_throughput(
+    const network_graph& g, const traffic_matrix& tm);
+
+}  // namespace pn

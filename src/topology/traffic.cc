@@ -1,0 +1,180 @@
+#include "topology/traffic.h"
+
+#include <numeric>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pn {
+
+traffic_matrix::traffic_matrix(std::vector<node_id> endpoints)
+    : endpoints_(std::move(endpoints)),
+      demand_(endpoints_.size() * endpoints_.size(), 0.0) {
+  PN_CHECK(!endpoints_.empty());
+}
+
+double traffic_matrix::demand(std::size_t src, std::size_t dst) const {
+  PN_CHECK(src < size() && dst < size());
+  return demand_[src * size() + dst];
+}
+
+void traffic_matrix::set_demand(std::size_t src, std::size_t dst,
+                                double demand_gbps) {
+  PN_CHECK(src < size() && dst < size());
+  PN_CHECK(demand_gbps >= 0.0);
+  demand_[src * size() + dst] = demand_gbps;
+}
+
+void traffic_matrix::add_demand(std::size_t src, std::size_t dst,
+                                double demand_gbps) {
+  set_demand(src, dst, demand(src, dst) + demand_gbps);
+}
+
+double traffic_matrix::total_demand() const {
+  double total = 0.0;
+  for (double d : demand_) total += d;
+  return total;
+}
+
+void traffic_matrix::scale(double s) {
+  PN_CHECK(s >= 0.0);
+  for (double& d : demand_) d *= s;
+}
+
+namespace {
+
+std::vector<double> host_counts(const network_graph& g,
+                                const std::vector<node_id>& eps) {
+  std::vector<double> h;
+  h.reserve(eps.size());
+  for (node_id n : eps) {
+    h.push_back(static_cast<double>(g.node(n).host_ports));
+  }
+  return h;
+}
+
+}  // namespace
+
+traffic_matrix uniform_traffic(const network_graph& g, gbps per_host) {
+  const auto eps = g.host_facing_nodes();
+  traffic_matrix tm(eps);
+  const auto hosts = host_counts(g, eps);
+  const double total_hosts =
+      std::accumulate(hosts.begin(), hosts.end(), 0.0);
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    const double source_total = hosts[s] * per_host.value();
+    const double other_hosts = total_hosts - hosts[s];
+    if (other_hosts <= 0.0) continue;
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (s == t) continue;
+      tm.set_demand(s, t, source_total * hosts[t] / other_hosts);
+    }
+  }
+  return tm;
+}
+
+traffic_matrix permutation_traffic(const network_graph& g, gbps per_host,
+                                   std::uint64_t seed) {
+  const auto eps = g.host_facing_nodes();
+  traffic_matrix tm(eps);
+  const auto hosts = host_counts(g, eps);
+  rng r(seed);
+
+  // Random derangement by shuffling until no fixed point (expected ~e tries).
+  std::vector<std::size_t> perm(eps.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    r.shuffle(perm);
+    bool fixed = false;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      if (perm[i] == i) {
+        fixed = true;
+        break;
+      }
+    }
+    if (!fixed) break;
+  }
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    if (perm[s] == s) continue;  // give up on stray fixed points
+    tm.set_demand(s, perm[s], hosts[s] * per_host.value());
+  }
+  return tm;
+}
+
+traffic_matrix skewed_traffic(const network_graph& g, gbps per_host,
+                              double alpha, std::uint64_t seed) {
+  PN_CHECK(alpha >= 0.0);
+  const auto eps = g.host_facing_nodes();
+  traffic_matrix tm(eps);
+  const auto hosts = host_counts(g, eps);
+  rng r(seed);
+
+  // Random rank assignment, Zipf weights by rank.
+  std::vector<std::size_t> rank(eps.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  r.shuffle(rank);
+  std::vector<double> weight(eps.size());
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    weight[i] = 1.0 / std::pow(static_cast<double>(rank[i]) + 1.0, alpha);
+  }
+
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    const double source_total = hosts[s] * per_host.value();
+    double wsum = 0.0;
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (t != s) wsum += weight[t];
+    }
+    if (wsum <= 0.0) continue;
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (s == t) continue;
+      tm.set_demand(s, t, source_total * weight[t] / wsum);
+    }
+  }
+  return tm;
+}
+
+traffic_matrix hotspot_traffic(const network_graph& g, gbps per_host,
+                               double hot_fraction, double hot_share,
+                               std::uint64_t seed) {
+  PN_CHECK(hot_fraction > 0.0 && hot_fraction <= 1.0);
+  PN_CHECK(hot_share >= 0.0 && hot_share <= 1.0);
+  const auto eps = g.host_facing_nodes();
+  traffic_matrix tm(eps);
+  const auto hosts = host_counts(g, eps);
+  rng r(seed);
+
+  std::vector<std::size_t> order(eps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  r.shuffle(order);
+  const auto hot_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(hot_fraction *
+                                  static_cast<double>(eps.size())));
+  std::vector<bool> hot(eps.size(), false);
+  for (std::size_t i = 0; i < hot_count; ++i) hot[order[i]] = true;
+
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    const double source_total = hosts[s] * per_host.value();
+    double hot_targets = 0.0;
+    double cold_targets = 0.0;
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (t == s) continue;
+      (hot[t] ? hot_targets : cold_targets) += 1.0;
+    }
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (s == t) continue;
+      double share;
+      if (hot[t]) {
+        share = hot_targets > 0 ? hot_share / hot_targets : 0.0;
+      } else {
+        share = cold_targets > 0 ? (1.0 - hot_share) / cold_targets : 0.0;
+      }
+      tm.set_demand(s, t, source_total * share);
+    }
+  }
+  return tm;
+}
+
+}  // namespace pn

@@ -1,0 +1,68 @@
+// Traffic matrices over host-facing switches.
+//
+// §4.1: "inter-rack and inter-block demands are often persistently and
+// highly non-uniform; networks need the flexibility to cope with
+// time-varying non-uniformity." Generators below produce the uniform,
+// permutation, skewed, and hotspot matrices used by the throughput proxy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// Dense demand matrix between host-facing switches, in Gbps.
+class traffic_matrix {
+ public:
+  explicit traffic_matrix(std::vector<node_id> endpoints);
+
+  [[nodiscard]] const std::vector<node_id>& endpoints() const {
+    return endpoints_;
+  }
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+
+  [[nodiscard]] double demand(std::size_t src, std::size_t dst) const;
+  void set_demand(std::size_t src, std::size_t dst, double demand_gbps);
+  void add_demand(std::size_t src, std::size_t dst, double demand_gbps);
+
+  [[nodiscard]] double total_demand() const;
+  // Scale every entry by s.
+  void scale(double s);
+
+ private:
+  std::vector<node_id> endpoints_;
+  std::vector<double> demand_;  // row-major size() x size()
+};
+
+// All-to-all: every ordered pair of distinct endpoints gets demand
+// proportional to the product of their host counts, normalized so each
+// host sources `per_host` of traffic in total.
+[[nodiscard]] traffic_matrix uniform_traffic(const network_graph& g,
+                                             gbps per_host);
+
+// Random permutation: each endpoint sends all of its hosts' traffic to a
+// single distinct endpoint (a worst-ish case for Clos, favorable for
+// expanders in the literature).
+[[nodiscard]] traffic_matrix permutation_traffic(const network_graph& g,
+                                                 gbps per_host,
+                                                 std::uint64_t seed);
+
+// Skewed: destination popularity follows a Zipf-like law with exponent
+// `alpha`; each host still sources `per_host`.
+[[nodiscard]] traffic_matrix skewed_traffic(const network_graph& g,
+                                            gbps per_host, double alpha,
+                                            std::uint64_t seed);
+
+// Hotspot: `hot_fraction` of endpoints receive `hot_share` of all traffic
+// (the ML-induced imbalance of §3.4); the rest is uniform.
+[[nodiscard]] traffic_matrix hotspot_traffic(const network_graph& g,
+                                             gbps per_host,
+                                             double hot_fraction,
+                                             double hot_share,
+                                             std::uint64_t seed);
+
+}  // namespace pn

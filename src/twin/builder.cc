@@ -1,0 +1,83 @@
+#include "twin/builder.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+twin_model build_network_twin(const network_graph& g, const placement& pl,
+                              const floorplan& fp, const cabling_plan& plan,
+                              const catalog& cat) {
+  twin_model m;
+
+  std::vector<entity_id> rack_entities;
+  rack_entities.reserve(fp.rack_count());
+  for (const rack& r : fp.racks()) {
+    const entity_id e = m.add_entity("rack", r.name);
+    m.set_attr(e, "rack_units", static_cast<std::int64_t>(r.rack_units));
+    m.set_attr(e, "power_budget_w", r.power_budget.value());
+    m.set_attr(e, "row", static_cast<std::int64_t>(r.row));
+    rack_entities.push_back(e);
+  }
+
+  std::vector<entity_id> switch_entities;
+  switch_entities.reserve(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_id n{i};
+    const node_info& info = g.node(n);
+    const entity_id e = m.add_entity("switch", info.name);
+    m.set_attr(e, "radix", static_cast<std::int64_t>(info.radix));
+    m.set_attr(e, "port_rate_gbps", info.port_rate.value());
+    m.set_attr(e, "rack_units", static_cast<std::int64_t>(
+                                    switch_cost_model::rack_units(info.radix)));
+    m.set_attr(e, "power_w",
+               cat.switches().power(info.radix, info.port_rate).value());
+    switch_entities.push_back(e);
+    if (pl.is_assigned(n)) {
+      PN_CHECK(m.add_relation("placed_in", e,
+                              rack_entities[pl.rack_of(n).index()])
+                   .is_ok());
+    }
+  }
+
+  // Power feeds (busway segments) and which racks they serve.
+  std::vector<entity_id> feed_entities;
+  for (int feed = 0; feed < fp.feed_count(); ++feed) {
+    const entity_id e = m.add_entity("power_feed", str_format("feed%d", feed));
+    double capacity = 0.0;
+    for (rack_id r : fp.racks_on_feed(feed)) {
+      capacity += fp.rack_at(r).power_budget.value();
+    }
+    m.set_attr(e, "capacity_w", capacity);
+    feed_entities.push_back(e);
+  }
+  for (const rack& r : fp.racks()) {
+    PN_CHECK(m.add_relation("feeds",
+                            feed_entities[static_cast<std::size_t>(
+                                fp.feed_of(r.id))],
+                            rack_entities[r.id.index()])
+                 .is_ok());
+  }
+
+  for (const cable_run& run : plan.runs) {
+    const edge_info& einfo = g.edge(run.edge);
+    const entity_id c =
+        m.add_entity("cable", str_format("cable%u", run.edge.value()));
+    m.set_attr(c, "rate_gbps", einfo.capacity.value());
+    m.set_attr(c, "length_m", run.length.value());
+    m.set_attr(c, "diameter_mm", run.choice.diameter.value());
+    m.set_attr(c, "medium",
+               std::string(cable_medium_name(run.choice.cable->medium)));
+    PN_CHECK(m.add_relation("terminates_on", c,
+                            switch_entities[einfo.a.index()])
+                 .is_ok());
+    PN_CHECK(m.add_relation("terminates_on", c,
+                            switch_entities[einfo.b.index()])
+                 .is_ok());
+  }
+  return m;
+}
+
+}  // namespace pn

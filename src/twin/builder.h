@@ -1,0 +1,24 @@
+// Builds a twin_model from a concrete physical design, using the kinds
+// and attributes of twin_schema::network_schema(). This is the bridge
+// from the simulation-side objects (graph/placement/cabling) to the
+// declarative representation dry runs and decom safety work on.
+#pragma once
+
+#include "physical/cabling.h"
+#include "physical/catalog.h"
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+#include "twin/model.h"
+
+namespace pn {
+
+// Entity names: racks use their floorplan names, switches their graph
+// names, cables "cable<edge-index>", panels "panel<i>".
+[[nodiscard]] twin_model build_network_twin(const network_graph& g,
+                                            const placement& pl,
+                                            const floorplan& fp,
+                                            const cabling_plan& plan,
+                                            const catalog& cat);
+
+}  // namespace pn

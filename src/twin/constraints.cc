@@ -1,0 +1,263 @@
+#include "twin/constraints.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+class rack_space_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "rack_space"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    for (const rack& r : d.floor->racks()) {
+      const int used = d.place->used_units(r.id);
+      if (used > r.rack_units) {
+        out.push_back({name(), violation_severity::error, r.name,
+                       str_format("%d RU used, %d available", used,
+                                  r.rack_units)});
+      }
+    }
+  }
+};
+
+class rack_power_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "rack_power"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    for (const rack& r : d.floor->racks()) {
+      watts draw{0.0};
+      for (node_id n : d.place->nodes_in(r.id)) {
+        const node_info& info = d.graph->node(n);
+        draw += d.cat->switches().power(info.radix, info.port_rate);
+      }
+      const double frac = draw.value() / r.power_budget.value();
+      if (frac > 1.0) {
+        out.push_back({name(), violation_severity::error, r.name,
+                       str_format("%.0fW draw vs %.0fW budget", draw.value(),
+                                  r.power_budget.value())});
+      } else if (frac > 0.9) {
+        out.push_back({name(), violation_severity::warning, r.name,
+                       str_format("power at %.0f%% of budget", frac * 100)});
+      }
+    }
+  }
+};
+
+class tray_capacity_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "tray_capacity"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    const tray_graph& trays = d.floor->trays();
+    for (std::size_t t = 0; t < trays.segment_count(); ++t) {
+      const double f = trays.fill_fraction(tray_id{t});
+      if (f > 1.0) {
+        out.push_back({name(), violation_severity::error,
+                       str_format("tray segment %zu", t),
+                       str_format("fill %.0f%%", f * 100)});
+      } else if (f > 0.8) {
+        out.push_back({name(), violation_severity::warning,
+                       str_format("tray segment %zu", t),
+                       str_format("fill %.0f%% (no headroom for the next "
+                                  "generation, see §2.1)",
+                                  f * 100)});
+      }
+    }
+  }
+};
+
+class plenum_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "plenum"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    for (const auto& [rk, fill] : d.cables->plenum_fill) {
+      const std::string& rack_name = d.floor->rack_at(rk).name;
+      if (fill > 1.0) {
+        out.push_back({name(), violation_severity::error, rack_name,
+                       str_format("cable cross-section at %.0f%% of plenum",
+                                  fill * 100)});
+      } else if (fill > 0.7) {
+        out.push_back({name(), violation_severity::warning, rack_name,
+                       str_format("plenum %.0f%% full; airflow impaired",
+                                  fill * 100)});
+      }
+    }
+  }
+};
+
+class bend_radius_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "bend_radius"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    // The space available to turn a cable inside the rack entry: an
+    // eighth of the rack width (cables enter beside the rails).
+    const millimeters allowance{
+        d.floor->params().rack_width.value() * 1000.0 / 8.0};
+    for (const cable_run& r : d.cables->runs) {
+      if (r.choice.cable->min_bend_radius > allowance) {
+        out.push_back(
+            {name(), violation_severity::error, r.choice.cable->name,
+             str_format("min bend radius %.0fmm exceeds the %.0fmm "
+                        "available at the rack entry",
+                        r.choice.cable->min_bend_radius.value(),
+                        allowance.value())});
+      }
+    }
+  }
+};
+
+class reach_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "reach"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    for (const cable_run& r : d.cables->runs) {
+      meters limit = r.choice.cable->max_length;
+      if (r.choice.transceiver != nullptr) {
+        limit = std::min(limit, r.choice.transceiver->reach);
+      }
+      if (r.length > limit) {
+        out.push_back({name(), violation_severity::error,
+                       r.choice.cable->name,
+                       str_format("routed %.1fm exceeds %.1fm reach",
+                                  r.length.value(), limit.value())});
+      }
+    }
+  }
+};
+
+class loss_budget_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "loss_budget"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    for (const cable_run& r : d.cables->runs) {
+      if (r.choice.transceiver == nullptr) continue;
+      const decibels loss =
+          catalog::fiber_loss_per_meter() * r.length.value() +
+          catalog::connector_loss() * 2.0 +
+          catalog::indirection_loss() * static_cast<double>(r.indirections);
+      if (loss > r.choice.transceiver->loss_budget) {
+        out.push_back(
+            {name(), violation_severity::error, r.choice.transceiver->name,
+             str_format("%.2fdB loss (%d indirections) vs %.2fdB budget",
+                        loss.value(), r.indirections,
+                        r.choice.transceiver->loss_budget.value())});
+      }
+    }
+  }
+};
+
+class path_diversity_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "path_diversity"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    // Parallel links between one switch pair should not all traverse the
+    // same tray segment: a single cut would sever the whole adjacency.
+    std::map<std::pair<node_id, node_id>, std::vector<const cable_run*>>
+        groups;
+    for (const cable_run& r : d.cables->runs) {
+      if (r.route.segments.empty()) continue;  // intra-rack
+      const edge_info& e = d.graph->edge(r.edge);
+      groups[std::minmax(e.a, e.b)].push_back(&r);
+    }
+    for (const auto& [pair, runs] : groups) {
+      if (runs.size() < 2) continue;
+      // Intersect tray-segment sets across all parallel runs.
+      std::set<tray_id> common(runs[0]->route.segments.begin(),
+                               runs[0]->route.segments.end());
+      for (std::size_t i = 1; i < runs.size() && !common.empty(); ++i) {
+        std::set<tray_id> next;
+        for (tray_id t : runs[i]->route.segments) {
+          if (common.contains(t)) next.insert(t);
+        }
+        common = std::move(next);
+      }
+      if (!common.empty()) {
+        out.push_back(
+            {name(), violation_severity::warning,
+             d.graph->node(pair.first).name + " <-> " +
+                 d.graph->node(pair.second).name,
+             str_format("%zu parallel links share %zu tray segment(s): "
+                        "physical SPOF",
+                        runs.size(), common.size())});
+      }
+    }
+  }
+};
+
+class failure_domain_check final : public constraint_checker {
+ public:
+  std::string name() const override { return "failure_domain"; }
+  void run(const physical_design& d,
+           std::vector<constraint_violation>& out) const override {
+    // §3.3: a redundancy group (all spines of one group, all aggs of one
+    // pod) placed entirely on one power feed fails together when that
+    // feed does — the abstract design's redundancy is fictitious.
+    std::map<std::pair<int, int>, std::set<int>> feeds_of_group;
+    std::map<std::pair<int, int>, std::size_t> group_sizes;
+    for (std::size_t i = 0; i < d.graph->node_count(); ++i) {
+      const node_id n{i};
+      const node_info& info = d.graph->node(n);
+      if (info.layer == 0) continue;  // ToRs are not redundancy groups
+      const auto key = std::make_pair(info.layer, info.block);
+      feeds_of_group[key].insert(d.floor->feed_of(d.place->rack_of(n)));
+      ++group_sizes[key];
+    }
+    for (const auto& [key, feeds] : feeds_of_group) {
+      if (group_sizes[key] >= 2 && feeds.size() == 1) {
+        out.push_back(
+            {name(), violation_severity::warning,
+             str_format("layer-%d block %d", key.first, key.second),
+             str_format("%zu redundant switches all on power feed %d",
+                        group_sizes[key], *feeds.begin())});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<constraint_checker>> standard_checkers() {
+  std::vector<std::unique_ptr<constraint_checker>> out;
+  out.push_back(std::make_unique<rack_space_check>());
+  out.push_back(std::make_unique<rack_power_check>());
+  out.push_back(std::make_unique<tray_capacity_check>());
+  out.push_back(std::make_unique<plenum_check>());
+  out.push_back(std::make_unique<bend_radius_check>());
+  out.push_back(std::make_unique<reach_check>());
+  out.push_back(std::make_unique<loss_budget_check>());
+  out.push_back(std::make_unique<path_diversity_check>());
+  out.push_back(std::make_unique<failure_domain_check>());
+  return out;
+}
+
+std::vector<constraint_violation> run_all_checks(const physical_design& d) {
+  PN_CHECK(d.graph != nullptr && d.place != nullptr && d.floor != nullptr &&
+           d.cables != nullptr && d.cat != nullptr);
+  std::vector<constraint_violation> out;
+  for (const auto& checker : standard_checkers()) {
+    checker->run(d, out);
+  }
+  return out;
+}
+
+std::size_t count_errors(const std::vector<constraint_violation>& v) {
+  return static_cast<std::size_t>(
+      std::count_if(v.begin(), v.end(), [](const constraint_violation& cv) {
+        return cv.severity == violation_severity::error;
+      }));
+}
+
+}  // namespace pn

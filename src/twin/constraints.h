@@ -1,0 +1,71 @@
+// Physical-constraint checkers over a complete design.
+//
+// §5.3: the goal of a twin is "to be able to rapidly test whether an
+// abstract design violates physical-world constraints," including the
+// subtle ones ("a space that is just a little too small to accommodate
+// the safe bending radius of the cable"). Each checker inspects one
+// constraint family; run_all_checks is the plan-time gate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "physical/cabling.h"
+#include "physical/catalog.h"
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// Everything a checker may inspect. All pointers non-owning, non-null.
+struct physical_design {
+  const network_graph* graph = nullptr;
+  const placement* place = nullptr;
+  const floorplan* floor = nullptr;
+  const cabling_plan* cables = nullptr;
+  const catalog* cat = nullptr;
+};
+
+enum class violation_severity { warning, error };
+
+struct constraint_violation {
+  std::string check;
+  violation_severity severity = violation_severity::error;
+  std::string subject;
+  std::string detail;
+};
+
+class constraint_checker {
+ public:
+  virtual ~constraint_checker() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void run(const physical_design& d,
+                   std::vector<constraint_violation>& out) const = 0;
+};
+
+// Built-in checkers.
+//
+// rack_space:      per-rack RU occupancy vs. capacity.
+// rack_power:      switch power draw vs. rack power budget.
+// tray_capacity:   tray segment fill <= 100% (warning above 80%).
+// plenum:          per-rack cable cross-section vs. plenum (§3.1's 256-
+//                  cables-in-a-rack problem; warning above 70%: airflow).
+// bend_radius:     cable min bend radius vs. the rack's entry geometry.
+// reach:           routed length within the selected medium's reach.
+// loss_budget:     optical loss (fiber + connectors + indirections) within
+//                  the transceiver budget.
+// path_diversity:  parallel links between the same switch pair should not
+//                  all ride one tray segment (physical SPOF, §3.1).
+[[nodiscard]] std::vector<std::unique_ptr<constraint_checker>>
+standard_checkers();
+
+[[nodiscard]] std::vector<constraint_violation> run_all_checks(
+    const physical_design& d);
+
+// Convenience: errors only.
+[[nodiscard]] std::size_t count_errors(
+    const std::vector<constraint_violation>& v);
+
+}  // namespace pn

@@ -1,0 +1,168 @@
+#include "twin/diff.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+using entity_key = std::pair<std::string, std::string>;  // kind, name
+
+std::string key_str(const entity_key& k) {
+  return k.first + "/" + k.second;
+}
+
+std::map<entity_key, const twin_entity*> live_entities(
+    const twin_model& m) {
+  std::map<entity_key, const twin_entity*> out;
+  for (const twin_entity& e : m.all_entities()) {
+    if (e.alive) out[{e.kind, e.name}] = &e;
+  }
+  return out;
+}
+
+// Relation multiset keyed by (relkind, from key, to key).
+using relation_key = std::tuple<std::string, entity_key, entity_key>;
+
+std::map<relation_key, int> live_relations(const twin_model& m) {
+  std::map<relation_key, int> out;
+  for (const twin_relation& r : m.all_relations()) {
+    if (!r.alive) continue;
+    if (!m.entity_alive(r.from) || !m.entity_alive(r.to)) continue;
+    const twin_entity& from = m.entity(r.from);
+    const twin_entity& to = m.entity(r.to);
+    ++out[{r.kind, {from.kind, from.name}, {to.kind, to.name}}];
+  }
+  return out;
+}
+
+std::string relation_str(const relation_key& k, int multiplicity) {
+  std::string s = std::get<0>(k) + ": " + key_str(std::get<1>(k)) +
+                  " -> " + key_str(std::get<2>(k));
+  if (multiplicity > 1) s += str_format(" x%d", multiplicity);
+  return s;
+}
+
+}  // namespace
+
+twin_diff diff_twins(const twin_model& current, const twin_model& proposed) {
+  twin_diff out;
+  const auto cur = live_entities(current);
+  const auto pro = live_entities(proposed);
+
+  for (const auto& [key, e] : pro) {
+    if (!cur.contains(key)) {
+      out.added_entities.push_back(key_str(key));
+      continue;
+    }
+    // Attribute deltas on entities present in both.
+    const twin_entity* old_e = cur.at(key);
+    std::set<std::string> attr_keys;
+    for (const auto& [k, unused] : old_e->attrs) attr_keys.insert(k);
+    for (const auto& [k, unused] : e->attrs) attr_keys.insert(k);
+    for (const std::string& attr : attr_keys) {
+      const auto oit = old_e->attrs.find(attr);
+      const auto nit = e->attrs.find(attr);
+      const std::string old_v =
+          oit == old_e->attrs.end() ? "(unset)"
+                                    : attr_to_string(oit->second);
+      const std::string new_v =
+          nit == e->attrs.end() ? "(unset)" : attr_to_string(nit->second);
+      if (old_v != new_v) {
+        out.changed_attrs.push_back(key_str(key) + "." + attr + ": " +
+                                    old_v + " -> " + new_v);
+      }
+    }
+  }
+  for (const auto& [key, unused] : cur) {
+    if (!pro.contains(key)) {
+      out.removed_entities.push_back(key_str(key));
+    }
+  }
+
+  const auto cur_rel = live_relations(current);
+  const auto pro_rel = live_relations(proposed);
+  for (const auto& [key, count] : pro_rel) {
+    const auto it = cur_rel.find(key);
+    const int old_count = it == cur_rel.end() ? 0 : it->second;
+    if (count > old_count) {
+      out.added_relations.push_back(relation_str(key, count - old_count));
+    }
+  }
+  for (const auto& [key, count] : cur_rel) {
+    const auto it = pro_rel.find(key);
+    const int new_count = it == pro_rel.end() ? 0 : it->second;
+    if (count > new_count) {
+      out.removed_relations.push_back(
+          relation_str(key, count - new_count));
+    }
+  }
+  return out;
+}
+
+std::vector<twin_op> diff_to_ops(const twin_model& current,
+                                 const twin_model& proposed) {
+  std::vector<twin_op> plan;
+  const auto cur = live_entities(current);
+  const auto pro = live_entities(proposed);
+  const auto cur_rel = live_relations(current);
+  const auto pro_rel = live_relations(proposed);
+
+  // 1. Add new entities with their attributes.
+  for (const auto& [key, e] : pro) {
+    if (cur.contains(key)) continue;
+    std::vector<std::pair<std::string, attr_value>> attrs(e->attrs.begin(),
+                                                          e->attrs.end());
+    plan.push_back(op_add_entity(key.first, key.second, std::move(attrs)));
+  }
+
+  // 2. Attribute updates on surviving entities.
+  for (const auto& [key, e] : pro) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) continue;
+    for (const auto& [attr, value] : e->attrs) {
+      const auto oit = it->second->attrs.find(attr);
+      if (oit == it->second->attrs.end() ||
+          attr_to_string(oit->second) != attr_to_string(value)) {
+        plan.push_back(op_set_attr(key.first, key.second, attr, value));
+      }
+    }
+  }
+
+  // 3. Add new relations (multiplicity deltas).
+  for (const auto& [key, count] : pro_rel) {
+    const auto it = cur_rel.find(key);
+    const int old_count = it == cur_rel.end() ? 0 : it->second;
+    for (int i = old_count; i < count; ++i) {
+      plan.push_back(op_add_relation(
+          std::get<0>(key), std::get<1>(key).first,
+          std::get<1>(key).second, std::get<2>(key).first,
+          std::get<2>(key).second));
+    }
+  }
+
+  // 4. Remove dead relations, then 5. dead entities.
+  for (const auto& [key, count] : cur_rel) {
+    const auto it = pro_rel.find(key);
+    const int new_count = it == pro_rel.end() ? 0 : it->second;
+    for (int i = new_count; i < count; ++i) {
+      plan.push_back(op_remove_relation(
+          std::get<0>(key), std::get<1>(key).first,
+          std::get<1>(key).second, std::get<2>(key).first,
+          std::get<2>(key).second));
+    }
+  }
+  for (const auto& [key, unused] : cur) {
+    if (!pro.contains(key)) {
+      plan.push_back(op_remove_entity(key.first, key.second));
+    }
+  }
+  return plan;
+}
+
+}  // namespace pn

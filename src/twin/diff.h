@@ -1,0 +1,54 @@
+// Twin-model diffing and change-plan generation (§5.2).
+//
+// The change-management practice the paper describes (Al-Fares et al.,
+// ATC'23) reviews *declarative deltas*: the proposed network is a model,
+// the current network is a model, and the change is their diff. This
+// module computes that diff (entities and relations added, removed,
+// re-attributed) and compiles it into the twin_op sequence that would
+// transform current into proposed — orderable, dry-runnable, and
+// reviewable before anything physical happens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "twin/dryrun.h"
+#include "twin/model.h"
+
+namespace pn {
+
+struct twin_diff {
+  // Entity names by kind+name key ("kind/name").
+  std::vector<std::string> added_entities;
+  std::vector<std::string> removed_entities;
+  // "kind/name.attr: old -> new" (including attrs only on one side).
+  std::vector<std::string> changed_attrs;
+  // "relkind: from -> to" strings.
+  std::vector<std::string> added_relations;
+  std::vector<std::string> removed_relations;
+
+  [[nodiscard]] bool empty() const {
+    return added_entities.empty() && removed_entities.empty() &&
+           changed_attrs.empty() && added_relations.empty() &&
+           removed_relations.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return added_entities.size() + removed_entities.size() +
+           changed_attrs.size() + added_relations.size() +
+           removed_relations.size();
+  }
+};
+
+// Structural diff keyed by (kind, name); ids are irrelevant. Parallel
+// relations diff by multiplicity.
+[[nodiscard]] twin_diff diff_twins(const twin_model& current,
+                                   const twin_model& proposed);
+
+// Compiles the diff into an executable change plan, safely ordered:
+// adds (entities, then relations, then attrs) before removals (relations
+// before entities) — so a dry run flags anything the ordering cannot
+// fix (e.g. removing a switch whose cables are NOT in the plan).
+[[nodiscard]] std::vector<twin_op> diff_to_ops(const twin_model& current,
+                                               const twin_model& proposed);
+
+}  // namespace pn

@@ -1,0 +1,160 @@
+#include "twin/dryrun.h"
+
+#include "common/check.h"
+
+namespace pn {
+
+twin_op op_add_entity(std::string kind, std::string name,
+                      std::vector<std::pair<std::string, attr_value>> attrs,
+                      std::string description) {
+  twin_op op;
+  op.kind = twin_op::op_kind::add_entity;
+  op.entity_kind = std::move(kind);
+  op.entity_name = std::move(name);
+  op.attrs = std::move(attrs);
+  op.description = description.empty()
+                       ? "add " + op.entity_kind + " " + op.entity_name
+                       : std::move(description);
+  return op;
+}
+
+twin_op op_remove_entity(std::string kind, std::string name,
+                         std::string description) {
+  twin_op op;
+  op.kind = twin_op::op_kind::remove_entity;
+  op.entity_kind = std::move(kind);
+  op.entity_name = std::move(name);
+  op.description = description.empty()
+                       ? "remove " + op.entity_kind + " " + op.entity_name
+                       : std::move(description);
+  return op;
+}
+
+twin_op op_add_relation(std::string rel, std::string from_kind,
+                        std::string from_name, std::string to_kind,
+                        std::string to_name, std::string description) {
+  twin_op op;
+  op.kind = twin_op::op_kind::add_relation;
+  op.relation_kind = std::move(rel);
+  op.from_kind = std::move(from_kind);
+  op.from_name = std::move(from_name);
+  op.to_kind = std::move(to_kind);
+  op.to_name = std::move(to_name);
+  op.description = description.empty()
+                       ? "relate " + op.from_name + " -" + op.relation_kind +
+                             "-> " + op.to_name
+                       : std::move(description);
+  return op;
+}
+
+twin_op op_remove_relation(std::string rel, std::string from_kind,
+                           std::string from_name, std::string to_kind,
+                           std::string to_name, std::string description) {
+  twin_op op = op_add_relation(std::move(rel), std::move(from_kind),
+                               std::move(from_name), std::move(to_kind),
+                               std::move(to_name), std::move(description));
+  op.kind = twin_op::op_kind::remove_relation;
+  if (description.empty()) {
+    op.description = "unrelate " + op.from_name + " -" + op.relation_kind +
+                     "-> " + op.to_name;
+  }
+  return op;
+}
+
+twin_op op_set_attr(std::string kind, std::string name, std::string key,
+                    attr_value value, std::string description) {
+  twin_op op;
+  op.kind = twin_op::op_kind::set_attr;
+  op.entity_kind = std::move(kind);
+  op.entity_name = std::move(name);
+  op.attrs.emplace_back(std::move(key), std::move(value));
+  op.description = description.empty()
+                       ? "set " + op.entity_name + "." + op.attrs[0].first
+                       : std::move(description);
+  return op;
+}
+
+dry_run_engine::dry_run_engine(twin_model snapshot, const twin_schema* schema)
+    : model_(std::move(snapshot)), schema_(schema) {
+  PN_CHECK(schema_ != nullptr);
+}
+
+status dry_run_engine::apply(const twin_op& op) {
+  switch (op.kind) {
+    case twin_op::op_kind::add_entity: {
+      if (model_.find(op.entity_kind, op.entity_name).has_value()) {
+        return invalid_argument_error("entity already exists: " +
+                                      op.entity_name);
+      }
+      const entity_id e = model_.add_entity(op.entity_kind, op.entity_name);
+      for (const auto& [k, v] : op.attrs) {
+        model_.set_attr(e, k, v);
+      }
+      return status::ok();
+    }
+    case twin_op::op_kind::remove_entity: {
+      const auto e = model_.find(op.entity_kind, op.entity_name);
+      if (!e.has_value()) {
+        return not_found_error("no live entity " + op.entity_name);
+      }
+      return model_.remove_entity(*e);
+    }
+    case twin_op::op_kind::add_relation:
+    case twin_op::op_kind::remove_relation: {
+      const auto from = model_.find(op.from_kind, op.from_name);
+      const auto to = model_.find(op.to_kind, op.to_name);
+      if (!from.has_value() || !to.has_value()) {
+        return not_found_error("relation endpoint missing: " +
+                               (from.has_value() ? op.to_name : op.from_name));
+      }
+      if (op.kind == twin_op::op_kind::add_relation) {
+        return model_.add_relation(op.relation_kind, *from, *to);
+      }
+      return model_.remove_relation(op.relation_kind, *from, *to);
+    }
+    case twin_op::op_kind::set_attr: {
+      const auto e = model_.find(op.entity_kind, op.entity_name);
+      if (!e.has_value()) {
+        return not_found_error("no live entity " + op.entity_name);
+      }
+      for (const auto& [k, v] : op.attrs) {
+        model_.set_attr(*e, k, v);
+      }
+      return status::ok();
+    }
+  }
+  return invalid_argument_error("unknown op kind");
+}
+
+dry_run_report dry_run_engine::run(const std::vector<twin_op>& ops,
+                                   const dry_run_options& opt) {
+  dry_run_report report;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const status s = apply(ops[i]);
+    std::vector<schema_violation> violations;
+    if (opt.validate_each_step) {
+      violations = schema_->validate(model_);
+    }
+    if (!s.is_ok() || !violations.empty()) {
+      report.ok = false;
+      report.failures.push_back(
+          {i, ops[i].description, s, std::move(violations)});
+      if (!opt.continue_after_failure) {
+        report.steps_executed = i + 1;
+        return report;
+      }
+    }
+    report.steps_executed = i + 1;
+  }
+  if (!opt.validate_each_step) {
+    auto violations = schema_->validate(model_);
+    if (!violations.empty()) {
+      report.ok = false;
+      report.failures.push_back({ops.size(), "final validation", status::ok(),
+                                 std::move(violations)});
+    }
+  }
+  return report;
+}
+
+}  // namespace pn

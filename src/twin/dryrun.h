@@ -1,0 +1,103 @@
+// Dry-run engine: execute a change plan against a copy of the twin and
+// report every step that would fail, before anyone touches hardware.
+//
+// §5.3: "Almost all of [our deployment mistakes and delays] could have
+// been averted if we could do multi-layer digital-twin dry runs." A plan
+// is a sequence of twin_ops (add/remove entities and relations, set
+// attributes); the engine applies them to a private copy, surfacing
+// referential-integrity failures (e.g. removing a switch whose cables are
+// still connected) and schema violations at the exact step they occur.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "twin/model.h"
+#include "twin/schema.h"
+
+namespace pn {
+
+struct twin_op {
+  enum class op_kind {
+    add_entity,
+    remove_entity,
+    add_relation,
+    remove_relation,
+    set_attr,
+  };
+  op_kind kind = op_kind::add_entity;
+  // Entity ops: target (entity_kind, entity_name). add_entity also applies
+  // `attrs`.
+  std::string entity_kind;
+  std::string entity_name;
+  std::vector<std::pair<std::string, attr_value>> attrs;
+  // Relation ops.
+  std::string relation_kind;
+  std::string from_kind, from_name;
+  std::string to_kind, to_name;
+  // What a human would read in the work order.
+  std::string description;
+};
+
+[[nodiscard]] twin_op op_add_entity(
+    std::string kind, std::string name,
+    std::vector<std::pair<std::string, attr_value>> attrs = {},
+    std::string description = "");
+[[nodiscard]] twin_op op_remove_entity(std::string kind, std::string name,
+                                       std::string description = "");
+[[nodiscard]] twin_op op_add_relation(std::string rel, std::string from_kind,
+                                      std::string from_name,
+                                      std::string to_kind,
+                                      std::string to_name,
+                                      std::string description = "");
+[[nodiscard]] twin_op op_remove_relation(std::string rel,
+                                         std::string from_kind,
+                                         std::string from_name,
+                                         std::string to_kind,
+                                         std::string to_name,
+                                         std::string description = "");
+[[nodiscard]] twin_op op_set_attr(std::string kind, std::string name,
+                                  std::string key, attr_value value,
+                                  std::string description = "");
+
+struct dry_run_step_failure {
+  std::size_t step = 0;
+  std::string description;
+  status op_status;                           // op-level failure, if any
+  std::vector<schema_violation> violations;   // schema failures after op
+};
+
+struct dry_run_report {
+  bool ok = true;
+  std::size_t steps_executed = 0;
+  std::vector<dry_run_step_failure> failures;
+};
+
+struct dry_run_options {
+  // Validate the whole model against the schema after every step (precise
+  // but O(steps * model)); when false, validates once at the end.
+  bool validate_each_step = true;
+  // Keep executing past a failed step (to collect every problem at once).
+  bool continue_after_failure = true;
+};
+
+class dry_run_engine {
+ public:
+  // Takes a snapshot of the model; the original is never modified.
+  dry_run_engine(twin_model snapshot, const twin_schema* schema);
+
+  [[nodiscard]] dry_run_report run(const std::vector<twin_op>& ops,
+                                   const dry_run_options& opt = {});
+
+  // State after the last run — what the world would look like if the plan
+  // were executed.
+  [[nodiscard]] const twin_model& model() const { return model_; }
+
+ private:
+  [[nodiscard]] status apply(const twin_op& op);
+
+  twin_model model_;
+  const twin_schema* schema_;
+};
+
+}  // namespace pn

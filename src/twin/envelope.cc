@@ -1,0 +1,123 @@
+#include "twin/envelope.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+void capability_envelope::set_range(const std::string& dimension, double min,
+                                    double max) {
+  PN_CHECK(min <= max);
+  ranges_[dimension] = {min, max};
+}
+
+void capability_envelope::allow_value(const std::string& dimension,
+                                      const std::string& value) {
+  categories_[dimension].insert(value);
+}
+
+capability_envelope capability_envelope::clos_automation() {
+  capability_envelope e;
+  // What a Clos-only automation stack has been tested against: pods of
+  // homogeneous switches, at most two link rates in flight (one
+  // generation overlap), bounded cable sizes, bundles between a modest
+  // number of rack pairs.
+  e.set_range("distinct_radixes", 1, 3);
+  e.set_range("distinct_link_rates", 1, 2);
+  e.set_range("max_switch_radix", 4, 256);
+  e.set_range("max_cable_length_m", 0, 300);
+  e.set_range("max_cable_diameter_mm", 0, 12);
+  e.set_range("max_plenum_fill", 0, 0.9);
+  e.allow_value("topology_family", "clos");
+  e.allow_value("topology_family", "fat_tree");
+  e.allow_value("topology_family", "leaf_spine");
+  e.allow_value("topology_family", "jupiter_fat_tree");
+  e.allow_value("media", "DAC");
+  e.allow_value("media", "AEC");
+  e.allow_value("media", "AOC");
+  e.allow_value("media", "fiber");
+  return e;
+}
+
+std::vector<envelope_finding> capability_envelope::check_scalar(
+    const std::string& dimension, double value) const {
+  std::vector<envelope_finding> out;
+  const auto it = ranges_.find(dimension);
+  if (it == ranges_.end()) return out;  // unconstrained dimension
+  if (value < it->second.min || value > it->second.max) {
+    out.push_back({dimension,
+                   str_format("%g outside supported range [%g, %g]", value,
+                              it->second.min, it->second.max)});
+  }
+  return out;
+}
+
+std::vector<envelope_finding> capability_envelope::check_category(
+    const std::string& dimension, const std::string& value) const {
+  std::vector<envelope_finding> out;
+  const auto it = categories_.find(dimension);
+  if (it == categories_.end()) return out;
+  if (!it->second.contains(value)) {
+    out.push_back({dimension, "unsupported value '" + value + "'"});
+  }
+  return out;
+}
+
+design_summary summarize_design(const network_graph& g,
+                                const cabling_plan& plan) {
+  design_summary s;
+  std::set<int> radixes;
+  std::set<long long> rates;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_info& n = g.node(node_id{i});
+    radixes.insert(n.radix);
+    rates.insert(static_cast<long long>(n.port_rate.value()));
+    s.max_switch_radix =
+        std::max(s.max_switch_radix, static_cast<double>(n.radix));
+  }
+  s.distinct_radixes = static_cast<int>(radixes.size());
+  s.distinct_link_rates = static_cast<int>(rates.size());
+  s.topology_families.insert(g.family);
+
+  std::set<std::pair<rack_id, rack_id>> pairs;
+  for (const cable_run& r : plan.runs) {
+    s.max_cable_length_m = std::max(s.max_cable_length_m, r.length.value());
+    s.max_cable_diameter_mm =
+        std::max(s.max_cable_diameter_mm, r.choice.diameter.value());
+    s.media.insert(cable_medium_name(r.choice.cable->medium));
+    if (r.rack_a != r.rack_b) {
+      pairs.insert(std::minmax(r.rack_a, r.rack_b));
+    }
+  }
+  s.max_bundle_pairs = static_cast<double>(pairs.size());
+  for (const auto& [rk, fill] : plan.plenum_fill) {
+    s.max_plenum_fill = std::max(s.max_plenum_fill, fill);
+  }
+  return s;
+}
+
+std::vector<envelope_finding> capability_envelope::check_design(
+    const network_graph& g, const cabling_plan& plan) const {
+  const design_summary s = summarize_design(g, plan);
+  std::vector<envelope_finding> out;
+  auto absorb = [&](std::vector<envelope_finding> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  absorb(check_scalar("distinct_radixes", s.distinct_radixes));
+  absorb(check_scalar("distinct_link_rates", s.distinct_link_rates));
+  absorb(check_scalar("max_switch_radix", s.max_switch_radix));
+  absorb(check_scalar("max_cable_length_m", s.max_cable_length_m));
+  absorb(check_scalar("max_cable_diameter_mm", s.max_cable_diameter_mm));
+  absorb(check_scalar("max_plenum_fill", s.max_plenum_fill));
+  for (const std::string& fam : s.topology_families) {
+    absorb(check_category("topology_family", fam));
+  }
+  for (const std::string& m : s.media) {
+    absorb(check_category("media", m));
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,75 @@
+// Capability envelopes (§5.2, §5.4).
+//
+// "We initially hoped to be able to define a multi-dimensional 'capability
+// envelope,' representing the variability that our automation software
+// could handle without changes." An envelope is a set of named scalar
+// ranges plus allowed categorical values; a design summary is measured
+// against it and every out-of-envelope dimension is reported. The paper's
+// point that some dimensions resist simple metrics is preserved: anything
+// not expressible here must instead surface as a schema change (schema.h).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "physical/cabling.h"
+#include "physical/placement.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct envelope_range {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct envelope_finding {
+  std::string dimension;
+  std::string detail;
+};
+
+class capability_envelope {
+ public:
+  void set_range(const std::string& dimension, double min, double max);
+  void allow_value(const std::string& dimension, const std::string& value);
+
+  // Envelope of a deployment-automation stack that has only ever handled
+  // conventional Clos fabrics (the default the benches test novel designs
+  // against).
+  [[nodiscard]] static capability_envelope clos_automation();
+
+  [[nodiscard]] std::vector<envelope_finding> check_scalar(
+      const std::string& dimension, double value) const;
+  [[nodiscard]] std::vector<envelope_finding> check_category(
+      const std::string& dimension, const std::string& value) const;
+
+  // Measures a full design and checks every known dimension.
+  [[nodiscard]] std::vector<envelope_finding> check_design(
+      const network_graph& g, const cabling_plan& plan) const;
+
+ private:
+  std::map<std::string, envelope_range> ranges_;
+  std::map<std::string, std::set<std::string>> categories_;
+};
+
+// Scalar dimensions measured from a design. Exposed so tests and benches
+// can inspect the measurement itself.
+struct design_summary {
+  int distinct_radixes = 0;
+  int distinct_link_rates = 0;
+  double max_switch_radix = 0.0;
+  double max_cable_length_m = 0.0;
+  double max_cable_diameter_mm = 0.0;
+  double max_bundle_pairs = 0.0;       // distinct rack pairs with cables
+  double max_plenum_fill = 0.0;
+  std::set<std::string> topology_families;
+  std::set<std::string> media;
+};
+
+[[nodiscard]] design_summary summarize_design(const network_graph& g,
+                                              const cabling_plan& plan);
+
+}  // namespace pn

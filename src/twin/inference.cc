@@ -1,0 +1,220 @@
+#include "twin/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+std::string inferred_rule::describe() const {
+  switch (kind) {
+    case rule_kind::attr_range:
+      return str_format("%s.%s in [%g, %g]", entity_kind.c_str(),
+                        subject.c_str(), lo, hi);
+    case rule_kind::attr_vocabulary: {
+      std::string vals;
+      for (const auto& v : vocabulary) {
+        if (!vals.empty()) vals += "|";
+        vals += v;
+      }
+      return str_format("%s.%s in {%s}", entity_kind.c_str(),
+                        subject.c_str(), vals.c_str());
+    }
+    case rule_kind::out_degree:
+      return str_format("%s --%s--> count in [%g, %g]", entity_kind.c_str(),
+                        subject.c_str(), lo, hi);
+    case rule_kind::in_degree:
+      return str_format("%s <--%s-- count in [%g, %g]", entity_kind.c_str(),
+                        subject.c_str(), lo, hi);
+  }
+  return "unknown rule";
+}
+
+namespace {
+
+struct numeric_track {
+  double lo = 0.0, hi = 0.0;
+  std::size_t n = 0;
+  void add(double v) {
+    if (n == 0) {
+      lo = hi = v;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    ++n;
+  }
+};
+
+std::optional<double> numeric_of(const attr_value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+void widen(inferred_rule& r, double slack) {
+  const double margin = std::max(std::fabs(r.hi), 1.0) * slack;
+  r.lo -= margin;
+  r.hi += margin;
+}
+
+}  // namespace
+
+std::vector<inferred_rule> infer_rules(const twin_model& m,
+                                       const inference_params& p) {
+  PN_CHECK(p.min_support >= 1);
+
+  // (kind, attr) -> numeric range / text values.
+  std::map<std::pair<std::string, std::string>, numeric_track> numerics;
+  std::map<std::pair<std::string, std::string>, std::map<std::string, int>>
+      texts;
+  std::map<std::string, std::size_t> kind_counts;
+
+  for (const twin_entity& e : m.all_entities()) {
+    if (!e.alive) continue;
+    ++kind_counts[e.kind];
+    for (const auto& [key, value] : e.attrs) {
+      if (const auto num = numeric_of(value)) {
+        numerics[{e.kind, key}].add(*num);
+      } else if (const auto* s = std::get_if<std::string>(&value)) {
+        ++texts[{e.kind, key}][*s];
+      }
+    }
+  }
+
+  // (kind, relation) -> per-entity degree; tracked via id -> count maps.
+  std::map<std::pair<std::string, std::string>, std::map<entity_id, int>>
+      out_deg, in_deg;
+  for (const twin_relation& r : m.all_relations()) {
+    if (!r.alive) continue;
+    if (!m.entity_alive(r.from) || !m.entity_alive(r.to)) continue;
+    ++out_deg[{m.entity(r.from).kind, r.kind}][r.from];
+    ++in_deg[{m.entity(r.to).kind, r.kind}][r.to];
+  }
+
+  std::vector<inferred_rule> rules;
+
+  for (const auto& [key, track] : numerics) {
+    if (track.n < p.min_support) continue;
+    inferred_rule r;
+    r.kind = inferred_rule::rule_kind::attr_range;
+    r.entity_kind = key.first;
+    r.subject = key.second;
+    r.lo = track.lo;
+    r.hi = track.hi;
+    r.support = track.n;
+    widen(r, p.range_slack);
+    rules.push_back(std::move(r));
+  }
+
+  for (const auto& [key, values] : texts) {
+    std::size_t n = 0;
+    for (const auto& [unused, c] : values) {
+      n += static_cast<std::size_t>(c);
+    }
+    if (n < p.min_support) continue;
+    if (values.size() > p.max_vocabulary || values.size() * 2 > n) continue;
+    inferred_rule r;
+    r.kind = inferred_rule::rule_kind::attr_vocabulary;
+    r.entity_kind = key.first;
+    r.subject = key.second;
+    r.support = n;
+    for (const auto& [v, unused] : values) {
+      r.vocabulary.insert(v);
+    }
+    rules.push_back(std::move(r));
+  }
+
+  auto degree_rules = [&](const auto& table,
+                          inferred_rule::rule_kind kind) {
+    for (const auto& [key, per_entity] : table) {
+      // Entities of the kind with zero relations count too.
+      const std::size_t population = kind_counts[key.first];
+      if (population < p.min_support) continue;
+      numeric_track track;
+      for (const auto& [unused, c] : per_entity) {
+        track.add(c);
+      }
+      for (std::size_t i = per_entity.size(); i < population; ++i) {
+        track.add(0.0);
+      }
+      inferred_rule r;
+      r.kind = kind;
+      r.entity_kind = key.first;
+      r.subject = key.second;
+      r.lo = track.lo;
+      r.hi = track.hi;
+      r.support = population;
+      rules.push_back(std::move(r));
+    }
+  };
+  degree_rules(out_deg, inferred_rule::rule_kind::out_degree);
+  degree_rules(in_deg, inferred_rule::rule_kind::in_degree);
+  return rules;
+}
+
+std::vector<rule_violation> check_against_rules(
+    const twin_model& m, const std::vector<inferred_rule>& rules) {
+  std::vector<rule_violation> out;
+
+  for (const twin_entity& e : m.all_entities()) {
+    if (!e.alive) continue;
+    for (const inferred_rule& r : rules) {
+      if (r.entity_kind != e.kind) continue;
+      switch (r.kind) {
+        case inferred_rule::rule_kind::attr_range: {
+          const auto it = e.attrs.find(r.subject);
+          if (it == e.attrs.end()) break;
+          const auto num = numeric_of(it->second);
+          if (!num) break;
+          if (*num < r.lo || *num > r.hi) {
+            out.push_back({e.name,
+                           str_format("%s = %g violates %s",
+                                      r.subject.c_str(), *num,
+                                      r.describe().c_str())});
+          }
+          break;
+        }
+        case inferred_rule::rule_kind::attr_vocabulary: {
+          const auto it = e.attrs.find(r.subject);
+          if (it == e.attrs.end()) break;
+          const auto* s = std::get_if<std::string>(&it->second);
+          if (s == nullptr) break;
+          if (!r.vocabulary.contains(*s)) {
+            out.push_back({e.name,
+                           str_format("%s = '%s' violates %s",
+                                      r.subject.c_str(), s->c_str(),
+                                      r.describe().c_str())});
+          }
+          break;
+        }
+        case inferred_rule::rule_kind::out_degree:
+        case inferred_rule::rule_kind::in_degree: {
+          int count = 0;
+          for (const twin_relation* rel : m.relations_of(e.id)) {
+            if (rel->kind != r.subject) continue;
+            const bool outgoing = rel->from == e.id;
+            if (outgoing ==
+                (r.kind == inferred_rule::rule_kind::out_degree)) {
+              ++count;
+            }
+          }
+          if (count < r.lo || count > r.hi) {
+            out.push_back({e.name,
+                           str_format("%d x %s violates %s", count,
+                                      r.subject.c_str(),
+                                      r.describe().c_str())});
+          }
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,64 @@
+// Design-rule inference over twin models (§5.3).
+//
+// "We would greatly benefit from new methods to validate such data,
+// perhaps by inferring design rules that were never formally stated
+// (analogous to prior work on bug-finding [Engler et al.])." Given a
+// model believed to be mostly correct, infer the latent invariants —
+// attribute ranges, categorical vocabularies, relation cardinalities —
+// then hold any model (the same one, or a proposed change) against them.
+// Deviants are either data errors or genuinely novel designs; both are
+// exactly what §5.2 wants surfaced early.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "twin/model.h"
+
+namespace pn {
+
+struct inferred_rule {
+  enum class rule_kind {
+    attr_range,       // numeric attribute of a kind stays within [lo, hi]
+    attr_vocabulary,  // text attribute takes one of few observed values
+    out_degree,       // entities of a kind have out-relations in [lo, hi]
+    in_degree,        // ... in-relations in [lo, hi]
+  };
+  rule_kind kind = rule_kind::attr_range;
+  std::string entity_kind;
+  std::string subject;  // attribute key or relation kind
+  double lo = 0.0;
+  double hi = 0.0;
+  std::set<std::string> vocabulary;
+  std::size_t support = 0;  // observations backing the rule
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct inference_params {
+  // Rules need at least this many observations to be stated at all.
+  std::size_t min_support = 5;
+  // A text attribute becomes a vocabulary rule only if the distinct
+  // values are at most this many (and fewer than half the observations).
+  std::size_t max_vocabulary = 4;
+  // Numeric ranges are widened by this fraction on both sides so that
+  // ordinary variation does not trip the checker.
+  double range_slack = 0.10;
+};
+
+[[nodiscard]] std::vector<inferred_rule> infer_rules(
+    const twin_model& m, const inference_params& p = {});
+
+struct rule_violation {
+  std::string entity;
+  std::string detail;
+};
+
+// Checks every live entity of `m` against the rules. Entities of kinds
+// with no rules pass silently.
+[[nodiscard]] std::vector<rule_violation> check_against_rules(
+    const twin_model& m, const std::vector<inferred_rule>& rules);
+
+}  // namespace pn

@@ -1,0 +1,173 @@
+#include "twin/model.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+std::string attr_to_string(const attr_value& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return x;
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return x ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          return str_format("%g", x);
+        } else {
+          return str_format("%lld", static_cast<long long>(x));
+        }
+      },
+      v);
+}
+
+entity_id twin_model::add_entity(std::string kind, std::string name) {
+  PN_CHECK(!kind.empty() && !name.empty());
+  const entity_id id{entities_.size()};
+  by_name_[{kind, name}] = id;
+  entities_.push_back({id, std::move(kind), std::move(name), {}, true});
+  return id;
+}
+
+status twin_model::remove_entity(entity_id e) {
+  PN_CHECK(e.index() < entities_.size());
+  twin_entity& ent = entities_[e.index()];
+  if (!ent.alive) {
+    return unavailable_error("entity already removed: " + ent.name);
+  }
+  const auto rels = relations_of(e);
+  if (!rels.empty()) {
+    return unavailable_error(str_format(
+        "%s '%s' still has %zu live relation(s) (first: %s)",
+        ent.kind.c_str(), ent.name.c_str(), rels.size(),
+        rels.front()->kind.c_str()));
+  }
+  ent.alive = false;
+  return status::ok();
+}
+
+status twin_model::add_relation(std::string kind, entity_id from,
+                                entity_id to) {
+  PN_CHECK(!kind.empty());
+  if (!entity_alive(from) || !entity_alive(to)) {
+    return not_found_error("relation endpoint is not a live entity");
+  }
+  relations_.push_back({std::move(kind), from, to, true});
+  return status::ok();
+}
+
+status twin_model::remove_relation(std::string kind, entity_id from,
+                                   entity_id to) {
+  for (twin_relation& r : relations_) {
+    if (r.alive && r.kind == kind && r.from == from && r.to == to) {
+      r.alive = false;
+      return status::ok();
+    }
+  }
+  return not_found_error("no live relation " + kind + " between entities");
+}
+
+void twin_model::set_attr(entity_id e, const std::string& key, attr_value v) {
+  PN_CHECK(entity_alive(e));
+  entities_[e.index()].attrs[key] = std::move(v);
+}
+
+std::optional<attr_value> twin_model::attr(entity_id e,
+                                           const std::string& key) const {
+  PN_CHECK(e.index() < entities_.size());
+  const auto& attrs = entities_[e.index()].attrs;
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> twin_model::attr_number(entity_id e,
+                                              const std::string& key) const {
+  const auto v = attr(e, key);
+  if (!v.has_value()) return std::nullopt;
+  if (const auto* d = std::get_if<double>(&*v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&*v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+bool twin_model::entity_alive(entity_id e) const {
+  return e.index() < entities_.size() && entities_[e.index()].alive;
+}
+
+const twin_entity& twin_model::entity(entity_id e) const {
+  PN_CHECK(e.index() < entities_.size());
+  return entities_[e.index()];
+}
+
+std::optional<entity_id> twin_model::find(const std::string& kind,
+                                          const std::string& name) const {
+  const auto it = by_name_.find({kind, name});
+  if (it == by_name_.end() || !entity_alive(it->second)) return std::nullopt;
+  return it->second;
+}
+
+std::vector<entity_id> twin_model::entities_of_kind(
+    const std::string& kind) const {
+  std::vector<entity_id> out;
+  for (const twin_entity& e : entities_) {
+    if (e.alive && e.kind == kind) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<const twin_relation*> twin_model::relations_of(
+    entity_id e) const {
+  std::vector<const twin_relation*> out;
+  for (const twin_relation& r : relations_) {
+    if (r.alive && (r.from == e || r.to == e)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const twin_relation*> twin_model::relations_of_kind(
+    const std::string& kind) const {
+  std::vector<const twin_relation*> out;
+  for (const twin_relation& r : relations_) {
+    if (r.alive && r.kind == kind) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<entity_id> twin_model::related(entity_id e,
+                                           const std::string& kind) const {
+  std::vector<entity_id> out;
+  for (const twin_relation& r : relations_) {
+    if (r.alive && r.kind == kind && r.from == e) out.push_back(r.to);
+  }
+  return out;
+}
+
+std::vector<entity_id> twin_model::related_in(entity_id e,
+                                              const std::string& kind) const {
+  std::vector<entity_id> out;
+  for (const twin_relation& r : relations_) {
+    if (r.alive && r.kind == kind && r.to == e) out.push_back(r.from);
+  }
+  return out;
+}
+
+std::size_t twin_model::live_entity_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entities_) {
+    if (e.alive) ++n;
+  }
+  return n;
+}
+
+std::size_t twin_model::live_relation_count() const {
+  std::size_t n = 0;
+  for (const auto& r : relations_) {
+    if (r.alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace pn

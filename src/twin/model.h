@@ -1,0 +1,99 @@
+// Declarative entity-relation model of a network deployment — the
+// "digital twin" substrate of §5.2/§5.3.
+//
+// The paper's experience: moving knowledge about a design "out of
+// automation code, and into a declarative data representation" lets
+// out-of-envelope designs be detected because they cannot be represented
+// without schema changes (MALT is the production version of this idea).
+// A twin_model is a typed property graph: entities with kind + attributes,
+// and directed, kinded relations. Referential integrity is enforced here;
+// semantic rules live in schema.h and constraints.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace pn {
+
+using attr_value = std::variant<std::int64_t, double, std::string, bool>;
+
+[[nodiscard]] std::string attr_to_string(const attr_value& v);
+
+struct twin_entity {
+  entity_id id;
+  std::string kind;   // e.g. "switch", "cable", "rack", "patch_panel"
+  std::string name;   // unique within kind
+  std::map<std::string, attr_value> attrs;
+  bool alive = true;
+};
+
+struct twin_relation {
+  std::string kind;   // e.g. "placed_in", "connects", "feeds", "carries"
+  entity_id from;
+  entity_id to;
+  bool alive = true;
+};
+
+class twin_model {
+ public:
+  entity_id add_entity(std::string kind, std::string name);
+
+  // Removal fails (unavailable) while live relations still reference the
+  // entity — the referential-integrity rule that makes naive decom plans
+  // fail loudly in the twin instead of silently in the building (§2.1).
+  status remove_entity(entity_id e);
+
+  status add_relation(std::string kind, entity_id from, entity_id to);
+  status remove_relation(std::string kind, entity_id from, entity_id to);
+
+  void set_attr(entity_id e, const std::string& key, attr_value v);
+  [[nodiscard]] std::optional<attr_value> attr(entity_id e,
+                                               const std::string& key) const;
+  [[nodiscard]] std::optional<double> attr_number(
+      entity_id e, const std::string& key) const;
+
+  [[nodiscard]] bool entity_alive(entity_id e) const;
+  [[nodiscard]] const twin_entity& entity(entity_id e) const;
+  [[nodiscard]] std::optional<entity_id> find(const std::string& kind,
+                                              const std::string& name) const;
+  [[nodiscard]] std::vector<entity_id> entities_of_kind(
+      const std::string& kind) const;
+
+  // Live relations touching e (as source or target).
+  [[nodiscard]] std::vector<const twin_relation*> relations_of(
+      entity_id e) const;
+  [[nodiscard]] std::vector<const twin_relation*> relations_of_kind(
+      const std::string& kind) const;
+  // Live targets of relations `kind` out of e.
+  [[nodiscard]] std::vector<entity_id> related(entity_id e,
+                                               const std::string& kind) const;
+  // Live sources of relations `kind` into e.
+  [[nodiscard]] std::vector<entity_id> related_in(
+      entity_id e, const std::string& kind) const;
+
+  [[nodiscard]] std::size_t live_entity_count() const;
+  [[nodiscard]] std::size_t live_relation_count() const;
+
+  // Full stores (including dead records) for iteration by validators.
+  [[nodiscard]] const std::vector<twin_entity>& all_entities() const {
+    return entities_;
+  }
+  [[nodiscard]] const std::vector<twin_relation>& all_relations() const {
+    return relations_;
+  }
+
+ private:
+  std::vector<twin_entity> entities_;
+  std::vector<twin_relation> relations_;
+  // (kind, name) -> id for find(); stale entries are validated on lookup.
+  std::map<std::pair<std::string, std::string>, entity_id> by_name_;
+};
+
+}  // namespace pn

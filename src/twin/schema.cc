@@ -1,0 +1,201 @@
+#include "twin/schema.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+const char* attr_type_name(attr_type t) {
+  switch (t) {
+    case attr_type::integer:
+      return "integer";
+    case attr_type::number:
+      return "number";
+    case attr_type::text:
+      return "text";
+    case attr_type::boolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+bool type_matches(const attr_value& v, attr_type t) {
+  switch (t) {
+    case attr_type::integer:
+      return std::holds_alternative<std::int64_t>(v);
+    case attr_type::number:
+      return std::holds_alternative<double>(v) ||
+             std::holds_alternative<std::int64_t>(v);
+    case attr_type::text:
+      return std::holds_alternative<std::string>(v);
+    case attr_type::boolean:
+      return std::holds_alternative<bool>(v);
+  }
+  return false;
+}
+
+std::optional<double> numeric_of(const attr_value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void twin_schema::add_entity_spec(entity_spec s) {
+  PN_CHECK(!s.kind.empty());
+  entities_[s.kind] = std::move(s);
+}
+
+void twin_schema::add_relation_spec(relation_spec s) {
+  PN_CHECK(!s.kind.empty());
+  relations_[s.kind] = std::move(s);
+}
+
+bool twin_schema::knows_entity_kind(const std::string& kind) const {
+  return entities_.contains(kind);
+}
+
+bool twin_schema::knows_relation_kind(const std::string& kind) const {
+  return relations_.contains(kind);
+}
+
+std::vector<schema_violation> twin_schema::validate(
+    const twin_model& m) const {
+  std::vector<schema_violation> out;
+
+  // Entities: known kind, required attributes present, typed, in range.
+  for (const twin_entity& ent : m.all_entities()) {
+    if (!ent.alive) continue;
+    const auto spec_it = entities_.find(ent.kind);
+    if (spec_it == entities_.end()) {
+      out.push_back({"unknown_entity_kind", ent.name,
+                     str_format("kind '%s' is not in the schema",
+                                ent.kind.c_str())});
+      continue;
+    }
+    const entity_spec& spec = spec_it->second;
+    {
+      const std::string& kind = ent.kind;
+      for (const attr_spec& a : spec.attrs) {
+        const auto it = ent.attrs.find(a.key);
+        if (it == ent.attrs.end()) {
+          if (a.required) {
+            out.push_back({"missing_attr", ent.name,
+                           str_format("%s requires attribute '%s'",
+                                      kind.c_str(), a.key.c_str())});
+          }
+          continue;
+        }
+        if (!type_matches(it->second, a.type)) {
+          out.push_back({"attr_type", ent.name,
+                         str_format("'%s' must be %s, got '%s'",
+                                    a.key.c_str(), attr_type_name(a.type),
+                                    attr_to_string(it->second).c_str())});
+          continue;
+        }
+        const auto num = numeric_of(it->second);
+        if (num.has_value()) {
+          if (a.min.has_value() && *num < *a.min) {
+            out.push_back({"attr_range", ent.name,
+                           str_format("'%s' = %g below schema minimum %g",
+                                      a.key.c_str(), *num, *a.min)});
+          }
+          if (a.max.has_value() && *num > *a.max) {
+            out.push_back({"attr_range", ent.name,
+                           str_format("'%s' = %g above schema maximum %g",
+                                      a.key.c_str(), *num, *a.max)});
+          }
+        }
+      }
+    }
+  }
+
+  // Unknown relation kinds — the "cannot represent it" signal.
+  for (const twin_relation& r : m.all_relations()) {
+    if (r.alive && !relations_.contains(r.kind)) {
+      out.push_back({"unknown_relation_kind", r.kind,
+                     str_format("relation kind '%s' is not in the schema",
+                                r.kind.c_str())});
+    }
+  }
+
+  // Relations: legal endpoint kinds, cardinality.
+  std::map<std::pair<std::string, entity_id>, int> out_counts;
+  std::map<std::pair<std::string, entity_id>, int> in_counts;
+  for (const auto& [kind, spec] : relations_) {
+    for (const twin_relation* r : m.relations_of_kind(kind)) {
+      const twin_entity& from = m.entity(r->from);
+      const twin_entity& to = m.entity(r->to);
+      if (from.kind != spec.from_kind || to.kind != spec.to_kind) {
+        out.push_back({"relation_endpoints", kind,
+                       str_format("%s(%s -> %s) must be %s -> %s",
+                                  kind.c_str(), from.kind.c_str(),
+                                  to.kind.c_str(), spec.from_kind.c_str(),
+                                  spec.to_kind.c_str())});
+      }
+      ++out_counts[{kind, r->from}];
+      ++in_counts[{kind, r->to}];
+    }
+    for (const auto& [key, count] : out_counts) {
+      if (key.first == kind && spec.max_out >= 0 && count > spec.max_out) {
+        out.push_back({"cardinality", m.entity(key.second).name,
+                       str_format("%d out-relations '%s', max %d", count,
+                                  kind.c_str(), spec.max_out)});
+      }
+    }
+    for (const auto& [key, count] : in_counts) {
+      if (key.first == kind && spec.max_in >= 0 && count > spec.max_in) {
+        out.push_back({"cardinality", m.entity(key.second).name,
+                       str_format("%d in-relations '%s', max %d", count,
+                                  kind.c_str(), spec.max_in)});
+      }
+    }
+  }
+  return out;
+}
+
+twin_schema twin_schema::network_schema() {
+  twin_schema s;
+  s.add_entity_spec(
+      {"rack",
+       {{"rack_units", attr_type::integer, true, 1.0, 60.0},
+        {"power_budget_w", attr_type::number, true, 0.0, 40000.0},
+        {"row", attr_type::integer, false, 0.0, std::nullopt}}});
+  s.add_entity_spec(
+      {"switch",
+       {{"radix", attr_type::integer, true, 1.0, 512.0},
+        {"port_rate_gbps", attr_type::number, true, 1.0, 800.0},
+        {"rack_units", attr_type::integer, true, 1.0, 16.0},
+        {"power_w", attr_type::number, true, 0.0, 5000.0},
+        {"drained", attr_type::boolean, false, std::nullopt, std::nullopt}}});
+  s.add_entity_spec(
+      {"cable",
+       {{"rate_gbps", attr_type::number, true, 1.0, 800.0},
+        {"length_m", attr_type::number, true, 0.0, 2000.0},
+        {"diameter_mm", attr_type::number, true, 0.5, 20.0},
+        {"medium", attr_type::text, true, std::nullopt, std::nullopt}}});
+  s.add_entity_spec(
+      {"patch_panel",
+       {{"ports", attr_type::integer, true, 1.0, 4096.0},
+        {"insertion_loss_db", attr_type::number, true, 0.0, 2.0}}});
+  s.add_entity_spec(
+      {"power_feed",
+       {{"capacity_w", attr_type::number, true, 0.0, 1000000.0}}});
+
+  s.add_relation_spec({"placed_in", "switch", "rack", 1, -1});
+  // A cable terminates on exactly two switches: modeled as two
+  // 'terminates_on' relations out of the cable.
+  s.add_relation_spec({"terminates_on", "cable", "switch", 2, -1});
+  s.add_relation_spec({"patched_through", "cable", "patch_panel", -1, -1});
+  s.add_relation_spec({"feeds", "power_feed", "rack", -1, 2});
+  return s;
+}
+
+}  // namespace pn

@@ -1,0 +1,75 @@
+// Declarative schema over twin models.
+//
+// §5.2: "by moving knowledge about a design out of automation code, and
+// into a declarative data representation, we can at least detect
+// out-of-envelope designs because we cannot represent them without schema
+// changes." A schema declares which entity kinds exist, which attributes
+// they must carry (with type and numeric range), and which relation kinds
+// are legal between which entity kinds with what cardinality. Validation
+// reports every deviation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "twin/model.h"
+
+namespace pn {
+
+enum class attr_type { integer, number, text, boolean };
+
+struct attr_spec {
+  std::string key;
+  attr_type type = attr_type::number;
+  bool required = true;
+  // Range for numeric attributes (the per-dimension envelope hook).
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
+struct entity_spec {
+  std::string kind;
+  std::vector<attr_spec> attrs;
+};
+
+struct relation_spec {
+  std::string kind;
+  std::string from_kind;
+  std::string to_kind;
+  // Max live out-relations of this kind per source entity (-1 unlimited).
+  int max_out = -1;
+  // Max live in-relations of this kind per target entity (-1 unlimited).
+  int max_in = -1;
+};
+
+struct schema_violation {
+  std::string rule;     // which check fired
+  std::string subject;  // entity/relation involved
+  std::string detail;
+};
+
+class twin_schema {
+ public:
+  void add_entity_spec(entity_spec s);
+  void add_relation_spec(relation_spec s);
+
+  [[nodiscard]] bool knows_entity_kind(const std::string& kind) const;
+  [[nodiscard]] bool knows_relation_kind(const std::string& kind) const;
+
+  // Full validation of a model: unknown kinds, missing/mistyped/out-of-
+  // range attributes, illegal relation endpoints, cardinality overflows.
+  [[nodiscard]] std::vector<schema_violation> validate(
+      const twin_model& m) const;
+
+  // The schema used by the built-in network twin: racks, switches, ports
+  // implied by counts, cables, patch panels, power feeds.
+  [[nodiscard]] static twin_schema network_schema();
+
+ private:
+  std::map<std::string, entity_spec> entities_;
+  std::map<std::string, relation_spec> relations_;
+};
+
+}  // namespace pn

@@ -1,0 +1,121 @@
+#include "twin/serialize.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+bool has_space(const std::string& s) {
+  return s.find_first_of(" \t\n") != std::string::npos;
+}
+
+}  // namespace
+
+std::string serialize_twin(const twin_model& m) {
+  std::ostringstream out;
+  for (const twin_entity& e : m.all_entities()) {
+    if (!e.alive) continue;
+    PN_CHECK_MSG(!has_space(e.kind) && !has_space(e.name),
+                 "kinds/names must be whitespace-free to serialize");
+    out << "entity " << e.kind << " " << e.name << "\n";
+    for (const auto& [key, value] : e.attrs) {
+      PN_CHECK_MSG(!has_space(key), "attr keys must be whitespace-free");
+      out << "attr " << e.kind << " " << e.name << " " << key << " ";
+      if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        out << "int " << *i;
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        out << "num " << str_format("%.17g", *d);
+      } else if (const auto* b = std::get_if<bool>(&value)) {
+        out << "bool " << (*b ? "true" : "false");
+      } else {
+        out << "str " << std::get<std::string>(value);
+      }
+      out << "\n";
+    }
+  }
+  for (const twin_relation& r : m.all_relations()) {
+    if (!r.alive) continue;
+    const twin_entity& from = m.entity(r.from);
+    const twin_entity& to = m.entity(r.to);
+    if (!from.alive || !to.alive) continue;
+    out << "relation " << r.kind << " " << from.kind << " " << from.name
+        << " " << to.kind << " " << to.name << "\n";
+  }
+  return out.str();
+}
+
+result<twin_model> parse_twin(const std::string& text) {
+  twin_model m;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& why) {
+    return invalid_argument_error(
+        str_format("line %zu: %s", line_no, why.c_str()));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+
+    if (directive == "entity") {
+      std::string kind, name;
+      ls >> kind >> name;
+      if (kind.empty() || name.empty()) return fail("malformed entity");
+      if (m.find(kind, name).has_value()) {
+        return fail("duplicate entity " + name);
+      }
+      m.add_entity(kind, name);
+    } else if (directive == "attr") {
+      std::string kind, name, key, type;
+      ls >> kind >> name >> key >> type;
+      if (type.empty()) return fail("malformed attr");
+      const auto e = m.find(kind, name);
+      if (!e.has_value()) return fail("attr for unknown entity " + name);
+      if (type == "int") {
+        std::int64_t v = 0;
+        if (!(ls >> v)) return fail("bad int value");
+        m.set_attr(*e, key, v);
+      } else if (type == "num") {
+        double v = 0.0;
+        if (!(ls >> v)) return fail("bad num value");
+        m.set_attr(*e, key, v);
+      } else if (type == "bool") {
+        std::string v;
+        ls >> v;
+        if (v != "true" && v != "false") return fail("bad bool value");
+        m.set_attr(*e, key, v == "true");
+      } else if (type == "str") {
+        std::string rest;
+        std::getline(ls, rest);
+        if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+        m.set_attr(*e, key, rest);
+      } else {
+        return fail("unknown attr type " + type);
+      }
+    } else if (directive == "relation") {
+      std::string rel, fk, fn, tk, tn;
+      ls >> rel >> fk >> fn >> tk >> tn;
+      if (tn.empty()) return fail("malformed relation");
+      const auto from = m.find(fk, fn);
+      const auto to = m.find(tk, tn);
+      if (!from.has_value()) return fail("relation from unknown " + fn);
+      if (!to.has_value()) return fail("relation to unknown " + tn);
+      const status s = m.add_relation(rel, *from, *to);
+      if (!s.is_ok()) return fail(s.to_string());
+    } else {
+      return fail("unknown directive " + directive);
+    }
+  }
+  return m;
+}
+
+}  // namespace pn

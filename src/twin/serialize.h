@@ -1,0 +1,32 @@
+// Textual serialization of twin models.
+//
+// §5.2/§5.3: the value of the declarative representation is that it can
+// be exchanged, diffed, and validated outside the automation code — the
+// antidote to "a variety of ad hoc, poorly-documented, and ambiguous
+// formats". The format is line-oriented and append-only friendly:
+//
+//   entity <kind> <name>
+//   attr <kind> <name> <key> <int|num|str|bool> <value...>
+//   relation <relkind> <from_kind> <from_name> <to_kind> <to_name>
+//
+// Kinds, names and keys must be whitespace-free; string attribute values
+// may contain spaces (they extend to end of line).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "twin/model.h"
+
+namespace pn {
+
+// Serializes live entities/relations. Deterministic: entities in id
+// order, attributes in key order, relations in insertion order.
+[[nodiscard]] std::string serialize_twin(const twin_model& m);
+
+// Parses a serialized twin. Fails with invalid_argument on malformed
+// lines, unknown directives, duplicate entities, or relations to missing
+// entities (with the line number in the message).
+[[nodiscard]] result<twin_model> parse_twin(const std::string& text);
+
+}  // namespace pn

@@ -1,0 +1,101 @@
+#include "twin/views.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+result<rollup_result> roll_up(const twin_model& detailed,
+                              const rollup_spec& spec) {
+  PN_CHECK(!spec.source_kind.empty());
+  PN_CHECK(!spec.group_by_attr.empty());
+  PN_CHECK(!spec.aggregate_kind.empty());
+  for (const twin_entity& e : detailed.all_entities()) {
+    if (e.alive && e.kind == spec.aggregate_kind) {
+      return invalid_argument_error("aggregate kind '" +
+                                    spec.aggregate_kind +
+                                    "' already exists in the model");
+    }
+  }
+
+  rollup_result out;
+
+  // Group the source entities.
+  std::map<std::string, std::vector<const twin_entity*>> groups;
+  for (const twin_entity& e : detailed.all_entities()) {
+    if (!e.alive || e.kind != spec.source_kind) continue;
+    const auto it = e.attrs.find(spec.group_by_attr);
+    const std::string group_value =
+        it != e.attrs.end() ? attr_to_string(it->second)
+                            : "solo_" + e.name;
+    groups[group_value].push_back(&e);
+  }
+
+  // Aggregates first, then pass-through entities.
+  std::map<entity_id, entity_id> remap;  // detailed id -> rolled id
+  std::map<std::string, entity_id> aggregate_by_group;
+  for (const auto& [group_value, members] : groups) {
+    const std::string agg_name = spec.aggregate_kind + group_value;
+    const entity_id agg = out.model.add_entity(spec.aggregate_kind,
+                                               agg_name);
+    aggregate_by_group[group_value] = agg;
+    out.model.set_attr(agg, "members",
+                       static_cast<std::int64_t>(members.size()));
+    for (const std::string& key : spec.sum_attrs) {
+      double sum = 0.0;
+      bool any = false;
+      for (const twin_entity* m : members) {
+        const auto it = m->attrs.find(key);
+        if (it == m->attrs.end()) continue;
+        if (const auto* d = std::get_if<double>(&it->second)) {
+          sum += *d;
+          any = true;
+        } else if (const auto* i =
+                       std::get_if<std::int64_t>(&it->second)) {
+          sum += static_cast<double>(*i);
+          any = true;
+        }
+      }
+      if (any) out.model.set_attr(agg, key, sum);
+    }
+    for (const twin_entity* m : members) {
+      remap[m->id] = agg;
+      out.member_of[m->name] = agg_name;
+    }
+    ++out.aggregates;
+  }
+
+  for (const twin_entity& e : detailed.all_entities()) {
+    if (!e.alive || e.kind == spec.source_kind) continue;
+    const entity_id copy = out.model.add_entity(e.kind, e.name);
+    for (const auto& [key, value] : e.attrs) {
+      out.model.set_attr(copy, key, value);
+    }
+    remap[e.id] = copy;
+  }
+
+  // Relations: re-point, drop aggregate self-loops but count them.
+  std::map<std::pair<entity_id, std::string>, std::int64_t> internal;
+  for (const twin_relation& r : detailed.all_relations()) {
+    if (!r.alive) continue;
+    if (!detailed.entity_alive(r.from) || !detailed.entity_alive(r.to)) {
+      continue;
+    }
+    const auto from_it = remap.find(r.from);
+    const auto to_it = remap.find(r.to);
+    PN_CHECK(from_it != remap.end() && to_it != remap.end());
+    if (from_it->second == to_it->second) {
+      ++internal[{from_it->second, r.kind}];
+      continue;
+    }
+    PN_CHECK(out.model
+                 .add_relation(r.kind, from_it->second, to_it->second)
+                 .is_ok());
+  }
+  for (const auto& [key, count] : internal) {
+    out.model.set_attr(key.first, "internal_" + key.second, count);
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,53 @@
+// Multi-level abstraction views over twin models.
+//
+// MALT (Mogul et al., NSDI'20 — cited in §5.2) models networks "at
+// multiple levels of abstraction": planners want pods and blocks, repair
+// automation wants line cards and fibers. A view rolls a detailed model
+// up into a coarser one: entities sharing a grouping attribute collapse
+// into one aggregate entity carrying summed/representative attributes,
+// and relations are re-pointed (and deduplicated with multiplicity)
+// between aggregates. The rollup is itself a twin_model, so every tool in
+// this library — schema validation, dry runs, serialization, rule
+// inference — works on it unchanged.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "twin/model.h"
+
+namespace pn {
+
+struct rollup_spec {
+  // Entities of this kind are grouped...
+  std::string source_kind;
+  // ...by the value of this attribute (e.g. "pod", "row"); entities
+  // missing the attribute each form their own singleton group.
+  std::string group_by_attr;
+  // The aggregate entities' kind and name prefix ("pod" -> "pod3").
+  std::string aggregate_kind;
+  // Numeric attributes to sum across the group (e.g. "power_w").
+  std::vector<std::string> sum_attrs;
+};
+
+struct rollup_result {
+  twin_model model;
+  // source entity name -> aggregate entity name, for drill-down.
+  std::map<std::string, std::string> member_of;
+  std::size_t aggregates = 0;
+};
+
+// Builds the rolled-up model. Entities of kinds other than source_kind
+// are copied through unchanged; relations with one or both endpoints in a
+// group are re-pointed at the aggregate, keeping parallel relations as
+// parallels (their count is the inter-aggregate multiplicity). Relations
+// that become self-loops on an aggregate (intra-group links) are dropped,
+// with the count recorded on the aggregate as "internal_<relkind>".
+// Fails with invalid_argument if the aggregate kind collides with an
+// existing kind in the model.
+[[nodiscard]] result<rollup_result> roll_up(const twin_model& detailed,
+                                            const rollup_spec& spec);
+
+}  // namespace pn

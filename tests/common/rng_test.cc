@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pn {
+namespace {
+
+TEST(rng, deterministic_for_seed) {
+  rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(rng, different_seeds_diverge) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(rng, next_double_in_unit_interval) {
+  rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(rng, next_below_is_unbiased_enough) {
+  rng r(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[r.next_below(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(rng, next_int_covers_inclusive_range) {
+  rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(rng, normal_has_right_moments) {
+  rng r(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(rng, exponential_has_right_mean) {
+  rng r(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(rng, shuffle_is_a_permutation) {
+  rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(rng, bool_probability) {
+  rng r(19);
+  int t = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.next_bool(0.25)) ++t;
+  }
+  EXPECT_NEAR(static_cast<double>(t) / n, 0.25, 0.01);
+}
+
+TEST(rng, fork_gives_independent_stream) {
+  rng parent(23);
+  rng child = parent.fork();
+  // Child stream differs from the parent continuing.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(rng, pick_selects_member) {
+  rng r(29);
+  const std::vector<std::string> v{"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& s = r.pick(v);
+    EXPECT_TRUE(s == "a" || s == "b" || s == "c");
+  }
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,65 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pn {
+namespace {
+
+TEST(sample_stats, basic_moments) {
+  sample_stats s;
+  s.add_all({1, 2, 3, 4});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.118, 1e-3);
+}
+
+TEST(sample_stats, percentiles_interpolate) {
+  sample_stats s;
+  s.add_all({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.125), 15.0);  // interpolated
+}
+
+TEST(sample_stats, single_sample) {
+  sample_stats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(sample_stats, empty_queries_are_bugs) {
+  sample_stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(0.5), std::logic_error);
+}
+
+TEST(histogram, bins_and_clamping) {
+  histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(3.0);
+  h.add(9.9);
+  h.add(42.0);   // clamps to last bin
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(histogram, invalid_construction) {
+  EXPECT_THROW(histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace pn {
+namespace {
+
+TEST(status, default_is_ok) {
+  status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), status_code::ok);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(status, error_carries_code_and_message) {
+  const status s = capacity_error("tray 7 full");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), status_code::capacity_exceeded);
+  EXPECT_EQ(s.message(), "tray 7 full");
+  EXPECT_EQ(s.to_string(), "capacity_exceeded: tray 7 full");
+}
+
+TEST(status, all_codes_have_names) {
+  for (status_code c :
+       {status_code::ok, status_code::invalid_argument, status_code::not_found,
+        status_code::out_of_range, status_code::infeasible,
+        status_code::capacity_exceeded, status_code::constraint_violated,
+        status_code::unavailable}) {
+    EXPECT_STRNE(status_code_name(c), "unknown");
+  }
+}
+
+TEST(result, holds_value) {
+  result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(result, holds_error) {
+  result<int> r = not_found_error("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.error().code(), status_code::not_found);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(result, value_on_error_throws) {
+  result<int> r = infeasible_error("x");
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(result, from_ok_status_is_a_bug) {
+  EXPECT_THROW((result<int>{status::ok()}), std::logic_error);
+}
+
+TEST(result, move_only_friendly) {
+  result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(check, fires_with_location) {
+  try {
+    PN_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(ids, strong_ids_are_distinct_types) {
+  const node_id n{3};
+  EXPECT_TRUE(n.valid());
+  EXPECT_EQ(n.value(), 3u);
+  EXPECT_EQ(n.index(), 3u);
+  EXPECT_FALSE(node_id{}.valid());
+  static_assert(!std::is_convertible_v<node_id, rack_id>);
+  static_assert(!std::is_convertible_v<node_id, std::uint32_t>);
+}
+
+TEST(ids, hashable) {
+  std::unordered_map<rack_id, int> m;
+  m[rack_id{1}] = 10;
+  m[rack_id{2}] = 20;
+  EXPECT_EQ(m.at(rack_id{1}), 10);
+  EXPECT_EQ(m.at(rack_id{2}), 20);
+}
+
+}  // namespace
+}  // namespace pn

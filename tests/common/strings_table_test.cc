@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace pn {
+namespace {
+
+TEST(strings, str_format) {
+  EXPECT_EQ(str_format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(strings, split_basic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(strings, split_no_separator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(strings, join_roundtrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(strings, starts_with) {
+  EXPECT_TRUE(starts_with("pod0/tor1", "pod0"));
+  EXPECT_FALSE(starts_with("pod0", "pod0/tor1"));
+}
+
+TEST(strings, human_count) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(12345), "12.3k");
+  EXPECT_EQ(human_count(2500000), "2.50M");
+  EXPECT_EQ(human_count(3.2e9), "3.20G");
+}
+
+TEST(strings, human_dollars) {
+  EXPECT_EQ(human_dollars(950), "$950");
+  EXPECT_EQ(human_dollars(12345), "$12.3k");
+  EXPECT_EQ(human_dollars(2500000), "$2.50M");
+}
+
+TEST(table, renders_aligned_grid) {
+  text_table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(22LL);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1.5   |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(table, percent_cells) {
+  text_table t({"x"});
+  t.row().cell_pct(0.123456);
+  EXPECT_NE(t.to_string().find("12.3%"), std::string::npos);
+}
+
+TEST(table, overflow_row_is_programming_error) {
+  text_table t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), std::logic_error);
+}
+
+TEST(table, cell_before_row_is_programming_error) {
+  text_table t({"h"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,75 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+TEST(units, arithmetic_is_closed_per_unit) {
+  const meters a{3.0};
+  const meters b{4.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 6.0);
+  EXPECT_DOUBLE_EQ((b / 3.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);  // ratio is dimensionless
+}
+
+TEST(units, compound_assignment) {
+  dollars d{10.0};
+  d += dollars{5.0};
+  EXPECT_DOUBLE_EQ(d.value(), 15.0);
+  d -= dollars{3.0};
+  EXPECT_DOUBLE_EQ(d.value(), 12.0);
+  d *= 2.0;
+  EXPECT_DOUBLE_EQ(d.value(), 24.0);
+  d /= 4.0;
+  EXPECT_DOUBLE_EQ(d.value(), 6.0);
+}
+
+TEST(units, comparisons) {
+  EXPECT_LT(meters{1.0}, meters{2.0});
+  EXPECT_GE(gbps{400.0}, gbps{100.0});
+  EXPECT_EQ(hours{1.0}, hours{1.0});
+}
+
+TEST(units, conversions) {
+  EXPECT_DOUBLE_EQ(to_millimeters(meters{1.5}).value(), 1500.0);
+  EXPECT_DOUBLE_EQ(to_meters(millimeters{250.0}).value(), 0.25);
+  EXPECT_DOUBLE_EQ(hours_from_minutes(90.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(minutes(hours{2.0}), 120.0);
+}
+
+TEST(units, circle_area_matches_aws_numbers) {
+  // §3.1: 6.7mm -> 11mm OD grows the cross-section ~2.7x.
+  const double a100 = circle_area(6.7_mm).value();
+  const double a400 = circle_area(11.0_mm).value();
+  EXPECT_NEAR(a400 / a100, 2.7, 0.05);
+}
+
+TEST(units, literals) {
+  EXPECT_DOUBLE_EQ((2.5_m).value(), 2.5);
+  EXPECT_DOUBLE_EQ((400_gbps).value(), 400.0);
+  EXPECT_DOUBLE_EQ((99.5_usd).value(), 99.5);
+  EXPECT_DOUBLE_EQ((8_h).value(), 8.0);
+  EXPECT_DOUBLE_EQ((0.75_db).value(), 0.75);
+}
+
+TEST(units, streaming) {
+  std::ostringstream oss;
+  oss << meters{3.5} << " " << dollars{20.0} << " " << watts{5.0};
+  EXPECT_EQ(oss.str(), "3.5m $20 5W");
+}
+
+TEST(units, negation_and_default) {
+  EXPECT_DOUBLE_EQ((-meters{2.0}).value(), -2.0);
+  EXPECT_DOUBLE_EQ(dollars{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace pn

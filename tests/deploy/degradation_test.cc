@@ -1,0 +1,141 @@
+#include "deploy/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+TEST(degradation, no_failures_means_full_retention) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  degradation_params p;
+  p.concurrent_switch_failures = 0;
+  p.concurrent_link_failures = 0;
+  p.samples = 3;
+  const auto rep = analyze_degradation(g, tm, p);
+  EXPECT_DOUBLE_EQ(rep.mean_capacity_retention, 1.0);
+  EXPECT_DOUBLE_EQ(rep.worst_capacity_retention, 1.0);
+  EXPECT_DOUBLE_EQ(rep.partition_probability, 0.0);
+}
+
+TEST(degradation, retention_decreases_with_failure_count) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  double prev = 1.1;
+  for (const int failures : {1, 4, 8}) {
+    degradation_params p;
+    p.concurrent_switch_failures = failures;
+    p.samples = 30;
+    const auto rep = analyze_degradation(g, tm, p);
+    EXPECT_LE(rep.mean_capacity_retention, prev + 0.05)
+        << failures << " failures";
+    prev = rep.mean_capacity_retention;
+  }
+}
+
+TEST(degradation, single_spine_loss_is_tolerable_in_fat_tree) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  degradation_params p;
+  p.concurrent_switch_failures = 1;
+  p.samples = 40;
+  const auto rep = analyze_degradation(g, tm, p);
+  // One switch of 80 out: ECMP reroutes; capacity floor stays high.
+  EXPECT_GT(rep.mean_capacity_retention, 0.6);
+  EXPECT_DOUBLE_EQ(rep.partition_probability, 0.0);
+}
+
+TEST(degradation, single_spine_leaf_spine_hurts_more_than_fat_tree) {
+  // §3.3's radix tradeoff again, through the failure lens: losing one of
+  // 4 fat spines costs more than losing one of 16 small spines.
+  leaf_spine_params few;
+  few.leaves = 16;
+  few.spines = 4;
+  few.hosts_per_leaf = 8;
+  leaf_spine_params many = few;
+  many.spines = 16;
+  const network_graph g_few = build_leaf_spine(few);
+  const network_graph g_many = build_leaf_spine(many);
+
+  // Fail one spine specifically (not random): remove its links.
+  auto fail_one_spine = [](network_graph g) {
+    const node_id spine = g.nodes_of_kind(node_kind::spine).front();
+    std::vector<edge_id> incident;
+    for (const auto& adj : g.neighbors(spine)) {
+      incident.push_back(adj.edge);
+    }
+    for (edge_id e : incident) g.remove_edge(e);
+    return g;
+  };
+  const traffic_matrix tm_few = uniform_traffic(g_few, 10_gbps);
+  const traffic_matrix tm_many = uniform_traffic(g_many, 10_gbps);
+  const double base_few = ecmp_throughput(g_few, tm_few).alpha;
+  const double base_many = ecmp_throughput(g_many, tm_many).alpha;
+  const double degr_few =
+      ecmp_throughput(fail_one_spine(g_few), tm_few).alpha;
+  const double degr_many =
+      ecmp_throughput(fail_one_spine(g_many), tm_many).alpha;
+  EXPECT_LT(degr_few / base_few, degr_many / base_many);
+}
+
+TEST(degradation, partitions_are_detected) {
+  // Three ToRs hang off one relay: killing the relay (1 in 4 samples)
+  // partitions the survivors; killing a ToR leaves the rest connected.
+  network_graph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_node({"t" + std::to_string(i), node_kind::tor, 8, 100_gbps, 4, 0,
+                i});
+  }
+  g.add_node({"s", node_kind::spine, 8, 100_gbps, 0, 1, 3});
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.add_edge(node_id{i}, node_id{3}, 100_gbps);
+  }
+  const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  degradation_params p;
+  p.concurrent_switch_failures = 1;
+  p.samples = 80;
+  const auto rep = analyze_degradation(g, tm, p);
+  EXPECT_GT(rep.partition_probability, 0.10);
+  EXPECT_LT(rep.partition_probability, 0.45);
+}
+
+TEST(degradation, expander_degrades_gracefully) {
+  jellyfish_params jp;
+  jp.switches = 32;
+  jp.radix = 12;
+  jp.hosts_per_switch = 4;
+  jp.seed = 3;
+  const network_graph g = build_jellyfish(jp);
+  const traffic_matrix tm = uniform_traffic(g, 5_gbps);
+  degradation_params p;
+  p.concurrent_switch_failures = 2;
+  p.concurrent_link_failures = 4;
+  p.samples = 25;
+  const auto rep = analyze_degradation(g, tm, p);
+  EXPECT_GT(rep.mean_capacity_retention, 0.4);
+  EXPECT_LT(rep.partition_probability, 0.2);
+}
+
+TEST(degradation, deterministic_per_seed) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  degradation_params p;
+  p.concurrent_switch_failures = 2;
+  p.samples = 10;
+  p.seed = 77;
+  const auto a = analyze_degradation(g, tm, p);
+  const auto b = analyze_degradation(g, tm, p);
+  EXPECT_DOUBLE_EQ(a.mean_capacity_retention, b.mean_capacity_retention);
+  EXPECT_DOUBLE_EQ(a.partition_probability, b.partition_probability);
+}
+
+}  // namespace
+}  // namespace pn

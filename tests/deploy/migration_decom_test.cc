@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "deploy/decom.h"
+#include "deploy/migration.h"
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jupiter.h"
+#include "twin/builder.h"
+#include "twin/dryrun.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+jupiter_fabric test_fabric() {
+  jupiter_params p;
+  p.agg_blocks = 8;
+  p.tors_per_block = 4;
+  p.mbs_per_block = 4;
+  p.uplinks_per_mb = 8;
+  p.spine_blocks = 4;
+  p.ocs_count = 8;
+  return build_jupiter(p);
+}
+
+TEST(migration, plan_matches_fabric_shape) {
+  const jupiter_fabric f = test_fabric();
+  const migration_report rep = plan_jupiter_migration(f, {});
+  EXPECT_EQ(rep.ocs_racks, 8);
+  // Every fat-tree fabric link sheds its spine-side fiber.
+  EXPECT_EQ(rep.fiber_disconnects, 8 * 4 * 8);
+  EXPECT_EQ(rep.fiber_connects, 0);
+  EXPECT_GT(rep.labor.value(), 0.0);
+  // §4.3: "multiple hours of human labor per rack" — our per-rack labor
+  // should be in the hours range, not minutes or weeks.
+  EXPECT_GT(rep.labor_per_rack.value(), 0.5);
+  EXPECT_LT(rep.labor_per_rack.value(), 24.0);
+}
+
+TEST(migration, residual_capacity_follows_concurrency) {
+  const jupiter_fabric f = test_fabric();
+  migration_params one;
+  one.concurrent_drains = 1;
+  migration_params four;
+  four.concurrent_drains = 4;
+  const auto a = plan_jupiter_migration(f, one);
+  const auto b = plan_jupiter_migration(f, four);
+  // One OCS of 8 drained -> 7/8 capacity floor.
+  EXPECT_NEAR(a.min_residual_capacity, 7.0 / 8.0, 1e-9);
+  EXPECT_NEAR(b.min_residual_capacity, 4.0 / 8.0, 1e-9);
+  // But concurrency shortens the calendar.
+  EXPECT_LT(b.elapsed.value(), a.elapsed.value());
+  // Labor is the same work either way.
+  EXPECT_NEAR(a.labor.value(), b.labor.value(),
+              0.25 * a.labor.value());
+}
+
+TEST(migration, miswires_are_caught_and_cost_rework) {
+  const jupiter_fabric f = test_fabric();
+  migration_params sloppy;
+  sloppy.miswire_probability = 0.2;
+  migration_params careful;
+  careful.miswire_probability = 0.0;
+  const auto a = plan_jupiter_migration(f, sloppy);
+  const auto b = plan_jupiter_migration(f, careful);
+  EXPECT_GT(a.miswires_caught, 0);
+  EXPECT_EQ(b.miswires_caught, 0);
+  EXPECT_GT(a.labor.value(), b.labor.value());
+}
+
+TEST(migration, extra_uplinks_add_connects) {
+  const jupiter_fabric f = test_fabric();
+  const auto rep = plan_jupiter_migration(f, {}, /*extra_uplinks=*/8);
+  EXPECT_EQ(rep.fiber_connects, 8 * 8 / 8 * 8);  // blocks*extra striped
+  EXPECT_GT(rep.labor.value(),
+            plan_jupiter_migration(f, {}).labor.value());
+}
+
+TEST(migration, direct_fabric_rejected_as_source) {
+  jupiter_params p;
+  p.agg_blocks = 5;
+  p.mode = jupiter_mode::direct;
+  const jupiter_fabric f = build_jupiter(p);
+  EXPECT_THROW((void)plan_jupiter_migration(f, {}), std::logic_error);
+}
+
+struct decom_rig {
+  decom_rig() : g(build_fat_tree(4, 100_gbps)) {
+    floorplan_params p;
+    p.rows = 2;
+    p.racks_per_row = 10;
+    fp.emplace(p);
+    pl = block_placement(g, *fp).value();
+    plan = plan_cabling(g, pl.value(), *fp, cat, {}).value();
+    twin = build_network_twin(g, pl.value(), *fp, plan, cat);
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  std::optional<floorplan> fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+  twin_model twin;
+};
+
+TEST(decom, naive_plan_fails_dry_run_loudly) {
+  decom_rig r;
+  const twin_schema schema = twin_schema::network_schema();
+  const auto plan = naive_decom_plan(r.twin, {"spine0/sw0"});
+  dry_run_engine eng(r.twin, &schema);
+  const auto report = eng.run(plan);
+  EXPECT_FALSE(report.ok);
+  // The switch removal itself must be among the failures.
+  bool removal_failed = false;
+  for (const auto& f : report.failures) {
+    if (f.description.find("spine0/sw0") != std::string::npos &&
+        f.op_status.code() == status_code::unavailable) {
+      removal_failed = true;
+    }
+  }
+  EXPECT_TRUE(removal_failed);
+}
+
+TEST(decom, safe_plan_passes_dry_run) {
+  decom_rig r;
+  const twin_schema schema = twin_schema::network_schema();
+  const auto plan = safe_decom_plan(r.twin, {"spine0/sw0"});
+  dry_run_engine eng(r.twin, &schema);
+  const auto report = eng.run(plan);
+  EXPECT_TRUE(report.ok) << (report.failures.empty()
+                                 ? ""
+                                 : report.failures[0].description + ": " +
+                                       report.failures[0]
+                                           .op_status.to_string());
+  // The switch and its cables are gone in the simulated world.
+  EXPECT_FALSE(eng.model().find("switch", "spine0/sw0").has_value());
+}
+
+TEST(decom, blocking_cables_identified) {
+  decom_rig r;
+  const auto blockers = blocking_cables(r.twin, {"spine0/sw0"});
+  // Every cable on the spine connects to an in-service agg: all block.
+  EXPECT_EQ(blockers.size(),
+            r.twin.related_in(*r.twin.find("switch", "spine0/sw0"),
+                              "terminates_on")
+                .size());
+}
+
+TEST(decom, removing_whole_pod_blocks_only_uplinks) {
+  decom_rig r;
+  // Decom all of pod0: intra-pod cables don't block (both ends leave);
+  // agg->spine uplinks block.
+  std::vector<std::string> pod0;
+  for (std::size_t i = 0; i < r.g.node_count(); ++i) {
+    const node_info& n = r.g.node(node_id{i});
+    if (n.layer < 2 && n.block == 0) pod0.push_back(n.name);
+  }
+  ASSERT_EQ(pod0.size(), 4u);  // 2 tors + 2 aggs in a k=4 pod
+  const auto blockers = blocking_cables(r.twin, pod0);
+  // k=4: each agg has 2 uplinks -> 4 blocked; 4 intra-pod links don't.
+  EXPECT_EQ(blockers.size(), 4u);
+}
+
+TEST(decom, safe_plan_for_whole_pod_passes) {
+  decom_rig r;
+  std::vector<std::string> pod0;
+  for (std::size_t i = 0; i < r.g.node_count(); ++i) {
+    const node_info& n = r.g.node(node_id{i});
+    if (n.layer < 2 && n.block == 0) pod0.push_back(n.name);
+  }
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(r.twin, &schema);
+  const auto report = eng.run(safe_decom_plan(r.twin, pod0));
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(decom, unknown_switch_is_a_bug) {
+  decom_rig r;
+  EXPECT_THROW(naive_decom_plan(r.twin, {"ghost"}), std::logic_error);
+  EXPECT_THROW(safe_decom_plan(r.twin, {"ghost"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "deploy/expansion.h"
+#include "deploy/repair_sim.h"
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct repair_rig {
+  repair_rig() : g(build_fat_tree(6, 100_gbps)) {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 14;
+    fp.emplace(p);
+    pl = block_placement(g, *fp).value();
+    plan = plan_cabling(g, pl.value(), *fp, cat, {}).value();
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  std::optional<floorplan> fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+};
+
+TEST(repair_sim, produces_failures_over_long_horizon) {
+  repair_rig r;
+  repair_params p;
+  p.horizon = hours{10.0 * 365 * 24};
+  const auto res =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+  EXPECT_GT(res.switch_failures + res.port_failures + res.cable_failures,
+            0u);
+  EXPECT_GT(res.mean_mttr.value(), 0.0);
+  EXPECT_LT(res.availability, 1.0);
+  EXPECT_GT(res.availability, 0.99);  // still a functioning datacenter
+}
+
+TEST(repair_sim, bigger_repair_unit_costs_more_collateral) {
+  // §3.3: higher radix / chassis-level repair drains more ports per fix.
+  repair_rig r;
+  repair_params port;
+  port.unit = repair_unit::port;
+  port.horizon = hours{20.0 * 365 * 24};
+  repair_params chassis = port;
+  chassis.unit = repair_unit::chassis;
+  const auto a = simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, port);
+  const auto b =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, chassis);
+  EXPECT_LT(a.collateral_gbps_hours, b.collateral_gbps_hours);
+  EXPECT_GE(a.availability, b.availability);
+}
+
+TEST(repair_sim, fungibility_protects_against_stockouts) {
+  // §2.2: a supply-chain problem at one vendor becomes a non-event when
+  // parts are fungible.
+  repair_rig r;
+  repair_params fungible;
+  fungible.horizon = hours{20.0 * 365 * 24};
+  fungible.fungible_parts = true;
+  fungible.stockout_probability = 0.3;
+  repair_params sole_source = fungible;
+  sole_source.fungible_parts = false;
+  const auto a =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, fungible);
+  const auto b =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, sole_source);
+  EXPECT_LT(a.mean_mttr.value(), b.mean_mttr.value());
+  EXPECT_GT(a.availability, b.availability);
+}
+
+TEST(repair_sim, deterministic_per_seed) {
+  repair_rig r;
+  repair_params p;
+  p.seed = 5;
+  const auto a = simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+  const auto b = simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+  EXPECT_EQ(a.switch_failures, b.switch_failures);
+  EXPECT_DOUBLE_EQ(a.lost_gbps_hours, b.lost_gbps_hours);
+}
+
+TEST(stripe_ports, largest_remainder) {
+  EXPECT_EQ(stripe_ports(8, 4), (std::vector<int>{2, 2, 2, 2}));
+  EXPECT_EQ(stripe_ports(10, 4), (std::vector<int>{3, 3, 2, 2}));
+  EXPECT_EQ(stripe_ports(3, 5), (std::vector<int>{1, 1, 1, 0, 0}));
+}
+
+TEST(clos_expansion, direct_wiring_rewires_on_the_floor) {
+  clos_expansion_params p;
+  p.from_pods = 4;
+  p.to_pods = 8;
+  p.wiring = spine_wiring::direct;
+  const expansion_plan plan = plan_clos_expansion(p);
+  // Each group: 128 ports; 32/pod before, 16/pod after; 4 pods shed 16
+  // each -> 64 rewired per group, 256 total.
+  EXPECT_EQ(plan.links_rewired, 256);
+  EXPECT_EQ(plan.links_added, 256);
+  EXPECT_EQ(plan.floor_cable_pulls, 256);
+  EXPECT_EQ(plan.jumper_moves, 0);
+  EXPECT_EQ(plan.dead_cables_left, 256);  // §2.1: old cables stay
+  EXPECT_GT(plan.labor.value(), 0.0);
+}
+
+TEST(clos_expansion, patch_panels_convert_rewires_to_jumpers) {
+  clos_expansion_params direct;
+  direct.from_pods = 4;
+  direct.to_pods = 8;
+  direct.wiring = spine_wiring::direct;
+  clos_expansion_params panel = direct;
+  panel.wiring = spine_wiring::patch_panel;
+  const expansion_plan d = plan_clos_expansion(direct);
+  const expansion_plan pp = plan_clos_expansion(panel);
+  // §4.1 / Zhao: expansion without walking the floor for existing links.
+  EXPECT_GT(pp.jumper_moves, 0);
+  EXPECT_LT(pp.floor_cable_pulls, d.floor_cable_pulls);
+  EXPECT_LT(pp.labor.value(), d.labor.value());
+  EXPECT_GT(pp.panels_touched, 0);
+  EXPECT_GT(pp.rewired_links_per_panel, 0.0);
+}
+
+TEST(clos_expansion, ocs_is_nearly_free) {
+  clos_expansion_params p;
+  p.from_pods = 4;
+  p.to_pods = 8;
+  p.wiring = spine_wiring::ocs;
+  const expansion_plan plan = plan_clos_expansion(p);
+  EXPECT_EQ(plan.jumper_moves, 0);
+  EXPECT_GT(plan.ocs_reconfigs, 0);
+  EXPECT_EQ(plan.drain_windows, 1);
+  clos_expansion_params panel = p;
+  panel.wiring = spine_wiring::patch_panel;
+  EXPECT_LT(plan.labor.value(), plan_clos_expansion(panel).labor.value());
+}
+
+TEST(clos_expansion, larger_expansions_move_more_links) {
+  clos_expansion_params small;
+  small.from_pods = 8;
+  small.to_pods = 10;
+  clos_expansion_params big = small;
+  big.to_pods = 16;
+  EXPECT_LT(plan_clos_expansion(small).links_rewired,
+            plan_clos_expansion(big).links_rewired);
+}
+
+TEST(clos_expansion, removing_old_cables_costs_extra) {
+  clos_expansion_params keep;
+  keep.from_pods = 4;
+  keep.to_pods = 8;
+  keep.leave_dead_cables = true;
+  clos_expansion_params remove = keep;
+  remove.leave_dead_cables = false;
+  const auto a = plan_clos_expansion(keep);
+  const auto b = plan_clos_expansion(remove);
+  EXPECT_EQ(a.floor_cable_removals, 0);
+  EXPECT_GT(b.floor_cable_removals, 0);
+  EXPECT_LT(a.labor.value(), b.labor.value());
+  EXPECT_EQ(b.dead_cables_left, 0);
+}
+
+TEST(clos_expansion, invalid_params_rejected) {
+  clos_expansion_params p;
+  p.from_pods = 8;
+  p.to_pods = 8;  // not an expansion
+  EXPECT_THROW((void)plan_clos_expansion(p), std::logic_error);
+  p.to_pods = 100000;  // more pods than ports
+  EXPECT_THROW((void)plan_clos_expansion(p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/lifecycle.h"
+#include "deploy/repair_sim.h"
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct rig {
+  rig() : g(build_fat_tree(8, 100_gbps)) {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 14;
+    fp.emplace(p);
+    pl = block_placement(g, *fp).value();
+    plan = plan_cabling(g, pl.value(), *fp, cat, {}).value();
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  std::optional<floorplan> fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+};
+
+TEST(repair_crew, unlimited_crew_never_queues) {
+  rig r;
+  repair_params p;
+  p.horizon = hours{20.0 * 365 * 24};
+  p.repair_technicians = 0;
+  const auto res = simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+  EXPECT_DOUBLE_EQ(res.queueing_hours.value(), 0.0);
+}
+
+TEST(repair_crew, small_crew_queues_and_mttr_grows) {
+  rig r;
+  repair_params base;
+  base.horizon = hours{20.0 * 365 * 24};
+  base.feed_fit = 2000.0;  // enough concurrent failures to collide
+  base.port_fit = 2000.0;
+
+  repair_params unlimited = base;
+  unlimited.repair_technicians = 0;
+  repair_params solo = base;
+  solo.repair_technicians = 1;
+
+  const auto a =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, unlimited);
+  const auto b = simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, solo);
+  // Same failure trace (same seed), but the solo tech queues work.
+  EXPECT_EQ(a.switch_failures, b.switch_failures);
+  EXPECT_EQ(a.port_failures, b.port_failures);
+  EXPECT_GT(b.queueing_hours.value(), 0.0);
+  EXPECT_GT(b.mean_mttr.value(), a.mean_mttr.value());
+  EXPECT_LT(b.availability, a.availability);
+}
+
+TEST(repair_crew, more_techs_monotonically_reduce_queueing) {
+  rig r;
+  repair_params base;
+  base.horizon = hours{20.0 * 365 * 24};
+  base.feed_fit = 2000.0;
+  base.port_fit = 2000.0;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const int crew : {1, 2, 4, 8}) {
+    repair_params p = base;
+    p.repair_technicians = crew;
+    const auto res =
+        simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+    EXPECT_LE(res.queueing_hours.value(), prev);
+    prev = res.queueing_hours.value();
+  }
+}
+
+TEST(lifecycle, lifetime_dominates_day1) {
+  rig r;
+  lifecycle_options opt;
+  opt.evaluation.run_throughput = false;
+  const auto lc = compute_lifecycle_cost(r.g, "ft8", opt);
+  ASSERT_TRUE(lc.is_ok());
+  const lifecycle_cost& c = lc.value();
+  EXPECT_GT(c.day1_hardware.value(), 0.0);
+  EXPECT_GT(c.day1_labor.value(), 0.0);
+  EXPECT_GE(c.lifetime().value(), c.day1().value());
+  EXPECT_EQ(c.hosts, r.g.total_hosts());
+  EXPECT_LT(c.availability, 1.0);
+}
+
+TEST(lifecycle, expansions_add_cost) {
+  rig r;
+  lifecycle_options base;
+  base.evaluation.run_throughput = false;
+  lifecycle_options growing = base;
+  clos_expansion_params ex;
+  ex.from_pods = 4;
+  ex.to_pods = 8;
+  growing.expansions = {ex, ex, ex};
+  const auto a = compute_lifecycle_cost(r.g, "static", base);
+  const auto b = compute_lifecycle_cost(r.g, "growing", growing);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value().expansion_labor.value(), 0.0);
+  EXPECT_GT(b.value().expansion_labor.value(), 0.0);
+  EXPECT_GT(b.value().lifetime().value(), a.value().lifetime().value());
+}
+
+TEST(lifecycle, panel_wiring_cuts_expansion_share) {
+  rig r;
+  clos_expansion_params direct;
+  direct.from_pods = 4;
+  direct.to_pods = 8;
+  direct.wiring = spine_wiring::direct;
+  clos_expansion_params panel = direct;
+  panel.wiring = spine_wiring::patch_panel;
+
+  lifecycle_options with_direct;
+  with_direct.evaluation.run_throughput = false;
+  with_direct.expansions = {direct};
+  lifecycle_options with_panel = with_direct;
+  with_panel.expansions = {panel};
+
+  const auto a = compute_lifecycle_cost(r.g, "direct", with_direct);
+  const auto b = compute_lifecycle_cost(r.g, "panel", with_panel);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_GT(a.value().expansion_labor.value(),
+            b.value().expansion_labor.value());
+}
+
+TEST(lifecycle, table_renders) {
+  rig r;
+  lifecycle_options opt;
+  opt.evaluation.run_throughput = false;
+  const auto lc = compute_lifecycle_cost(r.g, "ft8", opt);
+  ASSERT_TRUE(lc.is_ok());
+  const text_table t = lifecycle_table({lc.value()});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.to_string().find("ft8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,180 @@
+#include "deploy/topology_engineering.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/metrics.h"
+#include "topology/routing.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+jupiter_params test_params() {
+  jupiter_params p;
+  p.agg_blocks = 6;
+  p.tors_per_block = 4;
+  p.mbs_per_block = 2;
+  p.uplinks_per_mb = 5;  // block_uplinks = 10 = 2 per peer
+  p.ocs_count = 4;
+  p.hosts_per_tor = 8;
+  p.mode = jupiter_mode::direct;
+  return p;
+}
+
+TEST(uniform_pair_links, is_symmetric_and_degree_exact) {
+  const jupiter_params p = test_params();
+  const auto w = uniform_pair_links(p);
+  const int uplinks = p.mbs_per_block * p.uplinks_per_mb;
+  for (int i = 0; i < p.agg_blocks; ++i) {
+    int degree = 0;
+    for (int j = 0; j < p.agg_blocks; ++j) {
+      if (i == j) continue;
+      degree += w[static_cast<std::size_t>(std::min(i, j))]
+                 [static_cast<std::size_t>(std::max(i, j))];
+    }
+    EXPECT_EQ(degree, uplinks) << "block " << i;
+  }
+}
+
+TEST(build_with_pairs, rejects_bad_matrices) {
+  const jupiter_params p = test_params();
+  // Wrong size.
+  EXPECT_FALSE(build_jupiter_direct_with_pairs(p, {{0}}).is_ok());
+  // Overweight row.
+  auto w = uniform_pair_links(p);
+  w[0][1] += 100;
+  EXPECT_FALSE(build_jupiter_direct_with_pairs(p, w).is_ok());
+  // Nonzero diagonal.
+  auto w2 = uniform_pair_links(p);
+  w2[2][2] = 1;
+  EXPECT_FALSE(build_jupiter_direct_with_pairs(p, w2).is_ok());
+}
+
+TEST(build_with_pairs, uniform_matrix_matches_default_builder) {
+  const jupiter_params p = test_params();
+  const jupiter_fabric a = build_jupiter(p);
+  const auto b = build_jupiter_direct_with_pairs(p, uniform_pair_links(p));
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.graph.node_count(), b.value().graph.node_count());
+  EXPECT_EQ(a.graph.edge_count(), b.value().graph.edge_count());
+}
+
+TEST(block_demand, aggregates_and_symmetrizes) {
+  const jupiter_params p = test_params();
+  const jupiter_fabric f = build_jupiter(p);
+  traffic_matrix tm(f.graph.host_facing_nodes());
+  // ToR 0 lives in block 0; find a ToR in block 3.
+  std::size_t src = 0, dst = 0;
+  const auto& eps = tm.endpoints();
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    if (f.graph.node(eps[i]).block == 3) {
+      dst = i;
+      break;
+    }
+  }
+  tm.set_demand(src, dst, 70.0);
+  tm.set_demand(dst, src, 30.0);
+  const auto d = block_demand_matrix(f, tm);
+  EXPECT_DOUBLE_EQ(d[0][3], 100.0);
+  EXPECT_DOUBLE_EQ(d[3][0], 0.0);  // upper-triangular storage
+  EXPECT_DOUBLE_EQ(d[0][1], 0.0);
+}
+
+TEST(block_demand, ignores_intra_block_traffic) {
+  const jupiter_params p = test_params();
+  const jupiter_fabric f = build_jupiter(p);
+  traffic_matrix tm(f.graph.host_facing_nodes());
+  tm.set_demand(0, 1, 50.0);  // ToRs 0 and 1 are both in block 0
+  const auto d = block_demand_matrix(f, tm);
+  for (const auto& row : d) {
+    for (double v : row) {
+      EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+  }
+}
+
+TEST(engineer_mesh, degree_constraints_hold) {
+  const jupiter_params p = test_params();
+  const auto n = static_cast<std::size_t>(p.agg_blocks);
+  std::vector<std::vector<double>> demand(n, std::vector<double>(n, 1.0));
+  demand[0][1] = 100.0;  // hot pair
+  const auto mesh = engineer_jupiter_mesh(p, demand);
+  ASSERT_TRUE(mesh.is_ok());
+  const int uplinks = p.mbs_per_block * p.uplinks_per_mb;
+  for (std::size_t i = 0; i < n; ++i) {
+    int degree = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      degree += mesh.value().pair_links[std::min(i, j)][std::max(i, j)];
+    }
+    EXPECT_LE(degree, uplinks);
+  }
+  EXPECT_EQ(mesh.value().fabric.graph.validate(), "");
+  EXPECT_TRUE(is_connected(mesh.value().fabric.graph));
+}
+
+TEST(engineer_mesh, hot_pairs_get_more_links) {
+  const jupiter_params p = test_params();
+  const auto n = static_cast<std::size_t>(p.agg_blocks);
+  std::vector<std::vector<double>> demand(n, std::vector<double>(n, 1.0));
+  demand[0][1] = 50.0;
+  const auto mesh = engineer_jupiter_mesh(p, demand);
+  ASSERT_TRUE(mesh.is_ok());
+  const auto uniform = uniform_pair_links(p);
+  EXPECT_GT(mesh.value().pair_links[0][1], uniform[0][1]);
+  EXPECT_GT(mesh.value().ocs_retunes, 0);
+}
+
+TEST(engineer_mesh, uniform_demand_needs_no_retunes_of_substance) {
+  const jupiter_params p = test_params();
+  const auto n = static_cast<std::size_t>(p.agg_blocks);
+  std::vector<std::vector<double>> demand(n, std::vector<double>(n, 1.0));
+  const auto mesh = engineer_jupiter_mesh(p, demand);
+  ASSERT_TRUE(mesh.is_ok());
+  // Equal demand: greedy lands on a near-uniform mesh; retunes are small
+  // relative to total links.
+  const int total_links = p.agg_blocks * p.mbs_per_block * p.uplinks_per_mb / 2;
+  EXPECT_LT(mesh.value().ocs_retunes, total_links / 4);
+}
+
+TEST(engineer_mesh, improves_throughput_on_skewed_demand) {
+  // The Poutievski result in miniature: under skewed inter-block demand,
+  // the engineered mesh beats the uniform one (with VLB routing on both).
+  jupiter_params p = test_params();
+  p.uplinks_per_mb = 10;  // more capacity to shift around
+  const jupiter_fabric uniform = build_jupiter(p);
+
+  traffic_matrix tm(uniform.graph.host_facing_nodes());
+  const auto& eps = tm.endpoints();
+  // Blocks 0 and 1 exchange heavy traffic; everything else trickles.
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      if (s == t) continue;
+      const int bs = uniform.graph.node(eps[s]).block;
+      const int bt = uniform.graph.node(eps[t]).block;
+      if (bs == bt) continue;
+      const bool hot = (bs == 0 && bt == 1) || (bs == 1 && bt == 0);
+      tm.set_demand(s, t, hot ? 30.0 : 0.5);
+    }
+  }
+
+  const auto demand = block_demand_matrix(uniform, tm);
+  const auto mesh = engineer_jupiter_mesh(p, demand);
+  ASSERT_TRUE(mesh.is_ok());
+
+  const double alpha_uniform =
+      best_routing_throughput(uniform.graph, tm).alpha;
+  traffic_matrix tm2(mesh.value().fabric.graph.host_facing_nodes());
+  for (std::size_t s = 0; s < eps.size(); ++s) {
+    for (std::size_t t = 0; t < eps.size(); ++t) {
+      tm2.set_demand(s, t, tm.demand(s, t));
+    }
+  }
+  const double alpha_engineered =
+      best_routing_throughput(mesh.value().fabric.graph, tm2).alpha;
+  EXPECT_GT(alpha_engineered, alpha_uniform);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,123 @@
+// Coverage for the §3.2 per-rack worker cap and §3.3 power-feed failures.
+#include <gtest/gtest.h>
+
+#include "deploy/plan_builder.h"
+#include "deploy/repair_sim.h"
+#include "deploy/tech_sim.h"
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct rig {
+  rig() : g(build_fat_tree(8, 100_gbps)) {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 14;
+    fp.emplace(p);
+    pl = block_placement(g, *fp).value();
+    plan = plan_cabling(g, pl.value(), *fp, cat, {}).value();
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  std::optional<floorplan> fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+};
+
+TEST(worker_cap, one_worker_per_rack_slows_the_build) {
+  rig r;
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  tech_sim_params many;
+  many.technicians = 16;
+  many.max_workers_per_location = 0;  // unlimited
+  tech_sim_params capped = many;
+  capped.max_workers_per_location = 1;
+  const auto a = simulate_deployment(wo, many);
+  const auto b = simulate_deployment(wo, capped);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  // Same hands-on work, longer calendar when racks serialize.
+  EXPECT_GT(b.value().makespan.value(), a.value().makespan.value());
+  EXPECT_NEAR(a.value().labor.value(), b.value().labor.value(),
+              0.05 * a.value().labor.value());
+}
+
+TEST(worker_cap, generous_cap_changes_nothing) {
+  rig r;
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  tech_sim_params unlimited;
+  unlimited.technicians = 8;
+  unlimited.max_workers_per_location = 0;
+  tech_sim_params generous = unlimited;
+  generous.max_workers_per_location = 1000;
+  const auto a = simulate_deployment(wo, unlimited);
+  const auto b = simulate_deployment(wo, generous);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value().makespan.value(), b.value().makespan.value());
+}
+
+TEST(feed_failures, occur_and_drain_whole_segments) {
+  rig r;
+  repair_params p;
+  p.horizon = hours{20.0 * 365 * 24};
+  p.feed_fit = 30000.0;  // make them frequent enough to observe
+  const auto res =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+  EXPECT_GT(res.feed_failures, 0u);
+  // Feed losses are pure collateral (nothing in the network "failed").
+  EXPECT_GT(res.collateral_gbps_hours, 0.0);
+}
+
+TEST(feed_failures, disabled_when_fit_zero) {
+  rig r;
+  repair_params p;
+  p.horizon = hours{20.0 * 365 * 24};
+  p.feed_fit = 0.0;
+  const auto res =
+      simulate_repairs(r.g, *r.pl, *r.fp, r.plan, r.cat, p);
+  EXPECT_EQ(res.feed_failures, 0u);
+}
+
+TEST(feed_failures, fewer_racks_per_feed_shrink_blast_radius) {
+  rig r;
+  auto run_with_feed_size = [&](int racks_per_feed) {
+    floorplan_params p = r.fp->params();
+    p.racks_per_feed = racks_per_feed;
+    floorplan fp2(p);
+    const auto pl2 = block_placement(r.g, fp2);
+    const auto plan2 = plan_cabling(r.g, pl2.value(), fp2, r.cat, {});
+    repair_params rp;
+    rp.horizon = hours{20.0 * 365 * 24};
+    rp.feed_fit = 30000.0;
+    rp.port_fit = 0.0;  // isolate the feed effect
+    return simulate_repairs(r.g, pl2.value(), fp2, plan2.value(), r.cat,
+                            rp);
+  };
+  const auto coarse = run_with_feed_size(14);  // whole row per feed
+  const auto fine = run_with_feed_size(2);
+  // Finer feeds: more feeds, but each failure drains far less capacity.
+  // Feed losses are the only collateral once port failures are off
+  // (whole-switch and cable failures drain exactly what failed), so
+  // collateral per feed event isolates the blast radius.
+  const double coarse_per_event =
+      coarse.feed_failures > 0
+          ? coarse.collateral_gbps_hours /
+                static_cast<double>(coarse.feed_failures)
+          : 0.0;
+  const double fine_per_event =
+      fine.feed_failures > 0
+          ? fine.collateral_gbps_hours /
+                static_cast<double>(fine.feed_failures)
+          : 0.0;
+  ASSERT_GT(coarse.feed_failures, 0u);
+  ASSERT_GT(fine.feed_failures, 0u);
+  EXPECT_GT(coarse_per_event, fine_per_event);
+}
+
+}  // namespace
+}  // namespace pn

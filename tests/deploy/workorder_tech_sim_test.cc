@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "deploy/plan_builder.h"
+#include "deploy/tech_sim.h"
+#include "deploy/workorder.h"
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+TEST(work_order, dependencies_and_topo_order) {
+  work_order wo;
+  const task_id a = wo.add_task({{}, task_kind::position_rack, "r0", {0, 0},
+                                 10.0, 0.0, 0.0, {}});
+  const task_id b = wo.add_task({{}, task_kind::mount_switch, "s0", {0, 0},
+                                 5.0, 0.0, 0.0, {a}});
+  const task_id c = wo.add_task({{}, task_kind::test_link, "l0", {0, 0},
+                                 1.0, 0.0, 0.0, {b}});
+  EXPECT_EQ(wo.task_count(), 3u);
+  EXPECT_DOUBLE_EQ(wo.total_base_minutes(), 16.0);
+  const auto order = wo.topological_order();
+  ASSERT_TRUE(order.is_ok());
+  EXPECT_EQ(order.value(), (std::vector<task_id>{a, b, c}));
+}
+
+TEST(work_order, cycle_detected) {
+  work_order wo;
+  const task_id a = wo.add_task({{}, task_kind::position_rack, "r0", {0, 0},
+                                 10.0, 0.0, 0.0, {}});
+  const task_id b = wo.add_task({{}, task_kind::mount_switch, "s0", {0, 0},
+                                 5.0, 0.0, 0.0, {a}});
+  wo.add_dependency(a, b);  // cycle a <-> b
+  EXPECT_FALSE(wo.topological_order().is_ok());
+}
+
+TEST(work_order, dependency_on_future_task_is_a_bug) {
+  work_order wo;
+  EXPECT_THROW(wo.add_task({{}, task_kind::drain, "x", {0, 0}, 1.0, 0.0,
+                            0.0, {task_id{5}}}),
+               std::logic_error);
+}
+
+struct deploy_rig {
+  explicit deploy_rig(int k = 4) : g(build_fat_tree(k, 100_gbps)) {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 12;
+    fp.emplace(p);
+    pl = block_placement(g, *fp).value();
+    plan = plan_cabling(g, pl.value(), *fp, cat, {}).value();
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  std::optional<floorplan> fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+};
+
+TEST(plan_builder, covers_all_equipment) {
+  deploy_rig r;
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  // Tasks: racks + switches + (pull or bundle) + 2 connects/cable + tests.
+  std::size_t mounts = 0, tests = 0, connects = 0;
+  for (const work_task& t : wo.tasks()) {
+    if (t.kind == task_kind::mount_switch) ++mounts;
+    if (t.kind == task_kind::test_link) ++tests;
+    if (t.kind == task_kind::connect_port) ++connects;
+  }
+  EXPECT_EQ(mounts, r.g.node_count());
+  EXPECT_EQ(tests, r.plan.runs.size());
+  EXPECT_EQ(connects, 2 * r.plan.runs.size());
+  EXPECT_TRUE(wo.topological_order().is_ok());
+}
+
+TEST(plan_builder, bundling_replaces_individual_pulls) {
+  deploy_rig r(8);
+  deployment_plan_options with;
+  with.use_bundles = true;
+  deployment_plan_options without;
+  without.use_bundles = false;
+  const work_order wb =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, with);
+  const work_order wl =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, without);
+  std::size_t bundles = 0, pulls_b = 0, pulls_l = 0;
+  for (const work_task& t : wb.tasks()) {
+    if (t.kind == task_kind::pull_bundle) ++bundles;
+    if (t.kind == task_kind::pull_cable) ++pulls_b;
+  }
+  for (const work_task& t : wl.tasks()) {
+    if (t.kind == task_kind::pull_cable) ++pulls_l;
+  }
+  EXPECT_GT(bundles, 0u);
+  EXPECT_LT(pulls_b, pulls_l);
+  EXPECT_LT(wb.total_base_minutes(), wl.total_base_minutes());
+}
+
+TEST(plan_builder, prewired_intra_rack_drops_floor_tasks) {
+  deploy_rig r;
+  deployment_plan_options pre;
+  pre.prewired_intra_rack = true;
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, pre);
+  const work_order base =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  EXPECT_LT(wo.total_base_minutes(), base.total_base_minutes());
+}
+
+TEST(tech_sim, executes_whole_order) {
+  deploy_rig r;
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  const auto res = simulate_deployment(wo, {});
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(res.value().tasks_executed, wo.task_count());
+  EXPECT_GT(res.value().makespan.value(), 0.0);
+  EXPECT_GE(res.value().labor.value(), res.value().makespan.value());
+  EXPECT_EQ(res.value().links_tested, r.plan.runs.size());
+}
+
+TEST(tech_sim, more_technicians_shrink_makespan_not_labor) {
+  deploy_rig r(8);
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  tech_sim_params two;
+  two.technicians = 2;
+  tech_sim_params sixteen;
+  sixteen.technicians = 16;
+  const auto a = simulate_deployment(wo, two);
+  const auto b = simulate_deployment(wo, sixteen);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_GT(a.value().makespan.value(), b.value().makespan.value());
+  // Hands-on labor is within ~25% across crew sizes (walking differs).
+  EXPECT_NEAR(a.value().labor.value(), b.value().labor.value(),
+              0.25 * a.value().labor.value());
+}
+
+TEST(tech_sim, per_task_overhead_compounds) {
+  // §2.3: 5 extra minutes per task across thousands of tasks adds weeks.
+  deploy_rig r(8);
+  deployment_plan_options base;
+  deployment_plan_options slow;
+  slow.times.per_task_overhead = 5.0;
+  const work_order wo_base =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, base);
+  const work_order wo_slow =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, slow);
+  const auto fast = simulate_deployment(wo_base, {});
+  const auto overhead = simulate_deployment(wo_slow, {});
+  ASSERT_TRUE(fast.is_ok() && overhead.is_ok());
+  const double extra_hours =
+      overhead.value().labor.value() - fast.value().labor.value();
+  // Count physical tasks (everything but tests/drains gets the overhead).
+  std::size_t physical = 0;
+  for (const work_task& t : wo_base.tasks()) {
+    if (t.kind != task_kind::test_link && t.kind != task_kind::drain &&
+        t.kind != task_kind::undrain) {
+      ++physical;
+    }
+  }
+  EXPECT_NEAR(extra_hours, static_cast<double>(physical) * 5.0 / 60.0,
+              0.30 * extra_hours + 1.0);
+}
+
+TEST(tech_sim, defects_reduce_first_pass_yield) {
+  deploy_rig r(8);
+  deployment_plan_options opts;
+  opts.times.connect_error_probability = 0.10;  // terrible crew
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, opts);
+  const auto res = simulate_deployment(wo, {});
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_GT(res.value().defects_introduced, 0u);
+  EXPECT_LT(res.value().first_pass_yield, 1.0);
+  EXPECT_GT(res.value().rework.value(), 0.0);
+  // Detection probability 0.95: most defects caught, a few escape.
+  EXPECT_GE(res.value().defects_caught, res.value().defects_escaped);
+}
+
+TEST(tech_sim, deterministic_per_seed) {
+  deploy_rig r;
+  const work_order wo =
+      build_deployment_order(r.g, *r.pl, *r.fp, r.plan, {});
+  tech_sim_params p;
+  p.seed = 7;
+  const auto a = simulate_deployment(wo, p);
+  const auto b = simulate_deployment(wo, p);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value().makespan.value(), b.value().makespan.value());
+  EXPECT_EQ(a.value().defects_introduced, b.value().defects_introduced);
+}
+
+TEST(tech_sim, cyclic_order_rejected) {
+  work_order wo;
+  const task_id a = wo.add_task({{}, task_kind::drain, "x", {0, 0}, 1.0,
+                                 0.0, 0.0, {}});
+  const task_id b = wo.add_task({{}, task_kind::undrain, "x", {0, 0}, 1.0,
+                                 0.0, 0.0, {a}});
+  wo.add_dependency(a, b);
+  EXPECT_FALSE(simulate_deployment(wo, {}).is_ok());
+}
+
+}  // namespace
+}  // namespace pn

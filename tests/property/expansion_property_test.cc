@@ -1,0 +1,130 @@
+// Property sweeps over the Clos expansion planner: conservation laws that
+// must hold for every (from, to, wiring) combination.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "deploy/expansion.h"
+
+namespace pn {
+namespace {
+
+struct expansion_case {
+  int from_pods;
+  int to_pods;
+  spine_wiring wiring;
+};
+
+class expansion_properties
+    : public ::testing::TestWithParam<expansion_case> {
+ protected:
+  static clos_expansion_params params_for(const expansion_case& c) {
+    clos_expansion_params p;
+    p.spine_groups = 4;
+    p.spines_per_group = 4;
+    p.ports_per_spine = 32;
+    p.from_pods = c.from_pods;
+    p.to_pods = c.to_pods;
+    p.wiring = c.wiring;
+    return p;
+  }
+};
+
+TEST_P(expansion_properties, port_conservation) {
+  const clos_expansion_params p = params_for(GetParam());
+  const int group_ports = p.spines_per_group * p.ports_per_spine;
+  const auto before = stripe_ports(group_ports, p.from_pods);
+  const auto after = stripe_ports(group_ports, p.to_pods);
+  // Striping always uses every port, before and after.
+  EXPECT_EQ(std::accumulate(before.begin(), before.end(), 0), group_ports);
+  EXPECT_EQ(std::accumulate(after.begin(), after.end(), 0), group_ports);
+  // And stays balanced within one port.
+  const auto [mn, mx] = std::minmax_element(after.begin(), after.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST_P(expansion_properties, moved_links_match_striping_delta) {
+  const clos_expansion_params p = params_for(GetParam());
+  const expansion_plan plan = plan_clos_expansion(p);
+  const int group_ports = p.spines_per_group * p.ports_per_spine;
+  const auto before = stripe_ports(group_ports, p.from_pods);
+  const auto after = stripe_ports(group_ports, p.to_pods);
+  int shed = 0, gained = 0;
+  for (int pod = 0; pod < p.to_pods; ++pod) {
+    const int b =
+        pod < p.from_pods ? before[static_cast<std::size_t>(pod)] : 0;
+    const int a = after[static_cast<std::size_t>(pod)];
+    shed += std::max(0, b - a);
+    gained += pod >= p.from_pods ? a : 0;
+  }
+  EXPECT_EQ(plan.links_rewired, shed * p.spine_groups);
+  EXPECT_EQ(plan.links_added, gained * p.spine_groups);
+  // In a fixed-size spine, everything a new pod gains, old pods shed.
+  EXPECT_EQ(plan.links_rewired, plan.links_added);
+}
+
+TEST_P(expansion_properties, work_accounting_is_consistent) {
+  const clos_expansion_params p = params_for(GetParam());
+  const expansion_plan plan = plan_clos_expansion(p);
+  switch (p.wiring) {
+    case spine_wiring::direct:
+      EXPECT_EQ(plan.floor_cable_pulls, plan.links_added);
+      EXPECT_EQ(plan.jumper_moves, 0);
+      EXPECT_EQ(plan.ocs_reconfigs, 0);
+      EXPECT_EQ(plan.dead_cables_left + plan.floor_cable_removals,
+                plan.links_rewired);
+      break;
+    case spine_wiring::patch_panel:
+      EXPECT_EQ(plan.jumper_moves, plan.links_rewired + plan.links_added);
+      EXPECT_EQ(plan.ocs_reconfigs, 0);
+      EXPECT_LE(plan.floor_cable_pulls, plan.links_added);
+      EXPECT_GT(plan.panels_touched, 0);
+      break;
+    case spine_wiring::ocs:
+      EXPECT_EQ(plan.ocs_reconfigs, plan.links_rewired + plan.links_added);
+      EXPECT_EQ(plan.jumper_moves, 0);
+      EXPECT_EQ(plan.drain_windows, 1);
+      break;
+  }
+  EXPECT_GE(plan.labor.value(), 0.0);
+}
+
+TEST_P(expansion_properties, indirection_never_costs_more_labor) {
+  const expansion_case c = GetParam();
+  clos_expansion_params direct = params_for(c);
+  direct.wiring = spine_wiring::direct;
+  clos_expansion_params panel = params_for(c);
+  panel.wiring = spine_wiring::patch_panel;
+  clos_expansion_params ocs = params_for(c);
+  ocs.wiring = spine_wiring::ocs;
+  const double ld = plan_clos_expansion(direct).labor.value();
+  const double lp = plan_clos_expansion(panel).labor.value();
+  const double lo = plan_clos_expansion(ocs).labor.value();
+  EXPECT_LE(lp, ld);
+  EXPECT_LE(lo, lp);
+}
+
+std::vector<expansion_case> expansion_grid() {
+  std::vector<expansion_case> out;
+  for (const auto [from, to] :
+       {std::pair{2, 4}, {4, 8}, {8, 16}, {16, 32}, {3, 5}, {5, 12},
+        {7, 9}}) {
+    for (const spine_wiring w : {spine_wiring::direct,
+                                 spine_wiring::patch_panel,
+                                 spine_wiring::ocs}) {
+      out.push_back({from, to, w});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    grid, expansion_properties, ::testing::ValuesIn(expansion_grid()),
+    [](const ::testing::TestParamInfo<expansion_case>& info) {
+      return std::string("from") + std::to_string(info.param.from_pods) +
+             "_to" + std::to_string(info.param.to_pods) + "_" +
+             spine_wiring_name(info.param.wiring);
+    });
+
+}  // namespace
+}  // namespace pn

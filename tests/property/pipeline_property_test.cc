@@ -1,0 +1,176 @@
+// Property sweeps across every topology family through the full physical
+// pipeline: placement completes, cabling covers every edge, ECMP load
+// accounting conserves volume, the twin round-trips, and seeds reproduce.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/evaluator.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/flattened_butterfly.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/jupiter.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/generators/slim_fly.h"
+#include "topology/generators/vl2.h"
+#include "topology/generators/xpander.h"
+#include "topology/metrics.h"
+#include "topology/routing.h"
+#include "twin/builder.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct family_case {
+  std::string label;
+  std::function<network_graph()> build;
+};
+
+std::vector<family_case> families() {
+  std::vector<family_case> out;
+  out.push_back({"fat_tree", [] { return build_fat_tree(4, 100_gbps); }});
+  out.push_back({"leaf_spine", [] {
+                   leaf_spine_params p;
+                   p.leaves = 8;
+                   p.spines = 3;
+                   p.hosts_per_leaf = 6;
+                   return build_leaf_spine(p);
+                 }});
+  out.push_back({"jellyfish", [] {
+                   jellyfish_params p;
+                   p.switches = 24;
+                   p.radix = 10;
+                   p.hosts_per_switch = 4;
+                   p.seed = 2;
+                   return build_jellyfish(p);
+                 }});
+  out.push_back({"xpander", [] {
+                   xpander_params p;
+                   p.degree = 5;
+                   p.lift_size = 4;
+                   p.hosts_per_switch = 4;
+                   return build_xpander(p);
+                 }});
+  out.push_back({"flattened_butterfly", [] {
+                   flattened_butterfly_params p;
+                   p.dims = {4, 4};
+                   p.hosts_per_switch = 3;
+                   return build_flattened_butterfly(p);
+                 }});
+  out.push_back({"slim_fly", [] {
+                   slim_fly_params p;
+                   p.q = 5;
+                   p.hosts_per_switch = 2;
+                   return build_slim_fly(p).value();
+                 }});
+  out.push_back({"vl2", [] {
+                   vl2_params p;
+                   p.tors = 12;
+                   p.aggs = 4;
+                   p.intermediates = 2;
+                   p.hosts_per_tor = 6;
+                   return build_vl2(p);
+                 }});
+  out.push_back({"jupiter_direct", [] {
+                   jupiter_params p;
+                   p.agg_blocks = 5;
+                   p.tors_per_block = 2;
+                   p.mbs_per_block = 2;
+                   p.uplinks_per_mb = 4;
+                   p.ocs_count = 4;
+                   p.hosts_per_tor = 4;
+                   p.mode = jupiter_mode::direct;
+                   return build_jupiter(p).graph;
+                 }});
+  return out;
+}
+
+class pipeline_properties : public ::testing::TestWithParam<family_case> {
+ protected:
+  static evaluation_options fast() {
+    evaluation_options opt;
+    opt.run_repair_sim = false;
+    opt.run_throughput = false;
+    return opt;
+  }
+};
+
+TEST_P(pipeline_properties, full_evaluation_succeeds) {
+  const network_graph g = GetParam().build();
+  const auto ev = evaluate_design(g, GetParam().label, fast());
+  ASSERT_TRUE(ev.is_ok()) << ev.error().to_string();
+  const evaluation& e = ev.value();
+  EXPECT_TRUE(e.place.complete());
+  EXPECT_EQ(e.cables.runs.size(), g.live_edges().size());
+  EXPECT_GT(e.report.capex().value(), 0.0);
+  EXPECT_GT(e.report.time_to_deploy.value(), 0.0);
+  EXPECT_LE(e.report.first_pass_yield, 1.0);
+  EXPECT_GE(e.report.first_pass_yield, 0.8);
+}
+
+TEST_P(pipeline_properties, ecmp_load_volume_matches_hop_weighted_demand) {
+  const network_graph g = GetParam().build();
+  // One unit of demand between a far-apart endpoint pair: the total
+  // directed link load must equal the hop distance exactly (ECMP splits
+  // but never lengthens shortest paths).
+  const auto eps = g.host_facing_nodes();
+  traffic_matrix tm(eps);
+  tm.set_demand(0, eps.size() - 1, 10.0);
+  const auto dist = bfs_distances(g, eps.front());
+  const double hops = dist[eps.back().index()];
+  const auto loads = compute_ecmp_loads(g, tm);
+  double total = 0.0;
+  for (double v : loads.loads_ab) total += v;
+  for (double v : loads.loads_ba) total += v;
+  EXPECT_NEAR(total, 10.0 * hops, 1e-6);
+}
+
+TEST_P(pipeline_properties, vlb_alpha_positive_and_finite) {
+  const network_graph g = GetParam().build();
+  const traffic_matrix tm = uniform_traffic(g, 1_gbps);
+  const auto direct = ecmp_throughput(g, tm);
+  const auto vlb = vlb_throughput(g, tm);
+  EXPECT_GT(direct.alpha, 0.0);
+  EXPECT_GT(vlb.alpha, 0.0);
+  EXPECT_LT(vlb.alpha, 1e9);
+}
+
+TEST_P(pipeline_properties, twin_serialization_round_trips) {
+  const network_graph g = GetParam().build();
+  const auto ev = evaluate_design(g, GetParam().label, fast());
+  ASSERT_TRUE(ev.is_ok());
+  const twin_model twin = build_network_twin(
+      g, ev.value().place, ev.value().floor, ev.value().cables,
+      catalog::standard());
+  const std::string text = serialize_twin(twin);
+  const auto back = parse_twin(text);
+  ASSERT_TRUE(back.is_ok()) << back.error().to_string();
+  EXPECT_EQ(serialize_twin(back.value()), text);
+}
+
+TEST_P(pipeline_properties, evaluation_is_deterministic) {
+  const network_graph g = GetParam().build();
+  evaluation_options opt = fast();
+  opt.seed = 42;
+  const auto a = evaluate_design(g, "a", opt);
+  const auto b = evaluate_design(g, "a", opt);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value().report.time_to_deploy.value(),
+                   b.value().report.time_to_deploy.value());
+  EXPECT_DOUBLE_EQ(a.value().report.cable_cost.value(),
+                   b.value().report.cable_cost.value());
+  EXPECT_EQ(a.value().deployment.defects_introduced,
+            b.value().deployment.defects_introduced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    families, pipeline_properties, ::testing::ValuesIn(families()),
+    [](const ::testing::TestParamInfo<family_case>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,90 @@
+// Randomized round-trip property: any model the API can express must
+// serialize and parse back to a fixed point, across many seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "twin/diff.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+twin_model random_model(std::uint64_t seed) {
+  rng r(seed);
+  twin_model m;
+  const std::vector<std::string> kinds{"switch", "rack", "cable",
+                                       "patch_panel"};
+  const auto entities = 5 + r.next_index(40);
+  std::vector<entity_id> ids;
+  for (std::size_t i = 0; i < entities; ++i) {
+    const std::string kind = kinds[r.next_index(kinds.size())];
+    const entity_id e =
+        m.add_entity(kind, str_format("%s_%zu", kind.c_str(), i));
+    // Random attributes of every type.
+    if (r.next_bool(0.8)) {
+      m.set_attr(e, "num", r.next_double(0.0, 1e6));
+    }
+    if (r.next_bool(0.6)) {
+      m.set_attr(e, "count",
+                 static_cast<std::int64_t>(r.next_int(-1000, 1000)));
+    }
+    if (r.next_bool(0.5)) {
+      m.set_attr(e, "note",
+                 std::string("text with spaces ") +
+                     std::to_string(r.next_u64() % 100));
+    }
+    if (r.next_bool(0.4)) {
+      m.set_attr(e, "flag", r.next_bool(0.5));
+    }
+    ids.push_back(e);
+  }
+  const auto relations = r.next_index(3 * entities);
+  for (std::size_t i = 0; i < relations; ++i) {
+    const entity_id a = ids[r.next_index(ids.size())];
+    const entity_id b = ids[r.next_index(ids.size())];
+    if (a == b) continue;
+    (void)m.add_relation(r.next_bool(0.5) ? "connects" : "feeds", a, b);
+  }
+  // Random removals exercise the liveness filtering.
+  for (int i = 0; i < 3; ++i) {
+    const entity_id victim = ids[r.next_index(ids.size())];
+    if (m.entity_alive(victim) && m.relations_of(victim).empty()) {
+      (void)m.remove_entity(victim);
+    }
+  }
+  return m;
+}
+
+class serialize_fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(serialize_fuzz, round_trip_is_fixed_point) {
+  const twin_model m = random_model(GetParam());
+  const std::string once = serialize_twin(m);
+  const auto parsed = parse_twin(once);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error().to_string();
+  EXPECT_EQ(serialize_twin(parsed.value()), once);
+}
+
+TEST_P(serialize_fuzz, round_trip_diffs_empty) {
+  const twin_model m = random_model(GetParam());
+  const auto parsed = parse_twin(serialize_twin(m));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(diff_twins(m, parsed.value()).empty());
+  EXPECT_TRUE(diff_twins(parsed.value(), m).empty());
+}
+
+TEST_P(serialize_fuzz, counts_preserved) {
+  const twin_model m = random_model(GetParam());
+  const auto parsed = parse_twin(serialize_twin(m));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().live_entity_count(), m.live_entity_count());
+  EXPECT_EQ(parsed.value().live_relation_count(),
+            m.live_relation_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, serialize_fuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,418 @@
+// Property tests over every topology family: connectivity, validation,
+// expected node/edge counts, degree regularity where the family promises
+// it. Parameterized (TEST_P) across families and sizes.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "topology/generators/clos.h"
+#include "topology/generators/dragonfly.h"
+#include "topology/generators/flattened_butterfly.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/jupiter.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/generators/slim_fly.h"
+#include "topology/generators/vl2.h"
+#include "topology/generators/xpander.h"
+#include "topology/metrics.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct family_case {
+  std::string label;
+  std::function<network_graph()> build;
+  std::size_t expected_switches;
+  std::size_t expected_edges;  // 0 = don't check
+};
+
+std::vector<family_case> all_families() {
+  std::vector<family_case> cases;
+  cases.push_back({"fat_tree_k4", [] { return build_fat_tree(4, 100_gbps); },
+                   // 4 pods * (2+2) + 4 spines
+                   20, 32});
+  cases.push_back({"fat_tree_k8", [] { return build_fat_tree(8, 100_gbps); },
+                   8 * 8 + 16, 256});
+  cases.push_back({"clos_generalized",
+                   [] {
+                     clos_params p;
+                     p.pods = 6;
+                     p.tors_per_pod = 4;
+                     p.aggs_per_pod = 3;
+                     p.spine_groups = 3;
+                     p.spines_per_group = 2;
+                     p.hosts_per_tor = 10;
+                     return build_clos(p);
+                   },
+                   6 * 7 + 6, 6 * (4 * 3 + 3 * 2)});
+  cases.push_back({"leaf_spine",
+                   [] {
+                     leaf_spine_params p;
+                     p.leaves = 12;
+                     p.spines = 4;
+                     p.hosts_per_leaf = 20;
+                     return build_leaf_spine(p);
+                   },
+                   16, 48});
+  cases.push_back({"jellyfish",
+                   [] {
+                     jellyfish_params p;
+                     p.switches = 40;
+                     p.radix = 16;
+                     p.hosts_per_switch = 8;
+                     p.seed = 3;
+                     return build_jellyfish(p);
+                   },
+                   40, 0});
+  cases.push_back({"xpander_d8_l5",
+                   [] {
+                     xpander_params p;
+                     p.degree = 8;
+                     p.lift_size = 5;
+                     p.hosts_per_switch = 6;
+                     p.seed = 2;
+                     return build_xpander(p);
+                   },
+                   45, 45 * 8 / 2});
+  cases.push_back({"flattened_butterfly_4x4",
+                   [] {
+                     flattened_butterfly_params p;
+                     p.dims = {4, 4};
+                     p.hosts_per_switch = 4;
+                     return build_flattened_butterfly(p);
+                   },
+                   16, 16 * 6 / 2});
+  cases.push_back({"flattened_butterfly_3d",
+                   [] {
+                     flattened_butterfly_params p;
+                     p.dims = {3, 3, 3};
+                     p.hosts_per_switch = 2;
+                     return build_flattened_butterfly(p);
+                   },
+                   27, 27 * 6 / 2});
+  cases.push_back({"slim_fly_q5",
+                   [] {
+                     slim_fly_params p;
+                     p.q = 5;
+                     p.hosts_per_switch = 4;
+                     return build_slim_fly(p).value();
+                   },
+                   50, 50u * 7u / 2u});
+  cases.push_back({"vl2",
+                   [] {
+                     vl2_params p;
+                     p.tors = 20;
+                     p.aggs = 6;
+                     p.intermediates = 3;
+                     return build_vl2(p);
+                   },
+                   29, 6 * 3 + 20 * 2});
+  cases.push_back({"vl2_spread",
+                   [] {
+                     vl2_params p;
+                     p.tors = 20;
+                     p.aggs = 6;
+                     p.intermediates = 3;
+                     p.spread_tor_uplinks = true;
+                     return build_vl2(p);
+                   },
+                   29, 6 * 3 + 20 * 2});
+  cases.push_back({"jupiter_fat_tree",
+                   [] {
+                     jupiter_params p;
+                     p.agg_blocks = 4;
+                     p.tors_per_block = 4;
+                     p.mbs_per_block = 2;
+                     p.uplinks_per_mb = 4;
+                     p.spine_blocks = 2;
+                     p.ocs_count = 4;
+                     return build_jupiter(p).graph;
+                   },
+                   4 * 6 + 2, 4 * 8 + 4 * 8});
+  cases.push_back({"jupiter_direct",
+                   [] {
+                     jupiter_params p;
+                     p.agg_blocks = 5;
+                     p.tors_per_block = 4;
+                     p.mbs_per_block = 2;
+                     p.uplinks_per_mb = 4;
+                     p.ocs_count = 4;
+                     p.mode = jupiter_mode::direct;
+                     return build_jupiter(p).graph;
+                   },
+                   5 * 6, 5 * 8 + 5 * 8 / 2});
+  return cases;
+}
+
+class generator_properties : public ::testing::TestWithParam<family_case> {};
+
+TEST_P(generator_properties, builds_expected_size) {
+  const network_graph g = GetParam().build();
+  EXPECT_EQ(g.node_count(), GetParam().expected_switches);
+  if (GetParam().expected_edges > 0) {
+    EXPECT_EQ(g.edge_count(), GetParam().expected_edges);
+  }
+}
+
+TEST_P(generator_properties, is_connected) {
+  const network_graph g = GetParam().build();
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(generator_properties, validates) {
+  const network_graph g = GetParam().build();
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST_P(generator_properties, no_parallel_duplicate_unless_clos) {
+  const network_graph g = GetParam().build();
+  // Families built here use single links between pairs except Clos-style
+  // fabrics which may stripe multiple; just check adjacency symmetry.
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    for (const auto& adj : g.neighbors(node_id{i})) {
+      EXPECT_TRUE(g.has_edge_between(adj.neighbor, node_id{i}));
+    }
+  }
+}
+
+TEST_P(generator_properties, has_hosts) {
+  const network_graph g = GetParam().build();
+  EXPECT_GT(g.total_hosts(), 0u);
+}
+
+TEST_P(generator_properties, named_family) {
+  const network_graph g = GetParam().build();
+  EXPECT_FALSE(g.family.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    families, generator_properties, ::testing::ValuesIn(all_families()),
+    [](const ::testing::TestParamInfo<family_case>& info) {
+      return info.param.label;
+    });
+
+// Family-specific structure.
+
+TEST(jellyfish, is_regular_random_graph) {
+  jellyfish_params p;
+  p.switches = 50;
+  p.radix = 20;
+  p.hosts_per_switch = 10;
+  p.seed = 7;
+  const network_graph g = build_jellyfish(p);
+  const int degree = p.radix - p.hosts_per_switch;
+  std::size_t at_full_degree = 0;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_LE(g.degree(node_id{i}), degree);
+    if (g.degree(node_id{i}) == degree) ++at_full_degree;
+  }
+  // The fixup phase should leave at most a couple of switches short.
+  EXPECT_GE(at_full_degree, g.node_count() - 2);
+}
+
+TEST(jellyfish, seeds_give_different_wirings) {
+  jellyfish_params p;
+  p.switches = 30;
+  p.radix = 12;
+  p.hosts_per_switch = 6;
+  p.seed = 1;
+  const network_graph a = build_jellyfish(p);
+  p.seed = 2;
+  const network_graph b = build_jellyfish(p);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    for (const auto& adj : a.neighbors(node_id{i})) {
+      if (!b.has_edge_between(node_id{i}, adj.neighbor)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(jellyfish, incremental_add_rewires_about_half_degree) {
+  jellyfish_params p;
+  p.switches = 40;
+  p.radix = 16;
+  p.hosts_per_switch = 8;
+  p.seed = 5;
+  network_graph g = build_jellyfish(p);
+  const std::size_t before = g.node_count();
+  const int rewired = jellyfish_add_switch(g, p, 99);
+  EXPECT_EQ(g.node_count(), before + 1);
+  const int degree = p.radix - p.hosts_per_switch;
+  EXPECT_GE(rewired, degree / 2 - 1);
+  EXPECT_LE(rewired, degree);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(xpander, is_d_regular_with_group_structure) {
+  xpander_params p;
+  p.degree = 6;
+  p.lift_size = 8;
+  p.hosts_per_switch = 4;
+  const network_graph g = build_xpander(p);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_EQ(g.degree(node_id{i}), p.degree);
+    // No edges within a group (lift of a simple graph).
+    for (const auto& adj : g.neighbors(node_id{i})) {
+      EXPECT_NE(g.node(node_id{i}).block, g.node(adj.neighbor).block);
+    }
+  }
+}
+
+TEST(xpander, add_switch_rewires_existing_links) {
+  xpander_params p;
+  p.degree = 8;
+  p.lift_size = 6;
+  p.hosts_per_switch = 4;
+  network_graph g = build_xpander(p);
+  const int rewired = xpander_add_switch(g, p, 0, 42);
+  // §4.2: "as many as d/2 links to be rewired"; our splice procedure does
+  // one rewire per port filled, up to d.
+  EXPECT_GE(rewired, p.degree / 2);
+  EXPECT_LE(rewired, p.degree);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(slim_fly, degree_matches_mms_construction) {
+  slim_fly_params p;
+  p.q = 13;
+  p.hosts_per_switch = 0;
+  const auto g = build_slim_fly(p);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value().node_count(), 2u * 13u * 13u);
+  for (std::size_t i = 0; i < g.value().node_count(); ++i) {
+    EXPECT_EQ(g.value().degree(node_id{i}), slim_fly_degree(13));
+  }
+}
+
+TEST(slim_fly, has_diameter_two) {
+  slim_fly_params p;
+  p.q = 5;
+  p.hosts_per_switch = 1;
+  const auto g = build_slim_fly(p);
+  ASSERT_TRUE(g.is_ok());
+  const auto stats = compute_path_length_stats(g.value());
+  EXPECT_LE(stats.diameter, 2);
+}
+
+TEST(slim_fly, rejects_bad_q) {
+  slim_fly_params p;
+  p.q = 7;  // prime but 7 % 4 == 3
+  EXPECT_FALSE(build_slim_fly(p).is_ok());
+  p.q = 9;  // 9 % 4 == 1 but not prime
+  EXPECT_FALSE(build_slim_fly(p).is_ok());
+}
+
+TEST(fat_tree, supports_full_bisection_structure) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  // Every ToR: k/2 hosts + k/2 uplinks.
+  for (node_id t : g.nodes_of_kind(node_kind::tor)) {
+    EXPECT_EQ(g.node(t).host_ports, 2);
+    EXPECT_EQ(g.degree(t), 2);
+  }
+  for (node_id s : g.nodes_of_kind(node_kind::spine)) {
+    EXPECT_EQ(g.degree(s), 4);  // one per pod
+  }
+}
+
+TEST(fat_tree, odd_k_rejected) {
+  EXPECT_THROW(build_fat_tree(5, 100_gbps), std::logic_error);
+}
+
+TEST(jupiter, ocs_striping_is_even) {
+  jupiter_params p;
+  p.agg_blocks = 6;
+  p.mbs_per_block = 4;
+  p.uplinks_per_mb = 8;
+  p.spine_blocks = 4;
+  p.ocs_count = 8;
+  const jupiter_fabric f = build_jupiter(p);
+  const auto counts = ocs_fiber_counts(f);
+  ASSERT_EQ(counts.size(), 8u);
+  const std::size_t total = 6u * 4u * 8u;
+  for (std::size_t c : counts) {
+    EXPECT_EQ(c, total / 8u);
+  }
+}
+
+TEST(jupiter, direct_mode_consumes_all_uplinks) {
+  jupiter_params p;
+  p.agg_blocks = 9;  // others=8 divides 32 uplinks
+  p.mbs_per_block = 4;
+  p.uplinks_per_mb = 8;
+  p.mode = jupiter_mode::direct;
+  const jupiter_fabric f = build_jupiter(p);
+  // Every middle block should have exactly its uplink count used.
+  for (node_id mb : f.graph.nodes_of_kind(node_kind::aggregation)) {
+    EXPECT_EQ(f.graph.free_ports(mb), 0);
+  }
+}
+
+TEST(jupiter, direct_mode_handles_remainders) {
+  jupiter_params p;
+  p.agg_blocks = 6;  // others=5 does not divide 32
+  p.mbs_per_block = 4;
+  p.uplinks_per_mb = 8;
+  p.mode = jupiter_mode::direct;
+  const jupiter_fabric f = build_jupiter(p);
+  EXPECT_TRUE(is_connected(f.graph));
+  EXPECT_EQ(f.graph.validate(), "");
+}
+
+
+TEST(dragonfly, balanced_construction_is_regular) {
+  const dragonfly_params p = balanced_dragonfly(2, 9, 100_gbps);
+  const auto g = build_dragonfly(p);
+  ASSERT_TRUE(g.is_ok());
+  // 9 groups x 4 switches; each switch: 3 local + 2 global + 2 hosts.
+  EXPECT_EQ(g.value().node_count(), 36u);
+  for (std::size_t i = 0; i < g.value().node_count(); ++i) {
+    EXPECT_EQ(g.value().degree(node_id{i}), 5);
+    EXPECT_EQ(g.value().free_ports(node_id{i}), 0);
+  }
+  EXPECT_TRUE(is_connected(g.value()));
+  EXPECT_EQ(g.value().validate(), "");
+}
+
+TEST(dragonfly, diameter_is_small) {
+  const auto g = build_dragonfly(balanced_dragonfly(2, 9, 100_gbps));
+  ASSERT_TRUE(g.is_ok());
+  // local-global-local worst case: <= 3 hops (plus 2 when pair lacks a
+  // direct global link at this size; allow 5).
+  EXPECT_LE(compute_path_length_stats(g.value()).diameter, 5);
+}
+
+TEST(dragonfly, rejects_unstripeable_configs) {
+  dragonfly_params p;
+  p.groups = 5;              // others = 4
+  p.switches_per_group = 3;
+  p.global_per_switch = 1;   // 3 globals over 4 peers: odd remainder, odd n
+  EXPECT_FALSE(build_dragonfly(p).is_ok());
+}
+
+TEST(dragonfly, group_pairs_balanced_within_one) {
+  const auto g = build_dragonfly(balanced_dragonfly(3, 8, 100_gbps));
+  ASSERT_TRUE(g.is_ok());
+  std::map<std::pair<int, int>, int> pair_counts;
+  for (edge_id e : g.value().live_edges()) {
+    const edge_info& info = g.value().edge(e);
+    const int ba = g.value().node(info.a).block;
+    const int bb = g.value().node(info.b).block;
+    if (ba != bb) {
+      ++pair_counts[std::minmax(ba, bb)];
+    }
+  }
+  int mn = 1 << 30, mx = 0;
+  for (const auto& [k, c] : pair_counts) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  EXPECT_LE(mx - mn, 2);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,106 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+network_graph triangle() {
+  network_graph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_node({"n" + std::to_string(i), node_kind::expander, 8, 100_gbps, 2,
+                0, i});
+  }
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  g.add_edge(node_id{1}, node_id{2}, 100_gbps);
+  g.add_edge(node_id{2}, node_id{0}, 100_gbps);
+  return g;
+}
+
+TEST(network_graph, basic_accounting) {
+  const network_graph g = triangle();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(node_id{0}), 2);
+  EXPECT_EQ(g.free_ports(node_id{0}), 8 - 2 - 2);
+  EXPECT_EQ(g.total_hosts(), 6u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(network_graph, multigraph_parallel_edges) {
+  network_graph g;
+  g.add_node({"a", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  g.add_node({"b", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(node_id{0}), 2);
+  EXPECT_TRUE(g.has_edge_between(node_id{0}, node_id{1}));
+}
+
+TEST(network_graph, remove_edge_updates_adjacency) {
+  network_graph g = triangle();
+  g.remove_edge(edge_id{0});  // 0-1
+  EXPECT_FALSE(g.edge_alive(edge_id{0}));
+  EXPECT_EQ(g.degree(node_id{0}), 1);
+  EXPECT_EQ(g.degree(node_id{1}), 1);
+  EXPECT_FALSE(g.has_edge_between(node_id{0}, node_id{1}));
+  EXPECT_EQ(g.live_edges().size(), 2u);
+  // Double removal is a programming error.
+  EXPECT_THROW(g.remove_edge(edge_id{0}), std::logic_error);
+}
+
+TEST(network_graph, removed_ports_are_freed) {
+  network_graph g = triangle();
+  const int before = g.free_ports(node_id{0});
+  g.remove_edge(edge_id{0});
+  EXPECT_EQ(g.free_ports(node_id{0}), before + 1);
+}
+
+TEST(network_graph, self_loop_rejected) {
+  network_graph g;
+  g.add_node({"a", node_kind::tor, 4, 100_gbps, 0, 0, 0});
+  EXPECT_THROW(g.add_edge(node_id{0}, node_id{0}, 100_gbps),
+               std::logic_error);
+}
+
+TEST(network_graph, validate_detects_radix_overflow) {
+  network_graph g;
+  g.add_node({"a", node_kind::tor, 2, 100_gbps, 1, 0, 0});
+  g.add_node({"b", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  EXPECT_TRUE(g.validate().empty());
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);  // a now over radix
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(network_graph, kind_filters) {
+  network_graph g;
+  g.add_node({"t", node_kind::tor, 8, 100_gbps, 4, 0, 0});
+  g.add_node({"s", node_kind::spine, 8, 100_gbps, 0, 1, 0});
+  g.add_node({"x", node_kind::expander, 8, 100_gbps, 4, 0, 0});
+  EXPECT_EQ(g.nodes_of_kind(node_kind::tor).size(), 1u);
+  EXPECT_EQ(g.nodes_of_kind(node_kind::spine).size(), 1u);
+  // host_facing covers ToR + expander (both have host ports).
+  EXPECT_EQ(g.host_facing_nodes().size(), 2u);
+}
+
+TEST(network_graph, node_kind_names) {
+  EXPECT_STREQ(node_kind_name(node_kind::tor), "tor");
+  EXPECT_STREQ(node_kind_name(node_kind::aggregation), "aggregation");
+  EXPECT_STREQ(node_kind_name(node_kind::spine), "spine");
+  EXPECT_STREQ(node_kind_name(node_kind::expander), "expander");
+}
+
+TEST(network_graph, invalid_node_params_rejected) {
+  network_graph g;
+  EXPECT_THROW(g.add_node({"bad", node_kind::tor, 0, 100_gbps, 0, 0, 0}),
+               std::logic_error);
+  EXPECT_THROW(g.add_node({"bad", node_kind::tor, 4, 100_gbps, 5, 0, 0}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pn

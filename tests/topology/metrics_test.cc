@@ -1,0 +1,135 @@
+#include "topology/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/leaf_spine.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+network_graph path3() {
+  network_graph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_node({"n" + std::to_string(i), node_kind::expander, 8, 100_gbps, 2,
+                0, i});
+  }
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  g.add_edge(node_id{1}, node_id{2}, 100_gbps);
+  return g;
+}
+
+TEST(bfs, distances_on_path) {
+  const network_graph g = path3();
+  const auto d = bfs_distances(g, node_id{0});
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(bfs, unreachable_is_minus_one) {
+  network_graph g = path3();
+  g.add_node({"island", node_kind::expander, 8, 100_gbps, 2, 0, 9});
+  const auto d = bfs_distances(g, node_id{0});
+  EXPECT_EQ(d[3], -1);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(path_length_stats, path_graph) {
+  const network_graph g = path3();
+  const auto s = compute_path_length_stats(g);
+  // Pairs (ordered): 0-1:1, 0-2:2, 1-0:1, 1-2:1, 2-0:2, 2-1:1 -> mean 8/6.
+  EXPECT_NEAR(s.mean, 8.0 / 6.0, 1e-12);
+  EXPECT_EQ(s.diameter, 2);
+  ASSERT_EQ(s.hop_histogram.size(), 3u);
+  EXPECT_NEAR(s.hop_histogram[1], 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.hop_histogram[2], 2.0 / 6.0, 1e-12);
+}
+
+TEST(path_length_stats, fat_tree_inter_pod_is_four_hops) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const auto s = compute_path_length_stats(g);
+  EXPECT_EQ(s.diameter, 4);  // tor-agg-spine-agg-tor
+  EXPECT_GT(s.mean, 2.0);
+  EXPECT_LE(s.mean, 4.0);
+}
+
+TEST(path_length_stats, jellyfish_beats_fat_tree_on_mean_path) {
+  // The Jellyfish paper's headline: shorter paths at equal gear.
+  const network_graph ft = build_fat_tree(8, 100_gbps);
+  jellyfish_params p;
+  p.switches = static_cast<int>(ft.node_count());
+  p.radix = 8;
+  p.hosts_per_switch = 3;  // degree 5, host count close to fat-tree's 128
+  p.seed = 11;
+  const network_graph jf = build_jellyfish(p);
+  EXPECT_LT(compute_path_length_stats(jf).mean,
+            compute_path_length_stats(ft).mean);
+}
+
+TEST(spectral, complete_graph_is_a_great_expander) {
+  network_graph g;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    g.add_node({"n" + std::to_string(i), node_kind::expander, 16, 100_gbps,
+                2, 0, i});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.add_edge(node_id{static_cast<std::size_t>(i)},
+                 node_id{static_cast<std::size_t>(j)}, 100_gbps);
+    }
+  }
+  // K_n has lambda2 = 1/(n-1) for the random-walk matrix.
+  EXPECT_NEAR(spectral_lambda2(g), 1.0 / (n - 1), 0.02);
+}
+
+TEST(spectral, path_graph_is_a_poor_expander) {
+  network_graph g;
+  const int n = 16;
+  for (int i = 0; i < n; ++i) {
+    g.add_node({"n" + std::to_string(i), node_kind::expander, 4, 100_gbps, 1,
+                0, i});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(node_id{static_cast<std::size_t>(i)},
+               node_id{static_cast<std::size_t>(i + 1)}, 100_gbps);
+  }
+  EXPECT_GT(spectral_lambda2(g), 0.9);
+}
+
+TEST(spectral, jellyfish_expands_better_than_leaf_spine_leaves) {
+  jellyfish_params p;
+  p.switches = 64;
+  p.radix = 12;
+  p.hosts_per_switch = 4;
+  p.seed = 3;
+  const double jf = spectral_lambda2(build_jellyfish(p));
+  // Random regular graphs are near-Ramanujan: lambda2 ~ 2*sqrt(d-1)/d
+  // (~0.66 at degree 8). Anything close to that is a strong expander.
+  EXPECT_LT(jf, 0.72);
+}
+
+TEST(spectral, disconnected_returns_one) {
+  network_graph g = path3();
+  g.add_node({"island", node_kind::expander, 8, 100_gbps, 2, 0, 9});
+  EXPECT_DOUBLE_EQ(spectral_lambda2(g), 1.0);
+}
+
+TEST(bisection, path_graph_bottleneck) {
+  const network_graph g = path3();
+  const auto b = estimate_bisection(g, 1);
+  // Cutting a 3-path in half crosses exactly one 100G link.
+  EXPECT_DOUBLE_EQ(b.cut_gbps, 100.0);
+}
+
+TEST(bisection, fat_tree_scales_with_size) {
+  const auto small = estimate_bisection(build_fat_tree(4, 100_gbps), 1);
+  const auto large = estimate_bisection(build_fat_tree(8, 100_gbps), 1);
+  EXPECT_GT(large.cut_gbps, small.cut_gbps);
+  EXPECT_GT(small.per_host_gbps, 0.0);
+}
+
+}  // namespace
+}  // namespace pn

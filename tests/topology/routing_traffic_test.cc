@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/generators/clos.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+network_graph two_tors_one_spine() {
+  network_graph g;
+  g.add_node({"t0", node_kind::tor, 8, 100_gbps, 4, 0, 0});
+  g.add_node({"t1", node_kind::tor, 8, 100_gbps, 4, 0, 1});
+  g.add_node({"s", node_kind::spine, 8, 100_gbps, 0, 1, 2});
+  g.add_edge(node_id{0}, node_id{2}, 100_gbps);
+  g.add_edge(node_id{1}, node_id{2}, 100_gbps);
+  return g;
+}
+
+TEST(traffic, uniform_sums_to_per_host_rate) {
+  const network_graph g = two_tors_one_spine();
+  const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  // 8 hosts, each sourcing 10G -> 80G total.
+  EXPECT_NEAR(tm.total_demand(), 80.0, 1e-9);
+  EXPECT_NEAR(tm.demand(0, 1), 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tm.demand(0, 0), 0.0);
+}
+
+TEST(traffic, permutation_is_a_derangement) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = permutation_traffic(g, 5_gbps, 42);
+  const std::size_t n = tm.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_DOUBLE_EQ(tm.demand(s, s), 0.0);
+    std::size_t targets = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (tm.demand(s, t) > 0) ++targets;
+    }
+    EXPECT_EQ(targets, 1u);
+  }
+}
+
+TEST(traffic, skewed_concentrates_on_popular_ranks) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = skewed_traffic(g, 5_gbps, 1.5, 7);
+  // Per-destination totals should be highly unequal.
+  std::vector<double> in(tm.size(), 0.0);
+  for (std::size_t s = 0; s < tm.size(); ++s) {
+    for (std::size_t t = 0; t < tm.size(); ++t) {
+      in[t] += tm.demand(s, t);
+    }
+  }
+  const auto [mn, mx] = std::minmax_element(in.begin(), in.end());
+  EXPECT_GT(*mx, 4.0 * *mn);
+}
+
+TEST(traffic, hotspot_share_is_respected) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = hotspot_traffic(g, 5_gbps, 0.25, 0.8, 3);
+  // ~25% of endpoints should receive ~80% of bytes.
+  std::vector<double> in(tm.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t s = 0; s < tm.size(); ++s) {
+    for (std::size_t t = 0; t < tm.size(); ++t) {
+      in[t] += tm.demand(s, t);
+      total += tm.demand(s, t);
+    }
+  }
+  std::sort(in.rbegin(), in.rend());
+  double hot = 0.0;
+  for (std::size_t i = 0; i < tm.size() / 4; ++i) hot += in[i];
+  EXPECT_NEAR(hot / total, 0.8, 0.05);
+}
+
+TEST(traffic, scale) {
+  const network_graph g = two_tors_one_spine();
+  traffic_matrix tm = uniform_traffic(g, 10_gbps);
+  tm.scale(0.5);
+  EXPECT_NEAR(tm.total_demand(), 40.0, 1e-9);
+}
+
+TEST(ecmp, loads_on_simple_relay) {
+  const network_graph g = two_tors_one_spine();
+  traffic_matrix tm(g.host_facing_nodes());
+  tm.set_demand(0, 1, 60.0);  // t0 -> t1 via s
+  const auto loads = compute_ecmp_loads(g, tm);
+  // Edge 0 is t0-s (a=t0), edge 1 is t1-s (a=t1).
+  EXPECT_DOUBLE_EQ(loads.loads_ab[0], 60.0);  // t0 -> s
+  EXPECT_DOUBLE_EQ(loads.loads_ba[1], 60.0);  // s -> t1
+  EXPECT_DOUBLE_EQ(loads.loads_ba[0], 0.0);
+  EXPECT_DOUBLE_EQ(loads.max_load, 60.0);
+}
+
+TEST(ecmp, splits_over_equal_paths) {
+  // Two spines between two leaves: flow splits 50/50.
+  leaf_spine_params p;
+  p.leaves = 2;
+  p.spines = 2;
+  p.hosts_per_leaf = 4;
+  const network_graph g = build_leaf_spine(p);
+  traffic_matrix tm(g.host_facing_nodes());
+  tm.set_demand(0, 1, 80.0);
+  const auto loads = compute_ecmp_loads(g, tm);
+  double nonzero = 0;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const double l = loads.loads_ab[e] + loads.loads_ba[e];
+    if (l > 0) {
+      EXPECT_DOUBLE_EQ(l, 40.0);
+      ++nonzero;
+    }
+  }
+  EXPECT_DOUBLE_EQ(nonzero, 4.0);  // leaf0->s0, leaf0->s1, s0->leaf1, s1->leaf1
+}
+
+TEST(ecmp, throughput_alpha_of_relay) {
+  const network_graph g = two_tors_one_spine();
+  traffic_matrix tm(g.host_facing_nodes());
+  tm.set_demand(0, 1, 50.0);
+  const auto t = ecmp_throughput(g, tm);
+  // 50G over a 100G path: alpha 2, max util 0.5.
+  EXPECT_DOUBLE_EQ(t.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(t.max_utilization, 0.5);
+}
+
+TEST(ecmp, fat_tree_admits_full_uniform_load) {
+  // A non-blocking fat-tree should carry uniform all-to-all at line rate:
+  // per-host 100G with k/2=2 hosts per 100G ToR uplink pair -> alpha >= 1.
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 50_gbps);
+  const auto t = ecmp_throughput(g, tm);
+  EXPECT_GE(t.alpha, 1.0);
+}
+
+TEST(ecmp, empty_matrix_gives_zero_alpha) {
+  const network_graph g = two_tors_one_spine();
+  traffic_matrix tm(g.host_facing_nodes());
+  const auto t = ecmp_throughput(g, tm);
+  EXPECT_DOUBLE_EQ(t.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(t.max_utilization, 0.0);
+}
+
+TEST(ecmp, path_count_on_leaf_spine) {
+  leaf_spine_params p;
+  p.leaves = 4;
+  p.spines = 3;
+  p.hosts_per_leaf = 4;
+  const network_graph g = build_leaf_spine(p);
+  // Every leaf pair has exactly `spines` shortest paths.
+  EXPECT_DOUBLE_EQ(mean_ecmp_path_count(g), 3.0);
+}
+
+}  // namespace
+}  // namespace pn

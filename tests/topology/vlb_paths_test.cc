@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "topology/export.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/paths.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+TEST(vlb, conserves_demand_volume) {
+  leaf_spine_params p;
+  p.leaves = 4;
+  p.spines = 2;
+  p.hosts_per_leaf = 4;
+  const network_graph g = build_leaf_spine(p);
+  traffic_matrix tm(g.host_facing_nodes());
+  tm.set_demand(0, 1, 100.0);
+  const auto direct = compute_ecmp_loads(g, tm);
+  const auto vlb = compute_vlb_loads(g, tm);
+  auto total = [](const link_load_report& l) {
+    double s = 0.0;
+    for (double v : l.loads_ab) s += v;
+    for (double v : l.loads_ba) s += v;
+    return s;
+  };
+  // VLB paths are longer (two phases), so total link-Gbps grows, but by a
+  // bounded factor (< mean path stretch ~2.5x here).
+  EXPECT_GT(total(vlb), total(direct));
+  EXPECT_LT(total(vlb), 4.0 * total(direct));
+}
+
+TEST(vlb, beats_ecmp_on_adversarial_permutation_in_expander) {
+  // Harsh et al. / §4.2: expanders need non-shortest-path routing. A
+  // permutation matrix drives all of a pair's demand down few shortest
+  // paths; VLB spreads it fabric-wide.
+  jellyfish_params p;
+  p.switches = 40;
+  p.radix = 12;
+  p.hosts_per_switch = 6;
+  p.seed = 4;
+  const network_graph g = build_jellyfish(p);
+  const traffic_matrix tm = permutation_traffic(g, 40_gbps, 7);
+  const auto direct = ecmp_throughput(g, tm);
+  const auto vlb = vlb_throughput(g, tm);
+  EXPECT_GT(vlb.alpha, direct.alpha);
+}
+
+TEST(vlb, loses_to_ecmp_on_uniform_traffic) {
+  // Uniform all-to-all is ECMP's best case: bouncing doubles path length
+  // for no balance gain.
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 25_gbps);
+  EXPECT_LT(vlb_throughput(g, tm).alpha, ecmp_throughput(g, tm).alpha);
+}
+
+TEST(vlb, best_routing_picks_the_winner) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const traffic_matrix uni = uniform_traffic(g, 25_gbps);
+  EXPECT_DOUBLE_EQ(best_routing_throughput(g, uni).alpha,
+                   ecmp_throughput(g, uni).alpha);
+}
+
+network_graph diamond() {
+  // s - a - t and s - b - t, plus a direct s - t link.
+  network_graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_node({"n" + std::to_string(i), node_kind::expander, 8, 100_gbps,
+                1, 0, i});
+  }
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);  // s-a
+  g.add_edge(node_id{1}, node_id{3}, 100_gbps);  // a-t
+  g.add_edge(node_id{0}, node_id{2}, 100_gbps);  // s-b
+  g.add_edge(node_id{2}, node_id{3}, 100_gbps);  // b-t
+  g.add_edge(node_id{0}, node_id{3}, 100_gbps);  // s-t
+  return g;
+}
+
+TEST(k_shortest_paths, enumerates_in_length_order) {
+  const network_graph g = diamond();
+  const auto paths = k_shortest_paths(g, node_id{0}, node_id{3}, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].size(), 2u);  // direct
+  EXPECT_EQ(paths[1].size(), 3u);  // via a or b
+  EXPECT_EQ(paths[2].size(), 3u);
+  EXPECT_NE(paths[1][1], paths[2][1]);  // distinct intermediates
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), node_id{0});
+    EXPECT_EQ(p.back(), node_id{3});
+  }
+}
+
+TEST(k_shortest_paths, k_limits_output) {
+  const network_graph g = diamond();
+  EXPECT_EQ(k_shortest_paths(g, node_id{0}, node_id{3}, 2).size(), 2u);
+  EXPECT_EQ(k_shortest_paths(g, node_id{0}, node_id{3}, 1).size(), 1u);
+}
+
+TEST(k_shortest_paths, unreachable_returns_empty) {
+  network_graph g = diamond();
+  g.add_node({"island", node_kind::expander, 4, 100_gbps, 1, 0, 9});
+  EXPECT_TRUE(k_shortest_paths(g, node_id{0}, node_id{4}, 3).empty());
+}
+
+TEST(k_shortest_paths, leaf_spine_has_spine_many_paths) {
+  leaf_spine_params p;
+  p.leaves = 4;
+  p.spines = 3;
+  p.hosts_per_leaf = 2;
+  const network_graph g = build_leaf_spine(p);
+  const auto paths = k_shortest_paths(g, node_id{0}, node_id{1}, 10);
+  // 3 two-hop paths via spines, then four-hop ones.
+  ASSERT_GE(paths.size(), 3u);
+  EXPECT_EQ(paths[0].size(), 3u);
+  EXPECT_EQ(paths[2].size(), 3u);
+  if (paths.size() > 3) {
+    EXPECT_GT(paths[3].size(), 3u);
+  }
+}
+
+TEST(edge_connectivity, diamond_cut) {
+  const network_graph g = diamond();
+  EXPECT_EQ(edge_connectivity(g, node_id{0}, node_id{3}), 3);
+  EXPECT_EQ(edge_connectivity(g, node_id{1}, node_id{2}), 2);
+}
+
+TEST(edge_connectivity, equals_degree_on_regular_expander) {
+  jellyfish_params p;
+  p.switches = 24;
+  p.radix = 10;
+  p.hosts_per_switch = 4;
+  p.seed = 6;
+  const network_graph g = build_jellyfish(p);
+  // A well-mixed random regular graph is maximally edge-connected: the
+  // min cut between any pair is the degree.
+  const int conn = sampled_min_edge_connectivity(g, 16, 3);
+  EXPECT_EQ(conn, 6);
+}
+
+TEST(edge_connectivity, respects_cap) {
+  const network_graph g = diamond();
+  EXPECT_EQ(edge_connectivity(g, node_id{0}, node_id{3}, 2), 2);
+}
+
+TEST(dot_export, contains_nodes_and_edges) {
+  const network_graph g = diamond();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"n0\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n3"), std::string::npos);
+}
+
+TEST(dot_export, merges_parallel_edges) {
+  network_graph g;
+  g.add_node({"a", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  g.add_node({"b", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  const std::string merged = to_dot(g);
+  EXPECT_NE(merged.find("x2"), std::string::npos);
+  dot_options opt;
+  opt.merge_parallel = false;
+  opt.label_capacity = true;
+  const std::string full = to_dot(g, opt);
+  EXPECT_NE(full.find("100G"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pn

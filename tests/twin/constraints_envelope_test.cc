@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "twin/builder.h"
+#include "twin/constraints.h"
+#include "twin/envelope.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+struct design_rig {
+  explicit design_rig(network_graph graph, floorplan_params fpp = [] {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 12;
+    return p;
+  }())
+      : g(std::move(graph)),
+        fp(fpp),
+        pl(block_placement(g, fp).value()),
+        plan(plan_cabling(g, pl, fp, cat, {}).value()) {}
+
+  [[nodiscard]] physical_design design() const {
+    return {&g, &pl, &fp, &plan, &cat};
+  }
+
+  network_graph g;
+  catalog cat = catalog::standard();
+  floorplan fp;
+  placement pl;
+  cabling_plan plan;
+};
+
+TEST(constraints, clean_clos_design_has_no_errors) {
+  design_rig r(build_fat_tree(4, 100_gbps));
+  const auto v = run_all_checks(r.design());
+  EXPECT_EQ(count_errors(v), 0u)
+      << (v.empty() ? "" : v[0].check + ": " + v[0].detail);
+}
+
+TEST(constraints, power_overload_detected) {
+  design_rig r(build_fat_tree(4, 100_gbps), [] {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 12;
+    p.rack_power_budget = watts{300.0};  // a single switch busts this
+    return p;
+  }());
+  const auto v = run_all_checks(r.design());
+  bool saw = false;
+  for (const auto& cv : v) {
+    if (cv.check == "rack_power" &&
+        cv.severity == violation_severity::error) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(constraints, plenum_pressure_reported) {
+  design_rig r(build_fat_tree(6, 100_gbps), [] {
+    floorplan_params p;
+    p.rows = 3;
+    p.racks_per_row = 12;
+    p.rack_plenum = square_millimeters{400.0};
+    return p;
+  }());
+  const auto v = run_all_checks(r.design());
+  bool saw = false;
+  for (const auto& cv : v) {
+    if (cv.check == "plenum") saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(constraints, parallel_links_sharing_trays_flagged_as_spof) {
+  // Two racks, two parallel links between the same switches: both runs
+  // must ride the same single tray path -> physical SPOF warning.
+  network_graph g;
+  g.add_node({"a", node_kind::tor, 8, 100_gbps, 2, 0, 0});
+  g.add_node({"b", node_kind::tor, 8, 100_gbps, 2, 0, 1});
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+
+  floorplan_params fpp;
+  fpp.rows = 1;
+  fpp.racks_per_row = 4;
+  floorplan fp(fpp);
+  placement pl(2, fp);
+  ASSERT_TRUE(pl.assign(node_id{0}, rack_id{0}, 5).is_ok());
+  ASSERT_TRUE(pl.assign(node_id{1}, rack_id{3}, 5).is_ok());
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl, fp, cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  const physical_design d{&g, &pl, &fp, &plan.value(), &cat};
+  const auto v = run_all_checks(d);
+  bool saw = false;
+  for (const auto& cv : v) {
+    if (cv.check == "path_diversity") saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(envelope, clos_design_fits_clos_automation) {
+  design_rig r(build_fat_tree(4, 100_gbps));
+  const auto findings =
+      capability_envelope::clos_automation().check_design(r.g, r.plan);
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? ""
+                           : findings[0].dimension + ": " +
+                                 findings[0].detail);
+}
+
+TEST(envelope, jellyfish_is_out_of_envelope) {
+  jellyfish_params p;
+  p.switches = 32;
+  p.radix = 12;
+  p.hosts_per_switch = 6;
+  p.seed = 1;
+  design_rig r(build_jellyfish(p));
+  const auto findings =
+      capability_envelope::clos_automation().check_design(r.g, r.plan);
+  bool family_flagged = false;
+  for (const auto& f : findings) {
+    if (f.dimension == "topology_family") family_flagged = true;
+  }
+  EXPECT_TRUE(family_flagged);
+}
+
+TEST(envelope, scalar_range_checks) {
+  capability_envelope e;
+  e.set_range("x", 1.0, 2.0);
+  EXPECT_TRUE(e.check_scalar("x", 1.5).empty());
+  EXPECT_EQ(e.check_scalar("x", 2.5).size(), 1u);
+  EXPECT_EQ(e.check_scalar("x", 0.5).size(), 1u);
+  // Unknown dimensions are unconstrained.
+  EXPECT_TRUE(e.check_scalar("y", 999.0).empty());
+}
+
+TEST(envelope, category_checks) {
+  capability_envelope e;
+  e.allow_value("media", "DAC");
+  EXPECT_TRUE(e.check_category("media", "DAC").empty());
+  EXPECT_EQ(e.check_category("media", "AOC").size(), 1u);
+}
+
+TEST(design_summary, measures_the_design) {
+  design_rig r(build_fat_tree(4, 100_gbps));
+  const design_summary s = summarize_design(r.g, r.plan);
+  EXPECT_EQ(s.distinct_radixes, 1);  // fat-tree: uniform radix k
+  EXPECT_EQ(s.distinct_link_rates, 1);
+  EXPECT_DOUBLE_EQ(s.max_switch_radix, 4.0);
+  EXPECT_GT(s.max_cable_length_m, 0.0);
+  EXPECT_TRUE(s.topology_families.contains("fat_tree"));
+  EXPECT_FALSE(s.media.empty());
+}
+
+TEST(twin_builder, builds_schema_valid_twin) {
+  design_rig r(build_fat_tree(4, 100_gbps));
+  const twin_model m = build_network_twin(r.g, r.pl, r.fp, r.plan, r.cat);
+  EXPECT_EQ(m.entities_of_kind("switch").size(), r.g.node_count());
+  EXPECT_EQ(m.entities_of_kind("cable").size(), r.plan.runs.size());
+  EXPECT_EQ(m.entities_of_kind("rack").size(), r.fp.rack_count());
+  const auto v = twin_schema::network_schema().validate(m);
+  EXPECT_TRUE(v.empty()) << (v.empty() ? ""
+                                       : v[0].rule + " on " + v[0].subject +
+                                             ": " + v[0].detail);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,185 @@
+#include "twin/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "physical/placement.h"
+#include "topology/generators/clos.h"
+#include "twin/builder.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+twin_model base_model() {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r0");
+  m.set_attr(r, "rack_units", std::int64_t{42});
+  m.set_attr(r, "power_budget_w", 17000.0);
+  const entity_id s = m.add_entity("switch", "sw0");
+  m.set_attr(s, "radix", std::int64_t{32});
+  m.set_attr(s, "port_rate_gbps", 100.0);
+  m.set_attr(s, "rack_units", std::int64_t{1});
+  m.set_attr(s, "power_w", 450.0);
+  (void)m.add_relation("placed_in", s, r);
+  return m;
+}
+
+TEST(diff, identical_models_diff_empty) {
+  const twin_model a = base_model();
+  const twin_model b = base_model();
+  const twin_diff d = diff_twins(a, b);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(diff_to_ops(a, b).empty());
+}
+
+TEST(diff, detects_all_delta_kinds) {
+  const twin_model a = base_model();
+  twin_model b = base_model();
+  // Entity added.
+  const entity_id sw1 = b.add_entity("switch", "sw1");
+  b.set_attr(sw1, "radix", std::int64_t{32});
+  b.set_attr(sw1, "port_rate_gbps", 100.0);
+  b.set_attr(sw1, "rack_units", std::int64_t{1});
+  b.set_attr(sw1, "power_w", 450.0);
+  // Relation added.
+  (void)b.add_relation("placed_in", sw1, *b.find("rack", "r0"));
+  // Attribute changed (sw0 upgraded to 400G).
+  b.set_attr(*b.find("switch", "sw0"), "port_rate_gbps", 400.0);
+
+  const twin_diff d = diff_twins(a, b);
+  ASSERT_EQ(d.added_entities.size(), 1u);
+  EXPECT_EQ(d.added_entities[0], "switch/sw1");
+  EXPECT_TRUE(d.removed_entities.empty());
+  ASSERT_EQ(d.added_relations.size(), 1u);
+  EXPECT_EQ(d.added_relations[0], "placed_in: switch/sw1 -> rack/r0");
+  ASSERT_EQ(d.changed_attrs.size(), 1u);
+  EXPECT_EQ(d.changed_attrs[0],
+            "switch/sw0.port_rate_gbps: 100 -> 400");
+}
+
+TEST(diff, removal_direction) {
+  twin_model a = base_model();
+  const twin_model b = base_model();
+  const entity_id extra = a.add_entity("switch", "old");
+  (void)a.add_relation("placed_in", extra, *a.find("rack", "r0"));
+  const twin_diff d = diff_twins(a, b);
+  ASSERT_EQ(d.removed_entities.size(), 1u);
+  EXPECT_EQ(d.removed_entities[0], "switch/old");
+  ASSERT_EQ(d.removed_relations.size(), 1u);
+}
+
+TEST(diff, parallel_relation_multiplicity) {
+  twin_model a = base_model();
+  twin_model b = base_model();
+  const auto cable_a = a.add_entity("cable", "c0");
+  const auto cable_b = b.add_entity("cable", "c0");
+  // a: one termination; b: three (a multiplicity delta of 2).
+  (void)a.add_relation("terminates_on", cable_a, *a.find("switch", "sw0"));
+  for (int i = 0; i < 3; ++i) {
+    (void)b.add_relation("terminates_on", cable_b,
+                         *b.find("switch", "sw0"));
+  }
+  const twin_diff d = diff_twins(a, b);
+  ASSERT_EQ(d.added_relations.size(), 1u);
+  EXPECT_NE(d.added_relations[0].find("x2"), std::string::npos);
+}
+
+TEST(diff_to_ops, replays_to_the_proposed_model) {
+  const twin_model current = base_model();
+  twin_model proposed = base_model();
+  // A realistic change: add a switch, rewire, retire another.
+  const entity_id sw1 = proposed.add_entity("switch", "sw1");
+  proposed.set_attr(sw1, "radix", std::int64_t{64});
+  proposed.set_attr(sw1, "port_rate_gbps", 400.0);
+  proposed.set_attr(sw1, "rack_units", std::int64_t{2});
+  proposed.set_attr(sw1, "power_w", 900.0);
+  (void)proposed.add_relation("placed_in", sw1,
+                              *proposed.find("rack", "r0"));
+  // Retire sw0 entirely.
+  const auto sw0 = *proposed.find("switch", "sw0");
+  ASSERT_TRUE(proposed
+                  .remove_relation("placed_in", sw0,
+                                   *proposed.find("rack", "r0"))
+                  .is_ok());
+  ASSERT_TRUE(proposed.remove_entity(sw0).is_ok());
+
+  const auto plan = diff_to_ops(current, proposed);
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(current, &schema);
+  const auto report = eng.run(plan);
+  ASSERT_TRUE(report.ok) << (report.failures.empty()
+                                 ? ""
+                                 : report.failures[0].description + ": " +
+                                       report.failures[0]
+                                           .op_status.to_string());
+  // The engine's world now diffs clean against the proposal.
+  EXPECT_TRUE(diff_twins(eng.model(), proposed).empty());
+}
+
+TEST(diff_to_ops, safe_ordering_removes_relations_before_entities) {
+  twin_model current = base_model();
+  auto mk_cable = [](twin_model& m) {
+    const auto c = m.add_entity("cable", "c0");
+    m.set_attr(c, "rate_gbps", 100.0);
+    m.set_attr(c, "length_m", 3.0);
+    m.set_attr(c, "diameter_mm", 6.7);
+    m.set_attr(c, "medium", std::string("DAC"));
+    return c;
+  };
+  const auto cable = mk_cable(current);
+  (void)current.add_relation("terminates_on", cable,
+                             *current.find("switch", "sw0"));
+  // The proposal drops sw0 entirely but keeps the (now unterminated)
+  // cable: a fresh model without sw0.
+  twin_model bad;
+  const entity_id r = bad.add_entity("rack", "r0");
+  bad.set_attr(r, "rack_units", std::int64_t{42});
+  bad.set_attr(r, "power_budget_w", 17000.0);
+  mk_cable(bad);
+  const auto plan = diff_to_ops(current, bad);
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(current, &schema);
+  dry_run_options opt;
+  opt.validate_each_step = false;
+  const auto report = eng.run(plan, opt);
+  // Removing sw0 works here because diff_to_ops removes its relations
+  // first (they vanish from the proposal too) — so this plan actually
+  // passes; the point is it passes *because* the ordering is safe.
+  EXPECT_TRUE(report.ok);
+  EXPECT_FALSE(eng.model().find("switch", "sw0").has_value());
+}
+
+TEST(diff_to_ops, full_fabric_expansion_round_trip) {
+  // Diff two fabric twins (k=4 fat-tree vs the same plus a spare rack's
+  // worth of attribute churn) and replay.
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  floorplan_params fpp;
+  fpp.rows = 2;
+  fpp.racks_per_row = 8;
+  floorplan fp(fpp);
+  const auto pl = block_placement(g, fp);
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), fp, cat, {});
+  const twin_model current =
+      build_network_twin(g, pl.value(), fp, plan.value(), cat);
+
+  twin_model proposed = current;
+  for (entity_id sw : proposed.entities_of_kind("switch")) {
+    proposed.set_attr(sw, "drained", false);  // new attribute everywhere
+  }
+  const auto ops = diff_to_ops(current, proposed);
+  EXPECT_EQ(ops.size(), proposed.entities_of_kind("switch").size());
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(current, &schema);
+  dry_run_options opt;
+  opt.validate_each_step = false;
+  EXPECT_TRUE(eng.run(ops, opt).ok);
+  EXPECT_TRUE(diff_twins(eng.model(), proposed).empty());
+}
+
+}  // namespace
+}  // namespace pn

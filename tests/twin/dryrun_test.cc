@@ -1,0 +1,145 @@
+#include "twin/dryrun.h"
+
+#include <gtest/gtest.h>
+
+#include "twin/model.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+twin_model seeded_model() {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r0");
+  m.set_attr(r, "rack_units", std::int64_t{42});
+  m.set_attr(r, "power_budget_w", 17000.0);
+  const entity_id s = m.add_entity("switch", "sw0");
+  m.set_attr(s, "radix", std::int64_t{32});
+  m.set_attr(s, "port_rate_gbps", 100.0);
+  m.set_attr(s, "rack_units", std::int64_t{1});
+  m.set_attr(s, "power_w", 450.0);
+  (void)m.add_relation("placed_in", s, r);
+  return m;
+}
+
+TEST(dry_run, clean_plan_passes) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  const std::vector<twin_op> plan{
+      op_add_entity("switch", "sw1",
+                    {{"radix", std::int64_t{32}},
+                     {"port_rate_gbps", 100.0},
+                     {"rack_units", std::int64_t{1}},
+                     {"power_w", 450.0}}),
+      op_add_relation("placed_in", "switch", "sw1", "rack", "r0"),
+  };
+  const auto report = eng.run(plan);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.steps_executed, 2u);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_TRUE(eng.model().find("switch", "sw1").has_value());
+}
+
+TEST(dry_run, original_model_untouched) {
+  const twin_schema schema = twin_schema::network_schema();
+  twin_model original = seeded_model();
+  dry_run_engine eng(original, &schema);
+  (void)eng.run({op_remove_relation("placed_in", "switch", "sw0", "rack",
+                                    "r0"),
+                 op_remove_entity("switch", "sw0")});
+  EXPECT_TRUE(original.find("switch", "sw0").has_value());
+  EXPECT_FALSE(eng.model().find("switch", "sw0").has_value());
+}
+
+TEST(dry_run, removing_connected_switch_fails_at_the_right_step) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  const std::vector<twin_op> plan{
+      op_set_attr("switch", "sw0", "drained", true),
+      op_remove_entity("switch", "sw0"),  // still placed_in r0!
+  };
+  const auto report = eng.run(plan);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].step, 1u);
+  EXPECT_EQ(report.failures[0].op_status.code(), status_code::unavailable);
+}
+
+TEST(dry_run, schema_violation_surfaces_at_introducing_step) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  const std::vector<twin_op> plan{
+      // Missing required attributes: schema validation flags step 0.
+      op_add_entity("switch", "incomplete"),
+  };
+  const auto report = eng.run(plan);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_FALSE(report.failures[0].violations.empty());
+}
+
+TEST(dry_run, stop_on_first_failure) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  const std::vector<twin_op> plan{
+      op_remove_entity("switch", "sw0"),  // fails
+      op_add_entity("rack", "r9",
+                    {{"rack_units", std::int64_t{42}},
+                     {"power_budget_w", 1000.0}}),
+  };
+  dry_run_options opt;
+  opt.continue_after_failure = false;
+  const auto report = eng.run(plan, opt);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.steps_executed, 1u);
+  EXPECT_FALSE(eng.model().find("rack", "r9").has_value());
+}
+
+TEST(dry_run, final_validation_mode) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  dry_run_options opt;
+  opt.validate_each_step = false;
+  const auto report = eng.run({op_add_entity("switch", "incomplete")}, opt);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].description, "final validation");
+}
+
+TEST(dry_run, duplicate_entity_rejected) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  const auto report = eng.run({op_add_entity(
+      "switch", "sw0", {{"radix", std::int64_t{32}},
+                        {"port_rate_gbps", 100.0},
+                        {"rack_units", std::int64_t{1}},
+                        {"power_w", 450.0}})});
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failures[0].op_status.code(),
+            status_code::invalid_argument);
+}
+
+TEST(dry_run, missing_relation_endpoint_reported) {
+  const twin_schema schema = twin_schema::network_schema();
+  dry_run_engine eng(seeded_model(), &schema);
+  const auto report = eng.run(
+      {op_add_relation("placed_in", "switch", "ghost", "rack", "r0")});
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failures[0].op_status.code(), status_code::not_found);
+}
+
+TEST(dry_run, op_descriptions_default_sensibly) {
+  EXPECT_EQ(op_add_entity("switch", "s").description, "add switch s");
+  EXPECT_EQ(op_remove_entity("cable", "c").description, "remove cable c");
+  EXPECT_EQ(op_add_relation("placed_in", "switch", "s", "rack", "r")
+                .description,
+            "relate s -placed_in-> r");
+  EXPECT_EQ(op_remove_relation("placed_in", "switch", "s", "rack", "r")
+                .description,
+            "unrelate s -placed_in-> r");
+  EXPECT_EQ(op_set_attr("switch", "s", "drained", true).description,
+            "set s.drained");
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,134 @@
+#include "twin/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "physical/placement.h"
+#include "topology/generators/clos.h"
+#include "twin/builder.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+twin_model fabric_twin() {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  floorplan_params fpp;
+  fpp.rows = 3;
+  fpp.racks_per_row = 12;
+  floorplan local(fpp);
+  const auto pl = block_placement(g, local);
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), local, cat, {});
+  return build_network_twin(g, pl.value(), local, plan.value(), cat);
+}
+
+TEST(inference, learns_ranges_vocabularies_and_degrees) {
+  const twin_model m = fabric_twin();
+  const auto rules = infer_rules(m);
+  ASSERT_FALSE(rules.empty());
+  bool saw_range = false, saw_vocab = false, saw_out = false, saw_in = false;
+  for (const auto& r : rules) {
+    if (r.kind == inferred_rule::rule_kind::attr_range) saw_range = true;
+    if (r.kind == inferred_rule::rule_kind::attr_vocabulary) {
+      saw_vocab = true;
+    }
+    if (r.kind == inferred_rule::rule_kind::out_degree) saw_out = true;
+    if (r.kind == inferred_rule::rule_kind::in_degree) saw_in = true;
+    EXPECT_FALSE(r.describe().empty());
+    EXPECT_GE(r.support, inference_params{}.min_support);
+  }
+  EXPECT_TRUE(saw_range);
+  EXPECT_TRUE(saw_vocab);  // cable.medium
+  EXPECT_TRUE(saw_out);    // cable --terminates_on--> exactly 2
+  EXPECT_TRUE(saw_in);
+}
+
+TEST(inference, clean_model_passes_its_own_rules) {
+  const twin_model m = fabric_twin();
+  const auto rules = infer_rules(m);
+  const auto violations = check_against_rules(m, rules);
+  EXPECT_TRUE(violations.empty())
+      << violations.front().entity << ": " << violations.front().detail;
+}
+
+TEST(inference, flags_numeric_outlier) {
+  twin_model m = fabric_twin();
+  const auto rules = infer_rules(m);
+  // A cable whose recorded length is wildly out of family — the classic
+  // fat-fingered survey datum §5.3 worries about.
+  const auto cable = m.find("cable", "cable0");
+  ASSERT_TRUE(cable.has_value());
+  m.set_attr(*cable, "length_m", 900.0);
+  const auto violations = check_against_rules(m, rules);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].entity, "cable0");
+  EXPECT_NE(violations[0].detail.find("length_m"), std::string::npos);
+}
+
+TEST(inference, flags_vocabulary_deviant) {
+  twin_model m = fabric_twin();
+  const auto rules = infer_rules(m);
+  const auto cable = m.find("cable", "cable1");
+  ASSERT_TRUE(cable.has_value());
+  m.set_attr(*cable, "medium", std::string("carrier-pigeon"));
+  const auto violations = check_against_rules(m, rules);
+  bool saw = false;
+  for (const auto& v : violations) {
+    if (v.entity == "cable1" &&
+        v.detail.find("medium") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(inference, flags_degree_deviant) {
+  twin_model m = fabric_twin();
+  const auto rules = infer_rules(m);
+  // Every cable terminates on exactly two switches; cut one end off.
+  const auto cable = m.find("cable", "cable2");
+  ASSERT_TRUE(cable.has_value());
+  const auto ends = m.related(*cable, "terminates_on");
+  ASSERT_EQ(ends.size(), 2u);
+  ASSERT_TRUE(
+      m.remove_relation("terminates_on", *cable, ends[0]).is_ok());
+  const auto violations = check_against_rules(m, rules);
+  bool saw = false;
+  for (const auto& v : violations) {
+    if (v.entity == "cable2" &&
+        v.detail.find("terminates_on") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(inference, min_support_suppresses_thin_rules) {
+  twin_model m;
+  for (int i = 0; i < 3; ++i) {  // below default min_support of 5
+    const entity_id e =
+        m.add_entity("oddity", "o" + std::to_string(i));
+    m.set_attr(e, "x", static_cast<double>(i));
+  }
+  EXPECT_TRUE(infer_rules(m).empty());
+  inference_params loose;
+  loose.min_support = 2;
+  EXPECT_FALSE(infer_rules(m, loose).empty());
+}
+
+TEST(inference, range_slack_tolerates_small_drift) {
+  twin_model m = fabric_twin();
+  inference_params p;
+  p.range_slack = 0.5;
+  const auto rules = infer_rules(m, p);
+  const auto cable = m.find("cable", "cable3");
+  ASSERT_TRUE(cable.has_value());
+  const double len = *m.attr_number(*cable, "length_m");
+  m.set_attr(*cable, "length_m", len * 1.2);  // within 50% slack of max
+  EXPECT_TRUE(check_against_rules(m, rules).empty());
+}
+
+}  // namespace
+}  // namespace pn

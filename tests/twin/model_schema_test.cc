@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "twin/model.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+TEST(twin_model, entities_and_lookup) {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r00.00");
+  const entity_id s = m.add_entity("switch", "tor0");
+  EXPECT_TRUE(m.entity_alive(r));
+  EXPECT_EQ(m.entity(s).kind, "switch");
+  EXPECT_EQ(m.find("rack", "r00.00"), r);
+  EXPECT_EQ(m.find("rack", "nope"), std::nullopt);
+  EXPECT_EQ(m.entities_of_kind("switch").size(), 1u);
+  EXPECT_EQ(m.live_entity_count(), 2u);
+}
+
+TEST(twin_model, attributes) {
+  twin_model m;
+  const entity_id s = m.add_entity("switch", "tor0");
+  m.set_attr(s, "radix", std::int64_t{32});
+  m.set_attr(s, "rate", 100.5);
+  m.set_attr(s, "vendor", std::string("acme"));
+  m.set_attr(s, "drained", false);
+  EXPECT_EQ(m.attr_number(s, "radix"), 32.0);
+  EXPECT_EQ(m.attr_number(s, "rate"), 100.5);
+  EXPECT_EQ(m.attr_number(s, "vendor"), std::nullopt);  // not numeric
+  EXPECT_EQ(m.attr(s, "missing"), std::nullopt);
+  EXPECT_EQ(attr_to_string(*m.attr(s, "vendor")), "acme");
+  EXPECT_EQ(attr_to_string(*m.attr(s, "drained")), "false");
+}
+
+TEST(twin_model, relations_and_queries) {
+  twin_model m;
+  const entity_id c = m.add_entity("cable", "c0");
+  const entity_id a = m.add_entity("switch", "a");
+  const entity_id b = m.add_entity("switch", "b");
+  ASSERT_TRUE(m.add_relation("terminates_on", c, a).is_ok());
+  ASSERT_TRUE(m.add_relation("terminates_on", c, b).is_ok());
+  EXPECT_EQ(m.related(c, "terminates_on").size(), 2u);
+  EXPECT_EQ(m.related_in(a, "terminates_on").size(), 1u);
+  EXPECT_EQ(m.relations_of(a).size(), 1u);
+  EXPECT_EQ(m.live_relation_count(), 2u);
+}
+
+TEST(twin_model, referential_integrity_blocks_removal) {
+  twin_model m;
+  const entity_id c = m.add_entity("cable", "c0");
+  const entity_id a = m.add_entity("switch", "a");
+  ASSERT_TRUE(m.add_relation("terminates_on", c, a).is_ok());
+  // The switch cannot be removed while the cable still lands on it.
+  const status s = m.remove_entity(a);
+  EXPECT_EQ(s.code(), status_code::unavailable);
+  EXPECT_TRUE(m.entity_alive(a));
+  // Remove the relation, then removal succeeds.
+  ASSERT_TRUE(m.remove_relation("terminates_on", c, a).is_ok());
+  EXPECT_TRUE(m.remove_entity(a).is_ok());
+  EXPECT_FALSE(m.entity_alive(a));
+  EXPECT_EQ(m.find("switch", "a"), std::nullopt);
+}
+
+TEST(twin_model, double_removal_reports_unavailable) {
+  twin_model m;
+  const entity_id a = m.add_entity("switch", "a");
+  ASSERT_TRUE(m.remove_entity(a).is_ok());
+  EXPECT_EQ(m.remove_entity(a).code(), status_code::unavailable);
+}
+
+TEST(twin_model, relation_to_dead_entity_rejected) {
+  twin_model m;
+  const entity_id a = m.add_entity("switch", "a");
+  const entity_id b = m.add_entity("switch", "b");
+  ASSERT_TRUE(m.remove_entity(b).is_ok());
+  EXPECT_EQ(m.add_relation("peers", a, b).code(), status_code::not_found);
+}
+
+TEST(twin_model, remove_missing_relation) {
+  twin_model m;
+  const entity_id a = m.add_entity("switch", "a");
+  const entity_id b = m.add_entity("switch", "b");
+  EXPECT_EQ(m.remove_relation("peers", a, b).code(),
+            status_code::not_found);
+}
+
+class schema_test : public ::testing::Test {
+ protected:
+  twin_schema schema = twin_schema::network_schema();
+};
+
+TEST_F(schema_test, knows_network_kinds) {
+  EXPECT_TRUE(schema.knows_entity_kind("rack"));
+  EXPECT_TRUE(schema.knows_entity_kind("switch"));
+  EXPECT_TRUE(schema.knows_entity_kind("cable"));
+  EXPECT_TRUE(schema.knows_relation_kind("placed_in"));
+  EXPECT_FALSE(schema.knows_entity_kind("antigravity_lift"));
+}
+
+TEST_F(schema_test, valid_model_passes) {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r0");
+  m.set_attr(r, "rack_units", std::int64_t{42});
+  m.set_attr(r, "power_budget_w", 17000.0);
+  const entity_id s = m.add_entity("switch", "sw0");
+  m.set_attr(s, "radix", std::int64_t{32});
+  m.set_attr(s, "port_rate_gbps", 100.0);
+  m.set_attr(s, "rack_units", std::int64_t{1});
+  m.set_attr(s, "power_w", 450.0);
+  ASSERT_TRUE(m.add_relation("placed_in", s, r).is_ok());
+  EXPECT_TRUE(schema.validate(m).empty());
+}
+
+TEST_F(schema_test, missing_required_attr_reported) {
+  twin_model m;
+  m.add_entity("rack", "r0");  // no attrs at all
+  const auto v = schema.validate(m);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, "missing_attr");
+}
+
+TEST_F(schema_test, type_mismatch_reported) {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r0");
+  m.set_attr(r, "rack_units", std::string("forty-two"));
+  m.set_attr(r, "power_budget_w", 17000.0);
+  const auto v = schema.validate(m);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, "attr_type");
+}
+
+TEST_F(schema_test, out_of_range_attr_is_out_of_envelope) {
+  // §5.2: a design that cannot be represented within the schema's ranges
+  // is exactly the "out-of-envelope" signal.
+  twin_model m;
+  const entity_id s = m.add_entity("switch", "monster");
+  m.set_attr(s, "radix", std::int64_t{1024});  // schema max 512
+  m.set_attr(s, "port_rate_gbps", 100.0);
+  m.set_attr(s, "rack_units", std::int64_t{1});
+  m.set_attr(s, "power_w", 450.0);
+  const auto v = schema.validate(m);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "attr_range");
+  EXPECT_EQ(v[0].subject, "monster");
+}
+
+TEST_F(schema_test, unknown_kinds_reported) {
+  twin_model m;
+  m.add_entity("quantum_repeater", "q0");
+  const entity_id a = m.add_entity("switch", "a");
+  const entity_id b = m.add_entity("switch", "b");
+  ASSERT_TRUE(m.add_relation("entangled_with", a, b).is_ok());
+  const auto v = schema.validate(m);
+  bool saw_entity = false, saw_relation = false;
+  for (const auto& viol : v) {
+    if (viol.rule == "unknown_entity_kind") saw_entity = true;
+    if (viol.rule == "unknown_relation_kind") saw_relation = true;
+  }
+  EXPECT_TRUE(saw_entity);
+  EXPECT_TRUE(saw_relation);
+}
+
+TEST_F(schema_test, wrong_relation_endpoints_reported) {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r0");
+  m.set_attr(r, "rack_units", std::int64_t{42});
+  m.set_attr(r, "power_budget_w", 1000.0);
+  const entity_id r2 = m.add_entity("rack", "r1");
+  m.set_attr(r2, "rack_units", std::int64_t{42});
+  m.set_attr(r2, "power_budget_w", 1000.0);
+  // placed_in must be switch -> rack, not rack -> rack.
+  ASSERT_TRUE(m.add_relation("placed_in", r, r2).is_ok());
+  const auto v = schema.validate(m);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, "relation_endpoints");
+}
+
+TEST_F(schema_test, cardinality_enforced) {
+  twin_model m;
+  auto mk_rack = [&](const std::string& name) {
+    const entity_id r = m.add_entity("rack", name);
+    m.set_attr(r, "rack_units", std::int64_t{42});
+    m.set_attr(r, "power_budget_w", 1000.0);
+    return r;
+  };
+  const entity_id s = m.add_entity("switch", "sw0");
+  m.set_attr(s, "radix", std::int64_t{32});
+  m.set_attr(s, "port_rate_gbps", 100.0);
+  m.set_attr(s, "rack_units", std::int64_t{1});
+  m.set_attr(s, "power_w", 450.0);
+  // A switch can be placed in at most one rack.
+  ASSERT_TRUE(m.add_relation("placed_in", s, mk_rack("r0")).is_ok());
+  ASSERT_TRUE(m.add_relation("placed_in", s, mk_rack("r1")).is_ok());
+  const auto v = schema.validate(m);
+  bool saw = false;
+  for (const auto& viol : v) {
+    if (viol.rule == "cardinality" && viol.subject == "sw0") saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,121 @@
+#include "twin/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "topology/generators/clos.h"
+#include "twin/builder.h"
+#include "twin/schema.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+twin_model sample_model() {
+  twin_model m;
+  const entity_id r = m.add_entity("rack", "r00.00");
+  m.set_attr(r, "rack_units", std::int64_t{42});
+  m.set_attr(r, "power_budget_w", 17000.5);
+  const entity_id s = m.add_entity("switch", "tor0");
+  m.set_attr(s, "vendor", std::string("acme networks"));
+  m.set_attr(s, "drained", false);
+  (void)m.add_relation("placed_in", s, r);
+  return m;
+}
+
+TEST(serialize, renders_all_record_types) {
+  const std::string text = serialize_twin(sample_model());
+  EXPECT_NE(text.find("entity rack r00.00"), std::string::npos);
+  EXPECT_NE(text.find("attr rack r00.00 rack_units int 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("attr switch tor0 vendor str acme networks"),
+            std::string::npos);
+  EXPECT_NE(text.find("attr switch tor0 drained bool false"),
+            std::string::npos);
+  EXPECT_NE(text.find("relation placed_in switch tor0 rack r00.00"),
+            std::string::npos);
+}
+
+TEST(serialize, round_trip_preserves_everything) {
+  const twin_model original = sample_model();
+  const auto parsed = parse_twin(serialize_twin(original));
+  ASSERT_TRUE(parsed.is_ok());
+  const twin_model& m = parsed.value();
+  EXPECT_EQ(m.live_entity_count(), original.live_entity_count());
+  EXPECT_EQ(m.live_relation_count(), original.live_relation_count());
+  const auto s = m.find("switch", "tor0");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(std::get<std::string>(*m.attr(*s, "vendor")), "acme networks");
+  EXPECT_EQ(std::get<bool>(*m.attr(*s, "drained")), false);
+  const auto r = m.find("rack", "r00.00");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(m.attr_number(*r, "power_budget_w"), 17000.5);
+  EXPECT_EQ(m.related(*s, "placed_in").size(), 1u);
+}
+
+TEST(serialize, round_trip_is_a_fixed_point) {
+  const std::string once = serialize_twin(sample_model());
+  const auto parsed = parse_twin(once);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(serialize_twin(parsed.value()), once);
+}
+
+TEST(serialize, dead_entities_are_omitted) {
+  twin_model m = sample_model();
+  const auto s = m.find("switch", "tor0");
+  ASSERT_TRUE(m.remove_relation("placed_in", *s, *m.find("rack", "r00.00"))
+                  .is_ok());
+  ASSERT_TRUE(m.remove_entity(*s).is_ok());
+  const std::string text = serialize_twin(m);
+  EXPECT_EQ(text.find("tor0"), std::string::npos);
+}
+
+TEST(parse, reports_line_numbers_on_errors) {
+  const auto bad = parse_twin("entity rack r0\nfrobnicate x y\n");
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(parse, rejects_duplicates_and_dangling_references) {
+  EXPECT_FALSE(parse_twin("entity rack r0\nentity rack r0\n").is_ok());
+  EXPECT_FALSE(
+      parse_twin("attr rack r0 rack_units int 42\n").is_ok());
+  EXPECT_FALSE(
+      parse_twin("entity rack r0\nrelation feeds power_feed f0 rack r0\n")
+          .is_ok());
+  EXPECT_FALSE(parse_twin("entity rack r0\nattr rack r0 u int forty\n")
+                   .is_ok());
+  EXPECT_FALSE(parse_twin("entity rack r0\nattr rack r0 u blob 1\n")
+                   .is_ok());
+}
+
+TEST(parse, tolerates_comments_and_blank_lines) {
+  const auto m = parse_twin("# a comment\n\nentity rack r0\n");
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_TRUE(m.value().find("rack", "r0").has_value());
+}
+
+TEST(serialize, full_fabric_twin_round_trips_and_validates) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  floorplan_params fpp;
+  fpp.rows = 2;
+  fpp.racks_per_row = 8;
+  floorplan fp(fpp);
+  const auto pl = block_placement(g, fp);
+  ASSERT_TRUE(pl.is_ok());
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), fp, cat, {});
+  ASSERT_TRUE(plan.is_ok());
+  const twin_model m =
+      build_network_twin(g, pl.value(), fp, plan.value(), cat);
+
+  const auto back = parse_twin(serialize_twin(m));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().live_entity_count(), m.live_entity_count());
+  EXPECT_EQ(back.value().live_relation_count(), m.live_relation_count());
+  EXPECT_TRUE(twin_schema::network_schema().validate(back.value()).empty());
+}
+
+}  // namespace
+}  // namespace pn

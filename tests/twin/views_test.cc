@@ -1,0 +1,149 @@
+#include "twin/views.h"
+
+#include <gtest/gtest.h>
+
+#include "physical/cabling.h"
+#include "physical/placement.h"
+#include "topology/generators/clos.h"
+#include "twin/builder.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+// A hand-built model: 4 switches in 2 pods, cables within and across.
+twin_model pod_model() {
+  twin_model m;
+  auto mk_switch = [&](const std::string& name, std::int64_t pod,
+                       double power) {
+    const entity_id e = m.add_entity("switch", name);
+    m.set_attr(e, "pod", pod);
+    m.set_attr(e, "power_w", power);
+    return e;
+  };
+  const entity_id a0 = mk_switch("a0", 0, 100.0);
+  const entity_id a1 = mk_switch("a1", 0, 150.0);
+  const entity_id b0 = mk_switch("b0", 1, 200.0);
+  const entity_id b1 = mk_switch("b1", 1, 250.0);
+
+  auto mk_cable = [&](const std::string& name, entity_id x, entity_id y) {
+    const entity_id c = m.add_entity("cable", name);
+    (void)m.add_relation("terminates_on", c, x);
+    (void)m.add_relation("terminates_on", c, y);
+  };
+  mk_cable("intra_a", a0, a1);   // becomes pod-internal
+  mk_cable("cross_1", a0, b0);   // becomes pod0 <-> pod1 (via cable)
+  mk_cable("cross_2", a1, b1);
+  return m;
+}
+
+TEST(roll_up, groups_and_sums) {
+  const auto rolled = roll_up(pod_model(), {"switch", "pod", "pod",
+                                            {"power_w"}});
+  ASSERT_TRUE(rolled.is_ok());
+  const twin_model& m = rolled.value().model;
+  EXPECT_EQ(rolled.value().aggregates, 2u);
+  const auto pod0 = m.find("pod", "pod0");
+  const auto pod1 = m.find("pod", "pod1");
+  ASSERT_TRUE(pod0.has_value() && pod1.has_value());
+  EXPECT_EQ(m.attr_number(*pod0, "power_w"), 250.0);
+  EXPECT_EQ(m.attr_number(*pod1, "power_w"), 450.0);
+  EXPECT_EQ(m.attr_number(*pod0, "members"), 2.0);
+  // Drill-down map.
+  EXPECT_EQ(rolled.value().member_of.at("a0"), "pod0");
+  EXPECT_EQ(rolled.value().member_of.at("b1"), "pod1");
+}
+
+TEST(roll_up, repoints_relations_and_keeps_passthrough) {
+  const auto rolled = roll_up(pod_model(), {"switch", "pod", "pod",
+                                            {"power_w"}});
+  ASSERT_TRUE(rolled.is_ok());
+  const twin_model& m = rolled.value().model;
+  // Cables are pass-through entities, re-pointed at pods.
+  EXPECT_EQ(m.entities_of_kind("cable").size(), 3u);
+  const auto cross = m.find("cable", "cross_1");
+  ASSERT_TRUE(cross.has_value());
+  const auto ends = m.related(*cross, "terminates_on");
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NE(m.entity(ends[0]).name, m.entity(ends[1]).name);
+  // The intra-pod cable now has both ends on pod0 — a multigraph
+  // parallel, not a dropped relation (the cable entity survives).
+  const auto intra = m.find("cable", "intra_a");
+  ASSERT_TRUE(intra.has_value());
+  EXPECT_EQ(m.related(*intra, "terminates_on").size(), 2u);
+}
+
+TEST(roll_up, missing_group_attr_forms_singletons) {
+  twin_model m;
+  const entity_id e = m.add_entity("switch", "orphan");
+  m.set_attr(e, "power_w", 10.0);
+  const auto rolled = roll_up(m, {"switch", "pod", "pod", {"power_w"}});
+  ASSERT_TRUE(rolled.is_ok());
+  EXPECT_EQ(rolled.value().aggregates, 1u);
+  EXPECT_TRUE(
+      rolled.value().model.find("pod", "podsolo_orphan").has_value());
+}
+
+TEST(roll_up, kind_collision_rejected) {
+  twin_model m;
+  m.add_entity("pod", "pod_exists");
+  m.add_entity("switch", "s");
+  const auto rolled = roll_up(m, {"switch", "pod", "pod", {}});
+  ASSERT_FALSE(rolled.is_ok());
+  EXPECT_EQ(rolled.error().code(), status_code::invalid_argument);
+}
+
+TEST(roll_up, fabric_twin_rolls_to_rack_level) {
+  // Roll a full fabric twin: switches grouped by their rack via the
+  // placed_in relation is the natural rollup, but roll_up groups by
+  // attribute — so group cables by medium as a synthetic check instead.
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  floorplan_params fpp;
+  fpp.rows = 2;
+  fpp.racks_per_row = 8;
+  floorplan fp(fpp);
+  const auto pl = block_placement(g, fp);
+  const catalog cat = catalog::standard();
+  const auto plan = plan_cabling(g, pl.value(), fp, cat, {});
+  const twin_model twin =
+      build_network_twin(g, pl.value(), fp, plan.value(), cat);
+
+  const auto rolled =
+      roll_up(twin, {"cable", "medium", "cable_class", {"length_m"}});
+  ASSERT_TRUE(rolled.is_ok());
+  // One aggregate per medium in use; switches/racks pass through.
+  EXPECT_GE(rolled.value().aggregates, 1u);
+  EXPECT_EQ(rolled.value().model.entities_of_kind("switch").size(),
+            g.node_count());
+  // Rolled model serializes like any other.
+  const auto text = serialize_twin(rolled.value().model);
+  EXPECT_TRUE(parse_twin(text).is_ok());
+}
+
+TEST(roll_up, internal_relation_counts) {
+  // Direct switch-to-switch relations inside a group become internal
+  // counters on the aggregate.
+  twin_model m;
+  auto mk = [&](const std::string& name, std::int64_t pod) {
+    const entity_id e = m.add_entity("switch", name);
+    m.set_attr(e, "pod", pod);
+    return e;
+  };
+  const entity_id a = mk("a", 0);
+  const entity_id b = mk("b", 0);
+  const entity_id c = mk("c", 1);
+  (void)m.add_relation("peers", a, b);  // intra-pod
+  (void)m.add_relation("peers", a, c);  // inter-pod
+  const auto rolled = roll_up(m, {"switch", "pod", "pod", {}});
+  ASSERT_TRUE(rolled.is_ok());
+  const auto pod0 = rolled.value().model.find("pod", "pod0");
+  ASSERT_TRUE(pod0.has_value());
+  EXPECT_EQ(rolled.value().model.attr_number(*pod0, "internal_peers"),
+            1.0);
+  EXPECT_EQ(rolled.value().model.relations_of_kind("peers").size(), 1u);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,188 @@
+// physnet_eval — command-line deployability evaluation of one design.
+//
+//   physnet_eval --family=fat_tree --size=8
+//   physnet_eval --family=jellyfish --size=64 --strategy=annealed --repair
+//   physnet_eval --family=dragonfly --size=9 --dot=fabric.dot
+//
+// Families: fat_tree (size = k), leaf_spine (size = leaves),
+// jellyfish / xpander (size = switches), flattened_butterfly (size = dim,
+// 2-D), slim_fly (size = q), vl2 (size = tors), dragonfly (size = groups),
+// jupiter_fat_tree / jupiter_direct (size = aggregation blocks).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/physnet.h"
+
+namespace {
+
+using namespace pn;
+using namespace pn::literals;
+
+struct cli_args {
+  std::string family = "fat_tree";
+  int size = 8;
+  std::string strategy = "block";
+  std::uint64_t seed = 1;
+  bool repair = false;
+  std::string dot_file;
+};
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--family") {
+      out.family = value;
+    } else if (key == "--size") {
+      out.size = std::stoi(value);
+    } else if (key == "--strategy") {
+      out.strategy = value;
+    } else if (key == "--seed") {
+      out.seed = std::stoull(value);
+    } else if (key == "--repair") {
+      out.repair = true;
+    } else if (key == "--dot") {
+      out.dot_file = value;
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+result<network_graph> build_family(const std::string& family, int size,
+                                   std::uint64_t seed) {
+  if (family == "fat_tree") {
+    if (size % 2 != 0) return invalid_argument_error("k must be even");
+    return build_fat_tree(size, 100_gbps);
+  }
+  if (family == "leaf_spine") {
+    leaf_spine_params p;
+    p.leaves = size;
+    p.spines = std::max(2, size / 3);
+    p.hosts_per_leaf = 16;
+    return build_leaf_spine(p);
+  }
+  if (family == "jellyfish") {
+    jellyfish_params p;
+    p.switches = size;
+    p.radix = 16;
+    p.hosts_per_switch = 8;
+    p.seed = seed;
+    return build_jellyfish(p);
+  }
+  if (family == "xpander") {
+    xpander_params p;
+    p.degree = 8;
+    p.lift_size = std::max(1, size / (p.degree + 1));
+    p.hosts_per_switch = 8;
+    p.seed = seed;
+    return build_xpander(p);
+  }
+  if (family == "flattened_butterfly") {
+    flattened_butterfly_params p;
+    p.dims = {size, size};
+    p.hosts_per_switch = 4;
+    return build_flattened_butterfly(p);
+  }
+  if (family == "slim_fly") {
+    slim_fly_params p;
+    p.q = size;
+    p.hosts_per_switch = 6;
+    auto g = build_slim_fly(p);
+    if (!g.is_ok()) return g.error();
+    return std::move(g).value();
+  }
+  if (family == "vl2") {
+    vl2_params p;
+    p.tors = size;
+    p.aggs = std::max(2, size / 4);
+    p.intermediates = std::max(2, size / 8);
+    return build_vl2(p);
+  }
+  if (family == "dragonfly") {
+    auto g = build_dragonfly(balanced_dragonfly(3, size, 100_gbps));
+    if (!g.is_ok()) return g.error();
+    return std::move(g).value();
+  }
+  if (family == "jupiter_fat_tree" || family == "jupiter_direct") {
+    jupiter_params p;
+    p.agg_blocks = size;
+    p.spine_blocks = std::max(2, size / 2);
+    p.mode = family == "jupiter_direct" ? jupiter_mode::direct
+                                        : jupiter_mode::fat_tree;
+    return build_jupiter(p).graph;
+  }
+  return invalid_argument_error("unknown family: " + family);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_eval [--family=NAME] [--size=N] "
+           "[--strategy=block|random|annealed] [--seed=N] [--repair] "
+           "[--dot=FILE]\n"
+           "families: fat_tree leaf_spine jellyfish xpander "
+           "flattened_butterfly slim_fly vl2 dragonfly jupiter_fat_tree "
+           "jupiter_direct\n";
+    return 2;
+  }
+
+  auto graph = build_family(args.family, args.size, args.seed);
+  if (!graph.is_ok()) {
+    std::cerr << "cannot build design: " << graph.error().to_string()
+              << "\n";
+    return 1;
+  }
+
+  evaluation_options opt;
+  opt.seed = args.seed;
+  opt.run_repair_sim = args.repair;
+  if (args.strategy == "block") {
+    opt.strategy = placement_strategy::block;
+  } else if (args.strategy == "random") {
+    opt.strategy = placement_strategy::random;
+  } else if (args.strategy == "annealed") {
+    opt.strategy = placement_strategy::annealed;
+  } else {
+    std::cerr << "unknown strategy: " << args.strategy << "\n";
+    return 2;
+  }
+
+  const std::string name = args.family + "/" + std::to_string(args.size);
+  const auto ev = evaluate_design(graph.value(), name, opt);
+  if (!ev.is_ok()) {
+    std::cerr << "evaluation failed: " << ev.error().to_string() << "\n";
+    return 1;
+  }
+
+  const std::vector<deployability_report> reports{ev.value().report};
+  abstract_metrics_table(reports).print(std::cout, "abstract metrics");
+  cost_table(reports).print(std::cout, "capital cost & power");
+  deployability_table(reports).print(std::cout, "physical deployability");
+  if (args.repair) {
+    operations_table(reports).print(std::cout, "operations");
+  }
+
+  if (!args.dot_file.empty()) {
+    std::ofstream out(args.dot_file);
+    if (!out) {
+      std::cerr << "cannot write " << args.dot_file << "\n";
+      return 1;
+    }
+    out << to_dot(graph.value());
+    std::cout << "\nwrote " << args.dot_file << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// physnet_twin — validate a serialized twin model from the shell.
+//
+//   physnet_twin model.twin                # schema + inferred-rule check
+//   physnet_twin --export-sample > m.twin  # emit a sample fabric twin
+//   physnet_twin --rollup=pod model.twin   # validate, then roll up by an
+//                                          # attribute and print a summary
+//
+// Exit code 0 = clean, 1 = violations found, 2 = usage/parse error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/physnet.h"
+
+namespace {
+
+using namespace pn;
+using namespace pn::literals;
+
+int export_sample() {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  const auto ev = evaluate_design(g, "sample", opt);
+  if (!ev.is_ok()) {
+    std::cerr << ev.error().to_string() << "\n";
+    return 2;
+  }
+  const twin_model twin =
+      build_network_twin(g, ev.value().place, ev.value().floor,
+                         ev.value().cables, ev.value().cat);
+  std::cout << serialize_twin(twin);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string rollup_attr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--export-sample") {
+      return export_sample();
+    }
+    if (arg.rfind("--rollup=", 0) == 0) {
+      rollup_attr = arg.substr(9);
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "usage: physnet_twin [--rollup=ATTR] FILE | "
+                   "--export-sample\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: physnet_twin [--rollup=ATTR] FILE | "
+                 "--export-sample\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = parse_twin(buffer.str());
+  if (!parsed.is_ok()) {
+    std::cerr << "parse error: " << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const twin_model& model = parsed.value();
+  std::cout << path << ": " << model.live_entity_count() << " entities, "
+            << model.live_relation_count() << " relations\n";
+
+  int problems = 0;
+
+  const auto schema_violations =
+      twin_schema::network_schema().validate(model);
+  std::cout << "schema: " << schema_violations.size() << " violation(s)\n";
+  for (const auto& v : schema_violations) {
+    std::cout << "  [" << v.rule << "] " << v.subject << ": " << v.detail
+              << "\n";
+    ++problems;
+  }
+
+  // Self-check against inferred rules: deviants are data-entry suspects.
+  const auto rules = infer_rules(model);
+  const auto deviants = check_against_rules(model, rules);
+  std::cout << "inferred rules: " << rules.size() << " learned, "
+            << deviants.size() << " deviant(s)\n";
+  for (const auto& d : deviants) {
+    std::cout << "  " << d.entity << ": " << d.detail << "\n";
+    ++problems;
+  }
+
+  if (!rollup_attr.empty()) {
+    const auto rolled = roll_up(
+        model, {"switch", rollup_attr, "group_", {"power_w"}});
+    if (!rolled.is_ok()) {
+      std::cerr << "rollup failed: " << rolled.error().to_string() << "\n";
+      return 2;
+    }
+    std::cout << "rollup by switch." << rollup_attr << ": "
+              << rolled.value().aggregates << " aggregate(s)\n";
+    for (entity_id agg :
+         rolled.value().model.entities_of_kind("group_")) {
+      const auto& e = rolled.value().model.entity(agg);
+      std::cout << "  " << e.name << ": "
+                << rolled.value().model.attr_number(agg, "members")
+                       .value_or(0.0)
+                << " members\n";
+    }
+  }
+
+  return problems == 0 ? 0 : 1;
+}
