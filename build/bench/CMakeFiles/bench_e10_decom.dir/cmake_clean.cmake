@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_decom.dir/bench_e10_decom.cpp.o"
+  "CMakeFiles/bench_e10_decom.dir/bench_e10_decom.cpp.o.d"
+  "bench_e10_decom"
+  "bench_e10_decom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_decom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

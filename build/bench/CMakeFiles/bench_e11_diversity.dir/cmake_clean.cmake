@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_diversity.dir/bench_e11_diversity.cpp.o"
+  "CMakeFiles/bench_e11_diversity.dir/bench_e11_diversity.cpp.o.d"
+  "bench_e11_diversity"
+  "bench_e11_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_topology_engineering.dir/bench_e12_topology_engineering.cpp.o"
+  "CMakeFiles/bench_e12_topology_engineering.dir/bench_e12_topology_engineering.cpp.o.d"
+  "bench_e12_topology_engineering"
+  "bench_e12_topology_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_topology_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

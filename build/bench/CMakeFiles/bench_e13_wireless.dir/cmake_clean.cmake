@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_wireless.dir/bench_e13_wireless.cpp.o"
+  "CMakeFiles/bench_e13_wireless.dir/bench_e13_wireless.cpp.o.d"
+  "bench_e13_wireless"
+  "bench_e13_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_cable_fit.dir/bench_e2_cable_fit.cpp.o"
+  "CMakeFiles/bench_e2_cable_fit.dir/bench_e2_cable_fit.cpp.o.d"
+  "bench_e2_cable_fit"
+  "bench_e2_cable_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_cable_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

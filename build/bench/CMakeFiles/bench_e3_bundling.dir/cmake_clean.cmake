@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_bundling.dir/bench_e3_bundling.cpp.o"
+  "CMakeFiles/bench_e3_bundling.dir/bench_e3_bundling.cpp.o.d"
+  "bench_e3_bundling"
+  "bench_e3_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_expansion.dir/bench_e4_expansion.cpp.o"
+  "CMakeFiles/bench_e4_expansion.dir/bench_e4_expansion.cpp.o.d"
+  "bench_e4_expansion"
+  "bench_e4_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_expander_deployability.dir/bench_e5_expander_deployability.cpp.o"
+  "CMakeFiles/bench_e5_expander_deployability.dir/bench_e5_expander_deployability.cpp.o.d"
+  "bench_e5_expander_deployability"
+  "bench_e5_expander_deployability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_expander_deployability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

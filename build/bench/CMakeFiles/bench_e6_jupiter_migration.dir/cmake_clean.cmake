@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_jupiter_migration.dir/bench_e6_jupiter_migration.cpp.o"
+  "CMakeFiles/bench_e6_jupiter_migration.dir/bench_e6_jupiter_migration.cpp.o.d"
+  "bench_e6_jupiter_migration"
+  "bench_e6_jupiter_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_jupiter_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_repair_radix.dir/bench_e7_repair_radix.cpp.o"
+  "CMakeFiles/bench_e7_repair_radix.dir/bench_e7_repair_radix.cpp.o.d"
+  "bench_e7_repair_radix"
+  "bench_e7_repair_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_repair_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

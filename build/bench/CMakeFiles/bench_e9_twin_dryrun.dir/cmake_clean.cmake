@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_twin_dryrun.dir/bench_e9_twin_dryrun.cpp.o"
+  "CMakeFiles/bench_e9_twin_dryrun.dir/bench_e9_twin_dryrun.cpp.o.d"
+  "bench_e9_twin_dryrun"
+  "bench_e9_twin_dryrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_twin_dryrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

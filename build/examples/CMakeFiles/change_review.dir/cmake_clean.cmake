@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_review.dir/change_review.cpp.o"
+  "CMakeFiles/change_review.dir/change_review.cpp.o.d"
+  "change_review"
+  "change_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

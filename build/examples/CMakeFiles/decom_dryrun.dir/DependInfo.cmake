@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/decom_dryrun.cpp" "examples/CMakeFiles/decom_dryrun.dir/decom_dryrun.cpp.o" "gcc" "examples/CMakeFiles/decom_dryrun.dir/decom_dryrun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/pn_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/twin/CMakeFiles/pn_twin.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/pn_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decom_dryrun.dir/decom_dryrun.cpp.o"
+  "CMakeFiles/decom_dryrun.dir/decom_dryrun.cpp.o.d"
+  "decom_dryrun"
+  "decom_dryrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decom_dryrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

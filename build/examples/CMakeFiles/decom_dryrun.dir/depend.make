@@ -1,0 +1,2 @@
+# Empty dependencies file for decom_dryrun.
+# This may be replaced when dependencies are built.

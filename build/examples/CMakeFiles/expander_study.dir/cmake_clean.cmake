@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_study.dir/expander_study.cpp.o"
+  "CMakeFiles/expander_study.dir/expander_study.cpp.o.d"
+  "expander_study"
+  "expander_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

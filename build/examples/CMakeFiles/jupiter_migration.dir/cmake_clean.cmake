@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_migration.dir/jupiter_migration.cpp.o"
+  "CMakeFiles/jupiter_migration.dir/jupiter_migration.cpp.o.d"
+  "jupiter_migration"
+  "jupiter_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_common.dir/check.cc.o"
+  "CMakeFiles/pn_common.dir/check.cc.o.d"
+  "CMakeFiles/pn_common.dir/stats.cc.o"
+  "CMakeFiles/pn_common.dir/stats.cc.o.d"
+  "CMakeFiles/pn_common.dir/status.cc.o"
+  "CMakeFiles/pn_common.dir/status.cc.o.d"
+  "CMakeFiles/pn_common.dir/strings.cc.o"
+  "CMakeFiles/pn_common.dir/strings.cc.o.d"
+  "CMakeFiles/pn_common.dir/table.cc.o"
+  "CMakeFiles/pn_common.dir/table.cc.o.d"
+  "CMakeFiles/pn_common.dir/units.cc.o"
+  "CMakeFiles/pn_common.dir/units.cc.o.d"
+  "libpn_common.a"
+  "libpn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

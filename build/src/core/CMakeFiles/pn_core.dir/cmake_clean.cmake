@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_core.dir/compare.cc.o"
+  "CMakeFiles/pn_core.dir/compare.cc.o.d"
+  "CMakeFiles/pn_core.dir/evaluator.cc.o"
+  "CMakeFiles/pn_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/pn_core.dir/lifecycle.cc.o"
+  "CMakeFiles/pn_core.dir/lifecycle.cc.o.d"
+  "CMakeFiles/pn_core.dir/sweep.cc.o"
+  "CMakeFiles/pn_core.dir/sweep.cc.o.d"
+  "libpn_core.a"
+  "libpn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/decom.cc" "src/deploy/CMakeFiles/pn_deploy.dir/decom.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/decom.cc.o.d"
+  "/root/repo/src/deploy/degradation.cc" "src/deploy/CMakeFiles/pn_deploy.dir/degradation.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/degradation.cc.o.d"
+  "/root/repo/src/deploy/drain_scheduler.cc" "src/deploy/CMakeFiles/pn_deploy.dir/drain_scheduler.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/drain_scheduler.cc.o.d"
+  "/root/repo/src/deploy/expansion.cc" "src/deploy/CMakeFiles/pn_deploy.dir/expansion.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/expansion.cc.o.d"
+  "/root/repo/src/deploy/expansion_executor.cc" "src/deploy/CMakeFiles/pn_deploy.dir/expansion_executor.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/expansion_executor.cc.o.d"
+  "/root/repo/src/deploy/migration.cc" "src/deploy/CMakeFiles/pn_deploy.dir/migration.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/migration.cc.o.d"
+  "/root/repo/src/deploy/plan_builder.cc" "src/deploy/CMakeFiles/pn_deploy.dir/plan_builder.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/plan_builder.cc.o.d"
+  "/root/repo/src/deploy/repair_sim.cc" "src/deploy/CMakeFiles/pn_deploy.dir/repair_sim.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/repair_sim.cc.o.d"
+  "/root/repo/src/deploy/tech_sim.cc" "src/deploy/CMakeFiles/pn_deploy.dir/tech_sim.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/tech_sim.cc.o.d"
+  "/root/repo/src/deploy/topology_engineering.cc" "src/deploy/CMakeFiles/pn_deploy.dir/topology_engineering.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/topology_engineering.cc.o.d"
+  "/root/repo/src/deploy/workorder.cc" "src/deploy/CMakeFiles/pn_deploy.dir/workorder.cc.o" "gcc" "src/deploy/CMakeFiles/pn_deploy.dir/workorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/pn_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/twin/CMakeFiles/pn_twin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_deploy.dir/decom.cc.o"
+  "CMakeFiles/pn_deploy.dir/decom.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/degradation.cc.o"
+  "CMakeFiles/pn_deploy.dir/degradation.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/drain_scheduler.cc.o"
+  "CMakeFiles/pn_deploy.dir/drain_scheduler.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/expansion.cc.o"
+  "CMakeFiles/pn_deploy.dir/expansion.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/expansion_executor.cc.o"
+  "CMakeFiles/pn_deploy.dir/expansion_executor.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/migration.cc.o"
+  "CMakeFiles/pn_deploy.dir/migration.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/plan_builder.cc.o"
+  "CMakeFiles/pn_deploy.dir/plan_builder.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/repair_sim.cc.o"
+  "CMakeFiles/pn_deploy.dir/repair_sim.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/tech_sim.cc.o"
+  "CMakeFiles/pn_deploy.dir/tech_sim.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/topology_engineering.cc.o"
+  "CMakeFiles/pn_deploy.dir/topology_engineering.cc.o.d"
+  "CMakeFiles/pn_deploy.dir/workorder.cc.o"
+  "CMakeFiles/pn_deploy.dir/workorder.cc.o.d"
+  "libpn_deploy.a"
+  "libpn_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

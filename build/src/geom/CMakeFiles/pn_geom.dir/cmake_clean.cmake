@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_geom.dir/tray_graph.cc.o"
+  "CMakeFiles/pn_geom.dir/tray_graph.cc.o.d"
+  "libpn_geom.a"
+  "libpn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpn_geom.a"
+)

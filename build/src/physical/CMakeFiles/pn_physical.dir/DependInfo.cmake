@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physical/bundling.cc" "src/physical/CMakeFiles/pn_physical.dir/bundling.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/bundling.cc.o.d"
+  "/root/repo/src/physical/cabling.cc" "src/physical/CMakeFiles/pn_physical.dir/cabling.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/cabling.cc.o.d"
+  "/root/repo/src/physical/catalog.cc" "src/physical/CMakeFiles/pn_physical.dir/catalog.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/catalog.cc.o.d"
+  "/root/repo/src/physical/conjoin.cc" "src/physical/CMakeFiles/pn_physical.dir/conjoin.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/conjoin.cc.o.d"
+  "/root/repo/src/physical/floorplan.cc" "src/physical/CMakeFiles/pn_physical.dir/floorplan.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/floorplan.cc.o.d"
+  "/root/repo/src/physical/placement.cc" "src/physical/CMakeFiles/pn_physical.dir/placement.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/placement.cc.o.d"
+  "/root/repo/src/physical/procurement.cc" "src/physical/CMakeFiles/pn_physical.dir/procurement.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/procurement.cc.o.d"
+  "/root/repo/src/physical/wireless.cc" "src/physical/CMakeFiles/pn_physical.dir/wireless.cc.o" "gcc" "src/physical/CMakeFiles/pn_physical.dir/wireless.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

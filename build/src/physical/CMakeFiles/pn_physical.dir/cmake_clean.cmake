@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_physical.dir/bundling.cc.o"
+  "CMakeFiles/pn_physical.dir/bundling.cc.o.d"
+  "CMakeFiles/pn_physical.dir/cabling.cc.o"
+  "CMakeFiles/pn_physical.dir/cabling.cc.o.d"
+  "CMakeFiles/pn_physical.dir/catalog.cc.o"
+  "CMakeFiles/pn_physical.dir/catalog.cc.o.d"
+  "CMakeFiles/pn_physical.dir/conjoin.cc.o"
+  "CMakeFiles/pn_physical.dir/conjoin.cc.o.d"
+  "CMakeFiles/pn_physical.dir/floorplan.cc.o"
+  "CMakeFiles/pn_physical.dir/floorplan.cc.o.d"
+  "CMakeFiles/pn_physical.dir/placement.cc.o"
+  "CMakeFiles/pn_physical.dir/placement.cc.o.d"
+  "CMakeFiles/pn_physical.dir/procurement.cc.o"
+  "CMakeFiles/pn_physical.dir/procurement.cc.o.d"
+  "CMakeFiles/pn_physical.dir/wireless.cc.o"
+  "CMakeFiles/pn_physical.dir/wireless.cc.o.d"
+  "libpn_physical.a"
+  "libpn_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/export.cc" "src/topology/CMakeFiles/pn_topology.dir/export.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/export.cc.o.d"
+  "/root/repo/src/topology/generators/clos.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/clos.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/clos.cc.o.d"
+  "/root/repo/src/topology/generators/dragonfly.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/dragonfly.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/dragonfly.cc.o.d"
+  "/root/repo/src/topology/generators/flattened_butterfly.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/flattened_butterfly.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/flattened_butterfly.cc.o.d"
+  "/root/repo/src/topology/generators/jellyfish.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/jellyfish.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/jellyfish.cc.o.d"
+  "/root/repo/src/topology/generators/jupiter.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/jupiter.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/jupiter.cc.o.d"
+  "/root/repo/src/topology/generators/leaf_spine.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/leaf_spine.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/leaf_spine.cc.o.d"
+  "/root/repo/src/topology/generators/slim_fly.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/slim_fly.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/slim_fly.cc.o.d"
+  "/root/repo/src/topology/generators/vl2.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/vl2.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/vl2.cc.o.d"
+  "/root/repo/src/topology/generators/xpander.cc" "src/topology/CMakeFiles/pn_topology.dir/generators/xpander.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/generators/xpander.cc.o.d"
+  "/root/repo/src/topology/graph.cc" "src/topology/CMakeFiles/pn_topology.dir/graph.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/graph.cc.o.d"
+  "/root/repo/src/topology/metrics.cc" "src/topology/CMakeFiles/pn_topology.dir/metrics.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/metrics.cc.o.d"
+  "/root/repo/src/topology/paths.cc" "src/topology/CMakeFiles/pn_topology.dir/paths.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/paths.cc.o.d"
+  "/root/repo/src/topology/routing.cc" "src/topology/CMakeFiles/pn_topology.dir/routing.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/routing.cc.o.d"
+  "/root/repo/src/topology/traffic.cc" "src/topology/CMakeFiles/pn_topology.dir/traffic.cc.o" "gcc" "src/topology/CMakeFiles/pn_topology.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

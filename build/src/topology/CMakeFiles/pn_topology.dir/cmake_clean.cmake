@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_topology.dir/export.cc.o"
+  "CMakeFiles/pn_topology.dir/export.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/clos.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/clos.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/dragonfly.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/dragonfly.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/flattened_butterfly.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/flattened_butterfly.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/jellyfish.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/jellyfish.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/jupiter.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/jupiter.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/leaf_spine.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/leaf_spine.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/slim_fly.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/slim_fly.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/vl2.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/vl2.cc.o.d"
+  "CMakeFiles/pn_topology.dir/generators/xpander.cc.o"
+  "CMakeFiles/pn_topology.dir/generators/xpander.cc.o.d"
+  "CMakeFiles/pn_topology.dir/graph.cc.o"
+  "CMakeFiles/pn_topology.dir/graph.cc.o.d"
+  "CMakeFiles/pn_topology.dir/metrics.cc.o"
+  "CMakeFiles/pn_topology.dir/metrics.cc.o.d"
+  "CMakeFiles/pn_topology.dir/paths.cc.o"
+  "CMakeFiles/pn_topology.dir/paths.cc.o.d"
+  "CMakeFiles/pn_topology.dir/routing.cc.o"
+  "CMakeFiles/pn_topology.dir/routing.cc.o.d"
+  "CMakeFiles/pn_topology.dir/traffic.cc.o"
+  "CMakeFiles/pn_topology.dir/traffic.cc.o.d"
+  "libpn_topology.a"
+  "libpn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twin/builder.cc" "src/twin/CMakeFiles/pn_twin.dir/builder.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/builder.cc.o.d"
+  "/root/repo/src/twin/constraints.cc" "src/twin/CMakeFiles/pn_twin.dir/constraints.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/constraints.cc.o.d"
+  "/root/repo/src/twin/diff.cc" "src/twin/CMakeFiles/pn_twin.dir/diff.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/diff.cc.o.d"
+  "/root/repo/src/twin/dryrun.cc" "src/twin/CMakeFiles/pn_twin.dir/dryrun.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/dryrun.cc.o.d"
+  "/root/repo/src/twin/envelope.cc" "src/twin/CMakeFiles/pn_twin.dir/envelope.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/envelope.cc.o.d"
+  "/root/repo/src/twin/inference.cc" "src/twin/CMakeFiles/pn_twin.dir/inference.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/inference.cc.o.d"
+  "/root/repo/src/twin/model.cc" "src/twin/CMakeFiles/pn_twin.dir/model.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/model.cc.o.d"
+  "/root/repo/src/twin/schema.cc" "src/twin/CMakeFiles/pn_twin.dir/schema.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/schema.cc.o.d"
+  "/root/repo/src/twin/serialize.cc" "src/twin/CMakeFiles/pn_twin.dir/serialize.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/serialize.cc.o.d"
+  "/root/repo/src/twin/views.cc" "src/twin/CMakeFiles/pn_twin.dir/views.cc.o" "gcc" "src/twin/CMakeFiles/pn_twin.dir/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/pn_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pn_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

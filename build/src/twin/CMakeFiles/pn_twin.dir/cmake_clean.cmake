@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_twin.dir/builder.cc.o"
+  "CMakeFiles/pn_twin.dir/builder.cc.o.d"
+  "CMakeFiles/pn_twin.dir/constraints.cc.o"
+  "CMakeFiles/pn_twin.dir/constraints.cc.o.d"
+  "CMakeFiles/pn_twin.dir/diff.cc.o"
+  "CMakeFiles/pn_twin.dir/diff.cc.o.d"
+  "CMakeFiles/pn_twin.dir/dryrun.cc.o"
+  "CMakeFiles/pn_twin.dir/dryrun.cc.o.d"
+  "CMakeFiles/pn_twin.dir/envelope.cc.o"
+  "CMakeFiles/pn_twin.dir/envelope.cc.o.d"
+  "CMakeFiles/pn_twin.dir/inference.cc.o"
+  "CMakeFiles/pn_twin.dir/inference.cc.o.d"
+  "CMakeFiles/pn_twin.dir/model.cc.o"
+  "CMakeFiles/pn_twin.dir/model.cc.o.d"
+  "CMakeFiles/pn_twin.dir/schema.cc.o"
+  "CMakeFiles/pn_twin.dir/schema.cc.o.d"
+  "CMakeFiles/pn_twin.dir/serialize.cc.o"
+  "CMakeFiles/pn_twin.dir/serialize.cc.o.d"
+  "CMakeFiles/pn_twin.dir/views.cc.o"
+  "CMakeFiles/pn_twin.dir/views.cc.o.d"
+  "libpn_twin.a"
+  "libpn_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/pn_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/pn_common_test.dir/common/stats_test.cc.o"
+  "CMakeFiles/pn_common_test.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/pn_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/pn_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/pn_common_test.dir/common/strings_table_test.cc.o"
+  "CMakeFiles/pn_common_test.dir/common/strings_table_test.cc.o.d"
+  "CMakeFiles/pn_common_test.dir/common/units_test.cc.o"
+  "CMakeFiles/pn_common_test.dir/common/units_test.cc.o.d"
+  "pn_common_test"
+  "pn_common_test.pdb"
+  "pn_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

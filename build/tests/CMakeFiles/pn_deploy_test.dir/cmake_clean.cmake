@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_deploy_test.dir/deploy/degradation_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/degradation_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/drain_scheduler_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/drain_scheduler_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/expansion_executor_sweep_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/expansion_executor_sweep_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/migration_decom_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/migration_decom_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/repair_expansion_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/repair_expansion_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/topology_engineering_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/topology_engineering_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/worker_cap_feeds_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/worker_cap_feeds_test.cc.o.d"
+  "CMakeFiles/pn_deploy_test.dir/deploy/workorder_tech_sim_test.cc.o"
+  "CMakeFiles/pn_deploy_test.dir/deploy/workorder_tech_sim_test.cc.o.d"
+  "pn_deploy_test"
+  "pn_deploy_test.pdb"
+  "pn_deploy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_deploy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

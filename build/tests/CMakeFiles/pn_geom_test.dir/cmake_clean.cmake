@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_geom_test.dir/geom/tray_graph_test.cc.o"
+  "CMakeFiles/pn_geom_test.dir/geom/tray_graph_test.cc.o.d"
+  "pn_geom_test"
+  "pn_geom_test.pdb"
+  "pn_geom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

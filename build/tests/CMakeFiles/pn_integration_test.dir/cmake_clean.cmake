@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_integration_test.dir/integration/evaluator_test.cc.o"
+  "CMakeFiles/pn_integration_test.dir/integration/evaluator_test.cc.o.d"
+  "pn_integration_test"
+  "pn_integration_test.pdb"
+  "pn_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

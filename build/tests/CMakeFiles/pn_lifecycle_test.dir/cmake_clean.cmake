@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_lifecycle_test.dir/deploy/repair_queue_lifecycle_test.cc.o"
+  "CMakeFiles/pn_lifecycle_test.dir/deploy/repair_queue_lifecycle_test.cc.o.d"
+  "pn_lifecycle_test"
+  "pn_lifecycle_test.pdb"
+  "pn_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_physical_test.dir/physical/cabling_bundling_test.cc.o"
+  "CMakeFiles/pn_physical_test.dir/physical/cabling_bundling_test.cc.o.d"
+  "CMakeFiles/pn_physical_test.dir/physical/catalog_test.cc.o"
+  "CMakeFiles/pn_physical_test.dir/physical/catalog_test.cc.o.d"
+  "CMakeFiles/pn_physical_test.dir/physical/conjoin_feeds_test.cc.o"
+  "CMakeFiles/pn_physical_test.dir/physical/conjoin_feeds_test.cc.o.d"
+  "CMakeFiles/pn_physical_test.dir/physical/floorplan_placement_test.cc.o"
+  "CMakeFiles/pn_physical_test.dir/physical/floorplan_placement_test.cc.o.d"
+  "CMakeFiles/pn_physical_test.dir/physical/procurement_test.cc.o"
+  "CMakeFiles/pn_physical_test.dir/physical/procurement_test.cc.o.d"
+  "CMakeFiles/pn_physical_test.dir/physical/wireless_obstacles_test.cc.o"
+  "CMakeFiles/pn_physical_test.dir/physical/wireless_obstacles_test.cc.o.d"
+  "pn_physical_test"
+  "pn_physical_test.pdb"
+  "pn_physical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_physical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

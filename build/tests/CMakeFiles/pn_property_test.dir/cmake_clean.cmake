@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_property_test.dir/property/catalog_property_test.cc.o"
+  "CMakeFiles/pn_property_test.dir/property/catalog_property_test.cc.o.d"
+  "CMakeFiles/pn_property_test.dir/property/expansion_property_test.cc.o"
+  "CMakeFiles/pn_property_test.dir/property/expansion_property_test.cc.o.d"
+  "CMakeFiles/pn_property_test.dir/property/pipeline_property_test.cc.o"
+  "CMakeFiles/pn_property_test.dir/property/pipeline_property_test.cc.o.d"
+  "CMakeFiles/pn_property_test.dir/property/serialize_fuzz_test.cc.o"
+  "CMakeFiles/pn_property_test.dir/property/serialize_fuzz_test.cc.o.d"
+  "pn_property_test"
+  "pn_property_test.pdb"
+  "pn_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

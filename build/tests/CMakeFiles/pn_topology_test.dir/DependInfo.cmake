@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology/generators_test.cc" "tests/CMakeFiles/pn_topology_test.dir/topology/generators_test.cc.o" "gcc" "tests/CMakeFiles/pn_topology_test.dir/topology/generators_test.cc.o.d"
+  "/root/repo/tests/topology/graph_test.cc" "tests/CMakeFiles/pn_topology_test.dir/topology/graph_test.cc.o" "gcc" "tests/CMakeFiles/pn_topology_test.dir/topology/graph_test.cc.o.d"
+  "/root/repo/tests/topology/metrics_test.cc" "tests/CMakeFiles/pn_topology_test.dir/topology/metrics_test.cc.o" "gcc" "tests/CMakeFiles/pn_topology_test.dir/topology/metrics_test.cc.o.d"
+  "/root/repo/tests/topology/routing_traffic_test.cc" "tests/CMakeFiles/pn_topology_test.dir/topology/routing_traffic_test.cc.o" "gcc" "tests/CMakeFiles/pn_topology_test.dir/topology/routing_traffic_test.cc.o.d"
+  "/root/repo/tests/topology/vlb_paths_test.cc" "tests/CMakeFiles/pn_topology_test.dir/topology/vlb_paths_test.cc.o" "gcc" "tests/CMakeFiles/pn_topology_test.dir/topology/vlb_paths_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/pn_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/twin/CMakeFiles/pn_twin.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/pn_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_topology_test.dir/topology/generators_test.cc.o"
+  "CMakeFiles/pn_topology_test.dir/topology/generators_test.cc.o.d"
+  "CMakeFiles/pn_topology_test.dir/topology/graph_test.cc.o"
+  "CMakeFiles/pn_topology_test.dir/topology/graph_test.cc.o.d"
+  "CMakeFiles/pn_topology_test.dir/topology/metrics_test.cc.o"
+  "CMakeFiles/pn_topology_test.dir/topology/metrics_test.cc.o.d"
+  "CMakeFiles/pn_topology_test.dir/topology/routing_traffic_test.cc.o"
+  "CMakeFiles/pn_topology_test.dir/topology/routing_traffic_test.cc.o.d"
+  "CMakeFiles/pn_topology_test.dir/topology/vlb_paths_test.cc.o"
+  "CMakeFiles/pn_topology_test.dir/topology/vlb_paths_test.cc.o.d"
+  "pn_topology_test"
+  "pn_topology_test.pdb"
+  "pn_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_twin_test.dir/twin/constraints_envelope_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/constraints_envelope_test.cc.o.d"
+  "CMakeFiles/pn_twin_test.dir/twin/diff_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/diff_test.cc.o.d"
+  "CMakeFiles/pn_twin_test.dir/twin/dryrun_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/dryrun_test.cc.o.d"
+  "CMakeFiles/pn_twin_test.dir/twin/inference_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/inference_test.cc.o.d"
+  "CMakeFiles/pn_twin_test.dir/twin/model_schema_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/model_schema_test.cc.o.d"
+  "CMakeFiles/pn_twin_test.dir/twin/serialize_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/serialize_test.cc.o.d"
+  "CMakeFiles/pn_twin_test.dir/twin/views_test.cc.o"
+  "CMakeFiles/pn_twin_test.dir/twin/views_test.cc.o.d"
+  "pn_twin_test"
+  "pn_twin_test.pdb"
+  "pn_twin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_twin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pn_common_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_geom_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_physical_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_twin_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_deploy_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pn_lifecycle_test[1]_include.cmake")

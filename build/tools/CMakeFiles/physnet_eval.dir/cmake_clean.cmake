@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physnet_eval.dir/physnet_eval.cpp.o"
+  "CMakeFiles/physnet_eval.dir/physnet_eval.cpp.o.d"
+  "physnet_eval"
+  "physnet_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physnet_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

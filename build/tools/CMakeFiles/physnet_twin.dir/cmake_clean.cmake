@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physnet_twin.dir/physnet_twin.cpp.o"
+  "CMakeFiles/physnet_twin.dir/physnet_twin.cpp.o.d"
+  "physnet_twin"
+  "physnet_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physnet_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
