@@ -3,6 +3,8 @@
 // "rapid" (§5.3), so we track the cost of the core algorithms.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "core/physnet.h"
 
 namespace {
@@ -129,6 +131,69 @@ void bm_simulate_deployment(benchmark::State& state) {
 }
 BENCHMARK(bm_simulate_deployment);
 
+void bm_evaluate_design_staged(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_design_staged(g, "x", opt));
+  }
+}
+BENCHMARK(bm_evaluate_design_staged)->Arg(8)->Arg(12);
+
+// 12 jellyfish points, the acceptance grid for the parallel sweep: the
+// jobs > 1 runs must show real wall-clock speedup over jobs = 1.
+std::vector<sweep_point> sweep_grid_12() {
+  std::vector<sweep_point> grid;
+  for (int i = 0; i < 12; ++i) {
+    const int switches = 48 + 8 * i;
+    jellyfish_params p;
+    p.switches = switches;
+    p.radix = 16;
+    p.hosts_per_switch = 8;
+    p.seed = 7;
+    grid.push_back(sweep_point{"jf-" + std::to_string(switches),
+                               [p] { return build_jellyfish(p); }});
+  }
+  return grid;
+}
+
+void bm_run_sweep(benchmark::State& state) {
+  const std::vector<sweep_point> grid = sweep_grid_12();
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  sweep_options sopt;
+  sopt.jobs = static_cast<int>(state.range(0));
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    const sweep_results res = run_sweep(grid, opt, sopt);
+    completed = res.reports.size();
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["points"] = static_cast<double>(completed);
+}
+BENCHMARK(bm_run_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Per-stage timing table for a representative evaluation, printed before
+// the benchmark runs so every bench log carries the pipeline breakdown.
+void print_stage_timing_table() {
+  const network_graph g = build_fat_tree(12, 100_gbps);
+  evaluation_options opt;
+  const evaluation ev = evaluate_design_staged(g, "ft12", opt);
+  stage_trace_table(ev.trace)
+      .print(std::cout, "evaluate_design stage timings (fat_tree k=12)");
+  std::cout << std::endl;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_stage_timing_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

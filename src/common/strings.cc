@@ -48,6 +48,21 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+std::string csv_field(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out += '"';
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string human_count(double v) {
   const double a = std::fabs(v);
   if (a >= 1e9) return str_format("%.2fG", v / 1e9);

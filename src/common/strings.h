@@ -18,6 +18,11 @@ namespace pn {
 
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
 
+// RFC-4180 CSV field: returns the value quoted when it contains a comma,
+// double quote, or newline (embedded quotes are doubled), verbatim
+// otherwise. Use for any free-form string emitted into a CSV cell.
+[[nodiscard]] std::string csv_field(std::string_view v);
+
 // Compact human formats used in printed tables: 12345 -> "12.3k", etc.
 [[nodiscard]] std::string human_count(double v);
 [[nodiscard]] std::string human_dollars(double usd);

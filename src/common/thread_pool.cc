@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pn {
+
+int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+thread_pool::thread_pool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  // The pool never outlives this frame, so capturing locals is safe.
+  const int spawned =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads), n));
+  thread_pool pool(spawned);
+  for (int t = 0; t < spawned; ++t) {
+    pool.submit(drain);
+  }
+  pool.wait_idle();
+}
+
+}  // namespace pn

@@ -1,0 +1,63 @@
+// A from-scratch fixed-size worker pool for CPU-bound fan-out.
+//
+// The sweep driver evaluates independent design points; each point is
+// seconds of pure computation, so a plain mutex-guarded queue is more than
+// fast enough and keeps the implementation auditable. No third-party
+// dependency, no thread-local state: determinism comes from the work
+// items themselves (each point derives its own seed), not from scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pn {
+
+// Hardware concurrency, clamped to at least 1 (the standard allows 0).
+[[nodiscard]] int default_thread_count();
+
+class thread_pool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1). Pass
+  // default_thread_count() to match the machine.
+  explicit thread_pool(int threads);
+  // Drains the queue, then joins every worker.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // wait_idle: queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for every i in [0, n), spreading iterations over `threads`
+// workers via an atomic cursor. threads <= 1 (or n <= 1) runs inline on
+// the caller's thread — the parallel and serial paths execute the same
+// per-item code, so results are identical whenever fn(i) depends only
+// on i.
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace pn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "common/check.h"
 #include "common/stats.h"
@@ -57,131 +58,204 @@ floorplan_params auto_size_floor(const network_graph& g,
   return p;
 }
 
-result<evaluation> evaluate_design(const network_graph& g,
-                                   const std::string& name,
-                                   const evaluation_options& opt) {
+evaluation evaluate_design_staged(const network_graph& g,
+                                  const std::string& name,
+                                  const evaluation_options& opt) {
   PN_CHECK(g.node_count() > 0);
-
-  const floorplan_params fpp =
-      opt.auto_size_floor ? auto_size_floor(g, opt.floor, opt.floor_headroom)
-                          : opt.floor;
 
   // The evaluation owns its floorplan (tray occupancy is mutated by
   // cabling) and its catalog (cable runs point into it) — build
-  // everything in place.
+  // everything in place. The floor/placement here are templates; the
+  // floor_sizing stage replaces them with the sized versions.
   evaluation ev{deployability_report{},
                 opt.cat,
-                floorplan(fpp),
-                placement(g.node_count(), floorplan(fpp)),
+                floorplan(opt.floor),
+                placement(g.node_count(), floorplan(opt.floor)),
                 cabling_plan{},
                 bundling_report{},
                 tech_sim_result{},
-                repair_sim_result{}};
-
-  // Placement.
-  result<placement> placed = [&]() -> result<placement> {
-    switch (opt.strategy) {
-      case placement_strategy::block:
-        return block_placement(g, ev.floor);
-      case placement_strategy::random:
-        return random_placement(g, ev.floor, opt.seed);
-      case placement_strategy::annealed: {
-        auto start = block_placement(g, ev.floor);
-        if (!start.is_ok()) return start.error();
-        anneal_options a = opt.anneal;
-        a.seed = opt.seed;
-        return anneal_placement(g, ev.floor, ev.cat,
-                                std::move(start).value(), a);
-      }
-    }
-    return invalid_argument_error("unknown placement strategy");
-  }();
-  if (!placed.is_ok()) return placed.error();
-  ev.place = std::move(placed).value();
-
-  // Cabling.
-  auto plan = plan_cabling(g, ev.place, ev.floor, ev.cat, opt.cabling);
-  if (!plan.is_ok()) return plan.error();
-  ev.cables = std::move(plan).value();
-
-  // Bundling.
-  ev.bundles = analyze_bundling(ev.cables, opt.deployment.bundling);
-
-  // Deployment simulation.
-  const work_order wo =
-      build_deployment_order(g, ev.place, ev.floor, ev.cables,
-                             opt.deployment);
-  tech_sim_params tsp = opt.technicians;
-  tsp.seed = opt.seed;
-  auto deploy_result = simulate_deployment(wo, tsp);
-  if (!deploy_result.is_ok()) return deploy_result.error();
-  ev.deployment = deploy_result.value();
-
-  // Repair simulation.
-  if (opt.run_repair_sim) {
-    repair_params rp = opt.repair;
-    rp.seed = opt.seed + 17;
-    ev.repairs =
-        simulate_repairs(g, ev.place, ev.floor, ev.cables, ev.cat, rp);
-  }
-
-  // Report assembly.
+                repair_sim_result{},
+                stage_trace{}};
   deployability_report& rep = ev.report;
-  rep.name = name;
-  rep.family = g.family;
-  rep.switches = g.node_count();
-  rep.hosts = g.total_hosts();
-  rep.links = g.live_edges().size();
+  stage_pipeline pipe(&ev.trace);
 
-  const path_length_stats pls = compute_path_length_stats(g);
-  rep.mean_path_length = pls.mean;
-  rep.diameter = pls.diameter;
-  if (opt.run_throughput) {
-    const traffic_matrix tm = uniform_traffic(g, opt.traffic_per_host);
-    rep.throughput_alpha_uniform = ecmp_throughput(g, tm).alpha;
-    rep.bisection_gbps_per_host =
-        estimate_bisection(g, opt.seed).per_host_gbps;
+  // Stage 1: abstract topology metrics (the traditional numbers the
+  // paper wants deployability metrics to sit beside).
+  path_length_stats pls{};
+  pipe.run(eval_stage::topology_metrics, [&](stage_record& rec) -> status {
+    pls = compute_path_length_stats(g);
+    if (opt.run_throughput) {
+      const traffic_matrix tm = uniform_traffic(g, opt.traffic_per_host);
+      rep.throughput_alpha_uniform = ecmp_throughput(g, tm).alpha;
+      rep.bisection_gbps_per_host =
+          estimate_bisection(g, opt.seed).per_host_gbps;
+    }
+    rec.add_counter("switches", static_cast<double>(g.node_count()));
+    rec.add_counter("links", static_cast<double>(g.live_edges().size()));
+    return status::ok();
+  });
+
+  // Stage 2: size the floor and rebuild the physical substrate on it.
+  pipe.run(eval_stage::floor_sizing, [&](stage_record& rec) -> status {
+    const floorplan_params fpp =
+        opt.auto_size_floor
+            ? auto_size_floor(g, opt.floor, opt.floor_headroom)
+            : opt.floor;
+    ev.floor = floorplan(fpp);
+    ev.place = placement(g.node_count(), ev.floor);
+    rec.add_counter("racks", static_cast<double>(ev.floor.rack_count()));
+    rec.add_counter("rows", static_cast<double>(fpp.rows));
+    return status::ok();
+  });
+
+  // Stage 3: placement.
+  pipe.run(eval_stage::placement, [&](stage_record& rec) -> status {
+    result<placement> placed = [&]() -> result<placement> {
+      switch (opt.strategy) {
+        case placement_strategy::block:
+          return block_placement(g, ev.floor);
+        case placement_strategy::random:
+          return random_placement(g, ev.floor, opt.seed);
+        case placement_strategy::annealed: {
+          auto start = block_placement(g, ev.floor);
+          if (!start.is_ok()) return start.error();
+          anneal_options a = opt.anneal;
+          a.seed = opt.seed;
+          return anneal_placement(g, ev.floor, ev.cat,
+                                  std::move(start).value(), a);
+        }
+      }
+      return invalid_argument_error("unknown placement strategy");
+    }();
+    if (!placed.is_ok()) return placed.error();
+    ev.place = std::move(placed).value();
+
+    std::set<std::size_t> racks_used;
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+      racks_used.insert(ev.place.rack_of(node_id{i}).index());
+    }
+    rec.add_counter("racks_used", static_cast<double>(racks_used.size()));
+    return status::ok();
+  });
+
+  // Stage 4: cabling.
+  pipe.run(eval_stage::cabling, [&](stage_record& rec) -> status {
+    auto plan = plan_cabling(g, ev.place, ev.floor, ev.cat, opt.cabling);
+    if (!plan.is_ok()) return plan.error();
+    ev.cables = std::move(plan).value();
+    rec.add_counter("runs", static_cast<double>(ev.cables.runs.size()));
+    rec.add_counter("optical_runs",
+                    static_cast<double>(ev.cables.optical_runs));
+    return status::ok();
+  });
+
+  // Stage 5: bundling.
+  pipe.run(eval_stage::bundling, [&](stage_record& rec) -> status {
+    ev.bundles = analyze_bundling(ev.cables, opt.deployment.bundling);
+    rec.add_counter("distinct_skus",
+                    static_cast<double>(ev.bundles.distinct_skus));
+    return status::ok();
+  });
+
+  // Stage 6: deployment simulation.
+  pipe.run(eval_stage::deploy_sim, [&](stage_record& rec) -> status {
+    const work_order wo =
+        build_deployment_order(g, ev.place, ev.floor, ev.cables,
+                               opt.deployment);
+    tech_sim_params tsp = opt.technicians;
+    tsp.seed = opt.seed;
+    auto deploy_result = simulate_deployment(wo, tsp);
+    if (!deploy_result.is_ok()) return deploy_result.error();
+    ev.deployment = deploy_result.value();
+    rec.add_counter("tasks",
+                    static_cast<double>(ev.deployment.tasks_executed));
+    rec.add_counter("defects_introduced",
+                    static_cast<double>(ev.deployment.defects_introduced));
+    return status::ok();
+  });
+
+  // Stage 7: repair simulation (optional).
+  if (opt.run_repair_sim) {
+    pipe.run(eval_stage::repair_sim, [&](stage_record& rec) -> status {
+      repair_params rp = opt.repair;
+      rp.seed = opt.seed + 17;
+      ev.repairs =
+          simulate_repairs(g, ev.place, ev.floor, ev.cables, ev.cat, rp);
+      rec.add_counter("failures",
+                      static_cast<double>(ev.repairs.switch_failures +
+                                          ev.repairs.port_failures +
+                                          ev.repairs.cable_failures +
+                                          ev.repairs.feed_failures));
+      return status::ok();
+    });
+  } else {
+    pipe.skip(eval_stage::repair_sim);
   }
 
-  for (std::size_t i = 0; i < g.node_count(); ++i) {
-    const node_info& n = g.node(node_id{i});
-    rep.switch_cost += ev.cat.switches().cost(n.radix, n.port_rate);
-    rep.switch_power += ev.cat.switches().power(n.radix, n.port_rate);
-  }
-  rep.cable_cost = ev.cables.cable_cost;
-  rep.transceiver_cost = ev.cables.transceiver_cost;
-  rep.cable_power = ev.cables.cable_power;
-  rep.capex_per_host =
-      rep.hosts > 0 ? rep.capex() / static_cast<double>(rep.hosts)
-                    : dollars{0.0};
+  // Stage 8: report assembly.
+  pipe.run(eval_stage::report, [&](stage_record&) -> status {
+    rep.name = name;
+    rep.family = g.family;
+    rep.switches = g.node_count();
+    rep.hosts = g.total_hosts();
+    rep.links = g.live_edges().size();
+    rep.mean_path_length = pls.mean;
+    rep.diameter = pls.diameter;
 
-  rep.time_to_deploy = ev.deployment.makespan;
-  rep.deploy_labor = ev.deployment.labor;
-  rep.first_pass_yield = ev.deployment.first_pass_yield;
-  rep.bundleability = ev.bundles.bundleability;
-  rep.distinct_bundle_skus = ev.bundles.distinct_skus;
-  rep.optics_fraction =
-      !ev.cables.runs.empty()
-          ? static_cast<double>(ev.cables.optical_runs) /
-                static_cast<double>(ev.cables.runs.size())
-          : 0.0;
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+      const node_info& n = g.node(node_id{i});
+      rep.switch_cost += ev.cat.switches().cost(n.radix, n.port_rate);
+      rep.switch_power += ev.cat.switches().power(n.radix, n.port_rate);
+    }
+    rep.cable_cost = ev.cables.cable_cost;
+    rep.transceiver_cost = ev.cables.transceiver_cost;
+    rep.cable_power = ev.cables.cable_power;
+    rep.capex_per_host =
+        rep.hosts > 0 ? rep.capex() / static_cast<double>(rep.hosts)
+                      : dollars{0.0};
 
-  sample_stats lengths;
-  for (const cable_run& r : ev.cables.runs) {
-    lengths.add(r.length.value());
-  }
-  if (!lengths.empty()) {
-    rep.mean_cable_length_m = lengths.mean();
-    rep.p95_cable_length_m = lengths.percentile(0.95);
-  }
-  rep.max_tray_fill = ev.cables.max_tray_fill;
-  for (const auto& [rk, fill] : ev.cables.plenum_fill) {
-    rep.max_plenum_fill = std::max(rep.max_plenum_fill, fill);
-  }
+    rep.time_to_deploy = ev.deployment.makespan;
+    rep.deploy_labor = ev.deployment.labor;
+    rep.first_pass_yield = ev.deployment.first_pass_yield;
+    rep.bundleability = ev.bundles.bundleability;
+    rep.distinct_bundle_skus = ev.bundles.distinct_skus;
+    rep.optics_fraction =
+        !ev.cables.runs.empty()
+            ? static_cast<double>(ev.cables.optical_runs) /
+                  static_cast<double>(ev.cables.runs.size())
+            : 0.0;
 
-  rep.availability = ev.repairs.availability;
-  rep.mean_mttr = ev.repairs.mean_mttr;
+    sample_stats lengths;
+    for (const cable_run& r : ev.cables.runs) {
+      lengths.add(r.length.value());
+    }
+    if (!lengths.empty()) {
+      rep.mean_cable_length_m = lengths.mean();
+      rep.p95_cable_length_m = lengths.percentile(0.95);
+    }
+    rep.max_tray_fill = ev.cables.max_tray_fill;
+    for (const auto& [rk, fill] : ev.cables.plenum_fill) {
+      rep.max_plenum_fill = std::max(rep.max_plenum_fill, fill);
+    }
+
+    rep.availability = ev.repairs.availability;
+    rep.mean_mttr = ev.repairs.mean_mttr;
+    return status::ok();
+  });
+
+  rep.eval_total_ms = ev.trace.total_ms();
   return ev;
+}
+
+result<evaluation> evaluate_design(const network_graph& g,
+                                   const std::string& name,
+                                   const evaluation_options& opt) {
+  evaluation ev = evaluate_design_staged(g, name, opt);
+  if (ev.trace.ok()) return ev;
+  const status err = ev.trace.first_error();
+  return status(err.code(),
+                std::string(eval_stage_name(*ev.trace.failed_stage())) +
+                    ": " + err.message());
 }
 
 }  // namespace pn

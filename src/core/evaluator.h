@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/pipeline.h"
 #include "core/report.h"
 #include "deploy/plan_builder.h"
 #include "deploy/repair_sim.h"
@@ -61,6 +62,8 @@ struct evaluation {
   bundling_report bundles;
   tech_sim_result deployment;
   repair_sim_result repairs;
+  // Per-stage wall time, outcome, and counters for this evaluation.
+  stage_trace trace;
 };
 
 // Sizes a floor for the design with headroom, preserving the template's
@@ -69,6 +72,17 @@ struct evaluation {
                                                const floorplan_params& base,
                                                double headroom);
 
+// Runs the staged pipeline (topology-metrics → floor-sizing → placement →
+// cabling → bundling → deploy-sim → repair-sim → report) and always
+// returns the evaluation with its stage trace populated. On failure the
+// trace names the failing stage (trace.failed_stage()) and the partial
+// results up to that stage remain valid; stages after it stay not_run.
+[[nodiscard]] evaluation evaluate_design_staged(const network_graph& g,
+                                                const std::string& name,
+                                                const evaluation_options& opt);
+
+// Convenience wrapper over evaluate_design_staged: errors out when any
+// stage failed, with the stage name prefixed onto the status message.
 [[nodiscard]] result<evaluation> evaluate_design(const network_graph& g,
                                                  const std::string& name,
                                                  const evaluation_options& opt);

@@ -1,0 +1,152 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+const char* eval_stage_name(eval_stage s) {
+  switch (s) {
+    case eval_stage::topology_metrics:
+      return "topology_metrics";
+    case eval_stage::floor_sizing:
+      return "floor_sizing";
+    case eval_stage::placement:
+      return "placement";
+    case eval_stage::cabling:
+      return "cabling";
+    case eval_stage::bundling:
+      return "bundling";
+    case eval_stage::deploy_sim:
+      return "deploy_sim";
+    case eval_stage::repair_sim:
+      return "repair_sim";
+    case eval_stage::report:
+      return "report";
+  }
+  return "unknown";
+}
+
+const std::array<eval_stage, eval_stage_count>& all_eval_stages() {
+  static const std::array<eval_stage, eval_stage_count> stages = {
+      eval_stage::topology_metrics, eval_stage::floor_sizing,
+      eval_stage::placement,        eval_stage::cabling,
+      eval_stage::bundling,         eval_stage::deploy_sim,
+      eval_stage::repair_sim,       eval_stage::report,
+  };
+  return stages;
+}
+
+const char* stage_outcome_name(stage_outcome o) {
+  switch (o) {
+    case stage_outcome::not_run:
+      return "not_run";
+    case stage_outcome::ok:
+      return "ok";
+    case stage_outcome::failed:
+      return "failed";
+    case stage_outcome::skipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+void stage_record::add_counter(std::string name, double value) {
+  counters.push_back(stage_counter{std::move(name), value});
+}
+
+stage_trace::stage_trace() {
+  stages.resize(eval_stage_count);
+  for (std::size_t i = 0; i < eval_stage_count; ++i) {
+    stages[i].stage = all_eval_stages()[i];
+  }
+}
+
+stage_record& stage_trace::at(eval_stage s) {
+  return stages[static_cast<std::size_t>(s)];
+}
+
+const stage_record& stage_trace::at(eval_stage s) const {
+  return stages[static_cast<std::size_t>(s)];
+}
+
+double stage_trace::total_ms() const {
+  double total = 0.0;
+  for (const stage_record& r : stages) total += r.wall_ms;
+  return total;
+}
+
+bool stage_trace::ok() const {
+  for (const stage_record& r : stages) {
+    if (r.outcome == stage_outcome::failed) return false;
+  }
+  return true;
+}
+
+std::optional<eval_stage> stage_trace::failed_stage() const {
+  for (const stage_record& r : stages) {
+    if (r.outcome == stage_outcome::failed) return r.stage;
+  }
+  return std::nullopt;
+}
+
+status stage_trace::first_error() const {
+  for (const stage_record& r : stages) {
+    if (r.outcome == stage_outcome::failed) return r.error;
+  }
+  return status::ok();
+}
+
+stage_pipeline::stage_pipeline(stage_trace* trace) : trace_(trace) {
+  PN_CHECK(trace != nullptr);
+}
+
+status stage_pipeline::run(eval_stage s,
+                           const std::function<status(stage_record&)>& fn) {
+  stage_record& rec = trace_->at(s);
+  if (failed_) return trace_->first_error();  // record stays not_run
+
+  const auto start = std::chrono::steady_clock::now();
+  status st = fn(rec);
+  const auto end = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  // steady_clock can legally tick coarser than the stage's runtime; clamp
+  // so "this stage ran" is always visible in the trace.
+  rec.wall_ms = ms > 0.0 ? ms : 1e-6;
+
+  if (st.is_ok()) {
+    rec.outcome = stage_outcome::ok;
+  } else {
+    rec.outcome = stage_outcome::failed;
+    rec.error = st;
+    failed_ = true;
+  }
+  return st;
+}
+
+void stage_pipeline::skip(eval_stage s) {
+  if (failed_) return;
+  trace_->at(s).outcome = stage_outcome::skipped;
+}
+
+text_table stage_trace_table(const stage_trace& t) {
+  text_table tbl({"stage", "outcome", "wall_ms", "counters"});
+  for (const stage_record& r : t.stages) {
+    std::vector<std::string> parts;
+    parts.reserve(r.counters.size());
+    for (const stage_counter& c : r.counters) {
+      parts.push_back(str_format("%s=%.0f", c.name.c_str(), c.value));
+    }
+    tbl.row()
+        .cell(eval_stage_name(r.stage))
+        .cell(stage_outcome_name(r.outcome))
+        .cell(r.wall_ms, 3)
+        .cell(join(parts, " "));
+  }
+  return tbl;
+}
+
+}  // namespace pn

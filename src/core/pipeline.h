@@ -1,0 +1,115 @@
+// Staged-pipeline instrumentation for the design evaluator.
+//
+// evaluate_design is a fixed sequence of stages (topology metrics →
+// floor sizing → placement → cabling → bundling → deployment sim →
+// repair sim → report). The pipeline runner executes those stages in
+// order and records, per stage: wall time, outcome (ok / failed /
+// skipped / not_run), stage-specific counters, and the failing status.
+// The resulting stage_trace rides on every evaluation, so sweeps can
+// attribute both time and failures to a stage instead of reporting an
+// opaque error string.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+
+namespace pn {
+
+// The fixed stages of evaluate_design, in execution order.
+enum class eval_stage : std::uint8_t {
+  topology_metrics,
+  floor_sizing,
+  placement,
+  cabling,
+  bundling,
+  deploy_sim,
+  repair_sim,
+  report,
+};
+
+inline constexpr std::size_t eval_stage_count = 8;
+
+[[nodiscard]] const char* eval_stage_name(eval_stage s);
+
+// All stages in execution order (for iteration / CSV headers).
+[[nodiscard]] const std::array<eval_stage, eval_stage_count>&
+all_eval_stages();
+
+enum class stage_outcome : std::uint8_t {
+  not_run,  // an earlier stage failed before this one started
+  ok,
+  failed,
+  skipped,  // disabled by options (e.g. run_repair_sim = false)
+};
+
+[[nodiscard]] const char* stage_outcome_name(stage_outcome o);
+
+// One named quantity a stage chose to record (e.g. cabling: "runs").
+struct stage_counter {
+  std::string name;
+  double value = 0.0;
+};
+
+struct stage_record {
+  eval_stage stage = eval_stage::topology_metrics;
+  stage_outcome outcome = stage_outcome::not_run;
+  status error;         // meaningful only when outcome == failed
+  double wall_ms = 0.0; // > 0 for every stage that actually ran
+  std::vector<stage_counter> counters;
+
+  void add_counter(std::string name, double value);
+};
+
+// Per-stage trace for one evaluate_design call. Always holds exactly
+// eval_stage_count records, one per stage, in execution order.
+struct stage_trace {
+  stage_trace();
+
+  std::vector<stage_record> stages;
+
+  [[nodiscard]] stage_record& at(eval_stage s);
+  [[nodiscard]] const stage_record& at(eval_stage s) const;
+
+  // Sum of wall time across stages that ran.
+  [[nodiscard]] double total_ms() const;
+  // True iff no stage failed.
+  [[nodiscard]] bool ok() const;
+  // The first (and only, since failures short-circuit) failing stage.
+  [[nodiscard]] std::optional<eval_stage> failed_stage() const;
+  // The failing stage's status (ok status when nothing failed).
+  [[nodiscard]] status first_error() const;
+};
+
+// Runs stages in order against a trace. After a stage fails, subsequent
+// run() calls are no-ops (their records stay not_run), so the evaluator
+// body can stay a straight line of run() calls with one exit check.
+class stage_pipeline {
+ public:
+  explicit stage_pipeline(stage_trace* trace);
+
+  // Executes fn (unless a previous stage failed), timing it and storing
+  // the outcome. fn receives its stage_record to attach counters.
+  status run(eval_stage s, const std::function<status(stage_record&)>& fn);
+
+  // Marks a stage disabled-by-options. Records outcome skipped, zero time.
+  void skip(eval_stage s);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  stage_trace* trace_;
+  bool failed_ = false;
+};
+
+// Human-readable per-stage table (stage, outcome, wall ms, counters) for
+// --trace output and bench timing summaries.
+[[nodiscard]] text_table stage_trace_table(const stage_trace& t);
+
+}  // namespace pn

@@ -59,6 +59,10 @@ struct deployability_report {
   // Expansion (family-specific; links that must be physically rewired to
   // add one host-facing switch / unit of capacity).
   double rewires_per_added_switch = 0.0;
+
+  // Wall time the staged evaluator spent producing this report, summed
+  // over stages (see evaluation::trace for the per-stage breakdown).
+  double eval_total_ms = 0.0;
 };
 
 }  // namespace pn

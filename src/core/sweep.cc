@@ -1,27 +1,73 @@
 #include "core/sweep.h"
 
 #include <sstream>
+#include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace pn {
 
+std::string sweep_failure::to_string() const {
+  return label + ": [" + eval_stage_name(stage) + "] " + error.to_string();
+}
+
+std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                               std::size_t point_index) {
+  // splitmix64 finalizer over base + (index+1)·golden-gamma: index 0 must
+  // not collapse onto the base seed itself.
+  std::uint64_t z = base_seed + (static_cast<std::uint64_t>(point_index) + 1) *
+                                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 sweep_results run_sweep(const std::vector<sweep_point>& grid,
-                        const evaluation_options& opt) {
-  sweep_results out;
-  for (const sweep_point& point : grid) {
+                        const evaluation_options& opt,
+                        const sweep_options& sopt) {
+  // Each point writes only its own slot, so workers never contend;
+  // ordering is restored by the assembly loop below.
+  struct point_slot {
+    bool ok = false;
+    deployability_report report;
+    stage_trace trace;
+    sweep_failure failure;
+  };
+  std::vector<point_slot> slots(grid.size());
+
+  const int jobs = sopt.jobs == 0 ? default_thread_count() : sopt.jobs;
+  parallel_for(jobs, grid.size(), [&](std::size_t i) {
+    const sweep_point& point = grid[i];
+    evaluation_options popt = opt;
+    popt.seed = sweep_point_seed(opt.seed, i);
     const network_graph g = point.build();
-    auto ev = evaluate_design(g, point.label, opt);
-    if (ev.is_ok()) {
-      out.reports.push_back(std::move(ev).value().report);
+    evaluation ev = evaluate_design_staged(g, point.label, popt);
+    point_slot& slot = slots[i];
+    if (ev.trace.ok()) {
+      slot.ok = true;
+      slot.report = std::move(ev.report);
+      slot.trace = std::move(ev.trace);
     } else {
-      out.failures.push_back(point.label + ": " + ev.error().to_string());
+      slot.failure = sweep_failure{i, point.label, *ev.trace.failed_stage(),
+                                   ev.trace.first_error()};
+    }
+  });
+
+  sweep_results out;
+  for (point_slot& slot : slots) {
+    if (slot.ok) {
+      out.reports.push_back(std::move(slot.report));
+      out.traces.push_back(std::move(slot.trace));
+    } else {
+      out.failures.push_back(std::move(slot.failure));
     }
   }
   return out;
 }
 
-std::string sweep_to_csv(const sweep_results& results) {
+std::string sweep_to_csv(const sweep_results& results,
+                         const sweep_csv_options& copt) {
   std::ostringstream out;
   out << "name,family,switches,hosts,links,mean_path,diameter,"
          "tput_alpha_uniform,bisection_gbps_per_host,switch_cost_usd,"
@@ -30,23 +76,52 @@ std::string sweep_to_csv(const sweep_results& results) {
          "first_pass_yield,bundleability,distinct_bundle_skus,"
          "optics_fraction,mean_cable_length_m,p95_cable_length_m,"
          "max_tray_fill,max_plenum_fill,availability,mean_mttr_h,"
-         "rewires_per_added_switch\n";
-  for (const deployability_report& r : results.reports) {
-    out << str_format(
-        "%s,%s,%zu,%zu,%zu,%.4f,%d,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,"
-        "%.1f,%.1f,%.3f,%.3f,%.5f,%.4f,%zu,%.4f,%.2f,%.2f,%.4f,%.4f,"
-        "%.6f,%.3f,%.2f\n",
-        r.name.c_str(), r.family.c_str(), r.switches, r.hosts, r.links,
-        r.mean_path_length, r.diameter, r.throughput_alpha_uniform,
-        r.bisection_gbps_per_host, r.switch_cost.value(),
-        r.cable_cost.value(), r.transceiver_cost.value(),
-        r.capex().value(), r.capex_per_host.value(),
-        r.switch_power.value(), r.cable_power.value(),
-        r.time_to_deploy.value(), r.deploy_labor.value(),
-        r.first_pass_yield, r.bundleability, r.distinct_bundle_skus,
-        r.optics_fraction, r.mean_cable_length_m, r.p95_cable_length_m,
-        r.max_tray_fill, r.max_plenum_fill, r.availability,
-        r.mean_mttr.value(), r.rewires_per_added_switch);
+         "rewires_per_added_switch";
+  if (copt.stage_timings) {
+    out << ",t_total_ms";
+    for (const eval_stage s : all_eval_stages()) {
+      out << ",t_" << eval_stage_name(s) << "_ms";
+    }
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < results.reports.size(); ++i) {
+    const deployability_report& r = results.reports[i];
+    out << csv_field(r.name) << ',' << csv_field(r.family) << ','
+        << str_format(
+               "%zu,%zu,%zu,%.4f,%d,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,"
+               "%.1f,%.1f,%.3f,%.3f,%.5f,%.4f,%zu,%.4f,%.2f,%.2f,%.4f,"
+               "%.4f,%.6f,%.3f,%.2f",
+               r.switches, r.hosts, r.links, r.mean_path_length, r.diameter,
+               r.throughput_alpha_uniform, r.bisection_gbps_per_host,
+               r.switch_cost.value(), r.cable_cost.value(),
+               r.transceiver_cost.value(), r.capex().value(),
+               r.capex_per_host.value(), r.switch_power.value(),
+               r.cable_power.value(), r.time_to_deploy.value(),
+               r.deploy_labor.value(), r.first_pass_yield, r.bundleability,
+               r.distinct_bundle_skus, r.optics_fraction,
+               r.mean_cable_length_m, r.p95_cable_length_m, r.max_tray_fill,
+               r.max_plenum_fill, r.availability, r.mean_mttr.value(),
+               r.rewires_per_added_switch);
+    if (copt.stage_timings && i < results.traces.size()) {
+      const stage_trace& t = results.traces[i];
+      out << str_format(",%.3f", t.total_ms());
+      for (const eval_stage s : all_eval_stages()) {
+        out << str_format(",%.3f", t.at(s).wall_ms);
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string sweep_failures_to_csv(const sweep_results& results) {
+  std::ostringstream out;
+  out << "point_index,label,stage,status,message\n";
+  for (const sweep_failure& f : results.failures) {
+    out << f.point_index << ',' << csv_field(f.label) << ','
+        << eval_stage_name(f.stage) << ','
+        << status_code_name(f.error.code()) << ','
+        << csv_field(f.error.message()) << "\n";
   }
   return out.str();
 }

@@ -3,14 +3,21 @@
 // material for the "well-specified objectives and metrics" the paper
 // hopes researchers will optimize against (§5.4), without everyone
 // re-writing the evaluation loop.
+//
+// Points are independent, so the driver fans them out over a thread pool
+// (sweep_options::jobs). Each point evaluates under its own seed derived
+// from (options.seed, point index); results are emitted in input order,
+// so a parallel sweep is bit-identical to a serial one.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/evaluator.h"
+#include "core/pipeline.h"
 
 namespace pn {
 
@@ -19,17 +26,56 @@ struct sweep_point {
   std::function<network_graph()> build;
 };
 
-struct sweep_results {
-  std::vector<deployability_report> reports;  // one per completed point
-  std::vector<std::string> failures;          // "label: error" for the rest
+// A failed sweep point, attributed to the pipeline stage that failed —
+// structured so callers can aggregate by stage instead of parsing
+// pre-formatted strings.
+struct sweep_failure {
+  std::size_t point_index = 0;              // position in the input grid
+  std::string label;
+  eval_stage stage = eval_stage::topology_metrics;
+  status error;
+
+  // "label: [stage] message" for logs.
+  [[nodiscard]] std::string to_string() const;
 };
 
-// Evaluates every point with the same options (seed fixed across points
-// so differences are design differences, not noise).
+struct sweep_results {
+  std::vector<deployability_report> reports;  // completed points, input order
+  std::vector<stage_trace> traces;            // parallel to `reports`
+  std::vector<sweep_failure> failures;        // failed points, input order
+};
+
+struct sweep_options {
+  // Worker threads evaluating points concurrently. 1 = serial on the
+  // caller's thread; 0 = one worker per hardware thread.
+  int jobs = 1;
+};
+
+// Deterministic per-point seed: a splitmix64 mix of the sweep's base seed
+// and the point index. Identical in serial and parallel mode, and distinct
+// across points so repeated designs in one grid do not share RNG streams.
+[[nodiscard]] std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                                             std::size_t point_index);
+
+// Evaluates every point with the same options except the derived per-point
+// seed. Results are in input order regardless of jobs.
 [[nodiscard]] sweep_results run_sweep(const std::vector<sweep_point>& grid,
-                                      const evaluation_options& opt);
+                                      const evaluation_options& opt,
+                                      const sweep_options& sopt = {});
+
+struct sweep_csv_options {
+  // Append per-stage wall-time columns (t_total_ms, t_<stage>_ms...).
+  // Off by default so CSVs of identical sweeps compare byte-for-byte
+  // (wall times are nondeterministic).
+  bool stage_timings = false;
+};
 
 // All report fields, machine-readable. One header row; one row per report.
-[[nodiscard]] std::string sweep_to_csv(const sweep_results& results);
+// Free-form fields (name, family) are RFC-4180 escaped.
+[[nodiscard]] std::string sweep_to_csv(const sweep_results& results,
+                                       const sweep_csv_options& copt = {});
+
+// Failed points as CSV: point_index,label,stage,status,message.
+[[nodiscard]] std::string sweep_failures_to_csv(const sweep_results& results);
 
 }  // namespace pn

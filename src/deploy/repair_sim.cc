@@ -52,9 +52,17 @@ repair_sim_result simulate_repairs(const network_graph& g,
                                    const cabling_plan& plan,
                                    const catalog& cat,
                                    const repair_params& p) {
+  rng r(p.seed);
+  return simulate_repairs(g, pl, fp, plan, cat, p, r);
+}
+
+repair_sim_result simulate_repairs(const network_graph& g,
+                                   const placement& pl, const floorplan& fp,
+                                   const cabling_plan& plan,
+                                   const catalog& cat,
+                                   const repair_params& p, rng& r) {
   PN_CHECK(p.horizon.value() > 0.0);
   PN_CHECK(p.repair_technicians >= 0);
-  rng r(p.seed);
   repair_sim_result out;
 
   // Incident link capacity per node (what a chassis drain takes out).

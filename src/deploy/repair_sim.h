@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "physical/cabling.h"
 #include "physical/catalog.h"
@@ -88,11 +89,21 @@ struct repair_sim_result {
   hours queueing_hours{0.0};
 };
 
+// Seeds a fresh generator from p.seed.
 [[nodiscard]] repair_sim_result simulate_repairs(const network_graph& g,
                                                  const placement& pl,
                                                  const floorplan& fp,
                                                  const cabling_plan& plan,
                                                  const catalog& cat,
                                                  const repair_params& p);
+
+// Same, drawing randomness from an injected stream (see tech_sim.h).
+[[nodiscard]] repair_sim_result simulate_repairs(const network_graph& g,
+                                                 const placement& pl,
+                                                 const floorplan& fp,
+                                                 const cabling_plan& plan,
+                                                 const catalog& cat,
+                                                 const repair_params& p,
+                                                 rng& r);
 
 }  // namespace pn

@@ -14,13 +14,19 @@ namespace pn {
 
 result<tech_sim_result> simulate_deployment(const work_order& wo,
                                             const tech_sim_params& p) {
+  rng r(p.seed);
+  return simulate_deployment(wo, p, r);
+}
+
+result<tech_sim_result> simulate_deployment(const work_order& wo,
+                                            const tech_sim_params& p,
+                                            rng& r) {
   PN_CHECK(p.technicians > 0);
   PN_CHECK(p.walk_speed_m_per_min > 0.0);
   auto order_or = wo.topological_order();
   if (!order_or.is_ok()) return order_or.error();
   const std::vector<task_id>& order = order_or.value();
 
-  rng r(p.seed);
   tech_sim_result out;
 
   struct tech_state {

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "deploy/workorder.h"
 
@@ -45,8 +46,15 @@ struct tech_sim_result {
   std::map<std::string, double> hours_by_kind;
 };
 
-// Fails (invalid_argument) only on a cyclic work order.
+// Fails (invalid_argument) only on a cyclic work order. Seeds a fresh
+// generator from p.seed.
 [[nodiscard]] result<tech_sim_result> simulate_deployment(
     const work_order& wo, const tech_sim_params& p);
+
+// Same, drawing randomness from an injected stream: callers running many
+// simulations (sweeps, lifecycle models) hand each one its own substream
+// instead of round-tripping through a seed field.
+[[nodiscard]] result<tech_sim_result> simulate_deployment(
+    const work_order& wo, const tech_sim_params& p, rng& r);
 
 }  // namespace pn

@@ -36,6 +36,19 @@ TEST(strings, starts_with) {
   EXPECT_FALSE(starts_with("pod0", "pod0/tor1"));
 }
 
+TEST(strings, csv_field_plain_values_pass_through) {
+  EXPECT_EQ(csv_field("fat_tree"), "fat_tree");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("k=8 r=16"), "k=8 r=16");
+}
+
+TEST(strings, csv_field_quotes_commas_quotes_and_newlines) {
+  EXPECT_EQ(csv_field("ft,k=8"), "\"ft,k=8\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csv_field("a\rb"), "\"a\rb\"");
+}
+
 TEST(strings, human_count) {
   EXPECT_EQ(human_count(950), "950");
   EXPECT_EQ(human_count(12345), "12.3k");

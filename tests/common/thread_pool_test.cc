@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace pn {
+namespace {
+
+TEST(thread_pool, runs_all_submitted_tasks) {
+  std::atomic<int> count{0};
+  thread_pool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(thread_pool, wait_idle_is_reusable) {
+  std::atomic<int> count{0};
+  thread_pool pool(2);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(thread_pool, destructor_drains_queue) {
+  std::atomic<int> count{0};
+  {
+    thread_pool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(thread_pool, clamps_to_one_worker) {
+  thread_pool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(parallel_for, covers_every_index_exactly_once) {
+  for (const int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(threads, hits.size(),
+                 [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(parallel_for, zero_items_is_a_noop) {
+  parallel_for(4, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(default_thread_count, positive) {
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,202 @@
+// Staged-pipeline + parallel-sweep coverage: trace population, parallel
+// vs. serial bit-identity, structured failure attribution, CSV escaping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strings.h"
+#include "core/sweep.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+evaluation_options fast_options() {
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  return opt;
+}
+
+std::vector<sweep_point> fat_tree_grid() {
+  // 12 points: fat trees at three sizes, four seeds' worth of labels each
+  // via jellyfish designs, so the grid is heterogeneous.
+  std::vector<sweep_point> grid;
+  for (const int k : {4, 6, 8}) {
+    grid.push_back(sweep_point{str_format("ft-k=%d", k),
+                               [k] { return build_fat_tree(k, 100_gbps); }});
+  }
+  for (int i = 0; i < 9; ++i) {
+    jellyfish_params p;
+    p.switches = 24 + 4 * i;
+    p.radix = 12;
+    p.hosts_per_switch = 6;
+    p.seed = 11;
+    grid.push_back(sweep_point{str_format("jf-%d", p.switches),
+                               [p] { return build_jellyfish(p); }});
+  }
+  return grid;
+}
+
+TEST(stage_trace, populated_on_success) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = true;
+  opt.repair.horizon = hours{365.0 * 24};
+  const evaluation ev = evaluate_design_staged(g, "ft4", opt);
+  ASSERT_TRUE(ev.trace.ok());
+  ASSERT_EQ(ev.trace.stages.size(), eval_stage_count);
+  for (const stage_record& r : ev.trace.stages) {
+    EXPECT_EQ(r.outcome, stage_outcome::ok)
+        << eval_stage_name(r.stage);
+    EXPECT_GT(r.wall_ms, 0.0) << eval_stage_name(r.stage);
+  }
+  EXPECT_GT(ev.trace.total_ms(), 0.0);
+  EXPECT_GT(ev.report.eval_total_ms, 0.0);
+  EXPECT_FALSE(ev.trace.failed_stage().has_value());
+
+  // Stage-specific counters made it in.
+  const stage_record& cabling = ev.trace.at(eval_stage::cabling);
+  ASSERT_FALSE(cabling.counters.empty());
+  EXPECT_EQ(cabling.counters[0].name, "runs");
+  EXPECT_GT(cabling.counters[0].value, 0.0);
+}
+
+TEST(stage_trace, repair_stage_skipped_when_disabled) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const evaluation ev = evaluate_design_staged(g, "ft4", fast_options());
+  ASSERT_TRUE(ev.trace.ok());
+  EXPECT_EQ(ev.trace.at(eval_stage::repair_sim).outcome,
+            stage_outcome::skipped);
+  EXPECT_EQ(ev.trace.at(eval_stage::deploy_sim).outcome, stage_outcome::ok);
+}
+
+TEST(stage_trace, failure_attributed_to_placement_stage) {
+  // A floor too small for the design (k=8 needs ~336 RU, the 2x2 floor
+  // has 168): placement must be the failing stage, stages before it ok,
+  // stages after it not_run.
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt = fast_options();
+  opt.auto_size_floor = false;
+  opt.floor.rows = 2;
+  opt.floor.racks_per_row = 2;
+  const evaluation ev = evaluate_design_staged(g, "ft8-tiny", opt);
+  ASSERT_FALSE(ev.trace.ok());
+  ASSERT_TRUE(ev.trace.failed_stage().has_value());
+  EXPECT_EQ(*ev.trace.failed_stage(), eval_stage::placement);
+  EXPECT_EQ(ev.trace.first_error().code(), status_code::capacity_exceeded);
+  EXPECT_EQ(ev.trace.at(eval_stage::floor_sizing).outcome,
+            stage_outcome::ok);
+  EXPECT_EQ(ev.trace.at(eval_stage::cabling).outcome,
+            stage_outcome::not_run);
+  EXPECT_EQ(ev.trace.at(eval_stage::report).outcome, stage_outcome::not_run);
+
+  // The wrapper surfaces the stage in the error message.
+  const auto wrapped = evaluate_design(g, "ft8-tiny", opt);
+  ASSERT_FALSE(wrapped.is_ok());
+  EXPECT_NE(wrapped.error().message().find("placement"), std::string::npos);
+}
+
+TEST(sweep_parallel, jobs8_bit_identical_to_serial_on_12_point_grid) {
+  const std::vector<sweep_point> grid = fat_tree_grid();
+  ASSERT_EQ(grid.size(), 12u);
+  const evaluation_options opt = fast_options();
+  sweep_options serial;
+  serial.jobs = 1;
+  sweep_options parallel;
+  parallel.jobs = 8;
+  const sweep_results a = run_sweep(grid, opt, serial);
+  const sweep_results b = run_sweep(grid, opt, parallel);
+  ASSERT_EQ(a.reports.size(), 12u);
+  ASSERT_EQ(b.reports.size(), 12u);
+  EXPECT_TRUE(a.failures.empty());
+  EXPECT_TRUE(b.failures.empty());
+  // Byte-identical CSV (timings excluded — they are wall-clock noise).
+  EXPECT_EQ(sweep_to_csv(a), sweep_to_csv(b));
+  // And input order is preserved.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(a.reports[i].name, grid[i].label);
+  }
+}
+
+TEST(sweep_parallel, failure_reports_failing_stage_and_point) {
+  std::vector<sweep_point> grid{
+      {"ok-k=4", [] { return build_fat_tree(4, 100_gbps); }},
+      {"too-big-k=8", [] { return build_fat_tree(8, 100_gbps); }},
+  };
+  evaluation_options opt = fast_options();
+  opt.auto_size_floor = false;
+  opt.floor.rows = 2;
+  opt.floor.racks_per_row = 2;  // 168 RU: fits k=4 (~52), not k=8 (~336)
+  sweep_options sopt;
+  sopt.jobs = 4;
+  const sweep_results res = run_sweep(grid, opt, sopt);
+  ASSERT_EQ(res.reports.size(), 1u);
+  ASSERT_EQ(res.failures.size(), 1u);
+  const sweep_failure& f = res.failures[0];
+  EXPECT_EQ(f.point_index, 1u);
+  EXPECT_EQ(f.label, "too-big-k=8");
+  EXPECT_EQ(f.stage, eval_stage::placement);
+  EXPECT_EQ(f.error.code(), status_code::capacity_exceeded);
+  EXPECT_NE(f.to_string().find("[placement]"), std::string::npos);
+
+  const std::string csv = sweep_failures_to_csv(res);
+  EXPECT_NE(csv.find("too-big-k=8,placement,capacity_exceeded"),
+            std::string::npos);
+}
+
+TEST(sweep_parallel, per_point_seeds_distinct_and_deterministic) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) {
+    seeds.insert(sweep_point_seed(1, i));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_EQ(sweep_point_seed(42, 7), sweep_point_seed(42, 7));
+  EXPECT_NE(sweep_point_seed(42, 7), sweep_point_seed(43, 7));
+}
+
+TEST(sweep_csv, name_with_comma_is_escaped) {
+  std::vector<sweep_point> grid{
+      {"ft,k=4", [] { return build_fat_tree(4, 100_gbps); }}};
+  const sweep_results res = run_sweep(grid, fast_options());
+  ASSERT_EQ(res.reports.size(), 1u);
+  const std::string csv = sweep_to_csv(res);
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[1], "\"ft,k=4\",fat_tree,"));
+  // Column count survives the embedded comma: the quoted field parses as
+  // one cell, so raw-splitting yields exactly one extra separator.
+  EXPECT_EQ(split(lines[1], ',').size(), split(lines[0], ',').size() + 1);
+}
+
+TEST(sweep_csv, stage_timing_columns_present_when_requested) {
+  std::vector<sweep_point> grid{
+      {"k=4", [] { return build_fat_tree(4, 100_gbps); }}};
+  const sweep_results res = run_sweep(grid, fast_options());
+  sweep_csv_options copt;
+  copt.stage_timings = true;
+  const std::string csv = sweep_to_csv(res, copt);
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("t_total_ms"), std::string::npos);
+  EXPECT_NE(lines[0].find("t_placement_ms"), std::string::npos);
+  EXPECT_EQ(split(lines[0], ',').size(), split(lines[1], ',').size());
+}
+
+TEST(sweep_parallel, oversubscribed_jobs_handle_small_grid) {
+  // More workers than points must not deadlock or drop points.
+  std::vector<sweep_point> grid{
+      {"k=4", [] { return build_fat_tree(4, 100_gbps); }},
+      {"k=6", [] { return build_fat_tree(6, 100_gbps); }}};
+  sweep_options sopt;
+  sopt.jobs = 16;
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  EXPECT_EQ(res.reports.size(), 2u);
+  EXPECT_EQ(res.traces.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pn

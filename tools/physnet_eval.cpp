@@ -3,15 +3,22 @@
 //   physnet_eval --family=fat_tree --size=8
 //   physnet_eval --family=jellyfish --size=64 --strategy=annealed --repair
 //   physnet_eval --family=dragonfly --size=9 --dot=fabric.dot
+//   physnet_eval --family=fat_tree --sweep=4,6,8,10 --jobs=4 --trace
 //
 // Families: fat_tree (size = k), leaf_spine (size = leaves),
 // jellyfish / xpander (size = switches), flattened_butterfly (size = dim,
 // 2-D), slim_fly (size = q), vl2 (size = tors), dragonfly (size = groups),
 // jupiter_fat_tree / jupiter_direct (size = aggregation blocks).
+//
+// --sweep=S1,S2,... evaluates the family at each size via the parallel
+// sweep driver (--jobs workers) and prints CSV instead of tables.
+// --trace prints the per-stage pipeline timing table (single eval) or
+// appends per-stage timing columns to the CSV (sweep mode).
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/physnet.h"
 
@@ -26,6 +33,9 @@ struct cli_args {
   std::string strategy = "block";
   std::uint64_t seed = 1;
   bool repair = false;
+  bool trace = false;
+  int jobs = 1;
+  std::vector<int> sweep_sizes;  // empty = single-design mode
   std::string dot_file;
 };
 
@@ -46,6 +56,22 @@ bool parse_args(int argc, char** argv, cli_args& out) {
       out.seed = std::stoull(value);
     } else if (key == "--repair") {
       out.repair = true;
+    } else if (key == "--trace") {
+      out.trace = true;
+    } else if (key == "--jobs") {
+      out.jobs = std::stoi(value);
+      if (out.jobs < 0) {
+        std::cerr << "--jobs must be >= 0\n";
+        return false;
+      }
+    } else if (key == "--sweep") {
+      for (const std::string& part : split(value, ',')) {
+        if (!part.empty()) out.sweep_sizes.push_back(std::stoi(part));
+      }
+      if (out.sweep_sizes.empty()) {
+        std::cerr << "--sweep needs a comma-separated size list\n";
+        return false;
+      }
     } else if (key == "--dot") {
       out.dot_file = value;
     } else if (key == "--help" || key == "-h") {
@@ -126,24 +152,55 @@ result<network_graph> build_family(const std::string& family, int size,
 
 }  // namespace
 
+int run_sweep_mode(const cli_args& args, const evaluation_options& opt) {
+  // Validate every size up front: builders report bad parameters via
+  // result<>, and a failure inside a sweep worker would be unrecoverable.
+  for (const int size : args.sweep_sizes) {
+    const auto g = build_family(args.family, size, args.seed);
+    if (!g.is_ok()) {
+      std::cerr << "cannot build " << args.family << "/" << size << ": "
+                << g.error().to_string() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<sweep_point> grid;
+  grid.reserve(args.sweep_sizes.size());
+  for (const int size : args.sweep_sizes) {
+    const std::string family = args.family;
+    const std::uint64_t seed = args.seed;
+    grid.push_back(sweep_point{
+        args.family + "/" + std::to_string(size), [family, size, seed] {
+          // Validated above; value() would throw only on a racing bug.
+          return std::move(build_family(family, size, seed)).value();
+        }});
+  }
+
+  sweep_options sopt;
+  sopt.jobs = args.jobs;
+  const sweep_results res = run_sweep(grid, opt, sopt);
+
+  sweep_csv_options copt;
+  copt.stage_timings = args.trace;
+  std::cout << sweep_to_csv(res, copt);
+  if (!res.failures.empty()) {
+    std::cerr << sweep_failures_to_csv(res);
+    return 1;
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   cli_args args;
   if (!parse_args(argc, argv, args)) {
     std::cerr
         << "usage: physnet_eval [--family=NAME] [--size=N] "
            "[--strategy=block|random|annealed] [--seed=N] [--repair] "
-           "[--dot=FILE]\n"
+           "[--trace] [--sweep=S1,S2,...] [--jobs=N] [--dot=FILE]\n"
            "families: fat_tree leaf_spine jellyfish xpander "
            "flattened_butterfly slim_fly vl2 dragonfly jupiter_fat_tree "
            "jupiter_direct\n";
     return 2;
-  }
-
-  auto graph = build_family(args.family, args.size, args.seed);
-  if (!graph.is_ok()) {
-    std::cerr << "cannot build design: " << graph.error().to_string()
-              << "\n";
-    return 1;
   }
 
   evaluation_options opt;
@@ -160,19 +217,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string name = args.family + "/" + std::to_string(args.size);
-  const auto ev = evaluate_design(graph.value(), name, opt);
-  if (!ev.is_ok()) {
-    std::cerr << "evaluation failed: " << ev.error().to_string() << "\n";
+  if (!args.sweep_sizes.empty()) {
+    return run_sweep_mode(args, opt);
+  }
+
+  auto graph = build_family(args.family, args.size, args.seed);
+  if (!graph.is_ok()) {
+    std::cerr << "cannot build design: " << graph.error().to_string()
+              << "\n";
     return 1;
   }
 
-  const std::vector<deployability_report> reports{ev.value().report};
+  const std::string name = args.family + "/" + std::to_string(args.size);
+  const evaluation ev = evaluate_design_staged(graph.value(), name, opt);
+  if (!ev.trace.ok()) {
+    const sweep_failure f{0, name, *ev.trace.failed_stage(),
+                          ev.trace.first_error()};
+    std::cerr << "evaluation failed: " << f.to_string() << "\n";
+    if (args.trace) {
+      stage_trace_table(ev.trace).print(std::cerr, "pipeline stages");
+    }
+    return 1;
+  }
+
+  const std::vector<deployability_report> reports{ev.report};
   abstract_metrics_table(reports).print(std::cout, "abstract metrics");
   cost_table(reports).print(std::cout, "capital cost & power");
   deployability_table(reports).print(std::cout, "physical deployability");
   if (args.repair) {
     operations_table(reports).print(std::cout, "operations");
+  }
+  if (args.trace) {
+    stage_trace_table(ev.trace).print(std::cout, "pipeline stages");
   }
 
   if (!args.dot_file.empty()) {
