@@ -1,9 +1,18 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths: a
 // digital twin is only useful if dry runs and constraint sweeps are
 // "rapid" (§5.3), so we track the cost of the core algorithms.
+//
+// `--json <path>` (or `--json=<path>`) additionally writes every result
+// as op -> ns/op plus CSR-vs-reference speedup ratios, so successive
+// runs are machine-comparable (see BENCH_micro.json at the repo root).
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/physnet.h"
 
@@ -32,6 +41,99 @@ void bm_build_jellyfish(benchmark::State& state) {
 }
 BENCHMARK(bm_build_jellyfish)->Arg(128)->Arg(512);
 
+// --- CSR snapshot + distance cache vs the adjacency-list reference ---
+
+void bm_bfs_reference(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, node_id{i % g.node_count()}));
+    ++i;
+  }
+}
+BENCHMARK(bm_bfs_reference)->Arg(8)->Arg(16);
+
+void bm_bfs_csr(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const csr_graph csr = csr_graph::build(g);
+  bfs_workspace ws;
+  std::vector<int> dist;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ws.distances(csr, static_cast<std::uint32_t>(i % g.node_count()), dist);
+    benchmark::DoNotOptimize(dist);
+    ++i;
+  }
+}
+BENCHMARK(bm_bfs_csr)->Arg(8)->Arg(16);
+
+// One adjacency-list BFS per host-facing row — how every consumer
+// gathered distances before the cache existed, and the "before" side of
+// the bfs_rows_batched speedup.
+void bm_bfs_rows_reference(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const std::vector<node_id> hf = g.host_facing_nodes();
+  for (auto _ : state) {
+    for (node_id s : hf) {
+      benchmark::DoNotOptimize(bfs_distances(g, s));
+    }
+  }
+}
+BENCHMARK(bm_bfs_rows_reference)->Arg(8)->Arg(16);
+
+// Batched (64-wide multi-source) fill of every host-facing row; the cache
+// is rebuilt each iteration, so this is the evaluator's cold-start cost.
+void bm_distance_warm_all(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const std::vector<node_id> hf = g.host_facing_nodes();
+  for (auto _ : state) {
+    distance_cache cache(g);
+    cache.warm_all(hf, 1);
+    benchmark::DoNotOptimize(cache.rows_cached());
+  }
+}
+BENCHMARK(bm_distance_warm_all)->Arg(8)->Arg(16);
+
+// The pre-CSR implementation of path-length stats (one std::queue BFS per
+// host-facing source, sample_stats over all ordered pairs), kept here as
+// the "before" side of the speedup pair. Mirrors the seed implementation.
+path_length_stats path_length_stats_reference(const network_graph& g) {
+  const auto sources = g.host_facing_nodes();
+  path_length_stats out;
+  sample_stats hops;
+  for (node_id s : sources) {
+    const std::vector<int> dist = bfs_distances(g, s);
+    for (node_id t : sources) {
+      if (s == t) continue;
+      hops.add(static_cast<double>(dist[t.index()]));
+    }
+  }
+  out.mean = hops.mean();
+  out.diameter = static_cast<int>(hops.max());
+  out.p99 = hops.percentile(0.99);
+  out.hop_histogram.assign(static_cast<std::size_t>(out.diameter) + 1, 0.0);
+  for (double h : hops.samples()) {
+    out.hop_histogram[static_cast<std::size_t>(h)] += 1.0;
+  }
+  for (double& f : out.hop_histogram) {
+    f /= static_cast<double>(hops.count());
+  }
+  return out;
+}
+
+void bm_path_length_stats_reference(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path_length_stats_reference(g));
+  }
+}
+BENCHMARK(bm_path_length_stats_reference)->Arg(8)->Arg(16);
+
 void bm_path_length_stats(benchmark::State& state) {
   const network_graph g =
       build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
@@ -40,6 +142,41 @@ void bm_path_length_stats(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_path_length_stats)->Arg(8)->Arg(16);
+
+void bm_ecmp_loads_reference(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 25_gbps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_ecmp_loads_reference(g, tm));
+  }
+}
+BENCHMARK(bm_ecmp_loads_reference)->Arg(8)->Arg(12);
+
+void bm_ecmp_loads(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 25_gbps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_ecmp_loads(g, tm));  // cold cache
+  }
+}
+BENCHMARK(bm_ecmp_loads)->Arg(8)->Arg(12);
+
+// Shared-cache variant: rows warmed once, reused every call — the shape
+// the evaluator actually runs (stats, throughput, and repair sim share
+// one cache per evaluation).
+void bm_ecmp_loads_shared(benchmark::State& state) {
+  const network_graph g =
+      build_fat_tree(static_cast<int>(state.range(0)), 100_gbps);
+  const traffic_matrix tm = uniform_traffic(g, 25_gbps);
+  distance_cache cache(g);
+  cache.warm_all(g.host_facing_nodes(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_ecmp_loads(g, tm, cache));
+  }
+}
+BENCHMARK(bm_ecmp_loads_shared)->Arg(8)->Arg(12);
 
 void bm_ecmp_throughput(benchmark::State& state) {
   const network_graph g =
@@ -187,13 +324,106 @@ void print_stage_timing_table() {
   std::cout << std::endl;
 }
 
+// Console reporter that also keeps op -> ns/op for the --json dump.
+class recording_reporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations == 0) continue;
+      ns_per_op_[run.benchmark_name()] =
+          run.real_accumulated_time /
+          static_cast<double>(run.iterations) * 1e9;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& ns_per_op() const {
+    return ns_per_op_;
+  }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+// Reference/optimized benchmark pairs whose ratio is reported as a
+// speedup. Pairs are matched per argument suffix ("/8", "/12", ...).
+struct speedup_pair {
+  const char* label;
+  const char* before;
+  const char* after;
+};
+constexpr speedup_pair kSpeedupPairs[] = {
+    {"bfs_rows_batched", "bm_bfs_rows_reference", "bm_distance_warm_all"},
+    {"path_length_stats", "bm_path_length_stats_reference",
+     "bm_path_length_stats"},
+    {"ecmp_loads_cold", "bm_ecmp_loads_reference", "bm_ecmp_loads"},
+    {"ecmp_loads_shared", "bm_ecmp_loads_reference", "bm_ecmp_loads_shared"},
+};
+
+bool write_json(const std::string& path,
+                const std::map<std::string, double>& ns_per_op) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_micro: cannot write " << path << "\n";
+    return false;
+  }
+  out << "{\n  \"nanoseconds_per_op\": {";
+  bool first = true;
+  for (const auto& [name, ns] : ns_per_op) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": "
+        << str_format("%.1f", ns);
+    first = false;
+  }
+  out << "\n  },\n  \"speedups_vs_reference\": {";
+  first = true;
+  for (const speedup_pair& pair : kSpeedupPairs) {
+    const std::string before_prefix = std::string(pair.before) + "/";
+    for (const auto& [name, before_ns] : ns_per_op) {
+      if (name.rfind(before_prefix, 0) != 0) continue;
+      const std::string arg = name.substr(before_prefix.size() - 1);
+      const auto after = ns_per_op.find(pair.after + arg);
+      if (after == ns_per_op.end() || after->second <= 0.0) continue;
+      out << (first ? "\n" : ",\n") << "    \"" << pair.label << arg
+          << "\": " << str_format("%.2f", before_ns / after->second);
+      first = false;
+    }
+  }
+  out << "\n  }\n}\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --json <path> / --json=<path> before benchmark::Initialize so
+  // the library doesn't reject it as unrecognized.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = std::string(a.substr(7));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
   print_stage_timing_table();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  recording_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty() && !write_json(json_path, reporter.ns_per_op())) {
+    return 1;
+  }
   return 0;
 }

@@ -79,19 +79,29 @@ evaluation evaluate_design_staged(const network_graph& g,
   deployability_report& rep = ev.report;
   stage_pipeline pipe(&ev.trace);
 
+  // One CSR snapshot + BFS distance cache for the whole evaluation: the
+  // topology-metrics stage fills the host-facing rows once and every
+  // later consumer (ECMP loads, bisection seeding, the repair sim's
+  // reachability checks) reads them back instead of re-running BFS.
+  distance_cache dcache(g);
+
   // Stage 1: abstract topology metrics (the traditional numbers the
   // paper wants deployability metrics to sit beside).
   path_length_stats pls{};
   pipe.run(eval_stage::topology_metrics, [&](stage_record& rec) -> status {
-    pls = compute_path_length_stats(g);
+    const std::vector<node_id> host_facing = g.host_facing_nodes();
+    dcache.warm_all(host_facing, opt.distance_warm_threads);
+    pls = compute_path_length_stats(g, dcache);
     if (opt.run_throughput) {
       const traffic_matrix tm = uniform_traffic(g, opt.traffic_per_host);
-      rep.throughput_alpha_uniform = ecmp_throughput(g, tm).alpha;
+      rep.throughput_alpha_uniform = ecmp_throughput(g, tm, dcache).alpha;
       rep.bisection_gbps_per_host =
-          estimate_bisection(g, opt.seed).per_host_gbps;
+          estimate_bisection(g, opt.seed, 32, dcache).per_host_gbps;
     }
     rec.add_counter("switches", static_cast<double>(g.node_count()));
-    rec.add_counter("links", static_cast<double>(g.live_edges().size()));
+    rec.add_counter("links",
+                    static_cast<double>(dcache.csr().live_edge_count()));
+    rec.add_counter("bfs_rows", static_cast<double>(dcache.rows_cached()));
     return status::ok();
   });
 
@@ -179,13 +189,15 @@ evaluation evaluate_design_staged(const network_graph& g,
     pipe.run(eval_stage::repair_sim, [&](stage_record& rec) -> status {
       repair_params rp = opt.repair;
       rp.seed = opt.seed + 17;
-      ev.repairs =
-          simulate_repairs(g, ev.place, ev.floor, ev.cables, ev.cat, rp);
+      ev.repairs = simulate_repairs(g, ev.place, ev.floor, ev.cables,
+                                    ev.cat, rp, dcache);
       rec.add_counter("failures",
                       static_cast<double>(ev.repairs.switch_failures +
                                           ev.repairs.port_failures +
                                           ev.repairs.cable_failures +
                                           ev.repairs.feed_failures));
+      rec.add_counter("partitioning",
+                      static_cast<double>(ev.repairs.partitioning_repairs));
       return status::ok();
     });
   } else {

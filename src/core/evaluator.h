@@ -47,6 +47,13 @@ struct evaluation_options {
   bool run_throughput = true;
   gbps traffic_per_host{25.0};
 
+  // Threads used to pre-fill the evaluation's shared BFS distance cache
+  // (one row per host-facing switch; see topology/distance_cache.h).
+  // 0 = one per hardware thread, 1 = inline. run_sweep forces 1 when the
+  // sweep itself is parallel, so points never oversubscribe the machine.
+  // The cached rows are deterministic, so this knob never changes results.
+  int distance_warm_threads = 1;
+
   std::uint64_t seed = 1;
 };
 

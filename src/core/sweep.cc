@@ -41,6 +41,10 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
     const sweep_point& point = grid[i];
     evaluation_options popt = opt;
     popt.seed = sweep_point_seed(opt.seed, i);
+    // A parallel sweep already keeps every core busy; nested distance-
+    // cache warming would only oversubscribe. (Warm threads never affect
+    // results, so jobs=N stays bit-identical to jobs=1.)
+    if (jobs > 1) popt.distance_warm_threads = 1;
     const network_graph g = point.build();
     evaluation ev = evaluate_design_staged(g, point.label, popt);
     point_slot& slot = slots[i];

@@ -53,7 +53,8 @@ repair_sim_result simulate_repairs(const network_graph& g,
                                    const catalog& cat,
                                    const repair_params& p) {
   rng r(p.seed);
-  return simulate_repairs(g, pl, fp, plan, cat, p, r);
+  distance_cache dcache(g);
+  return simulate_repairs(g, pl, fp, plan, cat, p, r, dcache);
 }
 
 repair_sim_result simulate_repairs(const network_graph& g,
@@ -61,6 +62,26 @@ repair_sim_result simulate_repairs(const network_graph& g,
                                    const cabling_plan& plan,
                                    const catalog& cat,
                                    const repair_params& p, rng& r) {
+  distance_cache dcache(g);
+  return simulate_repairs(g, pl, fp, plan, cat, p, r, dcache);
+}
+
+repair_sim_result simulate_repairs(const network_graph& g,
+                                   const placement& pl, const floorplan& fp,
+                                   const cabling_plan& plan,
+                                   const catalog& cat,
+                                   const repair_params& p,
+                                   distance_cache& dcache) {
+  rng r(p.seed);
+  return simulate_repairs(g, pl, fp, plan, cat, p, r, dcache);
+}
+
+repair_sim_result simulate_repairs(const network_graph& g,
+                                   const placement& pl, const floorplan& fp,
+                                   const cabling_plan& plan,
+                                   const catalog& cat,
+                                   const repair_params& p, rng& r,
+                                   distance_cache& dcache) {
   PN_CHECK(p.horizon.value() > 0.0);
   PN_CHECK(p.repair_technicians >= 0);
   repair_sim_result out;
@@ -75,6 +96,45 @@ repair_sim_result simulate_repairs(const network_graph& g,
     total_gbps += info.capacity.value();
   }
   PN_CHECK_MSG(total_gbps > 0.0, "graph has no link capacity");
+
+  // Post-drain reachability: does taking a drain domain (a whole switch,
+  // or every switch on a power feed) out of the fabric leave any two
+  // surviving host-facing switches disconnected? Checked by masked BFS
+  // over the shared CSR snapshot; the answer depends only on the domain,
+  // so it is memoized per node and computed once per feed. Draws no
+  // randomness — results of the other counters are unaffected.
+  const csr_graph& csr = dcache.csr();
+  const std::vector<node_id> host_facing = g.host_facing_nodes();
+  bfs_workspace reach_ws;
+  std::vector<int> reach_dist;
+  std::vector<std::uint8_t> node_mask(g.node_count(), 0);
+  std::vector<signed char> node_partitions(g.node_count(), -1);
+
+  const auto mask_partitions =
+      [&](const std::vector<std::uint8_t>& mask) -> bool {
+    node_id start;
+    for (node_id h : host_facing) {
+      if (mask[h.index()] == 0) {
+        start = h;
+        break;
+      }
+    }
+    if (!start.valid()) return false;  // no survivors to disconnect
+    reach_ws.distances_masked(csr, static_cast<std::uint32_t>(start.index()),
+                              mask, reach_dist);
+    for (node_id h : host_facing) {
+      if (mask[h.index()] == 0 && reach_dist[h.index()] < 0) return true;
+    }
+    return false;
+  };
+  const auto node_drain_partitions = [&](std::size_t i) -> bool {
+    if (node_partitions[i] < 0) {
+      node_mask[i] = 1;
+      node_partitions[i] = mask_partitions(node_mask) ? 1 : 0;
+      node_mask[i] = 0;
+    }
+    return node_partitions[i] == 1;
+  };
 
   std::vector<repair_event> events;
   auto enqueue = [&](double t, double replace_minutes, point where,
@@ -101,6 +161,7 @@ repair_sim_result simulate_repairs(const network_graph& g,
     // repair unit.
     draw_failures(r, switch_fit, p.horizon, [&](double t) {
       ++out.switch_failures;
+      if (node_drain_partitions(i)) ++out.partitioning_repairs;
       enqueue(t, p.replace_switch_minutes, where, incident_gbps[i],
               incident_gbps[i]);
     });
@@ -128,6 +189,7 @@ repair_sim_result simulate_repairs(const network_graph& g,
         case repair_unit::chassis:
           drained = incident_gbps[i];
           replace = p.replace_switch_minutes;
+          if (node_drain_partitions(i)) ++out.partitioning_repairs;
           break;
       }
       enqueue(t, replace, where, drained, per_port_gbps);
@@ -155,23 +217,25 @@ repair_sim_result simulate_repairs(const network_graph& g,
       double feed_gbps = 0.0;
       point where{0.0, 0.0};
       bool any = false;
-      std::vector<bool> on_feed(g.node_count(), false);
+      std::vector<std::uint8_t> on_feed(g.node_count(), 0);
       for (rack_id rk : fp.racks_on_feed(feed)) {
         for (node_id n : pl.nodes_in(rk)) {
-          on_feed[n.index()] = true;
+          on_feed[n.index()] = 1;
         }
         where = fp.rack_at(rk).position;
       }
       for (edge_id e : g.live_edges()) {
         const edge_info& info = g.edge(e);
-        if (on_feed[info.a.index()] || on_feed[info.b.index()]) {
+        if (on_feed[info.a.index()] != 0 || on_feed[info.b.index()] != 0) {
           feed_gbps += info.capacity.value();
           any = true;
         }
       }
       if (!any) continue;
+      const bool feed_partitions = mask_partitions(on_feed);
       draw_failures(r, p.feed_fit, p.horizon, [&](double t) {
         ++out.feed_failures;
+        if (feed_partitions) ++out.partitioning_repairs;
         enqueue(t, p.replace_feed_minutes, where, feed_gbps, 0.0);
       });
     }

@@ -19,6 +19,7 @@
 #include "physical/catalog.h"
 #include "physical/floorplan.h"
 #include "physical/placement.h"
+#include "topology/distance_cache.h"
 #include "topology/graph.h"
 
 namespace pn {
@@ -80,6 +81,11 @@ struct repair_sim_result {
   hours p95_mttr{0.0};
   // Capacity-weighted availability: 1 - lost Gbps-hours / total Gbps-hours.
   double availability = 1.0;
+  // Failures whose drain domain (whole switch or power feed) partitioned
+  // the surviving host-facing switches — repairs that did not just cost
+  // capacity but cut some racks off entirely. Checked by masked BFS over
+  // the evaluation's shared CSR snapshot.
+  std::size_t partitioning_repairs = 0;
   // Gbps-hours drained beyond the failed element itself (the §3.3
   // correlated-downtime cost of a big unit of repair).
   double collateral_gbps_hours = 0.0;
@@ -105,5 +111,26 @@ struct repair_sim_result {
                                                  const catalog& cat,
                                                  const repair_params& p,
                                                  rng& r);
+
+// Same again, sharing a distance cache with the caller (the evaluator
+// passes the one its topology-metrics stage already filled, so the
+// reachability checks reuse that CSR snapshot instead of rebuilding).
+// Results are identical across all overloads for equal seeds.
+[[nodiscard]] repair_sim_result simulate_repairs(const network_graph& g,
+                                                 const placement& pl,
+                                                 const floorplan& fp,
+                                                 const cabling_plan& plan,
+                                                 const catalog& cat,
+                                                 const repair_params& p,
+                                                 distance_cache& dcache);
+
+[[nodiscard]] repair_sim_result simulate_repairs(const network_graph& g,
+                                                 const placement& pl,
+                                                 const floorplan& fp,
+                                                 const cabling_plan& plan,
+                                                 const catalog& cat,
+                                                 const repair_params& p,
+                                                 rng& r,
+                                                 distance_cache& dcache);
 
 }  // namespace pn

@@ -1,0 +1,49 @@
+#include "topology/csr.h"
+
+#include "common/check.h"
+
+namespace pn {
+
+csr_graph csr_graph::build(const network_graph& g) {
+  csr_graph out;
+  out.epoch = g.epoch();
+  out.num_nodes = static_cast<std::uint32_t>(g.node_count());
+
+  // The adjacency lists already exclude dead edges (remove_edge scrubs
+  // them), so a single pass over them yields the live-only CSR with the
+  // per-node neighbor order preserved.
+  std::size_t arcs = 0;
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    arcs += g.neighbors(node_id{u}).size();
+  }
+  out.row_offsets.resize(g.node_count() + 1);
+  out.adjacency.resize(arcs);
+  out.arc_edge.resize(arcs);
+  out.arc_forward.resize(arcs);
+
+  std::uint32_t cursor = 0;
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    out.row_offsets[u] = cursor;
+    for (const auto& e : g.neighbors(node_id{u})) {
+      out.adjacency[cursor] = static_cast<std::uint32_t>(e.neighbor.index());
+      out.arc_edge[cursor] = static_cast<std::uint32_t>(e.edge.index());
+      out.arc_forward[cursor] =
+          g.edge(e.edge).a == node_id{u} ? std::uint8_t{1} : std::uint8_t{0};
+      ++cursor;
+    }
+  }
+  out.row_offsets[g.node_count()] = cursor;
+  PN_CHECK(cursor == arcs);
+
+  out.edge_capacity.resize(g.edge_count(), 0.0);
+  out.live_edge_ids.reserve(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    out.edge_capacity[e] = g.edge(edge_id{e}).capacity.value();
+    if (g.edge_alive(edge_id{e})) {
+      out.live_edge_ids.push_back(static_cast<std::uint32_t>(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace pn

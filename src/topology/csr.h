@@ -1,0 +1,67 @@
+// Immutable CSR (compressed sparse row) snapshot of a network_graph.
+//
+// network_graph stores adjacency as vector<vector<adjacency_entry>> —
+// convenient for incremental construction and rewiring, but every BFS
+// hop chases a pointer into a separately-allocated list. The metrics the
+// evaluator runs per design point (path-length stats, ECMP loads, path
+// counts, bisection sampling) are all BFS-shaped, so the topology stage
+// flattens the graph once into three parallel arrays (offsets, neighbor
+// node indices, edge ids) and sweeps those — the structure-of-arrays
+// layout graph engines (Ligra, GAP) use for exactly this access pattern.
+//
+// The snapshot covers *live* edges only and records the graph epoch it
+// was built at (network_graph::epoch()); holders compare epochs to detect
+// staleness instead of guessing. Per-node neighbor order is preserved
+// exactly from the adjacency lists, so algorithms that accumulate floats
+// in neighbor order produce bit-identical results on either
+// representation (asserted by tests/property/csr_property_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct csr_graph {
+  std::uint64_t epoch = 0;       // graph epoch at build time
+  std::uint32_t num_nodes = 0;
+
+  // Arcs: both directions of every live edge, grouped by tail node.
+  // Arc k for node u lives at indices [row_offsets[u], row_offsets[u+1]).
+  std::vector<std::uint32_t> row_offsets;  // num_nodes + 1
+  std::vector<std::uint32_t> adjacency;    // head node index per arc
+  std::vector<std::uint32_t> arc_edge;     // edge id per arc
+  std::vector<std::uint8_t> arc_forward;   // 1 iff the arc's tail is edge.a
+
+  // Live edge ids in ascending order, and per-edge capacity (indexed by
+  // edge id over *all* edges, dead slots included, so edge_id indexing
+  // stays direct).
+  std::vector<std::uint32_t> live_edge_ids;
+  std::vector<double> edge_capacity;
+
+  [[nodiscard]] static csr_graph build(const network_graph& g);
+
+  [[nodiscard]] bool stale(const network_graph& g) const {
+    return epoch != g.epoch();
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t u) const {
+    return {adjacency.data() + row_offsets[u],
+            adjacency.data() + row_offsets[u + 1]};
+  }
+
+  [[nodiscard]] std::uint32_t degree(std::uint32_t u) const {
+    return row_offsets[u + 1] - row_offsets[u];
+  }
+
+  [[nodiscard]] std::size_t live_edge_count() const {
+    return live_edge_ids.size();
+  }
+};
+
+}  // namespace pn

@@ -1,0 +1,229 @@
+#include "topology/distance_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace pn {
+
+namespace {
+
+// Multi-source BFS over up to 64 sources at once (the MS-BFS idea from
+// Then et al. / the batched sweeps in Ligra-style engines): each node
+// carries one frontier bit per source, so a level expands all sources
+// with one pass over the arcs instead of 64. Distance rows are extracted
+// as bits first appear; BFS levels are unique, so every row is identical
+// to a single-source run.
+void fill_rows_batched(const csr_graph& g,
+                       std::span<const std::uint32_t> sources,
+                       std::vector<int>** rows) {
+  const std::size_t n = g.num_nodes;
+  const std::size_t batch = sources.size();
+  PN_CHECK(batch >= 1 && batch <= 64);
+  for (std::size_t b = 0; b < batch; ++b) {
+    rows[b]->assign(n, -1);
+    (*rows[b])[sources[b]] = 0;
+  }
+
+  std::vector<std::uint64_t> visited(n, 0);
+  std::vector<std::uint64_t> current(n, 0);
+  std::vector<std::uint64_t> next(n, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    visited[sources[b]] |= bit;
+    current[sources[b]] |= bit;
+  }
+
+  const std::uint32_t* const offsets = g.row_offsets.data();
+  const std::uint32_t* const adj = g.adjacency.data();
+  std::uint64_t* const vis = visited.data();
+  std::uint64_t* const cur = current.data();
+  std::uint64_t* const nxt = next.data();
+
+  for (int level = 1;; ++level) {
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::uint64_t m = cur[u];
+      if (m == 0) continue;
+      const std::uint32_t end = offsets[u + 1];
+      for (std::uint32_t k = offsets[u]; k < end; ++k) {
+        nxt[adj[k]] |= m;
+      }
+    }
+    bool any = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t fresh = nxt[v] & ~vis[v];
+      nxt[v] = 0;
+      cur[v] = fresh;
+      if (fresh == 0) continue;
+      any = true;
+      vis[v] |= fresh;
+      while (fresh != 0) {
+        const int b = std::countr_zero(fresh);
+        fresh &= fresh - 1;
+        (*rows[static_cast<std::size_t>(b)])[v] = level;
+      }
+    }
+    if (!any) break;
+  }
+}
+
+}  // namespace
+
+void bfs_workspace::distances(const csr_graph& g, std::uint32_t src,
+                              std::vector<int>& dist) {
+  PN_CHECK(src < g.num_nodes);
+  dist.assign(g.num_nodes, -1);
+  frontier_.resize(g.num_nodes);
+  // Raw pointers keep the sweep in registers: dist writes (int*) may
+  // alias the std::uint32_t arrays as far as the compiler knows, which
+  // otherwise forces a data-pointer reload per hop.
+  const std::uint32_t* const offsets = g.row_offsets.data();
+  const std::uint32_t* const adj = g.adjacency.data();
+  std::uint32_t* const frontier = frontier_.data();
+  int* const d = dist.data();
+  std::uint32_t head = 0;
+  std::uint32_t tail = 0;
+  d[src] = 0;
+  frontier[tail++] = src;
+  while (head < tail) {
+    const std::uint32_t u = frontier[head++];
+    const int du = d[u];
+    const std::uint32_t end = offsets[u + 1];
+    for (std::uint32_t k = offsets[u]; k < end; ++k) {
+      const std::uint32_t v = adj[k];
+      if (d[v] == -1) {
+        d[v] = du + 1;
+        frontier[tail++] = v;
+      }
+    }
+  }
+}
+
+void bfs_workspace::distances_masked(const csr_graph& g, std::uint32_t src,
+                                     std::span<const std::uint8_t> blocked,
+                                     std::vector<int>& dist) {
+  PN_CHECK(src < g.num_nodes);
+  PN_CHECK(blocked.size() >= g.num_nodes);
+  dist.assign(g.num_nodes, -1);
+  if (blocked[src] != 0) return;
+  frontier_.resize(g.num_nodes);
+  const std::uint32_t* const offsets = g.row_offsets.data();
+  const std::uint32_t* const adj = g.adjacency.data();
+  const std::uint8_t* const block = blocked.data();
+  std::uint32_t* const frontier = frontier_.data();
+  int* const d = dist.data();
+  std::uint32_t head = 0;
+  std::uint32_t tail = 0;
+  d[src] = 0;
+  frontier[tail++] = src;
+  while (head < tail) {
+    const std::uint32_t u = frontier[head++];
+    const int du = d[u];
+    const std::uint32_t end = offsets[u + 1];
+    for (std::uint32_t k = offsets[u]; k < end; ++k) {
+      const std::uint32_t v = adj[k];
+      if (d[v] == -1 && block[v] == 0) {
+        d[v] = du + 1;
+        frontier[tail++] = v;
+      }
+    }
+  }
+}
+
+distance_cache::distance_cache(const network_graph& g) : g_(&g) {
+  csr_ = csr_graph::build(g);
+  rows_.resize(g.node_count());
+  row_valid_.assign(g.node_count(), 0);
+}
+
+void distance_cache::refresh() {
+  if (!csr_.stale(*g_)) return;
+  csr_ = csr_graph::build(*g_);
+  rows_.assign(g_->node_count(), {});
+  row_valid_.assign(g_->node_count(), 0);
+}
+
+const csr_graph& distance_cache::csr() {
+  refresh();
+  return csr_;
+}
+
+void distance_cache::fill_row(std::uint32_t src, bfs_workspace& ws) {
+  ws.distances(csr_, src, rows_[src]);
+  row_valid_[src] = 1;
+}
+
+const std::vector<int>& distance_cache::row(node_id src) {
+  refresh();
+  PN_CHECK(src.index() < rows_.size());
+  const auto i = static_cast<std::uint32_t>(src.index());
+  if (row_valid_[i] != 0) {
+    ++hits_;
+  } else {
+    ++misses_;
+    fill_row(i, ws_);
+  }
+  return rows_[i];
+}
+
+void distance_cache::warm_all(std::span<const node_id> sources, int threads) {
+  refresh();
+  std::vector<std::uint32_t> todo;
+  todo.reserve(sources.size());
+  for (node_id s : sources) {
+    PN_CHECK(s.index() < rows_.size());
+    const auto i = static_cast<std::uint32_t>(s.index());
+    if (row_valid_[i] == 0) todo.push_back(i);
+  }
+  misses_ += todo.size();
+  if (todo.empty()) return;
+
+  // Sources are grouped into 64-wide MS-BFS batches; each worker owns its
+  // batch scratch, and rows are disjoint slots of a pre-sized vector, so
+  // workers never touch the same memory.
+  if (threads == 0) threads = default_thread_count();
+  const std::size_t batches = (todo.size() + 63) / 64;
+  const int workers = std::max(
+      1, std::min(threads, static_cast<int>(batches)));
+  parallel_for(workers, batches,
+               [&](std::size_t b) { fill_batch(todo, b); });
+}
+
+void distance_cache::fill_batch(const std::vector<std::uint32_t>& todo,
+                                std::size_t batch_index) {
+  const std::size_t lo = batch_index * 64;
+  const std::size_t hi = std::min(todo.size(), lo + 64);
+  std::vector<int>* rows[64];
+  for (std::size_t k = lo; k < hi; ++k) rows[k - lo] = &rows_[todo[k]];
+  fill_rows_batched(csr_, std::span(todo).subspan(lo, hi - lo), rows);
+  for (std::size_t k = lo; k < hi; ++k) row_valid_[todo[k]] = 1;
+}
+
+void distance_cache::warm_all(std::span<const node_id> sources,
+                              thread_pool& pool) {
+  refresh();
+  std::vector<std::uint32_t> todo;
+  todo.reserve(sources.size());
+  for (node_id s : sources) {
+    PN_CHECK(s.index() < rows_.size());
+    const auto i = static_cast<std::uint32_t>(s.index());
+    if (row_valid_[i] == 0) todo.push_back(i);
+  }
+  misses_ += todo.size();
+  if (todo.empty()) return;
+
+  const std::size_t batches = (todo.size() + 63) / 64;
+  for (std::size_t b = 0; b < batches; ++b) {
+    pool.submit([this, &todo, b] { fill_batch(todo, b); });
+  }
+  pool.wait_idle();
+}
+
+std::size_t distance_cache::rows_cached() const {
+  return static_cast<std::size_t>(
+      std::count(row_valid_.begin(), row_valid_.end(), std::uint8_t{1}));
+}
+
+}  // namespace pn

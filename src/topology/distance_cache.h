@@ -1,0 +1,105 @@
+// Reusable BFS workspace and a per-graph-epoch distance-row cache.
+//
+// Every metric in the topology hot path (path-length stats, ECMP loads,
+// path counts, bisection seeding, repair reachability) needs "hop
+// distances from node s" — and within one evaluation they keep asking for
+// the *same* rows: the host-facing switches. bfs_workspace makes one BFS
+// allocation-free after warm-up (flat ring-buffer frontier, no std::queue
+// node churn); distance_cache memoizes whole rows keyed on
+// (source, graph epoch) so the second consumer of a row pays a lookup,
+// not a traversal.
+//
+// Staleness is impossible by construction: every access re-checks the
+// graph's mutation epoch and drops the snapshot plus all rows when it
+// moved (tests/topology/csr_test.cc asserts this). The cache is not
+// internally synchronized — share it within one evaluation thread, or
+// fill it up front with warm_all() and then treat it as read-only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/csr.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+class thread_pool;
+
+// Flat single-source BFS over a CSR snapshot. The frontier is an index
+// ring laid out in one vector sized to the node count; repeated runs
+// reuse the storage.
+class bfs_workspace {
+ public:
+  // Fills dist (resized to g.num_nodes) with hop counts from src; -1 for
+  // unreachable. Visits neighbors in CSR (= adjacency list) order, so the
+  // resulting distances — and any float accumulation driven by them — are
+  // identical to bfs_distances() on the source graph.
+  void distances(const csr_graph& g, std::uint32_t src,
+                 std::vector<int>& dist);
+
+  // Same, but nodes with blocked[u] != 0 are treated as removed (never
+  // enqueued; src itself may be blocked, yielding an all -1 row). Used by
+  // the repair simulator's post-drain reachability checks.
+  void distances_masked(const csr_graph& g, std::uint32_t src,
+                        std::span<const std::uint8_t> blocked,
+                        std::vector<int>& dist);
+
+ private:
+  std::vector<std::uint32_t> frontier_;
+};
+
+// Lazily-filled all-sources distance table over one network_graph.
+//
+// row(s) computes and memoizes the BFS row for s at the current graph
+// epoch; warm_all() fills many rows in parallel (each worker gets its own
+// bfs_workspace; rows are disjoint slots, so no synchronization is
+// needed beyond the pool's join). After any graph mutation the next
+// access observes the epoch change, rebuilds the CSR snapshot, and
+// discards every cached row.
+class distance_cache {
+ public:
+  explicit distance_cache(const network_graph& g);
+
+  // The CSR snapshot, rebuilt first if the graph mutated.
+  [[nodiscard]] const csr_graph& csr();
+
+  // Distance row from src, computed on first use. The reference is valid
+  // until the next graph mutation is observed (any later row()/csr()/
+  // warm_all() call).
+  [[nodiscard]] const std::vector<int>& row(node_id src);
+
+  // Computes any missing rows for `sources`, grouping them into 64-wide
+  // multi-source BFS batches spread over `threads` workers (0 = one per
+  // hardware thread, 1 = inline). Results are identical for every thread
+  // count — and to filling each row with a single-source BFS.
+  void warm_all(std::span<const node_id> sources, int threads);
+  // Same, submitting one task per batch to an existing pool.
+  void warm_all(std::span<const node_id> sources, thread_pool& pool);
+
+  // Observability: rows currently cached, and row() calls served from /
+  // missing the cache since construction.
+  [[nodiscard]] std::size_t rows_cached() const;
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  // Re-snapshots and clears all rows if the graph epoch moved.
+  void refresh();
+  void fill_row(std::uint32_t src, bfs_workspace& ws);
+  // Fills batch `batch_index` (64 sources) of `todo` via multi-source BFS.
+  void fill_batch(const std::vector<std::uint32_t>& todo,
+                  std::size_t batch_index);
+
+  const network_graph* g_;
+  csr_graph csr_;
+  std::vector<std::vector<int>> rows_;   // indexed by node
+  std::vector<std::uint8_t> row_valid_;  // indexed by node
+  bfs_workspace ws_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace pn

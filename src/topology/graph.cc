@@ -27,6 +27,7 @@ node_id network_graph::add_node(node_info info) {
                "node " << info.name << " host_ports out of range");
   nodes_.push_back(std::move(info));
   adj_.emplace_back();
+  ++epoch_;
   return node_id{nodes_.size() - 1};
 }
 
@@ -42,6 +43,7 @@ edge_id network_graph::add_edge(edge_info e) {
   edge_dead_.push_back(false);
   adj_[e.a.index()].push_back({e.b, id});
   adj_[e.b.index()].push_back({e.a, id});
+  ++epoch_;
   return id;
 }
 
@@ -119,6 +121,7 @@ void network_graph::remove_edge(edge_id e) {
   };
   scrub(info.a);
   scrub(info.b);
+  ++epoch_;
 }
 
 bool network_graph::edge_alive(edge_id e) const {

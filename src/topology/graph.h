@@ -75,6 +75,13 @@ class network_graph {
   [[nodiscard]] std::vector<node_id> host_facing_nodes() const;
   [[nodiscard]] std::size_t total_hosts() const;
 
+  // Monotonic mutation counter, bumped by every add_node/add_edge/
+  // remove_edge. Derived snapshots (csr_graph, distance_cache) record the
+  // epoch they were built at and compare it against this to detect
+  // staleness — a cached result can never silently outlive the graph
+  // state it was computed from.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   // Removes an edge (marks it dead; ids remain stable). Dead edges are
   // skipped by neighbors()/degree(). Used by rewiring planners.
   void remove_edge(edge_id e);
@@ -96,6 +103,7 @@ class network_graph {
   std::vector<edge_info> edges_;
   std::vector<bool> edge_dead_;
   std::vector<std::vector<adjacency_entry>> adj_;  // maintained eagerly
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace pn

@@ -36,45 +36,100 @@ bool is_connected(const network_graph& g) {
 }
 
 path_length_stats compute_path_length_stats(const network_graph& g) {
+  distance_cache cache(g);
+  return compute_path_length_stats(g, cache);
+}
+
+path_length_stats compute_path_length_stats(const network_graph& g,
+                                            distance_cache& cache) {
   const auto sources = g.host_facing_nodes();
   PN_CHECK_MSG(!sources.empty(), "graph has no host-facing nodes");
+  cache.warm_all(sources, 1);  // batched fill of any missing rows
 
-  path_length_stats out;
-  sample_stats hops;
-  std::vector<bool> is_source(g.node_count(), false);
-  for (node_id n : sources) is_source[n.index()] = true;
-
+  // Integer histogram of pair distances instead of a flat sample vector:
+  // every statistic sample_stats would derive — mean, max, interpolated
+  // percentile, normalized histogram — is recomputed from the counts with
+  // the same floating-point expressions. Hop counts are small integers, so
+  // the sequential double sum sample_stats keeps is exact and equals the
+  // integer total here; the outputs are bit-identical.
+  std::vector<std::uint64_t> count(g.node_count(), 0);
   for (node_id s : sources) {
-    const auto dist = bfs_distances(g, s);
+    const std::vector<int>& dist = cache.row(s);
+    const int* const d = dist.data();
     for (node_id t : sources) {
       if (s == t) continue;
-      PN_CHECK_MSG(dist[t.index()] >= 0, "graph is disconnected");
-      hops.add(static_cast<double>(dist[t.index()]));
+      const int dt = d[t.index()];
+      PN_CHECK_MSG(dt >= 0, "graph is disconnected");
+      ++count[static_cast<std::size_t>(dt)];
     }
   }
-  out.mean = hops.mean();
-  out.diameter = static_cast<int>(hops.max());
-  out.p99 = hops.percentile(0.99);
-  out.hop_histogram.assign(static_cast<std::size_t>(out.diameter) + 1, 0.0);
-  for (double h : hops.samples()) {
-    out.hop_histogram[static_cast<std::size_t>(h)] += 1.0;
+  const auto pairs = static_cast<std::uint64_t>(sources.size()) *
+                     static_cast<std::uint64_t>(sources.size() - 1);
+  PN_CHECK_MSG(pairs > 0, "need at least two host-facing nodes");
+
+  path_length_stats out;
+  std::uint64_t total_hops = 0;
+  for (std::size_t h = 0; h < count.size(); ++h) {
+    if (count[h] == 0) continue;
+    out.diameter = static_cast<int>(h);
+    total_hops += h * count[h];
   }
-  for (double& f : out.hop_histogram) {
-    f /= static_cast<double>(hops.count());
+  out.mean =
+      static_cast<double>(total_hops) / static_cast<double>(pairs);
+
+  // sorted[k] of the pair-distance multiset is the smallest h whose
+  // cumulative count exceeds k; interpolate exactly like
+  // sample_stats::percentile does over the sorted samples.
+  const auto order_stat = [&count, &out](std::uint64_t k) -> double {
+    std::uint64_t cum = 0;
+    for (std::size_t h = 0; h < count.size(); ++h) {
+      cum += count[h];
+      if (cum > k) return static_cast<double>(h);
+    }
+    return static_cast<double>(out.diameter);
+  };
+  if (pairs == 1) {
+    out.p99 = order_stat(0);
+  } else {
+    const double pos = 0.99 * static_cast<double>(pairs - 1);
+    const auto lo = static_cast<std::uint64_t>(std::floor(pos));
+    const auto hi = static_cast<std::uint64_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    out.p99 = order_stat(lo) * (1.0 - frac) + order_stat(hi) * frac;
+  }
+
+  out.hop_histogram.assign(static_cast<std::size_t>(out.diameter) + 1, 0.0);
+  for (std::size_t h = 0; h < out.hop_histogram.size(); ++h) {
+    out.hop_histogram[h] =
+        static_cast<double>(count[h]) / static_cast<double>(pairs);
   }
   return out;
 }
 
 double spectral_lambda2(const network_graph& g, int iterations) {
+  distance_cache cache(g);
+  return spectral_lambda2(g, cache, iterations);
+}
+
+double spectral_lambda2(const network_graph& g, distance_cache& cache,
+                        int iterations) {
   const std::size_t n = g.node_count();
-  if (n < 2 || !is_connected(g)) return 1.0;
+  if (n < 2) return 1.0;
+  const csr_graph& csr = cache.csr();
+  {
+    const std::vector<int>& from0 = cache.row(node_id{0});
+    if (std::any_of(from0.begin(), from0.end(),
+                    [](int d) { return d < 0; })) {
+      return 1.0;  // disconnected
+    }
+  }
 
   // Random-walk matrix P = D^-1 A. Its top eigenvector (eigenvalue 1) is
   // uniform in the degree measure; we deflate it and power-iterate.
   std::vector<double> deg(n, 0.0);
   double total_deg = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    deg[i] = static_cast<double>(g.degree(node_id{i}));
+    deg[i] = static_cast<double>(csr.degree(static_cast<std::uint32_t>(i)));
     total_deg += deg[i];
     if (deg[i] == 0.0) return 1.0;  // isolated switch: not an expander
   }
@@ -102,10 +157,11 @@ double spectral_lambda2(const network_graph& g, int iterations) {
   double lambda = 0.0;
   for (int it = 0; it < iterations; ++it) {
     std::fill(next.begin(), next.end(), 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i = 0; i < csr.num_nodes; ++i) {
       const double share = v[i] / deg[i];
-      for (const auto& e : g.neighbors(node_id{i})) {
-        next[e.neighbor.index()] += share;
+      const std::uint32_t end = csr.row_offsets[i + 1];
+      for (std::uint32_t k = csr.row_offsets[i]; k < end; ++k) {
+        next[csr.adjacency[k]] += share;
       }
     }
     deflate(next);
@@ -119,48 +175,62 @@ double spectral_lambda2(const network_graph& g, int iterations) {
 
 bisection_estimate estimate_bisection(const network_graph& g,
                                       std::uint64_t seed, int trials) {
+  distance_cache cache(g);
+  return estimate_bisection(g, seed, trials, cache);
+}
+
+bisection_estimate estimate_bisection(const network_graph& g,
+                                      std::uint64_t seed, int trials,
+                                      distance_cache& cache) {
   const std::size_t n = g.node_count();
   PN_CHECK(n >= 2);
+  const csr_graph& csr = cache.csr();
   rng r(seed);
   double best_cut = std::numeric_limits<double>::infinity();
 
+  // Flat BFS frontier and membership bitmap, reused across trials; the
+  // live-edge list comes from the snapshot instead of being re-gathered
+  // (it used to be allocated inside this loop) per trial.
+  std::vector<std::uint32_t> frontier(n);
+  std::vector<bool> in_a;
   for (int t = 0; t < trials; ++t) {
     // Grow a BFS ball from a random seed to n/2 nodes: this finds locality
     // cuts (the weak bisections) far better than uniform random halves.
-    std::vector<bool> in_a(n, false);
+    in_a.assign(n, false);
     std::size_t size_a = 0;
-    std::queue<node_id> q;
-    const node_id start{r.next_index(n)};
-    q.push(start);
-    in_a[start.index()] = true;
+    std::uint32_t head = 0;
+    std::uint32_t tail = 0;
+    const auto start = static_cast<std::uint32_t>(r.next_index(n));
+    frontier[tail++] = start;
+    in_a[start] = true;
     ++size_a;
-    std::vector<node_id> frontier_overflow;
-    while (size_a < n / 2 && !q.empty()) {
-      const node_id u = q.front();
-      q.pop();
-      for (const auto& e : g.neighbors(u)) {
+    while (size_a < n / 2 && head < tail) {
+      const std::uint32_t u = frontier[head++];
+      const std::uint32_t end = csr.row_offsets[u + 1];
+      for (std::uint32_t k = csr.row_offsets[u]; k < end; ++k) {
         if (size_a >= n / 2) break;
-        if (!in_a[e.neighbor.index()]) {
-          in_a[e.neighbor.index()] = true;
+        const std::uint32_t v = csr.adjacency[k];
+        if (!in_a[v]) {
+          in_a[v] = true;
           ++size_a;
-          q.push(e.neighbor);
+          frontier[tail++] = v;
         }
       }
     }
     // Top up with random nodes if BFS stalled (disconnected remainder).
     while (size_a < n / 2) {
-      const node_id u{r.next_index(n)};
-      if (!in_a[u.index()]) {
-        in_a[u.index()] = true;
+      const std::size_t u = r.next_index(n);
+      if (!in_a[u]) {
+        in_a[u] = true;
         ++size_a;
       }
     }
 
     double cut = 0.0;
-    for (edge_id e : g.live_edges()) {
-      const edge_info& info = g.edge(e);
+    for (const std::uint32_t e : csr.live_edge_ids) {
+      const edge_info& info = g.edge(edge_id{e});
       if (in_a[info.a.index()] != in_a[info.b.index()]) {
-        cut += info.capacity.value();
+        cut += csr.edge_capacity[e];
       }
     }
     best_cut = std::min(best_cut, cut);

@@ -8,11 +8,15 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "topology/distance_cache.h"
 #include "topology/graph.h"
 
 namespace pn {
 
 // Unweighted hop distances from src to every node; -1 for unreachable.
+// This is the adjacency-list reference implementation; the hot paths
+// below route through a distance_cache (CSR snapshot + memoized rows),
+// which the property suite holds bit-identical to this.
 [[nodiscard]] std::vector<int> bfs_distances(const network_graph& g,
                                              node_id src);
 
@@ -26,15 +30,22 @@ struct path_length_stats {
 };
 
 // Shortest-path statistics between host-facing switches (ToR/expander).
-// Host pairs are weighted equally (not by host counts).
+// Host pairs are weighted equally (not by host counts). The cache-taking
+// overload reuses (and populates) the cache's host-facing rows; the
+// plain overload runs against a private cache.
 [[nodiscard]] path_length_stats compute_path_length_stats(
     const network_graph& g);
+[[nodiscard]] path_length_stats compute_path_length_stats(
+    const network_graph& g, distance_cache& cache);
 
 // Estimate of the second-largest eigenvalue modulus of the degree-
 // normalized adjacency matrix via power iteration with deflation of the
 // stationary component. Smaller = better expander. Returns 1.0 for a
 // disconnected graph.
 [[nodiscard]] double spectral_lambda2(const network_graph& g,
+                                      int iterations = 200);
+[[nodiscard]] double spectral_lambda2(const network_graph& g,
+                                      distance_cache& cache,
                                       int iterations = 200);
 
 // Lower-bound estimate of bisection capacity (Gbps) by sampling `trials`
@@ -47,5 +58,9 @@ struct bisection_estimate {
 [[nodiscard]] bisection_estimate estimate_bisection(const network_graph& g,
                                                     std::uint64_t seed,
                                                     int trials = 32);
+[[nodiscard]] bisection_estimate estimate_bisection(const network_graph& g,
+                                                    std::uint64_t seed,
+                                                    int trials,
+                                                    distance_cache& cache);
 
 }  // namespace pn

@@ -8,8 +8,25 @@
 
 namespace pn {
 
-link_load_report compute_ecmp_loads(const network_graph& g,
-                                    const traffic_matrix& tm) {
+namespace {
+
+// Shared tail of both ECMP implementations: max/mean over live edges.
+void finish_load_report(const network_graph& g, link_load_report& out) {
+  double total = 0.0;
+  std::size_t live = 0;
+  for (edge_id e : g.live_edges()) {
+    const double m = std::max(out.loads_ab[e.index()], out.loads_ba[e.index()]);
+    out.max_load = std::max(out.max_load, m);
+    total += out.loads_ab[e.index()] + out.loads_ba[e.index()];
+    live += 2;
+  }
+  out.mean_load = live > 0 ? total / static_cast<double>(live) : 0.0;
+}
+
+}  // namespace
+
+link_load_report compute_ecmp_loads_reference(const network_graph& g,
+                                              const traffic_matrix& tm) {
   link_load_report out;
   out.loads_ab.assign(g.edge_count(), 0.0);
   out.loads_ba.assign(g.edge_count(), 0.0);
@@ -78,15 +95,120 @@ link_load_report compute_ecmp_loads(const network_graph& g,
     }
   }
 
-  double total = 0.0;
-  std::size_t live = 0;
-  for (edge_id e : g.live_edges()) {
-    const double m = std::max(out.loads_ab[e.index()], out.loads_ba[e.index()]);
-    out.max_load = std::max(out.max_load, m);
-    total += out.loads_ab[e.index()] + out.loads_ba[e.index()];
-    live += 2;
+  finish_load_report(g, out);
+  return out;
+}
+
+link_load_report compute_ecmp_loads(const network_graph& g,
+                                    const traffic_matrix& tm) {
+  distance_cache cache(g);
+  return compute_ecmp_loads(g, tm, cache);
+}
+
+link_load_report compute_ecmp_loads(const network_graph& g,
+                                    const traffic_matrix& tm,
+                                    distance_cache& cache) {
+  const csr_graph& csr = cache.csr();
+  link_load_report out;
+  out.loads_ab.assign(g.edge_count(), 0.0);
+  out.loads_ba.assign(g.edge_count(), 0.0);
+
+  const auto& eps = tm.endpoints();
+  const std::size_t n = g.node_count();
+  cache.warm_all(eps, 1);  // batched fill of any missing rows
+
+  // Flat per-destination state, reused across destinations. The sweep
+  // structure (far-to-near over distance buckets, neighbors in adjacency
+  // order) matches compute_ecmp_loads_reference exactly, so the float
+  // accumulation order — and thus every output bit — is identical.
+  std::vector<double> inflow(n);
+  std::vector<std::uint32_t> bucket_start;   // offsets into order, per hop
+  std::vector<std::uint32_t> order(n);       // nodes sorted by distance
+  std::vector<std::uint32_t> bucket_fill;
+  std::vector<std::uint32_t> downhill;       // arcs one hop closer to t
+  double* const ab = out.loads_ab.data();
+  double* const ba = out.loads_ba.data();
+  double* const inf = inflow.data();
+  const std::uint32_t* const offsets = csr.row_offsets.data();
+  const std::uint32_t* const adj = csr.adjacency.data();
+  const std::uint32_t* const arc_edge = csr.arc_edge.data();
+  const std::uint8_t* const arc_fwd = csr.arc_forward.data();
+  for (std::size_t ti = 0; ti < eps.size(); ++ti) {
+    const node_id t = eps[ti];
+    const std::vector<int>& dist = cache.row(t);
+    const int* const dp = dist.data();
+
+    std::fill(inflow.begin(), inflow.end(), 0.0);
+    bool any = false;
+    int max_d = 0;
+    for (std::size_t si = 0; si < eps.size(); ++si) {
+      if (si == ti) continue;
+      const double d = tm.demand(si, ti);
+      if (d <= 0.0) continue;
+      const node_id s = eps[si];
+      PN_CHECK_MSG(dist[s.index()] >= 0, "traffic between disconnected nodes");
+      inflow[s.index()] += d;
+      max_d = std::max(max_d, dist[s.index()]);
+      any = true;
+    }
+    if (!any) continue;
+
+    // Counting sort of nodes at hop 1..max_d into one flat array (the
+    // reference buckets into vector<vector>; same node order per bucket,
+    // no per-destination allocation churn here).
+    const auto buckets = static_cast<std::size_t>(max_d) + 1;
+    bucket_start.assign(buckets + 1, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const int d = dist[u];
+      if (d > 0 && d <= max_d) {
+        ++bucket_start[static_cast<std::size_t>(d) + 1];
+      }
+    }
+    for (std::size_t b = 1; b <= buckets; ++b) {
+      bucket_start[b] += bucket_start[b - 1];
+    }
+    bucket_fill.assign(bucket_start.begin(), bucket_start.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      const int d = dist[u];
+      if (d > 0 && d <= max_d) {
+        order[bucket_fill[static_cast<std::size_t>(d)]++] =
+            static_cast<std::uint32_t>(u);
+      }
+    }
+
+    for (std::size_t d = buckets; d-- > 1;) {
+      const std::uint32_t lo = bucket_start[d];
+      const std::uint32_t hi = bucket_start[d + 1];
+      const int want = static_cast<int>(d) - 1;
+      for (std::uint32_t idx = lo; idx < hi; ++idx) {
+        const std::uint32_t u = order[idx];
+        const double flow = inf[u];
+        if (flow <= 0.0) continue;
+        // Gather next-hop arcs (neighbors one closer to t) once; the
+        // distribute pass then walks the short buffer instead of
+        // re-scanning every arc's distance. Arc order is unchanged.
+        downhill.clear();
+        const std::uint32_t arc_end = offsets[u + 1];
+        for (std::uint32_t k = offsets[u]; k < arc_end; ++k) {
+          if (dp[adj[k]] == want) downhill.push_back(k);
+        }
+        const int nh = static_cast<int>(downhill.size());
+        PN_CHECK(nh > 0);
+        const double share = flow / nh;
+        for (const std::uint32_t k : downhill) {
+          const std::uint32_t e = arc_edge[k];
+          if (arc_fwd[k] != 0) {
+            ab[e] += share;
+          } else {
+            ba[e] += share;
+          }
+          inf[adj[k]] += share;
+        }
+      }
+    }
   }
-  out.mean_load = live > 0 ? total / static_cast<double>(live) : 0.0;
+
+  finish_load_report(g, out);
   return out;
 }
 
@@ -120,17 +242,32 @@ throughput_result throughput_from_loads(const network_graph& g,
 
 throughput_result ecmp_throughput(const network_graph& g,
                                   const traffic_matrix& tm) {
-  return throughput_from_loads(g, compute_ecmp_loads(g, tm));
+  distance_cache cache(g);
+  return ecmp_throughput(g, tm, cache);
+}
+
+throughput_result ecmp_throughput(const network_graph& g,
+                                  const traffic_matrix& tm,
+                                  distance_cache& cache) {
+  return throughput_from_loads(g, compute_ecmp_loads(g, tm, cache));
 }
 
 link_load_report compute_vlb_loads(const network_graph& g,
                                    const traffic_matrix& tm) {
+  distance_cache cache(g);
+  return compute_vlb_loads(g, tm, cache);
+}
+
+link_load_report compute_vlb_loads(const network_graph& g,
+                                   const traffic_matrix& tm,
+                                   distance_cache& cache) {
   const std::size_t n = tm.size();
   PN_CHECK(n > 1);
   // Phase 1: every source spreads its total egress uniformly over all
   // intermediates; phase 2: every destination's total ingress arrives
   // uniformly from all intermediates. Both phases are plain ECMP loads of
-  // transformed matrices.
+  // transformed matrices (and share the cache's distance rows — the
+  // endpoints are the same).
   traffic_matrix phase1(tm.endpoints());
   traffic_matrix phase2(tm.endpoints());
   const double share = 1.0 / static_cast<double>(n - 1);
@@ -157,69 +294,99 @@ link_load_report compute_vlb_loads(const network_graph& g,
     }
   }
 
-  const link_load_report a = compute_ecmp_loads(g, phase1);
-  const link_load_report b = compute_ecmp_loads(g, phase2);
+  const link_load_report a = compute_ecmp_loads(g, phase1, cache);
+  const link_load_report b = compute_ecmp_loads(g, phase2, cache);
   link_load_report out;
   out.loads_ab.resize(g.edge_count());
   out.loads_ba.resize(g.edge_count());
-  double total = 0.0;
-  std::size_t live = 0;
   for (std::size_t e = 0; e < g.edge_count(); ++e) {
     out.loads_ab[e] = a.loads_ab[e] + b.loads_ab[e];
     out.loads_ba[e] = a.loads_ba[e] + b.loads_ba[e];
   }
-  for (edge_id e : g.live_edges()) {
-    out.max_load = std::max(
-        out.max_load,
-        std::max(out.loads_ab[e.index()], out.loads_ba[e.index()]));
-    total += out.loads_ab[e.index()] + out.loads_ba[e.index()];
-    live += 2;
-  }
-  out.mean_load = live > 0 ? total / static_cast<double>(live) : 0.0;
+  finish_load_report(g, out);
   return out;
 }
 
 throughput_result vlb_throughput(const network_graph& g,
                                  const traffic_matrix& tm) {
-  return throughput_from_loads(g, compute_vlb_loads(g, tm));
+  distance_cache cache(g);
+  return vlb_throughput(g, tm, cache);
+}
+
+throughput_result vlb_throughput(const network_graph& g,
+                                 const traffic_matrix& tm,
+                                 distance_cache& cache) {
+  return throughput_from_loads(g, compute_vlb_loads(g, tm, cache));
 }
 
 throughput_result best_routing_throughput(const network_graph& g,
                                           const traffic_matrix& tm) {
-  const throughput_result direct = ecmp_throughput(g, tm);
-  const throughput_result vlb = vlb_throughput(g, tm);
+  // Direct and VLB route the same endpoints, so one cache serves both.
+  distance_cache cache(g);
+  const throughput_result direct = ecmp_throughput(g, tm, cache);
+  const throughput_result vlb = vlb_throughput(g, tm, cache);
   return vlb.alpha > direct.alpha ? vlb : direct;
 }
 
 double mean_ecmp_path_count(const network_graph& g, int cap) {
+  distance_cache cache(g);
+  return mean_ecmp_path_count(g, cache, cap);
+}
+
+double mean_ecmp_path_count(const network_graph& g, distance_cache& cache,
+                            int cap) {
   const auto sources = g.host_facing_nodes();
   PN_CHECK(!sources.empty());
+  cache.warm_all(sources, 1);  // batched fill of any missing rows
+  const csr_graph& csr = cache.csr();
+  const std::size_t n = g.node_count();
   double total = 0.0;
   std::size_t pairs = 0;
 
-  std::vector<double> count(g.node_count());
+  std::vector<double> count(n);
+  std::vector<std::uint32_t> bucket_start;
+  std::vector<std::uint32_t> order(n);
+  std::vector<std::uint32_t> bucket_fill;
   for (node_id s : sources) {
-    const auto dist = bfs_distances(g, s);
+    const std::vector<int>& dist = cache.row(s);
     std::fill(count.begin(), count.end(), 0.0);
     count[s.index()] = 1.0;
 
-    // Process nodes in BFS-distance order to accumulate path counts.
+    // Process nodes in BFS-distance order to accumulate path counts
+    // (counting sort replaces the reference's vector<vector> buckets;
+    // node order per distance is unchanged).
     int max_d = 0;
     for (int d : dist) max_d = std::max(max_d, d);
-    std::vector<std::vector<node_id>> by_dist(
-        static_cast<std::size_t>(max_d) + 1);
-    for (std::size_t u = 0; u < g.node_count(); ++u) {
-      if (dist[u] >= 0) by_dist[static_cast<std::size_t>(dist[u])].push_back(node_id{u});
+    const auto buckets = static_cast<std::size_t>(max_d) + 1;
+    bucket_start.assign(buckets + 1, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (dist[u] >= 0) ++bucket_start[static_cast<std::size_t>(dist[u]) + 1];
     }
-    for (std::size_t d = 1; d < by_dist.size(); ++d) {
-      for (node_id u : by_dist[d]) {
+    for (std::size_t b = 1; b <= buckets; ++b) {
+      bucket_start[b] += bucket_start[b - 1];
+    }
+    bucket_fill.assign(bucket_start.begin(), bucket_start.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (dist[u] >= 0) {
+        order[bucket_fill[static_cast<std::size_t>(dist[u])]++] =
+            static_cast<std::uint32_t>(u);
+      }
+    }
+
+    for (std::size_t d = 1; d < buckets; ++d) {
+      const std::uint32_t lo = bucket_start[d];
+      const std::uint32_t hi = bucket_start[d + 1];
+      for (std::uint32_t idx = lo; idx < hi; ++idx) {
+        const std::uint32_t u = order[idx];
         double c = 0.0;
-        for (const auto& e : g.neighbors(u)) {
-          if (dist[e.neighbor.index()] == static_cast<int>(d) - 1) {
-            c += count[e.neighbor.index()];
+        const std::uint32_t arc_end = csr.row_offsets[u + 1];
+        for (std::uint32_t k = csr.row_offsets[u]; k < arc_end; ++k) {
+          const std::uint32_t v = csr.adjacency[k];
+          if (dist[v] == static_cast<int>(d) - 1) {
+            c += count[v];
           }
         }
-        count[u.index()] = std::min(c, static_cast<double>(cap));
+        count[u] = std::min(c, static_cast<double>(cap));
       }
     }
     for (node_id t : sources) {

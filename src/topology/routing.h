@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "topology/distance_cache.h"
 #include "topology/graph.h"
 #include "topology/traffic.h"
 
@@ -26,8 +27,20 @@ struct link_load_report {
 
 // Splits the matrix over ECMP shortest paths (equal split across
 // next hops at every node, per destination) and accumulates link loads.
+// The cache-taking overload reuses per-destination distance rows (the
+// same rows path-length stats need); the plain overload runs against a
+// private cache.
 [[nodiscard]] link_load_report compute_ecmp_loads(const network_graph& g,
                                                   const traffic_matrix& tm);
+[[nodiscard]] link_load_report compute_ecmp_loads(const network_graph& g,
+                                                  const traffic_matrix& tm,
+                                                  distance_cache& cache);
+
+// Adjacency-list reference implementation (the pre-CSR code path), kept
+// for differential testing: the property suite asserts the CSR-backed
+// version above is bit-identical to this on randomized graphs.
+[[nodiscard]] link_load_report compute_ecmp_loads_reference(
+    const network_graph& g, const traffic_matrix& tm);
 
 struct throughput_result {
   // Largest alpha with alpha*TM feasible. >1 means the TM fits with slack.
@@ -40,10 +53,16 @@ struct throughput_result {
 // The throughput proxy: alpha = min over directed links of cap/load.
 [[nodiscard]] throughput_result ecmp_throughput(const network_graph& g,
                                                 const traffic_matrix& tm);
+[[nodiscard]] throughput_result ecmp_throughput(const network_graph& g,
+                                                const traffic_matrix& tm,
+                                                distance_cache& cache);
 
 // All-pairs ECMP path diversity: number of distinct shortest paths between
 // two nodes (capped to avoid overflow on expanders).
 [[nodiscard]] double mean_ecmp_path_count(const network_graph& g,
+                                          int cap = 1024);
+[[nodiscard]] double mean_ecmp_path_count(const network_graph& g,
+                                          distance_cache& cache,
                                           int cap = 1024);
 
 // Valiant load balancing: every flow is split over two ECMP phases,
@@ -54,9 +73,15 @@ struct throughput_result {
 // on non-minimal routing through intermediate blocks).
 [[nodiscard]] link_load_report compute_vlb_loads(const network_graph& g,
                                                  const traffic_matrix& tm);
+[[nodiscard]] link_load_report compute_vlb_loads(const network_graph& g,
+                                                 const traffic_matrix& tm,
+                                                 distance_cache& cache);
 
 [[nodiscard]] throughput_result vlb_throughput(const network_graph& g,
                                                const traffic_matrix& tm);
+[[nodiscard]] throughput_result vlb_throughput(const network_graph& g,
+                                               const traffic_matrix& tm,
+                                               distance_cache& cache);
 
 // Best of direct ECMP and VLB per the usual hybrid argument (route
 // minimally when the matrix is benign, bounce when it is adversarial).

@@ -1,0 +1,163 @@
+// Differential properties of the CSR/distance-cache fast paths against
+// the adjacency-list reference implementations, over randomized graphs
+// with dead edges. The contract is bit-identity, not approximation: the
+// CSR sweeps preserve neighbor order, so every double accumulation must
+// come out exactly equal — EXPECT_EQ on doubles is deliberate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "topology/distance_cache.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/metrics.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+// Kills ~frac of the live edges, keeping the graph connected (a removal
+// that would disconnect it is rolled back).
+void kill_edges(network_graph& g, double frac, std::uint64_t seed) {
+  rng r(seed);
+  const auto target =
+      static_cast<std::size_t>(frac * static_cast<double>(g.live_edges().size()));
+  std::size_t killed = 0;
+  for (std::size_t attempt = 0; attempt < 4 * target && killed < target;
+       ++attempt) {
+    const auto live = g.live_edges();
+    const edge_id victim = live[r.next_index(live.size())];
+    network_graph trial = g;
+    trial.remove_edge(victim);
+    if (!is_connected(trial)) continue;
+    g = std::move(trial);
+    ++killed;
+  }
+}
+
+std::vector<network_graph> corpus() {
+  std::vector<network_graph> graphs;
+  for (const std::uint64_t seed : {3u, 17u, 92u}) {
+    jellyfish_params p;
+    p.switches = 48;
+    p.radix = 12;
+    p.hosts_per_switch = 6;
+    p.seed = seed;
+    network_graph g = build_jellyfish(p);
+    kill_edges(g, 0.08, seed * 31 + 1);
+    graphs.push_back(std::move(g));
+  }
+  {
+    clos_params p;  // small 3-stage Clos
+    p.pods = 4;
+    p.tors_per_pod = 3;
+    p.aggs_per_pod = 3;
+    p.spine_groups = 3;
+    p.spines_per_group = 2;
+    p.hosts_per_tor = 4;
+    network_graph g = build_clos(p);
+    kill_edges(g, 0.05, 77);
+    graphs.push_back(std::move(g));
+  }
+  graphs.push_back(build_fat_tree(6, 40_gbps));
+  return graphs;
+}
+
+// The seed implementation of path-length stats (queue BFS per source +
+// sample_stats over ordered pairs); the histogram rewrite must match it
+// bit for bit.
+path_length_stats path_length_stats_reference(const network_graph& g) {
+  const auto sources = g.host_facing_nodes();
+  path_length_stats out;
+  sample_stats hops;
+  for (node_id s : sources) {
+    const std::vector<int> dist = bfs_distances(g, s);
+    for (node_id t : sources) {
+      if (s == t) continue;
+      hops.add(static_cast<double>(dist[t.index()]));
+    }
+  }
+  out.mean = hops.mean();
+  out.diameter = static_cast<int>(hops.max());
+  out.p99 = hops.percentile(0.99);
+  out.hop_histogram.assign(static_cast<std::size_t>(out.diameter) + 1, 0.0);
+  for (double h : hops.samples()) {
+    out.hop_histogram[static_cast<std::size_t>(h)] += 1.0;
+  }
+  for (double& f : out.hop_histogram) {
+    f /= static_cast<double>(hops.count());
+  }
+  return out;
+}
+
+TEST(csr_property, bfs_rows_bit_identical_to_reference) {
+  for (const network_graph& g : corpus()) {
+    distance_cache cache(g);
+    std::vector<node_id> all;
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+      all.push_back(node_id{i});
+    }
+    cache.warm_all(all, 2);
+    for (node_id s : all) {
+      ASSERT_EQ(cache.row(s), bfs_distances(g, s))
+          << g.family << " source " << s.index();
+    }
+  }
+}
+
+TEST(csr_property, ecmp_loads_bit_identical_to_reference) {
+  for (const network_graph& g : corpus()) {
+    const traffic_matrix tm = uniform_traffic(g, 25_gbps);
+    const link_load_report ref = compute_ecmp_loads_reference(g, tm);
+    const link_load_report fast = compute_ecmp_loads(g, tm);
+    ASSERT_EQ(ref.loads_ab.size(), fast.loads_ab.size());
+    for (std::size_t e = 0; e < ref.loads_ab.size(); ++e) {
+      ASSERT_EQ(ref.loads_ab[e], fast.loads_ab[e])
+          << g.family << " edge " << e << " (ab)";
+      ASSERT_EQ(ref.loads_ba[e], fast.loads_ba[e])
+          << g.family << " edge " << e << " (ba)";
+    }
+    EXPECT_EQ(ref.max_load, fast.max_load) << g.family;
+    EXPECT_EQ(ref.mean_load, fast.mean_load) << g.family;
+
+    // A shared warm cache must not change anything either.
+    distance_cache cache(g);
+    cache.warm_all(g.host_facing_nodes(), 2);
+    const link_load_report shared = compute_ecmp_loads(g, tm, cache);
+    EXPECT_EQ(ref.max_load, shared.max_load) << g.family;
+    EXPECT_EQ(ref.mean_load, shared.mean_load) << g.family;
+    EXPECT_EQ(ref.loads_ab, shared.loads_ab) << g.family;
+    EXPECT_EQ(ref.loads_ba, shared.loads_ba) << g.family;
+  }
+}
+
+TEST(csr_property, path_length_stats_bit_identical_to_reference) {
+  for (const network_graph& g : corpus()) {
+    const path_length_stats ref = path_length_stats_reference(g);
+    const path_length_stats fast = compute_path_length_stats(g);
+    EXPECT_EQ(ref.mean, fast.mean) << g.family;
+    EXPECT_EQ(ref.diameter, fast.diameter) << g.family;
+    EXPECT_EQ(ref.p99, fast.p99) << g.family;
+    EXPECT_EQ(ref.hop_histogram, fast.hop_histogram) << g.family;
+  }
+}
+
+TEST(csr_property, vlb_loads_unchanged_by_shared_cache) {
+  for (const network_graph& g : corpus()) {
+    const traffic_matrix tm = uniform_traffic(g, 10_gbps);
+    const link_load_report cold = compute_vlb_loads(g, tm);
+    distance_cache cache(g);
+    const link_load_report shared = compute_vlb_loads(g, tm, cache);
+    EXPECT_EQ(cold.loads_ab, shared.loads_ab) << g.family;
+    EXPECT_EQ(cold.loads_ba, shared.loads_ba) << g.family;
+    EXPECT_EQ(cold.max_load, shared.max_load) << g.family;
+  }
+}
+
+}  // namespace
+}  // namespace pn

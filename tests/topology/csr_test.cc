@@ -1,0 +1,177 @@
+// CSR snapshot + distance cache: structural correctness of the flattened
+// arrays, epoch bumping on every mutation, and cache invalidation when
+// the graph changes underneath a warmed cache.
+#include "topology/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/distance_cache.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/graph.h"
+#include "topology/metrics.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+network_graph square_with_tail() {
+  network_graph g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_node({"n" + std::to_string(i), node_kind::tor, 16, 100_gbps, 4, 0,
+                i});
+  }
+  g.add_edge(node_id{0}, node_id{1}, 100_gbps);  // e0
+  g.add_edge(node_id{1}, node_id{2}, 100_gbps);  // e1
+  g.add_edge(node_id{2}, node_id{3}, 100_gbps);  // e2
+  g.add_edge(node_id{3}, node_id{0}, 100_gbps);  // e3
+  g.add_edge(node_id{3}, node_id{4}, 100_gbps);  // e4 (tail)
+  return g;
+}
+
+TEST(csr_graph, mirrors_adjacency_lists_in_order) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const csr_graph csr = csr_graph::build(g);
+
+  ASSERT_EQ(csr.num_nodes, g.node_count());
+  ASSERT_EQ(csr.row_offsets.size(), g.node_count() + 1);
+  EXPECT_EQ(csr.epoch, g.epoch());
+  EXPECT_EQ(csr.adjacency.size(), 2 * g.live_edges().size());
+
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    const auto& entries = g.neighbors(node_id{u});
+    const auto ui = static_cast<std::uint32_t>(u);
+    ASSERT_EQ(csr.degree(ui), entries.size());
+    const auto nbrs = csr.neighbors(ui);
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      const std::uint32_t k = csr.row_offsets[u] +
+                              static_cast<std::uint32_t>(j);
+      // Same neighbor, same edge, same position.
+      EXPECT_EQ(nbrs[j], entries[j].neighbor.index());
+      EXPECT_EQ(csr.arc_edge[k], entries[j].edge.index());
+      const edge_info& info = g.edge(entries[j].edge);
+      EXPECT_EQ(csr.arc_forward[k] != 0, info.a == node_id{u});
+      EXPECT_EQ(csr.edge_capacity[csr.arc_edge[k]], info.capacity.value());
+    }
+  }
+}
+
+TEST(csr_graph, excludes_dead_edges) {
+  network_graph g = square_with_tail();
+  g.remove_edge(edge_id{1});  // 1-2
+  const csr_graph csr = csr_graph::build(g);
+
+  EXPECT_EQ(csr.live_edge_count(), 4u);
+  EXPECT_EQ(csr.adjacency.size(), 8u);
+  EXPECT_TRUE(std::find(csr.arc_edge.begin(), csr.arc_edge.end(), 1u) ==
+              csr.arc_edge.end());
+  // live_edge_ids is ascending and matches the graph's live set.
+  const std::vector<std::uint32_t> expect_live = {0, 2, 3, 4};
+  EXPECT_EQ(csr.live_edge_ids, expect_live);
+  EXPECT_TRUE(std::is_sorted(csr.live_edge_ids.begin(),
+                             csr.live_edge_ids.end()));
+}
+
+TEST(csr_graph, epoch_bumps_on_every_mutation) {
+  network_graph g;
+  const std::uint64_t e0 = g.epoch();
+  g.add_node({"a", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  EXPECT_GT(g.epoch(), e0);
+  const std::uint64_t e1 = g.epoch();
+  g.add_node({"b", node_kind::tor, 8, 100_gbps, 0, 0, 0});
+  EXPECT_GT(g.epoch(), e1);
+  const std::uint64_t e2 = g.epoch();
+  const edge_id e = g.add_edge(node_id{0}, node_id{1}, 100_gbps);
+  EXPECT_GT(g.epoch(), e2);
+  const std::uint64_t e3 = g.epoch();
+  g.remove_edge(e);
+  EXPECT_GT(g.epoch(), e3);
+}
+
+TEST(csr_graph, stale_detects_mutation) {
+  network_graph g = square_with_tail();
+  const csr_graph csr = csr_graph::build(g);
+  EXPECT_FALSE(csr.stale(g));
+  g.remove_edge(edge_id{4});
+  EXPECT_TRUE(csr.stale(g));
+}
+
+TEST(bfs_workspace, matches_reference_bfs) {
+  const network_graph g = build_fat_tree(4, 100_gbps);
+  const csr_graph csr = csr_graph::build(g);
+  bfs_workspace ws;
+  std::vector<int> dist;
+  for (std::size_t s = 0; s < g.node_count(); ++s) {
+    ws.distances(csr, static_cast<std::uint32_t>(s), dist);
+    EXPECT_EQ(dist, bfs_distances(g, node_id{s})) << "source " << s;
+  }
+}
+
+TEST(bfs_workspace, masked_distances_skip_blocked_nodes) {
+  const network_graph g = square_with_tail();
+  const csr_graph csr = csr_graph::build(g);
+  bfs_workspace ws;
+  std::vector<int> dist;
+  std::vector<std::uint8_t> blocked(g.node_count(), 0);
+  blocked[3] = 1;  // node 4 hangs off node 3: blocking 3 strands it
+  ws.distances_masked(csr, 0, blocked, dist);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[4], -1);
+
+  // A blocked source yields an all-unreachable row.
+  ws.distances_masked(csr, 3, blocked, dist);
+  EXPECT_TRUE(std::all_of(dist.begin(), dist.end(),
+                          [](int d) { return d == -1; }));
+}
+
+TEST(distance_cache, row_is_memoized_until_mutation) {
+  network_graph g = square_with_tail();
+  distance_cache cache(g);
+
+  const std::vector<int> first = cache.row(node_id{0});
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)cache.row(node_id{0});
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first[4], 2);  // 0 -> 3 -> 4
+
+  // Satellite check: remove_edge bumps the epoch and invalidates every
+  // cached row — the next read reflects the mutated graph.
+  g.remove_edge(edge_id{3});  // cut 3-0
+  EXPECT_EQ(cache.rows_cached(), 1u);  // stale row still sitting there
+  const std::vector<int>& after = cache.row(node_id{0});
+  EXPECT_EQ(cache.misses(), 2u);  // recomputed, not served stale
+  EXPECT_EQ(after[4], 4);         // now 0 -> 1 -> 2 -> 3 -> 4
+  EXPECT_EQ(cache.rows_cached(), 1u);
+  EXPECT_EQ(cache.csr().epoch, g.epoch());
+}
+
+TEST(distance_cache, warm_all_thread_counts_agree) {
+  jellyfish_params p;
+  p.switches = 90;  // > 64 forces multiple multi-source BFS batches
+  p.radix = 8;
+  p.hosts_per_switch = 4;
+  p.seed = 11;
+  const network_graph g = build_jellyfish(p);
+  std::vector<node_id> all;
+  for (std::size_t i = 0; i < g.node_count(); ++i) all.push_back(node_id{i});
+
+  distance_cache serial(g);
+  serial.warm_all(all, 1);
+  distance_cache threaded(g);
+  threaded.warm_all(all, 4);
+  EXPECT_EQ(serial.rows_cached(), g.node_count());
+  EXPECT_EQ(threaded.rows_cached(), g.node_count());
+  for (node_id s : all) {
+    EXPECT_EQ(serial.row(s), threaded.row(s)) << "source " << s.index();
+    EXPECT_EQ(serial.row(s), bfs_distances(g, s)) << "source " << s.index();
+  }
+}
+
+}  // namespace
+}  // namespace pn
