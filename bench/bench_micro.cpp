@@ -7,6 +7,7 @@
 // runs are machine-comparable (see BENCH_micro.json at the repo root).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -312,6 +313,45 @@ void bm_run_sweep(benchmark::State& state) {
 }
 BENCHMARK(bm_run_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Checkpointing cost: the same 12-point sweep with per-point flushed
+// appends to a checkpoint file. The delta vs bm_run_sweep/4 is the
+// entire price of interrupt-safety at sweep granularity.
+void bm_run_sweep_checkpointed(benchmark::State& state) {
+  const std::vector<sweep_point> grid = sweep_grid_12();
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  const std::string path = "bench_micro_sweep.ckpt";
+  for (auto _ : state) {
+    std::remove(path.c_str());
+    sweep_options sopt;
+    sopt.jobs = static_cast<int>(state.range(0));
+    sopt.checkpoint_path = path;
+    benchmark::DoNotOptimize(run_sweep(grid, opt, sopt));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(bm_run_sweep_checkpointed)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Checkpoint entry serialization in isolation (escape + %.17g formatting
+// of all 29 report fields) — the per-completed-point CPU cost a sweep
+// worker pays under the writer mutex.
+void bm_checkpoint_line(benchmark::State& state) {
+  const network_graph g = build_fat_tree(8, 100_gbps);
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  const evaluation ev = evaluate_design_staged(g, "bench point", opt);
+  sweep_checkpoint_entry e;
+  e.point_index = 3;
+  e.seed = sweep_point_seed(1, 3);
+  e.ok = true;
+  e.report = ev.report;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_checkpoint_line(e));
+  }
+}
+BENCHMARK(bm_checkpoint_line);
 
 // Per-stage timing table for a representative evaluation, printed before
 // the benchmark runs so every bench log carries the pipeline breakdown.

@@ -1,0 +1,35 @@
+// Cooperative cancellation for long-running work.
+//
+// A cancel_token is a copyable handle onto one shared flag: every copy
+// observes the same cancellation request. Work that wants to be
+// interruptible (a multi-hour sweep, a staged evaluation) polls
+// cancelled() at safe points — between pipeline stages, between sweep
+// points — and drains cleanly instead of aborting. request_cancel() is a
+// single relaxed atomic store, so it is safe to call from a signal
+// handler once the token exists (the CLI's SIGINT handler does exactly
+// that).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace pn {
+
+class cancel_token {
+ public:
+  cancel_token() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  // Requests cancellation on every copy of this token. Idempotent.
+  void request_cancel() const {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace pn

@@ -8,6 +8,7 @@
 namespace pn {
 
 void sample_stats::add(double v) {
+  PN_CHECK_MSG(std::isfinite(v), "sample_stats::add: nonfinite sample");
   samples_.push_back(v);
   sum_ += v;
 }
@@ -59,6 +60,12 @@ histogram::histogram(double lo, double hi, std::size_t bins)
 }
 
 void histogram::add(double v) {
+  if (!std::isfinite(v)) {
+    // NaN fails every comparison below and casting it (or ±Inf) to an
+    // integer is UB — count it aside instead of corrupting a bin.
+    ++nonfinite_;
+    return;
+  }
   double raw = (v - lo_) / width_;
   if (raw < 0.0) raw = 0.0;
   auto bin = static_cast<std::size_t>(raw);

@@ -8,6 +8,8 @@ namespace pn {
 
 // Accumulates doubles and answers mean / percentile / extrema queries.
 // Percentile queries sort a copy lazily; fine at the sample counts we use.
+// Samples must be finite: one NaN would silently poison sum/mean/stddev
+// and make percentile's sort order unspecified, so add() PN_CHECKs.
 class sample_stats {
  public:
   void add(double v);
@@ -32,7 +34,10 @@ class sample_stats {
   double sum_ = 0.0;
 };
 
-// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+// Fixed-width histogram over [lo, hi); finite values outside clamp to
+// end bins. NaN and ±Inf have no meaningful bin — casting them to an
+// index is undefined behavior — so they are tallied separately under
+// nonfinite() and excluded from total().
 class histogram {
  public:
   histogram(double lo, double hi, std::size_t bins);
@@ -42,13 +47,16 @@ class histogram {
   [[nodiscard]] std::size_t count(std::size_t bin) const;
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
+  // Finite samples only; nonfinite() counts the NaN/Inf ones.
   [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t nonfinite() const { return nonfinite_; }
 
  private:
   double lo_;
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nonfinite_ = 0;
 };
 
 }  // namespace pn

@@ -20,8 +20,31 @@ const char* status_code_name(status_code c) {
       return "constraint_violated";
     case status_code::unavailable:
       return "unavailable";
+    case status_code::cancelled:
+      return "cancelled";
+    case status_code::deadline_exceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
+}
+
+std::optional<status_code> status_code_from_name(std::string_view name) {
+  static constexpr status_code all[] = {
+      status_code::ok,
+      status_code::invalid_argument,
+      status_code::not_found,
+      status_code::out_of_range,
+      status_code::infeasible,
+      status_code::capacity_exceeded,
+      status_code::constraint_violated,
+      status_code::unavailable,
+      status_code::cancelled,
+      status_code::deadline_exceeded,
+  };
+  for (const status_code c : all) {
+    if (name == status_code_name(c)) return c;
+  }
+  return std::nullopt;
 }
 
 std::string status::to_string() const {

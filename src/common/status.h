@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
@@ -23,9 +24,15 @@ enum class status_code {
   capacity_exceeded,  // a physical capacity (tray, plenum, power) overflows
   constraint_violated,// a twin constraint check failed
   unavailable,        // the operation cannot run in the current state
+  cancelled,          // cooperative cancellation was requested mid-run
+  deadline_exceeded,  // a wall-clock budget expired before completion
 };
 
 [[nodiscard]] const char* status_code_name(status_code c);
+
+// Inverse of status_code_name (for checkpoint/CSV re-parsing).
+[[nodiscard]] std::optional<status_code> status_code_from_name(
+    std::string_view name);
 
 // A success-or-error value. Cheap to copy on success (empty message).
 class status {
@@ -67,6 +74,12 @@ class status {
 }
 [[nodiscard]] inline status unavailable_error(std::string msg) {
   return {status_code::unavailable, std::move(msg)};
+}
+[[nodiscard]] inline status cancelled_error(std::string msg) {
+  return {status_code::cancelled, std::move(msg)};
+}
+[[nodiscard]] inline status deadline_error(std::string msg) {
+  return {status_code::deadline_exceeded, std::move(msg)};
 }
 
 // A value or an error status. value() PN_CHECKs on error, so call sites

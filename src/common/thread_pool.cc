@@ -42,6 +42,18 @@ void thread_pool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+std::size_t thread_pool::cancel_pending() {
+  std::deque<std::function<void()>> dropped;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    dropped.swap(queue_);
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  // Destroy the dropped tasks outside the lock (they may own captures
+  // with nontrivial destructors).
+  return dropped.size();
+}
+
 void thread_pool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -77,6 +89,34 @@ void parallel_for(int threads, std::size_t n,
     }
   };
   // The pool never outlives this frame, so capturing locals is safe.
+  const int spawned =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads), n));
+  thread_pool pool(spawned);
+  for (int t = 0; t < spawned; ++t) {
+    pool.submit(drain);
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  const cancel_token& cancel) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel.cancelled()) return;
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      if (cancel.cancelled()) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
   const int spawned =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads), n));
   thread_pool pool(spawned);

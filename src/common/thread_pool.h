@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace pn {
 
 // Hardware concurrency, clamped to at least 1 (the standard allows 0).
@@ -35,6 +37,11 @@ class thread_pool {
 
   // Blocks until every submitted task has finished and the queue is empty.
   void wait_idle();
+
+  // Discards every queued-but-unstarted task (clean drain: tasks already
+  // running finish normally, nothing new starts). Returns how many tasks
+  // were dropped. Safe to call concurrently with submit/wait_idle.
+  std::size_t cancel_pending();
 
   [[nodiscard]] int thread_count() const {
     return static_cast<int>(workers_.size());
@@ -59,5 +66,14 @@ class thread_pool {
 // on i.
 void parallel_for(int threads, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
+
+// Cancellable variant: checks `cancel` before dispatching each index and
+// stops handing out new work once cancellation is requested. Indices
+// already in flight run to completion (cooperative drain, never abort);
+// indices never dispatched are simply skipped — callers that need to know
+// which ones track it themselves.
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  const cancel_token& cancel);
 
 }  // namespace pn

@@ -1,0 +1,322 @@
+#include "core/checkpoint.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// Space-separated tokens need escaping for free-form strings (labels can
+// hold anything a caller puts in a sweep_point label, including spaces
+// and newlines). \e marks the empty string so every field stays exactly
+// one non-empty token.
+std::string escape_token(const std::string& s) {
+  if (s.empty()) return "\\e";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape_token(const std::string& t, std::string& out) {
+  if (t == "\\e") {
+    out.clear();
+    return true;
+  }
+  out.clear();
+  out.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] != '\\') {
+      out += t[i];
+      continue;
+    }
+    if (i + 1 >= t.size()) return false;  // lone trailing backslash
+    switch (t[++i]) {
+      case '\\': out += '\\'; break;
+      case 's': out += ' '; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+// %.17g round-trips IEEE doubles exactly; that exactness is load-bearing
+// for byte-identical resumed CSVs.
+std::string fmt_double(double v) { return str_format("%.17g", v); }
+
+bool parse_double(const std::string& t, double& out) {
+  if (t.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(t.c_str(), &end);
+  return end == t.c_str() + t.size();
+}
+
+bool parse_u64(const std::string& t, std::uint64_t& out) {
+  if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out = std::strtoull(t.c_str(), nullptr, 10);
+  return true;
+}
+
+bool parse_size(const std::string& t, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(t, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_int(const std::string& t, int& out) {
+  double v = 0.0;
+  if (!parse_double(t, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+constexpr char header_magic[] = "physnet-sweep-checkpoint";
+constexpr char header_version[] = "v1";
+
+// Token counts: "ok <index> <seed>" + 29 report fields, and
+// "fail <index> <seed> <label> <stage> <code> <message>".
+constexpr std::size_t ok_token_count = 3 + 29;
+constexpr std::size_t fail_token_count = 7;
+
+}  // namespace
+
+const sweep_checkpoint_entry* sweep_checkpoint::find(
+    std::size_t index) const {
+  const auto it = entries.find(index);
+  return it == entries.end() ? nullptr : &it->second;
+}
+
+std::string sweep_checkpoint_header(std::uint64_t base_seed,
+                                    std::size_t point_count) {
+  std::ostringstream out;
+  out << header_magic << ' ' << header_version << " seed " << base_seed
+      << " points " << point_count << "\n";
+  return out.str();
+}
+
+std::string sweep_checkpoint_line(const sweep_checkpoint_entry& e) {
+  std::ostringstream out;
+  if (e.ok) {
+    const deployability_report& r = e.report;
+    out << "ok " << e.point_index << ' ' << e.seed << ' '
+        << escape_token(r.name) << ' ' << escape_token(r.family) << ' '
+        << r.switches << ' ' << r.hosts << ' ' << r.links << ' '
+        << fmt_double(r.mean_path_length) << ' ' << r.diameter << ' '
+        << fmt_double(r.throughput_alpha_uniform) << ' '
+        << fmt_double(r.bisection_gbps_per_host) << ' '
+        << fmt_double(r.switch_cost.value()) << ' '
+        << fmt_double(r.cable_cost.value()) << ' '
+        << fmt_double(r.transceiver_cost.value()) << ' '
+        << fmt_double(r.capex_per_host.value()) << ' '
+        << fmt_double(r.switch_power.value()) << ' '
+        << fmt_double(r.cable_power.value()) << ' '
+        << fmt_double(r.time_to_deploy.value()) << ' '
+        << fmt_double(r.deploy_labor.value()) << ' '
+        << fmt_double(r.first_pass_yield) << ' '
+        << fmt_double(r.bundleability) << ' ' << r.distinct_bundle_skus
+        << ' ' << fmt_double(r.optics_fraction) << ' '
+        << fmt_double(r.mean_cable_length_m) << ' '
+        << fmt_double(r.p95_cable_length_m) << ' '
+        << fmt_double(r.max_tray_fill) << ' '
+        << fmt_double(r.max_plenum_fill) << ' '
+        << fmt_double(r.availability) << ' '
+        << fmt_double(r.mean_mttr.value()) << ' '
+        << fmt_double(r.rewires_per_added_switch) << ' '
+        << fmt_double(r.eval_total_ms);
+  } else {
+    out << "fail " << e.point_index << ' ' << e.seed << ' '
+        << escape_token(e.label) << ' ' << eval_stage_name(e.stage) << ' '
+        << status_code_name(e.error.code()) << ' '
+        << escape_token(e.error.message());
+  }
+  out << "\n";
+  return out.str();
+}
+
+result<sweep_checkpoint_entry> parse_sweep_checkpoint_line(
+    const std::string& line) {
+  const std::vector<std::string> tok = split(line, ' ');
+  auto fail = [](const std::string& why) {
+    return invalid_argument_error("checkpoint entry: " + why);
+  };
+  if (tok.empty()) return fail("empty line");
+
+  sweep_checkpoint_entry e;
+  if (tok[0] == "ok") {
+    if (tok.size() != ok_token_count) return fail("wrong ok field count");
+    deployability_report& r = e.report;
+    e.ok = true;
+    double d = 0.0;
+    std::size_t t = 1;
+    const bool fields_ok =
+        parse_size(tok[t++], e.point_index) &&          // index
+        parse_u64(tok[t++], e.seed) &&                  // seed
+        unescape_token(tok[t++], r.name) &&             // name
+        unescape_token(tok[t++], r.family) &&           // family
+        parse_size(tok[t++], r.switches) &&             //
+        parse_size(tok[t++], r.hosts) &&                //
+        parse_size(tok[t++], r.links) &&                //
+        parse_double(tok[t++], r.mean_path_length) &&   //
+        parse_int(tok[t++], r.diameter) &&              //
+        parse_double(tok[t++], r.throughput_alpha_uniform) &&
+        parse_double(tok[t++], r.bisection_gbps_per_host);
+    if (!fields_ok) return fail("bad ok field");
+    const auto money = [&](dollars& field) {
+      if (!parse_double(tok[t++], d)) return false;
+      field = dollars{d};
+      return true;
+    };
+    const auto power = [&](watts& field) {
+      if (!parse_double(tok[t++], d)) return false;
+      field = watts{d};
+      return true;
+    };
+    const auto time = [&](hours& field) {
+      if (!parse_double(tok[t++], d)) return false;
+      field = hours{d};
+      return true;
+    };
+    const bool units_ok = money(r.switch_cost) && money(r.cable_cost) &&
+                          money(r.transceiver_cost) &&
+                          money(r.capex_per_host) && power(r.switch_power) &&
+                          power(r.cable_power) && time(r.time_to_deploy) &&
+                          time(r.deploy_labor);
+    if (!units_ok) return fail("bad ok unit field");
+    const bool tail_ok =
+        parse_double(tok[t++], r.first_pass_yield) &&
+        parse_double(tok[t++], r.bundleability) &&
+        parse_size(tok[t++], r.distinct_bundle_skus) &&
+        parse_double(tok[t++], r.optics_fraction) &&
+        parse_double(tok[t++], r.mean_cable_length_m) &&
+        parse_double(tok[t++], r.p95_cable_length_m) &&
+        parse_double(tok[t++], r.max_tray_fill) &&
+        parse_double(tok[t++], r.max_plenum_fill) &&
+        parse_double(tok[t++], r.availability) && time(r.mean_mttr) &&
+        parse_double(tok[t++], r.rewires_per_added_switch) &&
+        parse_double(tok[t++], r.eval_total_ms);
+    if (!tail_ok) return fail("bad ok tail field");
+    e.label = r.name;
+    return e;
+  }
+
+  if (tok[0] == "fail") {
+    if (tok.size() != fail_token_count) return fail("wrong fail field count");
+    e.ok = false;
+    if (!parse_size(tok[1], e.point_index) || !parse_u64(tok[2], e.seed)) {
+      return fail("bad fail index/seed");
+    }
+    if (!unescape_token(tok[3], e.label)) return fail("bad fail label");
+    const std::optional<eval_stage> stage = eval_stage_from_name(tok[4]);
+    if (!stage.has_value()) return fail("unknown stage " + tok[4]);
+    e.stage = *stage;
+    const std::optional<status_code> code = status_code_from_name(tok[5]);
+    if (!code.has_value() || *code == status_code::ok) {
+      return fail("bad status code " + tok[5]);
+    }
+    std::string message;
+    if (!unescape_token(tok[6], message)) return fail("bad fail message");
+    e.error = status(*code, std::move(message));
+    return e;
+  }
+
+  return fail("unknown entry kind " + tok[0]);
+}
+
+result<sweep_checkpoint> load_sweep_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return not_found_error("cannot open checkpoint " + path);
+  }
+
+  sweep_checkpoint cp;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return invalid_argument_error("checkpoint is empty: " + path);
+  }
+  {
+    const std::vector<std::string> tok = split(line, ' ');
+    if (tok.size() != 6 || tok[0] != header_magic ||
+        tok[1] != header_version || tok[2] != "seed" || tok[4] != "points" ||
+        !parse_u64(tok[3], cp.base_seed) ||
+        !parse_size(tok[5], cp.point_count)) {
+      return invalid_argument_error("bad checkpoint header: " + path);
+    }
+  }
+
+  // Entry lines. Only a malformed *final* line is forgiven (a crash can
+  // tear the last append); bad interior lines mean the file is not ours.
+  std::size_t line_no = 1;
+  bool pending_error = false;
+  std::string pending_message;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (pending_error) {
+      return invalid_argument_error(pending_message);
+    }
+    if (line.empty()) continue;
+    auto entry = parse_sweep_checkpoint_line(line);
+    if (!entry.is_ok()) {
+      pending_error = true;
+      pending_message = str_format("%s (line %zu of %s)",
+                                   entry.error().message().c_str(), line_no,
+                                   path.c_str());
+      continue;
+    }
+    if (entry.value().point_index >= cp.point_count) {
+      return invalid_argument_error(
+          str_format("checkpoint point %zu out of range (grid has %zu)",
+                     entry.value().point_index, cp.point_count));
+    }
+    cp.entries[entry.value().point_index] = std::move(entry).value();
+  }
+  return cp;
+}
+
+status sweep_checkpoint_writer::open(const std::string& path,
+                                     std::uint64_t base_seed,
+                                     std::size_t point_count) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool fresh = true;
+  {
+    std::ifstream probe(path);
+    fresh = !probe || probe.peek() == std::ifstream::traits_type::eof();
+  }
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    return unavailable_error("cannot open checkpoint for append: " + path);
+  }
+  if (fresh) {
+    out_ << sweep_checkpoint_header(base_seed, point_count);
+    out_.flush();
+  }
+  return status::ok();
+}
+
+void sweep_checkpoint_writer::append(const sweep_checkpoint_entry& e) {
+  const std::string line = sweep_checkpoint_line(e);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << line;
+  out_.flush();
+}
+
+}  // namespace pn

@@ -1,0 +1,101 @@
+// Sweep checkpointing: crash/interrupt-safe persistence of completed
+// sweep points.
+//
+// The paper's §2.3 arithmetic cuts both ways: a multi-hour design-space
+// sweep that loses everything on a ^C is itself a deployability failure.
+// The checkpoint file is line-oriented and append-only — one header line
+// plus one line per *completed* point (success or real failure; points
+// cancelled mid-run are deliberately not recorded, so a resume re-runs
+// them). A crash can tear at most the final line, which the loader
+// ignores.
+//
+//   physnet-sweep-checkpoint v1 seed <base_seed> points <grid_size>
+//   ok <index> <point_seed> <report fields...>
+//   fail <index> <point_seed> <label> <stage> <status_code> <message>
+//
+// Fields are space-separated; free-form strings are backslash-escaped
+// (\s space, \n newline, \r CR, \t tab, \\ backslash, \e empty) and
+// doubles are written as %.17g, which round-trips IEEE doubles exactly —
+// that exactness is what makes a resumed sweep's merged CSV byte-identical
+// to an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+
+namespace pn {
+
+// One completed point: either a full report (ok) or a structured failure
+// (label + failing stage + status). point seeds are stored so a resume
+// can verify the checkpoint belongs to the sweep being resumed.
+struct sweep_checkpoint_entry {
+  std::size_t point_index = 0;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  deployability_report report;  // meaningful when ok
+  // Failure fields, meaningful when !ok.
+  std::string label;
+  eval_stage stage = eval_stage::topology_metrics;
+  status error;
+};
+
+struct sweep_checkpoint {
+  std::uint64_t base_seed = 0;
+  std::size_t point_count = 0;
+  // Completed points by grid index. Duplicate lines (a point re-recorded
+  // by an overlapping resume) keep the last occurrence.
+  std::map<std::size_t, sweep_checkpoint_entry> entries;
+
+  [[nodiscard]] const sweep_checkpoint_entry* find(std::size_t index) const;
+};
+
+// Serialization of the header / one entry (newline-terminated).
+[[nodiscard]] std::string sweep_checkpoint_header(std::uint64_t base_seed,
+                                                  std::size_t point_count);
+[[nodiscard]] std::string sweep_checkpoint_line(
+    const sweep_checkpoint_entry& e);
+
+// Parses one entry line (no trailing newline required). Exposed for the
+// round-trip property tests.
+[[nodiscard]] result<sweep_checkpoint_entry> parse_sweep_checkpoint_line(
+    const std::string& line);
+
+// Loads a checkpoint file. A malformed *final* line (torn by a crash
+// mid-append) is ignored; malformed interior lines and a bad header are
+// errors.
+[[nodiscard]] result<sweep_checkpoint> load_sweep_checkpoint(
+    const std::string& path);
+
+// Appends completed-point entries as a sweep runs. Thread-safe: sweep
+// workers finish points concurrently. Every append is flushed, so an
+// interrupted run persists everything it completed.
+class sweep_checkpoint_writer {
+ public:
+  sweep_checkpoint_writer() = default;
+  sweep_checkpoint_writer(const sweep_checkpoint_writer&) = delete;
+  sweep_checkpoint_writer& operator=(const sweep_checkpoint_writer&) = delete;
+
+  // Opens `path` for append, writing the header first when the file is
+  // new or empty. Resuming appends to the existing file (the loader
+  // keeps the last duplicate of a point, so overlap is harmless).
+  [[nodiscard]] status open(const std::string& path,
+                            std::uint64_t base_seed,
+                            std::size_t point_count);
+
+  void append(const sweep_checkpoint_entry& e);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace pn

@@ -77,7 +77,9 @@ evaluation evaluate_design_staged(const network_graph& g,
                 repair_sim_result{},
                 stage_trace{}};
   deployability_report& rep = ev.report;
-  stage_pipeline pipe(&ev.trace);
+  stage_pipeline pipe(&ev.trace,
+                      stage_guards{opt.cancel, opt.deadline_ms,
+                                   opt.fault_hook});
 
   // One CSR snapshot + BFS distance cache for the whole evaluation: the
   // topology-metrics stage fills the host-facing rows once and every

@@ -54,6 +54,16 @@ struct evaluation_options {
   // The cached rows are deterministic, so this knob never changes results.
   int distance_warm_threads = 1;
 
+  // Pre-stage guards (see core/pipeline.h): cooperative cancellation,
+  // a wall-clock budget for the whole evaluation (0 = unlimited,
+  // measured from the evaluate_design_staged call), and a fault hook for
+  // deterministic chaos testing. A tripped guard fails the next stage
+  // with status_code::cancelled / deadline_exceeded / the injected
+  // status; stages already running finish normally.
+  cancel_token cancel;
+  double deadline_ms = 0.0;
+  std::function<status(eval_stage)> fault_hook;
+
   std::uint64_t seed = 1;
 };
 

@@ -1,0 +1,75 @@
+#include "core/fault.h"
+
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer sweep_point_seed uses, applied to
+// a combination of the plan seed, the point, and the stage so every
+// (point, stage) pair draws an independent uniform.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool fault_plan::should_fail(std::size_t point_index,
+                             eval_stage stage) const {
+  for (const fault_target& t : targets) {
+    if (t.point_index == point_index && t.stage == stage) return true;
+  }
+  if (probability > 0.0) {
+    std::uint64_t z = seed;
+    z = mix64(z + (static_cast<std::uint64_t>(point_index) + 1) *
+                      0x9e3779b97f4a7c15ULL);
+    z = mix64(z + (static_cast<std::uint64_t>(stage) + 1) *
+                      0x9e3779b97f4a7c15ULL);
+    // Same uniform-in-[0,1) construction as rng::next_double.
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    if (u < probability) return true;
+  }
+  return false;
+}
+
+status fault_plan::injected_status(std::size_t point_index,
+                                   eval_stage stage) {
+  return unavailable_error(str_format("injected fault (point %zu, stage %s)",
+                                      point_index,
+                                      eval_stage_name(stage)));
+}
+
+result<std::vector<fault_target>> parse_fault_targets(
+    std::string_view spec) {
+  std::vector<fault_target> out;
+  for (const std::string& pair : split(spec, ',')) {
+    if (pair.empty()) continue;
+    const auto colon = pair.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= pair.size()) {
+      return invalid_argument_error("fault spec pair must be POINT:STAGE: " +
+                                    pair);
+    }
+    const std::string point_str = pair.substr(0, colon);
+    if (point_str.find_first_not_of("0123456789") != std::string::npos) {
+      return invalid_argument_error("fault spec point must be a number: " +
+                                    pair);
+    }
+    const std::string stage_str = pair.substr(colon + 1);
+    const std::optional<eval_stage> stage = eval_stage_from_name(stage_str);
+    if (!stage.has_value()) {
+      return invalid_argument_error("unknown stage in fault spec: " +
+                                    stage_str);
+    }
+    out.push_back(fault_target{std::stoull(point_str), *stage});
+  }
+  if (out.empty()) {
+    return invalid_argument_error("fault spec names no POINT:STAGE pairs");
+  }
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,60 @@
+// Deterministic fault injection for the sweep engine.
+//
+// Production-robustness claims ("every stage failure becomes a structured
+// sweep_failure, no crash, no leaked pool thread, nonzero CLI exit") are
+// only testable if failures can be provoked on demand. A fault_plan
+// describes which (point, stage) pairs must fail: an explicit target list
+// ("fail the cabling stage at point 3"), a seeded Bernoulli rate over
+// every (point, stage) pair, or both. The decision is a pure function of
+// (plan, point_index, stage) — independent of thread schedule, job count,
+// and wall clock — so an injected run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+
+namespace pn {
+
+struct fault_target {
+  std::size_t point_index = 0;
+  eval_stage stage = eval_stage::topology_metrics;
+};
+
+struct fault_plan {
+  // Explicit (point, stage) pairs that must fail.
+  std::vector<fault_target> targets;
+
+  // Additionally fail each (point, stage) pair with this probability,
+  // decided by a hash of (seed, point_index, stage). 0 = off.
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool empty() const {
+    return targets.empty() && probability <= 0.0;
+  }
+
+  // True iff this plan injects a failure into `stage` of point
+  // `point_index`. Deterministic.
+  [[nodiscard]] bool should_fail(std::size_t point_index,
+                                 eval_stage stage) const;
+
+  // The status an injected failure carries; message is deterministic
+  // ("injected fault (point N, stage S)") so failure CSVs of equal runs
+  // compare byte-for-byte.
+  [[nodiscard]] static status injected_status(std::size_t point_index,
+                                              eval_stage stage);
+};
+
+// Parses a CLI fault spec: comma-separated POINT:STAGE pairs, e.g.
+// "0:cabling,3:repair_sim". Fails with invalid_argument on malformed
+// pairs or unknown stage names.
+[[nodiscard]] result<std::vector<fault_target>> parse_fault_targets(
+    std::string_view spec);
+
+}  // namespace pn

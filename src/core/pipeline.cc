@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -27,6 +28,13 @@ const char* eval_stage_name(eval_stage s) {
       return "report";
   }
   return "unknown";
+}
+
+std::optional<eval_stage> eval_stage_from_name(std::string_view name) {
+  for (const eval_stage s : all_eval_stages()) {
+    if (name == eval_stage_name(s)) return s;
+  }
+  return std::nullopt;
 }
 
 const std::array<eval_stage, eval_stage_count>& all_eval_stages() {
@@ -99,14 +107,49 @@ status stage_trace::first_error() const {
   return status::ok();
 }
 
-stage_pipeline::stage_pipeline(stage_trace* trace) : trace_(trace) {
+stage_pipeline::stage_pipeline(stage_trace* trace, stage_guards guards)
+    : trace_(trace), guards_(std::move(guards)) {
   PN_CHECK(trace != nullptr);
+  PN_CHECK(guards_.deadline_ms >= 0.0);
+  if (guards_.deadline_ms > 0.0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        guards_.deadline_ms));
+  }
+}
+
+std::optional<status> stage_pipeline::guard_failure(eval_stage s) const {
+  // Cancellation wins over the deadline: both messages are deterministic
+  // (no wall times), so failure CSVs from equal runs stay byte-identical.
+  if (guards_.cancel.cancelled()) {
+    return cancelled_error(std::string("cancelled before stage ") +
+                           eval_stage_name(s));
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return deadline_error(std::string("deadline exceeded before stage ") +
+                          eval_stage_name(s));
+  }
+  if (guards_.fault_hook) {
+    status injected = guards_.fault_hook(s);
+    if (!injected.is_ok()) return injected;
+  }
+  return std::nullopt;
 }
 
 status stage_pipeline::run(eval_stage s,
                            const std::function<status(stage_record&)>& fn) {
   stage_record& rec = trace_->at(s);
   if (failed_) return trace_->first_error();  // record stays not_run
+
+  if (std::optional<status> tripped = guard_failure(s)) {
+    // The stage body never ran: outcome failed, zero wall time.
+    rec.outcome = stage_outcome::failed;
+    rec.error = *tripped;
+    failed_ = true;
+    return *tripped;
+  }
 
   const auto start = std::chrono::steady_clock::now();
   status st = fn(rec);

@@ -11,12 +11,15 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/table.h"
 
@@ -37,6 +40,10 @@ enum class eval_stage : std::uint8_t {
 inline constexpr std::size_t eval_stage_count = 8;
 
 [[nodiscard]] const char* eval_stage_name(eval_stage s);
+
+// Inverse of eval_stage_name (for CLI fault specs / checkpoint parsing).
+[[nodiscard]] std::optional<eval_stage> eval_stage_from_name(
+    std::string_view name);
 
 // All stages in execution order (for iteration / CSV headers).
 [[nodiscard]] const std::array<eval_stage, eval_stage_count>&
@@ -87,15 +94,39 @@ struct stage_trace {
   [[nodiscard]] status first_error() const;
 };
 
+// Pre-stage guards checked by stage_pipeline::run before every stage
+// body: cooperative cancellation, a wall-clock deadline for the whole
+// pipeline, and a fault hook for deterministic chaos testing. Each guard
+// converts into an ordinary stage failure (outcome failed + status), so
+// downstream failure handling — sweep_failure records, CSV rows, exit
+// codes — needs no special cases.
+struct stage_guards {
+  // Polled before each stage; a cancelled token fails the next stage
+  // with status_code::cancelled. Stages already running finish normally
+  // (cooperative drain, never abort).
+  cancel_token cancel;
+
+  // Wall-clock budget for the whole pipeline, measured from pipeline
+  // construction. 0 = unlimited. Expiry fails the next stage with
+  // status_code::deadline_exceeded.
+  double deadline_ms = 0.0;
+
+  // Called before each stage; a non-ok return fails that stage with the
+  // returned status, without running the stage body. Used by the sweep
+  // fault-injection harness (see core/fault.h).
+  std::function<status(eval_stage)> fault_hook;
+};
+
 // Runs stages in order against a trace. After a stage fails, subsequent
 // run() calls are no-ops (their records stay not_run), so the evaluator
 // body can stay a straight line of run() calls with one exit check.
 class stage_pipeline {
  public:
-  explicit stage_pipeline(stage_trace* trace);
+  explicit stage_pipeline(stage_trace* trace, stage_guards guards = {});
 
-  // Executes fn (unless a previous stage failed), timing it and storing
-  // the outcome. fn receives its stage_record to attach counters.
+  // Executes fn (unless a previous stage failed or a guard trips),
+  // timing it and storing the outcome. fn receives its stage_record to
+  // attach counters.
   status run(eval_stage s, const std::function<status(stage_record&)>& fn);
 
   // Marks a stage disabled-by-options. Records outcome skipped, zero time.
@@ -104,7 +135,13 @@ class stage_pipeline {
   [[nodiscard]] bool failed() const { return failed_; }
 
  private:
+  // Returns the guard failure for stage s, if any guard trips.
+  [[nodiscard]] std::optional<status> guard_failure(eval_stage s) const;
+
   stage_trace* trace_;
+  stage_guards guards_;
+  std::chrono::steady_clock::time_point deadline_{};  // meaningful iff set
+  bool has_deadline_ = false;
   bool failed_ = false;
 };
 

@@ -1,8 +1,10 @@
 #include "core/sweep.h"
 
+#include <atomic>
 #include <sstream>
 #include <utility>
 
+#include "common/check.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
@@ -29,44 +31,149 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
   // Each point writes only its own slot, so workers never contend;
   // ordering is restored by the assembly loop below.
   struct point_slot {
-    bool ok = false;
+    enum class state : std::uint8_t {
+      pending,    // never dispatched (or drained before starting)
+      ok,         // completed with a report
+      failed,     // completed with a structured failure
+      cancelled,  // interrupted between stages — a resume re-runs it
+      restored,   // taken from the resume checkpoint, not re-evaluated
+    };
+    state st = state::pending;
+    bool restored_ok = false;  // meaningful when st == restored
     deployability_report report;
     stage_trace trace;
     sweep_failure failure;
   };
   std::vector<point_slot> slots(grid.size());
 
-  const int jobs = sopt.jobs == 0 ? default_thread_count() : sopt.jobs;
-  parallel_for(jobs, grid.size(), [&](std::size_t i) {
-    const sweep_point& point = grid[i];
-    evaluation_options popt = opt;
-    popt.seed = sweep_point_seed(opt.seed, i);
-    // A parallel sweep already keeps every core busy; nested distance-
-    // cache warming would only oversubscribe. (Warm threads never affect
-    // results, so jobs=N stays bit-identical to jobs=1.)
-    if (jobs > 1) popt.distance_warm_threads = 1;
-    const network_graph g = point.build();
-    evaluation ev = evaluate_design_staged(g, point.label, popt);
-    point_slot& slot = slots[i];
-    if (ev.trace.ok()) {
-      slot.ok = true;
-      slot.report = std::move(ev.report);
-      slot.trace = std::move(ev.trace);
-    } else {
-      slot.failure = sweep_failure{i, point.label, *ev.trace.failed_stage(),
-                                   ev.trace.first_error()};
-    }
-  });
-
-  sweep_results out;
-  for (point_slot& slot : slots) {
-    if (slot.ok) {
-      out.reports.push_back(std::move(slot.report));
-      out.traces.push_back(std::move(slot.trace));
-    } else {
-      out.failures.push_back(std::move(slot.failure));
+  // Resume: splice previously completed points straight into their slots.
+  if (sopt.resume != nullptr) {
+    PN_CHECK_MSG(sopt.resume->base_seed == opt.seed,
+                 "resume checkpoint seed " << sopt.resume->base_seed
+                                           << " != sweep seed " << opt.seed);
+    PN_CHECK_MSG(sopt.resume->point_count == grid.size(),
+                 "resume checkpoint has " << sopt.resume->point_count
+                                          << " points, grid has "
+                                          << grid.size());
+    for (const auto& [index, entry] : sopt.resume->entries) {
+      PN_CHECK_MSG(entry.seed == sweep_point_seed(opt.seed, index),
+                   "checkpoint entry " << index
+                                       << " has a foreign per-point seed");
+      point_slot& slot = slots[index];
+      slot.st = point_slot::state::restored;
+      slot.restored_ok = entry.ok;
+      if (entry.ok) {
+        slot.report = entry.report;
+      } else {
+        slot.failure =
+            sweep_failure{index, entry.label, entry.stage, entry.error};
+      }
     }
   }
+
+  sweep_checkpoint_writer checkpoint;
+  if (!sopt.checkpoint_path.empty()) {
+    const status st =
+        checkpoint.open(sopt.checkpoint_path, opt.seed, grid.size());
+    PN_CHECK_MSG(st.is_ok(), st.to_string());
+  }
+
+  const cancel_token& cancel = sopt.cancel;
+  std::atomic<std::size_t> completed{0};
+  const auto note_completion = [&] {
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (sopt.cancel_after_points > 0 && done >= sopt.cancel_after_points) {
+      cancel.request_cancel();
+    }
+  };
+
+  const int jobs = sopt.jobs == 0 ? default_thread_count() : sopt.jobs;
+  parallel_for(
+      jobs, grid.size(),
+      [&](std::size_t i) {
+        point_slot& slot = slots[i];
+        if (slot.st == point_slot::state::restored) return;
+        if (cancel.cancelled()) return;  // slot stays pending
+
+        const sweep_point& point = grid[i];
+        evaluation_options popt = opt;
+        popt.seed = sweep_point_seed(opt.seed, i);
+        // A parallel sweep already keeps every core busy; nested distance-
+        // cache warming would only oversubscribe. (Warm threads never
+        // affect results, so jobs=N stays bit-identical to jobs=1.)
+        if (jobs > 1) popt.distance_warm_threads = 1;
+        popt.cancel = cancel;
+        popt.deadline_ms = sopt.point_deadline_ms;
+        if (!sopt.faults.empty()) {
+          const fault_plan& faults = sopt.faults;
+          popt.fault_hook = [i, &faults](eval_stage s) -> status {
+            if (faults.should_fail(i, s)) {
+              return fault_plan::injected_status(i, s);
+            }
+            return status::ok();
+          };
+        }
+
+        const network_graph g = point.build();
+        evaluation ev = evaluate_design_staged(g, point.label, popt);
+        if (ev.trace.ok()) {
+          slot.st = point_slot::state::ok;
+          slot.report = std::move(ev.report);
+          slot.trace = std::move(ev.trace);
+          if (checkpoint.is_open()) {
+            checkpoint.append(sweep_checkpoint_entry{
+                i, popt.seed, true, slot.report, slot.report.name,
+                eval_stage::topology_metrics, status::ok()});
+          }
+          note_completion();
+          return;
+        }
+        const status err = ev.trace.first_error();
+        if (err.code() == status_code::cancelled) {
+          // Interrupted between stages: not an outcome, just undone work.
+          // Deliberately not checkpointed, so a resume re-runs the point.
+          slot.st = point_slot::state::cancelled;
+          return;
+        }
+        slot.st = point_slot::state::failed;
+        slot.failure =
+            sweep_failure{i, point.label, *ev.trace.failed_stage(), err};
+        if (checkpoint.is_open()) {
+          checkpoint.append(sweep_checkpoint_entry{
+              i, popt.seed, false, deployability_report{}, slot.failure.label,
+              slot.failure.stage, slot.failure.error});
+        }
+        note_completion();
+      },
+      cancel);
+
+  sweep_results out;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    point_slot& slot = slots[i];
+    switch (slot.st) {
+      case point_slot::state::ok:
+        out.reports.push_back(std::move(slot.report));
+        out.traces.push_back(std::move(slot.trace));
+        break;
+      case point_slot::state::restored:
+        ++out.resumed_points;
+        if (slot.restored_ok) {
+          out.reports.push_back(std::move(slot.report));
+          out.traces.emplace_back();  // this run did not execute the stages
+        } else {
+          out.failures.push_back(std::move(slot.failure));
+        }
+        break;
+      case point_slot::state::failed:
+        out.failures.push_back(std::move(slot.failure));
+        break;
+      case point_slot::state::pending:
+      case point_slot::state::cancelled:
+        out.cancelled_points.push_back(i);
+        break;
+    }
+  }
+  out.cancelled = cancel.cancelled();
   return out;
 }
 

@@ -8,6 +8,14 @@
 // (sweep_options::jobs). Each point evaluates under its own seed derived
 // from (options.seed, point index); results are emitted in input order,
 // so a parallel sweep is bit-identical to a serial one.
+//
+// The driver is production-robust: it can be cancelled cooperatively
+// (sweep_options::cancel — running points drain at the next stage
+// boundary, unstarted points are skipped), it can bound each point's
+// wall time (point_deadline_ms), it persists completed points to an
+// append-only checkpoint (checkpoint_path) and resumes from one
+// (resume), and it converts injected stage faults (faults) into
+// structured sweep_failure records instead of crashing.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/evaluator.h"
+#include "core/fault.h"
 #include "core/pipeline.h"
 
 namespace pn {
@@ -43,12 +54,53 @@ struct sweep_results {
   std::vector<deployability_report> reports;  // completed points, input order
   std::vector<stage_trace> traces;            // parallel to `reports`
   std::vector<sweep_failure> failures;        // failed points, input order
+
+  // True iff the sweep drained early (cancel token fired, or
+  // cancel_after_points tripped). cancelled_points lists every grid
+  // index that did not complete — never started, or interrupted between
+  // stages — in input order; a resume re-runs exactly these.
+  bool cancelled = false;
+  std::vector<std::size_t> cancelled_points;
+
+  // Points restored from sweep_options::resume instead of re-evaluated.
+  std::size_t resumed_points = 0;
 };
 
 struct sweep_options {
   // Worker threads evaluating points concurrently. 1 = serial on the
   // caller's thread; 0 = one worker per hardware thread.
   int jobs = 1;
+
+  // Cooperative cancellation: once the token fires, no new point starts
+  // and points in flight stop at their next stage boundary (their
+  // partial work is discarded, not checkpointed). The pool always drains
+  // and joins — cancellation never leaks a thread or aborts mid-stage.
+  cancel_token cancel;
+
+  // Wall-clock budget per point, measured from the point's start.
+  // 0 = unlimited. Expiry fails the point's next stage with
+  // status_code::deadline_exceeded — a real (checkpointed) failure.
+  double point_deadline_ms = 0.0;
+
+  // Testing hook: request cancellation on `cancel` once this many points
+  // have completed in this run (0 = off). Deterministic with jobs = 1.
+  std::size_t cancel_after_points = 0;
+
+  // Deterministic stage-fault injection (see core/fault.h). An injected
+  // fault fails that stage exactly like a domain error: structured
+  // sweep_failure, no crash, pool intact.
+  fault_plan faults;
+
+  // Non-empty: append each completed point (ok or failed) to this
+  // checkpoint file as it finishes, flushing per entry.
+  std::string checkpoint_path;
+
+  // Resume from a previously loaded checkpoint: points present in it are
+  // restored without re-evaluation, so the merged results — and their
+  // CSVs — are byte-identical to an uninterrupted run at equal seeds and
+  // jobs. The checkpoint's base seed and point count must match the
+  // sweep's (PN_CHECKed). Must outlive run_sweep.
+  const sweep_checkpoint* resume = nullptr;
 };
 
 // Deterministic per-point seed: a splitmix64 mix of the sweep's base seed

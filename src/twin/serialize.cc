@@ -10,7 +10,45 @@ namespace pn {
 namespace {
 
 bool has_space(const std::string& s) {
-  return s.find_first_of(" \t\n") != std::string::npos;
+  return s.find_first_of(" \t\n\r") != std::string::npos;
+}
+
+// String attribute values may contain any byte, including newlines that
+// would otherwise split the record across lines and corrupt the parse.
+// Escape exactly the bytes the line format cannot carry raw; everything
+// else (spaces included) passes through, so common values stay readable.
+std::string escape_str_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string unescape_str_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char next = s[++i];
+      if (next == 'n') {
+        out += '\n';
+      } else if (next == 'r') {
+        out += '\r';
+      } else {
+        out += next;  // covers "\\\\"; unknown escapes degrade to literal
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -32,7 +70,7 @@ std::string serialize_twin(const twin_model& m) {
       } else if (const auto* b = std::get_if<bool>(&value)) {
         out << "bool " << (*b ? "true" : "false");
       } else {
-        out << "str " << std::get<std::string>(value);
+        out << "str " << escape_str_value(std::get<std::string>(value));
       }
       out << "\n";
     }
@@ -61,6 +99,9 @@ result<twin_model> parse_twin(const std::string& text) {
 
   while (std::getline(in, line)) {
     ++line_no;
+    // getline keeps the \r of CRLF line endings; without this a trailing
+    // \r sticks to the last token and corrupts names and str values.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string directive;
@@ -97,7 +138,7 @@ result<twin_model> parse_twin(const std::string& text) {
         std::string rest;
         std::getline(ls, rest);
         if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
-        m.set_attr(*e, key, rest);
+        m.set_attr(*e, key, unescape_str_value(rest));
       } else {
         return fail("unknown attr type " + type);
       }

@@ -10,7 +10,11 @@
 //   relation <relkind> <from_kind> <from_name> <to_kind> <to_name>
 //
 // Kinds, names and keys must be whitespace-free; string attribute values
-// may contain spaces (they extend to end of line).
+// may contain spaces (they extend to end of line). Backslash, newline and
+// carriage return inside string values are escaped as \\, \n and \r on
+// write and unescaped on parse, so serialize(parse(serialize(m))) is
+// byte-identical for any value. The parser also strips the trailing \r of
+// CRLF line endings before tokenizing.
 #pragma once
 
 #include <string>

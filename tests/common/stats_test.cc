@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pn {
 namespace {
 
@@ -40,6 +42,21 @@ TEST(sample_stats, empty_queries_are_bugs) {
   EXPECT_THROW((void)s.percentile(0.5), std::logic_error);
 }
 
+TEST(sample_stats, nonfinite_samples_are_bugs) {
+  // One NaN would silently poison sum/mean/stddev and leave percentile's
+  // sort order unspecified — reject at the door instead.
+  sample_stats s;
+  EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()),
+               std::logic_error);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()),
+               std::logic_error);
+  EXPECT_THROW(s.add(-std::numeric_limits<double>::infinity()),
+               std::logic_error);
+  EXPECT_TRUE(s.empty());  // rejected samples were not recorded
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
 TEST(histogram, bins_and_clamping) {
   histogram h(0.0, 10.0, 5);
   h.add(-1.0);   // clamps to bin 0
@@ -59,6 +76,23 @@ TEST(histogram, bins_and_clamping) {
 TEST(histogram, invalid_construction) {
   EXPECT_THROW(histogram(1.0, 1.0, 4), std::logic_error);
   EXPECT_THROW(histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(histogram, nonfinite_values_counted_aside_not_binned) {
+  // Casting NaN or ±Inf to a bin index is UB; they must land in the
+  // nonfinite tally without disturbing any bin or total().
+  histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.nonfinite(), 3u);
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_EQ(h.count(b), 0u) << "bin " << b;
+  }
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.nonfinite(), 3u);
 }
 
 }  // namespace

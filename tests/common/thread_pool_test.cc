@@ -68,5 +68,88 @@ TEST(default_thread_count, positive) {
   EXPECT_GE(default_thread_count(), 1);
 }
 
+TEST(cancel_token, default_token_never_fires_until_requested) {
+  cancel_token t;
+  EXPECT_FALSE(t.cancelled());
+  t.request_cancel();
+  EXPECT_TRUE(t.cancelled());
+  // Copies share the underlying flag — that is what lets a signal
+  // handler's copy cancel the sweep's copy.
+  cancel_token copy = t;
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(thread_pool, cancel_pending_drops_unstarted_tasks) {
+  std::atomic<int> count{0};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  thread_pool pool(1);
+  // One blocker occupies the single worker; everything behind it is
+  // queued-but-unstarted and must be droppable. Wait for it to start, or
+  // cancel_pending could drop the blocker itself while it still queues.
+  pool.submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  const std::size_t dropped = pool.cancel_pending();
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(dropped + static_cast<std::size_t>(count.load()), 10u);
+  // The pool stays usable after a cancel.
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+}
+
+TEST(parallel_for, cancelled_token_skips_remaining_indices) {
+  // Serial path: cancel fires after index 2, so exactly 3 indices run.
+  cancel_token cancel;
+  std::vector<int> hits(100, 0);
+  parallel_for(
+      1, hits.size(),
+      [&](std::size_t i) {
+        hits[i] = 1;
+        if (i == 2) cancel.request_cancel();
+      },
+      cancel);
+  EXPECT_EQ(hits[0] + hits[1] + hits[2], 3);
+  for (std::size_t i = 3; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 0) << "i=" << i;
+  }
+}
+
+TEST(parallel_for, pre_cancelled_token_runs_nothing) {
+  cancel_token cancel;
+  cancel.request_cancel();
+  for (const int threads : {1, 4}) {
+    parallel_for(
+        threads, 64, [](std::size_t) { FAIL(); }, cancel);
+  }
+}
+
+TEST(parallel_for, parallel_cancel_joins_cleanly) {
+  // Cancelling mid-flight must still join every worker and leave
+  // dispatched indices completed exactly once.
+  cancel_token cancel;
+  std::vector<std::atomic<int>> hits(512);
+  parallel_for(
+      8, hits.size(),
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 100) cancel.request_cancel();
+      },
+      cancel);
+  std::size_t ran = 0;
+  for (auto& h : hits) {
+    EXPECT_LE(h.load(), 1);
+    ran += static_cast<std::size_t>(h.load());
+  }
+  EXPECT_GE(ran, 1u);
+  EXPECT_LT(ran, hits.size());  // the tail after cancel was skipped
+}
+
 }  // namespace
 }  // namespace pn

@@ -1,0 +1,449 @@
+// Sweep robustness coverage: stage-level fault injection, cooperative
+// cancellation, per-point deadlines, and checkpoint/resume — including
+// the headline property that an interrupted-then-resumed sweep's merged
+// CSVs are byte-identical to an uninterrupted run's.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+#include "core/sweep.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+
+namespace pn {
+namespace {
+
+using namespace pn::literals;
+
+evaluation_options fast_options() {
+  evaluation_options opt;
+  opt.run_repair_sim = false;
+  opt.run_throughput = false;
+  return opt;
+}
+
+std::vector<sweep_point> small_grid() {
+  std::vector<sweep_point> grid;
+  for (const int k : {4, 6}) {
+    grid.push_back(sweep_point{str_format("ft-k=%d", k),
+                               [k] { return build_fat_tree(k, 100_gbps); }});
+  }
+  for (int i = 0; i < 4; ++i) {
+    jellyfish_params p;
+    p.switches = 24 + 4 * i;
+    p.radix = 12;
+    p.hosts_per_switch = 6;
+    p.seed = 11;
+    grid.push_back(sweep_point{str_format("jf-%d", p.switches),
+                               [p] { return build_jellyfish(p); }});
+  }
+  return grid;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// --- fault injection -------------------------------------------------
+
+TEST(fault_injection, every_stage_converts_to_structured_failure) {
+  // One point, all eight stages enabled; injecting a fault into each
+  // stage in turn must produce a structured sweep_failure naming exactly
+  // that stage — never a crash, never a report.
+  std::vector<sweep_point> grid{
+      {"ft-k=4", [] { return build_fat_tree(4, 100_gbps); }}};
+  evaluation_options opt;
+  opt.run_repair_sim = true;  // so repair_sim runs instead of skipping
+  opt.repair.horizon = hours{365.0 * 24};
+
+  for (const eval_stage s : all_eval_stages()) {
+    sweep_options sopt;
+    sopt.jobs = 1;
+    sopt.faults.targets = {fault_target{0, s}};
+    const sweep_results res = run_sweep(grid, opt, sopt);
+    ASSERT_EQ(res.failures.size(), 1u) << eval_stage_name(s);
+    EXPECT_TRUE(res.reports.empty()) << eval_stage_name(s);
+    EXPECT_FALSE(res.cancelled) << eval_stage_name(s);
+    const sweep_failure& f = res.failures[0];
+    EXPECT_EQ(f.point_index, 0u);
+    EXPECT_EQ(f.stage, s) << eval_stage_name(s);
+    EXPECT_EQ(f.error.code(), status_code::unavailable);
+    EXPECT_NE(f.error.message().find("injected fault"), std::string::npos);
+    EXPECT_NE(f.error.message().find(eval_stage_name(s)), std::string::npos);
+  }
+}
+
+TEST(fault_injection, probability_one_fails_every_point_at_first_stage) {
+  const std::vector<sweep_point> grid = small_grid();
+  sweep_options sopt;
+  sopt.jobs = 4;
+  sopt.faults.probability = 1.0;
+  sopt.faults.seed = 7;
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  ASSERT_EQ(res.failures.size(), grid.size());
+  EXPECT_TRUE(res.reports.empty());
+  for (const sweep_failure& f : res.failures) {
+    EXPECT_EQ(f.stage, eval_stage::topology_metrics);
+    EXPECT_EQ(f.error.code(), status_code::unavailable);
+  }
+}
+
+TEST(fault_injection, probabilistic_decisions_are_deterministic) {
+  fault_plan plan;
+  plan.probability = 0.5;
+  plan.seed = 42;
+  std::size_t fails = 0;
+  for (std::size_t point = 0; point < 32; ++point) {
+    for (const eval_stage s : all_eval_stages()) {
+      const bool a = plan.should_fail(point, s);
+      const bool b = plan.should_fail(point, s);
+      EXPECT_EQ(a, b);
+      fails += a ? 1u : 0u;
+    }
+  }
+  // At p=0.5 over 256 draws, all-fail or none-fail would mean the hash
+  // is not mixing point/stage at all.
+  EXPECT_GT(fails, 0u);
+  EXPECT_LT(fails, 256u);
+
+  fault_plan other = plan;
+  other.seed = 43;
+  bool any_difference = false;
+  for (std::size_t point = 0; point < 32 && !any_difference; ++point) {
+    for (const eval_stage s : all_eval_stages()) {
+      if (plan.should_fail(point, s) != other.should_fail(point, s)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(fault_injection, parse_fault_targets_accepts_and_rejects) {
+  const auto ok = parse_fault_targets("0:cabling,3:repair_sim");
+  ASSERT_TRUE(ok.is_ok()) << ok.error().to_string();
+  ASSERT_EQ(ok.value().size(), 2u);
+  EXPECT_EQ(ok.value()[0].point_index, 0u);
+  EXPECT_EQ(ok.value()[0].stage, eval_stage::cabling);
+  EXPECT_EQ(ok.value()[1].point_index, 3u);
+  EXPECT_EQ(ok.value()[1].stage, eval_stage::repair_sim);
+
+  EXPECT_FALSE(parse_fault_targets("").is_ok());
+  EXPECT_FALSE(parse_fault_targets("cabling").is_ok());
+  EXPECT_FALSE(parse_fault_targets(":cabling").is_ok());
+  EXPECT_FALSE(parse_fault_targets("0:").is_ok());
+  EXPECT_FALSE(parse_fault_targets("x:cabling").is_ok());
+  EXPECT_FALSE(parse_fault_targets("0:flux_capacitor").is_ok());
+}
+
+// --- cancellation and deadlines ---------------------------------------
+
+TEST(sweep_cancel, pre_cancelled_token_runs_nothing) {
+  const std::vector<sweep_point> grid = small_grid();
+  sweep_options sopt;
+  sopt.jobs = 4;
+  sopt.cancel.request_cancel();
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_TRUE(res.reports.empty());
+  EXPECT_TRUE(res.failures.empty());
+  EXPECT_EQ(res.cancelled_points.size(), grid.size());
+}
+
+TEST(sweep_cancel, cancel_after_points_drains_deterministically) {
+  const std::vector<sweep_point> grid = small_grid();
+  sweep_options sopt;
+  sopt.jobs = 1;  // serial: completion order == input order
+  sopt.cancel_after_points = 2;
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  EXPECT_TRUE(res.cancelled);
+  ASSERT_EQ(res.reports.size(), 2u);
+  EXPECT_EQ(res.reports[0].name, grid[0].label);
+  EXPECT_EQ(res.reports[1].name, grid[1].label);
+  ASSERT_EQ(res.cancelled_points.size(), grid.size() - 2);
+  for (std::size_t i = 0; i < res.cancelled_points.size(); ++i) {
+    EXPECT_EQ(res.cancelled_points[i], i + 2);
+  }
+}
+
+TEST(sweep_cancel, tiny_deadline_fails_points_with_deadline_exceeded) {
+  std::vector<sweep_point> grid{
+      {"ft-k=4", [] { return build_fat_tree(4, 100_gbps); }}};
+  sweep_options sopt;
+  sopt.jobs = 1;
+  sopt.point_deadline_ms = 1e-6;  // expires before any stage can finish
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  EXPECT_FALSE(res.cancelled);  // a deadline is a real outcome, not a ^C
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_EQ(res.failures[0].error.code(), status_code::deadline_exceeded);
+  EXPECT_TRUE(res.reports.empty());
+}
+
+// --- checkpoint format -------------------------------------------------
+
+TEST(checkpoint, fail_entry_line_round_trips_hostile_strings) {
+  sweep_checkpoint_entry e;
+  e.point_index = 5;
+  e.seed = 0xdeadbeefULL;
+  e.ok = false;
+  e.label = "label with spaces\nnewline\ttab \\slash";
+  e.stage = eval_stage::cabling;
+  e.error = unavailable_error("injected fault (point 5, stage cabling)");
+
+  std::string line = sweep_checkpoint_line(e);
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  // Escaping keeps the entry on one physical line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const auto back = parse_sweep_checkpoint_line(line);
+  ASSERT_TRUE(back.is_ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().point_index, 5u);
+  EXPECT_EQ(back.value().seed, 0xdeadbeefULL);
+  EXPECT_FALSE(back.value().ok);
+  EXPECT_EQ(back.value().label, e.label);
+  EXPECT_EQ(back.value().stage, eval_stage::cabling);
+  EXPECT_EQ(back.value().error.code(), status_code::unavailable);
+  EXPECT_EQ(back.value().error.message(), e.error.message());
+  // And the re-serialization is byte-identical.
+  EXPECT_EQ(sweep_checkpoint_line(back.value()), line + "\n");
+}
+
+TEST(checkpoint, empty_label_and_message_round_trip) {
+  sweep_checkpoint_entry e;
+  e.point_index = 0;
+  e.seed = 1;
+  e.ok = false;
+  e.label = "";
+  e.stage = eval_stage::report;
+  e.error = status(status_code::infeasible, "");
+
+  std::string line = sweep_checkpoint_line(e);
+  line.pop_back();
+  const auto back = parse_sweep_checkpoint_line(line);
+  ASSERT_TRUE(back.is_ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().label, "");
+  EXPECT_EQ(back.value().error.message(), "");
+}
+
+TEST(checkpoint, ok_entry_from_real_sweep_round_trips) {
+  std::vector<sweep_point> grid{
+      {"ft,k=4 with spaces", [] { return build_fat_tree(4, 100_gbps); }}};
+  const std::string path = temp_path("cp_roundtrip.ckpt");
+  sweep_options sopt;
+  sopt.jobs = 1;
+  sopt.checkpoint_path = path;
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  ASSERT_EQ(res.reports.size(), 1u);
+
+  const auto loaded = load_sweep_checkpoint(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().base_seed, fast_options().seed);
+  EXPECT_EQ(loaded.value().point_count, 1u);
+  const sweep_checkpoint_entry* e = loaded.value().find(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->ok);
+  EXPECT_EQ(e->report.name, "ft,k=4 with spaces");
+  EXPECT_EQ(e->seed, sweep_point_seed(fast_options().seed, 0));
+  // Line-level fixed point across every report field, doubles included.
+  std::string line = sweep_checkpoint_line(*e);
+  line.pop_back();
+  const auto back = parse_sweep_checkpoint_line(line);
+  ASSERT_TRUE(back.is_ok()) << back.error().to_string();
+  EXPECT_EQ(sweep_checkpoint_line(back.value()), line + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(checkpoint, torn_final_line_is_ignored_interior_garbage_is_not) {
+  const std::string path = temp_path("cp_torn.ckpt");
+  {
+    std::ofstream out(path);
+    out << sweep_checkpoint_header(9, 4);
+    sweep_checkpoint_entry e;
+    e.point_index = 1;
+    e.seed = sweep_point_seed(9, 1);
+    e.ok = false;
+    e.label = "p1";
+    e.stage = eval_stage::placement;
+    e.error = unavailable_error("boom");
+    out << sweep_checkpoint_line(e);
+    out << "ok 2 123 torn-by-a-cra";  // no newline: a torn append
+  }
+  const auto loaded = load_sweep_checkpoint(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().entries.size(), 1u);
+  EXPECT_NE(loaded.value().find(1), nullptr);
+  EXPECT_EQ(loaded.value().find(2), nullptr);
+
+  // The same garbage in the *interior* means the file is not trustworthy.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "\nfail 3 " << sweep_point_seed(9, 3)
+        << " p3 placement unavailable boom\n";
+  }
+  EXPECT_FALSE(load_sweep_checkpoint(path).is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(checkpoint, rejects_bad_header_and_out_of_range_points) {
+  const std::string path = temp_path("cp_bad.ckpt");
+  {
+    std::ofstream out(path);
+    out << "not a checkpoint\n";
+  }
+  EXPECT_FALSE(load_sweep_checkpoint(path).is_ok());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << sweep_checkpoint_header(9, 2);
+    out << "fail 7 1 p7 placement unavailable boom\n";  // 7 >= 2 points
+  }
+  EXPECT_FALSE(load_sweep_checkpoint(path).is_ok());
+  EXPECT_EQ(load_sweep_checkpoint(temp_path("cp_missing.ckpt")).error().code(),
+            status_code::not_found);
+  std::remove(path.c_str());
+}
+
+// --- resume ------------------------------------------------------------
+
+TEST(checkpoint, parallel_sweep_checkpoints_every_completed_point) {
+  const std::vector<sweep_point> grid = small_grid();
+  const std::string path = temp_path("cp_parallel.ckpt");
+  sweep_options sopt;
+  sopt.jobs = 4;
+  sopt.checkpoint_path = path;
+  sopt.faults.targets = {fault_target{1, eval_stage::cabling}};
+  const sweep_results res = run_sweep(grid, fast_options(), sopt);
+  ASSERT_EQ(res.reports.size(), grid.size() - 1);
+  ASSERT_EQ(res.failures.size(), 1u);
+
+  const auto loaded = load_sweep_checkpoint(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().entries.size(), grid.size());
+  const sweep_checkpoint_entry* failed = loaded.value().find(1);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_FALSE(failed->ok);
+  EXPECT_EQ(failed->stage, eval_stage::cabling);
+  std::remove(path.c_str());
+}
+
+TEST(checkpoint, interrupted_then_resumed_sweep_is_byte_identical) {
+  // The acceptance property: interrupt a checkpointed sweep partway,
+  // resume it, and the merged CSVs — including a real injected failure —
+  // must match an uninterrupted run byte for byte.
+  const std::vector<sweep_point> grid = small_grid();
+  evaluation_options opt = fast_options();
+  sweep_options base;
+  base.jobs = 1;
+  base.faults.targets = {fault_target{1, eval_stage::cabling}};
+
+  const sweep_results uninterrupted = run_sweep(grid, opt, base);
+  ASSERT_EQ(uninterrupted.failures.size(), 1u);
+  ASSERT_EQ(uninterrupted.reports.size(), grid.size() - 1);
+
+  // Leg 1: cancel after two completed points (one ok, one injected fail).
+  const std::string path = temp_path("cp_resume.ckpt");
+  sweep_options interrupted = base;
+  interrupted.checkpoint_path = path;
+  interrupted.cancel_after_points = 2;
+  const sweep_results partial = run_sweep(grid, opt, interrupted);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_EQ(partial.reports.size() + partial.failures.size(), 2u);
+  EXPECT_EQ(partial.cancelled_points.size(), grid.size() - 2);
+
+  // Cancelled points must not have been checkpointed.
+  const auto cp = load_sweep_checkpoint(path);
+  ASSERT_TRUE(cp.is_ok()) << cp.error().to_string();
+  EXPECT_EQ(cp.value().entries.size(), 2u);
+  for (const std::size_t i : partial.cancelled_points) {
+    EXPECT_EQ(cp.value().find(i), nullptr) << "point " << i;
+  }
+
+  // Leg 2: resume. Restored points are not re-evaluated; the rest run.
+  sweep_options resumed = base;
+  // Copying options shares the cancel token's flag, and leg 1 tripped
+  // it — a resume (like the CLI's fresh process) needs a fresh token.
+  resumed.cancel = cancel_token{};
+  resumed.checkpoint_path = path;
+  resumed.resume = &cp.value();
+  const sweep_results merged = run_sweep(grid, opt, resumed);
+  EXPECT_FALSE(merged.cancelled);
+  EXPECT_EQ(merged.resumed_points, 2u);
+  EXPECT_EQ(merged.reports.size(), uninterrupted.reports.size());
+  EXPECT_EQ(merged.failures.size(), uninterrupted.failures.size());
+
+  EXPECT_EQ(sweep_to_csv(merged), sweep_to_csv(uninterrupted));
+  EXPECT_EQ(sweep_failures_to_csv(merged),
+            sweep_failures_to_csv(uninterrupted));
+
+  // The resume appended the remaining points to the same file: loading
+  // it again now yields a complete checkpoint.
+  const auto full = load_sweep_checkpoint(path);
+  ASSERT_TRUE(full.is_ok()) << full.error().to_string();
+  EXPECT_EQ(full.value().entries.size(), grid.size());
+  std::remove(path.c_str());
+}
+
+TEST(checkpoint, fully_complete_checkpoint_resumes_without_evaluating) {
+  std::vector<sweep_point> grid{
+      {"ft-k=4", [] { return build_fat_tree(4, 100_gbps); }},
+      {"boom", [] { return build_fat_tree(4, 100_gbps); }}};
+  const std::string path = temp_path("cp_full.ckpt");
+  sweep_options first;
+  first.jobs = 1;
+  first.checkpoint_path = path;
+  first.faults.targets = {fault_target{1, eval_stage::bundling}};
+  const sweep_results a = run_sweep(grid, fast_options(), first);
+  ASSERT_EQ(a.reports.size() + a.failures.size(), 2u);
+
+  const auto cp = load_sweep_checkpoint(path);
+  ASSERT_TRUE(cp.is_ok());
+  // Second run: every point restored — even with a build hook that would
+  // abort the test if invoked, nothing is re-built or re-evaluated.
+  std::vector<sweep_point> tripwire_grid{
+      {"ft-k=4",
+       []() -> network_graph {
+         ADD_FAILURE() << "restored point was re-built";
+         return build_fat_tree(4, 100_gbps);
+       }},
+      {"boom",
+       []() -> network_graph {
+         ADD_FAILURE() << "restored point was re-built";
+         return build_fat_tree(4, 100_gbps);
+       }}};
+  sweep_options second;
+  second.jobs = 1;
+  second.resume = &cp.value();
+  const sweep_results b = run_sweep(tripwire_grid, fast_options(), second);
+  EXPECT_EQ(b.resumed_points, 2u);
+  EXPECT_EQ(sweep_to_csv(b), sweep_to_csv(a));
+  EXPECT_EQ(sweep_failures_to_csv(b), sweep_failures_to_csv(a));
+  std::remove(path.c_str());
+}
+
+TEST(checkpoint, resume_rejects_foreign_checkpoints) {
+  std::vector<sweep_point> grid{
+      {"ft-k=4", [] { return build_fat_tree(4, 100_gbps); }}};
+  sweep_checkpoint cp;
+  cp.base_seed = fast_options().seed + 1;  // wrong seed
+  cp.point_count = 1;
+  sweep_options sopt;
+  sopt.resume = &cp;
+  EXPECT_THROW((void)run_sweep(grid, fast_options(), sopt),
+               std::logic_error);
+
+  cp.base_seed = fast_options().seed;
+  cp.point_count = 2;  // wrong grid size
+  EXPECT_THROW((void)run_sweep(grid, fast_options(), sopt),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pn

@@ -34,6 +34,23 @@ twin_model random_model(std::uint64_t seed) {
                  std::string("text with spaces ") +
                      std::to_string(r.next_u64() % 100));
     }
+    if (r.next_bool(0.5)) {
+      // Hostile string values: every byte class the line format must
+      // escape or preserve (newlines, CRLF, tabs, backslashes, leading/
+      // trailing whitespace, empty).
+      const std::vector<std::string> nasty{
+          "",
+          "line1\nline2",
+          "crlf\r\nending",
+          "lone\rcarriage",
+          "tab\tseparated",
+          " leading and trailing ",
+          "back\\slash and \\n literal",
+          "trailing newline\n",
+          "\n",
+      };
+      m.set_attr(e, "nasty", nasty[r.next_index(nasty.size())]);
+    }
     if (r.next_bool(0.4)) {
       m.set_attr(e, "flag", r.next_bool(0.5));
     }

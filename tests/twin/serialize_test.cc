@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "physical/cabling.h"
 #include "topology/generators/clos.h"
 #include "twin/builder.h"
@@ -94,6 +95,63 @@ TEST(parse, tolerates_comments_and_blank_lines) {
   const auto m = parse_twin("# a comment\n\nentity rack r0\n");
   ASSERT_TRUE(m.is_ok());
   EXPECT_TRUE(m.value().find("rack", "r0").has_value());
+}
+
+TEST(serialize, str_values_with_newlines_round_trip) {
+  // A raw newline in a str value used to split the record across two
+  // lines, corrupting the parse; it must be escaped on write and restored
+  // on read.
+  twin_model m;
+  const entity_id s = m.add_entity("switch", "tor0");
+  m.set_attr(s, "note", std::string("line one\nline two"));
+  m.set_attr(s, "crlf", std::string("before\r\nafter"));
+  m.set_attr(s, "slash", std::string("a\\b\\\\c"));
+  m.set_attr(s, "empty", std::string());
+  m.set_attr(s, "spacey", std::string("  padded  "));
+
+  const std::string text = serialize_twin(m);
+  // Every record stays on its own line: 1 entity + 5 attrs.
+  EXPECT_EQ(split(text, '\n').size(), 7u);  // incl. empty tail after last \n
+
+  const auto parsed = parse_twin(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error().to_string();
+  const auto e = parsed.value().find("switch", "tor0");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(std::get<std::string>(*parsed.value().attr(*e, "note")),
+            "line one\nline two");
+  EXPECT_EQ(std::get<std::string>(*parsed.value().attr(*e, "crlf")),
+            "before\r\nafter");
+  EXPECT_EQ(std::get<std::string>(*parsed.value().attr(*e, "slash")),
+            "a\\b\\\\c");
+  EXPECT_EQ(std::get<std::string>(*parsed.value().attr(*e, "empty")), "");
+  EXPECT_EQ(std::get<std::string>(*parsed.value().attr(*e, "spacey")),
+            "  padded  ");
+  // Idempotence: re-serializing the parse reproduces the bytes.
+  EXPECT_EQ(serialize_twin(parsed.value()), text);
+}
+
+TEST(parse, strips_crlf_line_endings) {
+  // A twin file that passed through a Windows tool (or a git checkout
+  // with autocrlf) must parse identically to its LF original.
+  const std::string lf =
+      "entity rack r0\n"
+      "attr rack r0 vendor str acme networks\n"
+      "attr rack r0 rack_units int 42\n";
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const auto a = parse_twin(lf);
+  const auto b = parse_twin(crlf);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok()) << b.error().to_string();
+  EXPECT_EQ(serialize_twin(a.value()), serialize_twin(b.value()));
+  const auto e = b.value().find("rack", "r0");
+  ASSERT_TRUE(e.has_value());
+  // Without the \r strip this would have parsed as "acme networks\r".
+  EXPECT_EQ(std::get<std::string>(*b.value().attr(*e, "vendor")),
+            "acme networks");
 }
 
 TEST(serialize, full_fabric_twin_round_trips_and_validates) {

@@ -14,6 +14,24 @@
 // sweep driver (--jobs workers) and prints CSV instead of tables.
 // --trace prints the per-stage pipeline timing table (single eval) or
 // appends per-stage timing columns to the CSV (sweep mode).
+//
+// Sweep-mode robustness flags:
+//   --checkpoint=FILE  append completed points to FILE as they finish
+//   --resume=FILE      skip points already in FILE; merged CSV output is
+//                      byte-identical to an uninterrupted run (implies
+//                      --checkpoint=FILE, so progress keeps accruing)
+//   --deadline=MS      per-point wall-clock budget (deadline_exceeded
+//                      failures are real, checkpointed outcomes)
+//   --fail-at=P:STAGE[,P:STAGE...]  inject a deterministic fault into
+//                      stage STAGE of point P (testing/chaos)
+//   --fail-prob=P      additionally fail each (point, stage) with
+//                      probability P under --fail-seed
+//   --cancel-after=N   request cancellation after N completed points
+//                      (deterministic stand-in for ^C in tests)
+// SIGINT (^C) requests cooperative cancellation: points in flight stop
+// at their next stage boundary, the checkpoint keeps everything already
+// completed, and the exit code is 130.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -37,7 +55,20 @@ struct cli_args {
   int jobs = 1;
   std::vector<int> sweep_sizes;  // empty = single-design mode
   std::string dot_file;
+  std::string checkpoint_file;
+  std::string resume_file;
+  double deadline_ms = 0.0;
+  std::string fail_at;     // POINT:STAGE[,POINT:STAGE...]
+  double fail_prob = 0.0;
+  std::uint64_t fail_seed = 0;
+  std::size_t cancel_after = 0;
 };
+
+// Shared with the SIGINT handler: request_cancel is one relaxed atomic
+// store, which is async-signal-safe once the token exists.
+cancel_token g_sigint_cancel;
+
+extern "C" void handle_sigint(int) { g_sigint_cancel.request_cancel(); }
 
 bool parse_args(int argc, char** argv, cli_args& out) {
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +105,28 @@ bool parse_args(int argc, char** argv, cli_args& out) {
       }
     } else if (key == "--dot") {
       out.dot_file = value;
+    } else if (key == "--checkpoint") {
+      out.checkpoint_file = value;
+    } else if (key == "--resume") {
+      out.resume_file = value;
+    } else if (key == "--deadline") {
+      out.deadline_ms = std::stod(value);
+      if (out.deadline_ms <= 0.0) {
+        std::cerr << "--deadline must be > 0 (milliseconds per point)\n";
+        return false;
+      }
+    } else if (key == "--fail-at") {
+      out.fail_at = value;
+    } else if (key == "--fail-prob") {
+      out.fail_prob = std::stod(value);
+      if (out.fail_prob < 0.0 || out.fail_prob > 1.0) {
+        std::cerr << "--fail-prob must be in [0, 1]\n";
+        return false;
+      }
+    } else if (key == "--fail-seed") {
+      out.fail_seed = std::stoull(value);
+    } else if (key == "--cancel-after") {
+      out.cancel_after = std::stoull(value);
     } else if (key == "--help" || key == "-h") {
       return false;
     } else {
@@ -178,16 +231,74 @@ int run_sweep_mode(const cli_args& args, const evaluation_options& opt) {
 
   sweep_options sopt;
   sopt.jobs = args.jobs;
+  sopt.cancel = g_sigint_cancel;
+  sopt.point_deadline_ms = args.deadline_ms;
+  sopt.cancel_after_points = args.cancel_after;
+
+  if (!args.fail_at.empty()) {
+    auto targets = parse_fault_targets(args.fail_at);
+    if (!targets.is_ok()) {
+      std::cerr << targets.error().to_string() << "\n";
+      return 2;
+    }
+    for (const fault_target& t : targets.value()) {
+      if (t.point_index >= grid.size()) {
+        std::cerr << "--fail-at point " << t.point_index
+                  << " out of range (sweep has " << grid.size()
+                  << " points)\n";
+        return 2;
+      }
+    }
+    sopt.faults.targets = std::move(targets).value();
+  }
+  sopt.faults.probability = args.fail_prob;
+  sopt.faults.seed = args.fail_seed;
+
+  sweep_checkpoint resume_from;
+  if (!args.resume_file.empty()) {
+    auto loaded = load_sweep_checkpoint(args.resume_file);
+    if (!loaded.is_ok()) {
+      std::cerr << "cannot resume: " << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    resume_from = std::move(loaded).value();
+    if (resume_from.base_seed != args.seed ||
+        resume_from.point_count != grid.size()) {
+      std::cerr << "cannot resume: checkpoint is for seed "
+                << resume_from.base_seed << " / " << resume_from.point_count
+                << " points, this sweep is seed " << args.seed << " / "
+                << grid.size() << " points\n";
+      return 2;
+    }
+    sopt.resume = &resume_from;
+  }
+  // --resume keeps appending to the same file unless --checkpoint says
+  // otherwise, so an interrupted resume still accrues progress.
+  sopt.checkpoint_path = !args.checkpoint_file.empty() ? args.checkpoint_file
+                                                       : args.resume_file;
+
+  std::signal(SIGINT, handle_sigint);
   const sweep_results res = run_sweep(grid, opt, sopt);
+  std::signal(SIGINT, SIG_DFL);
 
   sweep_csv_options copt;
   copt.stage_timings = args.trace;
   std::cout << sweep_to_csv(res, copt);
   if (!res.failures.empty()) {
     std::cerr << sweep_failures_to_csv(res);
-    return 1;
   }
-  return 0;
+  if (res.cancelled) {
+    std::cerr << "sweep cancelled: "
+              << res.reports.size() + res.failures.size() << "/"
+              << grid.size() << " points done, "
+              << res.cancelled_points.size() << " remaining";
+    if (!sopt.checkpoint_path.empty()) {
+      std::cerr << "; resume with --resume=" << sopt.checkpoint_path;
+    }
+    std::cerr << "\n";
+    return 130;
+  }
+  return res.failures.empty() ? 0 : 1;
 }
 
 int main(int argc, char** argv) {
@@ -197,6 +308,11 @@ int main(int argc, char** argv) {
         << "usage: physnet_eval [--family=NAME] [--size=N] "
            "[--strategy=block|random|annealed] [--seed=N] [--repair] "
            "[--trace] [--sweep=S1,S2,...] [--jobs=N] [--dot=FILE]\n"
+           "sweep robustness: [--checkpoint=FILE] [--resume=FILE] "
+           "[--deadline=MS] [--fail-at=P:STAGE,...] [--fail-prob=P] "
+           "[--fail-seed=N] [--cancel-after=N]\n"
+           "  SIGINT drains the sweep cleanly (exit 130); rerun with "
+           "--resume=FILE to finish it.\n"
            "families: fat_tree leaf_spine jellyfish xpander "
            "flattened_butterfly slim_fly vl2 dragonfly jupiter_fat_tree "
            "jupiter_direct\n";
