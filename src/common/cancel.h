@@ -8,6 +8,18 @@
 // single relaxed atomic store, so it is safe to call from a signal
 // handler once the token exists (the CLI's SIGINT handler does exactly
 // that).
+//
+// Memory ordering: relaxed on both sides is deliberate and sufficient.
+// The flag is monotonic (false -> true, never back) and is used purely
+// as a "stop taking new work" signal — no other data is published
+// through it, so there is nothing for acquire/release to order. Every
+// cross-thread handoff of actual work results goes through thread_pool's
+// mutex (or the sweep's per-slot writes joined by wait_idle), which
+// already provides the needed synchronization. A reader observing the
+// flag "late" only means one extra work item starts, which cooperative
+// cancellation permits by design. Verified under -fsanitize=thread: the
+// CI `tsan` job races the thread-pool, sweep-cancellation, and CSR
+// suites and reports no ordering issues.
 #pragma once
 
 #include <atomic>

@@ -190,7 +190,7 @@ result<sweep_checkpoint_entry> parse_sweep_checkpoint_line(
       field = watts{d};
       return true;
     };
-    const auto time = [&](hours& field) {
+    const auto dur = [&](hours& field) {
       if (!parse_double(tok[t++], d)) return false;
       field = hours{d};
       return true;
@@ -198,8 +198,8 @@ result<sweep_checkpoint_entry> parse_sweep_checkpoint_line(
     const bool units_ok = money(r.switch_cost) && money(r.cable_cost) &&
                           money(r.transceiver_cost) &&
                           money(r.capex_per_host) && power(r.switch_power) &&
-                          power(r.cable_power) && time(r.time_to_deploy) &&
-                          time(r.deploy_labor);
+                          power(r.cable_power) && dur(r.time_to_deploy) &&
+                          dur(r.deploy_labor);
     if (!units_ok) return fail("bad ok unit field");
     const bool tail_ok =
         parse_double(tok[t++], r.first_pass_yield) &&
@@ -210,7 +210,7 @@ result<sweep_checkpoint_entry> parse_sweep_checkpoint_line(
         parse_double(tok[t++], r.p95_cable_length_m) &&
         parse_double(tok[t++], r.max_tray_fill) &&
         parse_double(tok[t++], r.max_plenum_fill) &&
-        parse_double(tok[t++], r.availability) && time(r.mean_mttr) &&
+        parse_double(tok[t++], r.availability) && dur(r.mean_mttr) &&
         parse_double(tok[t++], r.rewires_per_added_switch) &&
         parse_double(tok[t++], r.eval_total_ms);
     if (!tail_ok) return fail("bad ok tail field");

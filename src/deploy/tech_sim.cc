@@ -90,6 +90,8 @@ result<tech_sim_result> simulate_deployment(const work_order& wo,
     // a human on the floor).
     const bool software_only =
         t.kind == task_kind::drain || t.kind == task_kind::undrain ||
+        // exact-zero sentinel — rework_minutes is either literally 0.0
+        // (test passed) or a positive draw. pn_lint: allow(float-eq)
         (t.kind == task_kind::test_link && rework_minutes == 0.0);
     if (software_only) {
       finish[tid.index()] = ready_at + minutes;

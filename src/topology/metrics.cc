@@ -129,9 +129,10 @@ double spectral_lambda2(const network_graph& g, distance_cache& cache,
   std::vector<double> deg(n, 0.0);
   double total_deg = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    deg[i] = static_cast<double>(csr.degree(static_cast<std::uint32_t>(i)));
+    const std::uint32_t d = csr.degree(static_cast<std::uint32_t>(i));
+    if (d == 0) return 1.0;  // isolated switch: not an expander
+    deg[i] = static_cast<double>(d);
     total_deg += deg[i];
-    if (deg[i] == 0.0) return 1.0;  // isolated switch: not an expander
   }
 
   rng r(0x5eedULL);

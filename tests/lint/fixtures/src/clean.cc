@@ -1,0 +1,21 @@
+// Fixture: zero findings. Every banned spelling below hides where the
+// scanner must not look — comments, string literals, raw strings, member
+// calls — plus the `= delete` form R3 must ignore.
+//
+// A comment mentioning rand(), new int, delete p, or std::thread is fine.
+#include "clean.h"
+
+/* block comment with srand(7) and x == 1.0 — also fine */
+
+struct no_copy {
+  no_copy(const no_copy&) = delete;
+  no_copy& operator=(const no_copy&) = delete;
+};
+
+const char* kProse = "call rand() and sleep_for, then x == 1.0";
+const char* kRaw = R"(std::thread inside a raw string, new int too)";
+
+int use_member(clock_holder& c, clock_holder* p) {
+  // Member calls named `time` are not ::time — both forms must stay quiet.
+  return c.time(3) + p->time(4);
+}

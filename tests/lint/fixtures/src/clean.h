@@ -1,0 +1,3 @@
+// Fixture: a well-formed header — zero findings.
+#pragma once
+int answer();

@@ -1,0 +1,5 @@
+// Fixture: R5b — cycle_a.h and cycle_b.h include each other; the SCC
+// must be reported exactly once (attributed to the first member).
+#pragma once
+#include "cycle_b.h"
+int from_a();

@@ -1,0 +1,4 @@
+// Fixture: R5b — second half of the cycle_a.h <-> cycle_b.h cycle.
+#pragma once
+#include "cycle_a.h"
+int from_b();

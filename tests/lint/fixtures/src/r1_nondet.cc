@@ -1,0 +1,4 @@
+// Fixture: R1 must fire exactly once on the rand() call below.
+int bad_seed() {
+  return rand();
+}

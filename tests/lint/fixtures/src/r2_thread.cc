@@ -1,0 +1,6 @@
+// Fixture: R2 must fire exactly once on the std::thread below.
+// (Fixtures are lint inputs only — never compiled.)
+void spawn() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,9 @@
+// Fixture: R3 must fire exactly once on the naked new below.
+// The deleted copy constructor must NOT fire (`= delete` is fine).
+struct no_copy {
+  no_copy(const no_copy&) = delete;
+};
+
+int* leak() {
+  return new int(42);
+}

@@ -1,0 +1,10 @@
+// Fixture: R4 must fire exactly once — the include of core/sweep.h puts
+// this file in CSV scope, and the chain below joins fields with a raw
+// comma and never calls csv_field. The prose message with ", " must NOT
+// fire (comma followed by a space is not CSV shape).
+#include "core/sweep.h"
+
+void write_row(std::ostringstream& out, const std::string& name) {
+  out << name << ",42,0.5\n";
+  out << "done, wrote one row\n";
+}

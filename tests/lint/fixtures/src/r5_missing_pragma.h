@@ -1,0 +1,2 @@
+// Fixture: R5a must fire exactly once — this header has no #pragma once.
+int pragma_less();

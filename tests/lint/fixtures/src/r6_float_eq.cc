@@ -1,0 +1,6 @@
+// Fixture: R6 must fire exactly once on the float == below. The integer
+// comparison must NOT fire.
+bool close_enough(double x, int n) {
+  if (n == 3) return true;
+  return x == 1.0;
+}

@@ -1,0 +1,7 @@
+// Fixture: zero findings — every violation carries an allow().
+int seeded() {
+  return rand();  // pn_lint: allow(nondet) fixture: same-line suppression
+}
+
+// pn_lint: allow(nondet) fixture: suppression on the line above
+int seeded_again() { return rand(); }

@@ -1,0 +1,227 @@
+// Tests for pn_lint itself, in three layers:
+//   1. scanner unit tests — comments/strings/raw strings must never leak
+//      tokens, float literals must be classified, allow() must parse;
+//   2. fixture tests — one deliberately-bad file per rule under
+//      tests/lint/fixtures, each firing exactly once, plus a clean file
+//      and a suppressed file firing zero times;
+//   3. the repo gate — the real tree lints clean against the checked-in
+//      baseline, which is what makes the invariants enforced rather
+//      than aspirational.
+#include "pn_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+namespace pn::lint {
+namespace {
+
+std::vector<finding> findings_for(const std::string& rule,
+                                  const std::vector<finding>& all) {
+  std::vector<finding> out;
+  for (const finding& f : all) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<finding> findings_in(const std::string& path_piece,
+                                 const std::vector<finding>& all) {
+  std::vector<finding> out;
+  for (const finding& f : all) {
+    if (f.path.find(path_piece) != std::string::npos) out.push_back(f);
+  }
+  return out;
+}
+
+// ---- 1. scanner ---------------------------------------------------------
+
+TEST(lint_scanner, strips_comments_and_strings) {
+  const source_file f = scan_source(
+      "src/x.cc",
+      "// rand() in a line comment\n"
+      "/* srand(1) in a block */\n"
+      "const char* s = \"rand() in a string\";\n"
+      "const char* r = R\"(rand() in a raw string)\";\n");
+  for (const token& t : f.tokens) {
+    if (t.kind == tok_kind::ident) {
+      EXPECT_NE(t.text, "rand") << "line " << t.line;
+    }
+  }
+  // The string *contents* are preserved for R4's comma inspection.
+  auto is_str = [](const token& t) { return t.kind == tok_kind::str; };
+  ASSERT_EQ(std::count_if(f.tokens.begin(), f.tokens.end(), is_str), 2);
+}
+
+TEST(lint_scanner, classifies_float_literals) {
+  const source_file f =
+      scan_source("src/x.cc", "a = 1.0; b = 2e9; c = 0x1p3; d = 42; e = 1'000;");
+  std::vector<bool> floats;
+  for (const token& t : f.tokens) {
+    if (t.kind == tok_kind::number) floats.push_back(t.is_float);
+  }
+  ASSERT_EQ(floats.size(), 5u);
+  EXPECT_TRUE(floats[0]);   // 1.0
+  EXPECT_TRUE(floats[1]);   // 2e9
+  EXPECT_TRUE(floats[2]);   // 0x1p3
+  EXPECT_FALSE(floats[3]);  // 42
+  EXPECT_FALSE(floats[4]);  // 1'000 (digit separator, still an integer)
+}
+
+TEST(lint_scanner, records_includes_and_pragma_once) {
+  const source_file f = scan_source(
+      "src/x.h",
+      "#pragma once\n#include \"core/sweep.h\"\n#include <vector>\n");
+  EXPECT_TRUE(f.has_pragma_once);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].path, "core/sweep.h");
+  EXPECT_FALSE(f.includes[0].angled);
+  EXPECT_TRUE(f.includes[1].angled);
+}
+
+TEST(lint_scanner, parses_allow_lists) {
+  const source_file f = scan_source(
+      "src/x.cc",
+      "int a;  // pn_lint: allow(nondet, float-eq) two rules at once\n");
+  ASSERT_EQ(f.allows.count(1), 1u);
+  EXPECT_EQ(f.allows.at(1).count("nondet"), 1u);
+  EXPECT_EQ(f.allows.at(1).count("float-eq"), 1u);
+}
+
+TEST(lint_scanner, multichar_operators_stay_whole) {
+  const source_file f = scan_source("src/x.cc", "out << a; x == y; p != q;");
+  int shifts = 0, eqs = 0;
+  for (const token& t : f.tokens) {
+    if (t.kind != tok_kind::punct) continue;
+    if (t.text == "<<") ++shifts;
+    if (t.text == "==" || t.text == "!=") ++eqs;
+  }
+  EXPECT_EQ(shifts, 1);
+  EXPECT_EQ(eqs, 2);
+}
+
+// ---- 2. fixtures --------------------------------------------------------
+
+class lint_fixtures : public ::testing::Test {
+ protected:
+  static const std::vector<finding>& all() {
+    static const std::vector<finding> findings = [] {
+      lint_options opts;
+      opts.root = PN_LINT_FIXTURE_DIR;
+      opts.dirs = {"src"};
+      opts.include_root = "src";
+      opts.exclude = {};  // the fixtures ARE the input here
+      return run_lint(opts);
+    }();
+    return findings;
+  }
+};
+
+TEST_F(lint_fixtures, each_rule_fires_exactly_once_on_its_fixture) {
+  const struct {
+    const char* rule;
+    const char* file;
+  } cases[] = {
+      {"nondet", "r1_nondet.cc"},     {"raw-thread", "r2_thread.cc"},
+      {"naked-new", "r3_new.cc"},     {"csv-comma", "r4_csv.cc"},
+      {"pragma-once", "r5_missing_pragma.h"},
+      {"include-cycle", "cycle_a.h"}, {"float-eq", "r6_float_eq.cc"},
+  };
+  for (const auto& c : cases) {
+    const std::vector<finding> hits = findings_for(c.rule, all());
+    ASSERT_EQ(hits.size(), 1u) << c.rule << " should fire exactly once";
+    EXPECT_NE(hits[0].path.find(c.file), std::string::npos)
+        << c.rule << " fired in " << hits[0].path;
+  }
+}
+
+TEST_F(lint_fixtures, cycle_finding_names_both_headers) {
+  const std::vector<finding> hits = findings_for("include-cycle", all());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("cycle_a.h"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("cycle_b.h"), std::string::npos);
+}
+
+TEST_F(lint_fixtures, clean_fixture_has_zero_findings) {
+  EXPECT_TRUE(findings_in("clean.cc", all()).empty());
+  EXPECT_TRUE(findings_in("clean.h", all()).empty());
+}
+
+TEST_F(lint_fixtures, suppressed_fixture_has_zero_findings) {
+  const std::vector<finding> hits = findings_in("suppressed.cc", all());
+  EXPECT_TRUE(hits.empty())
+      << "allow() failed to silence: " << (hits.empty() ? "" : hits[0].rule);
+}
+
+TEST_F(lint_fixtures, no_unexpected_findings) {
+  // Exactly one finding per bad fixture — nothing else fired anywhere.
+  EXPECT_EQ(all().size(), 7u);
+}
+
+// ---- suppression / baseline semantics -----------------------------------
+
+TEST(lint_rules, allow_covers_own_line_and_next_only) {
+  const std::vector<source_file> files = {scan_source(
+      "src/x.cc",
+      "// pn_lint: allow(nondet) covers the call directly below\n"
+      "int a = rand();\n"
+      "int b = rand();\n")};
+  const std::vector<finding> out = run_rules(files, "src");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 3);
+}
+
+TEST(lint_rules, wildcard_allow_silences_any_rule) {
+  const std::vector<source_file> files = {scan_source(
+      "src/x.cc", "int a = rand();  // pn_lint: allow(*) kitchen sink\n")};
+  EXPECT_TRUE(run_rules(files, "src").empty());
+}
+
+TEST(lint_baseline, round_trips_and_filters) {
+  const finding f{"nondet", "src/x.cc", 10, "call to 'rand()'"};
+  const finding g{"float-eq", "src/y.cc", 20, "'==' against a literal"};
+  const std::string path = ::testing::TempDir() + "/pn_lint_baseline.txt";
+  ASSERT_TRUE(write_baseline(path, {f}));
+  const std::set<std::string> keys = load_baseline(path);
+  EXPECT_EQ(keys.size(), 1u);
+  const std::vector<finding> fresh = filter_baselined({f, g}, keys);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].rule, "float-eq");
+}
+
+TEST(lint_baseline, key_ignores_line_numbers) {
+  finding a{"nondet", "src/x.cc", 10, "m"};
+  finding b{"nondet", "src/x.cc", 99, "m"};
+  EXPECT_EQ(baseline_key(a), baseline_key(b));
+}
+
+// ---- 3. the repo gate ---------------------------------------------------
+
+TEST(lint_repo_gate, tree_is_clean_against_checked_in_baseline) {
+  lint_options opts;
+  opts.root = PN_LINT_REPO_ROOT;
+  const std::vector<finding> all = run_lint(opts);
+  const std::set<std::string> baseline =
+      load_baseline(std::string(PN_LINT_REPO_ROOT) +
+                    "/tools/pn_lint/baseline.txt");
+  const std::vector<finding> fresh = filter_baselined(all, baseline);
+  for (const finding& f : fresh) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_TRUE(fresh.empty())
+      << "fix the finding, add '// pn_lint: allow(<rule>) <why>', or run "
+         "pn_lint --fix-baseline";
+}
+
+TEST(lint_repo_gate, every_header_has_pragma_once) {
+  // The R5a half of the satellite audit, as a direct assertion.
+  lint_options opts;
+  opts.root = PN_LINT_REPO_ROOT;
+  const std::vector<finding> all = run_lint(opts);
+  EXPECT_TRUE(findings_for("pragma-once", all).empty());
+}
+
+}  // namespace
+}  // namespace pn::lint

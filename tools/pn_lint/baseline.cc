@@ -1,0 +1,52 @@
+// Baseline handling: grandfathered findings that do not fail the gate.
+//
+// Keys deliberately omit the line number — "rule<TAB>path<TAB>message" —
+// so editing an unrelated part of a file does not invalidate its
+// baseline entries. The file is sorted and deduplicated on write, and
+// '#' lines are comments, so diffs stay reviewable.
+#include "pn_lint/lint.h"
+
+#include <fstream>
+
+namespace pn::lint {
+
+std::string baseline_key(const finding& f) {
+  return f.rule + "\t" + f.path + "\t" + f.message;
+}
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+bool write_baseline(const std::string& path, const std::vector<finding>& fs) {
+  std::set<std::string> keys;
+  for (const finding& f : fs) keys.insert(baseline_key(f));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# pn_lint baseline — grandfathered findings that do not fail the "
+         "gate.\n"
+         "# Regenerate with: pn_lint --fix-baseline\n"
+         "# Prefer fixing or inline-suppressing over baselining; this file "
+         "should trend to empty.\n";
+  for (const std::string& k : keys) out << k << "\n";
+  return static_cast<bool>(out);
+}
+
+std::vector<finding> filter_baselined(const std::vector<finding>& fs,
+                                      const std::set<std::string>& baseline) {
+  std::vector<finding> out;
+  for (const finding& f : fs) {
+    if (baseline.count(baseline_key(f)) == 0) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace pn::lint

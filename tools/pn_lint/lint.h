@@ -1,0 +1,125 @@
+// pn_lint — physnet's in-repo static-analysis gate.
+//
+// The paper argues that designs fail on constraints nobody formalized;
+// this tool formalizes ours. The compiler cannot see that "bit-identical
+// under --jobs=N" forbids wall-clock seeding, or that "serialize∘parse is
+// a fixed point" forbids hand-joined CSV fields — so pn_lint walks the
+// tree at token level (comments and string literals stripped, so prose
+// never trips a rule) and fails the build when a new call site silently
+// violates a project invariant:
+//
+//   nondet        (R1) nondeterminism primitives (rand, srand,
+//                 std::random_device, time(), system_clock, sleep_for, ...)
+//                 outside common/rng.h — use pn::rng with an explicit seed
+//   raw-thread    (R2) std::thread / std::jthread / std::async outside
+//                 common/thread_pool.* — use thread_pool / parallel_for
+//   naked-new     (R3) naked new/delete in src/ (`= delete` is fine) —
+//                 use containers / smart pointers
+//   csv-comma     (R4) in files that include core/sweep.h or
+//                 core/checkpoint.h: a `<<` chain containing a string
+//                 literal with a CSV-style comma (comma followed by a
+//                 non-space) and no csv_field() call — fields must be
+//                 escaped through csv_field
+//   pragma-once   (R5a) every header starts with #pragma once
+//   include-cycle (R5b) no cycles in the src/-internal include graph
+//                 (Tarjan SCC over resolved quoted includes)
+//   float-eq      (R6) == / != against a floating-point literal outside
+//                 tests/ — compare against a tolerance or an integer
+//
+// Deliberate violations carry an inline suppression with a justification:
+//
+//   out << "a,b,c\n";  // pn_lint: allow(csv-comma) fixed header text
+//
+// A suppression covers its own line and the line directly below it (so it
+// can sit above a long statement). A checked-in baseline file
+// (tools/pn_lint/baseline.txt) grandfathers findings so the gate starts
+// green; `pn_lint --fix-baseline` regenerates it.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pn::lint {
+
+enum class tok_kind {
+  ident,    // identifiers and keywords
+  number,   // integer or floating literal (see token::is_float)
+  str,      // string literal; text holds the *contents*, quotes stripped
+  chr,      // character literal; text holds the contents
+  punct,    // operators and punctuation, longest-match (e.g. "<<", "==")
+};
+
+struct token {
+  tok_kind kind;
+  std::string text;
+  int line = 0;
+  bool is_float = false;  // numbers only: has '.', exponent, or hex-float p
+};
+
+struct include_ref {
+  std::string path;  // the quoted/bracketed spelling, e.g. "core/sweep.h"
+  bool angled = false;
+  int line = 0;
+};
+
+// One scanned translation unit (or header), ready for the rule engine.
+struct source_file {
+  std::string path;  // root-relative, '/'-separated, e.g. "src/core/sweep.cc"
+  bool is_header = false;
+  bool has_pragma_once = false;
+  std::vector<token> tokens;
+  std::vector<include_ref> includes;
+  // line -> rules allowed on that line and the next ("*" allows all).
+  std::map<int, std::set<std::string>> allows;
+};
+
+struct finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+// Tokenizes `text`. Strips // and /* */ comments (harvesting
+// `pn_lint: allow(rule[, rule...])` suppressions), handles raw strings,
+// escape sequences, digit separators, and preprocessor directives
+// (#include and #pragma once are recorded; other directives are skipped).
+source_file scan_source(std::string path, std::string_view text);
+
+// Runs every rule over the scanned set. Include-cycle detection resolves
+// quoted includes against `include_root` (root-relative dir, e.g. "src")
+// and against the including file's own directory. Suppressed findings are
+// dropped here.
+std::vector<finding> run_rules(const std::vector<source_file>& files,
+                               const std::string& include_root);
+
+struct lint_options {
+  std::string root = ".";                          // repo root
+  std::vector<std::string> dirs = {"src", "tools", "tests"};
+  std::string include_root = "src";                // for include resolution
+  // Path substrings that are never linted (deliberately-bad test data).
+  std::vector<std::string> exclude = {"tests/lint/fixtures"};
+};
+
+// Walks root/dirs for .h/.hpp/.cc/.cpp files, scans them, and runs the
+// rules. Findings are sorted by (path, line, rule).
+std::vector<finding> run_lint(const lint_options& opts);
+
+// ---- baseline ----------------------------------------------------------
+// A baseline entry is "rule<TAB>path<TAB>message" — deliberately without a
+// line number, so unrelated edits to a file do not invalidate it.
+std::string baseline_key(const finding& f);
+std::set<std::string> load_baseline(const std::string& path);
+bool write_baseline(const std::string& path, const std::vector<finding>& fs);
+
+// Findings whose key is not in the baseline.
+std::vector<finding> filter_baselined(const std::vector<finding>& fs,
+                                      const std::set<std::string>& baseline);
+
+// All rule names, for --list-rules and allow() validation.
+const std::vector<std::string>& rule_names();
+
+}  // namespace pn::lint

@@ -1,0 +1,108 @@
+// pn_lint CLI. See lint.h for the rule set.
+//
+//   pn_lint [options] [dir ...]
+//     --root=DIR        repo root to lint (default: .)
+//     --baseline=FILE   baseline path (default: ROOT/tools/pn_lint/
+//                       baseline.txt; pass "none" to disable)
+//     --fix-baseline    rewrite the baseline from current findings
+//     --include-root=D  root-relative dir quoted includes resolve against
+//                       (default: src)
+//     --list-rules      print rule names and exit
+//
+//   dirs default to: src tools tests (root-relative)
+//
+// Exit codes: 0 clean (or all findings baselined), 1 findings, 2 usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pn_lint/lint.h"
+
+namespace {
+
+bool take_value(const std::string& arg, const std::string& flag,
+                std::string* value) {
+  if (arg.rfind(flag + "=", 0) != 0) return false;
+  *value = arg.substr(flag.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pn::lint::lint_options opts;
+  std::string baseline_path;
+  bool fix_baseline = false;
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (take_value(arg, "--root", &value)) {
+      opts.root = value;
+    } else if (take_value(arg, "--baseline", &value)) {
+      baseline_path = value;
+    } else if (take_value(arg, "--include-root", &value)) {
+      opts.include_root = value;
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& name : pn::lint::rule_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: pn_lint [--root=DIR] [--baseline=FILE|none] "
+          "[--fix-baseline] [--include-root=DIR] [--list-rules] [dir ...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pn_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (!dirs.empty()) opts.dirs = dirs;
+  if (baseline_path.empty()) {
+    baseline_path = opts.root + "/tools/pn_lint/baseline.txt";
+  }
+
+  const std::vector<pn::lint::finding> all = pn::lint::run_lint(opts);
+
+  if (fix_baseline) {
+    if (baseline_path == "none") {
+      std::fprintf(stderr, "pn_lint: --fix-baseline needs a baseline path\n");
+      return 2;
+    }
+    if (!pn::lint::write_baseline(baseline_path, all)) {
+      std::fprintf(stderr, "pn_lint: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("pn_lint: baselined %zu finding(s) into %s\n", all.size(),
+                baseline_path.c_str());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (baseline_path != "none") {
+    baseline = pn::lint::load_baseline(baseline_path);
+  }
+  const std::vector<pn::lint::finding> fresh =
+      pn::lint::filter_baselined(all, baseline);
+
+  for (const pn::lint::finding& f : fresh) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  const std::size_t baselined = all.size() - fresh.size();
+  if (fresh.empty()) {
+    std::printf("pn_lint: clean (%zu baselined)\n", baselined);
+    return 0;
+  }
+  std::printf("pn_lint: %zu finding(s) (%zu baselined) — fix, suppress with "
+              "'// pn_lint: allow(<rule>) <why>', or --fix-baseline\n",
+              fresh.size(), baselined);
+  return 1;
+}

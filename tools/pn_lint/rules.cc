@@ -1,0 +1,378 @@
+// The per-rule engines. Each rule is a pure function from scanned
+// sources to findings; suppression and baseline filtering happen after.
+//
+// Rules are heuristics tuned to this codebase — when one misfires, the
+// fix is an inline `// pn_lint: allow(<rule>) <why>` at the call site,
+// which doubles as documentation of the exception. Scoping conventions:
+//   - paths are repo-root-relative with '/' separators
+//   - "in src/" style scoping is a path-prefix test, so the same engine
+//     runs unchanged over the fixture tree in tests/lint/fixtures
+#include "pn_lint/lint.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pn::lint {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+bool path_contains(std::string_view path, std::string_view piece) {
+  return path.find(piece) != std::string_view::npos;
+}
+
+struct rule_ctx {
+  const source_file& file;
+  std::vector<finding>& out;
+
+  void report(const std::string& rule, int line, std::string message) {
+    out.push_back(finding{rule, file.path, line, std::move(message)});
+  }
+};
+
+// ---- R1: nondeterminism primitives ------------------------------------
+// Function-like names are only flagged when called (next token is '(')
+// and not as a member (prev token '.'/'->'), so fields named `time` or
+// comments never fire. Type/tag names fire on any mention.
+void rule_nondet(rule_ctx& ctx) {
+  if (ends_with(ctx.file.path, "common/rng.h")) return;  // the one RNG home
+  static const std::set<std::string> call_like = {
+      "rand",  "srand",  "drand48", "lrand48", "mrand48",     "random",
+      "clock", "time",   "getenv",  "gettimeofday", "clock_gettime",
+  };
+  static const std::set<std::string> any_mention = {
+      "random_device", "system_clock", "high_resolution_clock",
+      "sleep_for",     "sleep_until",  "default_random_engine",
+      "mt19937",       "mt19937_64",
+  };
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::ident) continue;
+    const std::string& t = toks[i].text;
+    if (any_mention.count(t) != 0) {
+      ctx.report("nondet", toks[i].line,
+                 "nondeterminism primitive '" + t +
+                     "' — seed a pn::rng explicitly (common/rng.h)");
+      continue;
+    }
+    if (call_like.count(t) == 0) continue;
+    const bool called = i + 1 < toks.size() &&
+                        toks[i + 1].kind == tok_kind::punct &&
+                        toks[i + 1].text == "(";
+    const bool member = i > 0 && toks[i - 1].kind == tok_kind::punct &&
+                        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (called && !member) {
+      ctx.report("nondet", toks[i].line,
+                 "call to '" + t +
+                     "()' — nondeterministic; use pn::rng or pass the value "
+                     "in explicitly");
+    }
+  }
+}
+
+// ---- R2: raw threading outside the pool -------------------------------
+void rule_raw_thread(rule_ctx& ctx) {
+  if (ends_with(ctx.file.path, "common/thread_pool.h") ||
+      ends_with(ctx.file.path, "common/thread_pool.cc")) {
+    return;  // the one place allowed to own std::thread
+  }
+  static const std::set<std::string> banned = {"thread", "jthread", "async"};
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::ident || banned.count(toks[i].text) == 0) {
+      continue;
+    }
+    const bool std_qualified =
+        toks[i - 1].kind == tok_kind::punct && toks[i - 1].text == "::" &&
+        toks[i - 2].kind == tok_kind::ident && toks[i - 2].text == "std";
+    if (std_qualified) {
+      ctx.report("raw-thread", toks[i].line,
+                 "raw std::" + toks[i].text +
+                     " — route concurrency through common/thread_pool "
+                     "(thread_pool / parallel_for)");
+    }
+  }
+}
+
+// ---- R3: naked new/delete in src/ -------------------------------------
+void rule_naked_new(rule_ctx& ctx) {
+  if (!starts_with(ctx.file.path, "src/")) return;
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::ident) continue;
+    if (toks[i].text == "new") {
+      // `operator new` overloads would be deliberate enough to suppress.
+      ctx.report("naked-new", toks[i].line,
+                 "naked 'new' — use containers, std::make_unique, or value "
+                 "semantics");
+    } else if (toks[i].text == "delete") {
+      const bool deleted_fn = i > 0 && toks[i - 1].kind == tok_kind::punct &&
+                              toks[i - 1].text == "=";
+      if (!deleted_fn) {
+        ctx.report("naked-new", toks[i].line,
+                   "naked 'delete' — ownership must live in a container or "
+                   "smart pointer");
+      }
+    }
+  }
+}
+
+// ---- R4: hand-joined CSV fields ---------------------------------------
+// Scope: files that see the sweep/checkpoint CSV machinery. Trigger: a
+// statement-like token span (between ; { }) that contains a '<<' chain
+// and a string literal with a CSV-style comma — a comma immediately
+// followed by a non-space, the shape of "a,b,c" headers and ",%.3f"
+// joiners, while prose like "points, resuming" stays quiet — with no
+// csv_field() call anywhere in the span.
+bool csv_style_comma(std::string_view s) {
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] == ',' && s[i + 1] != ' ') return true;
+  }
+  return false;
+}
+
+void rule_csv_comma(rule_ctx& ctx) {
+  if (!starts_with(ctx.file.path, "src/") &&
+      !starts_with(ctx.file.path, "tools/")) {
+    return;
+  }
+  bool in_scope = path_contains(ctx.file.path, "core/sweep.") ||
+                  path_contains(ctx.file.path, "core/checkpoint.");
+  for (const include_ref& inc : ctx.file.includes) {
+    if (inc.path == "core/sweep.h" || inc.path == "core/checkpoint.h") {
+      in_scope = true;
+    }
+  }
+  if (!in_scope) return;
+  const auto& toks = ctx.file.tokens;
+  std::size_t span_begin = 0;
+  for (std::size_t i = 0; i <= toks.size(); ++i) {
+    const bool boundary =
+        i == toks.size() ||
+        (toks[i].kind == tok_kind::punct &&
+         (toks[i].text == ";" || toks[i].text == "{" || toks[i].text == "}"));
+    if (!boundary) continue;
+    int shift_line = 0;
+    bool raw_comma = false, escaped = false;
+    for (std::size_t j = span_begin; j < i; ++j) {
+      const token& t = toks[j];
+      if (t.kind == tok_kind::punct && t.text == "<<" && shift_line == 0) {
+        shift_line = t.line;
+      } else if (t.kind == tok_kind::str && csv_style_comma(t.text)) {
+        raw_comma = true;
+      } else if (t.kind == tok_kind::ident && t.text == "csv_field") {
+        escaped = true;
+      }
+    }
+    if (shift_line != 0 && raw_comma && !escaped) {
+      ctx.report("csv-comma", shift_line,
+                 "'<<' chain joins CSV fields with raw commas — route "
+                 "every data field through csv_field()");
+    }
+    span_begin = i + 1;
+  }
+}
+
+// ---- R5a: #pragma once ------------------------------------------------
+void rule_pragma_once(rule_ctx& ctx) {
+  if (ctx.file.is_header && !ctx.file.has_pragma_once) {
+    ctx.report("pragma-once", 1,
+               "header is missing '#pragma once'");
+  }
+}
+
+// ---- R6: float equality -----------------------------------------------
+void rule_float_eq(rule_ctx& ctx) {
+  if (!starts_with(ctx.file.path, "src/") &&
+      !starts_with(ctx.file.path, "tools/")) {
+    return;  // tests may assert exact IEEE round-trips on purpose
+  }
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::punct ||
+        (toks[i].text != "==" && toks[i].text != "!=")) {
+      continue;
+    }
+    const token& prev = toks[i - 1];
+    std::size_t r = i + 1;  // skip unary sign on the right operand
+    if (toks[r].kind == tok_kind::punct &&
+        (toks[r].text == "-" || toks[r].text == "+") && r + 1 < toks.size()) {
+      ++r;
+    }
+    const bool float_operand =
+        (prev.kind == tok_kind::number && prev.is_float) ||
+        (toks[r].kind == tok_kind::number && toks[r].is_float);
+    if (float_operand) {
+      ctx.report("float-eq", toks[i].line,
+                 "'" + toks[i].text +
+                     "' against a floating-point literal — compare with a "
+                     "tolerance, or restructure around an integer");
+    }
+  }
+}
+
+// ---- R5b: include cycles (cross-file) ---------------------------------
+// Edges: quoted includes resolved (a) against include_root — the
+// project-wide `-I src` convention — then (b) against the including
+// file's own directory. Tarjan over the resolved graph; every SCC of
+// size > 1 (or a self-include) is one finding.
+struct tarjan {
+  const std::vector<std::vector<std::size_t>>& adj;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  int next_index = 0;
+
+  explicit tarjan(const std::vector<std::vector<std::size_t>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        lowlink(a.size(), 0),
+        on_stack(a.size(), false) {}
+
+  void strongconnect(std::size_t v) {
+    // Iterative DFS: (node, next-edge-to-visit) frames.
+    std::vector<std::pair<std::size_t, std::size_t>> frames{{v, 0}};
+    while (!frames.empty()) {
+      auto& [node, edge] = frames.back();
+      if (edge == 0) {
+        index[node] = lowlink[node] = next_index++;
+        stack.push_back(node);
+        on_stack[node] = true;
+      }
+      bool descended = false;
+      while (edge < adj[node].size()) {
+        const std::size_t w = adj[node][edge++];
+        if (index[w] < 0) {
+          frames.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[node] = std::min(lowlink[node], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[node] == index[node]) {
+        std::vector<std::size_t> scc;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == node) break;
+        }
+        sccs.push_back(std::move(scc));
+      }
+      const std::size_t done = node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        auto& [parent, unused] = frames.back();
+        (void)unused;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[done]);
+      }
+    }
+  }
+
+  void run() {
+    for (std::size_t v = 0; v < adj.size(); ++v) {
+      if (index[v] < 0) strongconnect(v);
+    }
+  }
+};
+
+void rule_include_cycle(const std::vector<source_file>& files,
+                        const std::string& include_root,
+                        std::vector<finding>& out) {
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path[files[i].path] = i;
+
+  std::vector<std::vector<std::size_t>> adj(files.size());
+  std::vector<bool> self_loop(files.size(), false);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string dir =
+        files[i].path.substr(0, files[i].path.find_last_of('/') + 1);
+    for (const include_ref& inc : files[i].includes) {
+      if (inc.angled) continue;  // system headers cannot cycle with us
+      std::size_t target = files.size();
+      const auto root_hit = by_path.find(include_root + "/" + inc.path);
+      const auto rel_hit = by_path.find(dir + inc.path);
+      if (root_hit != by_path.end()) {
+        target = root_hit->second;
+      } else if (rel_hit != by_path.end()) {
+        target = rel_hit->second;
+      }
+      if (target == files.size()) continue;
+      if (target == i) self_loop[i] = true;
+      adj[i].push_back(target);
+    }
+  }
+
+  tarjan t(adj);
+  t.run();
+  for (const auto& scc : t.sccs) {
+    if (scc.size() < 2 && !(scc.size() == 1 && self_loop[scc[0]])) continue;
+    std::vector<std::string> members;
+    members.reserve(scc.size());
+    for (std::size_t v : scc) members.push_back(files[v].path);
+    std::sort(members.begin(), members.end());
+    std::string msg = "include cycle: ";
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      msg += members[k];
+      msg += (k + 1 < members.size()) ? " -> " : "";
+    }
+    out.push_back(finding{"include-cycle", members.front(), 1, std::move(msg)});
+  }
+}
+
+// ---- suppression ------------------------------------------------------
+// An allow() on line N covers findings on lines N and N+1 — same-line
+// trailing comments and a comment directly above a long statement.
+bool suppressed(const source_file& f, const finding& fnd) {
+  for (int ln : {fnd.line, fnd.line - 1}) {
+    const auto it = f.allows.find(ln);
+    if (it == f.allows.end()) continue;
+    if (it->second.count(fnd.rule) != 0 || it->second.count("*") != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names = {
+      "nondet",      "raw-thread",    "naked-new", "csv-comma",
+      "pragma-once", "include-cycle", "float-eq",
+  };
+  return names;
+}
+
+std::vector<finding> run_rules(const std::vector<source_file>& files,
+                               const std::string& include_root) {
+  std::vector<finding> out;
+  for (const source_file& f : files) {
+    std::vector<finding> local;
+    rule_ctx ctx{f, local};
+    rule_nondet(ctx);
+    rule_raw_thread(ctx);
+    rule_naked_new(ctx);
+    rule_csv_comma(ctx);
+    rule_pragma_once(ctx);
+    rule_float_eq(ctx);
+    for (finding& fnd : local) {
+      if (!suppressed(f, fnd)) out.push_back(std::move(fnd));
+    }
+  }
+  rule_include_cycle(files, include_root, out);
+  std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
+    return std::tie(a.path, a.line, a.rule) < std::tie(b.path, b.line, b.rule);
+  });
+  return out;
+}
+
+}  // namespace pn::lint

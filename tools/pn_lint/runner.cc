@@ -1,0 +1,65 @@
+// Directory walking + scanning front half of pn_lint.
+//
+// The walk is sorted so findings come out in a stable order on every
+// platform (recursive_directory_iterator order is unspecified), and the
+// fixture tree under tests/lint/fixtures is excluded by default — those
+// files are *deliberately* bad and feed the linter's own tests.
+#include "pn_lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pn::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+std::string slashed(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+}  // namespace
+
+std::vector<finding> run_lint(const lint_options& opts) {
+  std::vector<std::string> paths;
+  const fs::path root(opts.root);
+  for (const std::string& dir : opts.dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path())) {
+        continue;
+      }
+      std::string rel =
+          slashed(fs::relative(entry.path(), root).generic_string());
+      const bool excluded =
+          std::any_of(opts.exclude.begin(), opts.exclude.end(),
+                      [&rel](const std::string& piece) {
+                        return rel.find(piece) != std::string::npos;
+                      });
+      if (!excluded) paths.push_back(std::move(rel));
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<source_file> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
+    std::ifstream in(root / rel, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    files.push_back(scan_source(rel, text.str()));
+  }
+  return run_rules(files, opts.include_root);
+}
+
+}  // namespace pn::lint

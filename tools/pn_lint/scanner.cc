@@ -1,0 +1,300 @@
+// Token-level scanner for pn_lint.
+//
+// This is not a C++ parser — it is exactly enough lexing to make the
+// rules reliable: comments and literals must never leak identifier
+// tokens (a comment saying "never call rand()" is not a violation), and
+// literals must stay inspectable (R4 looks *inside* string literals for
+// CSV commas). Preprocessor directives are consumed line-wise with
+// continuation handling so `#include` and `#pragma once` are captured.
+#include "pn_lint/lint.h"
+
+#include <cctype>
+
+namespace pn::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators we want as single tokens, longest first.
+// Only operators the rules inspect need to be exact; everything else may
+// split into single characters without affecting any rule.
+constexpr std::string_view multi_punct[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "<<", ">>", "==", "!=", "<=", ">=",
+    "::",  "->",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",
+};
+
+struct scanner {
+  std::string_view src;
+  std::size_t pos = 0;
+  int line = 1;
+  source_file out;
+
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  void advance() {
+    if (src[pos] == '\n') ++line;
+    ++pos;
+  }
+  bool at_end() const { return pos >= src.size(); }
+
+  void push(tok_kind k, std::string text, int ln, bool is_float = false) {
+    out.tokens.push_back(token{k, std::move(text), ln, is_float});
+  }
+
+  // Registers suppressions found in a comment body starting at `ln`.
+  // Grammar: "pn_lint: allow(rule[, rule...])" anywhere in the comment.
+  void harvest_allow(std::string_view comment, int ln) {
+    const std::string_view tag = "pn_lint:";
+    std::size_t at = comment.find(tag);
+    if (at == std::string_view::npos) return;
+    std::size_t open = comment.find("allow(", at);
+    if (open == std::string_view::npos) return;
+    std::size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) return;
+    std::string_view body = comment.substr(open + 6, close - open - 6);
+    std::set<std::string>& rules = out.allows[ln];
+    std::string cur;
+    for (char c : body) {
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!cur.empty()) rules.insert(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) rules.insert(cur);
+  }
+
+  void skip_line_comment() {
+    const int ln = line;
+    const std::size_t start = pos;
+    while (!at_end() && peek() != '\n') advance();
+    harvest_allow(src.substr(start, pos - start), ln);
+  }
+
+  void skip_block_comment() {
+    const int ln = line;
+    const std::size_t start = pos;
+    advance();  // '*'
+    while (!at_end()) {
+      if (peek() == '*' && peek(1) == '/') {
+        harvest_allow(src.substr(start, pos - start), ln);
+        advance();
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  // Body of a quoted literal with escape handling; returns the contents.
+  std::string quoted(char quote) {
+    std::string body;
+    advance();  // opening quote
+    while (!at_end() && peek() != quote && peek() != '\n') {
+      if (peek() == '\\' && pos + 1 < src.size()) {
+        body.push_back(peek());
+        advance();
+      }
+      body.push_back(peek());
+      advance();
+    }
+    if (!at_end() && peek() == quote) advance();
+    return body;
+  }
+
+  // R"delim( ... )delim" — contents verbatim, no escapes.
+  std::string raw_string() {
+    advance();  // 'R' already consumed by caller; this is the '"'
+    std::string delim;
+    while (!at_end() && peek() != '(' && peek() != '\n') {
+      delim.push_back(peek());
+      advance();
+    }
+    if (!at_end()) advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (!at_end()) {
+      if (src.compare(pos, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        return body;
+      }
+      body.push_back(peek());
+      advance();
+    }
+    return body;
+  }
+
+  // pp-number: integers, floats, hex, exponents, digit separators.
+  void number() {
+    const int ln = line;
+    std::string text;
+    bool is_float = false;
+    const bool hex = peek() == '0' && (peek(1) == 'x' || peek(1) == 'X');
+    while (!at_end()) {
+      const char c = peek();
+      if (digit(c) || ident_char(c) || c == '\'' || c == '.') {
+        if (c == '.') is_float = true;
+        if (!hex && (c == 'e' || c == 'E') &&
+            (peek(1) == '+' || peek(1) == '-' || digit(peek(1)))) {
+          is_float = true;
+          text.push_back(c);
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            text.push_back(peek());
+            advance();
+          }
+          continue;
+        }
+        if (hex && (c == 'p' || c == 'P')) {
+          is_float = true;
+          text.push_back(c);
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            text.push_back(peek());
+            advance();
+          }
+          continue;
+        }
+        text.push_back(c);
+        advance();
+      } else {
+        break;
+      }
+    }
+    push(tok_kind::number, std::move(text), ln, is_float);
+  }
+
+  // A '#' directive: consume to end of line (honouring \-continuations
+  // and comments), recording #include and #pragma once.
+  void directive() {
+    const int ln = line;
+    std::string text;
+    advance();  // '#'
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\n') break;
+      if (c == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        advance();
+        skip_block_comment();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(c);
+      advance();
+    }
+    // Trim leading whitespace after '#'.
+    std::size_t b = text.find_first_not_of(" \t");
+    if (b == std::string::npos) return;
+    std::string_view body = std::string_view(text).substr(b);
+    if (body.rfind("include", 0) == 0) {
+      std::string_view rest = body.substr(7);
+      std::size_t q = rest.find_first_of("\"<");
+      if (q != std::string_view::npos) {
+        const bool angled = rest[q] == '<';
+        const char closer = angled ? '>' : '"';
+        std::size_t e = rest.find(closer, q + 1);
+        if (e != std::string_view::npos) {
+          out.includes.push_back(include_ref{
+              std::string(rest.substr(q + 1, e - q - 1)), angled, ln});
+        }
+      }
+    } else if (body.rfind("pragma", 0) == 0 &&
+               body.find("once") != std::string::npos) {
+      out.has_pragma_once = true;
+    }
+  }
+
+  void run() {
+    while (!at_end()) {
+      const char c = peek();
+      const int ln = line;
+      if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+          c == '\v') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        skip_block_comment();
+      } else if (c == '#') {
+        directive();
+      } else if (c == '"') {
+        push(tok_kind::str, quoted('"'), ln);
+      } else if (c == '\'') {
+        push(tok_kind::chr, quoted('\''), ln);
+      } else if (ident_start(c)) {
+        std::string text;
+        while (!at_end() && ident_char(peek())) {
+          text.push_back(peek());
+          advance();
+        }
+        // String-literal prefixes: R"...", u8"...", L"...", uR"..." etc.
+        const bool raw_next =
+            peek() == '"' && (text == "R" || text == "uR" || text == "UR" ||
+                              text == "LR" || text == "u8R");
+        const bool prefix_next =
+            peek() == '"' && !raw_next &&
+            (text == "u8" || text == "u" || text == "U" || text == "L");
+        if (raw_next) {
+          push(tok_kind::str, raw_string(), ln);
+        } else if (prefix_next) {
+          push(tok_kind::str, quoted('"'), ln);
+        } else {
+          push(tok_kind::ident, std::move(text), ln);
+        }
+      } else if (digit(c) || (c == '.' && digit(peek(1)))) {
+        number();
+      } else {
+        bool matched = false;
+        for (std::string_view op : multi_punct) {
+          if (src.compare(pos, op.size(), op) == 0) {
+            for (std::size_t i = 0; i < op.size(); ++i) advance();
+            push(tok_kind::punct, std::string(op), ln);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          push(tok_kind::punct, std::string(1, c), ln);
+          advance();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+source_file scan_source(std::string path, std::string_view text) {
+  scanner s;
+  s.src = text;
+  s.out.path = std::move(path);
+  const std::size_t dot = s.out.path.find_last_of('.');
+  if (dot != std::string::npos) {
+    const std::string ext = s.out.path.substr(dot);
+    s.out.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
+  }
+  s.run();
+  return s.out;
+}
+
+}  // namespace pn::lint
