@@ -16,6 +16,12 @@
 #include <vector>
 
 #include "core/physnet.h"
+#include "service/batcher.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
 
 namespace {
 
@@ -353,6 +359,95 @@ void bm_checkpoint_line(benchmark::State& state) {
 }
 BENCHMARK(bm_checkpoint_line);
 
+// --- evaluation service: cold vs cached, serial vs batched ---
+
+eval_request service_request(const std::string& name, int k) {
+  eval_request req;
+  req.name = name;
+  req.options.run_repair_sim = false;
+  req.design_twin =
+      serialize_twin(design_to_twin(build_fat_tree(k, 100_gbps)));
+  return req;
+}
+
+// A full service round through the batcher on a cache miss: canonical
+// encode, hash, admission, dispatch, evaluation, response encode.
+void bm_service_eval_cold(benchmark::State& state) {
+  result_cache cache(64);
+  service_metrics metrics;
+  eval_batcher batcher(batcher_config{}, &cache, &metrics);
+  const eval_request req =
+      service_request("bench/cold", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.invalidate());  // force a miss
+    benchmark::DoNotOptimize(batcher.evaluate(req));
+  }
+}
+BENCHMARK(bm_service_eval_cold)->Arg(4)->Arg(8)->UseRealTime();
+
+// The same request answered from the result cache: encode + hash +
+// sharded-LRU lookup, no evaluation. The cold/cached ratio is what the
+// cache buys on a repeat query.
+void bm_service_eval_cached(benchmark::State& state) {
+  result_cache cache(64);
+  service_metrics metrics;
+  eval_batcher batcher(batcher_config{}, &cache, &metrics);
+  const eval_request req =
+      service_request("bench/cached", static_cast<int>(state.range(0)));
+  benchmark::DoNotOptimize(batcher.evaluate(req));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batcher.evaluate(req));
+  }
+}
+BENCHMARK(bm_service_eval_cached)->Arg(4)->Arg(8)->UseRealTime();
+
+// N distinct requests issued one at a time: only one evaluation is ever
+// in flight, so the eval pool sits idle — the "before" side of the
+// batching speedup.
+void bm_service_eval_serial(benchmark::State& state) {
+  result_cache cache(64);
+  service_metrics metrics;
+  eval_batcher batcher(batcher_config{}, &cache, &metrics);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<eval_request> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs.push_back(service_request("bench/serial-" + std::to_string(i), 6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.invalidate());
+    for (const eval_request& req : reqs) {
+      benchmark::DoNotOptimize(batcher.evaluate(req));
+    }
+  }
+}
+BENCHMARK(bm_service_eval_serial)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The same N requests arriving concurrently: the dispatcher groups them
+// into batches and fans them across the eval pool.
+void bm_service_eval_batched(benchmark::State& state) {
+  result_cache cache(64);
+  service_metrics metrics;
+  eval_batcher batcher(batcher_config{}, &cache, &metrics);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<eval_request> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs.push_back(service_request("bench/batched-" + std::to_string(i), 6));
+  }
+  thread_pool callers(static_cast<int>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.invalidate());
+    for (const eval_request& req : reqs) {
+      callers.submit([&batcher, &req] {
+        benchmark::DoNotOptimize(batcher.evaluate(req));
+      });
+    }
+    callers.wait_idle();
+  }
+}
+BENCHMARK(bm_service_eval_batched)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // Per-stage timing table for a representative evaluation, printed before
 // the benchmark runs so every bench log carries the pipeline breakdown.
 void print_stage_timing_table() {
@@ -399,6 +494,8 @@ constexpr speedup_pair kSpeedupPairs[] = {
      "bm_path_length_stats"},
     {"ecmp_loads_cold", "bm_ecmp_loads_reference", "bm_ecmp_loads"},
     {"ecmp_loads_shared", "bm_ecmp_loads_reference", "bm_ecmp_loads_shared"},
+    {"service_cache_hit", "bm_service_eval_cold", "bm_service_eval_cached"},
+    {"service_batched", "bm_service_eval_serial", "bm_service_eval_batched"},
 };
 
 bool write_json(const std::string& path,

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Service smoke test for physnet_serve / physnet_client.
+#
+# Proves, end to end through the real binaries on a real Unix socket:
+#   1. the server comes up and answers ping;
+#   2. >= 4 concurrent client connections all evaluate successfully;
+#   3. repeat requests hit the result cache (cache-hit ratio > 0);
+#   4. SIGTERM drains cleanly: a client whose request is in flight when
+#      the signal lands still gets its answer (exit 0, valid CSV), and
+#      the server itself exits 0.
+#
+# Usage: scripts/service_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/physnet_serve"
+CLIENT="$BUILD_DIR/tools/physnet_client"
+[[ -x "$SERVE" ]] || { echo "missing $SERVE (build first)" >&2; exit 1; }
+[[ -x "$CLIENT" ]] || { echo "missing $CLIENT (build first)" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/physnet.sock"
+CONNECT="unix:$SOCK"
+
+echo "== start server =="
+"$SERVE" --listen="$CONNECT" --quiet 2>"$WORK/serve.err" &
+SERVE_PID=$!
+
+# Wait for the socket to accept a ping (bounded).
+up=0
+for _ in $(seq 1 100); do
+  if [[ -S "$SOCK" ]] && "$CLIENT" --connect="$CONNECT" --ping \
+      >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+[[ "$up" -eq 1 ]] || { echo "server never came up" >&2
+                       cat "$WORK/serve.err" >&2; exit 1; }
+
+echo "== 4 concurrent connections, repeats to warm the cache =="
+pids=()
+i=0
+for spec in fat_tree:4 leaf_spine:6 jellyfish:16 fat_tree:4; do
+  fam="${spec%%:*}"
+  size="${spec##*:}"
+  "$CLIENT" --connect="$CONNECT" --family="$fam" --size="$size" \
+      --no-repair --repeat=3 --csv >"$WORK/out.$i.csv" 2>"$WORK/out.$i.err" &
+  pids+=($!)
+  i=$((i + 1))
+done
+for j in "${!pids[@]}"; do
+  rc=0
+  wait "${pids[$j]}" || rc=$?
+  [[ "$rc" -eq 0 ]] || { echo "client $j failed (exit $rc)" >&2
+                         cat "$WORK/out.$j.err" >&2; exit 1; }
+  # A CSV report: header line + one row.
+  [[ "$(wc -l <"$WORK/out.$j.csv")" -ge 2 ]] \
+      || { echo "client $j produced no report" >&2; exit 1; }
+done
+
+# Identical repeats must be answered from the cache.
+"$CLIENT" --connect="$CONNECT" --stats >"$WORK/stats.txt"
+hits="$(awk '$1 == "cache.hits" { print $3 }' "$WORK/stats.txt")"
+ratio="$(awk '$1 == "cache.hit_ratio" { print $3 }' "$WORK/stats.txt")"
+[[ -n "$hits" && "$hits" -gt 0 ]] \
+    || { echo "expected cache hits > 0, got '${hits:-missing}'" >&2
+         cat "$WORK/stats.txt" >&2; exit 1; }
+echo "cache: $hits hits, hit ratio $ratio"
+
+echo "== SIGTERM drains in-flight work =="
+# A full-pipeline evaluation (repair sim on) holds a request in flight
+# while the signal lands; the drain guarantee says it is still answered.
+"$CLIENT" --connect="$CONNECT" --family=jellyfish --size=24 --csv \
+    >"$WORK/inflight.csv" 2>"$WORK/inflight.err" &
+CLIENT_PID=$!
+sleep 0.2
+kill -TERM "$SERVE_PID"
+
+rc=0
+wait "$CLIENT_PID" || rc=$?
+[[ "$rc" -eq 0 ]] || { echo "in-flight client dropped (exit $rc)" >&2
+                       cat "$WORK/inflight.err" >&2; exit 1; }
+[[ "$(wc -l <"$WORK/inflight.csv")" -ge 2 ]] \
+    || { echo "in-flight client got no report" >&2; exit 1; }
+
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+[[ "$rc" -eq 0 ]] || { echo "server exit $rc on SIGTERM (want 0)" >&2
+                       cat "$WORK/serve.err" >&2; exit 1; }
+[[ ! -S "$SOCK" ]] || { echo "server left its socket behind" >&2; exit 1; }
+
+echo "service smoke test passed"

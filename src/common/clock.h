@@ -1,0 +1,85 @@
+// The one sanctioned home for monotonic wall-time reads.
+//
+// Everything in this library that times itself — stage traces, service
+// latency histograms, deadlines — goes through mono_clock instead of
+// touching std::chrono::steady_clock directly. That buys two things:
+// pn_lint R1 can enforce that no other file reads a clock (wall time is
+// a nondeterminism primitive like rand()), and tests can substitute a
+// manual clock to exercise deadline / latency paths without sleeping.
+//
+// The clock hands out opaque monotonic nanosecond counts (mono_ns);
+// durations are derived by subtraction, so a mono_ns is never meaningful
+// across processes or runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace pn {
+
+// Nanoseconds on a monotonic timeline with an arbitrary origin.
+using mono_ns = std::int64_t;
+
+// Reads the process-wide monotonic clock.
+[[nodiscard]] inline mono_ns mono_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// An injectable clock: any callable returning mono_ns. Components that
+// time themselves accept one of these and default it to mono_now, so
+// production reads the real clock and tests can drive time by hand.
+using clock_fn = std::function<mono_ns()>;
+
+[[nodiscard]] inline clock_fn real_clock() {
+  return [] { return mono_now(); };
+}
+
+[[nodiscard]] inline double mono_ms_between(mono_ns start, mono_ns end) {
+  return static_cast<double>(end - start) / 1e6;
+}
+
+[[nodiscard]] inline mono_ns mono_ns_from_ms(double ms) {
+  return static_cast<mono_ns>(ms * 1e6);
+}
+
+// Blocks the calling thread for at least `ms` of real time. Lives here
+// because sleeping is a wall-clock act like reading one: code that
+// sleeps on a schedule should take an injected clock_fn (or a condition
+// variable) instead, so legitimate callers are polling loops in tests
+// and CLI backoff — places where real time is the thing under test.
+inline void sleep_ms(double ms) {
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+// A hand-cranked clock for tests: starts at zero (or `origin`) and only
+// moves when advanced. fn() returns a view onto this object, so the
+// clock must outlive every component it was injected into. The count is
+// atomic (relaxed — it is a monotonic counter, not a publication point)
+// so a test can advance time while worker threads stamp latencies.
+class manual_clock {
+ public:
+  explicit manual_clock(mono_ns origin = 0) : now_(origin) {}
+
+  [[nodiscard]] mono_ns now() const {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(mono_ns delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void advance_ms(double ms) { advance_ns(mono_ns_from_ms(ms)); }
+
+  [[nodiscard]] clock_fn fn() {
+    return [this] { return now(); };
+  }
+
+ private:
+  std::atomic<mono_ns> now_;
+};
+
+}  // namespace pn

@@ -24,6 +24,18 @@ const char* status_code_name(status_code c) {
       return "cancelled";
     case status_code::deadline_exceeded:
       return "deadline_exceeded";
+    case status_code::fault_injected:
+      return "fault_injected";
+    case status_code::io_error:
+      return "io_error";
+    case status_code::corrupt_data:
+      return "corrupt_data";
+    case status_code::bad_frame:
+      return "bad_frame";
+    case status_code::overloaded:
+      return "overloaded";
+    case status_code::shutting_down:
+      return "shutting_down";
   }
   return "unknown";
 }
@@ -40,6 +52,12 @@ std::optional<status_code> status_code_from_name(std::string_view name) {
       status_code::unavailable,
       status_code::cancelled,
       status_code::deadline_exceeded,
+      status_code::fault_injected,
+      status_code::io_error,
+      status_code::corrupt_data,
+      status_code::bad_frame,
+      status_code::overloaded,
+      status_code::shutting_down,
   };
   for (const status_code c : all) {
     if (name == status_code_name(c)) return c;

@@ -26,6 +26,12 @@ enum class status_code {
   unavailable,        // the operation cannot run in the current state
   cancelled,          // cooperative cancellation was requested mid-run
   deadline_exceeded,  // a wall-clock budget expired before completion
+  fault_injected,     // a deterministic chaos-test fault (core/fault.h)
+  io_error,           // a file/socket read or write failed
+  corrupt_data,       // persisted data failed to parse (checkpoint, twin)
+  bad_frame,          // a malformed wire frame (service/framing.h)
+  overloaded,         // admission queue full — back off and retry
+  shutting_down,      // the service is draining and rejects new work
 };
 
 [[nodiscard]] const char* status_code_name(status_code c);
@@ -80,6 +86,24 @@ class status {
 }
 [[nodiscard]] inline status deadline_error(std::string msg) {
   return {status_code::deadline_exceeded, std::move(msg)};
+}
+[[nodiscard]] inline status fault_injected_error(std::string msg) {
+  return {status_code::fault_injected, std::move(msg)};
+}
+[[nodiscard]] inline status io_error_status(std::string msg) {
+  return {status_code::io_error, std::move(msg)};
+}
+[[nodiscard]] inline status corrupt_data_error(std::string msg) {
+  return {status_code::corrupt_data, std::move(msg)};
+}
+[[nodiscard]] inline status bad_frame_error(std::string msg) {
+  return {status_code::bad_frame, std::move(msg)};
+}
+[[nodiscard]] inline status overloaded_error(std::string msg) {
+  return {status_code::overloaded, std::move(msg)};
+}
+[[nodiscard]] inline status shutting_down_error(std::string msg) {
+  return {status_code::shutting_down, std::move(msg)};
 }
 
 // A value or an error status. value() PN_CHECKs on error, so call sites

@@ -63,6 +63,48 @@ std::string csv_field(std::string_view v) {
   return out;
 }
 
+std::string escape_token(std::string_view s) {
+  if (s.empty()) return "\\e";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape_token(std::string_view t, std::string& out) {
+  if (t == "\\e") {
+    out.clear();
+    return true;
+  }
+  out.clear();
+  out.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] != '\\') {
+      out += t[i];
+      continue;
+    }
+    if (i + 1 >= t.size()) return false;  // lone trailing backslash
+    switch (t[++i]) {
+      case '\\': out += '\\'; break;
+      case 's': out += ' '; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
 std::string human_count(double v) {
   const double a = std::fabs(v);
   if (a >= 1e9) return str_format("%.2fG", v / 1e9);

@@ -23,6 +23,15 @@ namespace pn {
 // otherwise. Use for any free-form string emitted into a CSV cell.
 [[nodiscard]] std::string csv_field(std::string_view v);
 
+// Escapes a free-form string into exactly one space-free, non-empty
+// token (\s space, \n newline, \r CR, \t tab, \\ backslash, \e empty),
+// so line-oriented formats (sweep checkpoints, the service protocol) can
+// keep "one record per line, fields split on spaces" while carrying
+// arbitrary labels. unescape_token returns false on malformed input
+// (lone trailing backslash, unknown escape).
+[[nodiscard]] std::string escape_token(std::string_view s);
+[[nodiscard]] bool unescape_token(std::string_view t, std::string& out);
+
 // Compact human formats used in printed tables: 12345 -> "12.3k", etc.
 [[nodiscard]] std::string human_count(double v);
 [[nodiscard]] std::string human_dollars(double usd);

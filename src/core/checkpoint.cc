@@ -10,51 +10,9 @@ namespace pn {
 
 namespace {
 
-// Space-separated tokens need escaping for free-form strings (labels can
-// hold anything a caller puts in a sweep_point label, including spaces
-// and newlines). \e marks the empty string so every field stays exactly
-// one non-empty token.
-std::string escape_token(const std::string& s) {
-  if (s.empty()) return "\\e";
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case ' ': out += "\\s"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-bool unescape_token(const std::string& t, std::string& out) {
-  if (t == "\\e") {
-    out.clear();
-    return true;
-  }
-  out.clear();
-  out.reserve(t.size());
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i] != '\\') {
-      out += t[i];
-      continue;
-    }
-    if (i + 1 >= t.size()) return false;  // lone trailing backslash
-    switch (t[++i]) {
-      case '\\': out += '\\'; break;
-      case 's': out += ' '; break;
-      case 'n': out += '\n'; break;
-      case 'r': out += '\r'; break;
-      case 't': out += '\t'; break;
-      default: return false;
-    }
-  }
-  return true;
-}
+// Token escaping lives in common/strings.h (escape_token/unescape_token):
+// the service protocol shares the exact same one-token encoding, so the
+// two formats cannot drift apart.
 
 // %.17g round-trips IEEE doubles exactly; that exactness is load-bearing
 // for byte-identical resumed CSVs.
@@ -156,7 +114,7 @@ result<sweep_checkpoint_entry> parse_sweep_checkpoint_line(
     const std::string& line) {
   const std::vector<std::string> tok = split(line, ' ');
   auto fail = [](const std::string& why) {
-    return invalid_argument_error("checkpoint entry: " + why);
+    return corrupt_data_error("checkpoint entry: " + why);
   };
   if (tok.empty()) return fail("empty line");
 
@@ -250,7 +208,7 @@ result<sweep_checkpoint> load_sweep_checkpoint(const std::string& path) {
   sweep_checkpoint cp;
   std::string line;
   if (!std::getline(in, line)) {
-    return invalid_argument_error("checkpoint is empty: " + path);
+    return corrupt_data_error("checkpoint is empty: " + path);
   }
   {
     const std::vector<std::string> tok = split(line, ' ');
@@ -258,7 +216,7 @@ result<sweep_checkpoint> load_sweep_checkpoint(const std::string& path) {
         tok[1] != header_version || tok[2] != "seed" || tok[4] != "points" ||
         !parse_u64(tok[3], cp.base_seed) ||
         !parse_size(tok[5], cp.point_count)) {
-      return invalid_argument_error("bad checkpoint header: " + path);
+      return corrupt_data_error("bad checkpoint header: " + path);
     }
   }
 
@@ -270,7 +228,7 @@ result<sweep_checkpoint> load_sweep_checkpoint(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_no;
     if (pending_error) {
-      return invalid_argument_error(pending_message);
+      return corrupt_data_error(pending_message);
     }
     if (line.empty()) continue;
     auto entry = parse_sweep_checkpoint_line(line);
@@ -282,7 +240,7 @@ result<sweep_checkpoint> load_sweep_checkpoint(const std::string& path) {
       continue;
     }
     if (entry.value().point_index >= cp.point_count) {
-      return invalid_argument_error(
+      return corrupt_data_error(
           str_format("checkpoint point %zu out of range (grid has %zu)",
                      entry.value().point_index, cp.point_count));
     }
@@ -302,7 +260,7 @@ status sweep_checkpoint_writer::open(const std::string& path,
   }
   out_.open(path, std::ios::app);
   if (!out_) {
-    return unavailable_error("cannot open checkpoint for append: " + path);
+    return io_error_status("cannot open checkpoint for append: " + path);
   }
   if (fresh) {
     out_ << sweep_checkpoint_header(base_seed, point_count);

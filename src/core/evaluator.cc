@@ -24,6 +24,16 @@ const char* placement_strategy_name(placement_strategy s) {
   return "unknown";
 }
 
+std::optional<placement_strategy> placement_strategy_from_name(
+    std::string_view name) {
+  for (const placement_strategy s :
+       {placement_strategy::block, placement_strategy::random,
+        placement_strategy::annealed}) {
+    if (name == placement_strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
 floorplan_params auto_size_floor(const network_graph& g,
                                  const floorplan_params& base,
                                  double headroom) {
@@ -79,7 +89,7 @@ evaluation evaluate_design_staged(const network_graph& g,
   deployability_report& rep = ev.report;
   stage_pipeline pipe(&ev.trace,
                       stage_guards{opt.cancel, opt.deadline_ms,
-                                   opt.fault_hook});
+                                   opt.fault_hook, opt.clock});
 
   // One CSR snapshot + BFS distance cache for the whole evaluation: the
   // topology-metrics stage fills the host-facing rows once and every

@@ -6,7 +6,9 @@
 // metrics the paper argues must sit beside them.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "core/pipeline.h"
@@ -26,6 +28,10 @@ namespace pn {
 enum class placement_strategy { block, random, annealed };
 
 [[nodiscard]] const char* placement_strategy_name(placement_strategy s);
+
+// Inverse of placement_strategy_name (CLI flags, service wire options).
+[[nodiscard]] std::optional<placement_strategy> placement_strategy_from_name(
+    std::string_view name);
 
 struct evaluation_options {
   catalog cat = catalog::standard();
@@ -63,6 +69,10 @@ struct evaluation_options {
   cancel_token cancel;
   double deadline_ms = 0.0;
   std::function<status(eval_stage)> fault_hook;
+  // Time source for stage timing and the deadline (common/clock.h);
+  // null = the real monotonic clock. Tests inject a manual_clock to make
+  // deadline behavior deterministic.
+  clock_fn clock;
 
   std::uint64_t seed = 1;
 };

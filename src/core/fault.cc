@@ -37,9 +37,9 @@ bool fault_plan::should_fail(std::size_t point_index,
 
 status fault_plan::injected_status(std::size_t point_index,
                                    eval_stage stage) {
-  return unavailable_error(str_format("injected fault (point %zu, stage %s)",
-                                      point_index,
-                                      eval_stage_name(stage)));
+  return fault_injected_error(
+      str_format("injected fault (point %zu, stage %s)", point_index,
+                 eval_stage_name(stage)));
 }
 
 result<std::vector<fault_target>> parse_fault_targets(

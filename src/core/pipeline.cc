@@ -1,6 +1,5 @@
 #include "core/pipeline.h"
 
-#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -111,12 +110,10 @@ stage_pipeline::stage_pipeline(stage_trace* trace, stage_guards guards)
     : trace_(trace), guards_(std::move(guards)) {
   PN_CHECK(trace != nullptr);
   PN_CHECK(guards_.deadline_ms >= 0.0);
+  if (!guards_.clock) guards_.clock = real_clock();
   if (guards_.deadline_ms > 0.0) {
     has_deadline_ = true;
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double, std::milli>(
-                        guards_.deadline_ms));
+    deadline_ = guards_.clock() + mono_ns_from_ms(guards_.deadline_ms);
   }
 }
 
@@ -127,7 +124,7 @@ std::optional<status> stage_pipeline::guard_failure(eval_stage s) const {
     return cancelled_error(std::string("cancelled before stage ") +
                            eval_stage_name(s));
   }
-  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+  if (has_deadline_ && guards_.clock() >= deadline_) {
     return deadline_error(std::string("deadline exceeded before stage ") +
                           eval_stage_name(s));
   }
@@ -151,13 +148,11 @@ status stage_pipeline::run(eval_stage s,
     return *tripped;
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const mono_ns start = guards_.clock();
   status st = fn(rec);
-  const auto end = std::chrono::steady_clock::now();
-  const double ms =
-      std::chrono::duration<double, std::milli>(end - start).count();
-  // steady_clock can legally tick coarser than the stage's runtime; clamp
-  // so "this stage ran" is always visible in the trace.
+  const double ms = mono_ms_between(start, guards_.clock());
+  // The monotonic clock can legally tick coarser than the stage's
+  // runtime; clamp so "this stage ran" is always visible in the trace.
   rec.wall_ms = ms > 0.0 ? ms : 1e-6;
 
   if (st.is_ok()) {

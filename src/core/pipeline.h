@@ -11,7 +11,6 @@
 #pragma once
 
 #include <array>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -20,6 +19,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/table.h"
 
@@ -115,6 +115,11 @@ struct stage_guards {
   // returned status, without running the stage body. Used by the sweep
   // fault-injection harness (see core/fault.h).
   std::function<status(eval_stage)> fault_hook;
+
+  // Clock used for stage wall times and the deadline (common/clock.h).
+  // Null = the real monotonic clock; tests inject a manual_clock to
+  // exercise deadline trips without sleeping.
+  clock_fn clock;
 };
 
 // Runs stages in order against a trace. After a stage fails, subsequent
@@ -140,7 +145,7 @@ class stage_pipeline {
 
   stage_trace* trace_;
   stage_guards guards_;
-  std::chrono::steady_clock::time_point deadline_{};  // meaningful iff set
+  mono_ns deadline_ = 0;  // meaningful iff has_deadline_
   bool has_deadline_ = false;
   bool failed_ = false;
 };

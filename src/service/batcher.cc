@@ -1,0 +1,206 @@
+#include "service/batcher.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+
+eval_batcher::eval_batcher(batcher_config cfg, result_cache* cache,
+                           service_metrics* metrics)
+    : cfg_(std::move(cfg)),
+      cache_(cache),
+      metrics_(metrics),
+      clock_(cfg_.clock ? cfg_.clock : real_clock()),
+      eval_pool_(cfg_.eval_threads > 0 ? cfg_.eval_threads
+                                       : default_thread_count()),
+      dispatch_pool_(1) {
+  PN_CHECK(cache_ != nullptr);
+  PN_CHECK(metrics_ != nullptr);
+  PN_CHECK(cfg_.queue_limit > 0);
+  PN_CHECK(cfg_.max_batch > 0);
+  dispatch_pool_.submit([this] { dispatch_loop(); });
+}
+
+eval_batcher::~eval_batcher() { shutdown(); }
+
+void eval_batcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  // The dispatcher task returns only once the queue is empty, so this
+  // wait is the drain barrier: afterwards every admitted request has
+  // published its response.
+  dispatch_pool_.wait_idle();
+  eval_pool_.wait_idle();
+}
+
+std::string eval_batcher::wait_for(slot& s) {
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv.wait(lock, [&] { return s.done; });
+  return s.response;
+}
+
+eval_batcher::outcome eval_batcher::evaluate(const eval_request& req) {
+  // Canonicalize first: the *server-side* re-encoding is the cache-key
+  // material, so differently-formatted but semantically equal client
+  // payloads still share a cache line.
+  const std::string canonical = encode_eval_request(req);
+  const cache_key key = cache_key_of(canonical);
+
+  const cache_lookup probe = cache_->lookup(key);
+  if (probe.hit.has_value()) {
+    return outcome{probe.hit->response, /*cached=*/true};
+  }
+
+  // Validate before admission: a malformed design or bad options should
+  // answer immediately without costing a queue slot.
+  auto sl = std::make_shared<slot>();
+  sl->name = req.name;
+  sl->wire_seed = req.options.seed;
+  sl->key = key;
+  sl->cache_epoch = probe.epoch;
+  {
+    auto opts = req.options.apply_to(cfg_.base_options);
+    if (!opts.is_ok()) {
+      metrics_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return outcome{encode_error_response(opts.error()), false};
+    }
+    sl->options = std::move(opts).value();
+  }
+  {
+    auto twin = parse_twin(req.design_twin);
+    if (!twin.is_ok()) {
+      metrics_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return outcome{encode_error_response(twin.error()), false};
+    }
+    auto graph = design_from_twin(twin.value());
+    if (!graph.is_ok()) {
+      metrics_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return outcome{encode_error_response(graph.error()), false};
+    }
+    sl->graph = std::move(graph).value();
+  }
+
+  std::shared_ptr<slot> waiting_on;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      metrics_->rejected_shutting_down.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      return outcome{encode_error_response(shutting_down_error(
+                         "service is draining; not accepting work")),
+                     false};
+    }
+    const auto it = inflight_.find(key.lo);
+    if (it != inflight_.end() && it->second->key == key) {
+      // Same canonical request already admitted: share its answer.
+      waiting_on = it->second;
+    } else if (const cache_lookup again =
+                   cache_->lookup(key, /*count_miss=*/false);
+               again.hit.has_value()) {
+      // The winner for this key may have finished between the lock-free
+      // probe above and this lock: run_one() inserts into the cache
+      // *before* erasing its inflight entry, and the erase is mu_-
+      // ordered, so when the entry is gone this re-probe sees the
+      // cached response. That closes the window that would otherwise
+      // duplicate an evaluation. The miss side is uncounted — this
+      // request already charged its miss on the first probe.
+      return outcome{again.hit->response, /*cached=*/true};
+    } else if (queue_.size() >= cfg_.queue_limit) {
+      metrics_->rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+      return outcome{encode_error_response(overloaded_error(str_format(
+                         "admission queue full (%zu waiting); retry later",
+                         queue_.size()))),
+                     false};
+    } else {
+      sl->cache_epoch = again.epoch;
+      sl->enqueued_at = clock_();
+      queue_.push_back(sl);
+      inflight_.emplace(key.lo, sl);
+      metrics_->requests_admitted.fetch_add(1, std::memory_order_relaxed);
+      metrics_->queue_depth.fetch_add(1, std::memory_order_relaxed);
+      waiting_on = sl;
+    }
+  }
+  if (waiting_on != sl) {
+    metrics_->coalesced.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queue_cv_.notify_one();
+  }
+  return outcome{wait_for(*waiting_on), false};
+}
+
+void eval_batcher::dispatch_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<slot>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and fully drained
+      while (!queue_.empty() && batch.size() < cfg_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    metrics_->batches.fetch_add(1, std::memory_order_relaxed);
+    metrics_->queue_depth.fetch_sub(
+        static_cast<std::int64_t>(batch.size()), std::memory_order_relaxed);
+    metrics_->batch_size.record(static_cast<double>(batch.size()));
+    const mono_ns dispatched_at = clock_();
+    for (const auto& s : batch) {
+      metrics_->queue_wait_ms.record(
+          mono_ms_between(s->enqueued_at, dispatched_at));
+    }
+    // Fan the batch out; only the dispatcher submits into eval_pool_,
+    // so wait_idle is exactly "this batch finished". Each slot publishes
+    // (and wakes its waiters) as soon as it is done — the barrier only
+    // paces the *next* batch.
+    for (const auto& s : batch) {
+      eval_pool_.submit([this, s] { run_one(s); });
+    }
+    eval_pool_.wait_idle();
+  }
+}
+
+void eval_batcher::run_one(const std::shared_ptr<slot>& s) {
+  const mono_ns start = clock_();
+  auto res = evaluate_design(s->graph, s->name, s->options);
+  metrics_->eval_ms.record(mono_ms_between(start, clock_()));
+
+  std::string response;
+  if (res.is_ok()) {
+    metrics_->eval_ok.fetch_add(1, std::memory_order_relaxed);
+    response = encode_eval_response(res.value().report, s->wire_seed);
+    // Stale-epoch inserts are dropped inside the cache; see header.
+    cache_->insert(s->key, response, s->cache_epoch);
+  } else {
+    metrics_->eval_error.fetch_add(1, std::memory_order_relaxed);
+    response = encode_error_response(res.error());
+  }
+
+  {
+    // Erase *after* the cache insert above: a later request for the
+    // same key that finds no inflight entry re-probes the cache under
+    // mu_ (see evaluate()), so a successful evaluation is never
+    // repeated. On an error response (not cached) a later request
+    // evaluates afresh, which is the desired retry semantics.
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = inflight_.find(s->key.lo);
+    if (it != inflight_.end() && it->second == s) inflight_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->response = std::move(response);
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+}  // namespace pn

@@ -1,0 +1,125 @@
+// Admission control + request coalescing + batched evaluation.
+//
+// Connection handlers call evaluate() and block until their answer is
+// ready. Behind that call:
+//
+//   1. The request is canonicalized (encode_eval_request) and probed
+//      against the result cache — a hit returns the stored response
+//      bytes without touching the queue.
+//   2. On a miss, requests already in flight for the same cache key are
+//      *coalesced*: the new caller attaches to the existing slot and
+//      shares its answer. Coalesced waiters never consume queue space.
+//   3. A genuinely new request must win a slot in the bounded admission
+//      queue. A full queue answers status_code::overloaded immediately —
+//      backpressure is explicit, nothing is silently dropped. Once
+//      draining (shutdown()), new requests answer shutting_down instead.
+//   4. A single dispatcher (its own one-thread pool) pops up to
+//      max_batch slots at a time and fans the batch out over the eval
+//      pool — batched parallel evaluation on the existing thread_pool,
+//      exactly like a miniature sweep. Each slot publishes its response
+//      and wakes its waiters the moment it finishes; the dispatcher
+//      paces batches with wait_idle.
+//
+// Drain guarantee: every request admitted to the queue is evaluated and
+// answered, even after shutdown() — the dispatcher exits only once the
+// queue is empty. That is what lets the server promise "zero dropped
+// in-flight requests" on SIGTERM.
+//
+// Caching: only successful evaluations are cached (an error response is
+// cheap to recompute and may be transient, e.g. deadline_exceeded).
+// Inserts carry the epoch observed at lookup time, so an invalidate()
+// racing a long evaluation can never repopulate the cache with a
+// pre-invalidate result (see result_cache.h).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+struct batcher_config {
+  int eval_threads = 0;        // workers in the eval pool; 0 = one per core
+  std::size_t queue_limit = 64;  // bounded admission queue (slots, not waiters)
+  std::size_t max_batch = 8;     // slots dispatched per batch
+  // Server-side evaluation template; wire_options overlay onto this.
+  evaluation_options base_options;
+  clock_fn clock;              // injectable time source; null = real clock
+};
+
+class eval_batcher {
+ public:
+  // `cache` and `metrics` must outlive the batcher.
+  eval_batcher(batcher_config cfg, result_cache* cache,
+               service_metrics* metrics);
+  ~eval_batcher();  // shutdown() + drain
+
+  eval_batcher(const eval_batcher&) = delete;
+  eval_batcher& operator=(const eval_batcher&) = delete;
+
+  struct outcome {
+    std::string response;  // complete response payload (ok or error)
+    bool cached = false;   // answered from the result cache
+  };
+
+  // Blocking: validates, admits, waits for the evaluation, and returns
+  // the response payload bytes. Never throws for domain errors — every
+  // failure (bad design, overloaded, shutting_down, evaluation error)
+  // comes back as an encoded error response.
+  [[nodiscard]] outcome evaluate(const eval_request& req);
+
+  // Rejects new evaluate() admissions and blocks until every already
+  // admitted request has been answered. Idempotent; safe to call from
+  // multiple threads.
+  void shutdown();
+
+ private:
+  struct slot {
+    std::string name;
+    evaluation_options options;  // fully resolved (wire over base)
+    std::uint64_t wire_seed = 1;
+    network_graph graph;
+    cache_key key;
+    std::uint64_t cache_epoch = 0;
+    mono_ns enqueued_at = 0;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string response;
+  };
+
+  void dispatch_loop();
+  void run_one(const std::shared_ptr<slot>& s);
+  [[nodiscard]] static std::string wait_for(slot& s);
+
+  batcher_config cfg_;
+  result_cache* cache_;
+  service_metrics* metrics_;
+  clock_fn clock_;
+
+  std::mutex mu_;  // guards queue_, inflight_, draining_
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<slot>> queue_;
+  // key.lo -> in-flight slot (full key compared on probe; see
+  // result_cache.h for why two lanes make collisions implausible).
+  std::unordered_map<std::uint64_t, std::shared_ptr<slot>> inflight_;
+  bool draining_ = false;
+
+  thread_pool eval_pool_;
+  thread_pool dispatch_pool_;  // exactly one thread: the dispatcher
+};
+
+}  // namespace pn

@@ -1,0 +1,66 @@
+#include "service/client.h"
+
+#include <utility>
+
+namespace pn {
+
+result<eval_client> eval_client::connect(const std::string& endpoint_spec,
+                                         std::size_t max_frame_payload) {
+  auto ep = parse_endpoint(endpoint_spec);
+  if (!ep.is_ok()) return ep.error();
+  auto fd = connect_to(ep.value());
+  if (!fd.is_ok()) return fd.error();
+  return eval_client(std::move(fd).value(), max_frame_payload);
+}
+
+result<parsed_response> eval_client::round_trip(const std::string& payload,
+                                                request_kind expect) {
+  const status wrote = write_frame(fd_.get(), payload, max_frame_);
+  if (!wrote.is_ok()) return wrote;
+  auto frame = read_frame(fd_.get(), max_frame_);
+  if (!frame.is_ok()) return frame.error();
+  if (!frame.value().has_value()) {
+    return io_error_status("server closed the connection mid-request");
+  }
+  auto response = parse_response(*frame.value());
+  if (!response.is_ok()) return response.error();
+  if (!response.value().error.is_ok()) {
+    return response.value().error;  // the server's own answer
+  }
+  if (response.value().kind != expect) {
+    return invalid_argument_error(
+        std::string("response kind mismatch: expected ") +
+        request_kind_name(expect) + ", got " +
+        request_kind_name(response.value().kind));
+  }
+  return response;
+}
+
+result<deployability_report> eval_client::evaluate(const eval_request& req) {
+  auto response =
+      round_trip(encode_eval_request(req), request_kind::evaluate);
+  if (!response.is_ok()) return response.error();
+  return std::move(response).value().eval.report;
+}
+
+result<std::map<std::string, std::string>> eval_client::stats() {
+  auto response = round_trip(encode_plain_request(request_kind::stats),
+                             request_kind::stats);
+  if (!response.is_ok()) return response.error();
+  return std::move(response).value().stats;
+}
+
+status eval_client::ping() {
+  auto response = round_trip(encode_plain_request(request_kind::ping),
+                             request_kind::ping);
+  return response.is_ok() ? status::ok() : response.error();
+}
+
+result<std::uint64_t> eval_client::invalidate() {
+  auto response = round_trip(encode_plain_request(request_kind::invalidate),
+                             request_kind::invalidate);
+  if (!response.is_ok()) return response.error();
+  return response.value().cache_epoch;
+}
+
+}  // namespace pn

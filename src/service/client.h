@@ -1,0 +1,57 @@
+// Client side of the evaluation service: one connection, synchronous
+// request/response round trips. Used by the physnet_client CLI, the
+// smoke script, and the end-to-end tests.
+//
+// Server-sent error responses come back as their original status (e.g.
+// overloaded, shutting_down, deadline_exceeded), so callers can
+// distinguish "the service said no" from transport failures (io_error /
+// bad_frame).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/report.h"
+#include "service/framing.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+
+namespace pn {
+
+class eval_client {
+ public:
+  // Connects to "unix:<path>" or "tcp:<host>:<port>".
+  [[nodiscard]] static result<eval_client> connect(
+      const std::string& endpoint_spec,
+      std::size_t max_frame_payload = default_max_frame_payload);
+
+  eval_client(eval_client&&) = default;
+  eval_client& operator=(eval_client&&) = default;
+
+  // Round-trips an evaluate request; the report in the reply is
+  // bit-identical to a local evaluate_design under the server's options
+  // (modulo eval_total_ms, which the wire zeroes — see protocol.h).
+  [[nodiscard]] result<deployability_report> evaluate(
+      const eval_request& req);
+
+  [[nodiscard]] result<std::map<std::string, std::string>> stats();
+  [[nodiscard]] status ping();
+  // Bumps the server's cache epoch; returns the new epoch.
+  [[nodiscard]] result<std::uint64_t> invalidate();
+
+ private:
+  explicit eval_client(unique_fd fd, std::size_t max_frame_payload)
+      : fd_(std::move(fd)), max_frame_(max_frame_payload) {}
+
+  // Sends `payload` and returns the parsed response, surfacing
+  // server-sent error responses as their status.
+  [[nodiscard]] result<parsed_response> round_trip(
+      const std::string& payload, request_kind expect);
+
+  unique_fd fd_;
+  std::size_t max_frame_;
+};
+
+}  // namespace pn

@@ -1,0 +1,150 @@
+#include "service/framing.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// How long a cancelled handler keeps waiting for the rest of a frame
+// whose prefix already arrived before giving up on the peer.
+constexpr int cancelled_stall_budget_ms = 1000;
+constexpr int poll_interval_ms = 50;
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload, std::size_t max_payload) {
+  PN_CHECK_MSG(payload.size() <= max_payload,
+               "frame payload " << payload.size() << " exceeds max "
+                                << max_payload);
+  std::string out;
+  out.reserve(frame_header_bytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out.append(payload);
+  return out;
+}
+
+void frame_decoder::feed(std::string_view bytes) {
+  if (failed()) return;  // a lying stream has no recoverable boundary
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (!in_payload_) {
+      while (header_fill_ < frame_header_bytes && pos < bytes.size()) {
+        header_[header_fill_++] = static_cast<unsigned char>(bytes[pos++]);
+      }
+      if (header_fill_ < frame_header_bytes) return;
+      payload_len_ = (static_cast<std::size_t>(header_[0]) << 24) |
+                     (static_cast<std::size_t>(header_[1]) << 16) |
+                     (static_cast<std::size_t>(header_[2]) << 8) |
+                     static_cast<std::size_t>(header_[3]);
+      if (payload_len_ > max_payload_) {
+        error_ = bad_frame_error(
+            str_format("frame length %zu exceeds max payload %zu",
+                       payload_len_, max_payload_));
+        return;
+      }
+      in_payload_ = true;
+      payload_.assign(payload_len_, '\0');
+      payload_fill_ = 0;
+      header_fill_ = 0;
+    }
+    const std::size_t want = payload_len_ - payload_fill_;
+    const std::size_t take = std::min(want, bytes.size() - pos);
+    std::memcpy(payload_.data() + payload_fill_, bytes.data() + pos, take);
+    payload_fill_ += take;
+    pos += take;
+    if (payload_fill_ == payload_len_) {
+      ready_.push_back(std::move(payload_));
+      payload_.clear();
+      payload_fill_ = 0;
+      payload_len_ = 0;
+      in_payload_ = false;
+    }
+  }
+}
+
+std::optional<std::string> frame_decoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  std::string out = std::move(ready_.front());
+  ready_.pop_front();
+  return out;
+}
+
+status write_frame(int fd, std::string_view payload,
+                   std::size_t max_payload) {
+  const std::string frame = encode_frame(payload, max_payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error_status(str_format("write_frame: %s",
+                                        std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return status::ok();
+}
+
+result<std::optional<std::string>> read_frame(int fd,
+                                              std::size_t max_payload,
+                                              const cancel_token* cancel) {
+  frame_decoder dec(max_payload);
+  char buf[4096];
+  int stalled_ms = 0;
+  for (;;) {
+    if (std::optional<std::string> payload = dec.next()) {
+      return std::optional<std::string>(std::move(*payload));
+    }
+    if (dec.failed()) return dec.error();
+
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, poll_interval_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return io_error_status(str_format("poll: %s", std::strerror(errno)));
+    }
+    if (pr == 0) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        if (dec.idle()) {
+          return cancelled_error("cancelled while idle between frames");
+        }
+        stalled_ms += poll_interval_ms;
+        if (stalled_ms >= cancelled_stall_budget_ms) {
+          return cancelled_error("cancelled mid-frame and peer stalled");
+        }
+      }
+      continue;
+    }
+    const ssize_t n =
+        ::read(fd, buf, std::min(dec.want(), sizeof(buf)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error_status(str_format("read: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (dec.idle()) return std::optional<std::string>(std::nullopt);
+      return bad_frame_error("torn frame: connection closed mid-frame");
+    }
+    stalled_ms = 0;
+    dec.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace pn

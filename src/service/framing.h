@@ -1,0 +1,101 @@
+// Length-prefixed wire framing for the evaluation service.
+//
+// A frame is a 4-byte big-endian payload length followed by exactly that
+// many payload bytes. The decoder is a pure incremental state machine
+// over byte chunks — no I/O — so the fuzz suite can feed it torn frames,
+// oversized prefixes, truncated payloads, and garbage without touching a
+// socket. Every malformed input maps to status_code::bad_frame; nothing
+// crashes, hangs, or silently resynchronizes (after an error the decoder
+// stays failed — a stream that lied about a length has no trustworthy
+// frame boundary to recover at).
+//
+// The fd read/write helpers below wrap the decoder for blocking sockets,
+// polling in short intervals so a cooperative cancel_token can interrupt
+// a handler that is idle between requests.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/cancel.h"
+#include "common/status.h"
+
+namespace pn {
+
+// Frames above this are rejected as bad_frame on both sides: a length
+// prefix of, say, 2^31 must not make a server try to buffer 2 GiB.
+inline constexpr std::size_t default_max_frame_payload = 64u << 20;
+
+inline constexpr std::size_t frame_header_bytes = 4;
+
+// Header + payload, ready to write. PN_CHECKs payload <= max (callers
+// build payloads; an oversized one is a programming error locally, and a
+// protocol error only when claimed by a peer).
+[[nodiscard]] std::string encode_frame(
+    std::string_view payload,
+    std::size_t max_payload = default_max_frame_payload);
+
+class frame_decoder {
+ public:
+  explicit frame_decoder(std::size_t max_payload = default_max_frame_payload)
+      : max_payload_(max_payload) {}
+
+  // Consumes a chunk of stream bytes. Once a frame's length prefix
+  // exceeds max_payload the decoder latches failed() and ignores further
+  // input. Safe to call with empty chunks.
+  void feed(std::string_view bytes);
+
+  // Pops the next completely received payload, if any.
+  [[nodiscard]] std::optional<std::string> next();
+
+  [[nodiscard]] bool failed() const { return !error_.is_ok(); }
+  [[nodiscard]] const status& error() const { return error_; }
+
+  // True when no partial frame is buffered — i.e. the stream could end
+  // here without tearing a frame. EOF while !idle() is a torn frame.
+  [[nodiscard]] bool idle() const {
+    return header_fill_ == 0 && payload_fill_ == 0 && !in_payload_;
+  }
+
+  // Bytes still needed to complete the frame in progress (or the next
+  // header). read_frame reads at most this much per syscall so bytes of
+  // a pipelined follow-up frame stay in the kernel buffer for the next
+  // read_frame call — this decoder is per-call and must not eat them.
+  [[nodiscard]] std::size_t want() const {
+    return in_payload_ ? payload_len_ - payload_fill_
+                       : frame_header_bytes - header_fill_;
+  }
+
+ private:
+  std::size_t max_payload_;
+  status error_;
+  unsigned char header_[frame_header_bytes] = {};
+  std::size_t header_fill_ = 0;
+  bool in_payload_ = false;
+  std::string payload_;
+  std::size_t payload_fill_ = 0;
+  std::size_t payload_len_ = 0;
+  std::deque<std::string> ready_;
+};
+
+// Writes one frame, retrying partial writes. Fails with io_error.
+[[nodiscard]] status write_frame(int fd, std::string_view payload,
+                                 std::size_t max_payload =
+                                     default_max_frame_payload);
+
+// Reads one frame from a blocking socket. Returns:
+//   - the payload on success,
+//   - nullopt on clean EOF at a frame boundary (peer closed),
+//   - bad_frame on a torn frame / oversized prefix,
+//   - io_error on a failed read,
+//   - cancelled when `cancel` fires while waiting between frames (a
+//     frame already in progress is still read to completion, bounded by
+//     a short stall timeout so a dead peer cannot pin the handler).
+[[nodiscard]] result<std::optional<std::string>> read_frame(
+    int fd, std::size_t max_payload = default_max_frame_payload,
+    const cancel_token* cancel = nullptr);
+
+}  // namespace pn

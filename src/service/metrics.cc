@@ -1,0 +1,117 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+metric_series::metric_series(double hi, std::size_t bins)
+    : hist_(0.0, hi, bins) {
+  PN_CHECK(hi > 0.0);
+}
+
+void metric_series::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.add(v);
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+double metric_series::percentile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < hist_.bin_count(); ++b) {
+    seen += hist_.count(b);
+    if (seen > rank) {
+      // Clamp the synthetic edge to the true extrema so tiny samples
+      // don't report a p99 past the largest observed value.
+      return std::min(std::max(hist_.bin_hi(b), min_), max_);
+    }
+  }
+  return max_;
+}
+
+metric_series::snapshot_t metric_series::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_t out;
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  out.p50 = percentile_locked(0.50);
+  out.p90 = percentile_locked(0.90);
+  out.p99 = percentile_locked(0.99);
+  return out;
+}
+
+namespace {
+
+std::string fmt_u64(std::uint64_t v) {
+  return str_format("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string fmt_i64(std::int64_t v) {
+  return str_format("%lld", static_cast<long long>(v));
+}
+
+std::string fmt_ms(double v) { return str_format("%.3f", v); }
+
+void put_series(std::map<std::string, std::string>& out,
+                const std::string& prefix,
+                const metric_series::snapshot_t& s) {
+  out[prefix + ".count"] = fmt_u64(s.count);
+  out[prefix + ".mean"] = fmt_ms(s.mean());
+  out[prefix + ".min"] = fmt_ms(s.count == 0 ? 0.0 : s.min);
+  out[prefix + ".max"] = fmt_ms(s.count == 0 ? 0.0 : s.max);
+  out[prefix + ".p50"] = fmt_ms(s.p50);
+  out[prefix + ".p90"] = fmt_ms(s.p90);
+  out[prefix + ".p99"] = fmt_ms(s.p99);
+}
+
+}  // namespace
+
+std::map<std::string, std::string> service_metrics::to_stats_map(
+    std::uint64_t cache_hits, std::uint64_t cache_misses,
+    std::uint64_t cache_entries, std::uint64_t cache_epoch) const {
+  std::map<std::string, std::string> out;
+  out["connections.accepted"] = fmt_u64(connections_accepted.load());
+  out["connections.active"] = fmt_i64(connections_active.load());
+
+  out["requests.admitted"] = fmt_u64(requests_admitted.load());
+  out["requests.rejected_overloaded"] = fmt_u64(rejected_overloaded.load());
+  out["requests.rejected_shutting_down"] =
+      fmt_u64(rejected_shutting_down.load());
+  out["requests.bad_frames"] = fmt_u64(bad_frames.load());
+  out["requests.bad_requests"] = fmt_u64(bad_requests.load());
+
+  out["eval.ok"] = fmt_u64(eval_ok.load());
+  out["eval.error"] = fmt_u64(eval_error.load());
+  out["eval.coalesced"] = fmt_u64(coalesced.load());
+
+  out["batch.batches"] = fmt_u64(batches.load());
+  out["queue.depth"] = fmt_i64(queue_depth.load());
+
+  const std::uint64_t lookups = cache_hits + cache_misses;
+  out["cache.hits"] = fmt_u64(cache_hits);
+  out["cache.misses"] = fmt_u64(cache_misses);
+  out["cache.hit_ratio"] = str_format(
+      "%.6f", lookups == 0
+                  ? 0.0
+                  : static_cast<double>(cache_hits) /
+                        static_cast<double>(lookups));
+  out["cache.entries"] = fmt_u64(cache_entries);
+  out["cache.epoch"] = fmt_u64(cache_epoch);
+
+  put_series(out, "latency.queue_wait_ms", queue_wait_ms.snapshot());
+  put_series(out, "latency.eval_ms", eval_ms.snapshot());
+  put_series(out, "batch.size", batch_size.snapshot());
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,94 @@
+// Live service counters and latency histograms, exposed by the `stats`
+// request (protocol.h) and printed by physnet_serve on shutdown.
+//
+// Counters are relaxed atomics — they are operator telemetry, not
+// synchronization. Histograms take a short mutex per record; the service
+// records a handful of samples per request, so contention is noise next
+// to an evaluation.
+//
+// Built on common/stats: each latency series is a fixed-width
+// pn::histogram plus exact count/sum/min/max, and percentiles are read
+// from the bins (upper bin edge at the target rank), which bounds the
+// error by one bin width without retaining samples.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace pn {
+
+// One latency/size series: histogram bins plus exact moments.
+class metric_series {
+ public:
+  // Bins span [0, hi) with `bins` equal widths; values at or above hi
+  // clamp into the last bin (pn::histogram semantics).
+  metric_series(double hi, std::size_t bins);
+
+  void record(double v);
+
+  struct snapshot_t {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] snapshot_t snapshot() const;
+
+ private:
+  // q in [0,1]: upper edge of the bin holding the rank-q sample.
+  [[nodiscard]] double percentile_locked(double q) const;
+
+  mutable std::mutex mu_;
+  histogram hist_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct service_metrics {
+  // Connection lifecycle.
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::int64_t> connections_active{0};
+
+  // Request admission.
+  std::atomic<std::uint64_t> requests_admitted{0};
+  std::atomic<std::uint64_t> rejected_overloaded{0};
+  std::atomic<std::uint64_t> rejected_shutting_down{0};
+  std::atomic<std::uint64_t> bad_frames{0};
+  std::atomic<std::uint64_t> bad_requests{0};  // framed fine, parse failed
+
+  // Evaluation outcomes.
+  std::atomic<std::uint64_t> eval_ok{0};
+  std::atomic<std::uint64_t> eval_error{0};
+  std::atomic<std::uint64_t> coalesced{0};  // waiters attached to in-flight
+
+  // Batching.
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::int64_t> queue_depth{0};  // live gauge
+
+  // Latency series (milliseconds) and batch shape.
+  metric_series queue_wait_ms{10'000.0, 200};
+  metric_series eval_ms{60'000.0, 240};
+  metric_series batch_size{256.0, 256};
+
+  // Flattens everything (plus the caller-supplied cache numbers) into the
+  // key/value map the stats response carries. Keys are stable; values are
+  // decimal strings.
+  [[nodiscard]] std::map<std::string, std::string> to_stats_map(
+      std::uint64_t cache_hits, std::uint64_t cache_misses,
+      std::uint64_t cache_entries, std::uint64_t cache_epoch) const;
+};
+
+}  // namespace pn

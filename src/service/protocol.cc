@@ -1,0 +1,318 @@
+#include "service/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/checkpoint.h"
+
+namespace pn {
+
+namespace {
+
+constexpr char protocol_magic[] = "physnet/1";
+
+std::string fmt_double(double v) { return str_format("%.17g", v); }
+
+bool parse_double(const std::string& t, double& out) {
+  if (t.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(t.c_str(), &end);
+  return end == t.c_str() + t.size();
+}
+
+bool parse_u64(const std::string& t, std::uint64_t& out) {
+  if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out = std::strtoull(t.c_str(), nullptr, 10);
+  return true;
+}
+
+bool parse_bool01(const std::string& t, bool& out) {
+  if (t == "0") {
+    out = false;
+    return true;
+  }
+  if (t == "1") {
+    out = true;
+    return true;
+  }
+  return false;
+}
+
+// Splits the payload's leading lines until (and excluding) `design`;
+// returns the byte offset just past the "design\n" line, or npos.
+struct request_lines {
+  std::vector<std::string> head;
+  std::size_t design_offset = std::string::npos;
+};
+
+request_lines split_head(std::string_view payload) {
+  request_lines out;
+  std::size_t pos = 0;
+  while (pos <= payload.size()) {
+    const std::size_t nl = payload.find('\n', pos);
+    const std::string_view line =
+        nl == std::string_view::npos ? payload.substr(pos)
+                                     : payload.substr(pos, nl - pos);
+    if (line == "design") {
+      out.design_offset =
+          nl == std::string_view::npos ? payload.size() : nl + 1;
+      return out;
+    }
+    out.head.emplace_back(line);
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* request_kind_name(request_kind k) {
+  switch (k) {
+    case request_kind::evaluate:
+      return "evaluate";
+    case request_kind::stats:
+      return "stats";
+    case request_kind::ping:
+      return "ping";
+    case request_kind::invalidate:
+      return "invalidate";
+  }
+  return "unknown";
+}
+
+result<evaluation_options> wire_options::apply_to(
+    const evaluation_options& base) const {
+  evaluation_options opt = base;
+  opt.seed = seed;
+  const auto strat = placement_strategy_from_name(strategy);
+  if (!strat.has_value()) {
+    return invalid_argument_error("unknown placement strategy: " + strategy);
+  }
+  opt.strategy = *strat;
+  opt.run_repair_sim = run_repair_sim;
+  opt.run_throughput = run_throughput;
+  opt.traffic_per_host = gbps{traffic_per_host_gbps};
+  opt.floor_headroom = floor_headroom;
+  opt.auto_size_floor = auto_size_floor;
+  opt.deadline_ms = deadline_ms;
+  return opt;
+}
+
+std::string encode_eval_request(const eval_request& req) {
+  const wire_options& o = req.options;
+  std::ostringstream out;
+  out << protocol_magic << " evaluate " << escape_token(req.name) << "\n";
+  // Canonical option order (alphabetical); these bytes key the cache.
+  out << "opt auto_size_floor " << (o.auto_size_floor ? 1 : 0) << "\n";
+  out << "opt deadline_ms " << fmt_double(o.deadline_ms) << "\n";
+  out << "opt floor_headroom " << fmt_double(o.floor_headroom) << "\n";
+  out << "opt run_repair_sim " << (o.run_repair_sim ? 1 : 0) << "\n";
+  out << "opt run_throughput " << (o.run_throughput ? 1 : 0) << "\n";
+  out << "opt seed " << o.seed << "\n";
+  out << "opt strategy " << o.strategy << "\n";
+  out << "opt traffic_per_host_gbps " << fmt_double(o.traffic_per_host_gbps)
+      << "\n";
+  out << "design\n";
+  out << req.design_twin;
+  return out.str();
+}
+
+std::string encode_plain_request(request_kind k) {
+  return std::string(protocol_magic) + " " + request_kind_name(k) + "\n";
+}
+
+result<parsed_request> parse_request(std::string_view payload) {
+  auto fail = [](const std::string& why) {
+    return invalid_argument_error("request: " + why);
+  };
+  const request_lines lines = split_head(payload);
+  if (lines.head.empty()) return fail("empty payload");
+  const std::vector<std::string> first = split(lines.head[0], ' ');
+  if (first.size() < 2 || first[0] != protocol_magic) {
+    return fail("bad protocol line");
+  }
+
+  parsed_request out;
+  if (first[1] == "stats" || first[1] == "ping" || first[1] == "invalidate") {
+    if (first.size() != 2) return fail("trailing tokens on " + first[1]);
+    out.kind = first[1] == "stats"
+                   ? request_kind::stats
+                   : (first[1] == "ping" ? request_kind::ping
+                                         : request_kind::invalidate);
+    return out;
+  }
+  if (first[1] != "evaluate") return fail("unknown verb " + first[1]);
+  if (first.size() != 3 ||
+      !unescape_token(first[2], out.eval.name)) {
+    return fail("bad evaluate name");
+  }
+  out.kind = request_kind::evaluate;
+  if (lines.design_offset == std::string::npos) {
+    return fail("evaluate without design section");
+  }
+
+  wire_options& o = out.eval.options;
+  for (std::size_t i = 1; i < lines.head.size(); ++i) {
+    const std::vector<std::string> tok = split(lines.head[i], ' ');
+    if (tok.size() != 3 || tok[0] != "opt") {
+      return fail("bad option line: " + lines.head[i]);
+    }
+    const std::string& key = tok[1];
+    const std::string& val = tok[2];
+    bool ok = true;
+    if (key == "auto_size_floor") {
+      ok = parse_bool01(val, o.auto_size_floor);
+    } else if (key == "deadline_ms") {
+      ok = parse_double(val, o.deadline_ms) && o.deadline_ms >= 0.0;
+    } else if (key == "floor_headroom") {
+      ok = parse_double(val, o.floor_headroom) && o.floor_headroom >= 0.0;
+    } else if (key == "run_repair_sim") {
+      ok = parse_bool01(val, o.run_repair_sim);
+    } else if (key == "run_throughput") {
+      ok = parse_bool01(val, o.run_throughput);
+    } else if (key == "seed") {
+      ok = parse_u64(val, o.seed);
+    } else if (key == "strategy") {
+      ok = placement_strategy_from_name(val).has_value();
+      if (ok) o.strategy = val;
+    } else if (key == "traffic_per_host_gbps") {
+      ok = parse_double(val, o.traffic_per_host_gbps) &&
+           o.traffic_per_host_gbps >= 0.0;
+    } else {
+      return fail("unknown option " + key);
+    }
+    if (!ok) return fail("bad value for option " + key);
+  }
+  out.eval.design_twin = std::string(payload.substr(lines.design_offset));
+  return out;
+}
+
+// --- responses ---------------------------------------------------------
+
+std::string encode_eval_response(const deployability_report& report,
+                                 std::uint64_t seed) {
+  sweep_checkpoint_entry entry;
+  entry.point_index = 0;
+  entry.seed = seed;
+  entry.ok = true;
+  entry.report = report;
+  // Wall time is nondeterministic; the service promises deterministic
+  // response bytes (timing is observable via the stats request instead).
+  entry.report.eval_total_ms = 0.0;
+  std::ostringstream out;
+  out << protocol_magic << " ok evaluate\n";
+  out << "report " << sweep_checkpoint_line(entry);  // newline-terminated
+  return out.str();
+}
+
+std::string encode_stats_response(
+    const std::map<std::string, std::string>& stats) {
+  std::ostringstream out;
+  out << protocol_magic << " ok stats\n";
+  for (const auto& [key, value] : stats) {
+    out << "stat " << escape_token(key) << ' ' << escape_token(value)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string encode_ping_response() {
+  return std::string(protocol_magic) + " ok ping\n";
+}
+
+std::string encode_invalidate_response(std::uint64_t epoch) {
+  std::ostringstream out;
+  out << protocol_magic << " ok invalidate epoch " << epoch << "\n";
+  return out.str();
+}
+
+std::string encode_error_response(const status& error) {
+  std::ostringstream out;
+  out << protocol_magic << " error " << status_code_name(error.code()) << ' '
+      << escape_token(error.message()) << "\n";
+  return out.str();
+}
+
+result<parsed_response> parse_response(std::string_view payload) {
+  auto fail = [](const std::string& why) {
+    return invalid_argument_error("response: " + why);
+  };
+  std::vector<std::string> lines;
+  {
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+      const std::size_t nl = payload.find('\n', pos);
+      const std::size_t end = nl == std::string_view::npos ? payload.size()
+                                                           : nl;
+      lines.emplace_back(payload.substr(pos, end - pos));
+      pos = end + 1;
+    }
+  }
+  if (lines.empty()) return fail("empty payload");
+  const std::vector<std::string> first = split(lines[0], ' ');
+  if (first.size() < 2 || first[0] != protocol_magic) {
+    return fail("bad protocol line");
+  }
+
+  parsed_response out;
+  if (first[1] == "error") {
+    if (first.size() != 4) return fail("bad error line");
+    const auto code = status_code_from_name(first[2]);
+    std::string message;
+    if (!code.has_value() || *code == status_code::ok ||
+        !unescape_token(first[3], message)) {
+      return fail("bad error code/message");
+    }
+    out.error = status(*code, std::move(message));
+    return out;
+  }
+  if (first[1] != "ok" || first.size() < 3) return fail("bad status line");
+
+  if (first[2] == "ping") {
+    out.kind = request_kind::ping;
+    return out;
+  }
+  if (first[2] == "invalidate") {
+    if (first.size() != 5 || first[3] != "epoch" ||
+        !parse_u64(first[4], out.cache_epoch)) {
+      return fail("bad invalidate line");
+    }
+    out.kind = request_kind::invalidate;
+    return out;
+  }
+  if (first[2] == "stats") {
+    out.kind = request_kind::stats;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::vector<std::string> tok = split(lines[i], ' ');
+      std::string key;
+      std::string value;
+      if (tok.size() != 3 || tok[0] != "stat" ||
+          !unescape_token(tok[1], key) || !unescape_token(tok[2], value)) {
+        return fail("bad stat line: " + lines[i]);
+      }
+      out.stats[key] = value;
+    }
+    return out;
+  }
+  if (first[2] == "evaluate") {
+    if (first.size() != 3) return fail("bad evaluate status line");
+    if (lines.size() < 2 || !starts_with(lines[1], "report ")) {
+      return fail("evaluate response without report line");
+    }
+    auto entry = parse_sweep_checkpoint_line(lines[1].substr(7));
+    if (!entry.is_ok()) {
+      return fail("bad report line: " + entry.error().message());
+    }
+    out.kind = request_kind::evaluate;
+    out.eval.report = std::move(entry).value().report;
+    return out;
+  }
+  return fail("unknown response kind " + first[2]);
+}
+
+}  // namespace pn

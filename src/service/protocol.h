@@ -1,0 +1,118 @@
+// Request/response payloads for the evaluation service.
+//
+// Payloads (the bytes inside a frame, see framing.h) are line-oriented
+// text. Requests:
+//
+//   physnet/1 evaluate <escaped name>
+//   opt <key> <value>          (every option, fixed alphabetical order)
+//   design
+//   <twin serialization of the design, to end of payload>
+//
+//   physnet/1 stats | ping | invalidate
+//
+// Responses:
+//
+//   physnet/1 ok evaluate
+//   report <sweep-checkpoint ok line for the report>
+//
+//   physnet/1 ok stats            (+ "stat <key> <value>" lines)
+//   physnet/1 ok ping
+//   physnet/1 ok invalidate epoch <n>
+//   physnet/1 error <status_code> <escaped message>
+//
+// Two properties are load-bearing:
+//   - encode_eval_request is *canonical*: options always serialize in the
+//     same order and doubles as %.17g, so the request payload bytes are
+//     the cache-key material — two semantically equal requests produce
+//     byte-equal payloads (see result_cache.h).
+//   - the report rides on the sweep checkpoint entry line (%.17g, escaped
+//     tokens), which round-trips IEEE doubles exactly. That is what makes
+//     a served report bit-identical to a local evaluate_design and a
+//     cached response byte-identical to the cold one. Whether an answer
+//     came from the cache is deliberately NOT on the evaluate response
+//     (it would break that byte identity); it is visible in the stats
+//     counters instead.
+//
+// Served reports carry eval_total_ms = 0: wall time is nondeterministic,
+// and the service promises deterministic response bytes (timing lives in
+// the stats counters instead).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/report.h"
+
+namespace pn {
+
+enum class request_kind : std::uint8_t { evaluate, stats, ping, invalidate };
+
+[[nodiscard]] const char* request_kind_name(request_kind k);
+
+// The evaluation_options subset that crosses the wire. Everything else
+// (catalog, floorplan template, guards) is server-side configuration: a
+// client names *what* to evaluate, the operator controls *how*.
+struct wire_options {
+  std::uint64_t seed = 1;
+  std::string strategy = "block";  // placement_strategy_name
+  bool run_repair_sim = true;
+  bool run_throughput = true;
+  double traffic_per_host_gbps = 25.0;
+  double floor_headroom = 0.30;
+  bool auto_size_floor = true;
+  double deadline_ms = 0.0;  // per-request evaluation budget, 0 = none
+
+  // Overlays these options onto `base` (the server's evaluation_options
+  // template). Fails on an unknown strategy name.
+  [[nodiscard]] result<evaluation_options> apply_to(
+      const evaluation_options& base) const;
+};
+
+struct eval_request {
+  std::string name;         // design name (free-form, escaped on the wire)
+  wire_options options;
+  std::string design_twin;  // serialize_twin(design_to_twin(g))
+};
+
+struct parsed_request {
+  request_kind kind = request_kind::ping;
+  eval_request eval;  // meaningful when kind == evaluate
+};
+
+[[nodiscard]] std::string encode_eval_request(const eval_request& req);
+[[nodiscard]] std::string encode_plain_request(request_kind k);
+
+// Fails with invalid_argument on malformed payloads (the frame itself
+// was fine; the contents are not a request).
+[[nodiscard]] result<parsed_request> parse_request(std::string_view payload);
+
+// --- responses ---------------------------------------------------------
+
+struct eval_reply {
+  deployability_report report;
+};
+
+struct parsed_response {
+  request_kind kind = request_kind::ping;
+  status error;  // non-ok: the server answered with an error response
+  eval_reply eval;                          // kind == evaluate
+  std::map<std::string, std::string> stats; // kind == stats
+  std::uint64_t cache_epoch = 0;            // kind == invalidate
+};
+
+[[nodiscard]] std::string encode_eval_response(
+    const deployability_report& report, std::uint64_t seed);
+[[nodiscard]] std::string encode_stats_response(
+    const std::map<std::string, std::string>& stats);
+[[nodiscard]] std::string encode_ping_response();
+[[nodiscard]] std::string encode_invalidate_response(std::uint64_t epoch);
+[[nodiscard]] std::string encode_error_response(const status& error);
+
+[[nodiscard]] result<parsed_response> parse_response(
+    std::string_view payload);
+
+}  // namespace pn

@@ -1,0 +1,130 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pn {
+
+namespace {
+
+// FNV-1a 64-bit, with a second lane seeded differently so the combined
+// 128 bits make accidental collisions on real payloads implausible.
+constexpr std::uint64_t fnv_offset = 1469598103934665603ull;
+constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= fnv_prime;
+  }
+  return h;
+}
+
+}  // namespace
+
+cache_key cache_key_of(std::string_view payload) {
+  cache_key key;
+  key.lo = fnv1a(payload, fnv_offset);
+  // Second lane: different seed, and fold the length in so payloads that
+  // collide on lane one still need to collide under a distinct stream.
+  key.hi = fnv1a(payload, fnv_offset ^ 0x9e3779b97f4a7c15ull) ^
+           (static_cast<std::uint64_t>(payload.size()) * fnv_prime);
+  return key;
+}
+
+result_cache::result_cache(std::size_t capacity, std::size_t shards)
+    : per_shard_capacity_(0) {
+  PN_CHECK(shards > 0);
+  per_shard_capacity_ = capacity == 0 ? 0 : std::max<std::size_t>(
+                                                1, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<shard>());
+  }
+}
+
+result_cache::shard& result_cache::shard_for(const cache_key& key) {
+  return *shards_[key.hi % shards_.size()];
+}
+
+cache_lookup result_cache::lookup(const cache_key& key, bool count_miss) {
+  cache_lookup out;
+  // Read the epoch *before* probing: if an invalidate lands between the
+  // probe and the insert, the insert sees a newer epoch and drops.
+  out.epoch = epoch_.load(std::memory_order_acquire);
+  if (per_shard_capacity_ == 0) return out;
+
+  shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.index.find(key.lo);
+  if (it == sh.index.end() || !(it->second->key == key)) {
+    if (count_miss) ++sh.misses;
+    return out;
+  }
+  if (it->second->epoch != out.epoch) {
+    // Lazily evict an entry stranded by an invalidate.
+    sh.lru.erase(it->second);
+    sh.index.erase(it);
+    if (count_miss) ++sh.misses;
+    return out;
+  }
+  // Touch: move to MRU position.
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+  ++sh.hits;
+  out.hit = cache_hit{it->second->response};
+  return out;
+}
+
+bool result_cache::insert(const cache_key& key, std::string response,
+                          std::uint64_t epoch) {
+  if (per_shard_capacity_ == 0) return false;
+  shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (epoch != epoch_.load(std::memory_order_acquire)) {
+    ++sh.stale_inserts;
+    return false;
+  }
+  const auto it = sh.index.find(key.lo);
+  if (it != sh.index.end()) {
+    // Same canonical request re-evaluated concurrently: refresh in place
+    // (responses are deterministic, so the bytes match anyway).
+    it->second->response = std::move(response);
+    it->second->epoch = epoch;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return true;
+  }
+  while (sh.lru.size() >= per_shard_capacity_) {
+    sh.index.erase(sh.lru.back().key.lo);
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+  sh.lru.push_front(entry{key, std::move(response), epoch});
+  sh.index.emplace(key.lo, sh.lru.begin());
+  ++sh.insertions;
+  return true;
+}
+
+std::uint64_t result_cache::invalidate() {
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+cache_stats result_cache::stats() const {
+  cache_stats out;
+  out.epoch = epoch_.load(std::memory_order_acquire);
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    out.hits += sh->hits;
+    out.misses += sh->misses;
+    out.insertions += sh->insertions;
+    out.evictions += sh->evictions;
+    out.stale_inserts += sh->stale_inserts;
+    // Entries stranded by an invalidate still count until lazily evicted;
+    // good enough for an operator gauge.
+    out.entries += sh->lru.size();
+  }
+  return out;
+}
+
+}  // namespace pn

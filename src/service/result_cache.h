@@ -1,0 +1,125 @@
+// Sharded LRU cache of evaluation responses, keyed by a content hash of
+// the canonical request payload bytes (see protocol.h: encode_eval_request
+// is canonical, so byte-equal payloads are semantically equal requests).
+//
+// Keys are 128-bit hashes of the payload; the payload itself is not
+// stored. Values are complete response payloads, so a cache hit replays
+// the cold response byte-for-byte (only the `cached` flag on the status
+// line differs, and the server rewrites that before framing).
+//
+// Epoch-based invalidation: `invalidate()` bumps a global epoch and
+// logically empties the cache (entries from older epochs are evicted
+// lazily on lookup). An evaluation that *started* before an invalidate
+// must not poison the cache afterwards, so lookup() hands back the epoch
+// it ran under and insert() refuses when that epoch has since expired.
+//
+// Thread-safety: all methods are safe to call concurrently; each shard
+// has its own mutex, and the epoch is a shared atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pn {
+
+// 128-bit content hash (two independent 64-bit lanes; see cache_hash in
+// result_cache.cc). Collisions across both lanes are treated as
+// impossible for cache purposes.
+struct cache_key {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] bool operator==(const cache_key& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+// Hashes the canonical request payload into a cache key.
+[[nodiscard]] cache_key cache_key_of(std::string_view payload);
+
+struct cache_hit {
+  std::string response;  // complete response payload bytes
+};
+
+struct cache_lookup {
+  std::optional<cache_hit> hit;
+  std::uint64_t epoch = 0;  // epoch the lookup observed; pass to insert()
+};
+
+struct cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;       // capacity evictions only
+  std::uint64_t stale_inserts = 0;   // inserts dropped by an invalidate
+  std::uint64_t epoch = 0;
+  std::size_t entries = 0;
+};
+
+class result_cache {
+ public:
+  // `capacity` is the total entry budget, split evenly across shards.
+  // capacity == 0 disables caching (lookups miss, inserts drop).
+  explicit result_cache(std::size_t capacity, std::size_t shards = 8);
+
+  result_cache(const result_cache&) = delete;
+  result_cache& operator=(const result_cache&) = delete;
+
+  // Looks up `key`; always reports the current epoch, which insert()
+  // needs to reject results computed against a since-invalidated cache.
+  // `count_miss = false` keeps a miss out of the stats — for re-probes
+  // by a caller that already charged its miss on a first lookup (hits
+  // are always counted; a hit answers the request).
+  [[nodiscard]] cache_lookup lookup(const cache_key& key,
+                                    bool count_miss = true);
+
+  // Inserts unless `epoch` is stale (an invalidate happened after the
+  // corresponding lookup). Returns true when the entry was stored.
+  bool insert(const cache_key& key, std::string response,
+              std::uint64_t epoch);
+
+  // Bumps the epoch: every existing entry becomes invisible and every
+  // in-flight insert against an older epoch is dropped. Returns the new
+  // epoch.
+  std::uint64_t invalidate();
+
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] cache_stats stats() const;
+
+ private:
+  struct entry {
+    cache_key key;
+    std::string response;
+    std::uint64_t epoch = 0;
+  };
+  struct shard {
+    mutable std::mutex mu;
+    // MRU at front; map points into the list for O(1) touch/evict.
+    std::list<entry> lru;
+    std::unordered_map<std::uint64_t, std::list<entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t stale_inserts = 0;
+  };
+
+  [[nodiscard]] shard& shard_for(const cache_key& key);
+
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::vector<std::unique_ptr<shard>> shards_;
+};
+
+}  // namespace pn

@@ -1,0 +1,111 @@
+#include "service/server.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/check.h"
+#include "service/protocol.h"
+
+namespace pn {
+
+eval_server::eval_server(server_config cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_capacity),
+      conn_pool_(cfg_.conn_threads > 0 ? cfg_.conn_threads : 1) {
+  batcher_config bc;
+  bc.eval_threads = cfg_.eval_threads;
+  bc.queue_limit = cfg_.queue_limit;
+  bc.max_batch = cfg_.max_batch;
+  bc.base_options = cfg_.base_options;
+  bc.clock = cfg_.clock;
+  batcher_ = std::make_unique<eval_batcher>(bc, &cache_, &metrics_);
+}
+
+status eval_server::bind() {
+  PN_CHECK_MSG(!listen_fd_.valid(), "bind() called twice");
+  auto ep = parse_endpoint(cfg_.listen);
+  if (!ep.is_ok()) return ep.error();
+  ep_ = std::move(ep).value();
+  auto fd = listen_on(ep_);
+  if (!fd.is_ok()) return fd.error();
+  listen_fd_ = std::move(fd).value();
+  return status::ok();
+}
+
+status eval_server::serve(const cancel_token& cancel) {
+  PN_CHECK_MSG(listen_fd_.valid(), "serve() before bind()");
+  status listen_failure = status::ok();
+  for (;;) {
+    auto accepted = accept_on(listen_fd_.get(), cancel);
+    if (!accepted.is_ok()) {
+      listen_failure = accepted.error();
+      break;
+    }
+    if (!accepted.value().has_value()) break;  // cancelled: clean shutdown
+    metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    // std::function must be copyable, so the move-only fd rides in a
+    // shared_ptr until the handler takes over.
+    auto fd = std::make_shared<unique_fd>(
+        std::move(accepted.value().value()));
+    conn_pool_.submit([this, fd, cancel] {
+      metrics_.connections_active.fetch_add(1, std::memory_order_relaxed);
+      handle_connection(fd->get(), cancel);
+      metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Drain: no new connections; handlers notice the cancel token when
+  // idle and finish the request they are on (the batcher answers every
+  // admitted request before shutdown() returns).
+  listen_fd_.reset();
+  if (ep_.is_unix) ::unlink(ep_.path.c_str());
+  conn_pool_.wait_idle();
+  batcher_->shutdown();
+  return listen_failure;
+}
+
+void eval_server::handle_connection(int fd, const cancel_token& cancel) {
+  for (;;) {
+    auto frame = read_frame(fd, cfg_.max_frame_payload, &cancel);
+    if (!frame.is_ok()) {
+      if (frame.error().code() == status_code::bad_frame) {
+        metrics_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        // Best-effort: the peer may already be gone.
+        (void)write_frame(fd, encode_error_response(frame.error()),
+                          cfg_.max_frame_payload);
+      }
+      return;  // bad_frame / io_error / cancelled-while-idle: close
+    }
+    if (!frame.value().has_value()) return;  // clean EOF
+    const std::string response = handle_payload(*frame.value());
+    if (!write_frame(fd, response, cfg_.max_frame_payload).is_ok()) {
+      return;  // peer went away mid-response
+    }
+  }
+}
+
+std::string eval_server::handle_payload(const std::string& payload) {
+  auto parsed = parse_request(payload);
+  if (!parsed.is_ok()) {
+    metrics_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return encode_error_response(parsed.error());
+  }
+  switch (parsed.value().kind) {
+    case request_kind::evaluate:
+      return batcher_->evaluate(parsed.value().eval).response;
+    case request_kind::stats: {
+      const cache_stats cs = cache_.stats();
+      return encode_stats_response(metrics_.to_stats_map(
+          cs.hits, cs.misses, cs.entries, cs.epoch));
+    }
+    case request_kind::ping:
+      return encode_ping_response();
+    case request_kind::invalidate:
+      return encode_invalidate_response(cache_.invalidate());
+  }
+  return encode_error_response(
+      invalid_argument_error("unhandled request kind"));
+}
+
+}  // namespace pn

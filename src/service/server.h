@@ -1,0 +1,89 @@
+// The evaluation server: accept loop + per-connection frame handlers,
+// wired onto the batcher, the result cache, and the metrics registry.
+//
+// Threading (no raw std::thread anywhere — see tools/pn_lint R2):
+//   - serve() runs the accept loop on the *calling* thread, polling the
+//     cancel token so SIGINT/SIGTERM interrupts it.
+//   - Each accepted connection becomes a task on a handler pool; the
+//     handler loops read-frame -> handle -> write-frame until EOF or
+//     cancellation.
+//   - Evaluations happen inside eval_batcher (its own dispatcher + eval
+//     pool); handler threads block in eval_batcher::evaluate().
+//
+// Shutdown sequence on cancel: stop accepting; handlers finish the
+// request they are on (admitted work is always answered — the batcher
+// drains) and then notice the token the next time they are idle between
+// frames; the batcher drains its queue; serve() returns. New evaluate
+// requests that arrive mid-drain answer status_code::shutting_down.
+//
+// A connection whose stream turns out to be garbage (bad_frame) gets one
+// error response frame on a best-effort basis and is closed: after a
+// framing error the byte stream has no trustworthy frame boundary left.
+// Malformed *payloads* in well-formed frames are answered and the
+// connection stays open — framing is still in sync.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "service/batcher.h"
+#include "service/framing.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/socket.h"
+
+namespace pn {
+
+struct server_config {
+  std::string listen;  // "unix:<path>" or "tcp:<host>:<port>"
+  int conn_threads = 8;          // concurrent connection handlers
+  int eval_threads = 0;          // eval pool width; 0 = one per core
+  std::size_t queue_limit = 64;  // admission queue bound
+  std::size_t max_batch = 8;     // evaluations dispatched per batch
+  std::size_t cache_capacity = 256;  // total cached responses (0 = off)
+  std::size_t max_frame_payload = default_max_frame_payload;
+  evaluation_options base_options;  // server-side evaluation template
+  clock_fn clock;                   // injectable time source for tests
+};
+
+class eval_server {
+ public:
+  explicit eval_server(server_config cfg);
+
+  eval_server(const eval_server&) = delete;
+  eval_server& operator=(const eval_server&) = delete;
+
+  // Parses cfg.listen, binds, and starts listening. Call once, before
+  // serve().
+  [[nodiscard]] status bind();
+
+  // Runs the accept loop on the calling thread until `cancel` fires,
+  // then performs the drain described above and returns. ok on a clean
+  // shutdown; io_error if the listen socket itself failed.
+  [[nodiscard]] status serve(const cancel_token& cancel);
+
+  // Observability (valid any time; used by tests and the stats handler).
+  [[nodiscard]] service_metrics& metrics() { return metrics_; }
+  [[nodiscard]] result_cache& cache() { return cache_; }
+  [[nodiscard]] const endpoint& bound_endpoint() const { return ep_; }
+
+ private:
+  void handle_connection(int fd, const cancel_token& cancel);
+  [[nodiscard]] std::string handle_payload(const std::string& payload);
+
+  server_config cfg_;
+  endpoint ep_;
+  unique_fd listen_fd_;
+  service_metrics metrics_;
+  result_cache cache_;
+  std::unique_ptr<eval_batcher> batcher_;
+  thread_pool conn_pool_;
+};
+
+}  // namespace pn

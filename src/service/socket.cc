@@ -1,0 +1,167 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace pn {
+
+void unique_fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+status errno_error(const std::string& what) {
+  return io_error_status(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+result<endpoint> parse_endpoint(std::string_view spec) {
+  endpoint ep;
+  if (starts_with(spec, "unix:")) {
+    ep.is_unix = true;
+    ep.path = std::string(spec.substr(5));
+    if (ep.path.empty()) {
+      return invalid_argument_error("unix endpoint needs a path");
+    }
+    // sun_path is a fixed-size buffer; reject instead of truncating.
+    if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return invalid_argument_error("unix socket path too long: " + ep.path);
+    }
+    return ep;
+  }
+  if (starts_with(spec, "tcp:")) {
+    const std::string_view rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos) {
+      return invalid_argument_error(
+          "tcp endpoint must be tcp:<host>:<port>");
+    }
+    ep.host = std::string(rest.substr(0, colon));
+    const std::string port_str(rest.substr(colon + 1));
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (port_str.empty() || end != port_str.c_str() + port_str.size() ||
+        port < 1 || port > 65535) {
+      return invalid_argument_error("bad tcp port: " + port_str);
+    }
+    ep.port = static_cast<int>(port);
+    return ep;
+  }
+  return invalid_argument_error(
+      "endpoint must be unix:<path> or tcp:<host>:<port>, got: " +
+      std::string(spec));
+}
+
+result<unique_fd> listen_on(const endpoint& ep, int backlog) {
+  if (ep.is_unix) {
+    unique_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) return errno_error("socket(AF_UNIX)");
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return errno_error("bind(" + ep.path + ")");
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      return errno_error("listen(" + ep.path + ")");
+    }
+    return fd;
+  }
+
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  if (ep.host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument_error("bad tcp host (need an IPv4 address): " +
+                                  ep.host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return errno_error(str_format("bind(port %d)", ep.port));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return errno_error(str_format("listen(port %d)", ep.port));
+  }
+  return fd;
+}
+
+result<std::optional<unique_fd>> accept_on(int listen_fd,
+                                           const cancel_token& cancel) {
+  for (;;) {
+    if (cancel.cancelled()) return std::optional<unique_fd>{};
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int rv = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (rv < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the token
+      return errno_error("poll(listen)");
+    }
+    if (rv == 0) continue;  // timeout: re-check the cancel token
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return errno_error("accept");
+    }
+    return std::optional<unique_fd>{unique_fd(conn)};
+  }
+}
+
+result<unique_fd> connect_to(const endpoint& ep) {
+  if (ep.is_unix) {
+    unique_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) return errno_error("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return errno_error("connect(" + ep.path + ")");
+    }
+    return fd;
+  }
+
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument_error("bad tcp host (need an IPv4 address): " +
+                                  host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return errno_error(str_format("connect(%s:%d)", host.c_str(), ep.port));
+  }
+  return fd;
+}
+
+}  // namespace pn

@@ -1,0 +1,77 @@
+// Thin RAII + setup helpers over BSD sockets (Unix-domain and TCP).
+//
+// Endpoints are strings: "unix:/path/to.sock" or "tcp:host:port"
+// (host may be empty for the server side, meaning 0.0.0.0). Everything
+// returns pn::status/result — no exceptions, no global state. Blocking
+// I/O on the accepted fds is handled by framing.h (which polls with a
+// cancel token); these helpers only create, bind, listen, accept, and
+// connect.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/cancel.h"
+#include "common/status.h"
+
+namespace pn {
+
+// Owning file descriptor. Move-only; closes on destruction.
+class unique_fd {
+ public:
+  unique_fd() = default;
+  explicit unique_fd(int fd) : fd_(fd) {}
+  ~unique_fd() { reset(); }
+
+  unique_fd(unique_fd&& o) noexcept : fd_(o.release()) {}
+  unique_fd& operator=(unique_fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.release();
+    }
+    return *this;
+  }
+  unique_fd(const unique_fd&) = delete;
+  unique_fd& operator=(const unique_fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Parsed endpoint string.
+struct endpoint {
+  bool is_unix = false;
+  std::string path;  // unix socket path
+  std::string host;  // tcp host (empty = all interfaces / loopback)
+  int port = 0;      // tcp port
+};
+
+// "unix:<path>" or "tcp:<host>:<port>"; invalid_argument otherwise.
+[[nodiscard]] result<endpoint> parse_endpoint(std::string_view spec);
+
+// Creates a listening socket for the endpoint. For unix endpoints any
+// stale socket file is unlinked first (the standard daemon dance). For
+// tcp, SO_REUSEADDR is set and an empty host binds all interfaces.
+[[nodiscard]] result<unique_fd> listen_on(const endpoint& ep,
+                                          int backlog = 64);
+
+// Blocking accept with a poll loop so a cancel request interrupts it.
+// Returns nullopt when cancelled (clean shutdown path), io_error on a
+// real failure.
+[[nodiscard]] result<std::optional<unique_fd>> accept_on(
+    int listen_fd, const cancel_token& cancel);
+
+// Blocking connect. An empty tcp host connects to 127.0.0.1.
+[[nodiscard]] result<unique_fd> connect_to(const endpoint& ep);
+
+}  // namespace pn

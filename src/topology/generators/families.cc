@@ -1,0 +1,93 @@
+#include "topology/generators/families.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "topology/generators/clos.h"
+#include "topology/generators/dragonfly.h"
+#include "topology/generators/flattened_butterfly.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/jupiter.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/generators/slim_fly.h"
+#include "topology/generators/vl2.h"
+#include "topology/generators/xpander.h"
+
+namespace pn {
+
+result<network_graph> build_family(const std::string& family, int size,
+                                   std::uint64_t seed) {
+  if (family == "fat_tree") {
+    if (size % 2 != 0) return invalid_argument_error("k must be even");
+    return build_fat_tree(size, gbps{100.0});
+  }
+  if (family == "leaf_spine") {
+    leaf_spine_params p;
+    p.leaves = size;
+    p.spines = std::max(2, size / 3);
+    p.hosts_per_leaf = 16;
+    return build_leaf_spine(p);
+  }
+  if (family == "jellyfish") {
+    jellyfish_params p;
+    p.switches = size;
+    p.radix = 16;
+    p.hosts_per_switch = 8;
+    p.seed = seed;
+    return build_jellyfish(p);
+  }
+  if (family == "xpander") {
+    xpander_params p;
+    p.degree = 8;
+    p.lift_size = std::max(1, size / (p.degree + 1));
+    p.hosts_per_switch = 8;
+    p.seed = seed;
+    return build_xpander(p);
+  }
+  if (family == "flattened_butterfly") {
+    flattened_butterfly_params p;
+    p.dims = {size, size};
+    p.hosts_per_switch = 4;
+    return build_flattened_butterfly(p);
+  }
+  if (family == "slim_fly") {
+    slim_fly_params p;
+    p.q = size;
+    p.hosts_per_switch = 6;
+    auto g = build_slim_fly(p);
+    if (!g.is_ok()) return g.error();
+    return std::move(g).value();
+  }
+  if (family == "vl2") {
+    vl2_params p;
+    p.tors = size;
+    p.aggs = std::max(2, size / 4);
+    p.intermediates = std::max(2, size / 8);
+    return build_vl2(p);
+  }
+  if (family == "dragonfly") {
+    auto g = build_dragonfly(balanced_dragonfly(3, size, gbps{100.0}));
+    if (!g.is_ok()) return g.error();
+    return std::move(g).value();
+  }
+  if (family == "jupiter_fat_tree" || family == "jupiter_direct") {
+    jupiter_params p;
+    p.agg_blocks = size;
+    p.spine_blocks = std::max(2, size / 2);
+    p.mode = family == "jupiter_direct" ? jupiter_mode::direct
+                                        : jupiter_mode::fat_tree;
+    return build_jupiter(p).graph;
+  }
+  return invalid_argument_error("unknown family: " + family);
+}
+
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> names = {
+      "fat_tree",  "leaf_spine",          "jellyfish",
+      "xpander",   "flattened_butterfly", "slim_fly",
+      "vl2",       "dragonfly",           "jupiter_fat_tree",
+      "jupiter_direct"};
+  return names;
+}
+
+}  // namespace pn

@@ -1,0 +1,31 @@
+// Name-indexed construction of the benchmark topology families.
+//
+// One string + one size knob per family, with the same opinionated
+// defaults (radix, hosts per switch, oversubscription) everywhere a
+// design gets built from a name: the physnet_eval CLI, the
+// physnet_client CLI, the service smoke script, and the benchmark
+// drivers all go through here so "jellyfish/64" means the same graph in
+// every context.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// fat_tree (size = k), leaf_spine (leaves), jellyfish / xpander
+// (switches), flattened_butterfly (dim, 2-D), slim_fly (q), vl2 (tors),
+// dragonfly (groups), jupiter_fat_tree / jupiter_direct (agg blocks).
+// `seed` feeds the randomized families (jellyfish, xpander).
+[[nodiscard]] result<network_graph> build_family(const std::string& family,
+                                                 int size,
+                                                 std::uint64_t seed);
+
+// Every name build_family accepts, in display order (usage strings).
+[[nodiscard]] const std::vector<std::string>& family_names();
+
+}  // namespace pn

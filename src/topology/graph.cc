@@ -21,6 +21,14 @@ const char* node_kind_name(node_kind k) {
   return "unknown";
 }
 
+std::optional<node_kind> node_kind_from_name(std::string_view name) {
+  for (const node_kind k : {node_kind::tor, node_kind::aggregation,
+                            node_kind::spine, node_kind::expander}) {
+    if (name == node_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
 node_id network_graph::add_node(node_info info) {
   PN_CHECK_MSG(info.radix > 0, "node " << info.name << " has no ports");
   PN_CHECK_MSG(info.host_ports >= 0 && info.host_ports <= info.radix,

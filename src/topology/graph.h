@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.h"
@@ -26,6 +28,10 @@ enum class node_kind : std::uint8_t {
 };
 
 [[nodiscard]] const char* node_kind_name(node_kind k);
+
+// Inverse of node_kind_name (for twin design decoding).
+[[nodiscard]] std::optional<node_kind> node_kind_from_name(
+    std::string_view name);
 
 struct node_info {
   std::string name;

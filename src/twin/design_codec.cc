@@ -1,0 +1,242 @@
+#include "twin/design_codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+namespace {
+
+// Typed attribute readers: a design twin is machine-written, so a missing
+// or mistyped attribute means the payload is corrupt, not merely odd.
+status read_int(const twin_model& m, entity_id e, const char* key,
+                std::int64_t& out) {
+  const auto v = m.attr(e, key);
+  if (!v.has_value()) {
+    return corrupt_data_error(str_format("design twin: %s '%s' missing %s",
+                                         m.entity(e).kind.c_str(),
+                                         m.entity(e).name.c_str(), key));
+  }
+  const auto* i = std::get_if<std::int64_t>(&*v);
+  if (i == nullptr) {
+    return corrupt_data_error(str_format("design twin: %s '%s' %s not int",
+                                         m.entity(e).kind.c_str(),
+                                         m.entity(e).name.c_str(), key));
+  }
+  out = *i;
+  return status::ok();
+}
+
+status read_num(const twin_model& m, entity_id e, const char* key,
+                double& out) {
+  const auto v = m.attr(e, key);
+  const auto* d = v.has_value() ? std::get_if<double>(&*v) : nullptr;
+  if (d == nullptr) {
+    return corrupt_data_error(str_format("design twin: %s '%s' %s not num",
+                                         m.entity(e).kind.c_str(),
+                                         m.entity(e).name.c_str(), key));
+  }
+  out = *d;
+  return status::ok();
+}
+
+status read_str(const twin_model& m, entity_id e, const char* key,
+                std::string& out) {
+  const auto v = m.attr(e, key);
+  const auto* s = v.has_value() ? std::get_if<std::string>(&*v) : nullptr;
+  if (s == nullptr) {
+    return corrupt_data_error(str_format("design twin: %s '%s' %s not str",
+                                         m.entity(e).kind.c_str(),
+                                         m.entity(e).name.c_str(), key));
+  }
+  out = *s;
+  return status::ok();
+}
+
+status read_bool(const twin_model& m, entity_id e, const char* key,
+                 bool& out) {
+  const auto v = m.attr(e, key);
+  const auto* b = v.has_value() ? std::get_if<bool>(&*v) : nullptr;
+  if (b == nullptr) {
+    return corrupt_data_error(str_format("design twin: %s '%s' %s not bool",
+                                         m.entity(e).kind.c_str(),
+                                         m.entity(e).name.c_str(), key));
+  }
+  out = *b;
+  return status::ok();
+}
+
+// Orders entities of `kind` by their "index" attribute and checks the
+// indices are exactly 0..n-1 (the codec's order-preservation invariant).
+result<std::vector<entity_id>> by_index(const twin_model& m,
+                                        const std::string& kind) {
+  const std::vector<entity_id> raw = m.entities_of_kind(kind);
+  std::vector<entity_id> ordered(raw.size());
+  std::vector<bool> seen(raw.size(), false);
+  for (const entity_id e : raw) {
+    std::int64_t idx = 0;
+    if (status st = read_int(m, e, "index", idx); !st.is_ok()) return st;
+    if (idx < 0 || static_cast<std::size_t>(idx) >= raw.size() ||
+        seen[static_cast<std::size_t>(idx)]) {
+      return corrupt_data_error(
+          str_format("design twin: %s indices not a permutation of 0..%zu",
+                     kind.c_str(), raw.size() - 1));
+    }
+    seen[static_cast<std::size_t>(idx)] = true;
+    ordered[static_cast<std::size_t>(idx)] = e;
+  }
+  return ordered;
+}
+
+}  // namespace
+
+twin_model design_to_twin(const network_graph& g) {
+  twin_model m;
+
+  const entity_id fab = m.add_entity("fabric", "fabric");
+  m.set_attr(fab, "family", g.family);
+  m.set_attr(fab, "nodes", static_cast<std::int64_t>(g.node_count()));
+  m.set_attr(fab, "links", static_cast<std::int64_t>(g.edge_count()));
+
+  std::vector<entity_id> switches;
+  switches.reserve(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const node_info& info = g.node(node_id{i});
+    const entity_id e = m.add_entity("switch", info.name);
+    m.set_attr(e, "index", static_cast<std::int64_t>(i));
+    m.set_attr(e, "kind", std::string(node_kind_name(info.kind)));
+    m.set_attr(e, "radix", static_cast<std::int64_t>(info.radix));
+    m.set_attr(e, "port_rate_gbps", info.port_rate.value());
+    m.set_attr(e, "host_ports", static_cast<std::int64_t>(info.host_ports));
+    m.set_attr(e, "layer", static_cast<std::int64_t>(info.layer));
+    m.set_attr(e, "block", static_cast<std::int64_t>(info.block));
+    switches.push_back(e);
+  }
+
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    const edge_id eid{static_cast<std::uint32_t>(i)};
+    const edge_info& info = g.edge(eid);
+    const entity_id e = m.add_entity("link", str_format("link%zu", i));
+    m.set_attr(e, "index", static_cast<std::int64_t>(i));
+    m.set_attr(e, "a", static_cast<std::int64_t>(info.a.index()));
+    m.set_attr(e, "b", static_cast<std::int64_t>(info.b.index()));
+    m.set_attr(e, "capacity_gbps", info.capacity.value());
+    m.set_attr(e, "via_indirection", info.via_indirection);
+    m.set_attr(e, "indirection_unit",
+               static_cast<std::int64_t>(info.indirection_unit));
+    m.set_attr(e, "alive", g.edge_alive(eid));
+    PN_CHECK(m.add_relation("connects", e, switches[info.a.index()]).is_ok());
+    PN_CHECK(m.add_relation("connects", e, switches[info.b.index()]).is_ok());
+  }
+  return m;
+}
+
+result<network_graph> design_from_twin(const twin_model& m) {
+  const auto fab = m.find("fabric", "fabric");
+  if (!fab.has_value()) {
+    return corrupt_data_error("design twin: no fabric entity");
+  }
+
+  network_graph g;
+  if (status st = read_str(m, *fab, "family", g.family); !st.is_ok()) {
+    return st;
+  }
+  std::int64_t want_nodes = 0;
+  std::int64_t want_links = 0;
+  if (status st = read_int(m, *fab, "nodes", want_nodes); !st.is_ok()) {
+    return st;
+  }
+  if (status st = read_int(m, *fab, "links", want_links); !st.is_ok()) {
+    return st;
+  }
+
+  auto switches = by_index(m, "switch");
+  if (!switches.is_ok()) return switches.error();
+  auto links = by_index(m, "link");
+  if (!links.is_ok()) return links.error();
+  if (static_cast<std::int64_t>(switches.value().size()) != want_nodes ||
+      static_cast<std::int64_t>(links.value().size()) != want_links) {
+    return corrupt_data_error(
+        "design twin: fabric counts disagree with entities");
+  }
+
+  for (const entity_id e : switches.value()) {
+    node_info info;
+    info.name = m.entity(e).name;
+    std::string kind;
+    std::int64_t radix = 0;
+    std::int64_t host_ports = 0;
+    std::int64_t layer = 0;
+    std::int64_t block = 0;
+    double rate = 0.0;
+    if (status st = read_str(m, e, "kind", kind); !st.is_ok()) return st;
+    if (status st = read_int(m, e, "radix", radix); !st.is_ok()) return st;
+    if (status st = read_num(m, e, "port_rate_gbps", rate); !st.is_ok()) {
+      return st;
+    }
+    if (status st = read_int(m, e, "host_ports", host_ports); !st.is_ok()) {
+      return st;
+    }
+    if (status st = read_int(m, e, "layer", layer); !st.is_ok()) return st;
+    if (status st = read_int(m, e, "block", block); !st.is_ok()) return st;
+    const auto k = node_kind_from_name(kind);
+    if (!k.has_value()) {
+      return corrupt_data_error("design twin: unknown switch kind " + kind);
+    }
+    info.kind = *k;
+    if (radix <= 0 || host_ports < 0 || host_ports > radix) {
+      return corrupt_data_error("design twin: switch '" + info.name +
+                                "' port counts out of range");
+    }
+    info.radix = static_cast<int>(radix);
+    info.port_rate = gbps{rate};
+    info.host_ports = static_cast<int>(host_ports);
+    info.layer = static_cast<int>(layer);
+    info.block = static_cast<int>(block);
+    g.add_node(std::move(info));
+  }
+
+  std::vector<edge_id> dead;
+  for (const entity_id e : links.value()) {
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t unit = 0;
+    double capacity = 0.0;
+    bool via = false;
+    bool alive = true;
+    if (status st = read_int(m, e, "a", a); !st.is_ok()) return st;
+    if (status st = read_int(m, e, "b", b); !st.is_ok()) return st;
+    if (status st = read_num(m, e, "capacity_gbps", capacity); !st.is_ok()) {
+      return st;
+    }
+    if (status st = read_bool(m, e, "via_indirection", via); !st.is_ok()) {
+      return st;
+    }
+    if (status st = read_int(m, e, "indirection_unit", unit); !st.is_ok()) {
+      return st;
+    }
+    if (status st = read_bool(m, e, "alive", alive); !st.is_ok()) return st;
+    const auto n = static_cast<std::int64_t>(g.node_count());
+    if (a < 0 || a >= n || b < 0 || b >= n || a == b) {
+      return corrupt_data_error(
+          str_format("design twin: link '%s' endpoints invalid",
+                     m.entity(e).name.c_str()));
+    }
+    edge_info info;
+    info.a = node_id{static_cast<std::size_t>(a)};
+    info.b = node_id{static_cast<std::size_t>(b)};
+    info.capacity = gbps{capacity};
+    info.via_indirection = via;
+    info.indirection_unit = static_cast<int>(unit);
+    const edge_id eid = g.add_edge(info);
+    if (!alive) dead.push_back(eid);
+  }
+  // Dead edges are replayed after all adds so edge ids match the source
+  // graph exactly (ids are stable across remove_edge).
+  for (const edge_id eid : dead) g.remove_edge(eid);
+  return g;
+}
+
+}  // namespace pn

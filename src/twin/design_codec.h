@@ -1,0 +1,35 @@
+// Lossless twin encoding of an abstract design (network_graph).
+//
+// The evaluation service's wire format is the twin serialization
+// (twin/serialize.h): a request carries serialize_twin(design_to_twin(g))
+// and the server rebuilds the graph with design_from_twin. The codec is
+// exact — node order, edge order, dead edges, every node_info/edge_info
+// field — because evaluation results are a deterministic function of the
+// graph, and the service promises bit-identical reports to a local
+// evaluate_design call on the same design.
+//
+// Encoding (kinds/attrs, one twin per design):
+//   fabric  "fabric"      family, nodes, links
+//   switch  <node name>   index, kind, radix, port_rate_gbps, host_ports,
+//                         layer, block
+//   link    "link<i>"     index, a, b (endpoint node indices),
+//                         capacity_gbps, via_indirection, indirection_unit,
+//                         alive
+// plus a "connects" relation from each link to both endpoint switches, so
+// generic twin tooling (views, diffs, dry runs) sees the topology.
+#pragma once
+
+#include "common/status.h"
+#include "topology/graph.h"
+#include "twin/model.h"
+
+namespace pn {
+
+[[nodiscard]] twin_model design_to_twin(const network_graph& g);
+
+// Rebuilds the graph. Fails with corrupt_data when the model is not a
+// design twin (missing fabric entity, non-contiguous indices, endpoint
+// out of range, attribute of the wrong type).
+[[nodiscard]] result<network_graph> design_from_twin(const twin_model& m);
+
+}  // namespace pn

@@ -28,9 +28,40 @@ TEST(status, all_codes_have_names) {
        {status_code::ok, status_code::invalid_argument, status_code::not_found,
         status_code::out_of_range, status_code::infeasible,
         status_code::capacity_exceeded, status_code::constraint_violated,
-        status_code::unavailable}) {
+        status_code::unavailable, status_code::cancelled,
+        status_code::deadline_exceeded, status_code::fault_injected,
+        status_code::io_error, status_code::corrupt_data,
+        status_code::bad_frame, status_code::overloaded,
+        status_code::shutting_down}) {
     EXPECT_STRNE(status_code_name(c), "unknown");
   }
+}
+
+TEST(status, from_name_inverts_name_for_every_code) {
+  for (status_code c :
+       {status_code::ok, status_code::invalid_argument, status_code::not_found,
+        status_code::out_of_range, status_code::infeasible,
+        status_code::capacity_exceeded, status_code::constraint_violated,
+        status_code::unavailable, status_code::cancelled,
+        status_code::deadline_exceeded, status_code::fault_injected,
+        status_code::io_error, status_code::corrupt_data,
+        status_code::bad_frame, status_code::overloaded,
+        status_code::shutting_down}) {
+    const auto back = status_code_from_name(status_code_name(c));
+    ASSERT_TRUE(back.has_value()) << status_code_name(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(status_code_from_name("no_such_code").has_value());
+  EXPECT_FALSE(status_code_from_name("").has_value());
+}
+
+TEST(status, service_codes_have_distinct_helpers) {
+  EXPECT_EQ(overloaded_error("q full").code(), status_code::overloaded);
+  EXPECT_EQ(shutting_down_error("drain").code(), status_code::shutting_down);
+  EXPECT_EQ(bad_frame_error("torn").code(), status_code::bad_frame);
+  EXPECT_EQ(fault_injected_error("chaos").code(), status_code::fault_injected);
+  EXPECT_EQ(io_error_status("disk").code(), status_code::io_error);
+  EXPECT_EQ(corrupt_data_error("bits").code(), status_code::corrupt_data);
 }
 
 TEST(result, holds_value) {

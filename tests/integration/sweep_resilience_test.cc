@@ -73,7 +73,7 @@ TEST(fault_injection, every_stage_converts_to_structured_failure) {
     const sweep_failure& f = res.failures[0];
     EXPECT_EQ(f.point_index, 0u);
     EXPECT_EQ(f.stage, s) << eval_stage_name(s);
-    EXPECT_EQ(f.error.code(), status_code::unavailable);
+    EXPECT_EQ(f.error.code(), status_code::fault_injected);
     EXPECT_NE(f.error.message().find("injected fault"), std::string::npos);
     EXPECT_NE(f.error.message().find(eval_stage_name(s)), std::string::npos);
   }
@@ -90,7 +90,7 @@ TEST(fault_injection, probability_one_fails_every_point_at_first_stage) {
   EXPECT_TRUE(res.reports.empty());
   for (const sweep_failure& f : res.failures) {
     EXPECT_EQ(f.stage, eval_stage::topology_metrics);
-    EXPECT_EQ(f.error.code(), status_code::unavailable);
+    EXPECT_EQ(f.error.code(), status_code::fault_injected);
   }
 }
 
@@ -195,7 +195,7 @@ TEST(checkpoint, fail_entry_line_round_trips_hostile_strings) {
   e.ok = false;
   e.label = "label with spaces\nnewline\ttab \\slash";
   e.stage = eval_stage::cabling;
-  e.error = unavailable_error("injected fault (point 5, stage cabling)");
+  e.error = fault_injected_error("injected fault (point 5, stage cabling)");
 
   std::string line = sweep_checkpoint_line(e);
   ASSERT_FALSE(line.empty());
@@ -211,7 +211,7 @@ TEST(checkpoint, fail_entry_line_round_trips_hostile_strings) {
   EXPECT_FALSE(back.value().ok);
   EXPECT_EQ(back.value().label, e.label);
   EXPECT_EQ(back.value().stage, eval_stage::cabling);
-  EXPECT_EQ(back.value().error.code(), status_code::unavailable);
+  EXPECT_EQ(back.value().error.code(), status_code::fault_injected);
   EXPECT_EQ(back.value().error.message(), e.error.message());
   // And the re-serialization is byte-identical.
   EXPECT_EQ(sweep_checkpoint_line(back.value()), line + "\n");

@@ -178,6 +178,24 @@ TEST(lint_rules, wildcard_allow_silences_any_rule) {
   EXPECT_TRUE(run_rules(files, "src").empty());
 }
 
+TEST(lint_rules, clock_reads_allowed_only_in_common_clock_h) {
+  // common/clock.h is the one sanctioned home for steady_clock reads and
+  // sleeps (everything else injects a pn::clock_fn); common/rng.h plays
+  // the same role for randomness. The same tokens anywhere else fire.
+  const std::vector<source_file> files = {
+      scan_source("src/core/evaluator.cc",
+                  "auto t = std::chrono::steady_clock::now();\n"),
+      scan_source("src/common/clock.h",
+                  "#pragma once\n"
+                  "auto t = std::chrono::steady_clock::now();\n"
+                  "std::this_thread::sleep_for(std::chrono::seconds(1));\n"),
+      scan_source("src/common/rng.h", "#pragma once\nint x = rand();\n")};
+  const std::vector<finding> out = run_rules(files, "src");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "nondet");
+  EXPECT_EQ(out[0].path, "src/core/evaluator.cc");
+}
+
 TEST(lint_baseline, round_trips_and_filters) {
   const finding f{"nondet", "src/x.cc", 10, "call to 'rand()'"};
   const finding g{"float-eq", "src/y.cc", 20, "'==' against a literal"};

@@ -1,9 +1,23 @@
 // Randomized round-trip property: any model the API can express must
 // serialize and parse back to a fixed point, across many seeds (TEST_P).
+//
+// The wire_fuzz half hammers the service framing and request parsing
+// with byte soup, torn streams, and lying length prefixes: every such
+// stream must end in bad_frame or a clean EOF — never a crash, a hang,
+// or a silently swallowed frame. Run under ASan in CI.
 #include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "service/framing.h"
+#include "service/protocol.h"
 #include "twin/diff.h"
 #include "twin/serialize.h"
 
@@ -101,6 +115,155 @@ TEST_P(serialize_fuzz, counts_preserved) {
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, serialize_fuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- wire framing fuzz ---------------------------------------------------
+
+struct fd_pair {
+  int a = -1;
+  int b = -1;
+  fd_pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~fd_pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+class wire_fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(wire_fuzz, garbage_bytes_never_crash_the_decoder) {
+  rng r(GetParam());
+  std::string soup;
+  for (int i = 0; i < 4096; ++i) {
+    soup.push_back(static_cast<char>(r.next_u64() & 0xff));
+  }
+  // Random chunking exercises every partial-header / partial-payload
+  // state; the tight max_payload makes lying prefixes likely.
+  frame_decoder dec(/*max_payload=*/512);
+  std::size_t off = 0;
+  while (off < soup.size() && !dec.failed()) {
+    const std::size_t n =
+        std::min(1 + r.next_index(64), soup.size() - off);
+    dec.feed(std::string_view(soup).substr(off, n));
+    off += n;
+    while (dec.next().has_value()) {
+    }
+  }
+  if (dec.failed()) {
+    EXPECT_EQ(dec.error().code(), status_code::bad_frame);
+    // Latched for good: more bytes never resurrect the stream.
+    dec.feed(encode_frame("fine", 512));
+    EXPECT_FALSE(dec.next().has_value());
+  }
+}
+
+TEST_P(wire_fuzz, oversized_length_prefix_is_always_bad_frame) {
+  rng r(GetParam());
+  const std::size_t cap = 1 + r.next_index(4096);
+  const std::uint64_t lie = cap + 1 + r.next_index(1u << 20);
+  std::string header(frame_header_bytes, '\0');
+  for (std::size_t i = 0; i < frame_header_bytes; ++i) {
+    header[i] = static_cast<char>(
+        (lie >> (8 * (frame_header_bytes - 1 - i))) & 0xff);
+  }
+  frame_decoder dec(cap);
+  dec.feed(header);
+  ASSERT_TRUE(dec.failed());
+  EXPECT_EQ(dec.error().code(), status_code::bad_frame);
+}
+
+TEST_P(wire_fuzz, torn_streams_yield_whole_frames_then_eof_or_bad_frame) {
+  rng r(GetParam());
+  std::vector<std::string> payloads;
+  std::string stream;
+  const std::size_t frames = 1 + r.next_index(6);
+  for (std::size_t i = 0; i < frames; ++i) {
+    std::string p;
+    const std::size_t len = r.next_index(300);
+    for (std::size_t j = 0; j < len; ++j) {
+      p.push_back(static_cast<char>(r.next_u64() & 0xff));
+    }
+    payloads.push_back(p);
+    stream += encode_frame(p);
+  }
+  const std::size_t cut = r.next_index(stream.size() + 1);
+
+  // How many frames survive the tear, and is the tear on a boundary?
+  std::size_t whole = 0;
+  std::size_t boundary = 0;
+  for (const std::string& p : payloads) {
+    const std::size_t end = boundary + frame_header_bytes + p.size();
+    if (end > cut) break;
+    boundary = end;
+    ++whole;
+  }
+
+  fd_pair fds;
+  const std::string torn = stream.substr(0, cut);
+  ASSERT_EQ(::write(fds.a, torn.data(), torn.size()),
+            static_cast<ssize_t>(torn.size()));
+  ::close(fds.a);
+  fds.a = -1;
+
+  for (std::size_t i = 0; i < whole; ++i) {
+    auto got = read_frame(fds.b);
+    ASSERT_TRUE(got.is_ok()) << got.error().to_string();
+    ASSERT_TRUE(got.value().has_value());
+    EXPECT_EQ(*got.value(), payloads[i]);  // nothing swallowed or torn
+  }
+  auto tail = read_frame(fds.b);
+  if (cut == boundary) {
+    ASSERT_TRUE(tail.is_ok());
+    EXPECT_FALSE(tail.value().has_value());  // clean EOF
+  } else {
+    ASSERT_FALSE(tail.is_ok());  // mid-frame tear
+    EXPECT_EQ(tail.error().code(), status_code::bad_frame);
+  }
+}
+
+TEST_P(wire_fuzz, garbage_payloads_never_crash_request_parsing) {
+  rng r(GetParam());
+  // Pure soup, newline-rich soup, and mutated real requests: parse or
+  // reject with invalid_argument, never crash (ASan watches).
+  for (int round = 0; round < 50; ++round) {
+    std::string payload;
+    const std::size_t len = r.next_index(600);
+    for (std::size_t j = 0; j < len; ++j) {
+      payload.push_back(r.next_bool(0.15)
+                            ? '\n'
+                            : static_cast<char>(r.next_u64() & 0xff));
+    }
+    auto parsed = parse_request(payload);
+    if (!parsed.is_ok()) {
+      EXPECT_EQ(parsed.error().code(), status_code::invalid_argument);
+    }
+    auto response = parse_response(payload);
+    if (!response.is_ok()) {
+      EXPECT_EQ(response.error().code(), status_code::invalid_argument);
+    }
+  }
+
+  eval_request req;
+  req.name = "fuzzed";
+  req.design_twin = serialize_twin(random_model(GetParam()));
+  const std::string good = encode_eval_request(req);
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = good;
+    const std::size_t flips = 1 + r.next_index(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[r.next_index(mutated.size())] =
+          static_cast<char>(r.next_u64() & 0xff);
+    }
+    (void)parse_request(mutated);  // must not crash; outcome is free
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, wire_fuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

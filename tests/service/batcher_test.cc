@@ -1,0 +1,248 @@
+#include "service/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "topology/generators/families.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+eval_request make_request(const std::string& family, int size,
+                          std::uint64_t seed = 1) {
+  eval_request req;
+  req.name = family + "/" + std::to_string(size);
+  req.options.seed = seed;
+  req.options.run_repair_sim = false;  // keep evals fast
+  req.design_twin =
+      serialize_twin(design_to_twin(build_family(family, size, seed).value()));
+  return req;
+}
+
+status_code response_code(const std::string& payload) {
+  auto parsed = parse_response(payload);
+  if (!parsed.is_ok()) return parsed.error().code();
+  return parsed.value().error.code();  // ok for success responses
+}
+
+TEST(batcher, evaluates_and_caches) {
+  result_cache cache(16);
+  service_metrics metrics;
+  batcher_config cfg;
+  cfg.eval_threads = 2;
+  eval_batcher batcher(cfg, &cache, &metrics);
+
+  const eval_request req = make_request("fat_tree", 4);
+  const auto cold = batcher.evaluate(req);
+  EXPECT_FALSE(cold.cached);
+  EXPECT_EQ(response_code(cold.response), status_code::ok);
+
+  const auto warm = batcher.evaluate(req);
+  EXPECT_TRUE(warm.cached);
+  // Byte-identical replay is the cache's contract.
+  EXPECT_EQ(warm.response, cold.response);
+  EXPECT_EQ(metrics.eval_ok.load(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(batcher, malformed_design_answers_without_admission) {
+  result_cache cache(16);
+  service_metrics metrics;
+  eval_batcher batcher(batcher_config{}, &cache, &metrics);
+
+  eval_request req = make_request("fat_tree", 4);
+  req.design_twin = "entity fabric fabric\nattr fabric fabric family";
+  const auto out = batcher.evaluate(req);
+  EXPECT_NE(response_code(out.response), status_code::ok);
+  EXPECT_EQ(metrics.requests_admitted.load(), 0u);
+  EXPECT_EQ(metrics.bad_requests.load(), 1u);
+
+  req = make_request("fat_tree", 4);
+  req.options.strategy = "warp";
+  EXPECT_EQ(response_code(batcher.evaluate(req).response),
+            status_code::invalid_argument);
+}
+
+TEST(batcher, evaluation_failure_is_an_error_response_and_not_cached) {
+  result_cache cache(16);
+  service_metrics metrics;
+  batcher_config cfg;
+  cfg.base_options.fault_hook = [](eval_stage stage) -> status {
+    return stage == eval_stage::cabling ? unavailable_error("chaos")
+                                        : status::ok();
+  };
+  eval_batcher batcher(cfg, &cache, &metrics);
+
+  const auto out = batcher.evaluate(make_request("fat_tree", 4));
+  EXPECT_EQ(response_code(out.response), status_code::unavailable);
+  EXPECT_EQ(metrics.eval_error.load(), 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// A fault hook that blocks every evaluation until released. The hook
+// runs before the first stage on the eval worker, so a test can hold
+// requests "in flight" deterministically.
+class eval_gate {
+ public:
+  [[nodiscard]] std::function<status(eval_stage)> hook() {
+    return [this](eval_stage stage) -> status {
+      if (stage != eval_stage::topology_metrics) return status::ok();
+      std::unique_lock<std::mutex> lock(mu_);
+      ++waiting_;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+      return status::ok();
+    };
+  }
+  void wait_for_waiters(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return waiting_ >= n; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  bool open_ = false;
+};
+
+TEST(batcher, coalesces_identical_inflight_requests) {
+  result_cache cache(16);
+  service_metrics metrics;
+  auto gate = std::make_shared<eval_gate>();
+  batcher_config cfg;
+  cfg.eval_threads = 2;
+  cfg.base_options.fault_hook = gate->hook();
+  eval_batcher batcher(cfg, &cache, &metrics);
+
+  const eval_request req = make_request("fat_tree", 4);
+  std::vector<eval_batcher::outcome> outcomes(3);
+  {
+    thread_pool callers(3);
+    for (int i = 0; i < 3; ++i) {
+      callers.submit(
+          [&batcher, &outcomes, &req, i] { outcomes[static_cast<std::size_t>(i)] = batcher.evaluate(req); });
+    }
+    gate->wait_for_waiters(1);  // the first request reached its eval
+    gate->open();
+    callers.wait_idle();
+  }
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(response_code(out.response), status_code::ok);
+    EXPECT_EQ(out.response, outcomes[0].response);
+  }
+  // Exactly one admission+evaluation; the rest coalesced or hit the
+  // cache (timing decides which, never a second evaluation).
+  EXPECT_EQ(metrics.eval_ok.load(), 1u);
+  EXPECT_EQ(metrics.requests_admitted.load(), 1u);
+  EXPECT_EQ(metrics.coalesced.load() + cache.stats().hits, 2u);
+}
+
+TEST(batcher, full_queue_answers_overloaded_immediately) {
+  result_cache cache(16);
+  service_metrics metrics;
+  auto gate = std::make_shared<eval_gate>();
+  batcher_config cfg;
+  cfg.eval_threads = 1;
+  cfg.queue_limit = 1;
+  cfg.max_batch = 1;
+  cfg.base_options.fault_hook = gate->hook();
+  eval_batcher batcher(cfg, &cache, &metrics);
+
+  eval_batcher::outcome out_a;
+  eval_batcher::outcome out_b;
+  {
+    thread_pool callers(2);
+    callers.submit([&] { out_a = batcher.evaluate(make_request("fat_tree", 4)); });
+    gate->wait_for_waiters(1);  // A occupies the eval worker...
+    callers.submit([&] { out_b = batcher.evaluate(make_request("fat_tree", 6)); });
+    // ...so B sits in the queue. Wait until it is actually admitted.
+    while (metrics.requests_admitted.load() < 2) {
+      sleep_ms(1.0);
+    }
+    // C finds the queue full: explicit overloaded, synchronously.
+    const auto out_c = batcher.evaluate(make_request("fat_tree", 8));
+    EXPECT_EQ(response_code(out_c.response), status_code::overloaded);
+    EXPECT_EQ(metrics.rejected_overloaded.load(), 1u);
+
+    gate->open();
+    callers.wait_idle();
+  }
+  // Backpressure never dropped admitted work.
+  EXPECT_EQ(response_code(out_a.response), status_code::ok);
+  EXPECT_EQ(response_code(out_b.response), status_code::ok);
+}
+
+TEST(batcher, shutdown_drains_admitted_and_rejects_new) {
+  result_cache cache(16);
+  service_metrics metrics;
+  auto gate = std::make_shared<eval_gate>();
+  batcher_config cfg;
+  cfg.eval_threads = 1;
+  cfg.max_batch = 1;
+  cfg.base_options.fault_hook = gate->hook();
+  auto batcher = std::make_unique<eval_batcher>(cfg, &cache, &metrics);
+
+  std::vector<eval_batcher::outcome> outcomes(2);
+  {
+    thread_pool callers(3);
+    callers.submit(
+        [&] { outcomes[0] = batcher->evaluate(make_request("fat_tree", 4)); });
+    gate->wait_for_waiters(1);
+    callers.submit(
+        [&] { outcomes[1] = batcher->evaluate(make_request("fat_tree", 6)); });
+    while (metrics.requests_admitted.load() < 2) {
+      sleep_ms(1.0);
+    }
+
+    // Shutdown must block until both admitted requests are answered.
+    callers.submit([&] {
+      sleep_ms(5.0);  // let shutdown() start first (ordering is benign)
+      gate->open();
+    });
+    batcher->shutdown();
+    EXPECT_EQ(response_code(outcomes[0].response), status_code::ok);
+    EXPECT_EQ(response_code(outcomes[1].response), status_code::ok);
+
+    // Post-shutdown admissions answer shutting_down.
+    const auto late = batcher->evaluate(make_request("fat_tree", 8));
+    EXPECT_EQ(response_code(late.response), status_code::shutting_down);
+    EXPECT_EQ(metrics.rejected_shutting_down.load(), 1u);
+    callers.wait_idle();
+  }
+  batcher.reset();
+}
+
+TEST(batcher, cache_hits_still_served_while_draining) {
+  result_cache cache(16);
+  service_metrics metrics;
+  auto batcher =
+      std::make_unique<eval_batcher>(batcher_config{}, &cache, &metrics);
+  const eval_request req = make_request("fat_tree", 4);
+  const auto cold = batcher->evaluate(req);
+  ASSERT_EQ(response_code(cold.response), status_code::ok);
+  batcher->shutdown();
+  const auto warm = batcher->evaluate(req);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.response, cold.response);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,188 @@
+#include "service/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "common/cancel.h"
+
+namespace pn {
+namespace {
+
+TEST(framing, encode_prefixes_big_endian_length) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), frame_header_bytes + 3);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(framing, decoder_round_trips_one_frame) {
+  frame_decoder dec;
+  dec.feed(encode_frame("hello service"));
+  const auto payload = dec.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "hello service");
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.idle());
+  EXPECT_FALSE(dec.failed());
+}
+
+TEST(framing, decoder_handles_empty_payload_frames) {
+  frame_decoder dec;
+  dec.feed(encode_frame(""));
+  const auto payload = dec.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+  EXPECT_TRUE(dec.idle());
+}
+
+TEST(framing, decoder_reassembles_byte_by_byte) {
+  const std::string frame = encode_frame("split across many feeds");
+  frame_decoder dec;
+  for (const char c : frame) {
+    dec.feed(std::string_view(&c, 1));
+  }
+  const auto payload = dec.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "split across many feeds");
+}
+
+TEST(framing, decoder_splits_coalesced_frames) {
+  std::string stream = encode_frame("first") + encode_frame("second") +
+                       encode_frame("third");
+  frame_decoder dec;
+  dec.feed(stream);
+  EXPECT_EQ(dec.next().value_or(""), "first");
+  EXPECT_EQ(dec.next().value_or(""), "second");
+  EXPECT_EQ(dec.next().value_or(""), "third");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(framing, oversized_length_prefix_latches_bad_frame) {
+  frame_decoder dec(/*max_payload=*/16);
+  std::string lying = encode_frame("ok", 16);
+  // Claim 2^24 bytes: far past the 16-byte cap.
+  lying[0] = '\x01';
+  dec.feed(lying);
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.error().code(), status_code::bad_frame);
+  // Latched: once the stream lied, later (well-formed) bytes are ignored
+  // — there is no trustworthy boundary to resync at.
+  dec.feed(encode_frame("fine", 16));
+  EXPECT_TRUE(dec.failed());
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(framing, truncated_frame_is_not_ready_and_not_idle) {
+  frame_decoder dec;
+  const std::string frame = encode_frame("truncated payload");
+  dec.feed(std::string_view(frame).substr(0, frame.size() - 5));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.failed());
+  EXPECT_FALSE(dec.idle());  // EOF here would be a torn frame
+}
+
+TEST(framing, want_counts_down_header_then_payload) {
+  frame_decoder dec;
+  EXPECT_EQ(dec.want(), frame_header_bytes);
+  const std::string frame = encode_frame("abcdef");
+  dec.feed(std::string_view(frame).substr(0, 2));
+  EXPECT_EQ(dec.want(), frame_header_bytes - 2);
+  dec.feed(std::string_view(frame).substr(2, 2));
+  EXPECT_EQ(dec.want(), 6u);  // full header seen: wants the payload
+  dec.feed(std::string_view(frame).substr(4, 3));
+  EXPECT_EQ(dec.want(), 3u);
+}
+
+// --- fd helpers over a socketpair --------------------------------------
+
+struct fd_pair {
+  int a = -1;
+  int b = -1;
+  fd_pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~fd_pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(framing, write_then_read_round_trips_over_socketpair) {
+  fd_pair fds;
+  ASSERT_TRUE(write_frame(fds.a, "over the wire").is_ok());
+  auto got = read_frame(fds.b);
+  ASSERT_TRUE(got.is_ok());
+  ASSERT_TRUE(got.value().has_value());
+  EXPECT_EQ(*got.value(), "over the wire");
+}
+
+TEST(framing, read_frame_does_not_eat_pipelined_frames) {
+  fd_pair fds;
+  // Both frames land in the kernel buffer before the first read.
+  ASSERT_TRUE(write_frame(fds.a, "one").is_ok());
+  ASSERT_TRUE(write_frame(fds.a, "two").is_ok());
+  auto first = read_frame(fds.b);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().value_or(""), "one");
+  auto second = read_frame(fds.b);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().value_or(""), "two");
+}
+
+TEST(framing, clean_eof_at_boundary_returns_nullopt) {
+  fd_pair fds;
+  ASSERT_TRUE(write_frame(fds.a, "last frame").is_ok());
+  ::close(fds.a);
+  fds.a = -1;
+  auto got = read_frame(fds.b);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().value_or(""), "last frame");
+  auto eof = read_frame(fds.b);
+  ASSERT_TRUE(eof.is_ok());
+  EXPECT_FALSE(eof.value().has_value());
+}
+
+TEST(framing, eof_mid_frame_is_bad_frame) {
+  fd_pair fds;
+  const std::string frame = encode_frame("never finishes");
+  const std::string torn = frame.substr(0, frame.size() - 3);
+  ASSERT_EQ(::write(fds.a, torn.data(), torn.size()),
+            static_cast<ssize_t>(torn.size()));
+  ::close(fds.a);
+  fds.a = -1;
+  auto got = read_frame(fds.b);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.error().code(), status_code::bad_frame);
+}
+
+TEST(framing, oversized_frame_from_peer_is_bad_frame) {
+  fd_pair fds;
+  // A 4-byte header claiming ~16 MiB against an 8-byte cap.
+  const char header[4] = {'\x01', '\0', '\0', '\0'};
+  ASSERT_EQ(::write(fds.a, header, 4), 4);
+  auto got = read_frame(fds.b, /*max_payload=*/8);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.error().code(), status_code::bad_frame);
+}
+
+TEST(framing, cancel_interrupts_idle_read) {
+  fd_pair fds;
+  cancel_token cancel;
+  cancel.request_cancel();
+  auto got = read_frame(fds.b, default_max_frame_payload, &cancel);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.error().code(), status_code::cancelled);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,184 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/checkpoint.h"
+#include "topology/generators/families.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+eval_request sample_request() {
+  eval_request req;
+  req.name = "fat tree k=4";  // space: exercises token escaping
+  req.options.seed = 7;
+  req.options.strategy = "random";
+  req.options.run_repair_sim = false;
+  req.options.traffic_per_host_gbps = 10.0;
+  req.options.deadline_ms = 1500.0;
+  req.design_twin = serialize_twin(
+      design_to_twin(build_family("fat_tree", 4, 7).value()));
+  return req;
+}
+
+TEST(protocol, eval_request_round_trips) {
+  const eval_request req = sample_request();
+  const std::string payload = encode_eval_request(req);
+  auto parsed = parse_request(payload);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().kind, request_kind::evaluate);
+  const eval_request& back = parsed.value().eval;
+  EXPECT_EQ(back.name, req.name);
+  EXPECT_EQ(back.options.seed, 7u);
+  EXPECT_EQ(back.options.strategy, "random");
+  EXPECT_FALSE(back.options.run_repair_sim);
+  EXPECT_TRUE(back.options.run_throughput);
+  EXPECT_EQ(back.options.traffic_per_host_gbps, 10.0);
+  EXPECT_EQ(back.options.deadline_ms, 1500.0);
+  EXPECT_EQ(back.design_twin, req.design_twin);
+}
+
+TEST(protocol, encoding_is_canonical) {
+  // Re-encoding a parsed request reproduces the exact bytes: the
+  // encoding is a fixed point, which is what makes it cache-key
+  // material.
+  const std::string payload = encode_eval_request(sample_request());
+  auto parsed = parse_request(payload);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(encode_eval_request(parsed.value().eval), payload);
+}
+
+TEST(protocol, plain_requests_round_trip) {
+  for (const request_kind k :
+       {request_kind::stats, request_kind::ping, request_kind::invalidate}) {
+    auto parsed = parse_request(encode_plain_request(k));
+    ASSERT_TRUE(parsed.is_ok()) << request_kind_name(k);
+    EXPECT_EQ(parsed.value().kind, k);
+  }
+}
+
+TEST(protocol, malformed_requests_are_invalid_argument) {
+  const std::string good = encode_eval_request(sample_request());
+  const std::vector<std::string> bad = {
+      "",
+      "physnet/2 evaluate x\ndesign\n",       // wrong protocol
+      "physnet/1 explode\n",                  // unknown verb
+      "physnet/1 evaluate\ndesign\n",         // missing name
+      "physnet/1 evaluate x\n",               // no design section
+      "physnet/1 evaluate x\nopt bogus 1\ndesign\n",      // unknown option
+      "physnet/1 evaluate x\nopt seed -3\ndesign\n",      // bad value
+      "physnet/1 evaluate x\nopt strategy warp\ndesign\n",  // bad strategy
+      "physnet/1 stats extra\n",              // trailing tokens
+  };
+  for (const std::string& payload : bad) {
+    auto parsed = parse_request(payload);
+    ASSERT_FALSE(parsed.is_ok()) << "accepted: " << payload;
+    EXPECT_EQ(parsed.error().code(), status_code::invalid_argument);
+  }
+  EXPECT_TRUE(parse_request(good).is_ok());
+}
+
+TEST(protocol, wire_options_overlay_base_template) {
+  wire_options wo;
+  wo.seed = 99;
+  wo.strategy = "annealed";
+  wo.run_repair_sim = false;
+  wo.floor_headroom = 0.5;
+  evaluation_options base;
+  base.distance_warm_threads = 4;  // server-side knob: must survive
+  auto opt = wo.apply_to(base);
+  ASSERT_TRUE(opt.is_ok());
+  EXPECT_EQ(opt.value().seed, 99u);
+  EXPECT_EQ(opt.value().strategy, placement_strategy::annealed);
+  EXPECT_FALSE(opt.value().run_repair_sim);
+  EXPECT_EQ(opt.value().floor_headroom, 0.5);
+  EXPECT_EQ(opt.value().distance_warm_threads, 4);
+
+  wo.strategy = "teleport";
+  EXPECT_FALSE(wo.apply_to(base).is_ok());
+}
+
+TEST(protocol, eval_response_round_trips_report_exactly) {
+  deployability_report rep;
+  rep.name = "jelly fish/64";
+  rep.family = "jellyfish";
+  rep.switches = 64;
+  rep.hosts = 512;
+  rep.mean_path_length = 2.123456789012345678;  // exercises %.17g
+  rep.capex_per_host = dollars{4321.0987654321};
+  rep.availability = 0.99999912345;
+  rep.eval_total_ms = 777.0;  // must be zeroed on the wire
+
+  const std::string payload = encode_eval_response(rep, /*seed=*/5);
+  auto parsed = parse_response(payload);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().kind, request_kind::evaluate);
+  const deployability_report& back = parsed.value().eval.report;
+  EXPECT_EQ(back.name, rep.name);
+  EXPECT_EQ(back.mean_path_length, rep.mean_path_length);  // bit-exact
+  EXPECT_EQ(back.capex_per_host.value(), rep.capex_per_host.value());
+  EXPECT_EQ(back.availability, rep.availability);
+  EXPECT_EQ(back.eval_total_ms, 0.0);
+}
+
+TEST(protocol, error_response_round_trips_code_and_message) {
+  const std::string payload =
+      encode_error_response(overloaded_error("queue full (64 waiting)"));
+  auto parsed = parse_response(payload);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().error.code(), status_code::overloaded);
+  EXPECT_EQ(parsed.value().error.message(), "queue full (64 waiting)");
+
+  for (const status& s :
+       {shutting_down_error("draining"), bad_frame_error("torn"),
+        deadline_error("budget spent")}) {
+    auto back = parse_response(encode_error_response(s));
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().error.code(), s.code());
+    EXPECT_EQ(back.value().error.message(), s.message());
+  }
+}
+
+TEST(protocol, stats_and_ping_and_invalidate_responses_round_trip) {
+  std::map<std::string, std::string> stats{
+      {"cache.hits", "12"},
+      {"latency p99", "3.5"},  // space in key: exercises escaping
+  };
+  auto parsed = parse_response(encode_stats_response(stats));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().kind, request_kind::stats);
+  EXPECT_EQ(parsed.value().stats, stats);
+
+  auto ping = parse_response(encode_ping_response());
+  ASSERT_TRUE(ping.is_ok());
+  EXPECT_EQ(ping.value().kind, request_kind::ping);
+
+  auto inval = parse_response(encode_invalidate_response(42));
+  ASSERT_TRUE(inval.is_ok());
+  EXPECT_EQ(inval.value().kind, request_kind::invalidate);
+  EXPECT_EQ(inval.value().cache_epoch, 42u);
+}
+
+TEST(protocol, malformed_responses_are_invalid_argument) {
+  const std::vector<std::string> bad = {
+      "",
+      "physnet/1 ok evaluate\n",          // missing report line
+      "physnet/1 ok evaluate\nbogus\n",   // wrong second line
+      "physnet/1 ok warp\n",              // unknown kind
+      "physnet/1 error nonsense msg\n",   // unknown status code
+      "physnet/1 error ok msg\n",         // ok is not an error
+      "physnet/1 ok invalidate epoch x\n",
+  };
+  for (const std::string& payload : bad) {
+    auto parsed = parse_response(payload);
+    ASSERT_FALSE(parsed.is_ok()) << "accepted: " << payload;
+    EXPECT_EQ(parsed.error().code(), status_code::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,152 @@
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/metrics.h"
+
+namespace pn {
+namespace {
+
+TEST(cache_key, differs_for_different_payloads) {
+  const cache_key a = cache_key_of("payload a");
+  const cache_key b = cache_key_of("payload b");
+  EXPECT_TRUE(a == cache_key_of("payload a"));
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(cache_key_of("") == cache_key_of("x"));
+}
+
+TEST(result_cache, miss_then_insert_then_hit) {
+  result_cache cache(/*capacity=*/8);
+  const cache_key key = cache_key_of("request bytes");
+  const cache_lookup miss = cache.lookup(key);
+  EXPECT_FALSE(miss.hit.has_value());
+  EXPECT_TRUE(cache.insert(key, "response bytes", miss.epoch));
+  const cache_lookup hit = cache.lookup(key);
+  ASSERT_TRUE(hit.hit.has_value());
+  EXPECT_EQ(hit.hit->response, "response bytes");
+
+  const cache_stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+  EXPECT_EQ(st.entries, 1u);
+}
+
+TEST(result_cache, zero_capacity_disables_caching) {
+  result_cache cache(/*capacity=*/0);
+  const cache_key key = cache_key_of("r");
+  const cache_lookup miss = cache.lookup(key);
+  EXPECT_FALSE(cache.insert(key, "v", miss.epoch));
+  EXPECT_FALSE(cache.lookup(key).hit.has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(result_cache, lru_evicts_the_coldest_entry) {
+  // One shard so recency order is total.
+  result_cache cache(/*capacity=*/2, /*shards=*/1);
+  const cache_key a = cache_key_of("a");
+  const cache_key b = cache_key_of("b");
+  const cache_key c = cache_key_of("c");
+  const std::uint64_t epoch = cache.epoch();
+  EXPECT_TRUE(cache.insert(a, "A", epoch));
+  EXPECT_TRUE(cache.insert(b, "B", epoch));
+  ASSERT_TRUE(cache.lookup(a).hit.has_value());  // touch a: b is coldest
+  EXPECT_TRUE(cache.insert(c, "C", epoch));      // evicts b
+  EXPECT_TRUE(cache.lookup(a).hit.has_value());
+  EXPECT_FALSE(cache.lookup(b).hit.has_value());
+  EXPECT_TRUE(cache.lookup(c).hit.has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(result_cache, invalidate_empties_and_blocks_stale_inserts) {
+  result_cache cache(/*capacity=*/8);
+  const cache_key key = cache_key_of("design");
+  const cache_lookup before = cache.lookup(key);
+  EXPECT_TRUE(cache.insert(key, "old", before.epoch));
+
+  const std::uint64_t new_epoch = cache.invalidate();
+  EXPECT_GT(new_epoch, before.epoch);
+  // The old entry is invisible after the epoch bump.
+  EXPECT_FALSE(cache.lookup(key).hit.has_value());
+
+  // An insert computed against the pre-invalidate epoch (a long
+  // evaluation that raced the invalidate) must be dropped.
+  EXPECT_FALSE(cache.insert(key, "stale", before.epoch));
+  EXPECT_FALSE(cache.lookup(key).hit.has_value());
+  EXPECT_EQ(cache.stats().stale_inserts, 1u);
+
+  // A fresh lookup/insert cycle works at the new epoch.
+  const cache_lookup fresh = cache.lookup(key);
+  EXPECT_TRUE(cache.insert(key, "new", fresh.epoch));
+  ASSERT_TRUE(cache.lookup(key).hit.has_value());
+  EXPECT_EQ(cache.lookup(key).hit->response, "new");
+}
+
+TEST(result_cache, reinsert_refreshes_in_place) {
+  result_cache cache(/*capacity=*/4, /*shards=*/1);
+  const cache_key key = cache_key_of("k");
+  const std::uint64_t epoch = cache.epoch();
+  EXPECT_TRUE(cache.insert(key, "v1", epoch));
+  EXPECT_TRUE(cache.insert(key, "v2", epoch));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.lookup(key).hit->response, "v2");
+}
+
+// --- metric_series ------------------------------------------------------
+
+TEST(metric_series, snapshot_tracks_moments_and_percentiles) {
+  metric_series series(/*hi=*/100.0, /*bins=*/100);
+  for (int i = 1; i <= 100; ++i) {
+    series.record(static_cast<double>(i));
+  }
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 100.0);
+  EXPECT_NEAR(snap.mean(), 50.5, 1e-9);
+  // Bin width is 1.0, so percentiles land within one bin of the truth.
+  EXPECT_NEAR(snap.p50, 50.0, 1.5);
+  EXPECT_NEAR(snap.p90, 90.0, 1.5);
+  EXPECT_NEAR(snap.p99, 99.0, 1.5);
+}
+
+TEST(metric_series, empty_snapshot_is_all_zero) {
+  metric_series series(10.0, 10);
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(metric_series, percentiles_clamped_to_observed_extrema) {
+  metric_series series(/*hi=*/1000.0, /*bins=*/10);  // coarse 100-wide bins
+  series.record(3.0);
+  series.record(4.0);
+  const auto snap = series.snapshot();
+  // Without clamping the synthetic bin edge would report 100.
+  EXPECT_LE(snap.p99, 4.0);
+  EXPECT_GE(snap.p50, 3.0);
+}
+
+TEST(service_metrics, stats_map_has_stable_keys_and_ratio) {
+  service_metrics m;
+  m.requests_admitted.store(10);
+  m.eval_ok.store(9);
+  m.eval_error.store(1);
+  m.queue_wait_ms.record(2.0);
+  const auto map =
+      m.to_stats_map(/*hits=*/3, /*misses=*/1, /*entries=*/2, /*epoch=*/1);
+  EXPECT_EQ(map.at("requests.admitted"), "10");
+  EXPECT_EQ(map.at("eval.ok"), "9");
+  EXPECT_EQ(map.at("cache.hits"), "3");
+  EXPECT_EQ(map.at("cache.hit_ratio"), "0.750000");
+  EXPECT_EQ(map.at("latency.queue_wait_ms.count"), "1");
+  EXPECT_EQ(map.count("latency.eval_ms.p99"), 1u);
+  EXPECT_EQ(map.count("batch.size.mean"), 1u);
+  EXPECT_EQ(map.count("queue.depth"), 1u);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,345 @@
+// End-to-end tests: a real eval_server on a Unix socket in /tmp, real
+// clients, real frames. The accept loop runs on a one-thread pool (R2:
+// no raw std::thread), the test thread plays the operator.
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "core/evaluator.h"
+#include "service/client.h"
+#include "service/framing.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+#include "topology/generators/families.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pn_server_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// Binds and serves in the background; stop() cancels and returns the
+// serve() status so every test asserts the drain was clean.
+class server_fixture {
+ public:
+  explicit server_fixture(server_config cfg) {
+    spec_ = "unix:" + unique_socket_path();
+    cfg.listen = spec_;
+    server = std::make_unique<eval_server>(std::move(cfg));
+    bind_status = server->bind();
+    if (bind_status.is_ok()) {
+      loop_ = std::make_unique<thread_pool>(1);
+      loop_->submit([this] { serve_status_ = server->serve(cancel); });
+    }
+  }
+  ~server_fixture() { (void)stop(); }
+
+  [[nodiscard]] status stop() {
+    if (loop_) {
+      cancel.request_cancel();
+      loop_->wait_idle();
+      loop_.reset();
+    }
+    return serve_status_;
+  }
+
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+  std::unique_ptr<eval_server> server;
+  cancel_token cancel;
+  status bind_status;
+
+ private:
+  std::string spec_;
+  std::unique_ptr<thread_pool> loop_;
+  status serve_status_;
+};
+
+eval_request make_request(const std::string& family, int size,
+                          std::uint64_t seed = 1, bool repair = false) {
+  eval_request req;
+  req.name = family + "/" + std::to_string(size);
+  req.options.seed = seed;
+  req.options.run_repair_sim = repair;
+  req.design_twin =
+      serialize_twin(design_to_twin(build_family(family, size, seed).value()));
+  return req;
+}
+
+// Bit-identity oracle: the checkpoint line renders every report field as
+// %.17g / escaped tokens, so equal lines == bit-equal reports.
+std::string report_line(const deployability_report& rep, std::uint64_t seed) {
+  sweep_checkpoint_entry e;
+  e.point_index = 0;
+  e.seed = seed;
+  e.ok = true;
+  e.report = rep;
+  e.report.eval_total_ms = 0.0;  // the wire zeroes wall time
+  return sweep_checkpoint_line(e);
+}
+
+TEST(server, ping_stats_invalidate_round_trip) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok()) << fx.bind_status.to_string();
+
+  auto client = eval_client::connect(fx.spec());
+  ASSERT_TRUE(client.is_ok()) << client.error().to_string();
+  EXPECT_TRUE(client.value().ping().is_ok());
+
+  auto stats = client.value().stats();
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().at("cache.epoch"), "1");
+  EXPECT_EQ(stats.value().at("connections.accepted"), "1");
+
+  auto epoch = client.value().invalidate();
+  ASSERT_TRUE(epoch.is_ok());
+  EXPECT_EQ(epoch.value(), 2u);
+
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+TEST(server, served_report_is_bit_identical_to_local_evaluation) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+
+  // Full pipeline (repair sim on) with wire defaults.
+  const eval_request req = make_request("fat_tree", 4, /*seed=*/7,
+                                        /*repair=*/true);
+  auto client = eval_client::connect(fx.spec());
+  ASSERT_TRUE(client.is_ok());
+  auto served = client.value().evaluate(req);
+  ASSERT_TRUE(served.is_ok()) << served.error().to_string();
+
+  // The same computation, locally: wire options over the server's
+  // (default) base template.
+  auto opt = req.options.apply_to(evaluation_options{});
+  ASSERT_TRUE(opt.is_ok());
+  auto g = build_family("fat_tree", 4, 7);
+  ASSERT_TRUE(g.is_ok());
+  auto local = evaluate_design(g.value(), req.name, opt.value());
+  ASSERT_TRUE(local.is_ok()) << local.error().to_string();
+
+  EXPECT_EQ(report_line(served.value(), req.options.seed),
+            report_line(local.value().report, req.options.seed));
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+TEST(server, cached_response_bytes_equal_cold_response_bytes) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+
+  const std::string payload =
+      encode_eval_request(make_request("leaf_spine", 4));
+  auto ep = parse_endpoint(fx.spec());
+  ASSERT_TRUE(ep.is_ok());
+  auto fd = connect_to(ep.value());
+  ASSERT_TRUE(fd.is_ok()) << fd.error().to_string();
+
+  // Raw frames so nothing between the socket and the comparison can
+  // re-serialize the response.
+  ASSERT_TRUE(write_frame(fd.value().get(), payload).is_ok());
+  auto cold = read_frame(fd.value().get());
+  ASSERT_TRUE(cold.is_ok());
+  ASSERT_TRUE(cold.value().has_value());
+
+  ASSERT_TRUE(write_frame(fd.value().get(), payload).is_ok());
+  auto cached = read_frame(fd.value().get());
+  ASSERT_TRUE(cached.is_ok());
+  ASSERT_TRUE(cached.value().has_value());
+
+  EXPECT_EQ(*cold.value(), *cached.value());  // byte-identical
+  EXPECT_EQ(fx.server->cache().stats().hits, 1u);
+  EXPECT_EQ(fx.server->metrics().eval_ok.load(), 1u);
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+TEST(server, invalidate_forces_reevaluation) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+  auto client = eval_client::connect(fx.spec());
+  ASSERT_TRUE(client.is_ok());
+
+  const eval_request req = make_request("fat_tree", 4);
+  ASSERT_TRUE(client.value().evaluate(req).is_ok());
+  ASSERT_TRUE(client.value().evaluate(req).is_ok());
+  EXPECT_EQ(fx.server->metrics().eval_ok.load(), 1u);  // second was cached
+
+  ASSERT_TRUE(client.value().invalidate().is_ok());
+  ASSERT_TRUE(client.value().evaluate(req).is_ok());
+  EXPECT_EQ(fx.server->metrics().eval_ok.load(), 2u);  // cache emptied
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+TEST(server, serves_four_concurrent_connections) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+
+  const std::vector<std::pair<std::string, int>> designs = {
+      {"fat_tree", 4}, {"leaf_spine", 4}, {"leaf_spine", 6}, {"jellyfish", 12}};
+  std::vector<status> outcomes(designs.size(), unavailable_error("not run"));
+  {
+    thread_pool callers(4);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      callers.submit([&, i] {
+        auto client = eval_client::connect(fx.spec());
+        if (!client.is_ok()) {
+          outcomes[i] = client.error();
+          return;
+        }
+        auto rep = client.value().evaluate(
+            make_request(designs[i].first, designs[i].second));
+        outcomes[i] = rep.is_ok() ? status::ok() : rep.error();
+      });
+    }
+    callers.wait_idle();
+  }
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].is_ok())
+        << designs[i].first << ": " << outcomes[i].to_string();
+  }
+  EXPECT_EQ(fx.server->metrics().connections_accepted.load(), 4u);
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+TEST(server, malformed_payload_answers_error_and_keeps_connection) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+  auto ep = parse_endpoint(fx.spec());
+  ASSERT_TRUE(ep.is_ok());
+  auto fd = connect_to(ep.value());
+  ASSERT_TRUE(fd.is_ok());
+
+  // A well-framed payload that is not a request: answered, not fatal.
+  ASSERT_TRUE(write_frame(fd.value().get(), "physnet/1 explode\n").is_ok());
+  auto reply = read_frame(fd.value().get());
+  ASSERT_TRUE(reply.is_ok());
+  ASSERT_TRUE(reply.value().has_value());
+  auto parsed = parse_response(*reply.value());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().error.code(), status_code::invalid_argument);
+
+  // The connection is still in sync: a ping works.
+  ASSERT_TRUE(
+      write_frame(fd.value().get(), encode_plain_request(request_kind::ping))
+          .is_ok());
+  auto pong = read_frame(fd.value().get());
+  ASSERT_TRUE(pong.is_ok());
+  ASSERT_TRUE(pong.value().has_value());
+  EXPECT_TRUE(parse_response(*pong.value()).is_ok());
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+TEST(server, garbage_framing_gets_error_then_close) {
+  server_fixture fx{server_config{}};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+  auto ep = parse_endpoint(fx.spec());
+  ASSERT_TRUE(ep.is_ok());
+  auto fd = connect_to(ep.value());
+  ASSERT_TRUE(fd.is_ok());
+
+  // A length prefix claiming ~2 GiB: past any sane cap.
+  const char header[4] = {'\x7f', '\0', '\0', '\0'};
+  ASSERT_EQ(::write(fd.value().get(), header, 4), 4);
+
+  auto reply = read_frame(fd.value().get());
+  ASSERT_TRUE(reply.is_ok());
+  ASSERT_TRUE(reply.value().has_value());  // best-effort error frame
+  auto parsed = parse_response(*reply.value());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().error.code(), status_code::bad_frame);
+
+  auto eof = read_frame(fd.value().get());  // then the server hangs up
+  ASSERT_TRUE(eof.is_ok());
+  EXPECT_FALSE(eof.value().has_value());
+  EXPECT_EQ(fx.server->metrics().bad_frames.load(), 1u);
+  EXPECT_TRUE(fx.stop().is_ok());
+}
+
+// Holds evaluations at their first stage until released, so requests can
+// be parked "in flight" across a shutdown.
+class eval_gate {
+ public:
+  [[nodiscard]] std::function<status(eval_stage)> hook() {
+    return [this](eval_stage stage) -> status {
+      if (stage != eval_stage::topology_metrics) return status::ok();
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return open_; });
+      return status::ok();
+    };
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(server, shutdown_answers_every_admitted_request) {
+  auto gate = std::make_shared<eval_gate>();
+  server_config cfg;
+  cfg.eval_threads = 2;
+  cfg.base_options.fault_hook = gate->hook();
+  server_fixture fx{cfg};
+  ASSERT_TRUE(fx.bind_status.is_ok());
+
+  const std::vector<std::pair<std::string, int>> designs = {
+      {"fat_tree", 4}, {"leaf_spine", 4}, {"leaf_spine", 6}, {"jellyfish", 12}};
+  std::vector<status> outcomes(designs.size(), unavailable_error("not run"));
+  {
+    thread_pool callers(4);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      callers.submit([&, i] {
+        auto client = eval_client::connect(fx.spec());
+        if (!client.is_ok()) {
+          outcomes[i] = client.error();
+          return;
+        }
+        auto rep = client.value().evaluate(
+            make_request(designs[i].first, designs[i].second));
+        outcomes[i] = rep.is_ok() ? status::ok() : rep.error();
+      });
+    }
+    // All four admitted (parked at the gate / in the queue) ...
+    while (fx.server->metrics().requests_admitted.load() < 4) {
+      sleep_ms(1.0);
+    }
+    // ... then the operator pulls the plug mid-flight.
+    fx.cancel.request_cancel();
+    gate->open();
+    callers.wait_idle();
+  }
+
+  // The drain guarantee: every admitted request got its answer.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].is_ok())
+        << designs[i].first << ": " << outcomes[i].to_string();
+  }
+  EXPECT_TRUE(fx.stop().is_ok());
+  EXPECT_EQ(fx.server->metrics().eval_ok.load(), 4u);
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,130 @@
+#include "twin/design_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "topology/generators/families.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+// Two graphs are interchangeable for evaluation iff every node field,
+// every edge field, edge order, and liveness match. Edge *ids* matter:
+// downstream code (cabling, repair) indexes by edge_id.
+void expect_same_design(const network_graph& a, const network_graph& b) {
+  EXPECT_EQ(a.family, b.family);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    const node_info& na = a.node(node_id{i});
+    const node_info& nb = b.node(node_id{i});
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.kind, nb.kind);
+    EXPECT_EQ(na.radix, nb.radix);
+    EXPECT_EQ(na.port_rate.value(), nb.port_rate.value());
+    EXPECT_EQ(na.host_ports, nb.host_ports);
+    EXPECT_EQ(na.layer, nb.layer);
+    EXPECT_EQ(na.block, nb.block);
+  }
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    const edge_info& ea = a.edge(edge_id{i});
+    const edge_info& eb = b.edge(edge_id{i});
+    EXPECT_EQ(ea.a, eb.a);
+    EXPECT_EQ(ea.b, eb.b);
+    EXPECT_EQ(ea.capacity.value(), eb.capacity.value());
+    EXPECT_EQ(ea.via_indirection, eb.via_indirection);
+    EXPECT_EQ(ea.indirection_unit, eb.indirection_unit);
+    EXPECT_EQ(a.edge_alive(edge_id{i}), b.edge_alive(edge_id{i}));
+  }
+}
+
+TEST(design_codec, round_trips_every_family) {
+  const std::vector<std::pair<std::string, int>> designs = {
+      {"fat_tree", 4},  {"leaf_spine", 6}, {"jellyfish", 20},
+      {"xpander", 18},  {"dragonfly", 6},  {"vl2", 8},
+  };
+  for (const auto& [family, size] : designs) {
+    auto g = build_family(family, size, /*seed=*/3);
+    ASSERT_TRUE(g.is_ok()) << family;
+    const twin_model twin = design_to_twin(g.value());
+    auto back = design_from_twin(twin);
+    ASSERT_TRUE(back.is_ok()) << family << ": "
+                              << back.error().to_string();
+    expect_same_design(g.value(), back.value());
+  }
+}
+
+TEST(design_codec, survives_text_serialization) {
+  auto g = build_family("jellyfish", 16, 11);
+  ASSERT_TRUE(g.is_ok());
+  const std::string text = serialize_twin(design_to_twin(g.value()));
+  auto twin = parse_twin(text);
+  ASSERT_TRUE(twin.is_ok());
+  auto back = design_from_twin(twin.value());
+  ASSERT_TRUE(back.is_ok()) << back.error().to_string();
+  expect_same_design(g.value(), back.value());
+}
+
+TEST(design_codec, preserves_dead_edges_and_edge_ids) {
+  auto g = build_family("fat_tree", 4, 1);
+  ASSERT_TRUE(g.is_ok());
+  network_graph& graph = g.value();
+  const std::size_t live_before = graph.live_edges().size();
+  graph.remove_edge(edge_id{2});
+  graph.remove_edge(edge_id{5});
+  auto back = design_from_twin(design_to_twin(graph));
+  ASSERT_TRUE(back.is_ok()) << back.error().to_string();
+  expect_same_design(graph, back.value());
+  EXPECT_EQ(back.value().live_edges().size(), live_before - 2);
+  EXPECT_FALSE(back.value().edge_alive(edge_id{2}));
+  EXPECT_TRUE(back.value().edge_alive(edge_id{3}));
+}
+
+TEST(design_codec, malformed_twins_are_corrupt_data) {
+  auto g = build_family("fat_tree", 4, 1);
+  ASSERT_TRUE(g.is_ok());
+
+  {
+    // Missing fabric entity entirely.
+    twin_model empty;
+    auto back = design_from_twin(empty);
+    ASSERT_FALSE(back.is_ok());
+    EXPECT_EQ(back.error().code(), status_code::corrupt_data);
+  }
+  {
+    // A switch with a wrongly-typed index attribute.
+    twin_model twin = design_to_twin(g.value());
+    const auto switches = twin.entities_of_kind("switch");
+    ASSERT_FALSE(switches.empty());
+    twin.set_attr(switches.front(), "index", std::string("zero"));
+    auto back = design_from_twin(twin);
+    ASSERT_FALSE(back.is_ok());
+    EXPECT_EQ(back.error().code(), status_code::corrupt_data);
+  }
+  {
+    // Duplicate switch indices (not a permutation).
+    twin_model twin = design_to_twin(g.value());
+    const auto switches = twin.entities_of_kind("switch");
+    ASSERT_GE(switches.size(), 2u);
+    twin.set_attr(switches[1], "index", std::int64_t{0});
+    auto back = design_from_twin(twin);
+    ASSERT_FALSE(back.is_ok());
+    EXPECT_EQ(back.error().code(), status_code::corrupt_data);
+  }
+  {
+    // An edge endpoint out of range.
+    twin_model twin = design_to_twin(g.value());
+    const auto links = twin.entities_of_kind("link");
+    ASSERT_FALSE(links.empty());
+    twin.set_attr(links.front(), "a", std::int64_t{10'000});
+    auto back = design_from_twin(twin);
+    ASSERT_FALSE(back.is_ok());
+    EXPECT_EQ(back.error().code(), status_code::corrupt_data);
+  }
+}
+
+}  // namespace
+}  // namespace pn

@@ -1,0 +1,199 @@
+// physnet_client — CLI client for the physnet_serve evaluation service.
+//
+//   physnet_client --connect=unix:/tmp/physnet.sock --family=fat_tree --size=8
+//   physnet_client --connect=tcp::9917 --family=jellyfish --size=64
+//       --strategy=annealed --repeat=3
+//   physnet_client --connect=unix:/tmp/physnet.sock --stats
+//   physnet_client --connect=unix:/tmp/physnet.sock --ping
+//   physnet_client --connect=unix:/tmp/physnet.sock --invalidate
+//
+// The default mode builds the named design locally (same generator
+// defaults as physnet_eval), ships it as a twin serialization, and
+// prints the returned deployability report. --repeat sends the same
+// request N times over one connection — after the first answer the rest
+// are served from the result cache (watch `stats`). --csv prints the
+// report as one sweep-CSV row instead of tables.
+//
+// Exit codes: 0 success, 1 server-side or transport error, 2 usage
+// error, 3 server said overloaded / shutting_down (retryable).
+#include <iostream>
+#include <string>
+
+#include "core/physnet.h"
+#include "service/client.h"
+#include "twin/design_codec.h"
+
+namespace {
+
+using namespace pn;
+
+enum class mode { evaluate, stats, ping, invalidate };
+
+struct cli_args {
+  std::string connect;
+  mode m = mode::evaluate;
+  std::string family = "fat_tree";
+  int size = 8;
+  std::string strategy = "block";
+  std::uint64_t seed = 1;
+  bool repair = true;
+  double deadline_ms = 0.0;
+  int repeat = 1;
+  bool csv = false;
+};
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--connect") {
+      out.connect = value;
+    } else if (key == "--stats") {
+      out.m = mode::stats;
+    } else if (key == "--ping") {
+      out.m = mode::ping;
+    } else if (key == "--invalidate") {
+      out.m = mode::invalidate;
+    } else if (key == "--family") {
+      out.family = value;
+    } else if (key == "--size") {
+      out.size = std::stoi(value);
+    } else if (key == "--strategy") {
+      out.strategy = value;
+    } else if (key == "--seed") {
+      out.seed = std::stoull(value);
+    } else if (key == "--no-repair") {
+      out.repair = false;
+    } else if (key == "--deadline") {
+      out.deadline_ms = std::stod(value);
+      if (out.deadline_ms <= 0.0) {
+        std::cerr << "--deadline must be > 0 (milliseconds)\n";
+        return false;
+      }
+    } else if (key == "--repeat") {
+      out.repeat = std::stoi(value);
+      if (out.repeat < 1) {
+        std::cerr << "--repeat must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--csv") {
+      out.csv = true;
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out.connect.empty()) {
+    std::cerr << "--connect is required\n";
+    return false;
+  }
+  return true;
+}
+
+int exit_code_for(const status& error) {
+  return (error.code() == status_code::overloaded ||
+          error.code() == status_code::shutting_down)
+             ? 3
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_client --connect=unix:PATH|tcp:HOST:PORT\n"
+           "  evaluate (default): [--family=NAME] [--size=N] "
+           "[--strategy=block|random|annealed] [--seed=N] [--no-repair] "
+           "[--deadline=MS] [--repeat=N] [--csv]\n"
+           "  other modes: --stats | --ping | --invalidate\n"
+           "  exit codes: 0 ok, 1 error, 2 usage, 3 overloaded/draining "
+           "(retry)\n";
+    return 2;
+  }
+
+  auto client = eval_client::connect(args.connect);
+  if (!client.is_ok()) {
+    std::cerr << "connect failed: " << client.error().to_string() << "\n";
+    return 1;
+  }
+
+  if (args.m == mode::ping) {
+    const status pinged = client.value().ping();
+    if (!pinged.is_ok()) {
+      std::cerr << "ping failed: " << pinged.to_string() << "\n";
+      return exit_code_for(pinged);
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (args.m == mode::stats) {
+    auto stats = client.value().stats();
+    if (!stats.is_ok()) {
+      std::cerr << "stats failed: " << stats.error().to_string() << "\n";
+      return exit_code_for(stats.error());
+    }
+    for (const auto& [key, value] : stats.value()) {
+      std::cout << key << " = " << value << "\n";
+    }
+    return 0;
+  }
+  if (args.m == mode::invalidate) {
+    auto epoch = client.value().invalidate();
+    if (!epoch.is_ok()) {
+      std::cerr << "invalidate failed: " << epoch.error().to_string()
+                << "\n";
+      return exit_code_for(epoch.error());
+    }
+    std::cout << "cache epoch now " << epoch.value() << "\n";
+    return 0;
+  }
+
+  auto graph = build_family(args.family, args.size, args.seed);
+  if (!graph.is_ok()) {
+    std::cerr << "cannot build design: " << graph.error().to_string()
+              << "\n";
+    return 2;
+  }
+
+  eval_request req;
+  req.name = args.family + "/" + std::to_string(args.size);
+  req.options.seed = args.seed;
+  req.options.strategy = args.strategy;
+  req.options.run_repair_sim = args.repair;
+  req.options.deadline_ms = args.deadline_ms;
+  req.design_twin = serialize_twin(design_to_twin(graph.value()));
+
+  deployability_report last;
+  for (int i = 0; i < args.repeat; ++i) {
+    auto report = client.value().evaluate(req);
+    if (!report.is_ok()) {
+      std::cerr << "evaluate failed: " << report.error().to_string()
+                << "\n";
+      return exit_code_for(report.error());
+    }
+    last = std::move(report).value();
+  }
+
+  const std::vector<deployability_report> reports{last};
+  if (args.csv) {
+    sweep_results res;
+    res.reports = reports;
+    std::cout << sweep_to_csv(res, sweep_csv_options{});
+  } else {
+    abstract_metrics_table(reports).print(std::cout, "abstract metrics");
+    cost_table(reports).print(std::cout, "capital cost & power");
+    deployability_table(reports).print(std::cout,
+                                       "physical deployability");
+    if (args.repair) {
+      operations_table(reports).print(std::cout, "operations");
+    }
+  }
+  return 0;
+}

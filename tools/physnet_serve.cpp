@@ -1,0 +1,151 @@
+// physnet_serve — the batched, cached evaluation service daemon.
+//
+//   physnet_serve --listen=unix:/tmp/physnet.sock
+//   physnet_serve --listen=tcp::9917 --eval-threads=8 --queue-limit=128
+//
+// Accepts framed requests (see src/service/protocol.h), coalesces and
+// batches evaluations onto a worker pool, caches results by content
+// hash, and exposes live counters via the `stats` request.
+//
+// SIGINT/SIGTERM drain cleanly: the listener closes immediately, every
+// request already admitted is evaluated and answered, new evaluate
+// requests answer `shutting_down`, and the process exits 0. A final
+// stats dump goes to stderr on the way out.
+//
+// Exit codes: 0 clean shutdown (including signal-driven drain),
+// 1 serve/bind failure, 2 usage error.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "core/physnet.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace pn;
+
+struct cli_args {
+  std::string listen;
+  int conn_threads = 8;
+  int eval_threads = 0;  // 0 = one per core
+  std::size_t queue_limit = 64;
+  std::size_t max_batch = 8;
+  std::size_t cache_capacity = 256;
+  std::uint64_t seed = 1;  // default seed for the base template
+  bool quiet = false;
+};
+
+// Shared with the signal handlers: request_cancel is one relaxed atomic
+// store, which is async-signal-safe once the token exists.
+cancel_token g_shutdown;
+
+extern "C" void handle_shutdown_signal(int) { g_shutdown.request_cancel(); }
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--listen") {
+      out.listen = value;
+    } else if (key == "--conn-threads") {
+      out.conn_threads = std::stoi(value);
+      if (out.conn_threads < 1) {
+        std::cerr << "--conn-threads must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--eval-threads") {
+      out.eval_threads = std::stoi(value);
+      if (out.eval_threads < 0) {
+        std::cerr << "--eval-threads must be >= 0 (0 = one per core)\n";
+        return false;
+      }
+    } else if (key == "--queue-limit") {
+      out.queue_limit = std::stoull(value);
+      if (out.queue_limit == 0) {
+        std::cerr << "--queue-limit must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--max-batch") {
+      out.max_batch = std::stoull(value);
+      if (out.max_batch == 0) {
+        std::cerr << "--max-batch must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--cache-capacity") {
+      out.cache_capacity = std::stoull(value);
+    } else if (key == "--seed") {
+      out.seed = std::stoull(value);
+    } else if (key == "--quiet") {
+      out.quiet = true;
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out.listen.empty()) {
+    std::cerr << "--listen is required\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_serve --listen=unix:PATH|tcp:HOST:PORT\n"
+           "       [--conn-threads=N] [--eval-threads=N] "
+           "[--queue-limit=N] [--max-batch=N] [--cache-capacity=N] "
+           "[--seed=N] [--quiet]\n"
+           "  SIGINT/SIGTERM drain in-flight requests and exit 0.\n"
+           "  exit codes: 0 clean shutdown, 1 serve failure, 2 usage\n";
+    return 2;
+  }
+
+  server_config cfg;
+  cfg.listen = args.listen;
+  cfg.conn_threads = args.conn_threads;
+  cfg.eval_threads = args.eval_threads;
+  cfg.queue_limit = args.queue_limit;
+  cfg.max_batch = args.max_batch;
+  cfg.cache_capacity = args.cache_capacity;
+  cfg.base_options.seed = args.seed;
+
+  eval_server server(std::move(cfg));
+  if (const status bound = server.bind(); !bound.is_ok()) {
+    std::cerr << "bind failed: " << bound.to_string() << "\n";
+    return 1;
+  }
+  if (!args.quiet) {
+    std::cerr << "physnet_serve: listening on " << args.listen << "\n";
+  }
+
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+  const status served = server.serve(g_shutdown);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (!args.quiet) {
+    const cache_stats cs = server.cache().stats();
+    std::cerr << "physnet_serve: drained\n";
+    for (const auto& [key, value] : server.metrics().to_stats_map(
+             cs.hits, cs.misses, cs.entries, cs.epoch)) {
+      std::cerr << "  " << key << " = " << value << "\n";
+    }
+  }
+  if (!served.is_ok()) {
+    std::cerr << "serve failed: " << served.to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}

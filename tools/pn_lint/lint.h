@@ -9,8 +9,10 @@
 // violates a project invariant:
 //
 //   nondet        (R1) nondeterminism primitives (rand, srand,
-//                 std::random_device, time(), system_clock, sleep_for, ...)
-//                 outside common/rng.h — use pn::rng with an explicit seed
+//                 std::random_device, time(), system_clock, steady_clock,
+//                 sleep_for, ...) outside common/rng.h — use pn::rng with
+//                 an explicit seed. common/clock.h is the one sanctioned
+//                 home for steady_clock; time readers inject pn::clock_fn
 //   raw-thread    (R2) std::thread / std::jthread / std::async outside
 //                 common/thread_pool.* — use thread_pool / parallel_for
 //   naked-new     (R3) naked new/delete in src/ (`= delete` is fine) —
