@@ -286,6 +286,124 @@ void bm_evaluate_design_staged(benchmark::State& state) {
 }
 BENCHMARK(bm_evaluate_design_staged)->Arg(8)->Arg(12);
 
+// --- delta-aware scenario evaluation ------------------------------------
+//
+// The paper's lifecycle loops (§2.1, §4.1) mutate a handful of links and
+// re-ask for the metrics. The reference side rebuilds the distance cache
+// and recomputes path stats from scratch after every step; the delta side
+// keeps one incremental_metrics across the whole scenario and repairs
+// only the invalidated rows. Same numbers, bit for bit (tests/property/
+// delta_eval_property_test.cc) — these pairs track the 10x target.
+
+network_graph expansion_bench_base(int switches) {
+  jellyfish_params p;
+  p.switches = switches;
+  p.radix = 24;
+  p.hosts_per_switch = 12;
+  p.seed = 7;
+  network_graph g = build_jellyfish(p);
+  // Jellyfish wires every non-host port, but real fabrics are sized for
+  // the max build-out (§4.1) — give each switch expansion headroom so
+  // new links land without recabling.
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    g.node(node_id{i}).radix += 8;
+  }
+  return g;
+}
+
+deploy_scenario expansion_bench_scenario(const network_graph& g) {
+  edge_expansion_params p;
+  p.steps = 64;
+  p.links_per_step = 2;
+  p.parallel_links = true;  // capacity expansion: distances never move
+  p.seed = 11;
+  return plan_expansion_edge_scenario(g, p);
+}
+
+void bm_expansion_sweep_reference(benchmark::State& state) {
+  const network_graph base =
+      expansion_bench_base(static_cast<int>(state.range(0)));
+  const deploy_scenario sc = expansion_bench_scenario(base);
+  for (auto _ : state) {
+    network_graph g = base;
+    double acc = 0.0;
+    for (const scenario_step& step : sc.steps) {
+      apply_scenario_step(g, step);
+      distance_cache cache(g);
+      acc += compute_path_length_stats(g, cache).mean;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_expansion_sweep_reference)->Arg(128);
+
+void bm_expansion_sweep_delta(benchmark::State& state) {
+  const network_graph base =
+      expansion_bench_base(static_cast<int>(state.range(0)));
+  const deploy_scenario sc = expansion_bench_scenario(base);
+  for (auto _ : state) {
+    network_graph g = base;
+    incremental_metrics inc(g, 25_gbps);
+    double acc = 0.0;
+    for (const scenario_step& step : sc.steps) {
+      apply_scenario_step(g, step);
+      acc += inc.path_stats().mean;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_expansion_sweep_delta)->Arg(128);
+
+network_graph decom_bench_base(int leaves) {
+  leaf_spine_params p;
+  p.leaves = leaves;
+  p.spines = 16;
+  p.hosts_per_leaf = 24;
+  return build_leaf_spine(p);
+}
+
+deploy_scenario decom_bench_scenario(const network_graph& g) {
+  edge_decom_params p;
+  p.switches = 2;
+  p.links_per_step = 2;
+  p.seed = 5;
+  return plan_decom_edge_scenario(g, p);
+}
+
+void bm_decom_sweep_reference(benchmark::State& state) {
+  const network_graph base =
+      decom_bench_base(static_cast<int>(state.range(0)));
+  const deploy_scenario sc = decom_bench_scenario(base);
+  for (auto _ : state) {
+    network_graph g = base;
+    double acc = 0.0;
+    for (const scenario_step& step : sc.steps) {
+      apply_scenario_step(g, step);
+      distance_cache cache(g);
+      acc += compute_path_length_stats(g, cache).mean;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_decom_sweep_reference)->Arg(128);
+
+void bm_decom_sweep_delta(benchmark::State& state) {
+  const network_graph base =
+      decom_bench_base(static_cast<int>(state.range(0)));
+  const deploy_scenario sc = decom_bench_scenario(base);
+  for (auto _ : state) {
+    network_graph g = base;
+    incremental_metrics inc(g, 25_gbps);
+    double acc = 0.0;
+    for (const scenario_step& step : sc.steps) {
+      apply_scenario_step(g, step);
+      acc += inc.path_stats().mean;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_decom_sweep_delta)->Arg(128);
+
 // 12 jellyfish points, the acceptance grid for the parallel sweep: the
 // jobs > 1 runs must show real wall-clock speedup over jobs = 1.
 std::vector<sweep_point> sweep_grid_12() {
@@ -496,6 +614,9 @@ constexpr speedup_pair kSpeedupPairs[] = {
     {"ecmp_loads_shared", "bm_ecmp_loads_reference", "bm_ecmp_loads_shared"},
     {"service_cache_hit", "bm_service_eval_cold", "bm_service_eval_cached"},
     {"service_batched", "bm_service_eval_serial", "bm_service_eval_batched"},
+    {"expansion_sweep_delta", "bm_expansion_sweep_reference",
+     "bm_expansion_sweep_delta"},
+    {"decom_sweep_delta", "bm_decom_sweep_reference", "bm_decom_sweep_delta"},
 };
 
 bool write_json(const std::string& path,

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench_micro run against the committed baseline.
+
+Compares the ``--json`` output of ``bench_micro`` (nanoseconds_per_op and
+speedups_vs_reference maps) against ``BENCH_baseline.json``:
+
+  * every baseline benchmark must still exist in the fresh run (a missing
+    name means a tracked bench was deleted or renamed without updating
+    the baseline);
+  * per-op time may not regress by more than ``--ns-tolerance``
+    (fractional; raw ns are machine-dependent and CI runners are noisy,
+    so the default band is wide — the gate catches order-of-magnitude
+    regressions like an O(n) loop going O(n^2), not 5%% jitter);
+  * tracked speedup ratios may not drop by more than
+    ``--speedup-tolerance`` (ratios cancel machine speed, so this band
+    is tighter);
+  * ``--require LABEL=MIN`` pins an absolute floor on every fresh
+    speedup entry whose label matches (``LABEL`` exactly or
+    ``LABEL/arg``). At least one entry must match, so a renamed bench
+    cannot silently skip its floor.
+
+Exit code 0 = gate passed, 1 = regression or contract violation,
+2 = bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("nanoseconds_per_op", "speedups_vs_reference"):
+        if not isinstance(doc.get(key), dict):
+            print(f"bench_gate: {path} has no {key} map", file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def parse_requirements(specs):
+    out = []
+    for spec in specs:
+        label, sep, floor = spec.partition("=")
+        if not sep or not label:
+            print(f"bench_gate: bad --require {spec!r} (want LABEL=MIN)",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            out.append((label, float(floor)))
+        except ValueError:
+            print(f"bench_gate: bad --require floor {floor!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def matches(label, key):
+    return key == label or key.startswith(label + "/")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", default="BENCH_micro.json",
+                    help="bench_micro --json output from this run")
+    ap.add_argument("--baseline", default="BENCH_baseline.json",
+                    help="committed reference run")
+    ap.add_argument("--ns-tolerance", type=float, default=0.50,
+                    help="allowed fractional ns/op regression (default 0.50)")
+    ap.add_argument("--speedup-tolerance", type=float, default=0.30,
+                    help="allowed fractional speedup drop (default 0.30)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="LABEL=MIN",
+                    help="absolute floor for a tracked speedup label; "
+                         "repeatable")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    requirements = parse_requirements(args.require)
+
+    failures = []
+    fresh_ns = fresh["nanoseconds_per_op"]
+    base_ns = base["nanoseconds_per_op"]
+    for name in sorted(base_ns):
+        if name not in fresh_ns:
+            failures.append(f"missing benchmark: {name} "
+                            f"(in baseline, absent from fresh run)")
+            continue
+        before, after = base_ns[name], fresh_ns[name]
+        if before <= 0.0:
+            continue
+        ratio = after / before
+        if ratio > 1.0 + args.ns_tolerance:
+            failures.append(
+                f"ns regression: {name} {before:.0f} -> {after:.0f} ns/op "
+                f"({ratio:.2f}x, tolerance {1.0 + args.ns_tolerance:.2f}x)")
+    for name in sorted(fresh_ns):
+        if name not in base_ns:
+            print(f"bench_gate: note: new benchmark {name} "
+                  f"(not in baseline)")
+
+    fresh_sp = fresh["speedups_vs_reference"]
+    base_sp = base["speedups_vs_reference"]
+    for name in sorted(base_sp):
+        if name not in fresh_sp:
+            failures.append(f"missing speedup entry: {name}")
+            continue
+        before, after = base_sp[name], fresh_sp[name]
+        floor = before * (1.0 - args.speedup_tolerance)
+        if after < floor:
+            failures.append(
+                f"speedup drop: {name} {before:.2f}x -> {after:.2f}x "
+                f"(floor {floor:.2f}x)")
+
+    for label, floor in requirements:
+        matched = [k for k in sorted(fresh_sp) if matches(label, k)]
+        if not matched:
+            failures.append(f"--require {label}={floor:g}: no fresh speedup "
+                            f"entry matches {label!r}")
+        for key in matched:
+            if fresh_sp[key] < floor:
+                failures.append(f"--require {label}={floor:g}: "
+                                f"{key} is {fresh_sp[key]:.2f}x")
+            else:
+                print(f"bench_gate: {key} = {fresh_sp[key]:.2f}x "
+                      f"(floor {floor:g}x) ok")
+
+    if failures:
+        print(f"bench_gate: FAIL ({len(failures)} problem(s))")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"bench_gate: ok ({len(base_ns)} benchmarks, "
+          f"{len(base_sp)} speedups, {len(requirements)} floor(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ struct sweep_checkpoint {
   std::size_t point_count = 0;
   // Completed points by grid index. Duplicate lines (a point re-recorded
   // by an overlapping resume) keep the last occurrence.
+  // pn_lint: allow(hot-assoc) resume splices by index order; last write wins
   std::map<std::size_t, sweep_checkpoint_entry> entries;
 
   [[nodiscard]] const sweep_checkpoint_entry* find(std::size_t index) const;

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <optional>
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "topology/incremental.h"
 #include "topology/metrics.h"
 #include "topology/routing.h"
 #include "topology/traffic.h"
@@ -94,21 +95,44 @@ evaluation evaluate_design_staged(const network_graph& g,
   // One CSR snapshot + BFS distance cache for the whole evaluation: the
   // topology-metrics stage fills the host-facing rows once and every
   // later consumer (ECMP loads, bisection seeding, the repair sim's
-  // reachability checks) reads them back instead of re-running BFS.
-  distance_cache dcache(g);
+  // reachability checks) reads them back instead of re-running BFS. In
+  // delta mode the cache belongs to the caller's incremental evaluator —
+  // rows repaired across evaluations instead of rebuilt.
+  std::optional<distance_cache> local_dcache;
+  if (opt.delta == nullptr) local_dcache.emplace(g);
+  distance_cache& dcache =
+      opt.delta != nullptr ? opt.delta->dcache() : *local_dcache;
 
   // Stage 1: abstract topology metrics (the traditional numbers the
   // paper wants deployability metrics to sit beside).
   path_length_stats pls{};
   pipe.run(eval_stage::topology_metrics, [&](stage_record& rec) -> status {
-    const std::vector<node_id> host_facing = g.host_facing_nodes();
-    dcache.warm_all(host_facing, opt.distance_warm_threads);
-    pls = compute_path_length_stats(g, dcache);
-    if (opt.run_throughput) {
-      const traffic_matrix tm = uniform_traffic(g, opt.traffic_per_host);
-      rep.throughput_alpha_uniform = ecmp_throughput(g, tm, dcache).alpha;
-      rep.bisection_gbps_per_host =
-          estimate_bisection(g, opt.seed, 32, dcache).per_host_gbps;
+    if (opt.delta != nullptr) {
+      PN_CHECK_MSG(&opt.delta->graph() == &g,
+                   "delta evaluator is bound to a different graph");
+      PN_CHECK_MSG(opt.delta->traffic_per_host().value() ==
+                       opt.traffic_per_host.value(),
+                   "delta evaluator traffic rate mismatch");
+      pls = opt.delta->path_stats();
+      if (opt.run_throughput) {
+        rep.throughput_alpha_uniform = opt.delta->ecmp_throughput().alpha;
+        rep.bisection_gbps_per_host =
+            estimate_bisection(g, opt.seed, 32, dcache).per_host_gbps;
+      }
+      rec.add_counter("rows_kept",
+                      static_cast<double>(dcache.rows_kept()));
+      rec.add_counter("rows_dropped",
+                      static_cast<double>(dcache.rows_dropped()));
+    } else {
+      const std::vector<node_id> host_facing = g.host_facing_nodes();
+      dcache.warm_all(host_facing, opt.distance_warm_threads);
+      pls = compute_path_length_stats(g, dcache);
+      if (opt.run_throughput) {
+        const traffic_matrix tm = uniform_traffic(g, opt.traffic_per_host);
+        rep.throughput_alpha_uniform = ecmp_throughput(g, tm, dcache).alpha;
+        rep.bisection_gbps_per_host =
+            estimate_bisection(g, opt.seed, 32, dcache).per_host_gbps;
+      }
     }
     rec.add_counter("switches", static_cast<double>(g.node_count()));
     rec.add_counter("links",
@@ -152,10 +176,14 @@ evaluation evaluate_design_staged(const network_graph& g,
     if (!placed.is_ok()) return placed.error();
     ev.place = std::move(placed).value();
 
-    std::set<std::size_t> racks_used;
+    std::vector<std::size_t> racks_used;
+    racks_used.reserve(g.node_count());
     for (std::size_t i = 0; i < g.node_count(); ++i) {
-      racks_used.insert(ev.place.rack_of(node_id{i}).index());
+      racks_used.push_back(ev.place.rack_of(node_id{i}).index());
     }
+    std::sort(racks_used.begin(), racks_used.end());
+    racks_used.erase(std::unique(racks_used.begin(), racks_used.end()),
+                     racks_used.end());
     rec.add_counter("racks_used", static_cast<double>(racks_used.size()));
     return status::ok();
   });

@@ -25,6 +25,8 @@
 
 namespace pn {
 
+class incremental_metrics;  // topology/incremental.h
+
 enum class placement_strategy { block, random, annealed };
 
 [[nodiscard]] const char* placement_strategy_name(placement_strategy s);
@@ -73,6 +75,16 @@ struct evaluation_options {
   // null = the real monotonic clock. Tests inject a manual_clock to make
   // deadline behavior deterministic.
   clock_fn clock;
+
+  // Delta evaluation: non-null makes the topology-metrics stage compute
+  // path stats and ECMP through this persistent incremental evaluator
+  // (which must be bound to exactly the graph being evaluated and to the
+  // same traffic_per_host) instead of from scratch, and every later
+  // stage shares its repaired distance cache. Results are bit-identical
+  // to the cold path by contract (tests/property/delta_eval_property_
+  // test.cc). Owned by the caller — run_sweep's scenario mode keeps one
+  // across all points of an evolving-graph sweep.
+  incremental_metrics* delta = nullptr;
 
   std::uint64_t seed = 1;
 };

@@ -1,12 +1,14 @@
 #include "core/sweep.h"
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "topology/incremental.h"
 
 namespace pn {
 
@@ -45,6 +47,17 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
     sweep_failure failure;
   };
   std::vector<point_slot> slots(grid.size());
+
+  // Scenario mode: one evolving graph, strictly serial, optionally
+  // delta-evaluated through a single persistent incremental_metrics.
+  const bool scenario_mode = sopt.scenario_graph != nullptr;
+  PN_CHECK_MSG(!scenario_mode || sopt.resume == nullptr,
+               "scenario sweeps cannot resume: restored points would skip "
+               "their graph mutations");
+  std::optional<incremental_metrics> delta;
+  if (scenario_mode && sopt.delta_eval) {
+    delta.emplace(*sopt.scenario_graph, opt.traffic_per_host);
+  }
 
   // Resume: splice previously completed points straight into their slots.
   if (sopt.resume != nullptr) {
@@ -87,7 +100,12 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
     }
   };
 
-  const int jobs = sopt.jobs == 0 ? default_thread_count() : sopt.jobs;
+  // Scenario points depend on each other's mutations: force the serial
+  // inline path (parallel_for with threads <= 1 runs indices in ascending
+  // order on the caller's thread).
+  const int jobs = scenario_mode
+                       ? 1
+                       : (sopt.jobs == 0 ? default_thread_count() : sopt.jobs);
   parallel_for(
       jobs, grid.size(),
       [&](std::size_t i) {
@@ -114,7 +132,15 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
           };
         }
 
-        const network_graph g = point.build();
+        network_graph built;
+        if (scenario_mode) {
+          if (point.evolve) point.evolve(*sopt.scenario_graph);
+          if (delta.has_value()) popt.delta = &*delta;
+        } else {
+          built = point.build();
+        }
+        const network_graph& g =
+            scenario_mode ? *sopt.scenario_graph : built;
         evaluation ev = evaluate_design_staged(g, point.label, popt);
         if (ev.trace.ok()) {
           slot.st = point_slot::state::ok;
@@ -174,6 +200,18 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
     }
   }
   out.cancelled = cancel.cancelled();
+  return out;
+}
+
+std::vector<sweep_point> scenario_sweep_points(const deploy_scenario& sc) {
+  std::vector<sweep_point> out;
+  out.reserve(sc.steps.size());
+  for (const scenario_step& step : sc.steps) {
+    sweep_point pt;
+    pt.label = step.label;
+    pt.evolve = [step](network_graph& g) { apply_scenario_step(g, step); };
+    out.push_back(std::move(pt));
+  }
   return out;
 }
 

@@ -29,12 +29,17 @@
 #include "core/evaluator.h"
 #include "core/fault.h"
 #include "core/pipeline.h"
+#include "deploy/scenario.h"
 
 namespace pn {
 
 struct sweep_point {
   std::string label;                        // e.g. "k=8"
   std::function<network_graph()> build;
+  // Scenario mode (sweep_options::scenario_graph non-null): runs against
+  // the shared evolving graph before this point is evaluated; `build` is
+  // ignored. Points execute strictly in input order.
+  std::function<void(network_graph&)> evolve;
 };
 
 // A failed sweep point, attributed to the pipeline stage that failed —
@@ -101,6 +106,23 @@ struct sweep_options {
   // jobs. The checkpoint's base seed and point count must match the
   // sweep's (PN_CHECKed). Must outlive run_sweep.
   const sweep_checkpoint* resume = nullptr;
+
+  // ---- scenario mode ----------------------------------------------------
+  // Non-null: the sweep evaluates ONE evolving graph instead of per-point
+  // builds. Each point's `evolve` mutates this graph (steps of a
+  // deploy_scenario, typically) and the mutated graph is evaluated in
+  // place. Points run strictly serially in input order — `jobs` is
+  // ignored — because step i+1's graph state depends on step i. Resume is
+  // rejected (a restored point's mutations would be skipped, corrupting
+  // every later point). Must outlive run_sweep.
+  network_graph* scenario_graph = nullptr;
+
+  // With scenario_graph: evaluate each point delta-aware through one
+  // persistent incremental_metrics (row repair + per-destination ECMP
+  // contribution caching; see topology/incremental.h) instead of cold.
+  // Results are bit-identical to delta_eval = false by contract — the
+  // delta machinery only skips work it can prove unchanged.
+  bool delta_eval = false;
 };
 
 // Deterministic per-point seed: a splitmix64 mix of the sweep's base seed
@@ -114,6 +136,13 @@ struct sweep_options {
 [[nodiscard]] sweep_results run_sweep(const std::vector<sweep_point>& grid,
                                       const evaluation_options& opt,
                                       const sweep_options& sopt = {});
+
+// One sweep point per scenario step (label = the step's label, evolve =
+// apply that step). Pass the same graph the scenario was planned against
+// as sweep_options::scenario_graph. Steps are copied into the closures,
+// so the scenario need not outlive the grid.
+[[nodiscard]] std::vector<sweep_point> scenario_sweep_points(
+    const deploy_scenario& sc);
 
 struct sweep_csv_options {
   // Append per-stage wall-time columns (t_total_ms, t_<stage>_ms...).

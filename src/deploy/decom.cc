@@ -1,8 +1,11 @@
 #include "deploy/decom.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace pn {
 
@@ -107,6 +110,67 @@ std::vector<twin_op> safe_decom_plan(
         op_remove_entity("switch", sw_name, "decom switch " + sw_name));
   }
   return plan;
+}
+
+deploy_scenario plan_decom_edge_scenario(const network_graph& g,
+                                         const edge_decom_params& p) {
+  PN_CHECK(p.switches > 0 && p.links_per_step > 0);
+  deploy_scenario sc;
+  sc.name = "decom";
+  network_graph replay = g;
+  rng r(p.seed);
+
+  // Retire only non-host-facing switches: decommissioning a ToR retires
+  // its servers, which is a different (capacity-planning) decision.
+  std::vector<std::uint8_t> host_facing(replay.node_count(), 0);
+  for (const node_id h : replay.host_facing_nodes()) {
+    host_facing[h.index()] = 1;
+  }
+  std::vector<node_id> candidates;
+  for (std::size_t i = 0; i < replay.node_count(); ++i) {
+    if (host_facing[i] == 0) candidates.push_back(node_id{i});
+  }
+  PN_CHECK_MSG(!candidates.empty(),
+               "no non-host-facing switches to decommission");
+  r.shuffle(candidates);
+  const std::size_t retire =
+      std::min(static_cast<std::size_t>(p.switches), candidates.size());
+  std::vector<std::uint8_t> retiring(replay.node_count(), 0);
+  for (std::size_t i = 0; i < retire; ++i) {
+    retiring[candidates[i].index()] = 1;
+  }
+
+  // Incident live links, ascending edge id (live_edges() order).
+  std::vector<edge_id> targets;
+  for (const edge_id e : replay.live_edges()) {
+    const edge_info& info = replay.edge(e);
+    if (retiring[info.a.index()] != 0 || retiring[info.b.index()] != 0) {
+      targets.push_back(e);
+    }
+  }
+
+  scenario_step st;
+  int step_index = 0;
+  const auto flush = [&] {
+    if (st.ops.empty()) return;
+    st.label = "decom_step=" + std::to_string(step_index++);
+    sc.steps.push_back(std::move(st));
+    st = scenario_step{};
+  };
+  for (const edge_id e : targets) {
+    replay.remove_edge(e);
+    if (!hosts_connected(replay)) {
+      replay.revive_edge(e);  // blocked: an endpoint still carries service
+      continue;
+    }
+    const edge_info& info = replay.edge(e);
+    st.ops.push_back(
+        edge_op{edge_op_kind::kill, e, info.a, info.b, info.capacity});
+    if (static_cast<int>(st.ops.size()) >= p.links_per_step) flush();
+  }
+  flush();
+  PN_CHECK_MSG(!sc.steps.empty(), "decommission drained no links");
+  return sc;
 }
 
 }  // namespace pn

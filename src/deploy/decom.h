@@ -9,9 +9,11 @@
 // exactly the outages a twin-less decom risks.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "deploy/scenario.h"
 #include "twin/dryrun.h"
 #include "twin/model.h"
 
@@ -36,5 +38,22 @@ namespace pn {
 // once none of the affected ports are still in service").
 [[nodiscard]] std::vector<std::string> blocking_cables(
     const twin_model& m, const std::vector<std::string>& switch_names);
+
+// ---- edge-level decommission scenario -----------------------------------
+
+struct edge_decom_params {
+  int switches = 2;        // non-host-facing switches to retire
+  int links_per_step = 4;  // incident links drained per step
+  std::uint64_t seed = 1;
+};
+
+// Plans the graph-level side of a decommission over `g`'s lineage:
+// retires `switches` random non-host-facing switches by draining their
+// incident links `links_per_step` at a time, in ascending edge-id order.
+// A link whose removal would cut host-facing switches off is skipped —
+// the §2.1 "cannot be removed yet" case blocking_cables() reports at the
+// twin level. Drive through run_sweep's scenario mode.
+[[nodiscard]] deploy_scenario plan_decom_edge_scenario(
+    const network_graph& g, const edge_decom_params& p);
 
 }  // namespace pn

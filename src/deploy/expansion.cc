@@ -1,8 +1,10 @@
 #include "deploy/expansion.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace pn {
 
@@ -121,6 +123,51 @@ expansion_plan plan_clos_expansion(const clos_expansion_params& p) {
   minutes += out.drain_windows * p.drain_window_minutes;
   out.labor = hours_from_minutes(minutes);
   return out;
+}
+
+deploy_scenario plan_expansion_edge_scenario(const network_graph& g,
+                                             const edge_expansion_params& p) {
+  PN_CHECK(p.steps > 0 && p.links_per_step > 0);
+  deploy_scenario sc;
+  sc.name = "expansion";
+  network_graph replay = g;
+  rng r(p.seed);
+  const std::size_t n = replay.node_count();
+  PN_CHECK_MSG(n >= 2, "expansion scenario needs at least two switches");
+
+  for (int step = 0; step < p.steps; ++step) {
+    scenario_step st;
+    st.label = "expand+" + std::to_string((step + 1) * p.links_per_step);
+    int attempts = 0;
+    const int max_attempts = 64 * p.links_per_step;
+    while (static_cast<int>(st.ops.size()) < p.links_per_step &&
+           attempts < max_attempts) {
+      ++attempts;
+      node_id a, b;
+      if (p.parallel_links) {
+        // Capacity expansion: trunk up a random live adjacency.
+        const auto& live = replay.live_edges();
+        if (live.empty()) break;
+        const edge_id e = live[r.next_index(live.size())];
+        a = replay.edge(e).a;
+        b = replay.edge(e).b;
+      } else {
+        a = node_id{r.next_index(n)};
+        b = node_id{r.next_index(n)};
+        if (a == b) continue;
+        if (replay.has_edge_between(a, b)) continue;
+      }
+      if (replay.free_ports(a) <= 0 || replay.free_ports(b) <= 0) continue;
+      const gbps cap{std::min(replay.node(a).port_rate.value(),
+                              replay.node(b).port_rate.value())};
+      const edge_id id = replay.add_edge(a, b, cap);
+      st.ops.push_back(edge_op{edge_op_kind::add, id, a, b, cap});
+    }
+    PN_CHECK_MSG(!st.ops.empty(),
+                 "no free ports left for expansion step " << step);
+    sc.steps.push_back(std::move(st));
+  }
+  return sc;
 }
 
 }  // namespace pn

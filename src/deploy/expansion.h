@@ -8,10 +8,12 @@
 // steps, re-wired links per panel, panels touched, and drain windows.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "deploy/scenario.h"
 
 namespace pn {
 
@@ -74,5 +76,31 @@ struct expansion_plan {
 // (largest-remainder striping). Exposed for tests and for the benches'
 // tables.
 [[nodiscard]] std::vector<int> stripe_ports(int total_ports, int pods);
+
+// ---- edge-level expansion scenario --------------------------------------
+
+struct edge_expansion_params {
+  int steps = 8;
+  int links_per_step = 4;
+  // Capacity expansion instead of structural growth: each added link
+  // parallels a randomly chosen *existing* adjacency (the links_per_pair
+  // pattern — second trunk between switches already wired together)
+  // rather than opening a new switch pair. Parallel links never change
+  // hop distances, only capacity, which is what makes this the
+  // best case for delta evaluation.
+  bool parallel_links = false;
+  std::uint64_t seed = 1;
+};
+
+// Plans an incremental-expansion scenario over `g`'s lineage: each step
+// lands `links_per_step` new inter-switch links between random switch
+// pairs that both have free ports and no existing direct link
+// (Jellyfish-style incremental growth — the §4.1 case where expansion is
+// jumper moves, not floor pulls), or — with parallel_links — doubles up
+// random existing adjacencies. Ops record the exact edge ids replay
+// will assign; drive the steps through run_sweep's scenario mode to
+// re-evaluate after every landing, delta-aware or cold.
+[[nodiscard]] deploy_scenario plan_expansion_edge_scenario(
+    const network_graph& g, const edge_expansion_params& p);
 
 }  // namespace pn

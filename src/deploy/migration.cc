@@ -103,4 +103,63 @@ migration_report plan_jupiter_migration(const jupiter_fabric& from,
   return out;
 }
 
+deploy_scenario plan_migration_edge_scenario(const network_graph& g,
+                                             const edge_migration_params& p) {
+  PN_CHECK(p.steps > 0 && p.moves_per_step > 0);
+  deploy_scenario sc;
+  sc.name = "migration";
+  network_graph replay = g;
+  rng r(p.seed);
+  const std::size_t n = replay.node_count();
+  PN_CHECK_MSG(n >= 3, "migration scenario needs at least three switches");
+
+  for (int step = 0; step < p.steps; ++step) {
+    scenario_step st;
+    st.label = "migrate_step=" + std::to_string(step);
+    int moved = 0;
+    int attempts = 0;
+    const int max_attempts = 64 * p.moves_per_step;
+    while (moved < p.moves_per_step && attempts < max_attempts) {
+      ++attempts;
+      const std::vector<edge_id> live = replay.live_edges();
+      if (live.empty()) break;
+      const edge_id e = live[r.next_index(live.size())];
+      const edge_info info = replay.edge(e);  // copy: edge() ref may move
+      // The surviving endpoint keeps the fiber; the far end moves.
+      const node_id keep = r.next_bool(0.5) ? info.a : info.b;
+      replay.remove_edge(e);
+      if (!hosts_connected(replay)) {
+        replay.revive_edge(e);
+        continue;
+      }
+      // Land the replacement on a random new peer with a free port.
+      node_id peer;
+      for (int t = 0; t < 32; ++t) {
+        const node_id c{r.next_index(n)};
+        if (c == keep || replay.free_ports(c) <= 0 ||
+            replay.has_edge_between(keep, c)) {
+          continue;
+        }
+        peer = c;
+        break;
+      }
+      if (!peer.valid()) {
+        replay.revive_edge(e);  // nowhere to land: undo the drain
+        continue;
+      }
+      const edge_id added = replay.add_edge(keep, peer, info.capacity);
+      st.ops.push_back(
+          edge_op{edge_op_kind::kill, e, info.a, info.b, info.capacity});
+      st.ops.push_back(
+          edge_op{edge_op_kind::add, added, keep, peer, info.capacity});
+      ++moved;
+    }
+    PN_CHECK_MSG(!st.ops.empty(),
+                 "migration scenario step " << step << " found no movable "
+                                            << "links");
+    sc.steps.push_back(std::move(st));
+  }
+  return sc;
+}
+
 }  // namespace pn

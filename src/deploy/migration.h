@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "deploy/scenario.h"
 #include "topology/generators/jupiter.h"
 
 namespace pn {
@@ -55,5 +56,22 @@ struct migration_report {
 [[nodiscard]] migration_report plan_jupiter_migration(
     const jupiter_fabric& from, const migration_params& p,
     int extra_uplinks_per_block = 0);
+
+// ---- edge-level migration scenario --------------------------------------
+
+struct edge_migration_params {
+  int steps = 8;
+  int moves_per_step = 4;
+  std::uint64_t seed = 1;
+};
+
+// Plans a live-rewiring scenario over `g`'s lineage: each move drains one
+// live link and lands a replacement from one of its endpoints to a new
+// peer with free ports — the edge-level shape of the §4.3 fiber moves
+// (drain, move fibers, validate, un-drain). Moves that would partition
+// the host-facing switches are skipped. Ops record exact edge ids; drive
+// through run_sweep's scenario mode.
+[[nodiscard]] deploy_scenario plan_migration_edge_scenario(
+    const network_graph& g, const edge_migration_params& p);
 
 }  // namespace pn

@@ -1,7 +1,9 @@
 #include "deploy/repair_sim.h"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -291,6 +293,57 @@ repair_sim_result simulate_repairs(const network_graph& g,
   out.availability =
       1.0 - out.lost_gbps_hours / (total_gbps * p.horizon.value());
   return out;
+}
+
+deploy_scenario plan_repair_edge_scenario(const network_graph& g,
+                                          const edge_repair_params& p) {
+  PN_CHECK(p.steps > 0 && p.kills_per_step > 0 && p.repair_lag_steps >= 1);
+  deploy_scenario sc;
+  sc.name = "repair";
+  network_graph replay = g;
+  rng r(p.seed);
+  // (step index at which the repair lands, edge), FIFO by kill order.
+  std::deque<std::pair<int, edge_id>> outstanding;
+
+  for (int step = 0; step < p.steps; ++step) {
+    scenario_step st;
+    st.label = "repair_step=" + std::to_string(step);
+
+    while (!outstanding.empty() && outstanding.front().first <= step) {
+      const edge_id e = outstanding.front().second;
+      outstanding.pop_front();
+      replay.revive_edge(e);
+      const edge_info& info = replay.edge(e);
+      st.ops.push_back(
+          edge_op{edge_op_kind::revive, e, info.a, info.b, info.capacity});
+    }
+
+    const std::vector<edge_id> live = replay.live_edges();
+    int killed = 0;
+    int attempts = 0;
+    const int max_attempts = 64 * p.kills_per_step;
+    while (killed < p.kills_per_step && attempts < max_attempts &&
+           !live.empty()) {
+      ++attempts;
+      const edge_id e = live[r.next_index(live.size())];
+      if (!replay.edge_alive(e)) continue;  // killed earlier this step
+      replay.remove_edge(e);
+      if (!hosts_connected(replay)) {
+        replay.revive_edge(e);  // would partition: not a survivable failure
+        continue;
+      }
+      const edge_info& info = replay.edge(e);
+      st.ops.push_back(
+          edge_op{edge_op_kind::kill, e, info.a, info.b, info.capacity});
+      outstanding.emplace_back(step + p.repair_lag_steps, e);
+      ++killed;
+    }
+    PN_CHECK_MSG(!st.ops.empty(),
+                 "repair scenario step " << step << " found no survivable "
+                                         << "failures");
+    sc.steps.push_back(std::move(st));
+  }
+  return sc;
 }
 
 }  // namespace pn

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "deploy/scenario.h"
 #include "physical/cabling.h"
 #include "physical/catalog.h"
 #include "physical/floorplan.h"
@@ -132,5 +133,25 @@ struct repair_sim_result {
                                                  const repair_params& p,
                                                  rng& r,
                                                  distance_cache& dcache);
+
+// ---- edge-level failure/repair scenario ---------------------------------
+
+struct edge_repair_params {
+  int steps = 16;
+  int kills_per_step = 2;
+  // A killed link is revived this many steps later (the MTTR analogue:
+  // larger lag = more concurrently drained capacity).
+  int repair_lag_steps = 2;
+  std::uint64_t seed = 1;
+};
+
+// Plans a failure/repair churn scenario over `g`'s lineage: each step
+// first revives the links whose repair came due, then kills
+// `kills_per_step` random live links whose loss keeps the host-facing
+// switches connected (a kill that would partition is skipped — that is
+// an outage, not churn). Drive through run_sweep's scenario mode to
+// measure evaluation under §3.3-style rolling failures.
+[[nodiscard]] deploy_scenario plan_repair_edge_scenario(
+    const network_graph& g, const edge_repair_params& p);
 
 }  // namespace pn

@@ -1,0 +1,72 @@
+#include "deploy/scenario.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace pn {
+
+const char* edge_op_kind_name(edge_op_kind k) {
+  switch (k) {
+    case edge_op_kind::add:
+      return "add";
+    case edge_op_kind::kill:
+      return "kill";
+    case edge_op_kind::revive:
+      return "revive";
+  }
+  return "unknown";
+}
+
+std::size_t deploy_scenario::op_count() const {
+  std::size_t n = 0;
+  for (const scenario_step& s : steps) n += s.ops.size();
+  return n;
+}
+
+void apply_scenario_step(network_graph& g, const scenario_step& step) {
+  for (const edge_op& op : step.ops) {
+    switch (op.kind) {
+      case edge_op_kind::add: {
+        const edge_id assigned = g.add_edge(op.a, op.b, op.capacity);
+        PN_CHECK_MSG(assigned == op.edge,
+                     "scenario add assigned edge "
+                         << assigned.value() << ", planned "
+                         << op.edge.value()
+                         << " — scenario applied to a foreign lineage");
+        break;
+      }
+      case edge_op_kind::kill:
+        g.remove_edge(op.edge);
+        break;
+      case edge_op_kind::revive:
+        g.revive_edge(op.edge);
+        break;
+    }
+  }
+}
+
+bool hosts_connected(const network_graph& g) {
+  const std::vector<node_id> hosts = g.host_facing_nodes();
+  if (hosts.size() < 2) return true;
+  std::vector<std::uint8_t> seen(g.node_count(), 0);
+  std::queue<node_id> q;
+  seen[hosts.front().index()] = 1;
+  q.push(hosts.front());
+  while (!q.empty()) {
+    const node_id u = q.front();
+    q.pop();
+    for (const auto& e : g.neighbors(u)) {
+      if (seen[e.neighbor.index()] == 0) {
+        seen[e.neighbor.index()] = 1;
+        q.push(e.neighbor);
+      }
+    }
+  }
+  for (const node_id h : hosts) {
+    if (seen[h.index()] == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pn

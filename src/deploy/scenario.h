@@ -1,0 +1,67 @@
+// Edge-level deployment scenarios: scripted mutate-then-evaluate.
+//
+// The lifecycle events the paper cares about — expansion (§4.1), repair
+// (§3.3), migration (§4.3), decommissioning (§2.1) — are all, at the
+// fabric-graph level, sequences of edge mutations: links land, links
+// drain, links move. A deploy_scenario captures one such sequence as
+// replayable steps so the sweep driver can evolve ONE graph through the
+// whole lifecycle and re-evaluate after every step, delta-aware
+// (topology/incremental.h) or cold — with bit-identical results either
+// way.
+//
+// Scenarios are planned against a graph lineage: generators replay their
+// ops on a private copy so every `add` op records the exact edge id the
+// real replay will assign, and every kill is connectivity-guarded (no
+// step may cut host-facing switches off — a disconnected fabric is an
+// outage, not a scenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+enum class edge_op_kind : std::uint8_t {
+  add,     // land a brand-new link (a, b, capacity)
+  kill,    // drain a live link (edge)
+  revive,  // un-drain a dead link (edge)
+};
+
+[[nodiscard]] const char* edge_op_kind_name(edge_op_kind k);
+
+struct edge_op {
+  edge_op_kind kind = edge_op_kind::kill;
+  // kill/revive: the target edge. add: the id this op will create —
+  // recorded at plan time and PN_CHECKed at replay time, so a scenario
+  // applied to the wrong graph lineage fails loudly.
+  edge_id edge;
+  node_id a;  // endpoints (denormalized for kill/revive; inputs for add)
+  node_id b;
+  gbps capacity{0.0};  // add only
+};
+
+struct scenario_step {
+  std::string label;
+  std::vector<edge_op> ops;
+};
+
+struct deploy_scenario {
+  std::string name;
+  std::vector<scenario_step> steps;
+
+  [[nodiscard]] std::size_t op_count() const;
+};
+
+// Applies one step's ops in order. Adds PN_CHECK that the id the graph
+// assigns matches the planned one.
+void apply_scenario_step(network_graph& g, const scenario_step& step);
+
+// True iff every host-facing switch can reach every other over live
+// edges — the guard scenario generators apply before committing a kill.
+[[nodiscard]] bool hosts_connected(const network_graph& g);
+
+}  // namespace pn

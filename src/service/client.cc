@@ -37,8 +37,10 @@ result<parsed_response> eval_client::round_trip(const std::string& payload,
 }
 
 result<deployability_report> eval_client::evaluate(const eval_request& req) {
+  // The wire form carries advisory hint lines (e.g. delta_hint); the
+  // server re-encodes canonically before any cache lookup.
   auto response =
-      round_trip(encode_eval_request(req), request_kind::evaluate);
+      round_trip(encode_eval_request_wire(req), request_kind::evaluate);
   if (!response.is_ok()) return response.error();
   return std::move(response).value().eval.report;
 }

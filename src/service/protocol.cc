@@ -122,6 +122,16 @@ std::string encode_eval_request(const eval_request& req) {
   return out.str();
 }
 
+std::string encode_eval_request_wire(const eval_request& req) {
+  std::string out = encode_eval_request(req);
+  if (!req.options.delta_hint) return out;
+  // Hints sit between the options and the design section: re-find the
+  // "design\n" marker and splice the hint line in front of it.
+  const std::size_t at = out.find("design\n");
+  out.insert(at == std::string::npos ? out.size() : at, "hint delta 1\n");
+  return out;
+}
+
 std::string encode_plain_request(request_kind k) {
   return std::string(protocol_magic) + " " + request_kind_name(k) + "\n";
 }
@@ -159,6 +169,19 @@ result<parsed_request> parse_request(std::string_view payload) {
   wire_options& o = out.eval.options;
   for (std::size_t i = 1; i < lines.head.size(); ++i) {
     const std::vector<std::string> tok = split(lines.head[i], ' ');
+    if (tok.size() == 3 && tok[0] == "hint") {
+      // Hints are advisory by contract: known keys are recorded, unknown
+      // keys are skipped (a newer client must not break an older server,
+      // and ignoring a hint is always correct).
+      if (tok[1] == "delta") {
+        bool v = false;
+        if (!parse_bool01(tok[2], v)) {
+          return fail("bad value for hint delta");
+        }
+        o.delta_hint = v;
+      }
+      continue;
+    }
     if (tok.size() != 3 || tok[0] != "opt") {
       return fail("bad option line: " + lines.head[i]);
     }

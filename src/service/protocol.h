@@ -66,6 +66,15 @@ struct wire_options {
   bool auto_size_floor = true;
   double deadline_ms = 0.0;  // per-request evaluation budget, 0 = none
 
+  // Transport-only hint: the client believes this design is a small
+  // edit of one it submitted recently, so the server may prioritize or
+  // batch it accordingly. Hints must never change the answer — this
+  // field rides in a `hint` line on the wire and is deliberately
+  // EXCLUDED from the canonical encoding, so a hinted and an unhinted
+  // copy of the same request share one cache key and one byte-identical
+  // response (see eval_batcher's server-side re-encoding).
+  bool delta_hint = false;
+
   // Overlays these options onto `base` (the server's evaluation_options
   // template). Fails on an unknown strategy name.
   [[nodiscard]] result<evaluation_options> apply_to(
@@ -83,7 +92,15 @@ struct parsed_request {
   eval_request eval;  // meaningful when kind == evaluate
 };
 
+// Canonical encoding: options in fixed alphabetical order, no hint
+// lines. These bytes are the cache-key material.
 [[nodiscard]] std::string encode_eval_request(const eval_request& req);
+
+// Wire encoding: canonical bytes plus `hint <key> <value>` lines (only
+// `hint delta 1` today, emitted when options.delta_hint is set). This is
+// what clients send; servers re-encode canonically before cache lookup.
+[[nodiscard]] std::string encode_eval_request_wire(const eval_request& req);
+
 [[nodiscard]] std::string encode_plain_request(request_kind k);
 
 // Fails with invalid_argument on malformed payloads (the frame itself

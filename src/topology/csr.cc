@@ -1,25 +1,30 @@
 #include "topology/csr.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace pn {
 
-csr_graph csr_graph::build(const network_graph& g) {
+csr_graph csr_graph::build(const network_graph& g, std::uint32_t row_slack) {
   csr_graph out;
   out.epoch = g.epoch();
   out.num_nodes = static_cast<std::uint32_t>(g.node_count());
 
   // The adjacency lists already exclude dead edges (remove_edge scrubs
   // them), so a single pass over them yields the live-only CSR with the
-  // per-node neighbor order preserved.
-  std::size_t arcs = 0;
+  // per-node neighbor order preserved. Each row is sized degree +
+  // row_slack; the slack slots sit between row_end[u] and
+  // row_offsets[u+1] and hold zeros until try_repair appends into them.
+  std::size_t capacity = 0;
   for (std::size_t u = 0; u < g.node_count(); ++u) {
-    arcs += g.neighbors(node_id{u}).size();
+    capacity += g.neighbors(node_id{u}).size() + row_slack;
   }
   out.row_offsets.resize(g.node_count() + 1);
-  out.adjacency.resize(arcs);
-  out.arc_edge.resize(arcs);
-  out.arc_forward.resize(arcs);
+  out.row_end.resize(g.node_count());
+  out.adjacency.assign(capacity, 0);
+  out.arc_edge.assign(capacity, 0);
+  out.arc_forward.assign(capacity, 0);
 
   std::uint32_t cursor = 0;
   for (std::size_t u = 0; u < g.node_count(); ++u) {
@@ -31,9 +36,11 @@ csr_graph csr_graph::build(const network_graph& g) {
           g.edge(e.edge).a == node_id{u} ? std::uint8_t{1} : std::uint8_t{0};
       ++cursor;
     }
+    out.row_end[u] = cursor;
+    cursor += row_slack;
   }
   out.row_offsets[g.node_count()] = cursor;
-  PN_CHECK(cursor == arcs);
+  PN_CHECK(cursor == capacity);
 
   out.edge_capacity.resize(g.edge_count(), 0.0);
   out.live_edge_ids.reserve(g.edge_count());
@@ -44,6 +51,83 @@ csr_graph csr_graph::build(const network_graph& g) {
     }
   }
   return out;
+}
+
+bool csr_graph::try_repair(const network_graph& g,
+                           std::span<const edge_flip> flips) {
+  if (static_cast<std::size_t>(num_nodes) != g.node_count()) return false;
+
+  // Feasibility first, mutation second: a mid-flight bail-out would leave
+  // the arrays half-patched. Down flips free a slot in each endpoint row
+  // before any up flip lands (net_edge_flips orders downs first), so the
+  // check is on the *net* per-row arc count.
+  std::vector<std::int32_t> delta(num_nodes, 0);
+  for (const edge_flip& f : flips) {
+    const int d = f.alive ? 1 : -1;
+    delta[f.a.index()] += d;
+    delta[f.b.index()] += d;
+  }
+  for (std::uint32_t u = 0; u < num_nodes; ++u) {
+    if (delta[u] == 0) continue;
+    const std::int64_t want =
+        static_cast<std::int64_t>(row_end[u]) + delta[u];
+    if (want > static_cast<std::int64_t>(row_offsets[u + 1])) return false;
+  }
+
+  auto drop_arc = [&](std::uint32_t u, std::uint32_t e) {
+    // Order-preserving shift-left, mirroring the erase/remove_if
+    // compaction network_graph::remove_edge applies to its list.
+    const std::uint32_t lo = row_offsets[u];
+    const std::uint32_t hi = row_end[u];
+    std::uint32_t k = lo;
+    while (k < hi && arc_edge[k] != e) ++k;
+    PN_CHECK_MSG(k < hi, "repair: arc for edge " << e << " missing");
+    for (std::uint32_t j = k; j + 1 < hi; ++j) {
+      adjacency[j] = adjacency[j + 1];
+      arc_edge[j] = arc_edge[j + 1];
+      arc_forward[j] = arc_forward[j + 1];
+    }
+    row_end[u] = hi - 1;
+  };
+  auto append_arc = [&](std::uint32_t u, std::uint32_t head,
+                        std::uint32_t e, std::uint8_t fwd) {
+    const std::uint32_t k = row_end[u];
+    adjacency[k] = head;
+    arc_edge[k] = e;
+    arc_forward[k] = fwd;
+    row_end[u] = k + 1;
+  };
+
+  for (const edge_flip& f : flips) {
+    const auto e = static_cast<std::uint32_t>(f.edge.index());
+    const auto a = static_cast<std::uint32_t>(f.a.index());
+    const auto b = static_cast<std::uint32_t>(f.b.index());
+    auto it = std::lower_bound(live_edge_ids.begin(), live_edge_ids.end(), e);
+    if (f.alive) {
+      // a-side first, then b-side — the order add_edge/revive_edge append.
+      append_arc(a, b, e, 1);
+      append_arc(b, a, e, 0);
+      PN_CHECK(it == live_edge_ids.end() || *it != e);
+      live_edge_ids.insert(it, e);
+    } else {
+      drop_arc(a, e);
+      drop_arc(b, e);
+      PN_CHECK(it != live_edge_ids.end() && *it == e);
+      live_edge_ids.erase(it);
+    }
+  }
+
+  // New edge ids (including ones whose add was net-cancelled by a removal)
+  // extend the dense capacity table.
+  if (g.edge_count() > edge_capacity.size()) {
+    const std::size_t old = edge_capacity.size();
+    edge_capacity.resize(g.edge_count(), 0.0);
+    for (std::size_t e = old; e < g.edge_count(); ++e) {
+      edge_capacity[e] = g.edge(edge_id{e}).capacity.value();
+    }
+  }
+  epoch = g.epoch();
+  return true;
 }
 
 }  // namespace pn

@@ -15,6 +15,14 @@
 // exactly from the adjacency lists, so algorithms that accumulate floats
 // in neighbor order produce bit-identical results on either
 // representation (asserted by tests/property/csr_property_test.cc).
+//
+// Delta path: build() can reserve per-row slack, and try_repair() applies
+// a net edge-flip set in place — removals shift a row left (the same
+// order-preserving compaction network_graph::remove_edge performs on its
+// adjacency list), additions append into the slack (where add_edge/
+// revive_edge append). A repaired snapshot is arc-for-arc identical to a
+// fresh build of the mutated graph, so float accumulation order — and
+// every downstream bit — is unchanged (asserted by csr tests).
 #pragma once
 
 #include <cstdint>
@@ -31,8 +39,11 @@ struct csr_graph {
   std::uint32_t num_nodes = 0;
 
   // Arcs: both directions of every live edge, grouped by tail node.
-  // Arc k for node u lives at indices [row_offsets[u], row_offsets[u+1]).
-  std::vector<std::uint32_t> row_offsets;  // num_nodes + 1
+  // Arc k for node u lives at indices [row_offsets[u], row_end[u]);
+  // [row_end[u], row_offsets[u+1]) is that row's unused repair slack
+  // (empty when built with row_slack = 0).
+  std::vector<std::uint32_t> row_offsets;  // num_nodes + 1 (row capacity)
+  std::vector<std::uint32_t> row_end;      // num_nodes (live arc count end)
   std::vector<std::uint32_t> adjacency;    // head node index per arc
   std::vector<std::uint32_t> arc_edge;     // edge id per arc
   std::vector<std::uint8_t> arc_forward;   // 1 iff the arc's tail is edge.a
@@ -43,20 +54,35 @@ struct csr_graph {
   std::vector<std::uint32_t> live_edge_ids;
   std::vector<double> edge_capacity;
 
-  [[nodiscard]] static csr_graph build(const network_graph& g);
+  [[nodiscard]] static csr_graph build(const network_graph& g,
+                                       std::uint32_t row_slack = 0);
+
+  // Applies the net flips of a journal window in place and bumps the
+  // epoch to g.epoch(). Returns false — leaving the snapshot untouched —
+  // when repair is impossible: the node count changed or some row's
+  // additions exceed its slack; the caller rebuilds instead.
+  [[nodiscard]] bool try_repair(const network_graph& g,
+                                std::span<const edge_flip> flips);
 
   [[nodiscard]] bool stale(const network_graph& g) const {
     return epoch != g.epoch();
   }
 
+  [[nodiscard]] std::uint32_t arc_begin(std::uint32_t u) const {
+    return row_offsets[u];
+  }
+  [[nodiscard]] std::uint32_t arc_end(std::uint32_t u) const {
+    return row_end[u];
+  }
+
   [[nodiscard]] std::span<const std::uint32_t> neighbors(
       std::uint32_t u) const {
     return {adjacency.data() + row_offsets[u],
-            adjacency.data() + row_offsets[u + 1]};
+            adjacency.data() + row_end[u]};
   }
 
   [[nodiscard]] std::uint32_t degree(std::uint32_t u) const {
-    return row_offsets[u + 1] - row_offsets[u];
+    return row_end[u] - row_offsets[u];
   }
 
   [[nodiscard]] std::size_t live_edge_count() const {

@@ -10,6 +10,10 @@ namespace pn {
 
 namespace {
 
+// Per-row repair slack the cache asks of its CSR snapshots: enough for a
+// few expansion steps between rebuilds without inflating the arrays.
+constexpr std::uint32_t kRowSlack = 4;
+
 // Multi-source BFS over up to 64 sources at once (the MS-BFS idea from
 // Then et al. / the batched sweeps in Ligra-style engines): each node
 // carries one frontier bit per source, so a level expands all sources
@@ -37,6 +41,7 @@ void fill_rows_batched(const csr_graph& g,
   }
 
   const std::uint32_t* const offsets = g.row_offsets.data();
+  const std::uint32_t* const ends = g.row_end.data();
   const std::uint32_t* const adj = g.adjacency.data();
   std::uint64_t* const vis = visited.data();
   std::uint64_t* const cur = current.data();
@@ -46,7 +51,7 @@ void fill_rows_batched(const csr_graph& g,
     for (std::size_t u = 0; u < n; ++u) {
       const std::uint64_t m = cur[u];
       if (m == 0) continue;
-      const std::uint32_t end = offsets[u + 1];
+      const std::uint32_t end = ends[u];
       for (std::uint32_t k = offsets[u]; k < end; ++k) {
         nxt[adj[k]] |= m;
       }
@@ -69,36 +74,114 @@ void fill_rows_batched(const csr_graph& g,
   }
 }
 
+// Row-survival check: the cached BFS row `d` (from some source s, taken
+// at the old epoch) still equals BFS on the *current* graph iff every
+// net flip passes its test against the current adjacency:
+//
+//   up (edge alive now): keep iff |d[a]-d[b]| <= 1 and the edge does not
+//     bridge into an unreachable region (exactly one endpoint at -1).
+//     Non-tight surviving edges carry no shortcut, so no distance can
+//     drop; a one-sided -1 would make new nodes reachable.
+//   down (edge dead now): only *tight* edges (|d[a]-d[b]| == 1, both
+//     reachable) were possible BFS-tree arcs. Keep iff the far endpoint
+//     w still has some live neighbor y with d[y] == d[w]-1 — an
+//     alternative parent certifying d[w] by induction on depth. Equal-
+//     distance edges never carried the level relation, so their removal
+//     cannot change anything.
+//
+// Both tests evaluate against the final graph only: intermediate states
+// inside the window are irrelevant because validity is equality with a
+// from-scratch BFS on the final graph (asserted exhaustively by
+// tests/property/delta_eval_property_test.cc).
+bool row_survives(const std::vector<int>& d,
+                  std::span<const edge_flip> flips,
+                  const network_graph& g) {
+  for (const edge_flip& f : flips) {
+    const int da = d[f.a.index()];
+    const int db = d[f.b.index()];
+    if (da < 0 && db < 0) continue;  // flip entirely inside the dark side
+    if (f.alive) {
+      if (da < 0 || db < 0) return false;
+      if (da - db > 1 || db - da > 1) return false;
+    } else {
+      const int diff = da - db;
+      if (diff != 1 && diff != -1) continue;  // slack edge, never a parent
+      const node_id far = diff > 0 ? f.a : f.b;
+      const int dfar = diff > 0 ? da : db;
+      bool support = false;
+      for (const auto& e : g.neighbors(far)) {
+        if (d[e.neighbor.index()] == dfar - 1) {
+          support = true;
+          break;
+        }
+      }
+      if (!support) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+void bfs_workspace::run(const csr_graph& g, std::uint32_t src,
+                        std::vector<int>& dist) {
+  // Callers seeded visited_ (all zeros, or blocked bits) and dist (-1).
+  const std::size_t n = g.num_nodes;
+  const std::size_t words = (n + 63) / 64;
+  current_.assign(words, 0);
+  next_.assign(words, 0);
+  dist[src] = 0;
+  visited_[src >> 6] |= std::uint64_t{1} << (src & 63);
+  current_[src >> 6] |= std::uint64_t{1} << (src & 63);
+
+  const std::uint32_t* const offsets = g.row_offsets.data();
+  const std::uint32_t* const ends = g.row_end.data();
+  const std::uint32_t* const adj = g.adjacency.data();
+  std::uint64_t* const vis = visited_.data();
+  std::uint64_t* const cur = current_.data();
+  std::uint64_t* const nxt = next_.data();
+  int* const d = dist.data();
+
+  for (int level = 1;; ++level) {
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t m = cur[w];
+      while (m != 0) {
+        const auto u =
+            static_cast<std::uint32_t>(w * 64) +
+            static_cast<std::uint32_t>(std::countr_zero(m));
+        m &= m - 1;
+        const std::uint32_t end = ends[u];
+        for (std::uint32_t k = offsets[u]; k < end; ++k) {
+          const std::uint32_t v = adj[k];
+          nxt[v >> 6] |= std::uint64_t{1} << (v & 63);
+        }
+      }
+    }
+    bool any = false;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t fresh = nxt[w] & ~vis[w];
+      nxt[w] = 0;
+      cur[w] = fresh;
+      if (fresh == 0) continue;
+      any = true;
+      vis[w] |= fresh;
+      while (fresh != 0) {
+        const auto v = w * 64 +
+                       static_cast<std::size_t>(std::countr_zero(fresh));
+        fresh &= fresh - 1;
+        d[v] = level;
+      }
+    }
+    if (!any) break;
+  }
+}
 
 void bfs_workspace::distances(const csr_graph& g, std::uint32_t src,
                               std::vector<int>& dist) {
   PN_CHECK(src < g.num_nodes);
   dist.assign(g.num_nodes, -1);
-  frontier_.resize(g.num_nodes);
-  // Raw pointers keep the sweep in registers: dist writes (int*) may
-  // alias the std::uint32_t arrays as far as the compiler knows, which
-  // otherwise forces a data-pointer reload per hop.
-  const std::uint32_t* const offsets = g.row_offsets.data();
-  const std::uint32_t* const adj = g.adjacency.data();
-  std::uint32_t* const frontier = frontier_.data();
-  int* const d = dist.data();
-  std::uint32_t head = 0;
-  std::uint32_t tail = 0;
-  d[src] = 0;
-  frontier[tail++] = src;
-  while (head < tail) {
-    const std::uint32_t u = frontier[head++];
-    const int du = d[u];
-    const std::uint32_t end = offsets[u + 1];
-    for (std::uint32_t k = offsets[u]; k < end; ++k) {
-      const std::uint32_t v = adj[k];
-      if (d[v] == -1) {
-        d[v] = du + 1;
-        frontier[tail++] = v;
-      }
-    }
-  }
+  visited_.assign((g.num_nodes + 63) / 64, 0);
+  run(g, src, dist);
 }
 
 void bfs_workspace::distances_masked(const csr_graph& g, std::uint32_t src,
@@ -108,41 +191,59 @@ void bfs_workspace::distances_masked(const csr_graph& g, std::uint32_t src,
   PN_CHECK(blocked.size() >= g.num_nodes);
   dist.assign(g.num_nodes, -1);
   if (blocked[src] != 0) return;
-  frontier_.resize(g.num_nodes);
-  const std::uint32_t* const offsets = g.row_offsets.data();
-  const std::uint32_t* const adj = g.adjacency.data();
-  const std::uint8_t* const block = blocked.data();
-  std::uint32_t* const frontier = frontier_.data();
-  int* const d = dist.data();
-  std::uint32_t head = 0;
-  std::uint32_t tail = 0;
-  d[src] = 0;
-  frontier[tail++] = src;
-  while (head < tail) {
-    const std::uint32_t u = frontier[head++];
-    const int du = d[u];
-    const std::uint32_t end = offsets[u + 1];
-    for (std::uint32_t k = offsets[u]; k < end; ++k) {
-      const std::uint32_t v = adj[k];
-      if (d[v] == -1 && block[v] == 0) {
-        d[v] = du + 1;
-        frontier[tail++] = v;
-      }
-    }
+  // Blocked nodes are pre-marked visited: never entered, never labeled.
+  visited_.assign((g.num_nodes + 63) / 64, 0);
+  for (std::uint32_t u = 0; u < g.num_nodes; ++u) {
+    if (blocked[u] != 0) visited_[u >> 6] |= std::uint64_t{1} << (u & 63);
   }
+  run(g, src, dist);
 }
 
 distance_cache::distance_cache(const network_graph& g) : g_(&g) {
-  csr_ = csr_graph::build(g);
+  csr_ = csr_graph::build(g, kRowSlack);
   rows_.resize(g.node_count());
   row_valid_.assign(g.node_count(), 0);
+  row_version_.assign(g.node_count(), 0);
+}
+
+void distance_cache::invalidate_all_rows() {
+  for (std::size_t u = 0; u < row_valid_.size(); ++u) {
+    if (row_valid_[u] == 0) continue;
+    row_valid_[u] = 0;
+    ++row_version_[u];
+  }
+  rows_.resize(g_->node_count());
+  row_valid_.resize(g_->node_count(), 0);
+  row_version_.resize(g_->node_count(), 0);
 }
 
 void distance_cache::refresh() {
   if (!csr_.stale(*g_)) return;
-  csr_ = csr_graph::build(*g_);
-  rows_.assign(g_->node_count(), {});
-  row_valid_.assign(g_->node_count(), 0);
+  const auto window = g_->deltas_since(csr_.epoch);
+  if (!window.has_value()) {
+    // Torn journal (compaction or a node add): wholesale fallback.
+    csr_ = csr_graph::build(*g_, kRowSlack);
+    invalidate_all_rows();
+    ++full_invalidations_;
+    return;
+  }
+  const std::vector<edge_flip> flips = net_edge_flips(*window);
+  if (!csr_.try_repair(*g_, flips)) {
+    // Slack exhausted: re-snapshot, but rows are still judged per flip —
+    // their validity never depended on the CSR layout.
+    csr_ = csr_graph::build(*g_, kRowSlack);
+  }
+  ++delta_refreshes_;
+  for (std::size_t u = 0; u < row_valid_.size(); ++u) {
+    if (row_valid_[u] == 0) continue;
+    if (row_survives(rows_[u], flips, *g_)) {
+      ++rows_kept_;
+      continue;
+    }
+    row_valid_[u] = 0;
+    ++row_version_[u];
+    ++rows_dropped_;
+  }
 }
 
 const csr_graph& distance_cache::csr() {
@@ -153,6 +254,7 @@ const csr_graph& distance_cache::csr() {
 void distance_cache::fill_row(std::uint32_t src, bfs_workspace& ws) {
   ws.distances(csr_, src, rows_[src]);
   row_valid_[src] = 1;
+  ++row_version_[src];
 }
 
 const std::vector<int>& distance_cache::row(node_id src) {
@@ -166,6 +268,11 @@ const std::vector<int>& distance_cache::row(node_id src) {
     fill_row(i, ws_);
   }
   return rows_[i];
+}
+
+std::uint64_t distance_cache::row_version(node_id src) const {
+  PN_CHECK(src.index() < row_version_.size());
+  return row_version_[src.index()];
 }
 
 void distance_cache::warm_all(std::span<const node_id> sources, int threads) {
@@ -198,7 +305,10 @@ void distance_cache::fill_batch(const std::vector<std::uint32_t>& todo,
   std::vector<int>* rows[64];
   for (std::size_t k = lo; k < hi; ++k) rows[k - lo] = &rows_[todo[k]];
   fill_rows_batched(csr_, std::span(todo).subspan(lo, hi - lo), rows);
-  for (std::size_t k = lo; k < hi; ++k) row_valid_[todo[k]] = 1;
+  for (std::size_t k = lo; k < hi; ++k) {
+    row_valid_[todo[k]] = 1;
+    ++row_version_[todo[k]];
+  }
 }
 
 void distance_cache::warm_all(std::span<const node_id> sources,

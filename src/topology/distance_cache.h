@@ -1,19 +1,26 @@
-// Reusable BFS workspace and a per-graph-epoch distance-row cache.
+// Reusable BFS workspace and a delta-aware per-graph-epoch distance-row
+// cache.
 //
 // Every metric in the topology hot path (path-length stats, ECMP loads,
 // path counts, bisection seeding, repair reachability) needs "hop
 // distances from node s" — and within one evaluation they keep asking for
 // the *same* rows: the host-facing switches. bfs_workspace makes one BFS
-// allocation-free after warm-up (flat ring-buffer frontier, no std::queue
-// node churn); distance_cache memoizes whole rows keyed on
-// (source, graph epoch) so the second consumer of a row pays a lookup,
-// not a traversal.
+// allocation-free after warm-up (word-parallel bitset frontier, the
+// single-source cut of the MS-BFS batch sweep below); distance_cache
+// memoizes whole rows keyed on (source, graph epoch) so the second
+// consumer of a row pays a lookup, not a traversal.
 //
 // Staleness is impossible by construction: every access re-checks the
-// graph's mutation epoch and drops the snapshot plus all rows when it
-// moved (tests/topology/csr_test.cc asserts this). The cache is not
-// internally synchronized — share it within one evaluation thread, or
-// fill it up front with warm_all() and then treat it as read-only.
+// graph's mutation epoch. When the epoch moved, the cache first asks the
+// graph's edge-diff journal for the net flips since its snapshot. If the
+// window is intact it *repairs* instead of rebuilding: the CSR is patched
+// in place (csr_graph::try_repair) and each cached row is kept iff the
+// flips provably cannot change it — see DESIGN.md §12 for the invariant
+// and its proof sketch. A torn journal (compaction, node adds) or
+// exhausted CSR slack falls back to the wholesale rebuild, never UB.
+// The cache is not internally synchronized — share it within one
+// evaluation thread, or fill it up front with warm_all() and then treat
+// it as read-only.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +35,12 @@ namespace pn {
 
 class thread_pool;
 
-// Flat single-source BFS over a CSR snapshot. The frontier is an index
-// ring laid out in one vector sized to the node count; repeated runs
-// reuse the storage.
+// Single-source BFS over a CSR snapshot using a word-parallel bitset
+// frontier: visited/current/next are one bit per node, packed 64 per
+// word, and each level drains the current words with countr_zero. Level
+// sets are unique, so the rows match the flat-queue form bit for bit —
+// this replaced the old ring-buffer frontier, which trailed the
+// adjacency-list reference on small graphs (bm_bfs_csr/16).
 class bfs_workspace {
  public:
   // Fills dist (resized to g.num_nodes) with hop counts from src; -1 for
@@ -48,7 +58,11 @@ class bfs_workspace {
                         std::vector<int>& dist);
 
  private:
-  std::vector<std::uint32_t> frontier_;
+  void run(const csr_graph& g, std::uint32_t src, std::vector<int>& dist);
+
+  std::vector<std::uint64_t> visited_;
+  std::vector<std::uint64_t> current_;
+  std::vector<std::uint64_t> next_;
 };
 
 // Lazily-filled all-sources distance table over one network_graph.
@@ -56,14 +70,15 @@ class bfs_workspace {
 // row(s) computes and memoizes the BFS row for s at the current graph
 // epoch; warm_all() fills many rows in parallel (each worker gets its own
 // bfs_workspace; rows are disjoint slots, so no synchronization is
-// needed beyond the pool's join). After any graph mutation the next
-// access observes the epoch change, rebuilds the CSR snapshot, and
-// discards every cached row.
+// needed beyond the pool's join). After a graph mutation the next access
+// repairs the snapshot from the edge-diff journal and keeps every row
+// the flips cannot have changed; rows that might have changed are
+// dropped and refilled on demand.
 class distance_cache {
  public:
   explicit distance_cache(const network_graph& g);
 
-  // The CSR snapshot, rebuilt first if the graph mutated.
+  // The CSR snapshot, repaired/rebuilt first if the graph mutated.
   [[nodiscard]] const csr_graph& csr();
 
   // Distance row from src, computed on first use. The reference is valid
@@ -79,15 +94,33 @@ class distance_cache {
   // Same, submitting one task per batch to an existing pool.
   void warm_all(std::span<const node_id> sources, thread_pool& pool);
 
+  // Monotonic per-row change counter: bumped whenever the row's contents
+  // may differ from what a previous reader saw (invalidation or refill).
+  // Incremental consumers cache the version at read time and recompute
+  // their derived state only for rows whose version moved.
+  [[nodiscard]] std::uint64_t row_version(node_id src) const;
+
   // Observability: rows currently cached, and row() calls served from /
   // missing the cache since construction.
   [[nodiscard]] std::size_t rows_cached() const;
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
+  // Delta-refresh accounting: epoch moves absorbed via the journal, rows
+  // carried across them untouched vs dropped, and wholesale fallbacks
+  // (torn journal / node adds / slack exhausted + rebuilt CSR).
+  [[nodiscard]] std::size_t delta_refreshes() const {
+    return delta_refreshes_;
+  }
+  [[nodiscard]] std::size_t rows_kept() const { return rows_kept_; }
+  [[nodiscard]] std::size_t rows_dropped() const { return rows_dropped_; }
+  [[nodiscard]] std::size_t full_invalidations() const {
+    return full_invalidations_;
+  }
 
  private:
-  // Re-snapshots and clears all rows if the graph epoch moved.
+  // Repairs or re-snapshots, dropping rows as needed, if the epoch moved.
   void refresh();
+  void invalidate_all_rows();
   void fill_row(std::uint32_t src, bfs_workspace& ws);
   // Fills batch `batch_index` (64 sources) of `todo` via multi-source BFS.
   void fill_batch(const std::vector<std::uint32_t>& todo,
@@ -97,9 +130,14 @@ class distance_cache {
   csr_graph csr_;
   std::vector<std::vector<int>> rows_;   // indexed by node
   std::vector<std::uint8_t> row_valid_;  // indexed by node
+  std::vector<std::uint64_t> row_version_;
   bfs_workspace ws_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t delta_refreshes_ = 0;
+  std::size_t rows_kept_ = 0;
+  std::size_t rows_dropped_ = 0;
+  std::size_t full_invalidations_ = 0;
 };
 
 }  // namespace pn

@@ -36,6 +36,7 @@ std::string to_dot(const network_graph& g, const dot_options& opt) {
   }
 
   if (opt.merge_parallel) {
+    // pn_lint: allow(hot-assoc) export writes edges in key order by contract
     std::map<std::pair<node_id, node_id>, std::pair<int, double>> merged;
     for (edge_id e : g.live_edges()) {
       const edge_info& info = g.edge(e);

@@ -1,6 +1,7 @@
 #include "topology/graph.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -36,6 +37,11 @@ node_id network_graph::add_node(node_info info) {
   nodes_.push_back(std::move(info));
   adj_.emplace_back();
   ++epoch_;
+  // A node add has no edge_delta representation and resizes every
+  // per-node structure downstream: tear the journal so delta consumers
+  // fall back to a full rebuild.
+  journal_.clear();
+  journal_floor_ = epoch_;
   return node_id{nodes_.size() - 1};
 }
 
@@ -52,6 +58,7 @@ edge_id network_graph::add_edge(edge_info e) {
   adj_[e.a.index()].push_back({e.b, id});
   adj_[e.b.index()].push_back({e.a, id});
   ++epoch_;
+  journal_append(id, edge_delta_kind::added);
   return id;
 }
 
@@ -130,6 +137,96 @@ void network_graph::remove_edge(edge_id e) {
   scrub(info.a);
   scrub(info.b);
   ++epoch_;
+  journal_append(e, edge_delta_kind::removed);
+}
+
+void network_graph::revive_edge(edge_id e) {
+  PN_CHECK(e.index() < edges_.size());
+  PN_CHECK_MSG(edge_dead_[e.index()], "edge is already alive");
+  edge_dead_[e.index()] = false;
+  const edge_info& info = edges_[e.index()];
+  adj_[info.a.index()].push_back({info.b, e});
+  adj_[info.b.index()].push_back({info.a, e});
+  ++epoch_;
+  journal_append(e, edge_delta_kind::revived);
+}
+
+void network_graph::journal_append(edge_id e, edge_delta_kind kind) {
+  if (journal_.size() >= journal_capacity_) {
+    // Drop the oldest half in one move; the floor advances past them.
+    const std::size_t drop = journal_.size() / 2 + 1;
+    journal_.erase(journal_.begin(),
+                   journal_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  const edge_info& info = edges_[e.index()];
+  journal_.push_back(edge_delta{e, kind, info.a, info.b});
+  journal_floor_ = epoch_ - journal_.size();
+}
+
+std::optional<std::span<const edge_delta>> network_graph::deltas_since(
+    std::uint64_t epoch) const {
+  PN_CHECK(epoch <= epoch_);
+  if (epoch < journal_floor_) return std::nullopt;  // torn window
+  const auto skip = static_cast<std::size_t>(epoch - journal_floor_);
+  return std::span<const edge_delta>(journal_).subspan(skip);
+}
+
+void network_graph::set_journal_capacity(std::size_t cap) {
+  PN_CHECK(cap >= 1);
+  journal_capacity_ = cap;
+  if (journal_.size() > cap) {
+    const std::size_t drop = journal_.size() - cap;
+    journal_.erase(journal_.begin(),
+                   journal_.begin() + static_cast<std::ptrdiff_t>(drop));
+    journal_floor_ = epoch_ - journal_.size();
+  }
+}
+
+std::vector<edge_flip> net_edge_flips(std::span<const edge_delta> deltas) {
+  // Group the window's entries per edge, preserving arrival order inside
+  // each group: the first entry tells the prior state, the last tells the
+  // final state (and, for edges that end alive, where they now sit in the
+  // adjacency lists).
+  std::vector<std::size_t> idx(deltas.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return deltas[x].edge < deltas[y].edge;
+                   });
+
+  std::vector<edge_flip> down;
+  std::vector<std::pair<std::size_t, edge_flip>> up;  // (last seq, flip)
+  for (std::size_t i = 0; i < idx.size();) {
+    std::size_t j = i;
+    while (j < idx.size() && deltas[idx[j]].edge == deltas[idx[i]].edge) ++j;
+    const edge_delta& first = deltas[idx[i]];
+    const std::size_t last_seq = idx[j - 1];
+    const edge_delta& last = deltas[last_seq];
+    const bool prior_alive = first.kind == edge_delta_kind::removed;
+    const bool final_alive = last.kind != edge_delta_kind::removed;
+    if (final_alive) {
+      // Any touched edge that ends alive was (re)appended at last_seq, so
+      // its position changed; if it also existed before, emit the down
+      // flip that vacates its old slot.
+      if (prior_alive) {
+        down.push_back(edge_flip{first.edge, first.a, first.b, false});
+      }
+      up.emplace_back(last_seq,
+                      edge_flip{last.edge, last.a, last.b, true});
+    } else if (prior_alive) {
+      down.push_back(edge_flip{first.edge, first.a, first.b, false});
+    }
+    // prior dead/nonexistent and final dead: invisible to consumers.
+    i = j;
+  }
+  std::sort(up.begin(), up.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  std::vector<edge_flip> out;
+  out.reserve(down.size() + up.size());
+  out.insert(out.end(), down.begin(), down.end());
+  for (const auto& [seq, flip] : up) out.push_back(flip);
+  return out;
 }
 
 bool network_graph::edge_alive(edge_id e) const {

@@ -20,6 +20,41 @@
 
 namespace pn {
 
+// One edge-journal entry: which edge flipped and how. Endpoints are
+// denormalized so delta consumers never re-look-up edge_info.
+enum class edge_delta_kind : std::uint8_t {
+  added,    // brand-new edge id came into existence (alive)
+  removed,  // live edge marked dead
+  revived,  // dead edge brought back (re-appended to adjacency lists)
+};
+
+struct edge_delta {
+  edge_id edge;
+  edge_delta_kind kind;
+  node_id a;
+  node_id b;
+};
+
+// The *net* effect of a delta window on one edge: `alive` is the final
+// state, and the prior state is the opposite (no-net-change edges are
+// dropped). An edge that was removed and later revived within the window
+// yields BOTH a down flip and an up flip — its adjacency-list position
+// moved to the end, and consumers that preserve neighbor order (CSR
+// repair, ECMP dirtiness) must see the move even though liveness is
+// unchanged. Ordering contract: down flips first (ascending edge id),
+// then up flips in the order the edges were (re)appended to the
+// adjacency lists — replaying ups in output order reproduces the
+// graph's current neighbor order exactly.
+struct edge_flip {
+  edge_id edge;
+  node_id a;
+  node_id b;
+  bool alive = false;  // final state: true = came up, false = went down
+};
+
+[[nodiscard]] std::vector<edge_flip> net_edge_flips(
+    std::span<const edge_delta> deltas);
+
 enum class node_kind : std::uint8_t {
   tor,           // top-of-rack / leaf (has host-facing ports)
   aggregation,   // pod/agg-block middle stage
@@ -91,8 +126,29 @@ class network_graph {
   // Removes an edge (marks it dead; ids remain stable). Dead edges are
   // skipped by neighbors()/degree(). Used by rewiring planners.
   void remove_edge(edge_id e);
+  // Brings a dead edge back. Its adjacency entries are re-appended at the
+  // end of both endpoint lists — exactly where a fresh add_edge would put
+  // them — so order-sensitive consumers (CSR, ECMP) see a revived edge
+  // and a re-added edge identically.
+  void revive_edge(edge_id e);
   [[nodiscard]] bool edge_alive(edge_id e) const;
   [[nodiscard]] std::vector<edge_id> live_edges() const;
+
+  // ---- edge-diff journal ------------------------------------------------
+  // Every edge mutation (add/remove/revive) appends one edge_delta; the
+  // journal entries cover epochs (journal_floor(), epoch()]. deltas_since
+  // returns the suffix of entries after `epoch`, or nullopt when the
+  // window is torn — `epoch` predates the compaction floor, which moves
+  // forward when the journal overflows its capacity or when add_node
+  // bumps the epoch without an edge entry (node adds resize every
+  // per-node structure; delta consumers must rebuild). A torn window is
+  // a fallback signal, never UB.
+  [[nodiscard]] std::optional<std::span<const edge_delta>> deltas_since(
+      std::uint64_t epoch) const;
+  [[nodiscard]] std::uint64_t journal_floor() const { return journal_floor_; }
+  // Caps the journal length (oldest entries are dropped, raising the
+  // floor). Mainly for tests exercising the torn-window fallback.
+  void set_journal_capacity(std::size_t cap);
 
   // True if an edge a-b (either direction, alive) exists.
   [[nodiscard]] bool has_edge_between(node_id a, node_id b) const;
@@ -105,11 +161,17 @@ class network_graph {
   std::string family;
 
  private:
+  void journal_append(edge_id e, edge_delta_kind kind);
+
   std::vector<node_info> nodes_;
   std::vector<edge_info> edges_;
   std::vector<bool> edge_dead_;
   std::vector<std::vector<adjacency_entry>> adj_;  // maintained eagerly
   std::uint64_t epoch_ = 0;
+  // Entry i covers epoch journal_floor_ + i + 1; see deltas_since().
+  std::vector<edge_delta> journal_;
+  std::uint64_t journal_floor_ = 0;
+  std::size_t journal_capacity_ = 4096;
 };
 
 }  // namespace pn

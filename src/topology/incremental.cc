@@ -1,0 +1,140 @@
+#include "topology/incremental.h"
+
+#include "common/check.h"
+
+namespace pn {
+
+incremental_metrics::incremental_metrics(const network_graph& g,
+                                         gbps traffic_per_host)
+    : g_(&g),
+      traffic_per_host_(traffic_per_host),
+      dcache_(g),
+      endpoints_(g.host_facing_nodes()),
+      tm_(uniform_traffic(g, traffic_per_host)) {
+  PN_CHECK_MSG(!endpoints_.empty(), "graph has no host-facing nodes");
+  const std::size_t s = endpoints_.size();
+  hist_.resize(s);
+  hist_valid_.assign(s, 0);
+  hist_version_.assign(s, 0);
+  hist_total_.assign(g.node_count(), 0);
+  contrib_ab_.resize(s);
+  contrib_ba_.resize(s);
+  contrib_valid_.assign(s, 0);
+  contrib_version_.assign(s, 0);
+}
+
+path_length_stats incremental_metrics::path_stats() {
+  PN_CHECK_MSG(g_->node_count() == hist_total_.size(),
+               "node set changed under incremental_metrics");
+  dcache_.warm_all(endpoints_, 1);
+  const std::size_t n = g_->node_count();
+  for (std::size_t si = 0; si < endpoints_.size(); ++si) {
+    const node_id s = endpoints_[si];
+    const std::uint64_t v = dcache_.row_version(s);
+    if (hist_valid_[si] != 0 && hist_version_[si] == v) continue;
+    const std::vector<int>& row = dcache_.row(s);
+    std::vector<std::uint64_t>& h = hist_[si];
+    if (hist_valid_[si] != 0) {
+      // Retire this source's old contribution; integer counts make the
+      // subtract/re-add exact and order-independent.
+      for (std::size_t k = 0; k < h.size(); ++k) hist_total_[k] -= h[k];
+    }
+    h.assign(n, 0);
+    for (node_id t : endpoints_) {
+      if (t == s) continue;
+      const int dt = row[t.index()];
+      PN_CHECK_MSG(dt >= 0, "graph is disconnected");
+      ++h[static_cast<std::size_t>(dt)];
+    }
+    for (std::size_t k = 0; k < n; ++k) hist_total_[k] += h[k];
+    hist_valid_[si] = 1;
+    hist_version_[si] = v;
+    ++stat_sources_recomputed_;
+  }
+  const auto pairs = static_cast<std::uint64_t>(endpoints_.size()) *
+                     static_cast<std::uint64_t>(endpoints_.size() - 1);
+  PN_CHECK_MSG(pairs > 0, "need at least two host-facing nodes");
+  return path_stats_from_hop_counts(hist_total_, pairs);
+}
+
+link_load_report incremental_metrics::ecmp_loads() {
+  dcache_.warm_all(endpoints_, 1);
+  const std::uint64_t now = g_->epoch();
+  const std::size_t edges = g_->edge_count();
+
+  // Net flips since the epoch all valid contributions are current for; a
+  // torn window dirties everything (conservative, never wrong).
+  bool torn = !ecmp_epoch_.has_value();
+  std::vector<edge_flip> flips;
+  if (!torn && *ecmp_epoch_ != now) {
+    const auto window = g_->deltas_since(*ecmp_epoch_);
+    if (window.has_value()) {
+      flips = net_edge_flips(*window);
+    } else {
+      torn = true;
+    }
+  }
+
+  for (std::size_t ti = 0; ti < endpoints_.size(); ++ti) {
+    const node_id t = endpoints_[ti];
+    const std::vector<int>& row = dcache_.row(t);
+    const std::uint64_t v = dcache_.row_version(t);
+    bool dirty =
+        torn || contrib_valid_[ti] == 0 || contrib_version_[ti] != v;
+    if (!dirty) {
+      for (const edge_flip& f : flips) {
+        const int da = row[f.a.index()];
+        const int db = row[f.b.index()];
+        if (da < 0 || db < 0) continue;  // no flow enters the dark side
+        const int diff = da - db;
+        if (diff == 1 || diff == -1) {  // tight: a downhill arc moved
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (dirty) {
+      contrib_ab_[ti].assign(edges, 0.0);
+      contrib_ba_[ti].assign(edges, 0.0);
+      accumulate_ecmp_dest_loads(dcache_.csr(), row, tm_, ti, scratch_,
+                                 contrib_ab_[ti].data(),
+                                 contrib_ba_[ti].data());
+      contrib_valid_[ti] = 1;
+      contrib_version_[ti] = v;
+      ++ecmp_dests_recomputed_;
+    } else if (contrib_ab_[ti].size() != edges) {
+      // Edges added since this contribution was computed carry no flow
+      // for it (they are not tight in this row), so extend with zeros.
+      contrib_ab_[ti].resize(edges, 0.0);
+      contrib_ba_[ti].resize(edges, 0.0);
+    }
+  }
+  ecmp_epoch_ = now;
+
+  // Re-accumulate totals in ascending destination order. Each directed
+  // arc receives at most one share per destination, contributions are
+  // nonnegative, and x + 0.0 == x bitwise for nonnegative x — so this
+  // sum replays the reference's float additions exactly (the zeros
+  // interleaved for non-contributing destinations change no bits).
+  link_load_report out;
+  out.loads_ab.assign(edges, 0.0);
+  out.loads_ba.assign(edges, 0.0);
+  double* const ab = out.loads_ab.data();
+  double* const ba = out.loads_ba.data();
+  for (std::size_t ti = 0; ti < endpoints_.size(); ++ti) {
+    const double* const cab = contrib_ab_[ti].data();
+    const double* const cba = contrib_ba_[ti].data();
+    for (std::size_t e = 0; e < edges; ++e) {
+      ab[e] += cab[e];
+      ba[e] += cba[e];
+    }
+  }
+  finalize_link_loads(*g_, out);
+  return out;
+}
+
+throughput_result incremental_metrics::ecmp_throughput() {
+  return throughput_from_link_loads(*g_, ecmp_loads());
+}
+
+}  // namespace pn

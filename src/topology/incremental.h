@@ -1,0 +1,104 @@
+// Delta-aware incremental evaluation of the topology hot metrics.
+//
+// The lifetime scenarios the paper cares about (expansion, repair,
+// migration, decommission) mutate a handful of edges per step, then ask
+// for the same global metrics again. incremental_metrics binds to one
+// evolving graph and maintains, across mutations:
+//
+//   * a persistent distance_cache whose rows survive mutations that
+//     provably cannot change them (see distance_cache / DESIGN.md §12);
+//   * per-source path-length histograms over host-facing targets, with a
+//     running global histogram updated by subtract-old/add-new for the
+//     sources whose rows actually changed — integer arithmetic, so the
+//     total is order-independent and the derived float stats go through
+//     the same path_stats_from_hop_counts expressions as the reference;
+//   * per-destination ECMP contribution arrays re-accumulated into total
+//     loads in ascending destination order — the reference's exact float
+//     addition order, so the loads are bit-identical.
+//
+// Bit-identity against the from-scratch implementations is the contract,
+// not an aspiration: tests/property/delta_eval_property_test.cc drives
+// thousands of randomized mutate/evaluate interleavings and compares
+// every output bit.
+//
+// Not internally synchronized; use from one thread, like distance_cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "topology/distance_cache.h"
+#include "topology/graph.h"
+#include "topology/metrics.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+
+class incremental_metrics {
+ public:
+  // Binds to `g` (whose node set must stay fixed while bound; edge
+  // mutations are what this class is for). `traffic_per_host` configures
+  // the uniform traffic matrix used by ecmp_loads()/ecmp_throughput() —
+  // the same matrix uniform_traffic(g, rate) builds.
+  incremental_metrics(const network_graph& g, gbps traffic_per_host);
+
+  [[nodiscard]] const network_graph& graph() const { return *g_; }
+  [[nodiscard]] distance_cache& dcache() { return dcache_; }
+  [[nodiscard]] gbps traffic_per_host() const { return traffic_per_host_; }
+
+  // Bit-identical to compute_path_length_stats(g, cache).
+  [[nodiscard]] path_length_stats path_stats();
+
+  // Bit-identical to compute_ecmp_loads(g, uniform_traffic(g, rate)) /
+  // ecmp_throughput(...) on the current graph.
+  [[nodiscard]] link_load_report ecmp_loads();
+  [[nodiscard]] throughput_result ecmp_throughput();
+
+  // Observability: how much work the deltas actually forced.
+  [[nodiscard]] std::size_t stat_sources_recomputed() const {
+    return stat_sources_recomputed_;
+  }
+  [[nodiscard]] std::size_t ecmp_dests_recomputed() const {
+    return ecmp_dests_recomputed_;
+  }
+
+ private:
+  const network_graph* g_;
+  gbps traffic_per_host_;
+  distance_cache dcache_;
+  std::vector<node_id> endpoints_;  // host-facing, fixed while bound
+  traffic_matrix tm_;
+
+  // Path-stat state: per-source histograms over host-facing targets and
+  // their running sum. hist_version_[si] is the dcache row version the
+  // histogram was computed from; rows whose version did not move have
+  // bit-identical contents, so their histograms are reused as-is.
+  std::vector<std::vector<std::uint64_t>> hist_;       // [si][hop]
+  std::vector<std::uint8_t> hist_valid_;               // [si]
+  std::vector<std::uint64_t> hist_version_;            // [si]
+  std::vector<std::uint64_t> hist_total_;              // [hop]
+
+  // ECMP state: per-destination directed contribution arrays (dense over
+  // edge ids) and the row version each was computed from. ecmp_epoch_ is
+  // the graph epoch every valid contribution is current for (each
+  // ecmp_loads() call brings all of them to the same epoch); nullopt
+  // until the first call. A destination is recomputed when its row
+  // version moved, or when a net flip since ecmp_epoch_ is *tight* in
+  // its (unchanged) row — only tight edges are downhill arcs and can
+  // carry or split flow.
+  std::vector<std::vector<double>> contrib_ab_;        // [ti][edge]
+  std::vector<std::vector<double>> contrib_ba_;        // [ti][edge]
+  std::vector<std::uint8_t> contrib_valid_;            // [ti]
+  std::vector<std::uint64_t> contrib_version_;         // [ti]
+  std::optional<std::uint64_t> ecmp_epoch_;
+  ecmp_dest_scratch scratch_;
+
+  std::size_t stat_sources_recomputed_ = 0;
+  std::size_t ecmp_dests_recomputed_ = 0;
+};
+
+}  // namespace pn

@@ -66,7 +66,12 @@ path_length_stats compute_path_length_stats(const network_graph& g,
   const auto pairs = static_cast<std::uint64_t>(sources.size()) *
                      static_cast<std::uint64_t>(sources.size() - 1);
   PN_CHECK_MSG(pairs > 0, "need at least two host-facing nodes");
+  return path_stats_from_hop_counts(count, pairs);
+}
 
+path_length_stats path_stats_from_hop_counts(
+    std::span<const std::uint64_t> count, std::uint64_t pairs) {
+  PN_CHECK(pairs > 0);
   path_length_stats out;
   std::uint64_t total_hops = 0;
   for (std::size_t h = 0; h < count.size(); ++h) {
@@ -160,8 +165,8 @@ double spectral_lambda2(const network_graph& g, distance_cache& cache,
     std::fill(next.begin(), next.end(), 0.0);
     for (std::uint32_t i = 0; i < csr.num_nodes; ++i) {
       const double share = v[i] / deg[i];
-      const std::uint32_t end = csr.row_offsets[i + 1];
-      for (std::uint32_t k = csr.row_offsets[i]; k < end; ++k) {
+      const std::uint32_t end = csr.arc_end(i);
+      for (std::uint32_t k = csr.arc_begin(i); k < end; ++k) {
         next[csr.adjacency[k]] += share;
       }
     }
@@ -207,8 +212,8 @@ bisection_estimate estimate_bisection(const network_graph& g,
     ++size_a;
     while (size_a < n / 2 && head < tail) {
       const std::uint32_t u = frontier[head++];
-      const std::uint32_t end = csr.row_offsets[u + 1];
-      for (std::uint32_t k = csr.row_offsets[u]; k < end; ++k) {
+      const std::uint32_t end = csr.arc_end(u);
+      for (std::uint32_t k = csr.arc_begin(u); k < end; ++k) {
         if (size_a >= n / 2) break;
         const std::uint32_t v = csr.adjacency[k];
         if (!in_a[v]) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,6 +38,15 @@ struct path_length_stats {
     const network_graph& g);
 [[nodiscard]] path_length_stats compute_path_length_stats(
     const network_graph& g, distance_cache& cache);
+
+// The shared tail of both the from-scratch and the incremental path-stat
+// computations: derive mean/diameter/p99/histogram from an integer
+// histogram of pair distances (count[h] = ordered host-facing pairs at
+// hop count h; pairs = their total). Keeping one copy of these float
+// expressions is what makes incremental_metrics::path_stats()
+// bit-identical to compute_path_length_stats by construction.
+[[nodiscard]] path_length_stats path_stats_from_hop_counts(
+    std::span<const std::uint64_t> count, std::uint64_t pairs);
 
 // Estimate of the second-largest eigenvalue modulus of the degree-
 // normalized adjacency matrix via power iteration with deflation of the

@@ -14,6 +14,7 @@ namespace {
 // BFS shortest path avoiding masked nodes/edges; empty if unreachable.
 node_path bfs_path(const network_graph& g, node_id s, node_id t,
                    const std::vector<bool>& node_masked,
+                   // pn_lint: allow(hot-assoc) sparse Yen's-mask lookups, not per-node state
                    const std::set<std::pair<node_id, node_id>>& edge_masked) {
   if (node_masked[s.index()] || node_masked[t.index()]) return {};
   std::vector<node_id> prev(g.node_count(), node_id{});
@@ -60,6 +61,7 @@ std::vector<node_path> k_shortest_paths(const network_graph& g, node_id s,
   result.push_back(first);
 
   // Candidate set ordered by (length, path) for determinism.
+  // pn_lint: allow(hot-assoc) ordered iteration is the determinism contract
   std::set<std::pair<std::size_t, node_path>> candidates;
 
   while (static_cast<int>(result.size()) < k) {
@@ -71,6 +73,7 @@ std::vector<node_path> k_shortest_paths(const network_graph& g, node_id s,
       const node_path root(last.begin(),
                            last.begin() + static_cast<std::ptrdiff_t>(i + 1));
 
+      // pn_lint: allow(hot-assoc) tiny per-spur mask, ordered for determinism
       std::set<std::pair<node_id, node_id>> masked_edges;
       for (const node_path& p : result) {
         if (p.size() > i &&

@@ -8,10 +8,8 @@
 
 namespace pn {
 
-namespace {
-
-// Shared tail of both ECMP implementations: max/mean over live edges.
-void finish_load_report(const network_graph& g, link_load_report& out) {
+// Shared tail of every load computation: max/mean over live edges.
+void finalize_link_loads(const network_graph& g, link_load_report& out) {
   double total = 0.0;
   std::size_t live = 0;
   for (edge_id e : g.live_edges()) {
@@ -22,8 +20,6 @@ void finish_load_report(const network_graph& g, link_load_report& out) {
   }
   out.mean_load = live > 0 ? total / static_cast<double>(live) : 0.0;
 }
-
-}  // namespace
 
 link_load_report compute_ecmp_loads_reference(const network_graph& g,
                                               const traffic_matrix& tm) {
@@ -95,7 +91,7 @@ link_load_report compute_ecmp_loads_reference(const network_graph& g,
     }
   }
 
-  finish_load_report(g, out);
+  finalize_link_loads(g, out);
   return out;
 }
 
@@ -103,6 +99,101 @@ link_load_report compute_ecmp_loads(const network_graph& g,
                                     const traffic_matrix& tm) {
   distance_cache cache(g);
   return compute_ecmp_loads(g, tm, cache);
+}
+
+// One destination of the CSR ECMP sweep. The structure (far-to-near over
+// distance buckets, neighbors in adjacency order) matches
+// compute_ecmp_loads_reference exactly, so the float accumulation order —
+// and thus every output bit — is identical.
+bool accumulate_ecmp_dest_loads(const csr_graph& csr,
+                                const std::vector<int>& dist,
+                                const traffic_matrix& tm, std::size_t ti,
+                                ecmp_dest_scratch& scratch, double* ab,
+                                double* ba) {
+  const auto& eps = tm.endpoints();
+  const std::size_t n = csr.num_nodes;
+  scratch.inflow.assign(n, 0.0);
+  scratch.order.resize(n);
+  double* const inf = scratch.inflow.data();
+  const int* const dp = dist.data();
+  const std::uint32_t* const offsets = csr.row_offsets.data();
+  const std::uint32_t* const row_end = csr.row_end.data();
+  const std::uint32_t* const adj = csr.adjacency.data();
+  const std::uint32_t* const arc_edge = csr.arc_edge.data();
+  const std::uint8_t* const arc_fwd = csr.arc_forward.data();
+
+  bool any = false;
+  int max_d = 0;
+  for (std::size_t si = 0; si < eps.size(); ++si) {
+    if (si == ti) continue;
+    const double d = tm.demand(si, ti);
+    if (d <= 0.0) continue;
+    const node_id s = eps[si];
+    PN_CHECK_MSG(dist[s.index()] >= 0, "traffic between disconnected nodes");
+    inf[s.index()] += d;
+    max_d = std::max(max_d, dist[s.index()]);
+    any = true;
+  }
+  if (!any) return false;
+
+  // Counting sort of nodes at hop 1..max_d into one flat array (the
+  // reference buckets into vector<vector>; same node order per bucket,
+  // no per-destination allocation churn here).
+  std::vector<std::uint32_t>& bucket_start = scratch.bucket_start;
+  std::vector<std::uint32_t>& order = scratch.order;
+  std::vector<std::uint32_t>& bucket_fill = scratch.bucket_fill;
+  std::vector<std::uint32_t>& downhill = scratch.downhill;
+  const auto buckets = static_cast<std::size_t>(max_d) + 1;
+  bucket_start.assign(buckets + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const int d = dist[u];
+    if (d > 0 && d <= max_d) {
+      ++bucket_start[static_cast<std::size_t>(d) + 1];
+    }
+  }
+  for (std::size_t b = 1; b <= buckets; ++b) {
+    bucket_start[b] += bucket_start[b - 1];
+  }
+  bucket_fill.assign(bucket_start.begin(), bucket_start.end() - 1);
+  for (std::size_t u = 0; u < n; ++u) {
+    const int d = dist[u];
+    if (d > 0 && d <= max_d) {
+      order[bucket_fill[static_cast<std::size_t>(d)]++] =
+          static_cast<std::uint32_t>(u);
+    }
+  }
+
+  for (std::size_t d = buckets; d-- > 1;) {
+    const std::uint32_t lo = bucket_start[d];
+    const std::uint32_t hi = bucket_start[d + 1];
+    const int want = static_cast<int>(d) - 1;
+    for (std::uint32_t idx = lo; idx < hi; ++idx) {
+      const std::uint32_t u = order[idx];
+      const double flow = inf[u];
+      if (flow <= 0.0) continue;
+      // Gather next-hop arcs (neighbors one closer to t) once; the
+      // distribute pass then walks the short buffer instead of
+      // re-scanning every arc's distance. Arc order is unchanged.
+      downhill.clear();
+      const std::uint32_t arc_end = row_end[u];
+      for (std::uint32_t k = offsets[u]; k < arc_end; ++k) {
+        if (dp[adj[k]] == want) downhill.push_back(k);
+      }
+      const int nh = static_cast<int>(downhill.size());
+      PN_CHECK(nh > 0);
+      const double share = flow / nh;
+      for (const std::uint32_t k : downhill) {
+        const std::uint32_t e = arc_edge[k];
+        if (arc_fwd[k] != 0) {
+          ab[e] += share;
+        } else {
+          ba[e] += share;
+        }
+        inf[adj[k]] += share;
+      }
+    }
+  }
+  return true;
 }
 
 link_load_report compute_ecmp_loads(const network_graph& g,
@@ -114,108 +205,22 @@ link_load_report compute_ecmp_loads(const network_graph& g,
   out.loads_ba.assign(g.edge_count(), 0.0);
 
   const auto& eps = tm.endpoints();
-  const std::size_t n = g.node_count();
   cache.warm_all(eps, 1);  // batched fill of any missing rows
 
-  // Flat per-destination state, reused across destinations. The sweep
-  // structure (far-to-near over distance buckets, neighbors in adjacency
-  // order) matches compute_ecmp_loads_reference exactly, so the float
-  // accumulation order — and thus every output bit — is identical.
-  std::vector<double> inflow(n);
-  std::vector<std::uint32_t> bucket_start;   // offsets into order, per hop
-  std::vector<std::uint32_t> order(n);       // nodes sorted by distance
-  std::vector<std::uint32_t> bucket_fill;
-  std::vector<std::uint32_t> downhill;       // arcs one hop closer to t
-  double* const ab = out.loads_ab.data();
-  double* const ba = out.loads_ba.data();
-  double* const inf = inflow.data();
-  const std::uint32_t* const offsets = csr.row_offsets.data();
-  const std::uint32_t* const adj = csr.adjacency.data();
-  const std::uint32_t* const arc_edge = csr.arc_edge.data();
-  const std::uint8_t* const arc_fwd = csr.arc_forward.data();
+  // Per-destination accumulation into the shared totals, in endpoint
+  // order — the scratch state is reused across destinations.
+  ecmp_dest_scratch scratch;
   for (std::size_t ti = 0; ti < eps.size(); ++ti) {
-    const node_id t = eps[ti];
-    const std::vector<int>& dist = cache.row(t);
-    const int* const dp = dist.data();
-
-    std::fill(inflow.begin(), inflow.end(), 0.0);
-    bool any = false;
-    int max_d = 0;
-    for (std::size_t si = 0; si < eps.size(); ++si) {
-      if (si == ti) continue;
-      const double d = tm.demand(si, ti);
-      if (d <= 0.0) continue;
-      const node_id s = eps[si];
-      PN_CHECK_MSG(dist[s.index()] >= 0, "traffic between disconnected nodes");
-      inflow[s.index()] += d;
-      max_d = std::max(max_d, dist[s.index()]);
-      any = true;
-    }
-    if (!any) continue;
-
-    // Counting sort of nodes at hop 1..max_d into one flat array (the
-    // reference buckets into vector<vector>; same node order per bucket,
-    // no per-destination allocation churn here).
-    const auto buckets = static_cast<std::size_t>(max_d) + 1;
-    bucket_start.assign(buckets + 1, 0);
-    for (std::size_t u = 0; u < n; ++u) {
-      const int d = dist[u];
-      if (d > 0 && d <= max_d) {
-        ++bucket_start[static_cast<std::size_t>(d) + 1];
-      }
-    }
-    for (std::size_t b = 1; b <= buckets; ++b) {
-      bucket_start[b] += bucket_start[b - 1];
-    }
-    bucket_fill.assign(bucket_start.begin(), bucket_start.end() - 1);
-    for (std::size_t u = 0; u < n; ++u) {
-      const int d = dist[u];
-      if (d > 0 && d <= max_d) {
-        order[bucket_fill[static_cast<std::size_t>(d)]++] =
-            static_cast<std::uint32_t>(u);
-      }
-    }
-
-    for (std::size_t d = buckets; d-- > 1;) {
-      const std::uint32_t lo = bucket_start[d];
-      const std::uint32_t hi = bucket_start[d + 1];
-      const int want = static_cast<int>(d) - 1;
-      for (std::uint32_t idx = lo; idx < hi; ++idx) {
-        const std::uint32_t u = order[idx];
-        const double flow = inf[u];
-        if (flow <= 0.0) continue;
-        // Gather next-hop arcs (neighbors one closer to t) once; the
-        // distribute pass then walks the short buffer instead of
-        // re-scanning every arc's distance. Arc order is unchanged.
-        downhill.clear();
-        const std::uint32_t arc_end = offsets[u + 1];
-        for (std::uint32_t k = offsets[u]; k < arc_end; ++k) {
-          if (dp[adj[k]] == want) downhill.push_back(k);
-        }
-        const int nh = static_cast<int>(downhill.size());
-        PN_CHECK(nh > 0);
-        const double share = flow / nh;
-        for (const std::uint32_t k : downhill) {
-          const std::uint32_t e = arc_edge[k];
-          if (arc_fwd[k] != 0) {
-            ab[e] += share;
-          } else {
-            ba[e] += share;
-          }
-          inf[adj[k]] += share;
-        }
-      }
-    }
+    accumulate_ecmp_dest_loads(csr, cache.row(eps[ti]), tm, ti, scratch,
+                               out.loads_ab.data(), out.loads_ba.data());
   }
 
-  finish_load_report(g, out);
+  finalize_link_loads(g, out);
   return out;
 }
 
-namespace {
-
-throughput_result throughput_from_loads(const network_graph& g,
-                                        const link_load_report& loads) {
+throughput_result throughput_from_link_loads(const network_graph& g,
+                                             const link_load_report& loads) {
   throughput_result out;
   double min_headroom = std::numeric_limits<double>::infinity();
   double util_sum = 0.0;
@@ -238,8 +243,6 @@ throughput_result throughput_from_loads(const network_graph& g,
   return out;
 }
 
-}  // namespace
-
 throughput_result ecmp_throughput(const network_graph& g,
                                   const traffic_matrix& tm) {
   distance_cache cache(g);
@@ -249,7 +252,7 @@ throughput_result ecmp_throughput(const network_graph& g,
 throughput_result ecmp_throughput(const network_graph& g,
                                   const traffic_matrix& tm,
                                   distance_cache& cache) {
-  return throughput_from_loads(g, compute_ecmp_loads(g, tm, cache));
+  return throughput_from_link_loads(g, compute_ecmp_loads(g, tm, cache));
 }
 
 link_load_report compute_vlb_loads(const network_graph& g,
@@ -303,7 +306,7 @@ link_load_report compute_vlb_loads(const network_graph& g,
     out.loads_ab[e] = a.loads_ab[e] + b.loads_ab[e];
     out.loads_ba[e] = a.loads_ba[e] + b.loads_ba[e];
   }
-  finish_load_report(g, out);
+  finalize_link_loads(g, out);
   return out;
 }
 
@@ -316,7 +319,7 @@ throughput_result vlb_throughput(const network_graph& g,
 throughput_result vlb_throughput(const network_graph& g,
                                  const traffic_matrix& tm,
                                  distance_cache& cache) {
-  return throughput_from_loads(g, compute_vlb_loads(g, tm, cache));
+  return throughput_from_link_loads(g, compute_vlb_loads(g, tm, cache));
 }
 
 throughput_result best_routing_throughput(const network_graph& g,
@@ -379,8 +382,8 @@ double mean_ecmp_path_count(const network_graph& g, distance_cache& cache,
       for (std::uint32_t idx = lo; idx < hi; ++idx) {
         const std::uint32_t u = order[idx];
         double c = 0.0;
-        const std::uint32_t arc_end = csr.row_offsets[u + 1];
-        for (std::uint32_t k = csr.row_offsets[u]; k < arc_end; ++k) {
+        const std::uint32_t arc_end = csr.arc_end(u);
+        for (std::uint32_t k = csr.arc_begin(u); k < arc_end; ++k) {
           const std::uint32_t v = csr.adjacency[k];
           if (dist[v] == static_cast<int>(d) - 1) {
             c += count[v];

@@ -42,6 +42,34 @@ struct link_load_report {
 [[nodiscard]] link_load_report compute_ecmp_loads_reference(
     const network_graph& g, const traffic_matrix& tm);
 
+// ---- incremental building blocks ---------------------------------------
+// One destination's worth of the ECMP sweep, exposed so the incremental
+// evaluator (topology/incremental.h) can cache per-destination
+// contribution arrays and re-accumulate them in ascending destination
+// order. Each destination's partial sums start from whatever is already
+// in ab/ba (compute_ecmp_loads passes its running totals; the
+// incremental path passes zeroed per-destination arrays) — and since
+// 0.0 + x == x bitwise for the nonnegative shares involved, both
+// assemblies reproduce the exact float addition order of the
+// from-scratch loop. Returns false (adding nothing) when no endpoint
+// sends positive demand to ti.
+struct ecmp_dest_scratch {
+  std::vector<double> inflow;
+  std::vector<std::uint32_t> bucket_start;
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> bucket_fill;
+  std::vector<std::uint32_t> downhill;
+};
+bool accumulate_ecmp_dest_loads(const csr_graph& csr,
+                                const std::vector<int>& dist,
+                                const traffic_matrix& tm, std::size_t ti,
+                                ecmp_dest_scratch& scratch, double* ab,
+                                double* ba);
+
+// Fills max/mean from the per-edge loads (the shared tail of every load
+// computation here).
+void finalize_link_loads(const network_graph& g, link_load_report& out);
+
 struct throughput_result {
   // Largest alpha with alpha*TM feasible. >1 means the TM fits with slack.
   double alpha = 0.0;
@@ -56,6 +84,9 @@ struct throughput_result {
 [[nodiscard]] throughput_result ecmp_throughput(const network_graph& g,
                                                 const traffic_matrix& tm,
                                                 distance_cache& cache);
+// Same proxy over loads computed elsewhere (e.g. incrementally).
+[[nodiscard]] throughput_result throughput_from_link_loads(
+    const network_graph& g, const link_load_report& loads);
 
 // All-pairs ECMP path diversity: number of distinct shortest paths between
 // two nodes (capped to avoid overflow on expanders).

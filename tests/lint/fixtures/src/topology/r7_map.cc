@@ -1,0 +1,7 @@
+// Fixture: R7 must fire exactly once on the std::map below — node ids
+// are dense integers, so hot-path state belongs in an indexed vector.
+// (Fixtures are lint inputs only — never compiled.)
+void hot() {
+  std::map<int, int> degree_by_node;
+  degree_by_node[0] = 1;
+}

@@ -127,6 +127,7 @@ TEST_F(lint_fixtures, each_rule_fires_exactly_once_on_its_fixture) {
       {"naked-new", "r3_new.cc"},     {"csv-comma", "r4_csv.cc"},
       {"pragma-once", "r5_missing_pragma.h"},
       {"include-cycle", "cycle_a.h"}, {"float-eq", "r6_float_eq.cc"},
+      {"hot-assoc", "r7_map.cc"},
   };
   for (const auto& c : cases) {
     const std::vector<finding> hits = findings_for(c.rule, all());
@@ -156,7 +157,7 @@ TEST_F(lint_fixtures, suppressed_fixture_has_zero_findings) {
 
 TEST_F(lint_fixtures, no_unexpected_findings) {
   // Exactly one finding per bad fixture — nothing else fired anywhere.
-  EXPECT_EQ(all().size(), 7u);
+  EXPECT_EQ(all().size(), 8u);
 }
 
 // ---- suppression / baseline semantics -----------------------------------

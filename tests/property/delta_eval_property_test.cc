@@ -1,0 +1,440 @@
+// The delta-evaluation contract: every incremental result is
+// bit-identical to the from-scratch reference on the current graph.
+//
+// Layers under test, bottom up:
+//   * the edge-diff journal (deltas_since windows, net_edge_flips
+//     ordering, reorder pairs, capacity compaction, add_node tears);
+//   * csr_graph::try_repair — arc-for-arc equal to a fresh build;
+//   * distance_cache row survival across mutations;
+//   * incremental_metrics vs compute_path_length_stats /
+//     compute_ecmp_loads / ecmp_throughput, driven through >= 1000
+//     randomized mutate/evaluate interleavings on two families;
+//   * run_sweep scenario mode: --delta and cold sweeps produce byte-
+//     identical CSV.
+//
+// Comparisons are exact (==, EXPECT_EQ on doubles): bit-identity is the
+// invariant, not closeness.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "core/sweep.h"
+#include "deploy/decom.h"
+#include "deploy/expansion.h"
+#include "deploy/scenario.h"
+#include "topology/csr.h"
+#include "topology/distance_cache.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/incremental.h"
+#include "topology/metrics.h"
+#include "topology/routing.h"
+#include "topology/traffic.h"
+
+namespace pn {
+namespace {
+
+// ---- journal units ------------------------------------------------------
+
+network_graph two_triangle() {
+  network_graph g;
+  node_info sw;
+  sw.kind = node_kind::expander;
+  sw.radix = 16;
+  sw.port_rate = gbps{100.0};
+  sw.host_ports = 2;
+  for (int i = 0; i < 4; ++i) {
+    sw.name = "s" + std::to_string(i);
+    g.add_node(sw);
+  }
+  g.add_edge(node_id{0}, node_id{1}, gbps{100.0});  // e0
+  g.add_edge(node_id{1}, node_id{2}, gbps{100.0});  // e1
+  g.add_edge(node_id{2}, node_id{3}, gbps{100.0});  // e2
+  g.add_edge(node_id{3}, node_id{0}, gbps{100.0});  // e3
+  return g;
+}
+
+TEST(edge_journal, deltas_since_returns_exact_suffix) {
+  network_graph g = two_triangle();
+  const std::uint64_t e0 = g.epoch();
+  g.remove_edge(edge_id{1});
+  g.revive_edge(edge_id{1});
+  const auto window = g.deltas_since(e0);
+  ASSERT_TRUE(window.has_value());
+  ASSERT_EQ(window->size(), 2u);
+  EXPECT_EQ((*window)[0].kind, edge_delta_kind::removed);
+  EXPECT_EQ((*window)[1].kind, edge_delta_kind::revived);
+  EXPECT_EQ((*window)[0].edge, edge_id{1});
+  // An empty window is a valid (empty) suffix, not a tear.
+  const auto empty = g.deltas_since(g.epoch());
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(edge_journal, net_flips_down_first_ascending_then_ups_append_order) {
+  network_graph g = two_triangle();
+  const std::uint64_t e0 = g.epoch();
+  g.remove_edge(edge_id{2});
+  g.remove_edge(edge_id{0});
+  const edge_id e4 = g.add_edge(node_id{0}, node_id{2}, gbps{100.0});
+  const auto window = g.deltas_since(e0);
+  ASSERT_TRUE(window.has_value());
+  const std::vector<edge_flip> flips = net_edge_flips(*window);
+  ASSERT_EQ(flips.size(), 3u);
+  EXPECT_FALSE(flips[0].alive);  // downs first, ascending edge id
+  EXPECT_EQ(flips[0].edge, edge_id{0});
+  EXPECT_FALSE(flips[1].alive);
+  EXPECT_EQ(flips[1].edge, edge_id{2});
+  EXPECT_TRUE(flips[2].alive);
+  EXPECT_EQ(flips[2].edge, e4);
+}
+
+TEST(edge_journal, remove_then_revive_emits_both_flips) {
+  // Liveness is net-unchanged, but the adjacency position moved to the
+  // list end — order-preserving consumers must see the move.
+  network_graph g = two_triangle();
+  const std::uint64_t e0 = g.epoch();
+  g.remove_edge(edge_id{1});
+  g.revive_edge(edge_id{1});
+  const std::vector<edge_flip> flips = net_edge_flips(*g.deltas_since(e0));
+  ASSERT_EQ(flips.size(), 2u);
+  EXPECT_FALSE(flips[0].alive);
+  EXPECT_TRUE(flips[1].alive);
+  EXPECT_EQ(flips[0].edge, edge_id{1});
+  EXPECT_EQ(flips[1].edge, edge_id{1});
+}
+
+TEST(edge_journal, add_then_remove_cancels_out) {
+  network_graph g = two_triangle();
+  const std::uint64_t e0 = g.epoch();
+  const edge_id e = g.add_edge(node_id{0}, node_id{2}, gbps{100.0});
+  g.remove_edge(e);
+  const std::vector<edge_flip> flips = net_edge_flips(*g.deltas_since(e0));
+  EXPECT_TRUE(flips.empty());
+}
+
+TEST(edge_journal, capacity_overflow_tears_old_windows_only) {
+  network_graph g = two_triangle();
+  g.set_journal_capacity(3);
+  const std::uint64_t e0 = g.epoch();
+  for (int i = 0; i < 6; ++i) {
+    g.remove_edge(edge_id{0});
+    g.revive_edge(edge_id{0});
+  }
+  EXPECT_FALSE(g.deltas_since(e0).has_value());  // torn
+  const auto fresh = g.deltas_since(g.journal_floor());
+  ASSERT_TRUE(fresh.has_value());  // the surviving suffix is intact
+  EXPECT_EQ(g.journal_floor() + fresh->size(), g.epoch());
+}
+
+TEST(edge_journal, add_node_tears_every_window) {
+  network_graph g = two_triangle();
+  const std::uint64_t e0 = g.epoch();
+  g.remove_edge(edge_id{3});
+  ASSERT_TRUE(g.deltas_since(e0).has_value());
+  node_info sw;
+  sw.name = "late";
+  sw.kind = node_kind::expander;
+  sw.radix = 8;
+  sw.port_rate = gbps{100.0};
+  g.add_node(sw);
+  EXPECT_FALSE(g.deltas_since(e0).has_value());
+  EXPECT_EQ(g.journal_floor(), g.epoch());
+}
+
+// ---- CSR repair ---------------------------------------------------------
+
+jellyfish_params small_jelly() {
+  jellyfish_params p;
+  p.switches = 24;
+  p.radix = 12;
+  p.hosts_per_switch = 4;
+  p.seed = 3;
+  return p;
+}
+
+void expect_same_arcs(const csr_graph& repaired, const csr_graph& fresh) {
+  ASSERT_EQ(repaired.num_nodes, fresh.num_nodes);
+  EXPECT_EQ(repaired.epoch, fresh.epoch);
+  for (std::uint32_t u = 0; u < fresh.num_nodes; ++u) {
+    ASSERT_EQ(repaired.degree(u), fresh.degree(u)) << "node " << u;
+    for (std::uint32_t k = 0; k < fresh.degree(u); ++k) {
+      const std::uint32_t ra = repaired.row_offsets[u] + k;
+      const std::uint32_t fa = fresh.row_offsets[u] + k;
+      EXPECT_EQ(repaired.adjacency[ra], fresh.adjacency[fa]);
+      EXPECT_EQ(repaired.arc_edge[ra], fresh.arc_edge[fa]);
+      EXPECT_EQ(repaired.arc_forward[ra], fresh.arc_forward[fa]);
+    }
+  }
+  EXPECT_EQ(repaired.live_edge_ids, fresh.live_edge_ids);
+}
+
+TEST(csr_repair, repaired_snapshot_equals_fresh_build_arc_for_arc) {
+  network_graph g = build_jellyfish(small_jelly());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    g.node(node_id{i}).radix += 2;  // room for the added links
+  }
+  csr_graph snap = csr_graph::build(g, 4);
+  const std::uint64_t e0 = g.epoch();
+  rng r(17);
+  for (int round = 0; round < 10; ++round) {
+    const auto live = g.live_edges();
+    const edge_id victim = live[r.next_index(live.size())];
+    g.remove_edge(victim);
+    if (r.next_below(2) == 0) {
+      g.revive_edge(victim);
+    }
+    if (round % 3 == 0) {
+      const node_id a{r.next_index(g.node_count())};
+      const node_id b{r.next_index(g.node_count())};
+      if (a != b && g.free_ports(a) > 0 && g.free_ports(b) > 0) {
+        g.add_edge(a, b, gbps{100.0});
+      }
+    }
+  }
+  const auto window = g.deltas_since(e0);
+  ASSERT_TRUE(window.has_value());
+  ASSERT_TRUE(snap.try_repair(g, net_edge_flips(*window)));
+  expect_same_arcs(snap, csr_graph::build(g));
+}
+
+TEST(csr_repair, slack_exhaustion_refuses_and_leaves_snapshot_untouched) {
+  network_graph g = build_jellyfish(small_jelly());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    g.node(node_id{i}).radix += 8;
+  }
+  csr_graph snap = csr_graph::build(g, 0);  // zero slack: any add overflows
+  const csr_graph before = snap;
+  const std::uint64_t e0 = g.epoch();
+  g.add_edge(node_id{0}, node_id{5}, gbps{100.0});
+  ASSERT_FALSE(snap.try_repair(g, net_edge_flips(*g.deltas_since(e0))));
+  EXPECT_EQ(snap.epoch, before.epoch);
+  EXPECT_EQ(snap.adjacency, before.adjacency);
+  EXPECT_EQ(snap.row_end, before.row_end);
+}
+
+// ---- randomized mutate/evaluate interleavings ---------------------------
+
+struct mutation_state {
+  std::vector<edge_id> dead;  // killed and not yet revived
+};
+
+// One random edge op; kills are guarded so host-facing connectivity (a
+// precondition of the path metrics) is never broken.
+void random_op(network_graph& g, rng& r, mutation_state& st) {
+  const std::uint64_t pick = r.next_below(4);
+  if (pick == 0 && !st.dead.empty()) {  // revive
+    const std::size_t k = r.next_index(st.dead.size());
+    g.revive_edge(st.dead[k]);
+    st.dead.erase(st.dead.begin() + static_cast<std::ptrdiff_t>(k));
+    return;
+  }
+  if (pick == 1) {  // add, when ports allow
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const node_id a{r.next_index(g.node_count())};
+      const node_id b{r.next_index(g.node_count())};
+      if (a == b || g.free_ports(a) <= 0 || g.free_ports(b) <= 0) continue;
+      g.add_edge(a, b, gbps{100.0});
+      return;
+    }
+    return;
+  }
+  // kill (the most common lifecycle op), reverted if it would partition
+  const auto live = g.live_edges();
+  if (live.size() <= 1) return;
+  const edge_id victim = live[r.next_index(live.size())];
+  g.remove_edge(victim);
+  if (!hosts_connected(g)) {
+    g.revive_edge(victim);
+    return;
+  }
+  st.dead.push_back(victim);
+}
+
+void expect_stats_equal(const path_length_stats& got,
+                        const path_length_stats& want, int step) {
+  EXPECT_EQ(got.mean, want.mean) << "step " << step;
+  EXPECT_EQ(got.diameter, want.diameter) << "step " << step;
+  EXPECT_EQ(got.p99, want.p99) << "step " << step;
+  EXPECT_EQ(got.hop_histogram, want.hop_histogram) << "step " << step;
+}
+
+void expect_loads_equal(const link_load_report& got,
+                        const link_load_report& want, int step) {
+  EXPECT_EQ(got.loads_ab, want.loads_ab) << "step " << step;
+  EXPECT_EQ(got.loads_ba, want.loads_ba) << "step " << step;
+  EXPECT_EQ(got.max_load, want.max_load) << "step " << step;
+  EXPECT_EQ(got.mean_load, want.mean_load) << "step " << step;
+}
+
+void run_interleaving(network_graph g, int steps, std::uint64_t seed) {
+  const gbps rate{25.0};
+  incremental_metrics inc(g, rate);
+  rng r(seed);
+  mutation_state st;
+  for (int step = 0; step < steps; ++step) {
+    const std::uint64_t ops = 1 + r.next_below(3);
+    for (std::uint64_t k = 0; k < ops; ++k) random_op(g, r, st);
+
+    const path_length_stats want_stats = [&] {
+      distance_cache fresh(g);
+      return compute_path_length_stats(g, fresh);
+    }();
+    expect_stats_equal(inc.path_stats(), want_stats, step);
+
+    const traffic_matrix tm = uniform_traffic(g, rate);
+    expect_loads_equal(inc.ecmp_loads(), compute_ecmp_loads(g, tm), step);
+    const throughput_result want_tp = ecmp_throughput(g, tm);
+    const throughput_result got_tp = inc.ecmp_throughput();
+    EXPECT_EQ(got_tp.alpha, want_tp.alpha) << "step " << step;
+    EXPECT_EQ(got_tp.max_utilization, want_tp.max_utilization)
+        << "step " << step;
+    EXPECT_EQ(got_tp.mean_utilization, want_tp.mean_utilization)
+        << "step " << step;
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      return;  // one divergent step is enough diagnosis
+    }
+  }
+}
+
+TEST(delta_eval_property, jellyfish_interleaving_bit_identical_600_steps) {
+  jellyfish_params p = small_jelly();
+  network_graph g = build_jellyfish(p);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    g.node(node_id{i}).radix += 4;  // port slack so adds can land
+  }
+  run_interleaving(std::move(g), 600, 101);
+}
+
+TEST(delta_eval_property, clos_interleaving_bit_identical_400_steps) {
+  run_interleaving(build_fat_tree(4, gbps{100.0}), 400, 202);
+}
+
+TEST(delta_eval_property, leaf_spine_interleaving_bit_identical_200_steps) {
+  leaf_spine_params p;
+  p.leaves = 8;
+  p.spines = 4;
+  p.hosts_per_leaf = 8;
+  run_interleaving(build_leaf_spine(p), 200, 303);
+}
+
+TEST(delta_eval_property, torn_journal_falls_back_to_full_rebuild) {
+  network_graph g = build_jellyfish(small_jelly());
+  g.set_journal_capacity(2);  // every burst of ops tears the window
+  const gbps rate{25.0};
+  incremental_metrics inc(g, rate);
+  (void)inc.path_stats();
+  rng r(7);
+  mutation_state st;
+  for (int step = 0; step < 20; ++step) {
+    for (int k = 0; k < 3; ++k) random_op(g, r, st);
+    const path_length_stats want = [&] {
+      distance_cache fresh(g);
+      return compute_path_length_stats(g, fresh);
+    }();
+    expect_stats_equal(inc.path_stats(), want, step);
+    const traffic_matrix tm = uniform_traffic(g, rate);
+    expect_loads_equal(inc.ecmp_loads(), compute_ecmp_loads(g, tm), step);
+  }
+  // 3 ops per step never fit in a 2-entry journal: the cache must have
+  // taken the wholesale-rebuild path, and results stayed identical.
+  EXPECT_GT(inc.dcache().full_invalidations(), 0u);
+}
+
+TEST(delta_eval_property, node_add_tears_cache_into_full_rebuild) {
+  // incremental_metrics PN_CHECKs a fixed node set (the evaluator
+  // contract); the tear-and-rebuild fallback lives one layer down, in
+  // distance_cache, which must survive a node add with correct rows.
+  network_graph g = build_jellyfish(small_jelly());
+  distance_cache cache(g);
+  (void)cache.row(node_id{0});
+  const std::size_t before = cache.full_invalidations();
+  node_info sw;
+  sw.name = "new-spine";
+  sw.kind = node_kind::spine;
+  sw.radix = 8;
+  sw.port_rate = gbps{100.0};
+  const node_id n = g.add_node(sw);
+  g.add_edge(n, node_id{0}, gbps{100.0});
+  g.add_edge(n, node_id{1}, gbps{100.0});
+  // The journal is torn (add_node), so the next observation must take
+  // the wholesale-rebuild path — and still match a fresh cache exactly.
+  distance_cache fresh(g);
+  EXPECT_EQ(cache.row(node_id{0}), fresh.row(node_id{0}));
+  EXPECT_EQ(cache.row(n), fresh.row(n));
+  EXPECT_GT(cache.full_invalidations(), before);
+}
+
+// ---- scenario sweeps: delta and cold produce identical CSV --------------
+
+evaluation_options light_eval_options() {
+  evaluation_options opt;
+  opt.run_repair_sim = false;  // heavy and orthogonal to the delta path
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(delta_eval_property, scenario_sweep_csv_is_byte_identical) {
+  leaf_spine_params lp;
+  lp.leaves = 8;
+  lp.spines = 4;
+  lp.hosts_per_leaf = 8;
+  const network_graph base = build_leaf_spine(lp);
+  edge_decom_params dp;
+  dp.switches = 1;
+  dp.links_per_step = 2;
+  dp.seed = 5;
+  const deploy_scenario sc = plan_decom_edge_scenario(base, dp);
+  const std::vector<sweep_point> grid = scenario_sweep_points(sc);
+
+  const auto run_mode = [&](bool delta) {
+    network_graph g = base;
+    sweep_options sopt;
+    sopt.scenario_graph = &g;
+    sopt.delta_eval = delta;
+    const sweep_results results =
+        run_sweep(grid, light_eval_options(), sopt);
+    EXPECT_TRUE(results.failures.empty());
+    EXPECT_EQ(results.reports.size(), grid.size());
+    return sweep_to_csv(results);
+  };
+
+  const std::string cold = run_mode(false);
+  const std::string delta = run_mode(true);
+  EXPECT_EQ(cold, delta);
+}
+
+TEST(delta_eval_property, expansion_scenario_sweep_csv_is_byte_identical) {
+  jellyfish_params jp = small_jelly();
+  network_graph seed_graph = build_jellyfish(jp);
+  for (std::size_t i = 0; i < seed_graph.node_count(); ++i) {
+    seed_graph.node(node_id{i}).radix += 4;
+  }
+  edge_expansion_params ep;
+  ep.steps = 4;
+  ep.links_per_step = 2;
+  ep.seed = 9;
+  const deploy_scenario sc = plan_expansion_edge_scenario(seed_graph, ep);
+  const std::vector<sweep_point> grid = scenario_sweep_points(sc);
+
+  const auto run_mode = [&](bool delta) {
+    network_graph g = seed_graph;
+    sweep_options sopt;
+    sopt.scenario_graph = &g;
+    sopt.delta_eval = delta;
+    const sweep_results results =
+        run_sweep(grid, light_eval_options(), sopt);
+    EXPECT_TRUE(results.failures.empty());
+    return sweep_to_csv(results);
+  };
+
+  EXPECT_EQ(run_mode(false), run_mode(true));
+}
+
+}  // namespace
+}  // namespace pn

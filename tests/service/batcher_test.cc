@@ -57,6 +57,28 @@ TEST(batcher, evaluates_and_caches) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(batcher, delta_hint_shares_cache_key_and_response_bytes) {
+  // The differential contract for hints: a delta-hinted copy of a
+  // request is the SAME request — it must hit the cache line the
+  // unhinted evaluation populated and replay byte-identical bytes.
+  result_cache cache(16);
+  service_metrics metrics;
+  batcher_config cfg;
+  cfg.eval_threads = 2;
+  eval_batcher batcher(cfg, &cache, &metrics);
+
+  const eval_request plain = make_request("fat_tree", 4);
+  eval_request hinted = plain;
+  hinted.options.delta_hint = true;
+
+  const auto cold = batcher.evaluate(plain);
+  EXPECT_FALSE(cold.cached);
+  const auto warm = batcher.evaluate(hinted);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.response, cold.response);
+  EXPECT_EQ(metrics.eval_ok.load(), 1u);  // one evaluation, not two
+}
+
 TEST(batcher, malformed_design_answers_without_admission) {
   result_cache cache(16);
   service_metrics metrics;

@@ -52,6 +52,33 @@ TEST(protocol, encoding_is_canonical) {
   EXPECT_EQ(encode_eval_request(parsed.value().eval), payload);
 }
 
+TEST(protocol, delta_hint_rides_the_wire_but_not_the_canonical_bytes) {
+  eval_request req = sample_request();
+  const std::string unhinted_canonical = encode_eval_request(req);
+  req.options.delta_hint = true;
+  // The canonical (cache-key) bytes are hint-blind...
+  EXPECT_EQ(encode_eval_request(req), unhinted_canonical);
+  // ...while the wire form carries the hint line and round-trips it.
+  const std::string wire = encode_eval_request_wire(req);
+  EXPECT_NE(wire.find("hint delta 1\n"), std::string::npos);
+  auto parsed = parse_request(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().eval.options.delta_hint);
+  // Re-encoding the parsed request canonically drops the hint again —
+  // hinted and unhinted requests share one cache key.
+  EXPECT_EQ(encode_eval_request(parsed.value().eval), unhinted_canonical);
+}
+
+TEST(protocol, unknown_hint_lines_are_tolerated) {
+  std::string wire = encode_eval_request_wire(sample_request());
+  const std::size_t at = wire.find("design\n");
+  ASSERT_NE(at, std::string::npos);
+  wire.insert(at, "hint locality rack-7\n");
+  auto parsed = parse_request(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_FALSE(parsed.value().eval.options.delta_hint);
+}
+
 TEST(protocol, plain_requests_round_trip) {
   for (const request_kind k :
        {request_kind::stats, request_kind::ping, request_kind::invalidate}) {

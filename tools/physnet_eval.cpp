@@ -28,6 +28,17 @@
 //                      probability P under --fail-seed
 //   --cancel-after=N   request cancellation after N completed points
 //                      (deterministic stand-in for ^C in tests)
+//
+// Deploy-scenario mode (single --size, no --sweep):
+//   --scenario=expansion|repair|migration|decom  plan that lifecycle
+//                      scenario over the design and evaluate the fabric
+//                      after every step (CSV output, one row per step)
+//   --scenario-steps=N scenario length (default 8)
+//   --delta            evaluate steps delta-aware: one shared distance
+//                      cache + incremental metrics repaired per step via
+//                      the graph's edge journal, instead of a cold
+//                      rebuild per step. Output is bit-identical to the
+//                      cold path by contract (see DESIGN.md §12).
 // SIGINT (^C) requests cooperative cancellation: points in flight stop
 // at their next stage boundary, the checkpoint keeps everything already
 // completed, and the exit code is 130.
@@ -54,6 +65,9 @@ struct cli_args {
   bool trace = false;
   int jobs = 1;
   std::vector<int> sweep_sizes;  // empty = single-design mode
+  std::string scenario;          // expansion|repair|migration|decom
+  int scenario_steps = 8;
+  bool delta = false;            // delta-aware scenario evaluation
   std::string dot_file;
   std::string checkpoint_file;
   std::string resume_file;
@@ -103,6 +117,16 @@ bool parse_args(int argc, char** argv, cli_args& out) {
         std::cerr << "--sweep needs a comma-separated size list\n";
         return false;
       }
+    } else if (key == "--scenario") {
+      out.scenario = value;
+    } else if (key == "--scenario-steps") {
+      out.scenario_steps = std::stoi(value);
+      if (out.scenario_steps <= 0) {
+        std::cerr << "--scenario-steps must be > 0\n";
+        return false;
+      }
+    } else if (key == "--delta") {
+      out.delta = true;
     } else if (key == "--dot") {
       out.dot_file = value;
     } else if (key == "--checkpoint") {
@@ -239,6 +263,77 @@ int run_sweep_mode(const cli_args& args, const evaluation_options& opt) {
   return res.failures.empty() ? 0 : 1;
 }
 
+// --scenario=KIND evolves ONE design through a lifecycle scenario
+// (expansion = random link landings, repair = failure/repair churn,
+// migration = link moves, decom = staged link drains) and re-evaluates
+// after every step, printing one CSV row per step. --delta switches the
+// topology-metrics stage to delta-aware incremental evaluation (row
+// repair + per-destination ECMP caching); results are bit-identical to
+// the cold default, only faster.
+int run_scenario_mode(const cli_args& args, const evaluation_options& opt) {
+  auto built = build_family(args.family, args.size, args.seed);
+  if (!built.is_ok()) {
+    std::cerr << "cannot build " << args.family << "/" << args.size << ": "
+              << built.error().to_string() << "\n";
+    return 2;
+  }
+  network_graph g = std::move(built).value();
+
+  deploy_scenario sc;
+  if (args.scenario == "expansion") {
+    edge_expansion_params p;
+    p.steps = args.scenario_steps;
+    p.seed = args.seed;
+    // Generated families come out fully wired (zero free ports), so
+    // grant the §4.1 expansion headroom the paper argues real designs
+    // must reserve — otherwise there is nowhere to land new links.
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+      g.node(node_id{i}).radix += 2 * p.links_per_step;
+    }
+    sc = plan_expansion_edge_scenario(g, p);
+  } else if (args.scenario == "repair") {
+    edge_repair_params p;
+    p.steps = args.scenario_steps;
+    p.seed = args.seed;
+    sc = plan_repair_edge_scenario(g, p);
+  } else if (args.scenario == "migration") {
+    edge_migration_params p;
+    p.steps = args.scenario_steps;
+    p.seed = args.seed;
+    sc = plan_migration_edge_scenario(g, p);
+  } else if (args.scenario == "decom") {
+    edge_decom_params p;
+    p.links_per_step =
+        std::max<int>(1, static_cast<int>(g.live_edges().size()) /
+                             (4 * args.scenario_steps));
+    p.seed = args.seed;
+    sc = plan_decom_edge_scenario(g, p);
+  } else {
+    std::cerr << "unknown scenario: " << args.scenario
+              << " (expansion|repair|migration|decom)\n";
+    return 2;
+  }
+
+  const std::vector<sweep_point> grid = scenario_sweep_points(sc);
+  sweep_options sopt;
+  sopt.cancel = g_sigint_cancel;
+  sopt.scenario_graph = &g;
+  sopt.delta_eval = args.delta;
+
+  std::signal(SIGINT, handle_sigint);
+  const sweep_results res = run_sweep(grid, opt, sopt);
+  std::signal(SIGINT, SIG_DFL);
+
+  sweep_csv_options copt;
+  copt.stage_timings = args.trace;
+  std::cout << sweep_to_csv(res, copt);
+  if (!res.failures.empty()) {
+    std::cerr << sweep_failures_to_csv(res);
+    return 1;
+  }
+  return res.cancelled ? 130 : 0;
+}
+
 int main(int argc, char** argv) {
   cli_args args;
   if (!parse_args(argc, argv, args)) {
@@ -246,6 +341,8 @@ int main(int argc, char** argv) {
         << "usage: physnet_eval [--family=NAME] [--size=N] "
            "[--strategy=block|random|annealed] [--seed=N] [--repair] "
            "[--trace] [--sweep=S1,S2,...] [--jobs=N] [--dot=FILE]\n"
+           "scenario mode: [--scenario=expansion|repair|migration|decom] "
+           "[--scenario-steps=N] [--delta]\n"
            "sweep robustness: [--checkpoint=FILE] [--resume=FILE] "
            "[--deadline=MS] [--fail-at=P:STAGE,...] [--fail-prob=P] "
            "[--fail-seed=N] [--cancel-after=N]\n"
@@ -267,6 +364,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!args.scenario.empty()) {
+    if (!args.sweep_sizes.empty()) {
+      std::cerr << "--scenario and --sweep are mutually exclusive\n";
+      return 2;
+    }
+    return run_scenario_mode(args, opt);
+  }
   if (!args.sweep_sizes.empty()) {
     return run_sweep_mode(args, opt);
   }

@@ -27,6 +27,12 @@
 //                 (Tarjan SCC over resolved quoted includes)
 //   float-eq      (R6) == / != against a floating-point literal outside
 //                 tests/ — compare against a tolerance or an integer
+//   hot-assoc     (R7) std::map / std::set (and multi-) in the hot
+//                 directories src/topology/ and src/core/ — node and
+//                 edge ids are dense integers on the mutate -> delta-
+//                 evaluate path, so use index-keyed vectors or
+//                 sort + unique; deliberate ordered iteration carries
+//                 an allow() with its justification
 //
 // Deliberate violations carry an inline suppression with a justification:
 //

@@ -102,6 +102,38 @@ void rule_raw_thread(rule_ctx& ctx) {
   }
 }
 
+// ---- R7: node-keyed red-black trees in hot directories ----------------
+// src/topology/ and src/core/ sit on the mutate -> delta-evaluate path,
+// where per-node state is indexed millions of times per sweep. Ordered
+// associative containers there are almost always an accident — node and
+// edge ids are dense integers, so the natural structure is an
+// index-keyed vector (or sort + unique for set semantics). Deliberate
+// uses (ordered iteration a caller depends on) carry an allow() with
+// the justification.
+void rule_hot_assoc(rule_ctx& ctx) {
+  const bool hot = starts_with(ctx.file.path, "src/topology/") ||
+                   starts_with(ctx.file.path, "src/core/");
+  if (!hot) return;
+  static const std::set<std::string> banned = {"map", "set", "multimap",
+                                               "multiset"};
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::ident || banned.count(toks[i].text) == 0) {
+      continue;
+    }
+    const bool std_qualified =
+        toks[i - 1].kind == tok_kind::punct && toks[i - 1].text == "::" &&
+        toks[i - 2].kind == tok_kind::ident && toks[i - 2].text == "std";
+    if (std_qualified) {
+      ctx.report("hot-assoc", toks[i].line,
+                 "std::" + toks[i].text +
+                     " in a hot directory — ids are dense integers; use an "
+                     "index-keyed vector (or sort+unique), or justify with "
+                     "an allow()");
+    }
+  }
+}
+
 // ---- R3: naked new/delete in src/ -------------------------------------
 void rule_naked_new(rule_ctx& ctx) {
   if (!starts_with(ctx.file.path, "src/")) return;
@@ -350,7 +382,7 @@ bool suppressed(const source_file& f, const finding& fnd) {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
       "nondet",      "raw-thread",    "naked-new", "csv-comma",
-      "pragma-once", "include-cycle", "float-eq",
+      "pragma-once", "include-cycle", "float-eq",  "hot-assoc",
   };
   return names;
 }
@@ -363,6 +395,7 @@ std::vector<finding> run_rules(const std::vector<source_file>& files,
     rule_ctx ctx{f, local};
     rule_nondet(ctx);
     rule_raw_thread(ctx);
+    rule_hot_assoc(ctx);
     rule_naked_new(ctx);
     rule_csv_comma(ctx);
     rule_pragma_once(ctx);
