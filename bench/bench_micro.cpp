@@ -607,6 +607,7 @@ struct speedup_pair {
   const char* after;
 };
 constexpr speedup_pair kSpeedupPairs[] = {
+    {"bfs_single_source", "bm_bfs_reference", "bm_bfs_csr"},
     {"bfs_rows_batched", "bm_bfs_rows_reference", "bm_distance_warm_all"},
     {"path_length_stats", "bm_path_length_stats_reference",
      "bm_path_length_stats"},

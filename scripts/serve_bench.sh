@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Serving-throughput sweep: 1 -> 2 -> 4 workers behind physnet_proxy,
+# one open-loop hot leg per fleet size, assembled into BENCH_serve.json.
+#
+# Methodology (why multi-worker helps even on a small machine): the hot
+# working set (HOT_VARIANTS distinct requests, visited cyclically — the
+# LRU-adversarial order) is sized to overflow a single worker's result
+# cache (CACHE_CAP entries) but fit comfortably in the 4-worker fleet's
+# aggregate capacity. Consistent hashing gives every request exactly one
+# home worker, so aggregate cache capacity — and with it the hot-path
+# throughput — scales with the fleet, while a lone worker is stuck
+# re-evaluating everything. The schedule is deterministic (seeded); only
+# service behavior differs between legs.
+#
+# Usage: scripts/serve_bench.sh [build_dir] [out.json]
+# Tunables (env): QPS DURATION HOT_VARIANTS CACHE_CAP CONNECTIONS SEED
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_serve.json}"
+QPS="${QPS:-4000}"
+DURATION="${DURATION:-4}"
+# 512 hot keys vs 256-entry worker caches: a lone worker thrashes (a
+# cyclic scan over 2x its capacity under LRU misses every time) while
+# the 4-worker fleet holds ~128 keys per worker with headroom. The
+# numbers are deliberately large — the worker cache is 8-way sharded and
+# the ring deals keys with some variance, so small configurations sit on
+# a per-shard eviction cliff that flips run to run.
+HOT_VARIANTS="${HOT_VARIANTS:-512}"
+CACHE_CAP="${CACHE_CAP:-256}"
+CONNECTIONS="${CONNECTIONS:-8}"
+SEED="${SEED:-1}"
+
+SERVE="$BUILD_DIR/tools/physnet_serve"
+PROXY="$BUILD_DIR/tools/physnet_proxy"
+LOAD="$BUILD_DIR/tools/physnet_load"
+CLIENT="$BUILD_DIR/tools/physnet_client"
+for bin in "$SERVE" "$PROXY" "$LOAD" "$CLIENT"; do
+  [[ -x "$bin" ]] || { echo "missing $bin (build first)" >&2; exit 1; }
+done
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]-}"; do kill -KILL "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+run_leg() {
+  local n="$1"
+  local px="unix:$WORK/proxy_$n.sock"
+  local worker_flags=()
+  PIDS=()
+
+  for i in $(seq 0 $((n - 1))); do
+    local spec="unix:$WORK/w${n}_$i.sock"
+    "$SERVE" --listen="$spec" --cache-capacity="$CACHE_CAP" --quiet \
+        2>"$WORK/w${n}_$i.err" &
+    PIDS+=($!)
+    worker_flags+=("--worker=$spec")
+  done
+  # 256 vnodes/worker: worker sockets live in a fresh temp dir each run,
+  # so ring balance must not hinge on lucky path hashes.
+  "$PROXY" --listen="$px" "${worker_flags[@]}" --vnodes=256 --quiet \
+      2>"$WORK/proxy_$n.err" &
+  PIDS+=($!)
+
+  local up=0
+  for _ in $(seq 1 100); do
+    if "$CLIENT" --connect="$px" --ping >/dev/null 2>&1; then
+      up=1
+      break
+    fi
+    sleep 0.05
+  done
+  [[ "$up" -eq 1 ]] || { echo "fleet of $n never came up" >&2
+                         cat "$WORK/proxy_$n.err" >&2; exit 1; }
+
+  echo "== hot leg, $n worker(s): $QPS qps offered for ${DURATION}s ==" >&2
+  "$LOAD" --connect="$px" --qps="$QPS" --duration="$DURATION" \
+      --connections="$CONNECTIONS" --seed="$SEED" \
+      --hot-fraction=1 --hot-variants="$HOT_VARIANTS" \
+      --label="hot_${n}w" --workers="$n" \
+      --json="$WORK/leg_$n.json" >/dev/null 2>"$WORK/load_$n.err" \
+      || { echo "load run failed for $n workers" >&2
+           cat "$WORK/load_$n.err" >&2; exit 1; }
+
+  "$CLIENT" --connect="$px" --stats >"$WORK/stats_$n.txt" || true
+
+  for pid in "${PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+  PIDS=()
+}
+
+for n in 1 2 4; do
+  run_leg "$n"
+done
+
+python3 - "$WORK" "$OUT" "$QPS" "$DURATION" "$HOT_VARIANTS" "$CACHE_CAP" \
+    "$CONNECTIONS" "$SEED" <<'EOF'
+import json, sys
+work, out, qps, duration, variants, cap, conns, seed = sys.argv[1:9]
+legs = []
+for n in (1, 2, 4):
+    leg = json.load(open(f"{work}/leg_{n}.json"))
+    hits = ratio = None
+    try:
+        for line in open(f"{work}/stats_{n}.txt"):
+            parts = line.split()
+            if len(parts) == 3 and parts[0] == "cache.hits":
+                hits = int(parts[2])
+            if len(parts) == 3 and parts[0] == "cache.hit_ratio":
+                ratio = float(parts[2])
+    except OSError:
+        pass
+    leg["fleet_cache_hits"] = hits
+    leg["fleet_cache_hit_ratio"] = ratio
+    legs.append(leg)
+
+by_n = {leg["workers"]: leg for leg in legs}
+scaling = by_n[4]["achieved_qps_ok"] / max(by_n[1]["achieved_qps_ok"], 1e-9)
+doc = {
+    "benchmark": "physnet_proxy serving sweep (hot working set vs fleet "
+                 "cache capacity)",
+    "config": {
+        "offered_qps": float(qps), "duration_s": float(duration),
+        "hot_variants": int(variants), "worker_cache_capacity": int(cap),
+        "connections": int(conns), "seed": int(seed),
+        "mix": "fat_tree:4:block", "hot_fraction": 1.0,
+    },
+    "legs": legs,
+    "hot_qps_scaling_4w_over_1w": round(scaling, 3),
+}
+json.dump(doc, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(f"wrote {out}: 4w/1w hot throughput = {scaling:.2f}x")
+for leg in legs:
+    print(f"  {leg['label']}: {leg['achieved_qps_ok']:.0f}/"
+          f"{leg['offered_qps']:.0f} qps ok, p99 "
+          f"{leg['latency_ms']['p99']:.1f} ms, hit ratio "
+          f"{leg['fleet_cache_hit_ratio']}")
+assert scaling >= 2.0, (
+    f"4-worker hot throughput only {scaling:.2f}x the 1-worker leg "
+    f"(acceptance floor is 2x)")
+EOF

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Proxy + load-generator smoke test.
+#
+# Proves, end to end through the real binaries on real Unix sockets:
+#   1. a 2-worker fleet behind physnet_proxy comes up and answers ping;
+#   2. a fixed-QPS open-loop leg (physnet_load) completes with every
+#      request answered OK and a sane BENCH-leg JSON;
+#   3. the fleet's result caches see hits through the proxy (the
+#      consistent-hash routing actually keeps keys on their home
+#      workers), visible in the proxy's aggregated stats;
+#   4. an invalidate through the proxy reaches every worker;
+#   5. SIGTERM drains the whole tree cleanly: proxy and both workers
+#      exit 0 and remove their sockets.
+#
+# Usage: scripts/serve_load_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/physnet_serve"
+PROXY="$BUILD_DIR/tools/physnet_proxy"
+LOAD="$BUILD_DIR/tools/physnet_load"
+CLIENT="$BUILD_DIR/tools/physnet_client"
+for bin in "$SERVE" "$PROXY" "$LOAD" "$CLIENT"; do
+  [[ -x "$bin" ]] || { echo "missing $bin (build first)" >&2; exit 1; }
+done
+
+WORK="$(mktemp -d)"
+W0_PID=""
+W1_PID=""
+PROXY_PID=""
+cleanup() {
+  for pid in "$PROXY_PID" "$W0_PID" "$W1_PID"; do
+    [[ -n "$pid" ]] && kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+W0="unix:$WORK/w0.sock"
+W1="unix:$WORK/w1.sock"
+PX="unix:$WORK/proxy.sock"
+
+echo "== start 2 workers + proxy =="
+"$SERVE" --listen="$W0" --quiet 2>"$WORK/w0.err" &
+W0_PID=$!
+"$SERVE" --listen="$W1" --quiet 2>"$WORK/w1.err" &
+W1_PID=$!
+"$PROXY" --listen="$PX" --worker="$W0" --worker="$W1" --quiet \
+    2>"$WORK/proxy.err" &
+PROXY_PID=$!
+
+up=0
+for _ in $(seq 1 100); do
+  if "$CLIENT" --connect="$PX" --ping >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+[[ "$up" -eq 1 ]] || { echo "proxy never came up" >&2
+                       cat "$WORK/proxy.err" >&2; exit 1; }
+
+echo "== fixed-QPS leg through the proxy =="
+"$LOAD" --connect="$PX" --qps=150 --duration=2 --connections=4 \
+    --hot-fraction=0.9 --hot-variants=8 --label=smoke --workers=2 \
+    --json="$WORK/leg.json" 2>"$WORK/load.err" \
+    || { echo "load run failed" >&2; cat "$WORK/load.err" >&2; exit 1; }
+
+python3 - "$WORK/leg.json" <<'EOF'
+import json, sys
+leg = json.load(open(sys.argv[1]))
+req = leg["requests"]
+assert req["sent"] > 0, leg
+assert req["ok"] == req["sent"], f"dropped requests: {req}"
+assert req["transport_error"] == 0, req
+lat = leg["latency_ms"]
+assert lat["count"] == req["ok"], lat
+assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"], lat
+assert leg["achieved_qps_ok"] > 0, leg
+print(f"leg ok: {req['ok']} answered at "
+      f"{leg['achieved_qps_ok']:.0f} qps, p99 {lat['p99']:.1f} ms")
+EOF
+
+echo "== aggregated stats: cache hits through the proxy =="
+"$CLIENT" --connect="$PX" --stats >"$WORK/stats.txt"
+hits="$(awk '$1 == "cache.hits" { print $3 }' "$WORK/stats.txt")"
+ratio="$(awk '$1 == "cache.hit_ratio" { print $3 }' "$WORK/stats.txt")"
+alive="$(awk '$1 == "workers.alive" { print $3 }' "$WORK/stats.txt")"
+[[ -n "$hits" && "$hits" -gt 0 ]] \
+    || { echo "expected fleet cache hits > 0, got '${hits:-missing}'" >&2
+         cat "$WORK/stats.txt" >&2; exit 1; }
+[[ "$alive" == "2" ]] \
+    || { echo "expected workers.alive = 2, got '${alive:-missing}'" >&2
+         exit 1; }
+echo "fleet cache: $hits hits, hit ratio $ratio, $alive workers alive"
+
+echo "== invalidate reaches every worker =="
+"$CLIENT" --connect="$PX" --invalidate >/dev/null
+for spec in "$W0" "$W1"; do
+  epoch="$("$CLIENT" --connect="$spec" --stats \
+      | awk '$1 == "cache.epoch" { print $3 }')"
+  [[ "$epoch" == "2" ]] \
+      || { echo "worker $spec epoch '$epoch' after broadcast (want 2)" >&2
+           exit 1; }
+done
+echo "both workers at epoch 2"
+
+echo "== SIGTERM drains the whole tree =="
+kill -TERM "$PROXY_PID"
+rc=0
+wait "$PROXY_PID" || rc=$?
+PROXY_PID=""
+[[ "$rc" -eq 0 ]] || { echo "proxy exit $rc on SIGTERM (want 0)" >&2
+                       cat "$WORK/proxy.err" >&2; exit 1; }
+[[ ! -S "$WORK/proxy.sock" ]] \
+    || { echo "proxy left its socket behind" >&2; exit 1; }
+
+for name in w0 w1; do
+  pid_var="$(echo "$name" | tr '[:lower:]' '[:upper:]')_PID"
+  pid="${!pid_var}"
+  kill -TERM "$pid"
+  rc=0
+  wait "$pid" || rc=$?
+  printf -v "$pid_var" ''
+  [[ "$rc" -eq 0 ]] || { echo "$name exit $rc on SIGTERM (want 0)" >&2
+                         cat "$WORK/$name.err" >&2; exit 1; }
+  [[ ! -S "$WORK/$name.sock" ]] \
+      || { echo "$name left its socket behind" >&2; exit 1; }
+done
+
+echo "serve/load smoke test passed"

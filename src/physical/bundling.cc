@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
 namespace pn {
+
+namespace {
+
+// One inter-rack run, keyed by its unordered rack pair so a stable sort
+// groups runs per pair while keeping run order inside each group (the
+// float accumulations below stay bit-identical to the old std::map
+// `groups[key] +=` form, which also visited runs in plan order).
+struct keyed_run {
+  std::pair<rack_id, rack_id> key;
+  const cable_run* run;
+};
+
+}  // namespace
 
 bundling_report analyze_bundling(const cabling_plan& plan,
                                  const bundling_params& p) {
@@ -17,28 +30,46 @@ bundling_report analyze_bundling(const cabling_plan& plan,
   bundling_report out;
 
   // Group inter-rack runs by unordered rack pair.
-  std::map<std::pair<rack_id, rack_id>, cable_bundle> groups;
-  dollars bundled_cable_cost{0.0};
-  std::map<std::pair<rack_id, rack_id>, dollars> group_cost;
+  std::vector<keyed_run> keyed;
+  keyed.reserve(plan.runs.size());
   for (const cable_run& r : plan.runs) {
     if (r.rack_a == r.rack_b) continue;
     ++out.inter_rack_cables;
-    auto key = std::minmax(r.rack_a, r.rack_b);
-    cable_bundle& b = groups[key];
-    b.rack_a = key.first;
-    b.rack_b = key.second;
-    ++b.cable_count;
-    b.length = std::max(b.length, r.length);
-    b.cross_section += circle_area(r.choice.diameter);
-    group_cost[key] += r.choice.cable->cost_fixed +
-                       r.choice.cable->cost_per_meter * r.length.value();
+    keyed.push_back({std::minmax(r.rack_a, r.rack_b), &r});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const keyed_run& a, const keyed_run& b) {
+                     return a.key < b.key;
+                   });
+
+  struct bundle_accum {
+    cable_bundle bundle;
+    dollars cost{0.0};
+  };
+  std::vector<bundle_accum> groups;
+  for (std::size_t i = 0; i < keyed.size();) {
+    const auto key = keyed[i].key;
+    bundle_accum acc;
+    acc.bundle.rack_a = key.first;
+    acc.bundle.rack_b = key.second;
+    for (; i < keyed.size() && keyed[i].key == key; ++i) {
+      const cable_run& r = *keyed[i].run;
+      ++acc.bundle.cable_count;
+      acc.bundle.length = std::max(acc.bundle.length, r.length);
+      acc.bundle.cross_section += circle_area(r.choice.diameter);
+      acc.cost += r.choice.cable->cost_fixed +
+                  r.choice.cable->cost_per_meter * r.length.value();
+    }
+    groups.push_back(acc);
   }
 
-  std::set<std::pair<long long, std::size_t>> skus;
+  dollars bundled_cable_cost{0.0};
+  std::vector<std::pair<long long, std::size_t>> skus;
   double loose_minutes = 0.0;
   double bundled_minutes = 0.0;
   double size_sum = 0.0;
-  for (auto& [key, b] : groups) {
+  for (const bundle_accum& g : groups) {
+    const cable_bundle& b = g.bundle;
     out.bundles.push_back(b);
     loose_minutes += p.minutes_per_loose_cable *
                      static_cast<double>(b.cable_count);
@@ -48,11 +79,11 @@ bundling_report analyze_bundling(const cabling_plan& plan,
       size_sum += static_cast<double>(b.cable_count);
       const auto sku_len = static_cast<long long>(
           std::ceil(b.length.value() / p.sku_length_quantum.value()));
-      skus.insert({sku_len, b.cable_count});
+      skus.emplace_back(sku_len, b.cable_count);
       bundled_minutes += p.minutes_per_bundle +
                          p.minutes_per_bundled_cable *
                              static_cast<double>(b.cable_count);
-      bundled_cable_cost += group_cost[key];
+      bundled_cable_cost += g.cost;
     } else {
       bundled_minutes += p.minutes_per_loose_cable *
                          static_cast<double>(b.cable_count);
@@ -64,6 +95,8 @@ bundling_report analyze_bundling(const cabling_plan& plan,
           ? static_cast<double>(out.bundled_cables) /
                 static_cast<double>(out.inter_rack_cables)
           : 0.0;
+  std::sort(skus.begin(), skus.end());
+  skus.erase(std::unique(skus.begin(), skus.end()), skus.end());
   out.distinct_skus = skus.size();
   out.mean_bundle_size =
       out.viable_bundles > 0

@@ -7,17 +7,32 @@
 
 namespace pn {
 
-std::map<rack_id, double> compute_plenum_fill(
-    const floorplan& fp, const std::vector<cable_run>& runs) {
-  std::map<rack_id, square_millimeters> used;
+plenum_fill_list compute_plenum_fill(const floorplan& fp,
+                                     const std::vector<cable_run>& runs) {
+  // Gather one (rack, area) entry per rack touch, then stable-sort by
+  // rack: within a rack the entries keep run order, so the float
+  // accumulation below adds areas in exactly the order the old
+  // std::map-keyed `used[rk] += area` did.
+  std::vector<std::pair<rack_id, square_millimeters>> touches;
+  touches.reserve(runs.size() * 2);
   for (const cable_run& r : runs) {
     const square_millimeters area = circle_area(r.choice.diameter);
-    used[r.rack_a] += area;
-    if (r.rack_b != r.rack_a) used[r.rack_b] += area;
+    touches.emplace_back(r.rack_a, area);
+    if (r.rack_b != r.rack_a) touches.emplace_back(r.rack_b, area);
   }
-  std::map<rack_id, double> out;
-  for (const auto& [rk, area] : used) {
-    out[rk] = area.value() / fp.rack_at(rk).plenum.value();
+  std::stable_sort(touches.begin(), touches.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  plenum_fill_list out;
+  for (std::size_t i = 0; i < touches.size();) {
+    const rack_id rk = touches[i].first;
+    square_millimeters used{};
+    for (; i < touches.size() && touches[i].first == rk; ++i) {
+      used += touches[i].second;
+    }
+    out.emplace_back(rk, used.value() / fp.rack_at(rk).plenum.value());
   }
   return out;
 }

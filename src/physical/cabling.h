@@ -7,8 +7,8 @@
 // switch hops"; the plan makes that tradeoff measurable.
 #pragma once
 
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -20,6 +20,11 @@
 #include "topology/graph.h"
 
 namespace pn {
+
+// Per-rack plenum occupancy, sorted by rack id. A flat vector rather
+// than std::map: consumers only iterate it, and the cabling router is on
+// the per-evaluation hot path.
+using plenum_fill_list = std::vector<std::pair<rack_id, double>>;
 
 struct cable_run {
   edge_id edge;
@@ -45,7 +50,7 @@ struct cabling_plan {
   // Physical occupancy after planning.
   double max_tray_fill = 0.0;            // worst tray segment, 0..1
   double mean_tray_fill = 0.0;
-  std::map<rack_id, double> plenum_fill; // per rack, fraction of plenum
+  plenum_fill_list plenum_fill;  // per rack, fraction of plenum
 
   [[nodiscard]] dollars total_cost() const {
     return cable_cost + transceiver_cost;
@@ -79,8 +84,10 @@ struct cabling_options {
                                                 const cabling_options& opt);
 
 // Per-rack plenum fill from a set of runs (sum of cable cross-sections of
-// all runs touching the rack / plenum area).
-[[nodiscard]] std::map<rack_id, double> compute_plenum_fill(
+// all runs touching the rack / plenum area). Sorted by rack id; per-rack
+// areas accumulate in run order, so the doubles are bit-identical to the
+// old std::map accumulation.
+[[nodiscard]] plenum_fill_list compute_plenum_fill(
     const floorplan& fp, const std::vector<cable_run>& runs);
 
 }  // namespace pn

@@ -1,8 +1,23 @@
 #include "service/client.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace pn {
+
+bool is_retryable_backpressure(const status& s) {
+  return s.code() == status_code::overloaded ||
+         s.code() == status_code::shutting_down;
+}
+
+double retry_delay_ms(const retry_policy& policy, int attempt, rng& jitter) {
+  double bound = policy.backoff_ms;
+  for (int i = 0; i < attempt && bound < policy.backoff_cap_ms; ++i) {
+    bound *= 2.0;
+  }
+  bound = std::min(bound, policy.backoff_cap_ms);
+  return jitter.next_double() * std::max(0.0, bound);
+}
 
 result<eval_client> eval_client::connect(const std::string& endpoint_spec,
                                          std::size_t max_frame_payload) {
@@ -45,7 +60,21 @@ result<deployability_report> eval_client::evaluate(const eval_request& req) {
   return std::move(response).value().eval.report;
 }
 
-result<std::map<std::string, std::string>> eval_client::stats() {
+result<deployability_report> eval_client::evaluate_with_retry(
+    const eval_request& req, const retry_policy& policy,
+    const std::function<void(double)>& sleeper) {
+  rng jitter(policy.jitter_seed);
+  for (int attempt = 0;; ++attempt) {
+    auto report = evaluate(req);
+    if (report.is_ok() || attempt >= policy.retries ||
+        !is_retryable_backpressure(report.error())) {
+      return report;
+    }
+    sleeper(retry_delay_ms(policy, attempt, jitter));
+  }
+}
+
+result<stats_list> eval_client::stats() {
   auto response = round_trip(encode_plain_request(request_kind::stats),
                              request_kind::stats);
   if (!response.is_ok()) return response.error();

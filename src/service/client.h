@@ -9,9 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/report.h"
 #include "service/framing.h"
@@ -19,6 +20,28 @@
 #include "service/socket.h"
 
 namespace pn {
+
+// Retry policy for the service's retryable backpressure answers
+// (overloaded / shutting_down): exponential backoff with full jitter,
+// capped. The sequence of delays is a pure function of the seed, so
+// tests can predict it exactly and fleets of clients with distinct
+// seeds never thundering-herd in lockstep.
+struct retry_policy {
+  int retries = 0;            // extra attempts after the first (0 = off)
+  double backoff_ms = 100.0;  // base bound for the first retry's delay
+  double backoff_cap_ms = 5'000.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+// True for the statuses a client may transparently retry: the server
+// answered, but explicitly asked the client to come back later.
+[[nodiscard]] bool is_retryable_backpressure(const status& s);
+
+// Delay before 0-based retry `attempt`: uniform in
+// [0, min(cap, backoff_ms * 2^attempt)), consuming one draw from
+// `jitter`. Exposed so the jitter/cap contract is unit-testable.
+[[nodiscard]] double retry_delay_ms(const retry_policy& policy, int attempt,
+                                    rng& jitter);
 
 class eval_client {
  public:
@@ -36,7 +59,16 @@ class eval_client {
   [[nodiscard]] result<deployability_report> evaluate(
       const eval_request& req);
 
-  [[nodiscard]] result<std::map<std::string, std::string>> stats();
+  // evaluate(), retried per `policy` while the server keeps answering
+  // with retryable backpressure. Sleeping goes through `sleeper`
+  // (milliseconds) so tests inject a recording stub instead of waiting;
+  // production callers pass pn::sleep_ms. Non-backpressure failures and
+  // exhausted retries surface the last status unchanged.
+  [[nodiscard]] result<deployability_report> evaluate_with_retry(
+      const eval_request& req, const retry_policy& policy,
+      const std::function<void(double)>& sleeper);
+
+  [[nodiscard]] result<stats_list> stats();
   [[nodiscard]] status ping();
   // Bumps the server's cache epoch; returns the new epoch.
   [[nodiscard]] result<std::uint64_t> invalidate();

@@ -1,6 +1,7 @@
 #include "service/framing.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -88,8 +89,11 @@ status write_frame(int fd, std::string_view payload,
   const std::string frame = encode_frame(payload, max_payload);
   std::size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n =
-        ::write(fd, frame.data() + sent, frame.size() - sent);
+    // MSG_NOSIGNAL: writing to a peer that died must surface as EPIPE
+    // (an io_error the caller handles — the proxy fails over on it),
+    // not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return io_error_status(str_format("write_frame: %s",
@@ -102,7 +106,8 @@ status write_frame(int fd, std::string_view payload,
 
 result<std::optional<std::string>> read_frame(int fd,
                                               std::size_t max_payload,
-                                              const cancel_token* cancel) {
+                                              const cancel_token* cancel,
+                                              int stall_timeout_ms) {
   frame_decoder dec(max_payload);
   char buf[4096];
   int stalled_ms = 0;
@@ -121,14 +126,18 @@ result<std::optional<std::string>> read_frame(int fd,
       return io_error_status(str_format("poll: %s", std::strerror(errno)));
     }
     if (pr == 0) {
+      stalled_ms += poll_interval_ms;
       if (cancel != nullptr && cancel->cancelled()) {
         if (dec.idle()) {
           return cancelled_error("cancelled while idle between frames");
         }
-        stalled_ms += poll_interval_ms;
         if (stalled_ms >= cancelled_stall_budget_ms) {
           return cancelled_error("cancelled mid-frame and peer stalled");
         }
+      }
+      if (stall_timeout_ms > 0 && stalled_ms >= stall_timeout_ms) {
+        return io_error_status(
+            str_format("peer sent no bytes for %d ms", stalled_ms));
       }
       continue;
     }

@@ -94,8 +94,14 @@ class frame_decoder {
 //   - cancelled when `cancel` fires while waiting between frames (a
 //     frame already in progress is still read to completion, bounded by
 //     a short stall timeout so a dead peer cannot pin the handler).
+//
+// `stall_timeout_ms > 0` additionally bounds how long the peer may go
+// without delivering a single byte before the read fails with io_error —
+// how the proxy keeps a wedged backend (accepted the connection, never
+// answers) from pinning a client handler forever. 0 keeps the historic
+// wait-forever behavior for trusted local peers.
 [[nodiscard]] result<std::optional<std::string>> read_frame(
     int fd, std::size_t max_payload = default_max_frame_payload,
-    const cancel_token* cancel = nullptr);
+    const cancel_token* cancel = nullptr, int stall_timeout_ms = 0);
 
 }  // namespace pn

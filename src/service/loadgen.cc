@@ -1,0 +1,257 @@
+#include "service/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+#include "topology/generators/families.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+
+namespace {
+
+// Cold requests start their wire seeds far above any hot variant's so
+// the two populations can never collide on a cache key.
+constexpr std::uint64_t kColdSeedBase = 1'000'000'001ull;
+
+// How long a load connection waits on a silent service before counting
+// the request as a transport error instead of hanging the run.
+constexpr int kLoadStallTimeoutMs = 120'000;
+
+std::string encode_request(const load_mix_entry& entry,
+                           const std::string& design_twin,
+                           std::uint64_t wire_seed, bool run_repair_sim) {
+  eval_request req;
+  req.name = entry.family + "/" + str_format("%d", entry.size);
+  req.options.seed = wire_seed;
+  req.options.strategy = entry.strategy;
+  req.options.run_repair_sim = run_repair_sim;
+  req.design_twin = design_twin;
+  return encode_eval_request_wire(req);
+}
+
+}  // namespace
+
+result<std::vector<load_request>> build_schedule(const loadgen_config& cfg) {
+  PN_CHECK(cfg.offered_qps > 0.0);
+  PN_CHECK(cfg.duration_s > 0.0);
+  PN_CHECK(cfg.hot_variants >= 1);
+  PN_CHECK(!cfg.mix.empty());
+
+  // One design per mix entry; hot variants and cold requests reuse its
+  // bytes and differ only in the wire seed option (distinct canonical
+  // bytes, distinct cache keys, identical build cost).
+  std::vector<std::string> twins;
+  twins.reserve(cfg.mix.size());
+  for (const load_mix_entry& entry : cfg.mix) {
+    auto g = build_family(entry.family, entry.size, cfg.seed);
+    if (!g.is_ok()) return g.error();
+    twins.push_back(serialize_twin(design_to_twin(g.value())));
+  }
+
+  // Hot payloads are shared across the schedule; build them up front.
+  std::vector<std::vector<std::shared_ptr<const std::string>>> hot;
+  hot.resize(cfg.mix.size());
+  for (std::size_t m = 0; m < cfg.mix.size(); ++m) {
+    hot[m].reserve(static_cast<std::size_t>(cfg.hot_variants));
+    for (int v = 0; v < cfg.hot_variants; ++v) {
+      hot[m].push_back(std::make_shared<const std::string>(encode_request(
+          cfg.mix[m], twins[m], static_cast<std::uint64_t>(v) + 1,
+          cfg.run_repair_sim)));
+    }
+  }
+
+  const auto count = static_cast<std::size_t>(
+      std::max(1.0, std::llround(cfg.offered_qps * cfg.duration_s) * 1.0));
+  rng arrivals(cfg.seed);
+  rng draws(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  const double mean_gap_ns = 1e9 / cfg.offered_qps;
+
+  std::vector<load_request> schedule;
+  schedule.reserve(count);
+  double at_ns = 0.0;
+  std::uint64_t cold_serial = 0;
+  std::vector<std::size_t> hot_cursor(cfg.mix.size(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    at_ns += arrivals.next_exponential(mean_gap_ns);
+    load_request r;
+    r.offset = static_cast<mono_ns>(at_ns);
+    const std::size_t m =
+        cfg.mix.size() == 1 ? 0 : draws.next_index(cfg.mix.size());
+    r.hot = draws.next_double() < cfg.hot_fraction;
+    if (r.hot) {
+      // Round-robin over the hot set: a cyclic scan is deterministic
+      // and adversarial to LRU when the set exceeds cache capacity.
+      const std::size_t v = hot_cursor[m]++ %
+                            static_cast<std::size_t>(cfg.hot_variants);
+      r.payload = hot[m][v];
+    } else {
+      r.payload = std::make_shared<const std::string>(
+          encode_request(cfg.mix[m], twins[m],
+                         kColdSeedBase + cold_serial++,
+                         cfg.run_repair_sim));
+    }
+    schedule.push_back(std::move(r));
+  }
+  return schedule;
+}
+
+result<load_report> run_load(const loadgen_config& cfg,
+                             const std::vector<load_request>& schedule) {
+  PN_CHECK(cfg.connections >= 1);
+  clock_fn tick = cfg.clock ? cfg.clock : real_clock();
+  auto ep = parse_endpoint(cfg.connect);
+  if (!ep.is_ok()) return ep.error();
+
+  struct shared_state {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> retryable{0};
+    std::atomic<std::uint64_t> server_error{0};
+    std::atomic<std::uint64_t> transport_error{0};
+    std::atomic<std::uint64_t> hot_sent{0};
+    std::atomic<std::uint64_t> cold_sent{0};
+    std::atomic<mono_ns> last_done{0};
+    // 1ms bins: percentile error is bounded by one bin, and a load run
+    // cares about the 0.5ms-vs-50ms distinction the server's coarse
+    // 250ms eval bins would erase.
+    metric_series latency{10'000.0, 10'000};
+  } state;
+
+  // A short lead so the first scheduled arrivals are in the future for
+  // every connection, not already late before the pool spins up.
+  const mono_ns start = tick() + mono_ns_from_ms(50.0);
+
+  auto worker = [&] {
+    unique_fd fd;
+    for (;;) {
+      const std::size_t i =
+          state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= schedule.size()) break;
+      const load_request& r = schedule[i];
+      const mono_ns target = start + r.offset;
+      const mono_ns now = tick();
+      if (now < target) sleep_ms(mono_ms_between(now, target));
+      (r.hot ? state.hot_sent : state.cold_sent)
+          .fetch_add(1, std::memory_order_relaxed);
+
+      auto fail_transport = [&] {
+        state.transport_error.fetch_add(1, std::memory_order_relaxed);
+        fd.reset();
+      };
+      if (!fd.valid()) {
+        auto connected = connect_to(ep.value());
+        if (!connected.is_ok()) {
+          fail_transport();
+          continue;
+        }
+        fd = std::move(connected).value();
+      }
+      if (!write_frame(fd.get(), *r.payload, cfg.max_frame_payload)
+               .is_ok()) {
+        fail_transport();
+        continue;
+      }
+      auto frame = read_frame(fd.get(), cfg.max_frame_payload,
+                              /*cancel=*/nullptr, kLoadStallTimeoutMs);
+      if (!frame.is_ok() || !frame.value().has_value()) {
+        fail_transport();
+        continue;
+      }
+      auto response = parse_response(*frame.value());
+      if (!response.is_ok()) {
+        fail_transport();
+        continue;
+      }
+      const mono_ns done = tick();
+      mono_ns seen = state.last_done.load(std::memory_order_relaxed);
+      while (seen < done && !state.last_done.compare_exchange_weak(
+                                seen, done, std::memory_order_relaxed)) {
+      }
+      const status& err = response.value().error;
+      if (err.is_ok()) {
+        state.ok.fetch_add(1, std::memory_order_relaxed);
+        state.latency.record(mono_ms_between(target, done));
+      } else if (err.code() == status_code::overloaded ||
+                 err.code() == status_code::shutting_down) {
+        state.retryable.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        state.server_error.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  {
+    thread_pool pool(cfg.connections);
+    for (int c = 0; c < cfg.connections; ++c) pool.submit(worker);
+    pool.wait_idle();
+  }
+
+  load_report report;
+  report.sent = schedule.size();
+  report.ok = state.ok.load();
+  report.retryable_rejected = state.retryable.load();
+  report.server_error = state.server_error.load();
+  report.transport_error = state.transport_error.load();
+  report.hot_sent = state.hot_sent.load();
+  report.cold_sent = state.cold_sent.load();
+  report.offered_qps = cfg.offered_qps;
+  const mono_ns last = state.last_done.load();
+  report.elapsed_s =
+      last > start ? mono_ms_between(start, last) / 1000.0 : 0.0;
+  if (report.elapsed_s > 0.0) {
+    report.achieved_qps_ok =
+        static_cast<double>(report.ok) / report.elapsed_s;
+    report.achieved_qps_answered =
+        static_cast<double>(report.ok + report.retryable_rejected +
+                            report.server_error) /
+        report.elapsed_s;
+  }
+  report.latency_ms = state.latency.snapshot();
+  return report;
+}
+
+std::string load_report_json(const load_report& r, const std::string& label,
+                             int workers) {
+  std::string out;
+  out += "{\n";
+  out += str_format("      \"label\": \"%s\",\n", label.c_str());
+  out += str_format("      \"workers\": %d,\n", workers);
+  out += str_format("      \"offered_qps\": %.2f,\n", r.offered_qps);
+  out += str_format("      \"achieved_qps_ok\": %.2f,\n", r.achieved_qps_ok);
+  out += str_format("      \"achieved_qps_answered\": %.2f,\n",
+                    r.achieved_qps_answered);
+  out += str_format("      \"elapsed_s\": %.3f,\n", r.elapsed_s);
+  out += str_format(
+      "      \"requests\": {\"sent\": %llu, \"ok\": %llu, "
+      "\"retryable_rejected\": %llu, \"server_error\": %llu, "
+      "\"transport_error\": %llu, \"hot\": %llu, \"cold\": %llu},\n",
+      static_cast<unsigned long long>(r.sent),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.retryable_rejected),
+      static_cast<unsigned long long>(r.server_error),
+      static_cast<unsigned long long>(r.transport_error),
+      static_cast<unsigned long long>(r.hot_sent),
+      static_cast<unsigned long long>(r.cold_sent));
+  out += str_format(
+      "      \"latency_ms\": {\"count\": %llu, \"mean\": %.3f, "
+      "\"min\": %.3f, \"max\": %.3f, \"p50\": %.3f, \"p90\": %.3f, "
+      "\"p95\": %.3f, \"p99\": %.3f}\n",
+      static_cast<unsigned long long>(r.latency_ms.count),
+      r.latency_ms.mean(), r.latency_ms.count == 0 ? 0.0 : r.latency_ms.min,
+      r.latency_ms.count == 0 ? 0.0 : r.latency_ms.max, r.latency_ms.p50,
+      r.latency_ms.p90, r.latency_ms.p95, r.latency_ms.p99);
+  out += "    }";
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,104 @@
+// Open-loop load generator for the evaluation service (worker or proxy).
+//
+// Methodology (the part that makes the numbers honest):
+//
+//   - Open loop: arrivals follow a precomputed schedule at the target
+//     QPS (Poisson inter-arrivals from the seeded rng). A slow service
+//     does not slow the arrival process down — requests queue behind
+//     their scheduled times instead — so saturation shows up as latency
+//     and backpressure, not as a silently reduced offered load
+//     (coordinated omission).
+//   - Deterministic schedule: the arrival offsets, the request mix, and
+//     every request's bytes are a pure function of the config. Two runs
+//     against the same service differ only in service behavior. Wall
+//     time enters only during execution (send/receive timestamps).
+//   - Latency is measured from the request's *scheduled* arrival, so
+//     time spent queued behind a saturated connection counts.
+//
+// Request mix: each request draws a design family/size/strategy from
+// `mix` and is either hot — one of `hot_variants` recurring requests,
+// visited round-robin (a cyclic scan is the LRU-adversarial access
+// pattern, making cache-capacity effects visible and reproducible) — or
+// cold, a never-repeated request that can only miss. Hot and cold
+// requests for one mix entry share the design bytes and differ in the
+// wire seed option, so distinct cache keys cost nothing to build.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "service/framing.h"
+#include "service/metrics.h"
+
+namespace pn {
+
+struct load_mix_entry {
+  std::string family = "fat_tree";
+  int size = 4;
+  std::string strategy = "block";
+};
+
+struct loadgen_config {
+  std::string connect;         // endpoint spec of the service under load
+  double offered_qps = 200.0;  // target arrival rate
+  double duration_s = 5.0;     // schedule length; sent = qps * duration
+  int connections = 4;         // concurrent client connections
+  std::uint64_t seed = 1;      // drives arrivals and mix draws
+  std::vector<load_mix_entry> mix{load_mix_entry{}};
+  double hot_fraction = 1.0;   // probability a request is from the hot set
+  int hot_variants = 16;       // distinct requests in the hot working set
+  bool run_repair_sim = false; // keep cold evals cheap unless asked
+  std::size_t max_frame_payload = default_max_frame_payload;
+  clock_fn clock;              // injectable; defaults to mono_now
+};
+
+// One scheduled request. Payloads are shared: hot variants reuse one
+// string per variant, cold requests own theirs.
+struct load_request {
+  mono_ns offset = 0;  // scheduled arrival, relative to run start
+  std::shared_ptr<const std::string> payload;
+  bool hot = false;
+};
+
+// Builds the full deterministic schedule (arrival offsets strictly
+// non-decreasing). Fails if a mix entry names an unknown family.
+[[nodiscard]] result<std::vector<load_request>> build_schedule(
+    const loadgen_config& cfg);
+
+struct load_report {
+  // Request outcomes. sent = ok + retryable_rejected + server_error +
+  // transport_error once the run drains.
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t retryable_rejected = 0;  // overloaded / shutting_down
+  std::uint64_t server_error = 0;        // other error responses
+  std::uint64_t transport_error = 0;     // connect/write/read/parse failed
+  std::uint64_t hot_sent = 0;
+  std::uint64_t cold_sent = 0;
+
+  double offered_qps = 0.0;
+  double elapsed_s = 0.0;           // first scheduled arrival -> last answer
+  double achieved_qps_ok = 0.0;     // ok answers per elapsed second
+  double achieved_qps_answered = 0.0;  // any answer per elapsed second
+
+  // Per-request latency of ok answers, milliseconds, measured from the
+  // scheduled arrival (see header comment).
+  metric_series::snapshot_t latency_ms;
+};
+
+// Executes the schedule against cfg.connect with cfg.connections
+// workers. Blocks until every request is answered or failed.
+[[nodiscard]] result<load_report> run_load(
+    const loadgen_config& cfg, const std::vector<load_request>& schedule);
+
+// One JSON object describing a run (a "leg" of BENCH_serve.json).
+// `label` and `workers` identify the leg in a sweep.
+[[nodiscard]] std::string load_report_json(const load_report& report,
+                                           const std::string& label,
+                                           int workers);
+
+}  // namespace pn

@@ -46,8 +46,17 @@ metric_series::snapshot_t metric_series::snapshot() const {
   out.max = max_;
   out.p50 = percentile_locked(0.50);
   out.p90 = percentile_locked(0.90);
+  out.p95 = percentile_locked(0.95);
   out.p99 = percentile_locked(0.99);
   return out;
+}
+
+const std::string* stats_get(const stats_list& stats, std::string_view key) {
+  const auto it = std::lower_bound(
+      stats.begin(), stats.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it == stats.end() || it->first != key) return nullptr;
+  return &it->second;
 }
 
 namespace {
@@ -62,55 +71,59 @@ std::string fmt_i64(std::int64_t v) {
 
 std::string fmt_ms(double v) { return str_format("%.3f", v); }
 
-void put_series(std::map<std::string, std::string>& out,
-                const std::string& prefix,
+void put_series(stats_list& out, const std::string& prefix,
                 const metric_series::snapshot_t& s) {
-  out[prefix + ".count"] = fmt_u64(s.count);
-  out[prefix + ".mean"] = fmt_ms(s.mean());
-  out[prefix + ".min"] = fmt_ms(s.count == 0 ? 0.0 : s.min);
-  out[prefix + ".max"] = fmt_ms(s.count == 0 ? 0.0 : s.max);
-  out[prefix + ".p50"] = fmt_ms(s.p50);
-  out[prefix + ".p90"] = fmt_ms(s.p90);
-  out[prefix + ".p99"] = fmt_ms(s.p99);
+  out.emplace_back(prefix + ".count", fmt_u64(s.count));
+  out.emplace_back(prefix + ".mean", fmt_ms(s.mean()));
+  out.emplace_back(prefix + ".min", fmt_ms(s.count == 0 ? 0.0 : s.min));
+  out.emplace_back(prefix + ".max", fmt_ms(s.count == 0 ? 0.0 : s.max));
+  out.emplace_back(prefix + ".p50", fmt_ms(s.p50));
+  out.emplace_back(prefix + ".p90", fmt_ms(s.p90));
+  out.emplace_back(prefix + ".p95", fmt_ms(s.p95));
+  out.emplace_back(prefix + ".p99", fmt_ms(s.p99));
 }
 
 }  // namespace
 
-std::map<std::string, std::string> service_metrics::to_stats_map(
-    std::uint64_t cache_hits, std::uint64_t cache_misses,
-    std::uint64_t cache_entries, std::uint64_t cache_epoch) const {
-  std::map<std::string, std::string> out;
-  out["connections.accepted"] = fmt_u64(connections_accepted.load());
-  out["connections.active"] = fmt_i64(connections_active.load());
+stats_list service_metrics::to_stats(std::uint64_t cache_hits,
+                                     std::uint64_t cache_misses,
+                                     std::uint64_t cache_entries,
+                                     std::uint64_t cache_epoch) const {
+  stats_list out;
+  out.reserve(48);
+  out.emplace_back("connections.accepted", fmt_u64(connections_accepted.load()));
+  out.emplace_back("connections.active", fmt_i64(connections_active.load()));
 
-  out["requests.admitted"] = fmt_u64(requests_admitted.load());
-  out["requests.rejected_overloaded"] = fmt_u64(rejected_overloaded.load());
-  out["requests.rejected_shutting_down"] =
-      fmt_u64(rejected_shutting_down.load());
-  out["requests.bad_frames"] = fmt_u64(bad_frames.load());
-  out["requests.bad_requests"] = fmt_u64(bad_requests.load());
+  out.emplace_back("requests.admitted", fmt_u64(requests_admitted.load()));
+  out.emplace_back("requests.rejected_overloaded",
+                   fmt_u64(rejected_overloaded.load()));
+  out.emplace_back("requests.rejected_shutting_down",
+                   fmt_u64(rejected_shutting_down.load()));
+  out.emplace_back("requests.bad_frames", fmt_u64(bad_frames.load()));
+  out.emplace_back("requests.bad_requests", fmt_u64(bad_requests.load()));
 
-  out["eval.ok"] = fmt_u64(eval_ok.load());
-  out["eval.error"] = fmt_u64(eval_error.load());
-  out["eval.coalesced"] = fmt_u64(coalesced.load());
+  out.emplace_back("eval.ok", fmt_u64(eval_ok.load()));
+  out.emplace_back("eval.error", fmt_u64(eval_error.load()));
+  out.emplace_back("eval.coalesced", fmt_u64(coalesced.load()));
 
-  out["batch.batches"] = fmt_u64(batches.load());
-  out["queue.depth"] = fmt_i64(queue_depth.load());
+  out.emplace_back("batch.batches", fmt_u64(batches.load()));
+  out.emplace_back("queue.depth", fmt_i64(queue_depth.load()));
 
   const std::uint64_t lookups = cache_hits + cache_misses;
-  out["cache.hits"] = fmt_u64(cache_hits);
-  out["cache.misses"] = fmt_u64(cache_misses);
-  out["cache.hit_ratio"] = str_format(
-      "%.6f", lookups == 0
-                  ? 0.0
-                  : static_cast<double>(cache_hits) /
-                        static_cast<double>(lookups));
-  out["cache.entries"] = fmt_u64(cache_entries);
-  out["cache.epoch"] = fmt_u64(cache_epoch);
+  out.emplace_back("cache.hits", fmt_u64(cache_hits));
+  out.emplace_back("cache.misses", fmt_u64(cache_misses));
+  out.emplace_back("cache.hit_ratio",
+                   str_format("%.6f", lookups == 0
+                                          ? 0.0
+                                          : static_cast<double>(cache_hits) /
+                                                static_cast<double>(lookups)));
+  out.emplace_back("cache.entries", fmt_u64(cache_entries));
+  out.emplace_back("cache.epoch", fmt_u64(cache_epoch));
 
   put_series(out, "latency.queue_wait_ms", queue_wait_ms.snapshot());
   put_series(out, "latency.eval_ms", eval_ms.snapshot());
   put_series(out, "batch.size", batch_size.snapshot());
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -14,13 +14,25 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/stats.h"
 
 namespace pn {
+
+// The wire shape of a stats response: (key, value) pairs sorted by key.
+// A sorted vector, not std::map — a stats snapshot is assembled once and
+// then only iterated or binary-searched, and src/service is covered by
+// pn_lint R7's hot-path associative-container ban.
+using stats_list = std::vector<std::pair<std::string, std::string>>;
+
+// Binary search over a sorted stats_list; nullptr when the key is absent.
+[[nodiscard]] const std::string* stats_get(const stats_list& stats,
+                                           std::string_view key);
 
 // One latency/size series: histogram bins plus exact moments.
 class metric_series {
@@ -38,6 +50,7 @@ class metric_series {
     double max = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -84,11 +97,12 @@ struct service_metrics {
   metric_series batch_size{256.0, 256};
 
   // Flattens everything (plus the caller-supplied cache numbers) into the
-  // key/value map the stats response carries. Keys are stable; values are
-  // decimal strings.
-  [[nodiscard]] std::map<std::string, std::string> to_stats_map(
-      std::uint64_t cache_hits, std::uint64_t cache_misses,
-      std::uint64_t cache_entries, std::uint64_t cache_epoch) const;
+  // sorted key/value list the stats response carries. Keys are stable;
+  // values are decimal strings.
+  [[nodiscard]] stats_list to_stats(std::uint64_t cache_hits,
+                                    std::uint64_t cache_misses,
+                                    std::uint64_t cache_entries,
+                                    std::uint64_t cache_epoch) const;
 };
 
 }  // namespace pn

@@ -233,8 +233,7 @@ std::string encode_eval_response(const deployability_report& report,
   return out.str();
 }
 
-std::string encode_stats_response(
-    const std::map<std::string, std::string>& stats) {
+std::string encode_stats_response(const stats_list& stats) {
   std::ostringstream out;
   out << protocol_magic << " ok stats\n";
   for (const auto& [key, value] : stats) {
@@ -318,7 +317,7 @@ result<parsed_response> parse_response(std::string_view payload) {
           !unescape_token(tok[1], key) || !unescape_token(tok[2], value)) {
         return fail("bad stat line: " + lines[i]);
       }
-      out.stats[key] = value;
+      out.stats.emplace_back(std::move(key), std::move(value));
     }
     return out;
   }

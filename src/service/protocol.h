@@ -39,13 +39,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "core/evaluator.h"
 #include "core/report.h"
+#include "service/metrics.h"
 
 namespace pn {
 
@@ -116,15 +116,14 @@ struct eval_reply {
 struct parsed_response {
   request_kind kind = request_kind::ping;
   status error;  // non-ok: the server answered with an error response
-  eval_reply eval;                          // kind == evaluate
-  std::map<std::string, std::string> stats; // kind == stats
-  std::uint64_t cache_epoch = 0;            // kind == invalidate
+  eval_reply eval;                // kind == evaluate
+  stats_list stats;               // kind == stats, in wire order
+  std::uint64_t cache_epoch = 0;  // kind == invalidate
 };
 
 [[nodiscard]] std::string encode_eval_response(
     const deployability_report& report, std::uint64_t seed);
-[[nodiscard]] std::string encode_stats_response(
-    const std::map<std::string, std::string>& stats);
+[[nodiscard]] std::string encode_stats_response(const stats_list& stats);
 [[nodiscard]] std::string encode_ping_response();
 [[nodiscard]] std::string encode_invalidate_response(std::uint64_t epoch);
 [[nodiscard]] std::string encode_error_response(const status& error);

@@ -1,0 +1,373 @@
+#include "service/proxy.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+
+namespace pn {
+
+namespace {
+
+// Worker stat keys the proxy sums into its aggregated stats response.
+// Gauges that don't add meaningfully across processes (cache.epoch,
+// queue.depth, latency percentiles) are deliberately absent; hit_ratio
+// is recomputed from the summed hits/misses.
+constexpr const char* kSummedWorkerStats[] = {
+    "batch.batches",
+    "cache.entries",
+    "cache.hits",
+    "cache.misses",
+    "connections.accepted",
+    "eval.coalesced",
+    "eval.error",
+    "eval.ok",
+    "requests.admitted",
+    "requests.bad_frames",
+    "requests.bad_requests",
+    "requests.rejected_overloaded",
+    "requests.rejected_shutting_down",
+};
+
+std::string fmt_u64(std::uint64_t v) {
+  return str_format("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+eval_proxy::eval_proxy(proxy_config cfg)
+    : cfg_(std::move(cfg)),
+      ring_(cfg_.workers, cfg_.vnodes),
+      conn_pool_(cfg_.conn_threads > 0 ? cfg_.conn_threads : 1) {
+  PN_CHECK_MSG(!cfg_.workers.empty(), "proxy needs at least one worker");
+  if (!cfg_.clock) cfg_.clock = real_clock();
+  workers_.reserve(cfg_.workers.size());
+  for (const std::string& spec : cfg_.workers) {
+    auto w = std::make_unique<worker_state>();
+    w->spec = spec;
+    workers_.push_back(std::move(w));
+  }
+}
+
+eval_proxy::~eval_proxy() = default;
+
+status eval_proxy::bind() {
+  PN_CHECK_MSG(!listen_fd_.valid(), "bind() called twice");
+  for (auto& w : workers_) {
+    auto ep = parse_endpoint(w->spec);
+    if (!ep.is_ok()) return ep.error();
+    w->ep = std::move(ep).value();
+  }
+  auto ep = parse_endpoint(cfg_.listen);
+  if (!ep.is_ok()) return ep.error();
+  ep_ = std::move(ep).value();
+  auto fd = listen_on(ep_);
+  if (!fd.is_ok()) return fd.error();
+  listen_fd_ = std::move(fd).value();
+  return status::ok();
+}
+
+status eval_proxy::serve(const cancel_token& cancel) {
+  PN_CHECK_MSG(listen_fd_.valid(), "serve() before bind()");
+  status listen_failure = status::ok();
+  for (;;) {
+    auto accepted = accept_on(listen_fd_.get(), cancel);
+    if (!accepted.is_ok()) {
+      listen_failure = accepted.error();
+      break;
+    }
+    if (!accepted.value().has_value()) break;  // cancelled: clean shutdown
+    metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    auto fd = std::make_shared<unique_fd>(
+        std::move(accepted.value().value()));
+    conn_pool_.submit([this, fd, cancel] {
+      metrics_.connections_active.fetch_add(1, std::memory_order_relaxed);
+      handle_connection(fd->get(), cancel);
+      metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+
+  listen_fd_.reset();
+  if (ep_.is_unix) ::unlink(ep_.path.c_str());
+  conn_pool_.wait_idle();
+  return listen_failure;
+}
+
+bool eval_proxy::worker_alive(std::size_t i) const {
+  PN_CHECK(i < workers_.size());
+  return workers_[i]->alive.load(std::memory_order_acquire);
+}
+
+bool eval_proxy::routable(std::size_t w) const {
+  const worker_state& ws = *workers_[w];
+  if (ws.alive.load(std::memory_order_acquire)) return true;
+  return cfg_.clock() >= ws.retry_at.load(std::memory_order_acquire);
+}
+
+void eval_proxy::mark_failure(std::size_t w) {
+  worker_state& ws = *workers_[w];
+  const int failures = ws.failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  double backoff = cfg_.backoff_base_ms;
+  for (int i = 1; i < failures && backoff < cfg_.backoff_cap_ms; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, cfg_.backoff_cap_ms);
+  ws.retry_at.store(cfg_.clock() + mono_ns_from_ms(backoff),
+                    std::memory_order_release);
+  ws.alive.store(false, std::memory_order_release);
+  metrics_.worker_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+void eval_proxy::mark_alive(std::size_t w) {
+  worker_state& ws = *workers_[w];
+  ws.failures.store(0, std::memory_order_release);
+  ws.retry_at.store(0, std::memory_order_release);
+  ws.alive.store(true, std::memory_order_release);
+}
+
+result<std::string> eval_proxy::worker_round_trip(backend_conns& conns,
+                                                  std::size_t w,
+                                                  const std::string& payload,
+                                                  bool resync) {
+  worker_state& ws = *workers_[w];
+  unique_fd& fd = conns.fds[w];
+  if (!fd.valid()) {
+    auto connected = connect_to(ws.ep);
+    if (!connected.is_ok()) {
+      mark_failure(w);
+      return connected.error();
+    }
+    fd = std::move(connected).value();
+  }
+
+  // A worker that missed an invalidate broadcast (it was down, or it
+  // restarted mid-broadcast) must bump its cache epoch before it may
+  // serve an evaluate — otherwise it could answer from a cache line the
+  // proxy already told clients was invalidated.
+  if (resync) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (ws.acked_generation.load(std::memory_order_acquire) < gen) {
+      auto synced = worker_round_trip(
+          conns, w, encode_plain_request(request_kind::invalidate),
+          /*resync=*/false);
+      if (!synced.is_ok()) return synced.error();
+      metrics_.invalidate_resyncs.fetch_add(1, std::memory_order_relaxed);
+      // fetch_max: another handler may have acked a newer generation.
+      std::uint64_t seen =
+          ws.acked_generation.load(std::memory_order_acquire);
+      while (seen < gen && !ws.acked_generation.compare_exchange_weak(
+                               seen, gen, std::memory_order_acq_rel)) {
+      }
+    }
+  }
+
+  const status wrote = write_frame(fd.get(), payload, cfg_.max_frame_payload);
+  if (!wrote.is_ok()) {
+    fd.reset();
+    mark_failure(w);
+    return wrote;
+  }
+  // No cancel token on purpose: once a request is in flight to a worker
+  // the proxy waits for the answer (the worker drains admitted work on
+  // shutdown), bounded only by the stall timeout.
+  auto frame = read_frame(fd.get(), cfg_.max_frame_payload,
+                          /*cancel=*/nullptr, cfg_.stall_timeout_ms);
+  if (!frame.is_ok()) {
+    fd.reset();
+    mark_failure(w);
+    return frame.error();
+  }
+  if (!frame.value().has_value()) {
+    fd.reset();
+    mark_failure(w);
+    return io_error_status("worker closed the connection mid-request");
+  }
+  mark_alive(w);
+  return std::move(*frame.value());
+}
+
+std::string eval_proxy::handle_evaluate(backend_conns& conns,
+                                        const eval_request& req,
+                                        const std::string& payload) {
+  // Canonical bytes (hint lines stripped, options in fixed order) are the
+  // routing material — the same bytes every worker hashes for its cache —
+  // but the *original* payload is what gets forwarded, so the response
+  // relayed back is byte-identical to a direct round trip.
+  const cache_key key = cache_key_of(encode_eval_request(req));
+
+  const mono_ns started = cfg_.clock();
+  bool tried_any = false;
+  for (const std::uint32_t w : ring_.preference(key)) {
+    if (!routable(w)) continue;
+    if (tried_any) {
+      metrics_.failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+    tried_any = true;
+    auto response = worker_round_trip(conns, w, payload);
+    if (response.is_ok()) {
+      workers_[w]->forwarded.fetch_add(1, std::memory_order_relaxed);
+      metrics_.requests_forwarded.fetch_add(1, std::memory_order_relaxed);
+      metrics_.forward_ms.record(mono_ms_between(started, cfg_.clock()));
+      return std::move(response).value();
+    }
+  }
+  metrics_.no_worker_available.fetch_add(1, std::memory_order_relaxed);
+  return encode_error_response(overloaded_error(
+      "no live worker available for this request; back off and retry"));
+}
+
+std::string eval_proxy::handle_stats(backend_conns& conns) {
+  // Aggregate: the proxy's own counters under proxy.*, plus the sum of
+  // each worker's additive counters. Unreachable workers are skipped
+  // (and visible via workers.alive).
+  std::vector<std::pair<std::string, std::uint64_t>> sums;
+  for (const char* key : kSummedWorkerStats) sums.emplace_back(key, 0);
+  std::size_t reachable = 0;
+  const std::string stats_req = encode_plain_request(request_kind::stats);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!routable(w)) continue;
+    auto response = worker_round_trip(conns, w, stats_req);
+    if (!response.is_ok()) continue;
+    auto parsed = parse_response(response.value());
+    if (!parsed.is_ok() || parsed.value().kind != request_kind::stats) {
+      continue;
+    }
+    ++reachable;
+    for (auto& [key, total] : sums) {
+      if (const std::string* v = stats_get(parsed.value().stats, key)) {
+        total += std::strtoull(v->c_str(), nullptr, 10);
+      }
+    }
+  }
+
+  stats_list out;
+  out.reserve(sums.size() + 16);
+  for (const auto& [key, total] : sums) {
+    out.emplace_back(key, fmt_u64(total));
+  }
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& [key, total] : sums) {
+    if (key == "cache.hits") hits = total;
+    if (key == "cache.misses") misses = total;
+  }
+  const std::uint64_t lookups = hits + misses;
+  out.emplace_back("cache.hit_ratio",
+                   str_format("%.6f", lookups == 0
+                                          ? 0.0
+                                          : static_cast<double>(hits) /
+                                                static_cast<double>(lookups)));
+  out.emplace_back("proxy.connections.accepted",
+                   fmt_u64(metrics_.connections_accepted.load()));
+  out.emplace_back("proxy.failovers", fmt_u64(metrics_.failovers.load()));
+  out.emplace_back("proxy.generation", fmt_u64(generation()));
+  out.emplace_back("proxy.invalidate.broadcasts",
+                   fmt_u64(metrics_.invalidate_broadcasts.load()));
+  out.emplace_back("proxy.invalidate.resyncs",
+                   fmt_u64(metrics_.invalidate_resyncs.load()));
+  out.emplace_back("proxy.no_worker_available",
+                   fmt_u64(metrics_.no_worker_available.load()));
+  out.emplace_back("proxy.requests.bad_requests",
+                   fmt_u64(metrics_.bad_requests.load()));
+  out.emplace_back("proxy.requests.forwarded",
+                   fmt_u64(metrics_.requests_forwarded.load()));
+  out.emplace_back("proxy.worker_failures",
+                   fmt_u64(metrics_.worker_failures.load()));
+  const auto fwd = metrics_.forward_ms.snapshot();
+  out.emplace_back("proxy.forward_ms.count", fmt_u64(fwd.count));
+  out.emplace_back("proxy.forward_ms.mean", str_format("%.3f", fwd.mean()));
+  out.emplace_back("proxy.forward_ms.p50", str_format("%.3f", fwd.p50));
+  out.emplace_back("proxy.forward_ms.p95", str_format("%.3f", fwd.p95));
+  out.emplace_back("proxy.forward_ms.p99", str_format("%.3f", fwd.p99));
+  std::size_t alive = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const bool w_alive = workers_[w]->alive.load(std::memory_order_acquire);
+    if (w_alive) ++alive;
+    // Per-worker routing breakdown: a skewed fleet shows up here even
+    // when every aggregate counter looks healthy.
+    out.emplace_back(str_format("worker.%zu.alive", w), w_alive ? "1" : "0");
+    out.emplace_back(str_format("worker.%zu.forwarded", w),
+                     fmt_u64(workers_[w]->forwarded.load(
+                         std::memory_order_relaxed)));
+  }
+  out.emplace_back("workers.alive", fmt_u64(alive));
+  out.emplace_back("workers.reachable", fmt_u64(reachable));
+  out.emplace_back("workers.total", fmt_u64(workers_.size()));
+  std::sort(out.begin(), out.end());
+  return encode_stats_response(out);
+}
+
+std::string eval_proxy::handle_invalidate(backend_conns& conns) {
+  // Bump first: any evaluate that races this broadcast either reaches a
+  // worker that already bumped (fine) or finds the worker's acked
+  // generation behind and resyncs before forwarding.
+  const std::uint64_t gen =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  metrics_.invalidate_broadcasts.fetch_add(1, std::memory_order_relaxed);
+  const std::string payload =
+      encode_plain_request(request_kind::invalidate);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    auto response =
+        worker_round_trip(conns, w, payload, /*resync=*/false);
+    if (!response.is_ok()) continue;  // stays behind; resynced on demand
+    std::uint64_t seen =
+        workers_[w]->acked_generation.load(std::memory_order_acquire);
+    while (seen < gen && !workers_[w]->acked_generation.compare_exchange_weak(
+                             seen, gen, std::memory_order_acq_rel)) {
+    }
+  }
+  // The epoch in the response is the proxy's own generation: worker
+  // epochs may drift apart across restarts, but the proxy guarantees
+  // every post-invalidate evaluate sees post-invalidate caches.
+  return encode_invalidate_response(gen);
+}
+
+std::string eval_proxy::handle_payload(backend_conns& conns,
+                                       const std::string& payload) {
+  auto parsed = parse_request(payload);
+  if (!parsed.is_ok()) {
+    metrics_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return encode_error_response(parsed.error());
+  }
+  switch (parsed.value().kind) {
+    case request_kind::evaluate:
+      return handle_evaluate(conns, parsed.value().eval, payload);
+    case request_kind::stats:
+      return handle_stats(conns);
+    case request_kind::ping:
+      return encode_ping_response();
+    case request_kind::invalidate:
+      return handle_invalidate(conns);
+  }
+  return encode_error_response(
+      invalid_argument_error("unhandled request kind"));
+}
+
+void eval_proxy::handle_connection(int fd, const cancel_token& cancel) {
+  backend_conns conns;
+  conns.fds.resize(workers_.size());
+  for (;;) {
+    auto frame = read_frame(fd, cfg_.max_frame_payload, &cancel);
+    if (!frame.is_ok()) {
+      if (frame.error().code() == status_code::bad_frame) {
+        metrics_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        (void)write_frame(fd, encode_error_response(frame.error()),
+                          cfg_.max_frame_payload);
+      }
+      return;  // bad_frame / io_error / cancelled-while-idle: close
+    }
+    if (!frame.value().has_value()) return;  // clean EOF
+    const std::string response = handle_payload(conns, *frame.value());
+    if (!write_frame(fd, response, cfg_.max_frame_payload).is_ok()) {
+      return;  // client went away mid-response
+    }
+  }
+}
+
+}  // namespace pn

@@ -1,0 +1,153 @@
+// Consistent-hashing front proxy for a fleet of physnet_serve workers.
+//
+// The proxy speaks the same physnet/1 framed protocol as the workers on
+// both sides. Each client connection gets one handler task (per-
+// connection request ordering is therefore preserved by construction);
+// the handler re-encodes every evaluate request canonically, hashes the
+// canonical bytes with the result cache's dual-lane FNV-1a key, and
+// routes the *original* payload bytes to the worker the hash ring picks.
+// Responses are relayed verbatim, so a proxied response is byte-
+// identical to what the chosen worker would have answered directly —
+// the canonical re-encode is used for routing only. Since the cache key
+// inside each worker is the same hash of the same canonical bytes,
+// consistent hashing also partitions the fleet's caches: every distinct
+// request has exactly one home worker and therefore exactly one cache
+// line fleet-wide (aggregate capacity scales with worker count).
+//
+// Worker death: a connect/write/read failure marks the worker dead and
+// starts a capped exponential reconnect backoff; the request fails over
+// to the next worker in the ring's preference order (deterministic
+// survivor rehash — only the dead worker's keys move). When no worker
+// can answer, the client gets a retryable `overloaded` error, the same
+// backpressure contract physnet_serve itself uses. Backend reads carry
+// a stall timeout instead of a cancel token, so an admitted request is
+// never abandoned mid-drain and a wedged worker cannot pin a handler.
+//
+// Invalidation: an `invalidate` request bumps the proxy's generation
+// and broadcasts an epoch bump to every reachable worker. Workers that
+// were unreachable stay behind on acked generation, and any handler
+// about to forward an evaluate to such a worker first resyncs it
+// (sends the missed invalidate) — so a worker can never serve a stale
+// cached result after the proxy acknowledged an invalidation, even
+// across worker crashes and reconnects. Redundant bumps from racing
+// handlers only over-invalidate, which is safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/framing.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/ring.h"
+#include "service/socket.h"
+
+namespace pn {
+
+struct proxy_config {
+  std::string listen;                // "unix:<path>" or "tcp:<host>:<port>"
+  std::vector<std::string> workers;  // backend endpoint specs, >= 1
+  int conn_threads = 8;              // concurrent client handlers
+  int vnodes = 64;                   // ring points per worker
+  double backoff_base_ms = 50.0;     // first reconnect delay after a death
+  double backoff_cap_ms = 2'000.0;
+  int stall_timeout_ms = 120'000;    // backend silence budget per frame
+  std::size_t max_frame_payload = default_max_frame_payload;
+  clock_fn clock;                    // injectable; defaults to mono_now
+};
+
+struct proxy_metrics {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::int64_t> connections_active{0};
+  std::atomic<std::uint64_t> requests_forwarded{0};  // answered by a worker
+  std::atomic<std::uint64_t> failovers{0};     // retried on another worker
+  std::atomic<std::uint64_t> worker_failures{0};  // dead-marks
+  std::atomic<std::uint64_t> no_worker_available{0};  // overloaded answers
+  std::atomic<std::uint64_t> invalidate_broadcasts{0};
+  std::atomic<std::uint64_t> invalidate_resyncs{0};  // lazy catch-ups
+  std::atomic<std::uint64_t> bad_frames{0};
+  std::atomic<std::uint64_t> bad_requests{0};
+  metric_series forward_ms{60'000.0, 240};  // client-observed, per request
+};
+
+class eval_proxy {
+ public:
+  explicit eval_proxy(proxy_config cfg);
+  ~eval_proxy();
+
+  eval_proxy(const eval_proxy&) = delete;
+  eval_proxy& operator=(const eval_proxy&) = delete;
+
+  // Parses endpoints and starts listening. Call once, before serve().
+  [[nodiscard]] status bind();
+
+  // Accept loop on the calling thread until `cancel` fires; then drains
+  // handlers (in-flight backend round trips complete, bounded by the
+  // stall timeout) and returns.
+  [[nodiscard]] status serve(const cancel_token& cancel);
+
+  // Observability.
+  [[nodiscard]] proxy_metrics& metrics() { return metrics_; }
+  [[nodiscard]] const endpoint& bound_endpoint() const { return ep_; }
+  [[nodiscard]] const hash_ring& ring() const { return ring_; }
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool worker_alive(std::size_t i) const;
+
+ private:
+  struct worker_state {
+    std::string spec;
+    endpoint ep;
+    std::atomic<bool> alive{true};
+    std::atomic<int> failures{0};          // consecutive, for backoff
+    std::atomic<mono_ns> retry_at{0};      // next probe time when dead
+    std::atomic<std::uint64_t> acked_generation{1};
+    std::atomic<std::uint64_t> forwarded{0};  // evaluates this worker answered
+  };
+  // One lazily-connected backend fd per worker, owned by one handler.
+  struct backend_conns {
+    std::vector<unique_fd> fds;
+  };
+
+  void handle_connection(int fd, const cancel_token& cancel);
+  [[nodiscard]] std::string handle_payload(backend_conns& conns,
+                                           const std::string& payload);
+  [[nodiscard]] std::string handle_evaluate(backend_conns& conns,
+                                            const eval_request& req,
+                                            const std::string& payload);
+  [[nodiscard]] std::string handle_stats(backend_conns& conns);
+  [[nodiscard]] std::string handle_invalidate(backend_conns& conns);
+
+  // True when worker w may be tried now: alive, or dead with an expired
+  // backoff window (a probe).
+  [[nodiscard]] bool routable(std::size_t w) const;
+  void mark_failure(std::size_t w);
+  void mark_alive(std::size_t w);
+
+  // One framed round trip on this handler's connection to worker w,
+  // connecting (and resyncing a missed invalidation generation, unless
+  // `resync` is false because this IS the invalidate) first. Any
+  // failure marks the worker dead and resets the connection.
+  [[nodiscard]] result<std::string> worker_round_trip(
+      backend_conns& conns, std::size_t w, const std::string& payload,
+      bool resync = true);
+
+  proxy_config cfg_;
+  endpoint ep_;
+  unique_fd listen_fd_;
+  hash_ring ring_;
+  std::vector<std::unique_ptr<worker_state>> workers_;
+  std::atomic<std::uint64_t> generation_{1};
+  proxy_metrics metrics_;
+  thread_pool conn_pool_;
+};
+
+}  // namespace pn

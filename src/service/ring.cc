@@ -1,0 +1,75 @@
+#include "service/ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pn {
+
+namespace {
+
+// FNV-1a diffuses the *low* bits of similar inputs poorly — canonical
+// request bytes that differ only in a seed digit land on the same arc
+// of the ring and one worker inherits nearly every key. Finalizing both
+// point and query positions with a 64-bit avalanche mix (splitmix64's
+// finalizer) restores a uniform spread without touching the cache key
+// itself.
+std::uint64_t ring_position(const cache_key& k) {
+  std::uint64_t x = k.lo ^ k.hi;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+hash_ring::hash_ring(const std::vector<std::string>& workers, int vnodes) {
+  PN_CHECK(vnodes >= 1);
+  workers_ = static_cast<std::uint32_t>(workers.size());
+  points_.reserve(workers.size() * static_cast<std::size_t>(vnodes));
+  for (std::uint32_t w = 0; w < workers_; ++w) {
+    for (int v = 0; v < vnodes; ++v) {
+      // Both hash lanes feed the ring so two specs would need a full
+      // 128-bit collision to share every point.
+      const cache_key k =
+          cache_key_of(workers[w] + "#" + str_format("%d", v));
+      points_.emplace_back(ring_position(k), w);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::uint32_t> hash_ring::preference(const cache_key& key) const {
+  std::vector<std::uint32_t> order;
+  order.reserve(workers_);
+  if (points_.empty()) return order;
+  std::vector<std::uint8_t> seen(workers_, 0);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(ring_position(key), std::uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t step = 0;
+       step < points_.size() && order.size() < workers_; ++step, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    const std::uint32_t w = it->second;
+    if (seen[w] != 0) continue;
+    seen[w] = 1;
+    order.push_back(w);
+  }
+  return order;
+}
+
+std::uint32_t hash_ring::pick(const cache_key& key,
+                              const std::vector<std::uint8_t>& alive) const {
+  PN_CHECK(alive.size() == workers_);
+  for (const std::uint32_t w : preference(key)) {
+    if (alive[w] != 0) return w;
+  }
+  return workers_;
+}
+
+}  // namespace pn

@@ -1,0 +1,56 @@
+// Consistent-hash ring over backend worker endpoints.
+//
+// Each worker contributes `vnodes` points on a 64-bit ring; a request is
+// routed by walking clockwise from its cache key's position and taking
+// workers in first-encountered order. Two properties are load-bearing:
+//
+//   - Determinism: points are hashed from the endpoint spec strings with
+//     the same dual-lane FNV-1a the result cache uses (cache_key_of), so
+//     every proxy instance — across processes, restarts, and runs —
+//     routes byte-equal canonical request bytes to the same worker.
+//   - Consistency under death: preference order is a pure function of
+//     the full worker set. Skipping dead workers in that fixed order
+//     means a death only remaps the keys that were on the dead worker
+//     (they shift to their next preference); every other key keeps its
+//     worker and therefore its warm cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/result_cache.h"
+
+namespace pn {
+
+class hash_ring {
+ public:
+  // `workers` are endpoint specs (or any stable identity strings); index
+  // i in the routing API refers to workers[i]. vnodes is the number of
+  // ring points per worker — more points, smoother key distribution.
+  explicit hash_ring(const std::vector<std::string>& workers,
+                     int vnodes = 64);
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+
+  // All distinct worker indices in clockwise ring order starting at
+  // `key`'s position: preference(key)[0] is the home worker, [1] the
+  // first failover, and so on. Deterministic (see header comment).
+  [[nodiscard]] std::vector<std::uint32_t> preference(
+      const cache_key& key) const;
+
+  // Convenience: the home worker for `key`, skipping workers for which
+  // `alive[i]` is zero. Returns worker_count() when no worker is
+  // available.
+  [[nodiscard]] std::uint32_t pick(const cache_key& key,
+                                   const std::vector<std::uint8_t>& alive)
+      const;
+
+ private:
+  // (ring position, worker index), sorted by position then index so the
+  // walk order is total even on the astronomically unlikely collision.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+  std::uint32_t workers_ = 0;
+};
+
+}  // namespace pn

@@ -96,7 +96,7 @@ std::string eval_server::handle_payload(const std::string& payload) {
       return batcher_->evaluate(parsed.value().eval).response;
     case request_kind::stats: {
       const cache_stats cs = cache_.stats();
-      return encode_stats_response(metrics_.to_stats_map(
+      return encode_stats_response(metrics_.to_stats(
           cs.hits, cs.misses, cs.entries, cs.epoch));
     }
     case request_kind::ping:

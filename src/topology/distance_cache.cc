@@ -125,54 +125,29 @@ bool row_survives(const std::vector<int>& d,
 
 void bfs_workspace::run(const csr_graph& g, std::uint32_t src,
                         std::vector<int>& dist) {
-  // Callers seeded visited_ (all zeros, or blocked bits) and dist (-1).
-  const std::size_t n = g.num_nodes;
-  const std::size_t words = (n + 63) / 64;
-  current_.assign(words, 0);
-  next_.assign(words, 0);
+  // Callers seeded dist: -1 = unseen, -2 = blocked (counts as visited).
+  frontier_.clear();
+  next_frontier_.clear();
   dist[src] = 0;
-  visited_[src >> 6] |= std::uint64_t{1} << (src & 63);
-  current_[src >> 6] |= std::uint64_t{1} << (src & 63);
+  frontier_.push_back(src);
 
   const std::uint32_t* const offsets = g.row_offsets.data();
   const std::uint32_t* const ends = g.row_end.data();
   const std::uint32_t* const adj = g.adjacency.data();
-  std::uint64_t* const vis = visited_.data();
-  std::uint64_t* const cur = current_.data();
-  std::uint64_t* const nxt = next_.data();
   int* const d = dist.data();
 
-  for (int level = 1;; ++level) {
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t m = cur[w];
-      while (m != 0) {
-        const auto u =
-            static_cast<std::uint32_t>(w * 64) +
-            static_cast<std::uint32_t>(std::countr_zero(m));
-        m &= m - 1;
-        const std::uint32_t end = ends[u];
-        for (std::uint32_t k = offsets[u]; k < end; ++k) {
-          const std::uint32_t v = adj[k];
-          nxt[v >> 6] |= std::uint64_t{1} << (v & 63);
-        }
-      }
-    }
-    bool any = false;
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t fresh = nxt[w] & ~vis[w];
-      nxt[w] = 0;
-      cur[w] = fresh;
-      if (fresh == 0) continue;
-      any = true;
-      vis[w] |= fresh;
-      while (fresh != 0) {
-        const auto v = w * 64 +
-                       static_cast<std::size_t>(std::countr_zero(fresh));
-        fresh &= fresh - 1;
+  for (int level = 1; !frontier_.empty(); ++level) {
+    for (const std::uint32_t u : frontier_) {
+      const std::uint32_t end = ends[u];
+      for (std::uint32_t k = offsets[u]; k < end; ++k) {
+        const std::uint32_t v = adj[k];
+        if (d[v] != -1) continue;
         d[v] = level;
+        next_frontier_.push_back(v);
       }
     }
-    if (!any) break;
+    frontier_.swap(next_frontier_);
+    next_frontier_.clear();
   }
 }
 
@@ -180,7 +155,6 @@ void bfs_workspace::distances(const csr_graph& g, std::uint32_t src,
                               std::vector<int>& dist) {
   PN_CHECK(src < g.num_nodes);
   dist.assign(g.num_nodes, -1);
-  visited_.assign((g.num_nodes + 63) / 64, 0);
   run(g, src, dist);
 }
 
@@ -191,12 +165,15 @@ void bfs_workspace::distances_masked(const csr_graph& g, std::uint32_t src,
   PN_CHECK(blocked.size() >= g.num_nodes);
   dist.assign(g.num_nodes, -1);
   if (blocked[src] != 0) return;
-  // Blocked nodes are pre-marked visited: never entered, never labeled.
-  visited_.assign((g.num_nodes + 63) / 64, 0);
+  // Blocked nodes are pre-marked with the visited sentinel: never
+  // entered, never labeled, and reported as unreachable (-1) at the end.
   for (std::uint32_t u = 0; u < g.num_nodes; ++u) {
-    if (blocked[u] != 0) visited_[u >> 6] |= std::uint64_t{1} << (u & 63);
+    if (blocked[u] != 0) dist[u] = -2;
   }
   run(g, src, dist);
+  for (std::uint32_t u = 0; u < g.num_nodes; ++u) {
+    if (dist[u] == -2) dist[u] = -1;
+  }
 }
 
 distance_cache::distance_cache(const network_graph& g) : g_(&g) {

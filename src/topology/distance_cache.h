@@ -35,12 +35,16 @@ namespace pn {
 
 class thread_pool;
 
-// Single-source BFS over a CSR snapshot using a word-parallel bitset
-// frontier: visited/current/next are one bit per node, packed 64 per
-// word, and each level drains the current words with countr_zero. Level
-// sets are unique, so the rows match the flat-queue form bit for bit —
-// this replaced the old ring-buffer frontier, which trailed the
-// adjacency-list reference on small graphs (bm_bfs_csr/16).
+// Single-source BFS over a CSR snapshot. The dist row doubles as the
+// visited marker (-1 = unseen, exactly like the adjacency-list
+// reference), and the frontier is two reused flat node vectors, so the
+// inner loop touches one int per arc and nothing else. The previous
+// word-parallel bitset frontier scanned every bitset word per level,
+// which on small graphs cost more than the traversal itself and left
+// bm_bfs_csr trailing the reference; this form beats it at every size.
+// distances_masked pre-seeds blocked nodes with a -2 sentinel (visited,
+// never enqueued) and sweeps it back to -1 afterward. Level sets are
+// unique, so the rows match the reference bit for bit either way.
 class bfs_workspace {
  public:
   // Fills dist (resized to g.num_nodes) with hop counts from src; -1 for
@@ -60,9 +64,8 @@ class bfs_workspace {
  private:
   void run(const csr_graph& g, std::uint32_t src, std::vector<int>& dist);
 
-  std::vector<std::uint64_t> visited_;
-  std::vector<std::uint64_t> current_;
-  std::vector<std::uint64_t> next_;
+  std::vector<std::uint32_t> frontier_;
+  std::vector<std::uint32_t> next_frontier_;
 };
 
 // Lazily-filled all-sources distance table over one network_graph.

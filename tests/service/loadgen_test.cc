@@ -1,0 +1,140 @@
+// Load-generator tests: the schedule is a pure function of the config
+// (the property the whole benchmarking methodology rests on), and a
+// short real run against a real worker produces a sane report.
+#include "service/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/thread_pool.h"
+#include "service/server.h"
+
+namespace pn {
+namespace {
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pn_loadgen_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+TEST(loadgen, schedule_is_deterministic_and_monotone) {
+  loadgen_config cfg;
+  cfg.offered_qps = 500.0;
+  cfg.duration_s = 1.0;
+  cfg.seed = 42;
+  cfg.hot_fraction = 0.5;
+  cfg.hot_variants = 4;
+
+  auto a = build_schedule(cfg);
+  auto b = build_schedule(cfg);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a.value().size(), 500u);  // qps * duration
+  ASSERT_EQ(a.value().size(), b.value().size());
+
+  mono_ns last = 0;
+  for (std::size_t i = 0; i < a.value().size(); ++i) {
+    const load_request& ra = a.value()[i];
+    const load_request& rb = b.value()[i];
+    EXPECT_EQ(ra.offset, rb.offset);
+    EXPECT_EQ(ra.hot, rb.hot);
+    EXPECT_EQ(*ra.payload, *rb.payload);  // byte-for-byte
+    EXPECT_GE(ra.offset, last);           // arrivals never go backwards
+    last = ra.offset;
+  }
+}
+
+TEST(loadgen, hot_set_cycles_and_cold_requests_never_repeat) {
+  loadgen_config cfg;
+  cfg.offered_qps = 400.0;
+  cfg.duration_s = 1.0;
+  cfg.seed = 7;
+  cfg.hot_fraction = 0.5;
+  cfg.hot_variants = 4;
+
+  auto schedule = build_schedule(cfg);
+  ASSERT_TRUE(schedule.is_ok());
+
+  std::set<const std::string*> hot_payloads;  // identity: shared strings
+  std::set<std::string> cold_bytes;
+  std::size_t hot = 0, cold = 0;
+  for (const load_request& r : schedule.value()) {
+    if (r.hot) {
+      ++hot;
+      hot_payloads.insert(r.payload.get());
+    } else {
+      ++cold;
+      // Every cold request is globally unique (can only miss).
+      EXPECT_TRUE(cold_bytes.insert(*r.payload).second);
+    }
+  }
+  // ~50/50 split, and the hot side reuses exactly `hot_variants`
+  // distinct payload strings.
+  EXPECT_GT(hot, 100u);
+  EXPECT_GT(cold, 100u);
+  EXPECT_EQ(hot_payloads.size(), 4u);
+}
+
+TEST(loadgen, unknown_family_fails_schedule_build) {
+  loadgen_config cfg;
+  cfg.mix = {load_mix_entry{"not_a_family", 4, "block"}};
+  auto schedule = build_schedule(cfg);
+  ASSERT_FALSE(schedule.is_ok());
+}
+
+TEST(loadgen, short_run_against_real_worker_reports_sane_numbers) {
+  const std::string spec = "unix:" + unique_socket_path();
+  server_config scfg;
+  scfg.listen = spec;
+  eval_server server(std::move(scfg));
+  ASSERT_TRUE(server.bind().is_ok());
+  cancel_token cancel;
+  status served = status::ok();
+  thread_pool loop(1);
+  loop.submit([&] { served = server.serve(cancel); });
+
+  loadgen_config cfg;
+  cfg.connect = spec;
+  cfg.offered_qps = 200.0;
+  cfg.duration_s = 0.25;  // 50 requests
+  cfg.connections = 2;
+  cfg.hot_variants = 4;  // tiny hot set: mostly cache hits
+
+  auto schedule = build_schedule(cfg);
+  ASSERT_TRUE(schedule.is_ok());
+  auto report = run_load(cfg, schedule.value());
+  ASSERT_TRUE(report.is_ok()) << report.error().to_string();
+
+  const load_report& r = report.value();
+  EXPECT_EQ(r.sent, schedule.value().size());
+  EXPECT_EQ(r.ok, r.sent);  // healthy worker answers everything
+  EXPECT_EQ(r.transport_error, 0u);
+  EXPECT_EQ(r.hot_sent + r.cold_sent, r.sent);
+  EXPECT_GT(r.elapsed_s, 0.0);
+  EXPECT_GT(r.achieved_qps_ok, 0.0);
+  EXPECT_EQ(r.latency_ms.count, r.ok);
+  EXPECT_GT(r.latency_ms.p99, 0.0);
+  EXPECT_GE(server.cache().stats().hits, 1u);  // the hot set did hit
+
+  const std::string json = load_report_json(r, "unit", 1);
+  for (const char* key :
+       {"\"label\": \"unit\"", "\"workers\": 1", "\"offered_qps\"",
+        "\"achieved_qps_ok\"", "\"latency_ms\"", "\"p99\"", "\"sent\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+
+  cancel.request_cancel();
+  loop.wait_idle();
+  EXPECT_TRUE(served.is_ok());
+}
+
+}  // namespace
+}  // namespace pn

@@ -171,7 +171,7 @@ TEST(protocol, error_response_round_trips_code_and_message) {
 }
 
 TEST(protocol, stats_and_ping_and_invalidate_responses_round_trip) {
-  std::map<std::string, std::string> stats{
+  stats_list stats{
       {"cache.hits", "12"},
       {"latency p99", "3.5"},  // space in key: exercises escaping
   };

@@ -1,0 +1,434 @@
+// Proxy tests: real workers on Unix sockets, a real eval_proxy in
+// front, real frames. Covers the routing/byte-identity contract, worker
+// death and failover, cross-worker invalidation (including the lazy
+// resync of a worker that missed a broadcast), and the client retry
+// policy the proxy's backpressure contract relies on.
+#include "service/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "service/client.h"
+#include "service/framing.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "service/ring.h"
+#include "service/server.h"
+#include "service/socket.h"
+#include "topology/generators/families.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pn_proxy_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// A worker on a caller-chosen spec, so a test can kill one and restart
+// it on the same endpoint (the crash-and-reconnect path).
+class worker_fixture {
+ public:
+  explicit worker_fixture(std::string spec, server_config cfg = {})
+      : spec_(std::move(spec)) {
+    cfg.listen = spec_;
+    server = std::make_unique<eval_server>(std::move(cfg));
+    bind_status = server->bind();
+    if (bind_status.is_ok()) {
+      loop_ = std::make_unique<thread_pool>(1);
+      loop_->submit([this] { serve_status_ = server->serve(cancel); });
+    }
+  }
+  ~worker_fixture() { (void)stop(); }
+
+  [[nodiscard]] status stop() {
+    if (loop_) {
+      cancel.request_cancel();
+      loop_->wait_idle();
+      loop_.reset();
+    }
+    return serve_status_;
+  }
+
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+  std::unique_ptr<eval_server> server;
+  cancel_token cancel;
+  status bind_status;
+
+ private:
+  std::string spec_;
+  std::unique_ptr<thread_pool> loop_;
+  status serve_status_;
+};
+
+class proxy_fixture {
+ public:
+  explicit proxy_fixture(std::vector<std::string> workers,
+                         proxy_config cfg = {}) {
+    spec_ = "unix:" + unique_socket_path();
+    cfg.listen = spec_;
+    cfg.workers = std::move(workers);
+    // Tests probe dead workers immediately; production defaults would
+    // add tens of milliseconds per probe.
+    cfg.backoff_base_ms = 1.0;
+    cfg.backoff_cap_ms = 5.0;
+    proxy = std::make_unique<eval_proxy>(std::move(cfg));
+    bind_status = proxy->bind();
+    if (bind_status.is_ok()) {
+      loop_ = std::make_unique<thread_pool>(1);
+      loop_->submit([this] { serve_status_ = proxy->serve(cancel); });
+    }
+  }
+  ~proxy_fixture() { (void)stop(); }
+
+  [[nodiscard]] status stop() {
+    if (loop_) {
+      cancel.request_cancel();
+      loop_->wait_idle();
+      loop_.reset();
+    }
+    return serve_status_;
+  }
+
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+  std::unique_ptr<eval_proxy> proxy;
+  cancel_token cancel;
+  status bind_status;
+
+ private:
+  std::string spec_;
+  std::unique_ptr<thread_pool> loop_;
+  status serve_status_;
+};
+
+eval_request make_request(const std::string& family, int size,
+                          std::uint64_t seed = 1) {
+  eval_request req;
+  req.name = family + "/" + std::to_string(size);
+  req.options.seed = seed;
+  req.options.run_repair_sim = false;
+  req.design_twin =
+      serialize_twin(design_to_twin(build_family(family, size, seed).value()));
+  return req;
+}
+
+// The router's key for a request: hash of the canonical encoding.
+cache_key routing_key(const eval_request& req) {
+  return cache_key_of(encode_eval_request(req));
+}
+
+// Finds a seed whose request routes to worker `want` first.
+eval_request request_routed_to(const hash_ring& ring, std::uint32_t want) {
+  for (std::uint64_t seed = 1; seed < 64; ++seed) {
+    eval_request req = make_request("fat_tree", 4, seed);
+    if (ring.preference(routing_key(req))[0] == want) return req;
+  }
+  ADD_FAILURE() << "no seed in [1,64) routed to worker " << want;
+  return make_request("fat_tree", 4);
+}
+
+TEST(ring, preference_is_deterministic_and_covers_all_workers) {
+  const std::vector<std::string> specs = {"unix:/tmp/a", "unix:/tmp/b",
+                                          "unix:/tmp/c", "unix:/tmp/d"};
+  const hash_ring a(specs), b(specs);
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const cache_key k = cache_key_of("request-" + std::to_string(s));
+    const auto pa = a.preference(k);
+    ASSERT_EQ(pa.size(), specs.size());
+    EXPECT_EQ(pa, b.preference(k));  // pure function of the specs
+    // A permutation of all workers.
+    std::vector<std::uint8_t> seen(specs.size(), 0);
+    for (const std::uint32_t w : pa) {
+      ASSERT_LT(w, specs.size());
+      EXPECT_EQ(seen[w], 0);
+      seen[w] = 1;
+    }
+  }
+}
+
+TEST(ring, death_only_remaps_the_dead_workers_keys) {
+  const std::vector<std::string> specs = {"unix:/tmp/a", "unix:/tmp/b",
+                                          "unix:/tmp/c", "unix:/tmp/d"};
+  const hash_ring ring(specs);
+  const std::vector<std::uint8_t> all_alive(specs.size(), 1);
+  std::vector<std::uint8_t> b_dead = all_alive;
+  b_dead[1] = 0;
+
+  std::size_t remapped = 0;
+  for (std::uint64_t s = 0; s < 400; ++s) {
+    const cache_key k = cache_key_of("request-" + std::to_string(s));
+    const std::uint32_t before = ring.pick(k, all_alive);
+    const std::uint32_t after = ring.pick(k, b_dead);
+    if (before != 1) {
+      EXPECT_EQ(after, before);  // survivor keys stay home
+    } else {
+      EXPECT_NE(after, 1u);
+      EXPECT_EQ(after, ring.preference(k)[1]);  // next in preference
+      ++remapped;
+    }
+  }
+  EXPECT_GT(remapped, 0u);  // the distribution actually used worker 1
+
+  const std::vector<std::uint8_t> none_alive(specs.size(), 0);
+  EXPECT_EQ(ring.pick(cache_key_of("x"), none_alive), specs.size());
+}
+
+TEST(proxy, relays_response_bytes_identical_to_direct_worker) {
+  worker_fixture w0("unix:" + unique_socket_path());
+  worker_fixture w1("unix:" + unique_socket_path());
+  ASSERT_TRUE(w0.bind_status.is_ok());
+  ASSERT_TRUE(w1.bind_status.is_ok());
+  proxy_fixture px({w0.spec(), w1.spec()});
+  ASSERT_TRUE(px.bind_status.is_ok()) << px.bind_status.to_string();
+
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const eval_request req = make_request("fat_tree", 4, seed);
+    const std::string payload = encode_eval_request(req);
+    const std::uint32_t home =
+        px.proxy->ring().preference(routing_key(req))[0];
+    const worker_fixture& home_fx = home == 0 ? w0 : w1;
+
+    // Raw frames on both paths so nothing re-serializes the response.
+    auto ask = [&](const std::string& spec) -> std::string {
+      auto ep = parse_endpoint(spec);
+      EXPECT_TRUE(ep.is_ok());
+      auto fd = connect_to(ep.value());
+      EXPECT_TRUE(fd.is_ok());
+      EXPECT_TRUE(write_frame(fd.value().get(), payload).is_ok());
+      auto frame = read_frame(fd.value().get());
+      EXPECT_TRUE(frame.is_ok());
+      EXPECT_TRUE(frame.value().has_value());
+      return frame.value().value_or(std::string{});
+    };
+    const std::string proxied = ask(px.spec());
+    const std::string direct = ask(home_fx.spec());
+    EXPECT_EQ(proxied, direct);  // byte-identical
+    // And the proxy really did route to the home worker: the direct
+    // request was the only other evaluation it saw.
+    EXPECT_GE(home_fx.server->cache().stats().hits, 1u);
+  }
+  EXPECT_TRUE(px.stop().is_ok());
+  EXPECT_TRUE(w0.stop().is_ok());
+  EXPECT_TRUE(w1.stop().is_ok());
+}
+
+TEST(proxy, worker_death_fails_over_then_kill_all_is_retryable) {
+  worker_fixture w0("unix:" + unique_socket_path());
+  worker_fixture w1("unix:" + unique_socket_path());
+  ASSERT_TRUE(w0.bind_status.is_ok());
+  ASSERT_TRUE(w1.bind_status.is_ok());
+  proxy_fixture px({w0.spec(), w1.spec()});
+  ASSERT_TRUE(px.bind_status.is_ok());
+
+  // A request whose home is worker 1; then kill worker 1 mid-stream.
+  const eval_request req = request_routed_to(px.proxy->ring(), 1);
+  auto client = eval_client::connect(px.spec());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(client.value().evaluate(req).is_ok());  // warm: routed to w1
+
+  ASSERT_TRUE(w1.stop().is_ok());
+  // The same request now fails over to the survivor and still answers.
+  auto failed_over = client.value().evaluate(req);
+  ASSERT_TRUE(failed_over.is_ok()) << failed_over.error().to_string();
+  EXPECT_GE(px.proxy->metrics().failovers.load(), 1u);
+  EXPECT_GE(px.proxy->metrics().worker_failures.load(), 1u);
+  EXPECT_FALSE(px.proxy->worker_alive(1));
+  // The survivor evaluated it (its cache had no such entry).
+  EXPECT_GE(w0.server->metrics().eval_ok.load(), 1u);
+
+  // Survivors keep serving unrelated requests.
+  ASSERT_TRUE(client.value().evaluate(request_routed_to(px.proxy->ring(), 0))
+                  .is_ok());
+
+  // Kill the last worker: an admitted request is answered — with the
+  // retryable backpressure status, never a hang or a dropped frame.
+  ASSERT_TRUE(w0.stop().is_ok());
+  auto none_left = client.value().evaluate(req);
+  ASSERT_FALSE(none_left.is_ok());
+  EXPECT_EQ(none_left.error().code(), status_code::overloaded);
+  EXPECT_TRUE(is_retryable_backpressure(none_left.error()));
+  EXPECT_GE(px.proxy->metrics().no_worker_available.load(), 1u);
+  EXPECT_TRUE(px.stop().is_ok());
+}
+
+TEST(proxy, invalidate_broadcasts_to_every_worker) {
+  worker_fixture w0("unix:" + unique_socket_path());
+  worker_fixture w1("unix:" + unique_socket_path());
+  ASSERT_TRUE(w0.bind_status.is_ok());
+  ASSERT_TRUE(w1.bind_status.is_ok());
+  proxy_fixture px({w0.spec(), w1.spec()});
+  ASSERT_TRUE(px.bind_status.is_ok());
+
+  // Warm both workers' caches through the proxy.
+  auto client = eval_client::connect(px.spec());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(
+      client.value().evaluate(request_routed_to(px.proxy->ring(), 0)).is_ok());
+  ASSERT_TRUE(
+      client.value().evaluate(request_routed_to(px.proxy->ring(), 1)).is_ok());
+
+  auto gen = client.value().invalidate();
+  ASSERT_TRUE(gen.is_ok());
+  EXPECT_EQ(gen.value(), 2u);  // proxy generation, started at 1
+  // Every worker observed the bump: epochs moved, and the previously
+  // cached requests now re-evaluate (entries evict lazily on lookup).
+  EXPECT_EQ(w0.server->cache().stats().epoch, 2u);
+  EXPECT_EQ(w1.server->cache().stats().epoch, 2u);
+  const std::uint64_t w0_evals = w0.server->metrics().eval_ok.load();
+  const std::uint64_t w1_evals = w1.server->metrics().eval_ok.load();
+  ASSERT_TRUE(
+      client.value().evaluate(request_routed_to(px.proxy->ring(), 0)).is_ok());
+  ASSERT_TRUE(
+      client.value().evaluate(request_routed_to(px.proxy->ring(), 1)).is_ok());
+  EXPECT_EQ(w0.server->metrics().eval_ok.load(), w0_evals + 1);
+  EXPECT_EQ(w1.server->metrics().eval_ok.load(), w1_evals + 1);
+  EXPECT_TRUE(px.stop().is_ok());
+}
+
+TEST(proxy, worker_that_missed_an_invalidate_is_resynced_before_reuse) {
+  const std::string w1_spec = "unix:" + unique_socket_path();
+  worker_fixture w0("unix:" + unique_socket_path());
+  auto w1 = std::make_unique<worker_fixture>(w1_spec);
+  ASSERT_TRUE(w0.bind_status.is_ok());
+  ASSERT_TRUE(w1->bind_status.is_ok());
+  proxy_fixture px({w0.spec(), w1_spec});
+  ASSERT_TRUE(px.bind_status.is_ok());
+
+  const eval_request to_w1 = request_routed_to(px.proxy->ring(), 1);
+  auto client = eval_client::connect(px.spec());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(client.value().evaluate(to_w1).is_ok());
+
+  // Worker 1 crashes; the fleet-wide invalidate can only reach w0.
+  ASSERT_TRUE(w1->stop().is_ok());
+  auto gen = client.value().invalidate();
+  ASSERT_TRUE(gen.is_ok());
+  EXPECT_EQ(gen.value(), 2u);
+  EXPECT_EQ(w0.server->cache().stats().epoch, 2u);
+
+  // Worker 1 comes back on the same endpoint, one generation behind.
+  w1 = std::make_unique<worker_fixture>(w1_spec);
+  ASSERT_TRUE(w1->bind_status.is_ok());
+
+  // The next request the proxy routes to the reborn worker must be
+  // preceded by the missed invalidate. Until its dead-mark backoff
+  // expires the proxy may keep failing over to w0 (still a correct
+  // answer), so drive requests until w1 is back in rotation.
+  bool answered = false;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto rep = client.value().evaluate(to_w1);
+    answered = rep.is_ok();
+    ASSERT_TRUE(answered) << rep.error().to_string();
+    if (w1->server->cache().stats().epoch == 2u) break;
+    sleep_ms(2.0);
+  }
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(w1->server->cache().stats().epoch, 2u);  // resynced
+  EXPECT_GE(px.proxy->metrics().invalidate_resyncs.load(), 1u);
+  EXPECT_TRUE(px.stop().is_ok());
+}
+
+TEST(client, retry_delay_is_deterministic_jittered_and_capped) {
+  retry_policy policy;
+  policy.backoff_ms = 100.0;
+  policy.backoff_cap_ms = 400.0;
+  policy.jitter_seed = 7;
+
+  rng a(policy.jitter_seed), b(policy.jitter_seed);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double bound =
+        std::min(policy.backoff_cap_ms,
+                 policy.backoff_ms * static_cast<double>(1 << attempt));
+    const double da = retry_delay_ms(policy, attempt, a);
+    EXPECT_GE(da, 0.0);
+    EXPECT_LT(da, bound);
+    EXPECT_EQ(da, retry_delay_ms(policy, attempt, b));  // same seed, same
+  }
+}
+
+TEST(client, evaluate_with_retry_sleeps_then_surfaces_backpressure) {
+  // A fake service that answers every evaluate with `overloaded`.
+  const std::string spec = "unix:" + unique_socket_path();
+  auto ep = parse_endpoint(spec);
+  ASSERT_TRUE(ep.is_ok());
+  auto listener = listen_on(ep.value());
+  ASSERT_TRUE(listener.is_ok());
+  cancel_token cancel;
+  thread_pool loop(1);
+  loop.submit([&] {
+    for (;;) {
+      auto fd = accept_on(listener.value().get(), cancel);
+      if (!fd.is_ok() || !fd.value().has_value()) return;
+      for (;;) {
+        auto frame = read_frame(fd.value()->get(),
+                                default_max_frame_payload, &cancel);
+        if (!frame.is_ok() || !frame.value().has_value()) break;
+        if (!write_frame(fd.value()->get(),
+                         encode_error_response(overloaded_error("busy")))
+                 .is_ok()) {
+          break;
+        }
+      }
+    }
+  });
+
+  auto client = eval_client::connect(spec);
+  ASSERT_TRUE(client.is_ok());
+  retry_policy policy;
+  policy.retries = 3;
+  policy.backoff_ms = 10.0;
+  policy.backoff_cap_ms = 20.0;
+  policy.jitter_seed = 11;
+
+  std::vector<double> slept;
+  auto rep = client.value().evaluate_with_retry(
+      make_request("fat_tree", 4), policy,
+      [&](double ms) { slept.push_back(ms); });
+  ASSERT_FALSE(rep.is_ok());
+  EXPECT_EQ(rep.error().code(), status_code::overloaded);
+
+  // One sleep per retry, each the policy's deterministic jittered delay.
+  ASSERT_EQ(slept.size(), 3u);
+  rng jitter(policy.jitter_seed);
+  for (std::size_t i = 0; i < slept.size(); ++i) {
+    EXPECT_EQ(slept[i],
+              retry_delay_ms(policy, static_cast<int>(i), jitter));
+  }
+  cancel.request_cancel();
+  loop.wait_idle();
+}
+
+TEST(client, evaluate_with_retry_succeeds_without_sleeping_when_healthy) {
+  worker_fixture w0("unix:" + unique_socket_path());
+  ASSERT_TRUE(w0.bind_status.is_ok());
+  auto client = eval_client::connect(w0.spec());
+  ASSERT_TRUE(client.is_ok());
+
+  retry_policy policy;
+  policy.retries = 5;
+  std::vector<double> slept;
+  auto rep = client.value().evaluate_with_retry(
+      make_request("fat_tree", 4), policy,
+      [&](double ms) { slept.push_back(ms); });
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_TRUE(slept.empty());
+  EXPECT_TRUE(w0.stop().is_ok());
+}
+
+}  // namespace
+}  // namespace pn

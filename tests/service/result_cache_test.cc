@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <string_view>
 
 #include "service/metrics.h"
 
@@ -130,22 +132,29 @@ TEST(metric_series, percentiles_clamped_to_observed_extrema) {
   EXPECT_GE(snap.p50, 3.0);
 }
 
-TEST(service_metrics, stats_map_has_stable_keys_and_ratio) {
+TEST(service_metrics, stats_list_sorted_with_stable_keys_and_ratio) {
   service_metrics m;
   m.requests_admitted.store(10);
   m.eval_ok.store(9);
   m.eval_error.store(1);
   m.queue_wait_ms.record(2.0);
-  const auto map =
-      m.to_stats_map(/*hits=*/3, /*misses=*/1, /*entries=*/2, /*epoch=*/1);
-  EXPECT_EQ(map.at("requests.admitted"), "10");
-  EXPECT_EQ(map.at("eval.ok"), "9");
-  EXPECT_EQ(map.at("cache.hits"), "3");
-  EXPECT_EQ(map.at("cache.hit_ratio"), "0.750000");
-  EXPECT_EQ(map.at("latency.queue_wait_ms.count"), "1");
-  EXPECT_EQ(map.count("latency.eval_ms.p99"), 1u);
-  EXPECT_EQ(map.count("batch.size.mean"), 1u);
-  EXPECT_EQ(map.count("queue.depth"), 1u);
+  const stats_list stats =
+      m.to_stats(/*hits=*/3, /*misses=*/1, /*entries=*/2, /*epoch=*/1);
+  ASSERT_TRUE(std::is_sorted(stats.begin(), stats.end()));
+  auto value = [&](std::string_view key) {
+    const std::string* v = stats_get(stats, key);
+    return v == nullptr ? std::string("<absent>") : *v;
+  };
+  EXPECT_EQ(value("requests.admitted"), "10");
+  EXPECT_EQ(value("eval.ok"), "9");
+  EXPECT_EQ(value("cache.hits"), "3");
+  EXPECT_EQ(value("cache.hit_ratio"), "0.750000");
+  EXPECT_EQ(value("latency.queue_wait_ms.count"), "1");
+  EXPECT_NE(stats_get(stats, "latency.eval_ms.p99"), nullptr);
+  EXPECT_NE(stats_get(stats, "latency.eval_ms.p95"), nullptr);
+  EXPECT_NE(stats_get(stats, "batch.size.mean"), nullptr);
+  EXPECT_NE(stats_get(stats, "queue.depth"), nullptr);
+  EXPECT_EQ(stats_get(stats, "no.such.key"), nullptr);
 }
 
 }  // namespace

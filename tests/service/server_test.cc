@@ -106,8 +106,10 @@ TEST(server, ping_stats_invalidate_round_trip) {
 
   auto stats = client.value().stats();
   ASSERT_TRUE(stats.is_ok());
-  EXPECT_EQ(stats.value().at("cache.epoch"), "1");
-  EXPECT_EQ(stats.value().at("connections.accepted"), "1");
+  ASSERT_NE(stats_get(stats.value(), "cache.epoch"), nullptr);
+  EXPECT_EQ(*stats_get(stats.value(), "cache.epoch"), "1");
+  ASSERT_NE(stats_get(stats.value(), "connections.accepted"), nullptr);
+  EXPECT_EQ(*stats_get(stats.value(), "connections.accepted"), "1");
 
   auto epoch = client.value().invalidate();
   ASSERT_TRUE(epoch.is_ok());

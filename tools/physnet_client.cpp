@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/clock.h"
 #include "core/physnet.h"
 #include "service/client.h"
 #include "twin/design_codec.h"
@@ -40,6 +41,7 @@ struct cli_args {
   double deadline_ms = 0.0;
   int repeat = 1;
   bool csv = false;
+  retry_policy retry;
 };
 
 bool parse_args(int argc, char** argv, cli_args& out) {
@@ -81,6 +83,26 @@ bool parse_args(int argc, char** argv, cli_args& out) {
       }
     } else if (key == "--csv") {
       out.csv = true;
+    } else if (key == "--retries") {
+      out.retry.retries = std::stoi(value);
+      if (out.retry.retries < 0) {
+        std::cerr << "--retries must be >= 0\n";
+        return false;
+      }
+    } else if (key == "--backoff-ms") {
+      out.retry.backoff_ms = std::stod(value);
+      if (out.retry.backoff_ms <= 0.0) {
+        std::cerr << "--backoff-ms must be > 0\n";
+        return false;
+      }
+    } else if (key == "--backoff-cap-ms") {
+      out.retry.backoff_cap_ms = std::stod(value);
+      if (out.retry.backoff_cap_ms <= 0.0) {
+        std::cerr << "--backoff-cap-ms must be > 0\n";
+        return false;
+      }
+    } else if (key == "--retry-jitter-seed") {
+      out.retry.jitter_seed = std::stoull(value);
     } else if (key == "--help" || key == "-h") {
       return false;
     } else {
@@ -112,6 +134,8 @@ int main(int argc, char** argv) {
            "  evaluate (default): [--family=NAME] [--size=N] "
            "[--strategy=block|random|annealed] [--seed=N] [--no-repair] "
            "[--deadline=MS] [--repeat=N] [--csv]\n"
+           "    [--retries=N] [--backoff-ms=MS] [--backoff-cap-ms=MS] "
+           "[--retry-jitter-seed=N]\n"
            "  other modes: --stats | --ping | --invalidate\n"
            "  exit codes: 0 ok, 1 error, 2 usage, 3 overloaded/draining "
            "(retry)\n";
@@ -170,9 +194,13 @@ int main(int argc, char** argv) {
   req.options.deadline_ms = args.deadline_ms;
   req.design_twin = serialize_twin(design_to_twin(graph.value()));
 
+  // Retryable backpressure (exit 3) can instead be absorbed here with
+  // --retries: jittered capped exponential backoff between attempts.
+  const auto sleeper = [](double ms) { sleep_ms(ms); };
   deployability_report last;
   for (int i = 0; i < args.repeat; ++i) {
-    auto report = client.value().evaluate(req);
+    auto report =
+        client.value().evaluate_with_retry(req, args.retry, sleeper);
     if (!report.is_ok()) {
       std::cerr << "evaluate failed: " << report.error().to_string()
                 << "\n";

@@ -1,0 +1,172 @@
+// physnet_load — open-loop load generator for physnet_serve/physnet_proxy.
+//
+//   physnet_load --connect=unix:/tmp/proxy.sock --qps=500 --duration=5
+//   physnet_load --connect=tcp::9917 --mix=fat_tree:4,jellyfish:8:random \
+//       --hot-fraction=0.9 --hot-variants=160 --json=BENCH_leg.json
+//
+// The arrival schedule, request mix, and request bytes are a pure
+// function of --seed/--qps/--duration/--mix (see src/service/loadgen.h
+// for the methodology); only service behavior varies between runs.
+// Prints a JSON leg object to stdout (and to --json=PATH if given) with
+// achieved-vs-offered QPS and latency percentiles measured from each
+// request's scheduled arrival.
+//
+// Exit codes: 0 run completed, 1 run failed to execute, 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "service/loadgen.h"
+
+namespace {
+
+using namespace pn;
+
+struct cli_args {
+  loadgen_config cfg;
+  std::string json_path;
+  std::string label = "load";
+  int workers = 1;  // annotation only: fleet size behind --connect
+};
+
+// "--mix=fat_tree:4,jellyfish:8:random" -> entries; strategy optional.
+bool parse_mix(const std::string& value,
+               std::vector<load_mix_entry>& out) {
+  out.clear();
+  for (const std::string& part : split(value, ',')) {
+    const std::vector<std::string> fields = split(part, ':');
+    if (fields.size() < 2 || fields.size() > 3 || fields[0].empty()) {
+      std::cerr << "bad --mix entry '" << part
+                << "' (want family:size[:strategy])\n";
+      return false;
+    }
+    load_mix_entry entry;
+    entry.family = fields[0];
+    entry.size = std::stoi(fields[1]);
+    if (fields.size() == 3) entry.strategy = fields[2];
+    out.push_back(std::move(entry));
+  }
+  if (out.empty()) {
+    std::cerr << "--mix must name at least one family:size\n";
+    return false;
+  }
+  return true;
+}
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--connect") {
+      out.cfg.connect = value;
+    } else if (key == "--qps") {
+      out.cfg.offered_qps = std::stod(value);
+      if (out.cfg.offered_qps <= 0.0) {
+        std::cerr << "--qps must be > 0\n";
+        return false;
+      }
+    } else if (key == "--duration") {
+      out.cfg.duration_s = std::stod(value);
+      if (out.cfg.duration_s <= 0.0) {
+        std::cerr << "--duration must be > 0 (seconds)\n";
+        return false;
+      }
+    } else if (key == "--connections") {
+      out.cfg.connections = std::stoi(value);
+      if (out.cfg.connections < 1) {
+        std::cerr << "--connections must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--seed") {
+      out.cfg.seed = std::stoull(value);
+    } else if (key == "--mix") {
+      if (!parse_mix(value, out.cfg.mix)) return false;
+    } else if (key == "--hot-fraction") {
+      out.cfg.hot_fraction = std::stod(value);
+      if (out.cfg.hot_fraction < 0.0 || out.cfg.hot_fraction > 1.0) {
+        std::cerr << "--hot-fraction must be in [0, 1]\n";
+        return false;
+      }
+    } else if (key == "--hot-variants") {
+      out.cfg.hot_variants = std::stoi(value);
+      if (out.cfg.hot_variants < 1) {
+        std::cerr << "--hot-variants must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--repair") {
+      out.cfg.run_repair_sim = true;
+    } else if (key == "--json") {
+      out.json_path = value;
+    } else if (key == "--label") {
+      out.label = value;
+    } else if (key == "--workers") {
+      out.workers = std::stoi(value);
+      if (out.workers < 1) {
+        std::cerr << "--workers must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out.cfg.connect.empty()) {
+    std::cerr << "--connect is required\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_load --connect=unix:PATH|tcp:HOST:PORT\n"
+           "       [--qps=N] [--duration=SECONDS] [--connections=N]\n"
+           "       [--seed=N] [--mix=family:size[:strategy],...]\n"
+           "       [--hot-fraction=F] [--hot-variants=N] [--repair]\n"
+           "       [--json=PATH] [--label=NAME] [--workers=N]\n"
+           "  exit codes: 0 run completed, 1 run failed, 2 usage\n";
+    return 2;
+  }
+
+  auto schedule = build_schedule(args.cfg);
+  if (!schedule.is_ok()) {
+    std::cerr << "cannot build schedule: " << schedule.error().to_string()
+              << "\n";
+    return 2;
+  }
+  std::cerr << "physnet_load: " << schedule.value().size()
+            << " requests at " << args.cfg.offered_qps << " qps over "
+            << args.cfg.connections << " connections\n";
+
+  auto report = run_load(args.cfg, schedule.value());
+  if (!report.is_ok()) {
+    std::cerr << "load run failed: " << report.error().to_string() << "\n";
+    return 1;
+  }
+
+  const std::string json =
+      load_report_json(report.value(), args.label, args.workers);
+  std::cout << json << "\n";
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << args.json_path << "\n";
+      return 1;
+    }
+    out << json << "\n";
+  }
+  // A run that executed but answered nothing successfully still exits 0:
+  // the report itself is the result (the caller inspects the counters).
+  return 0;
+}

@@ -1,0 +1,152 @@
+// physnet_proxy — consistent-hashing front proxy for physnet_serve.
+//
+//   physnet_proxy --listen=unix:/tmp/proxy.sock \
+//       --worker=unix:/tmp/w0.sock --worker=unix:/tmp/w1.sock
+//
+// Speaks physnet/1 on both sides. Evaluate requests route by the hash
+// of their canonical bytes (the same key the workers cache on), so the
+// fleet's caches partition cleanly; responses relay byte-identical.
+// `stats` aggregates worker counters plus proxy.* counters; an
+// `invalidate` broadcasts the epoch bump to every worker. When a worker
+// dies the proxy fails over along the hash ring and probes the dead
+// worker with capped exponential backoff; when nothing can answer, the
+// client sees a retryable `overloaded` error.
+//
+// SIGINT/SIGTERM drain: the listener closes, admitted round trips
+// finish (bounded by --stall-timeout-ms), then the process exits 0.
+//
+// Exit codes: 0 clean shutdown, 1 serve/bind failure, 2 usage error.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "service/proxy.h"
+
+namespace {
+
+using namespace pn;
+
+struct cli_args {
+  proxy_config cfg;
+  bool quiet = false;
+};
+
+cancel_token g_shutdown;
+
+extern "C" void handle_shutdown_signal(int) { g_shutdown.request_cancel(); }
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--listen") {
+      out.cfg.listen = value;
+    } else if (key == "--worker") {
+      if (value.empty()) {
+        std::cerr << "--worker needs an endpoint spec\n";
+        return false;
+      }
+      out.cfg.workers.push_back(value);
+    } else if (key == "--conn-threads") {
+      out.cfg.conn_threads = std::stoi(value);
+      if (out.cfg.conn_threads < 1) {
+        std::cerr << "--conn-threads must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--vnodes") {
+      out.cfg.vnodes = std::stoi(value);
+      if (out.cfg.vnodes < 1) {
+        std::cerr << "--vnodes must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--backoff-base-ms") {
+      out.cfg.backoff_base_ms = std::stod(value);
+      if (out.cfg.backoff_base_ms <= 0.0) {
+        std::cerr << "--backoff-base-ms must be > 0\n";
+        return false;
+      }
+    } else if (key == "--backoff-cap-ms") {
+      out.cfg.backoff_cap_ms = std::stod(value);
+      if (out.cfg.backoff_cap_ms <= 0.0) {
+        std::cerr << "--backoff-cap-ms must be > 0\n";
+        return false;
+      }
+    } else if (key == "--stall-timeout-ms") {
+      out.cfg.stall_timeout_ms = std::stoi(value);
+      if (out.cfg.stall_timeout_ms < 1) {
+        std::cerr << "--stall-timeout-ms must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--quiet") {
+      out.quiet = true;
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out.cfg.listen.empty()) {
+    std::cerr << "--listen is required\n";
+    return false;
+  }
+  if (out.cfg.workers.empty()) {
+    std::cerr << "at least one --worker is required\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_proxy --listen=unix:PATH|tcp:HOST:PORT\n"
+           "       --worker=SPEC [--worker=SPEC ...]\n"
+           "       [--conn-threads=N] [--vnodes=N] [--backoff-base-ms=MS]\n"
+           "       [--backoff-cap-ms=MS] [--stall-timeout-ms=MS] [--quiet]\n"
+           "  SIGINT/SIGTERM drain in-flight requests and exit 0.\n"
+           "  exit codes: 0 clean shutdown, 1 serve failure, 2 usage\n";
+    return 2;
+  }
+
+  eval_proxy proxy(std::move(args.cfg));
+  if (const status bound = proxy.bind(); !bound.is_ok()) {
+    std::cerr << "bind failed: " << bound.to_string() << "\n";
+    return 1;
+  }
+  if (!args.quiet) {
+    std::cerr << "physnet_proxy: listening, "
+              << proxy.ring().worker_count() << " workers\n";
+  }
+
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+  const status served = proxy.serve(g_shutdown);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (!args.quiet) {
+    const proxy_metrics& m = proxy.metrics();
+    std::cerr << "physnet_proxy: drained\n"
+              << "  connections.accepted = "
+              << m.connections_accepted.load() << "\n"
+              << "  requests.forwarded = " << m.requests_forwarded.load()
+              << "\n"
+              << "  requests.failovers = " << m.failovers.load() << "\n"
+              << "  requests.no_worker = " << m.no_worker_available.load()
+              << "\n"
+              << "  workers.failures = " << m.worker_failures.load()
+              << "\n";
+  }
+  if (!served.is_ok()) {
+    std::cerr << "serve failed: " << served.to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
   if (!args.quiet) {
     const cache_stats cs = server.cache().stats();
     std::cerr << "physnet_serve: drained\n";
-    for (const auto& [key, value] : server.metrics().to_stats_map(
+    for (const auto& [key, value] : server.metrics().to_stats(
              cs.hits, cs.misses, cs.entries, cs.epoch)) {
       std::cerr << "  " << key << " = " << value << "\n";
     }

@@ -104,15 +104,19 @@ void rule_raw_thread(rule_ctx& ctx) {
 
 // ---- R7: node-keyed red-black trees in hot directories ----------------
 // src/topology/ and src/core/ sit on the mutate -> delta-evaluate path,
-// where per-node state is indexed millions of times per sweep. Ordered
-// associative containers there are almost always an accident — node and
-// edge ids are dense integers, so the natural structure is an
-// index-keyed vector (or sort + unique for set semantics). Deliberate
-// uses (ordered iteration a caller depends on) carry an allow() with
-// the justification.
+// where per-node state is indexed millions of times per sweep, and
+// src/service/ sits on the per-request serving path (cache probe,
+// stats snapshot, proxy routing) where every allocation is paid at QPS.
+// Ordered associative containers there are almost always an accident —
+// node and edge ids are dense integers and stats keys are assembled
+// once then iterated — so the natural structure is an index-keyed or
+// sorted vector (sort + unique for set semantics). Deliberate uses
+// (ordered iteration a caller depends on) carry an allow() with the
+// justification.
 void rule_hot_assoc(rule_ctx& ctx) {
   const bool hot = starts_with(ctx.file.path, "src/topology/") ||
-                   starts_with(ctx.file.path, "src/core/");
+                   starts_with(ctx.file.path, "src/core/") ||
+                   starts_with(ctx.file.path, "src/service/");
   if (!hot) return;
   static const std::set<std::string> banned = {"map", "set", "multimap",
                                                "multiset"};
