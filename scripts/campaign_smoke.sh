@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# Lifetime-campaign smoke test for physnet_campaign.
+#
+# Proves, end to end through the CLI, the campaign replay contract:
+#   1. --delta and --no-delta replays are byte-identical (trajectory
+#      and summary CSVs), across grow/upgrade/churn events.
+#   2. A deterministically interrupted replay (--cancel-after +
+#      --checkpoint) resumes to byte-identical CSVs, exit 130 -> 0.
+#   3. A real SIGINT drains cleanly; timing-dependent, so the leg
+#      tolerates the replay finishing before the signal lands.
+#   4. --via-serve through a live physnet_serve worker matches the
+#      local replay byte for byte (churn-free campaign: the wire
+#      format canonicalizes adjacency order, so revived edges may
+#      legally perturb the bisection estimate — see physnet_campaign).
+#   5. The committed example campaigns parse, compile, and replay.
+#
+# Usage: scripts/campaign_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CAMPAIGN="$BUILD_DIR/tools/physnet_campaign"
+SERVE="$BUILD_DIR/tools/physnet_serve"
+[[ -x "$CAMPAIGN" ]] || { echo "missing $CAMPAIGN (build first)" >&2; exit 1; }
+[[ -x "$SERVE" ]] || { echo "missing $SERVE (build first)" >&2; exit 1; }
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat >"$WORK/smoke.campaign" <<'EOF'
+physnet-campaign v1
+name smoke
+base jellyfish 24 seed 7
+years 3
+headroom 6
+option repair off
+option strategy block
+event year 1 grow g1 steps 4 links_per_step 2
+event year 2 upgrade u1 steps 4 factor 4
+event year 2 rewire r1 steps 3 moves_per_step 1
+event year 3 churn c1 steps 5 kills_per_step 1 repair_lag 2
+EOF
+
+echo "== phase 1: delta vs full evaluation =="
+
+"$CAMPAIGN" --campaign="$WORK/smoke.campaign" \
+    --summary="$WORK/base.summary.csv" >"$WORK/base.csv"
+"$CAMPAIGN" --campaign="$WORK/smoke.campaign" --no-delta \
+    --summary="$WORK/full.summary.csv" >"$WORK/full.csv"
+diff -u "$WORK/base.csv" "$WORK/full.csv" \
+    || { echo "delta trajectory differs from full evaluation" >&2; exit 1; }
+diff -u "$WORK/base.summary.csv" "$WORK/full.summary.csv" \
+    || { echo "delta summary differs from full evaluation" >&2; exit 1; }
+# day1 + 4 + 4 + 3 + 5 steps, plus the CSV header.
+lines=$(wc -l <"$WORK/base.csv")
+[[ "$lines" -eq 18 ]] || { echo "expected 18 CSV lines, got $lines" >&2
+                           exit 1; }
+echo "phase 1 ok: delta replay byte-identical to full evaluation"
+
+echo "== phase 2: deterministic interrupt (--cancel-after) =="
+
+rc=0
+"$CAMPAIGN" --campaign="$WORK/smoke.campaign" \
+    --checkpoint="$WORK/smoke.ckpt" --cancel-after=6 \
+    >"$WORK/partial.csv" 2>"$WORK/partial.err" || rc=$?
+[[ "$rc" -eq 130 ]] || { echo "interrupt: expected exit 130, got $rc" >&2
+                         cat "$WORK/partial.err" >&2; exit 1; }
+grep -q -- "--resume=" "$WORK/partial.err" \
+    || { echo "interrupt: missing resume hint" >&2; exit 1; }
+
+rc=0
+"$CAMPAIGN" --campaign="$WORK/smoke.campaign" --resume="$WORK/smoke.ckpt" \
+    --summary="$WORK/merged.summary.csv" >"$WORK/merged.csv" || rc=$?
+[[ "$rc" -eq 0 ]] || { echo "resume: expected exit 0, got $rc" >&2; exit 1; }
+diff -u "$WORK/base.csv" "$WORK/merged.csv" \
+    || { echo "resumed trajectory differs from uninterrupted" >&2; exit 1; }
+diff -u "$WORK/base.summary.csv" "$WORK/merged.summary.csv" \
+    || { echo "resumed summary differs from uninterrupted" >&2; exit 1; }
+echo "phase 2 ok: interrupted campaign resumed byte-identical"
+
+echo "== phase 3: real SIGINT =="
+
+# The 1001-evaluation committed example runs long enough that the
+# signal normally lands mid-replay; a finish-first race is tolerated.
+SIG_CAMPAIGN="$REPO_ROOT/examples/campaigns/jellyfish_3y.campaign"
+"$CAMPAIGN" --campaign="$SIG_CAMPAIGN" >"$WORK/sig_base.csv" 2>/dev/null
+
+rc=0
+"$CAMPAIGN" --campaign="$SIG_CAMPAIGN" \
+    --checkpoint="$WORK/sig.ckpt" >"$WORK/sig_partial.csv" 2>/dev/null &
+pid=$!
+sleep 0.4
+kill -INT "$pid" 2>/dev/null || true
+wait "$pid" || rc=$?
+
+if [[ "$rc" -eq 130 ]]; then
+  rc=0
+  "$CAMPAIGN" --campaign="$SIG_CAMPAIGN" --resume="$WORK/sig.ckpt" \
+      >"$WORK/sig_merged.csv" 2>/dev/null || rc=$?
+  [[ "$rc" -eq 0 ]] || { echo "sigint resume: expected exit 0, got $rc" >&2
+                         exit 1; }
+  diff -u "$WORK/sig_base.csv" "$WORK/sig_merged.csv" \
+      || { echo "SIGINT-resumed trajectory differs" >&2; exit 1; }
+  echo "phase 3 ok: SIGINT drained cleanly and resume matched baseline"
+elif [[ "$rc" -eq 0 ]]; then
+  diff -u "$WORK/sig_base.csv" "$WORK/sig_partial.csv" \
+      || { echo "checkpointed run differs from baseline" >&2; exit 1; }
+  echo "phase 3 ok (replay finished before SIGINT landed)"
+else
+  echo "sigint leg: unexpected exit $rc" >&2
+  exit 1
+fi
+
+echo "== phase 4: --via-serve matches local replay =="
+
+cat >"$WORK/wire.campaign" <<'EOF'
+physnet-campaign v1
+name wire
+base jellyfish 24 seed 7
+years 2
+headroom 6
+option repair off
+option strategy block
+event year 1 grow g1 steps 3 links_per_step 2
+event year 2 upgrade u1 steps 3 factor 4
+event year 2 migrate m1 steps 3 moves_per_step 1
+EOF
+
+SOCK="$WORK/serve.sock"
+"$SERVE" --listen=unix:"$SOCK" --quiet &
+SERVE_PID=$!
+for _ in $(seq 50); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || { echo "serve never bound $SOCK" >&2; exit 1; }
+
+"$CAMPAIGN" --campaign="$WORK/wire.campaign" \
+    --summary="$WORK/wire_local.summary.csv" >"$WORK/wire_local.csv"
+"$CAMPAIGN" --campaign="$WORK/wire.campaign" --via-serve=unix:"$SOCK" \
+    --summary="$WORK/wire_served.summary.csv" >"$WORK/wire_served.csv"
+kill -INT "$SERVE_PID"; wait "$SERVE_PID" || true
+SERVE_PID=""
+
+diff -u "$WORK/wire_local.csv" "$WORK/wire_served.csv" \
+    || { echo "served trajectory differs from local replay" >&2; exit 1; }
+diff -u "$WORK/wire_local.summary.csv" "$WORK/wire_served.summary.csv" \
+    || { echo "served summary differs from local replay" >&2; exit 1; }
+echo "phase 4 ok: served replay byte-identical to local"
+
+echo "== phase 5: committed example campaigns replay =="
+
+for example in jellyfish_3y fat_tree_3y; do
+  file="$REPO_ROOT/examples/campaigns/$example.campaign"
+  "$CAMPAIGN" --campaign="$file" --summary="$WORK/$example.summary.csv" \
+      >"$WORK/$example.csv"
+  rows=$(($(wc -l <"$WORK/$example.csv") - 1))
+  echo "$example: $rows evaluations"
+  [[ "$rows" -ge 3 ]] || { echo "$example: empty replay" >&2; exit 1; }
+done
+# The headline example must hold the >= 1000 evaluation floor.
+rows=$(($(wc -l <"$WORK/jellyfish_3y.csv") - 1))
+[[ "$rows" -ge 1000 ]] \
+    || { echo "jellyfish_3y: expected >= 1000 evaluations, got $rows" >&2
+         exit 1; }
+
+echo "campaign smoke test passed"

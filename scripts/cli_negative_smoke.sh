@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Negative-argv smoke for every physnet tool's flag parser.
+#
+# Each leg feeds one malformed numeric value and requires the tool to
+# print a diagnostic naming the flag and exit 2 (usage) — not die with
+# an unhandled std::invalid_argument like the pre-parse_or_usage
+# parsers did. Covers the three failure shapes the helper rejects:
+# non-numeric text, trailing junk, and a signed value for an unsigned
+# flag (strtoull would otherwise silently wrap "-1" to 2^64-1).
+#
+# Usage: scripts/cli_negative_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+# expect_usage LABEL FLAG TOOL ARGS... — run TOOL, demand exit 2 and a
+# diagnostic mentioning FLAG on stderr.
+expect_usage() {
+  local label="$1" flag="$2" tool="$3"
+  shift 3
+  [[ -x "$tool" ]] || { echo "missing $tool (build first)" >&2; exit 1; }
+  local err rc=0
+  err="$("$tool" "$@" 2>&1 >/dev/null)" || rc=$?
+  if [[ "$rc" -ne 2 ]]; then
+    echo "$label: expected exit 2, got $rc" >&2
+    echo "$err" >&2
+    exit 1
+  fi
+  if ! grep -qF -- "$flag" <<<"$err"; then
+    echo "$label: diagnostic does not name $flag" >&2
+    echo "$err" >&2
+    exit 1
+  fi
+  echo "ok: $label"
+}
+
+T="$BUILD_DIR/tools"
+
+# physnet_eval: non-numeric, trailing junk, float where int expected.
+expect_usage "eval --size=abc" "--size" "$T/physnet_eval" \
+    --family=fat_tree --size=abc
+expect_usage "eval --seed=-1" "--seed" "$T/physnet_eval" \
+    --family=fat_tree --size=4 --seed=-1
+expect_usage "eval --jobs=2.5" "--jobs" "$T/physnet_eval" \
+    --family=fat_tree --size=4 --jobs=2.5
+expect_usage "eval --sweep=4,x,8" "--sweep" "$T/physnet_eval" \
+    --family=fat_tree --sweep=4,x,8
+
+# physnet_client: parse failures trip before --connect is required.
+expect_usage "client --size=abc" "--size" "$T/physnet_client" --size=abc
+expect_usage "client --deadline=soon" "--deadline" "$T/physnet_client" \
+    --deadline=soon
+expect_usage "client --retry-jitter-seed=-1" "--retry-jitter-seed" \
+    "$T/physnet_client" --retry-jitter-seed=-1
+
+# physnet_serve: parse failures trip before --listen is required.
+expect_usage "serve --queue-limit=12x" "--queue-limit" "$T/physnet_serve" \
+    --queue-limit=12x
+expect_usage "serve --eval-threads=many" "--eval-threads" \
+    "$T/physnet_serve" --eval-threads=many
+expect_usage "serve --cache-capacity=-5" "--cache-capacity" \
+    "$T/physnet_serve" --cache-capacity=-5
+
+# physnet_proxy
+expect_usage "proxy --vnodes=2.5" "--vnodes" "$T/physnet_proxy" \
+    --vnodes=2.5
+expect_usage "proxy --backoff-base-ms=nan" "--backoff-base-ms" \
+    "$T/physnet_proxy" --backoff-base-ms=nan
+
+# physnet_load (including the size field inside a --mix entry)
+expect_usage "load --qps=fast" "--qps" "$T/physnet_load" --qps=fast
+expect_usage "load --mix=fat_tree:big" "--mix" "$T/physnet_load" \
+    --mix=fat_tree:big
+expect_usage "load --hot-fraction=0.5.5" "--hot-fraction" \
+    "$T/physnet_load" --hot-fraction=0.5.5
+
+echo "cli negative-argv smoke passed"

@@ -1,0 +1,495 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/evaluator.h"
+#include "deploy/decom.h"
+#include "deploy/expansion.h"
+#include "deploy/migration.h"
+#include "deploy/repair_sim.h"
+#include "topology/generators/families.h"
+
+namespace pn {
+
+const char* campaign_event_kind_name(campaign_event_kind k) {
+  switch (k) {
+    case campaign_event_kind::grow: return "grow";
+    case campaign_event_kind::trunk: return "trunk";
+    case campaign_event_kind::rewire: return "rewire";
+    case campaign_event_kind::upgrade: return "upgrade";
+    case campaign_event_kind::migrate: return "migrate";
+    case campaign_event_kind::churn: return "churn";
+    case campaign_event_kind::decom: return "decom";
+  }
+  return "?";
+}
+
+namespace {
+
+bool kind_from_name(const std::string& name, campaign_event_kind& out) {
+  for (const campaign_event_kind k :
+       {campaign_event_kind::grow, campaign_event_kind::trunk,
+        campaign_event_kind::rewire, campaign_event_kind::upgrade,
+        campaign_event_kind::migrate, campaign_event_kind::churn,
+        campaign_event_kind::decom}) {
+    if (name == campaign_event_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+// §4.2 link-speed generation upgrade as edge ops: every live link is
+// drained and re-landed between the same endpoints at capacity x factor,
+// spread evenly over `steps` steps in seed-shuffled order. The kill
+// frees the ports the add re-consumes, so the plan works on fully wired
+// fabrics, and each step ends with the fabric whole (the transient
+// inside a step is never evaluated). The re-landed link gets a fresh
+// edge id — an in-place capacity write would bypass the edge journal
+// and corrupt delta evaluation.
+deploy_scenario plan_upgrade_edge_scenario(const network_graph& g,
+                                           int steps, double factor,
+                                           std::uint64_t seed) {
+  PN_CHECK(steps > 0 && factor > 0.0);
+  deploy_scenario sc;
+  sc.name = "upgrade";
+  network_graph replay = g;
+  std::vector<edge_id> live = replay.live_edges();
+  PN_CHECK_MSG(!live.empty(), "upgrade scenario needs live links");
+
+  rng r(seed);
+  for (std::size_t i = live.size() - 1; i > 0; --i) {
+    std::swap(live[i], live[r.next_index(i + 1)]);
+  }
+
+  const std::size_t per =
+      (live.size() + static_cast<std::size_t>(steps) - 1) /
+      static_cast<std::size_t>(steps);
+  std::size_t cursor = 0;
+  for (int step = 0; step < steps && cursor < live.size(); ++step) {
+    scenario_step st;
+    st.label = str_format("upgrade%d", step + 1);
+    for (std::size_t n = 0; n < per && cursor < live.size(); ++n) {
+      const edge_id e = live[cursor++];
+      const edge_info info = replay.edge(e);
+      st.ops.push_back(edge_op{edge_op_kind::kill, e, info.a, info.b,
+                               gbps{0.0}});
+      replay.remove_edge(e);
+      const gbps cap{info.capacity.value() * factor};
+      const edge_id id = replay.add_edge(info.a, info.b, cap);
+      st.ops.push_back(edge_op{edge_op_kind::add, id, info.a, info.b, cap});
+    }
+    sc.steps.push_back(std::move(st));
+  }
+  return sc;
+}
+
+}  // namespace
+
+result<campaign_spec> parse_campaign(const std::string& text) {
+  campaign_spec spec;
+  spec.events.clear();
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_base = false;
+
+  auto fail = [&](const std::string& why) {
+    return invalid_argument_error(
+        str_format("line %zu: %s", line_no, why.c_str()));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    if (!saw_header) {
+      if (line != "physnet-campaign v1") {
+        return fail("expected 'physnet-campaign v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+
+    if (directive == "name") {
+      ls >> spec.name;
+      if (spec.name.empty()) return fail("name needs a value");
+    } else if (directive == "base") {
+      std::string seed_kw;
+      if (!(ls >> spec.family >> spec.size >> seed_kw >> spec.seed) ||
+          seed_kw != "seed") {
+        return fail("malformed base (want: base <family> <size> seed <N>)");
+      }
+      if (spec.size <= 0) return fail("base size must be > 0");
+      saw_base = true;
+    } else if (directive == "years") {
+      if (!(ls >> spec.years) || spec.years < 1) {
+        return fail("years must be an integer >= 1");
+      }
+    } else if (directive == "headroom") {
+      if (!(ls >> spec.headroom) || spec.headroom < 0) {
+        return fail("headroom must be an integer >= 0");
+      }
+    } else if (directive == "option") {
+      std::string key;
+      ls >> key;
+      if (key == "repair") {
+        std::string v;
+        ls >> v;
+        if (v == "on") {
+          spec.repair = true;
+        } else if (v == "off") {
+          spec.repair = false;
+        } else {
+          return fail("option repair wants on|off");
+        }
+      } else if (key == "strategy") {
+        ls >> spec.strategy;
+        if (spec.strategy.empty()) return fail("option strategy needs a name");
+      } else {
+        return fail("unknown option " + key);
+      }
+    } else if (directive == "event") {
+      std::string year_kw;
+      campaign_event ev;
+      std::string kind_name;
+      if (!(ls >> year_kw) || year_kw != "year" || !(ls >> ev.year)) {
+        return fail("malformed event (want: event year <Y> <kind> <label>)");
+      }
+      if (!(ls >> kind_name >> ev.label)) return fail("malformed event");
+      if (!kind_from_name(kind_name, ev.kind)) {
+        return fail("unknown event kind " + kind_name);
+      }
+      std::string key;
+      while (ls >> key) {
+        bool ok = false;
+        if (key == "steps") {
+          ok = static_cast<bool>(ls >> ev.steps) && ev.steps > 0;
+        } else if (key == "links_per_step") {
+          ok = static_cast<bool>(ls >> ev.links_per_step) &&
+               ev.links_per_step > 0;
+        } else if (key == "moves_per_step") {
+          ok = static_cast<bool>(ls >> ev.moves_per_step) &&
+               ev.moves_per_step > 0;
+        } else if (key == "kills_per_step") {
+          ok = static_cast<bool>(ls >> ev.kills_per_step) &&
+               ev.kills_per_step > 0;
+        } else if (key == "repair_lag") {
+          ok = static_cast<bool>(ls >> ev.repair_lag_steps) &&
+               ev.repair_lag_steps >= 0;
+        } else if (key == "switches") {
+          ok = static_cast<bool>(ls >> ev.switches) && ev.switches > 0;
+        } else if (key == "factor") {
+          ok = static_cast<bool>(ls >> ev.factor) && ev.factor > 0.0;
+        } else {
+          return fail("unknown event key " + key);
+        }
+        if (!ok) return fail("bad value for event key " + key);
+      }
+      spec.events.push_back(std::move(ev));
+    } else {
+      return fail("unknown directive " + directive);
+    }
+  }
+
+  if (!saw_header) {
+    return invalid_argument_error("empty campaign: missing header");
+  }
+  if (!saw_base) {
+    return invalid_argument_error("campaign has no 'base' directive");
+  }
+  for (const campaign_event& ev : spec.events) {
+    if (ev.year < 1 || ev.year > spec.years) {
+      return invalid_argument_error(
+          str_format("event %s: year %d outside campaign years [1, %d]",
+                     ev.label.c_str(), ev.year, spec.years));
+    }
+  }
+  // Duplicate labels would collide in CSV row names and checkpoints.
+  // Linear scan: event lists are tens of entries, and src/campaign is
+  // under the R7 hot-path associative-container ban.
+  for (std::size_t i = 0; i < spec.events.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.events.size(); ++j) {
+      if (spec.events[i].label == spec.events[j].label) {
+        return invalid_argument_error("duplicate event label " +
+                                      spec.events[i].label);
+      }
+    }
+  }
+  return spec;
+}
+
+std::string serialize_campaign(const campaign_spec& spec) {
+  std::string out = "physnet-campaign v1\n";
+  if (!spec.name.empty()) out += "name " + spec.name + "\n";
+  out += str_format("base %s %d seed %llu\n", spec.family.c_str(), spec.size,
+                    static_cast<unsigned long long>(spec.seed));
+  out += str_format("years %d\n", spec.years);
+  out += str_format("headroom %d\n", spec.headroom);
+  out += std::string("option repair ") + (spec.repair ? "on" : "off") + "\n";
+  out += "option strategy " + spec.strategy + "\n";
+  for (const campaign_event& ev : spec.events) {
+    out += str_format("event year %d %s %s", ev.year,
+                      campaign_event_kind_name(ev.kind), ev.label.c_str());
+    switch (ev.kind) {
+      case campaign_event_kind::grow:
+      case campaign_event_kind::trunk:
+        out += str_format(" steps %d links_per_step %d", ev.steps,
+                          ev.links_per_step);
+        break;
+      case campaign_event_kind::rewire:
+      case campaign_event_kind::migrate:
+        out += str_format(" steps %d moves_per_step %d", ev.steps,
+                          ev.moves_per_step);
+        break;
+      case campaign_event_kind::upgrade:
+        // %.17g: factor must survive serialize-parse exactly so a
+        // recompiled campaign replays the identical plan.
+        out += str_format(" steps %d factor %.17g", ev.steps, ev.factor);
+        break;
+      case campaign_event_kind::churn:
+        out += str_format(" steps %d kills_per_step %d repair_lag %d",
+                          ev.steps, ev.kills_per_step, ev.repair_lag_steps);
+        break;
+      case campaign_event_kind::decom:
+        out += str_format(" switches %d links_per_step %d", ev.switches,
+                          ev.links_per_step);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t campaign_plan::ops_added() const {
+  std::size_t n = 0;
+  for (const scenario_step& st : scenario.steps) {
+    for (const edge_op& op : st.ops) {
+      if (op.kind == edge_op_kind::add) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t campaign_plan::ops_killed() const {
+  std::size_t n = 0;
+  for (const scenario_step& st : scenario.steps) {
+    for (const edge_op& op : st.ops) {
+      if (op.kind == edge_op_kind::kill) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t campaign_plan::ops_revived() const {
+  std::size_t n = 0;
+  for (const scenario_step& st : scenario.steps) {
+    for (const edge_op& op : st.ops) {
+      if (op.kind == edge_op_kind::revive) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t campaign_event_seed(std::uint64_t base_seed,
+                                  std::size_t event_index) {
+  // Salt the base so event seeds never collide with the sweep's
+  // per-point stream (both mix via sweep_point_seed otherwise).
+  return sweep_point_seed(base_seed ^ 0xca3517a16e5a17edULL, event_index);
+}
+
+result<campaign_plan> compile_campaign(const campaign_spec& spec) {
+  if (!placement_strategy_from_name(spec.strategy).has_value()) {
+    return invalid_argument_error("unknown strategy " + spec.strategy);
+  }
+  auto built = build_family(spec.family, spec.size, spec.seed);
+  if (!built.is_ok()) return built.error();
+  network_graph g = std::move(built).value();
+
+  // §4.1 expansion headroom: generated families come out fully wired,
+  // so grow events need reserved ports to land links on.
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    g.node(node_id{i}).radix += spec.headroom;
+  }
+
+  campaign_plan plan;
+  plan.spec = spec;
+  plan.base = g;
+  plan.scenario.name = spec.name.empty() ? "campaign" : spec.name;
+  // Step 0 evaluates the untouched day-1 design.
+  plan.scenario.steps.push_back(scenario_step{"day1", {}});
+
+  // Events replay in year order; file order breaks ties so a year's
+  // events keep their written sequence.
+  std::vector<std::size_t> order(spec.events.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return spec.events[a].year < spec.events[b].year;
+                   });
+
+  network_graph replica = std::move(g);
+  for (const std::size_t ei : order) {
+    const campaign_event& ev = spec.events[ei];
+    const std::uint64_t eseed = campaign_event_seed(spec.seed, ei);
+    deploy_scenario sub;
+    switch (ev.kind) {
+      case campaign_event_kind::grow:
+      case campaign_event_kind::trunk: {
+        edge_expansion_params p;
+        p.steps = ev.steps;
+        p.links_per_step = ev.links_per_step;
+        p.parallel_links = ev.kind == campaign_event_kind::trunk;
+        p.seed = eseed;
+        sub = plan_expansion_edge_scenario(replica, p);
+        break;
+      }
+      case campaign_event_kind::rewire:
+      case campaign_event_kind::migrate: {
+        edge_migration_params p;
+        p.steps = ev.steps;
+        p.moves_per_step = ev.moves_per_step;
+        p.seed = eseed;
+        sub = plan_migration_edge_scenario(replica, p);
+        break;
+      }
+      case campaign_event_kind::upgrade:
+        sub = plan_upgrade_edge_scenario(replica, ev.steps, ev.factor,
+                                         eseed);
+        break;
+      case campaign_event_kind::churn: {
+        edge_repair_params p;
+        p.steps = ev.steps;
+        p.kills_per_step = ev.kills_per_step;
+        p.repair_lag_steps = ev.repair_lag_steps;
+        p.seed = eseed;
+        sub = plan_repair_edge_scenario(replica, p);
+        break;
+      }
+      case campaign_event_kind::decom: {
+        // The decom planner PN_CHECKs this precondition; a campaign
+        // file is user input, so fail softly with the event named.
+        std::vector<std::uint8_t> hf(replica.node_count(), 0);
+        for (const node_id h : replica.host_facing_nodes()) {
+          hf[h.index()] = 1;
+        }
+        if (std::find(hf.begin(), hf.end(), std::uint8_t{0}) == hf.end()) {
+          return invalid_argument_error(
+              "event " + ev.label + ": decom retires non-host-facing "
+              "switches and family " + spec.family + " has none");
+        }
+        edge_decom_params p;
+        p.switches = ev.switches;
+        p.links_per_step = ev.links_per_step;
+        p.seed = eseed;
+        sub = plan_decom_edge_scenario(replica, p);
+        break;
+      }
+    }
+    for (scenario_step& st : sub.steps) {
+      scenario_step step;
+      step.label = str_format("y%d/", ev.year) + ev.label + "/" + st.label;
+      step.ops = std::move(st.ops);
+      // Advance the lineage so the next event plans against the fabric
+      // this one leaves behind (exact edge ids included).
+      apply_scenario_step(replica, step);
+      plan.scenario.steps.push_back(std::move(step));
+    }
+  }
+  return plan;
+}
+
+sweep_results run_campaign(const campaign_plan& plan,
+                           const campaign_run_options& ropt) {
+  evaluation_options opt;
+  opt.seed = plan.spec.seed;
+  opt.run_repair_sim = plan.spec.repair;
+  const auto strat = placement_strategy_from_name(plan.spec.strategy);
+  PN_CHECK_MSG(strat.has_value(),
+               "run_campaign on an uncompiled spec: unknown strategy "
+                   << plan.spec.strategy);
+  opt.strategy = *strat;
+
+  network_graph g = plan.base;
+  const std::vector<sweep_point> grid = scenario_sweep_points(plan.scenario);
+  sweep_options sopt;
+  sopt.cancel = ropt.cancel;
+  sopt.cancel_after_points = ropt.cancel_after_points;
+  sopt.checkpoint_path = ropt.checkpoint_path;
+  sopt.resume = ropt.resume;
+  sopt.scenario_graph = &g;
+  sopt.delta_eval = ropt.delta;
+  return run_sweep(grid, opt, sopt);
+}
+
+campaign_summary summarize_campaign(
+    const campaign_plan& plan,
+    const std::vector<deployability_report>& reports) {
+  PN_CHECK_MSG(!reports.empty(), "cannot summarize an empty campaign run");
+  campaign_summary s;
+  s.campaign = plan.scenario.name;
+  s.family = plan.spec.family;
+  s.size = plan.spec.size;
+  s.years = plan.spec.years;
+  s.evaluations = reports.size();
+  s.events = plan.spec.events.size();
+  s.ops_added = plan.ops_added();
+  s.ops_killed = plan.ops_killed();
+  s.ops_revived = plan.ops_revived();
+
+  const deployability_report& day1 = reports.front();
+  const deployability_report& last = reports.back();
+  s.day1_capex_usd = day1.capex().value();
+  s.final_capex_usd = last.capex().value();
+  s.day1_time_to_deploy_h = day1.time_to_deploy.value();
+  s.final_time_to_deploy_h = last.time_to_deploy.value();
+  s.day1_deploy_labor_h = day1.deploy_labor.value();
+  s.final_deploy_labor_h = last.deploy_labor.value();
+  s.day1_bisection_gbps_per_host = day1.bisection_gbps_per_host;
+  s.final_bisection_gbps_per_host = last.bisection_gbps_per_host;
+  s.min_bisection_gbps_per_host = day1.bisection_gbps_per_host;
+  for (const deployability_report& r : reports) {
+    s.min_bisection_gbps_per_host =
+        std::min(s.min_bisection_gbps_per_host, r.bisection_gbps_per_host);
+  }
+  return s;
+}
+
+std::string campaign_summary_csv_header() {
+  // pn_lint: allow(csv-comma) fixed header row — column names, no data
+  return "campaign,family,size,years,evaluations,events,ops_added,"
+         "ops_killed,ops_revived,day1_capex_usd,final_capex_usd,"
+         "day1_time_to_deploy_h,final_time_to_deploy_h,"
+         "day1_deploy_labor_h,final_deploy_labor_h,"
+         "day1_bisection_gbps_per_host,min_bisection_gbps_per_host,"
+         "final_bisection_gbps_per_host\n";
+}
+
+std::string campaign_summary_csv_row(const campaign_summary& s) {
+  return csv_field(s.campaign) + ',' + csv_field(s.family) + ',' +
+         str_format("%d,%d,%zu,%zu,%zu,%zu,%zu,%.2f,%.2f,%.3f,%.3f,%.3f,"
+                    "%.3f,%.4f,%.4f,%.4f",
+                    s.size, s.years, s.evaluations, s.events, s.ops_added,
+                    s.ops_killed, s.ops_revived, s.day1_capex_usd,
+                    s.final_capex_usd, s.day1_time_to_deploy_h,
+                    s.final_time_to_deploy_h, s.day1_deploy_labor_h,
+                    s.final_deploy_labor_h, s.day1_bisection_gbps_per_host,
+                    s.min_bisection_gbps_per_host,
+                    s.final_bisection_gbps_per_host) +
+         "\n";
+}
+
+}  // namespace pn

@@ -1,0 +1,174 @@
+// Lifetime digital-twin campaigns: declarative multi-year timelines of
+// deployment events, compiled into the edge-level scenario machinery
+// (deploy/scenario.h) and replayed through run_sweep's scenario mode.
+//
+// The paper's core argument is that deployability costs accrue over a
+// fleet's *lifetime*, not at day 1. A campaign file describes that
+// lifetime as an ordered list of events — Jellyfish-style growth,
+// trunking, Xpander-style rewires, link-speed generation upgrades
+// (§4.2), the §4.3 live migration, failure/repair churn, staged
+// decommissioning — against one base design. compile_campaign turns it
+// into a single deploy_scenario whose step 0 is the untouched day-1
+// design, so one scenario sweep yields the whole cost/bisection
+// trajectory, and run_sweep's checkpointed resume makes an interrupted
+// multi-year replay finish to byte-identical CSVs.
+//
+// The text format follows the twin serializer idioms: line-oriented,
+// whitespace-separated tokens, `#` comments, CRLF-tolerant, errors as
+// "line N: why".
+//
+//   physnet-campaign v1
+//   name example
+//   base jellyfish 32 seed 7
+//   years 3
+//   headroom 4
+//   option repair off
+//   option strategy block
+//   event year 1 grow g1 steps 4 links_per_step 2
+//   event year 2 upgrade u1 steps 4 factor 4
+//   event year 3 churn c1 steps 6 kills_per_step 1 repair_lag 2
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sweep.h"
+#include "deploy/scenario.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// One lifecycle event kind per deploy planner (plus the upgrade planner
+// this module adds). grow/trunk -> expansion, rewire/migrate ->
+// migration, churn -> repair, decom -> decommission.
+enum class campaign_event_kind : std::uint8_t {
+  grow,     // Jellyfish-style incremental growth: new links land on
+            // free (headroom) ports between previously unwired pairs
+  trunk,    // parallel_links capacity expansion over existing adjacencies
+  rewire,   // Xpander-style rewires: drain a link, land a replacement
+  upgrade,  // §4.2 link-speed generation upgrade: each live link is
+            // drained and re-landed at capacity x factor
+  migrate,  // §4.3 live migration moves (same mechanics as rewire,
+            // distinct label/semantics in the timeline)
+  churn,    // §3.3 failure/repair churn with lagged revives
+  decom,    // staged decommission of non-host-facing switches
+};
+
+[[nodiscard]] const char* campaign_event_kind_name(campaign_event_kind k);
+
+struct campaign_event {
+  int year = 1;
+  campaign_event_kind kind = campaign_event_kind::grow;
+  std::string label;
+
+  // Planner knobs; each kind reads the subset that applies to it.
+  int steps = 4;            // all kinds: scenario steps (= evaluations)
+  int links_per_step = 2;   // grow/trunk/decom
+  int moves_per_step = 2;   // rewire/migrate
+  int kills_per_step = 1;   // churn
+  int repair_lag_steps = 2; // churn
+  int switches = 1;         // decom: switches to retire
+  double factor = 4.0;      // upgrade: capacity multiplier
+};
+
+struct campaign_spec {
+  std::string name;
+  std::string family = "jellyfish";
+  int size = 32;
+  std::uint64_t seed = 1;
+  int years = 1;
+  // Extra ports granted per switch at day 1 — the §4.1 expansion
+  // headroom the paper argues real designs must reserve. Generated
+  // families come out fully wired, so without headroom grow events
+  // have nowhere to land links.
+  int headroom = 4;
+  bool repair = false;        // run the repair sim per evaluation
+  std::string strategy = "block";
+  std::vector<campaign_event> events;  // replayed in file order per year
+};
+
+// Parses the campaign text format. Errors name the offending line; a
+// torn or truncated file parses to an error, never a crash.
+[[nodiscard]] result<campaign_spec> parse_campaign(const std::string& text);
+
+// Canonical text for a spec; parse_campaign(serialize_campaign(s))
+// round-trips every field.
+[[nodiscard]] std::string serialize_campaign(const campaign_spec& spec);
+
+// A compiled campaign: the day-1 graph (headroom applied) plus one
+// deploy_scenario covering the whole timeline. scenario.steps[0] is a
+// synthetic no-op "day1" step so the base design gets its own
+// evaluation row; every later step is labeled y<year>/<event>/<step>.
+struct campaign_plan {
+  campaign_spec spec;
+  network_graph base;
+  deploy_scenario scenario;
+
+  // Cumulative rewiring ops over the lifetime, by kind.
+  [[nodiscard]] std::size_t ops_added() const;
+  [[nodiscard]] std::size_t ops_killed() const;
+  [[nodiscard]] std::size_t ops_revived() const;
+};
+
+// Deterministic per-event seed, salted so it never collides with the
+// sweep's per-point seed stream for the same base seed.
+[[nodiscard]] std::uint64_t campaign_event_seed(std::uint64_t base_seed,
+                                                std::size_t event_index);
+
+// Builds the base family, grants headroom, and compiles every event
+// through its deploy planner against the evolving lineage. Events are
+// ordered by year (stable within a year). Fails on unknown families or
+// events that cannot be planned.
+[[nodiscard]] result<campaign_plan> compile_campaign(
+    const campaign_spec& spec);
+
+// Options for replaying a compiled campaign locally.
+struct campaign_run_options {
+  bool delta = true;                   // delta-aware scenario evaluation
+  cancel_token cancel;
+  std::size_t cancel_after_points = 0; // testing hook (see sweep_options)
+  std::string checkpoint_path;
+  const sweep_checkpoint* resume = nullptr;
+};
+
+// Replays the compiled scenario through run_sweep's scenario mode on a
+// private copy of plan.base. Evaluation options derive from the spec
+// (seed, repair, strategy). The returned reports are one row per step,
+// day 1 first — feed them to sweep_to_csv for the trajectory CSV and to
+// summarize_campaign for the day-1 vs lifetime table.
+[[nodiscard]] sweep_results run_campaign(const campaign_plan& plan,
+                                         const campaign_run_options& ropt);
+
+// The §5.4 deliverable: day-1 vs lifetime per campaign.
+struct campaign_summary {
+  std::string campaign;
+  std::string family;
+  int size = 0;
+  int years = 0;
+  std::size_t evaluations = 0;  // completed evaluation rows
+  std::size_t events = 0;
+  std::size_t ops_added = 0;
+  std::size_t ops_killed = 0;
+  std::size_t ops_revived = 0;
+  double day1_capex_usd = 0.0;
+  double final_capex_usd = 0.0;
+  double day1_time_to_deploy_h = 0.0;
+  double final_time_to_deploy_h = 0.0;
+  double day1_deploy_labor_h = 0.0;
+  double final_deploy_labor_h = 0.0;
+  double day1_bisection_gbps_per_host = 0.0;
+  double min_bisection_gbps_per_host = 0.0;
+  double final_bisection_gbps_per_host = 0.0;
+};
+
+// Reduces a completed replay (reports in step order, day 1 first) to
+// the summary row. PN_CHECKs a non-empty report list.
+[[nodiscard]] campaign_summary summarize_campaign(
+    const campaign_plan& plan, const std::vector<deployability_report>& reports);
+
+[[nodiscard]] std::string campaign_summary_csv_header();
+[[nodiscard]] std::string campaign_summary_csv_row(const campaign_summary& s);
+
+}  // namespace pn

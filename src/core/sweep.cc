@@ -50,10 +50,11 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
 
   // Scenario mode: one evolving graph, strictly serial, optionally
   // delta-evaluated through a single persistent incremental_metrics.
+  // Resume works here too: the caller passes the same base graph the
+  // original run started from, restored points replay their mutations
+  // (cheap) while skipping evaluation (expensive), so live points see
+  // exactly the graph the original run would have handed them.
   const bool scenario_mode = sopt.scenario_graph != nullptr;
-  PN_CHECK_MSG(!scenario_mode || sopt.resume == nullptr,
-               "scenario sweeps cannot resume: restored points would skip "
-               "their graph mutations");
   std::optional<incremental_metrics> delta;
   if (scenario_mode && sopt.delta_eval) {
     delta.emplace(*sopt.scenario_graph, opt.traffic_per_host);
@@ -110,7 +111,15 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
       jobs, grid.size(),
       [&](std::size_t i) {
         point_slot& slot = slots[i];
-        if (slot.st == point_slot::state::restored) return;
+        if (slot.st == point_slot::state::restored) {
+          // A restored scenario point still owns a graph edit that
+          // every later point depends on (failed points included:
+          // evolve ran before the evaluation failed). Replay it.
+          if (scenario_mode && grid[i].evolve) {
+            grid[i].evolve(*sopt.scenario_graph);
+          }
+          return;
+        }
         if (cancel.cancelled()) return;  // slot stays pending
 
         const sweep_point& point = grid[i];

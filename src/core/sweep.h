@@ -112,9 +112,10 @@ struct sweep_options {
   // builds. Each point's `evolve` mutates this graph (steps of a
   // deploy_scenario, typically) and the mutated graph is evaluated in
   // place. Points run strictly serially in input order — `jobs` is
-  // ignored — because step i+1's graph state depends on step i. Resume is
-  // rejected (a restored point's mutations would be skipped, corrupting
-  // every later point). Must outlive run_sweep.
+  // ignored — because step i+1's graph state depends on step i. Resume
+  // composes with scenario mode: pass the same base graph the original
+  // run started from; restored points replay their `evolve` mutations
+  // but skip re-evaluation. Must outlive run_sweep.
   network_graph* scenario_graph = nullptr;
 
   // With scenario_graph: evaluate each point delta-aware through one

@@ -242,14 +242,22 @@ std::string load_report_json(const load_report& r, const std::string& label,
       static_cast<unsigned long long>(r.transport_error),
       static_cast<unsigned long long>(r.hot_sent),
       static_cast<unsigned long long>(r.cold_sent));
+  // overflow/sub_bin/clamped surface histogram-resolution limits:
+  // sub-bin samples resolve no finer than the first bin edge, and when
+  // a percentile fell in the overflow bin its value is pinned to the
+  // observed max, so `clamped: true` marks percentiles to distrust.
   out += str_format(
       "      \"latency_ms\": {\"count\": %llu, \"mean\": %.3f, "
       "\"min\": %.3f, \"max\": %.3f, \"p50\": %.3f, \"p90\": %.3f, "
-      "\"p95\": %.3f, \"p99\": %.3f}\n",
+      "\"p95\": %.3f, \"p99\": %.3f, \"overflow\": %llu, "
+      "\"sub_bin\": %llu, \"clamped\": %s}\n",
       static_cast<unsigned long long>(r.latency_ms.count),
       r.latency_ms.mean(), r.latency_ms.count == 0 ? 0.0 : r.latency_ms.min,
       r.latency_ms.count == 0 ? 0.0 : r.latency_ms.max, r.latency_ms.p50,
-      r.latency_ms.p90, r.latency_ms.p95, r.latency_ms.p99);
+      r.latency_ms.p90, r.latency_ms.p95, r.latency_ms.p99,
+      static_cast<unsigned long long>(r.latency_ms.overflow),
+      static_cast<unsigned long long>(r.latency_ms.sub_bin),
+      r.latency_ms.clamped ? "true" : "false");
   out += "    }";
   return out;
 }

@@ -8,20 +8,27 @@
 namespace pn {
 
 metric_series::metric_series(double hi, std::size_t bins)
-    : hist_(0.0, hi, bins) {
+    : hist_(0.0, hi, bins),
+      hi_(hi),
+      width_(hi / static_cast<double>(bins)) {
   PN_CHECK(hi > 0.0);
 }
 
 void metric_series::record(double v) {
   std::lock_guard<std::mutex> lock(mu_);
   hist_.add(v);
+  if (v >= hi_) {
+    ++overflow_;  // collapsed into the last bin
+  } else if (v < width_) {
+    ++sub_bin_;  // finer than one bin; percentile can't resolve it
+  }
   if (count_ == 0 || v < min_) min_ = v;
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
   sum_ += v;
 }
 
-double metric_series::percentile_locked(double q) const {
+double metric_series::percentile_locked(double q, bool& clamped) const {
   if (count_ == 0) return 0.0;
   const auto rank = static_cast<std::uint64_t>(
       q * static_cast<double>(count_ - 1));
@@ -29,11 +36,13 @@ double metric_series::percentile_locked(double q) const {
   for (std::size_t b = 0; b < hist_.bin_count(); ++b) {
     seen += hist_.count(b);
     if (seen > rank) {
+      if (b + 1 == hist_.bin_count() && overflow_ > 0) clamped = true;
       // Clamp the synthetic edge to the true extrema so tiny samples
       // don't report a p99 past the largest observed value.
       return std::min(std::max(hist_.bin_hi(b), min_), max_);
     }
   }
+  clamped = overflow_ > 0;
   return max_;
 }
 
@@ -44,10 +53,12 @@ metric_series::snapshot_t metric_series::snapshot() const {
   out.sum = sum_;
   out.min = min_;
   out.max = max_;
-  out.p50 = percentile_locked(0.50);
-  out.p90 = percentile_locked(0.90);
-  out.p95 = percentile_locked(0.95);
-  out.p99 = percentile_locked(0.99);
+  out.overflow = overflow_;
+  out.sub_bin = sub_bin_;
+  out.p50 = percentile_locked(0.50, out.clamped);
+  out.p90 = percentile_locked(0.90, out.clamped);
+  out.p95 = percentile_locked(0.95, out.clamped);
+  out.p99 = percentile_locked(0.99, out.clamped);
   return out;
 }
 
@@ -81,6 +92,9 @@ void put_series(stats_list& out, const std::string& prefix,
   out.emplace_back(prefix + ".p90", fmt_ms(s.p90));
   out.emplace_back(prefix + ".p95", fmt_ms(s.p95));
   out.emplace_back(prefix + ".p99", fmt_ms(s.p99));
+  out.emplace_back(prefix + ".overflow", fmt_u64(s.overflow));
+  out.emplace_back(prefix + ".sub_bin", fmt_u64(s.sub_bin));
+  out.emplace_back(prefix + ".clamped", s.clamped ? "1" : "0");
 }
 
 }  // namespace

@@ -52,6 +52,15 @@ class metric_series {
     double p90 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    // Samples outside the histogram's resolution. `overflow` counts
+    // values at or past hi (all collapsed into the last bin);
+    // `sub_bin` counts values below one bin width (their percentile
+    // can't resolve finer than the first bin edge). `clamped` is true
+    // when a reported percentile landed in the overflow bin, i.e. its
+    // value was pinned to the observed max instead of a bin edge.
+    std::uint64_t overflow = 0;
+    std::uint64_t sub_bin = 0;
+    bool clamped = false;
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
@@ -59,12 +68,18 @@ class metric_series {
   [[nodiscard]] snapshot_t snapshot() const;
 
  private:
-  // q in [0,1]: upper edge of the bin holding the rank-q sample.
-  [[nodiscard]] double percentile_locked(double q) const;
+  // q in [0,1]: upper edge of the bin holding the rank-q sample. Sets
+  // `clamped` when that bin is the overflow bin, where the edge is a
+  // lie and the value is pinned to the observed max.
+  [[nodiscard]] double percentile_locked(double q, bool& clamped) const;
 
   mutable std::mutex mu_;
   histogram hist_;
+  double hi_;
+  double width_;
   std::uint64_t count_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t sub_bin_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

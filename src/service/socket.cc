@@ -72,6 +72,15 @@ result<unique_fd> listen_on(const endpoint& ep, int backlog) {
   if (ep.is_unix) {
     unique_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!fd.valid()) return errno_error("socket(AF_UNIX)");
+    // A path left behind by a crashed daemon must be unlinked before
+    // bind — but unlinking unconditionally would let a second daemon
+    // silently steal a live daemon's socket. Probe with a connect
+    // first: acceptance means someone is serving there, so refuse.
+    if (auto live = connect_to(ep); live.is_ok()) {
+      return io_error_status("refusing to listen on " + ep.path +
+                             ": another process is already serving "
+                             "on this socket");
+    }
     ::unlink(ep.path.c_str());  // stale socket from a previous run
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;

@@ -1,0 +1,351 @@
+// Lifetime campaigns: the declarative text format must round-trip and
+// reject malformed input with line numbers; compilation must produce a
+// replayable scenario whose step 0 is the untouched day-1 design; and a
+// replay must be byte-identical across delta/full evaluation and across
+// an interrupt/resume cycle — the same contract the sweep checkpoint
+// tests assert, extended to whole campaigns.
+#include "campaign/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/checkpoint.h"
+#include "core/sweep.h"
+#include "deploy/scenario.h"
+#include "topology/graph.h"
+
+namespace pn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// A small campaign touching several event kinds; cheap enough that the
+// replay tests stay fast.
+constexpr char kSmallCampaign[] =
+    "physnet-campaign v1\n"
+    "name unit\n"
+    "base jellyfish 16 seed 5\n"
+    "years 2\n"
+    "headroom 6\n"
+    "option repair off\n"
+    "option strategy block\n"
+    "event year 1 grow g1 steps 2 links_per_step 2\n"
+    "event year 2 upgrade u1 steps 2 factor 4\n"
+    "event year 2 churn c1 steps 3 kills_per_step 1 repair_lag 1\n";
+
+// --- parsing ---------------------------------------------------------
+
+TEST(campaign_parse, serialize_parse_is_a_fixed_point) {
+  campaign_spec spec;
+  spec.name = "roundtrip";
+  spec.family = "jellyfish";
+  spec.size = 24;
+  spec.seed = 99;
+  spec.years = 4;
+  spec.headroom = 8;
+  spec.repair = true;
+  spec.strategy = "block";
+  // One event of every kind, with non-default knobs.
+  campaign_event ev;
+  ev.year = 1, ev.kind = campaign_event_kind::grow, ev.label = "g";
+  ev.steps = 3, ev.links_per_step = 5;
+  spec.events.push_back(ev);
+  ev.year = 2, ev.kind = campaign_event_kind::trunk, ev.label = "t";
+  spec.events.push_back(ev);
+  ev.year = 2, ev.kind = campaign_event_kind::rewire, ev.label = "r";
+  ev.moves_per_step = 4;
+  spec.events.push_back(ev);
+  ev.year = 3, ev.kind = campaign_event_kind::upgrade, ev.label = "u";
+  ev.factor = 2.5;
+  spec.events.push_back(ev);
+  ev.year = 3, ev.kind = campaign_event_kind::migrate, ev.label = "m";
+  spec.events.push_back(ev);
+  ev.year = 4, ev.kind = campaign_event_kind::churn, ev.label = "c";
+  ev.kills_per_step = 2, ev.repair_lag_steps = 3;
+  spec.events.push_back(ev);
+  ev.year = 4, ev.kind = campaign_event_kind::decom, ev.label = "d";
+  ev.switches = 2;
+  spec.events.push_back(ev);
+
+  const std::string text = serialize_campaign(spec);
+  auto parsed = parse_campaign(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error().to_string();
+  EXPECT_EQ(serialize_campaign(parsed.value()), text);
+
+  const campaign_spec& p = parsed.value();
+  EXPECT_EQ(p.name, "roundtrip");
+  EXPECT_EQ(p.size, 24);
+  EXPECT_EQ(p.seed, 99u);
+  EXPECT_EQ(p.years, 4);
+  EXPECT_EQ(p.headroom, 8);
+  EXPECT_TRUE(p.repair);
+  ASSERT_EQ(p.events.size(), 7u);
+  EXPECT_EQ(p.events[3].kind, campaign_event_kind::upgrade);
+  EXPECT_DOUBLE_EQ(p.events[3].factor, 2.5);
+  EXPECT_EQ(p.events[6].kind, campaign_event_kind::decom);
+  EXPECT_EQ(p.events[6].switches, 2);
+}
+
+TEST(campaign_parse, tolerates_comments_and_crlf) {
+  const std::string text =
+      "# a comment\r\n"
+      "physnet-campaign v1\r\n"
+      "\r\n"
+      "base jellyfish 16 seed 1\r\n"
+      "# another\r\n"
+      "event year 1 grow g steps 1 links_per_step 1\r\n";
+  auto parsed = parse_campaign(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().events.size(), 1u);
+}
+
+TEST(campaign_parse, errors_name_the_offending_line) {
+  struct bad_case {
+    const char* text;
+    const char* needle;
+  };
+  const std::vector<bad_case> cases = {
+      {"nonsense\n", "line 1"},
+      {"physnet-campaign v1\nbase jellyfish 16\n", "line 2"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\nyears 0\n",
+       "line 3"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\nheadroom -1\n",
+       "headroom"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\n"
+       "option repair sometimes\n",
+       "on|off"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\n"
+       "event year 1 shrink s steps 1\n",
+       "unknown event kind"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\n"
+       "event year 1 grow g steps 0\n",
+       "bad value"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\n"
+       "event year 1 grow g bogus 1\n",
+       "unknown event key"},
+      {"physnet-campaign v1\nbase jellyfish 16 seed 1\nfrobnicate\n",
+       "unknown directive"},
+      {"physnet-campaign v1\n", "no 'base'"},
+      {"", "missing header"},
+  };
+  for (const bad_case& c : cases) {
+    auto parsed = parse_campaign(c.text);
+    ASSERT_FALSE(parsed.is_ok()) << "accepted: " << c.text;
+    EXPECT_NE(parsed.error().to_string().find(c.needle), std::string::npos)
+        << "error for '" << c.text
+        << "' was: " << parsed.error().to_string();
+  }
+}
+
+TEST(campaign_parse, rejects_year_outside_campaign_and_duplicate_labels) {
+  auto late = parse_campaign(
+      "physnet-campaign v1\nbase jellyfish 16 seed 1\nyears 2\n"
+      "event year 3 grow g steps 1\n");
+  ASSERT_FALSE(late.is_ok());
+  EXPECT_NE(late.error().to_string().find("outside campaign years"),
+            std::string::npos);
+
+  auto dup = parse_campaign(
+      "physnet-campaign v1\nbase jellyfish 16 seed 1\nyears 2\n"
+      "event year 1 grow same steps 1\n"
+      "event year 2 churn same steps 1\n");
+  ASSERT_FALSE(dup.is_ok());
+  EXPECT_NE(dup.error().to_string().find("duplicate event label"),
+            std::string::npos);
+}
+
+// --- compilation -----------------------------------------------------
+
+TEST(campaign_compile, step_zero_is_a_day1_noop_and_labels_carry_years) {
+  auto spec = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_TRUE(plan.is_ok()) << plan.error().to_string();
+
+  const deploy_scenario& sc = plan.value().scenario;
+  // 1 day-1 step + 2 grow + 2 upgrade + 3 churn.
+  ASSERT_EQ(sc.steps.size(), 8u);
+  EXPECT_EQ(sc.steps[0].label, "day1");
+  EXPECT_TRUE(sc.steps[0].ops.empty());
+  EXPECT_EQ(sc.steps[1].label.rfind("y1/g1/", 0), 0u) << sc.steps[1].label;
+  EXPECT_EQ(sc.steps[3].label.rfind("y2/u1/", 0), 0u) << sc.steps[3].label;
+  EXPECT_EQ(sc.steps[5].label.rfind("y2/c1/", 0), 0u) << sc.steps[5].label;
+
+  // The whole timeline must replay cleanly against the day-1 base.
+  network_graph g = plan.value().base;
+  for (const scenario_step& st : sc.steps) apply_scenario_step(g, st);
+}
+
+TEST(campaign_compile, headroom_reserves_ports_on_every_switch) {
+  auto spec = parse_campaign(
+      "physnet-campaign v1\nbase jellyfish 16 seed 5\nheadroom 6\n");
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_TRUE(plan.is_ok()) << plan.error().to_string();
+  const network_graph& base = plan.value().base;
+  for (std::size_t i = 0; i < base.node_count(); ++i) {
+    EXPECT_GE(base.free_ports(node_id{i}), 6) << "switch " << i;
+  }
+}
+
+TEST(campaign_compile, upgrade_relands_every_link_at_factor) {
+  auto spec = parse_campaign(
+      "physnet-campaign v1\nbase jellyfish 16 seed 5\n"
+      "event year 1 upgrade u steps 3 factor 4\n");
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_TRUE(plan.is_ok()) << plan.error().to_string();
+
+  network_graph g = plan.value().base;
+  const std::vector<edge_id> before = g.live_edges();
+  double cap_before = 0.0;
+  for (const edge_id e : before) cap_before += g.edge(e).capacity.value();
+
+  for (const scenario_step& st : plan.value().scenario.steps) {
+    apply_scenario_step(g, st);
+  }
+  const std::vector<edge_id> after = g.live_edges();
+  EXPECT_EQ(after.size(), before.size());
+  double cap_after = 0.0;
+  for (const edge_id e : after) cap_after += g.edge(e).capacity.value();
+  EXPECT_DOUBLE_EQ(cap_after, 4.0 * cap_before);
+  // kill + re-add per link, no revives.
+  EXPECT_EQ(plan.value().ops_killed(), before.size());
+  EXPECT_EQ(plan.value().ops_added(), before.size());
+  EXPECT_EQ(plan.value().ops_revived(), 0u);
+}
+
+TEST(campaign_compile, rejects_unknown_family_and_strategy) {
+  auto family = parse_campaign(
+      "physnet-campaign v1\nbase moebius 16 seed 1\n");
+  ASSERT_TRUE(family.is_ok());  // parse accepts; compile resolves
+  EXPECT_FALSE(compile_campaign(family.value()).is_ok());
+
+  auto strategy = parse_campaign(
+      "physnet-campaign v1\nbase jellyfish 16 seed 1\n"
+      "option strategy psychic\n");
+  ASSERT_TRUE(strategy.is_ok());
+  EXPECT_FALSE(compile_campaign(strategy.value()).is_ok());
+}
+
+TEST(campaign_compile, decom_on_an_all_tor_family_errors_instead_of_crashing) {
+  // Every jellyfish switch is host-facing, so there is nothing the
+  // decom planner may retire; a campaign file is user input and must
+  // get a structured error, not the planner's PN_CHECK abort.
+  auto spec = parse_campaign(
+      "physnet-campaign v1\nbase jellyfish 16 seed 1\n"
+      "event year 1 decom d switches 1 links_per_step 2\n");
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_FALSE(plan.is_ok());
+  EXPECT_NE(plan.error().to_string().find("non-host-facing"),
+            std::string::npos)
+      << plan.error().to_string();
+}
+
+TEST(campaign_compile, event_seeds_are_salted_away_from_sweep_points) {
+  // Event i must never share a seed with sweep point i of the same
+  // campaign: both streams derive from spec.seed.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NE(campaign_event_seed(5, i), sweep_point_seed(5, i)) << i;
+    // Deterministic: same inputs, same seed.
+    EXPECT_EQ(campaign_event_seed(5, i), campaign_event_seed(5, i));
+  }
+}
+
+// --- replay ----------------------------------------------------------
+
+TEST(campaign_run, delta_and_full_evaluation_are_byte_identical) {
+  auto spec = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_TRUE(plan.is_ok()) << plan.error().to_string();
+
+  campaign_run_options delta;
+  delta.delta = true;
+  campaign_run_options full;
+  full.delta = false;
+
+  const sweep_results a = run_campaign(plan.value(), delta);
+  const sweep_results b = run_campaign(plan.value(), full);
+  ASSERT_EQ(a.reports.size(), plan.value().scenario.steps.size());
+  EXPECT_TRUE(a.failures.empty());
+  EXPECT_EQ(sweep_to_csv(a), sweep_to_csv(b));
+}
+
+TEST(campaign_run, interrupted_replay_resumes_byte_identical) {
+  auto spec = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_TRUE(plan.is_ok()) << plan.error().to_string();
+
+  campaign_run_options plain;
+  const sweep_results whole = run_campaign(plan.value(), plain);
+  ASSERT_TRUE(whole.failures.empty());
+
+  const std::string path = temp_path("campaign_resume.ckpt");
+  campaign_run_options interrupted;
+  interrupted.checkpoint_path = path;
+  interrupted.cancel_after_points = 3;
+  const sweep_results partial = run_campaign(plan.value(), interrupted);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_EQ(partial.reports.size(), 3u);
+
+  auto cp = load_sweep_checkpoint(path);
+  ASSERT_TRUE(cp.is_ok()) << cp.error().to_string();
+  campaign_run_options resumed;
+  resumed.checkpoint_path = path;
+  resumed.resume = &cp.value();
+  const sweep_results merged = run_campaign(plan.value(), resumed);
+  EXPECT_FALSE(merged.cancelled);
+  EXPECT_EQ(merged.resumed_points, 3u);
+  EXPECT_EQ(sweep_to_csv(merged), sweep_to_csv(whole));
+  std::remove(path.c_str());
+}
+
+// --- summary ---------------------------------------------------------
+
+TEST(campaign_summary_t, reduces_day1_and_lifetime_endpoints) {
+  auto spec = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(spec.is_ok());
+  auto plan = compile_campaign(spec.value());
+  ASSERT_TRUE(plan.is_ok()) << plan.error().to_string();
+
+  campaign_run_options ropt;
+  const sweep_results res = run_campaign(plan.value(), ropt);
+  ASSERT_TRUE(res.failures.empty());
+
+  const campaign_summary s = summarize_campaign(plan.value(), res.reports);
+  EXPECT_EQ(s.campaign, "unit");
+  EXPECT_EQ(s.family, "jellyfish");
+  EXPECT_EQ(s.evaluations, res.reports.size());
+  EXPECT_EQ(s.events, 3u);
+  EXPECT_DOUBLE_EQ(s.day1_capex_usd, res.reports.front().capex().value());
+  EXPECT_DOUBLE_EQ(s.final_capex_usd, res.reports.back().capex().value());
+  EXPECT_LE(s.min_bisection_gbps_per_host, s.day1_bisection_gbps_per_host);
+  EXPECT_LE(s.min_bisection_gbps_per_host, s.final_bisection_gbps_per_host);
+  // The upgrade quadruples link speed: lifetime bisection must exceed
+  // day 1's.
+  EXPECT_GT(s.final_bisection_gbps_per_host,
+            s.day1_bisection_gbps_per_host);
+
+  // Header and row agree on column count.
+  const std::string header = campaign_summary_csv_header();
+  const std::string row = campaign_summary_csv_row(s);
+  const auto commas = [](const std::string& t) {
+    return std::count(t.begin(), t.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+}
+
+}  // namespace
+}  // namespace pn

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "service/framing.h"
@@ -264,6 +265,82 @@ TEST_P(wire_fuzz, garbage_payloads_never_crash_request_parsing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, wire_fuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- campaign file fuzz ----------------------------------------------
+//
+// Campaign files face the same hostile inputs as twin files: a replay
+// box can die mid-write and leave a torn file behind. Every truncation
+// and every byte-soup mutation must parse to a structured error or a
+// valid spec — never a crash (ASan watches).
+
+class campaign_fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+campaign_spec fuzz_base_spec() {
+  campaign_spec spec;
+  spec.name = "fuzz";
+  spec.family = "jellyfish";
+  spec.size = 16;
+  spec.seed = 3;
+  spec.years = 3;
+  campaign_event ev;
+  ev.year = 1, ev.kind = campaign_event_kind::grow, ev.label = "g";
+  spec.events.push_back(ev);
+  ev.year = 2, ev.kind = campaign_event_kind::upgrade, ev.label = "u";
+  spec.events.push_back(ev);
+  ev.year = 3, ev.kind = campaign_event_kind::churn, ev.label = "c";
+  spec.events.push_back(ev);
+  return spec;
+}
+
+TEST(campaign_fuzz_fixed, every_truncation_parses_to_error_or_valid_spec) {
+  const std::string text = serialize_campaign(fuzz_base_spec());
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::string torn = text.substr(0, cut);
+    auto parsed = parse_campaign(torn);
+    if (parsed.is_ok()) {
+      // A clean prefix (e.g. the file torn between events) is a valid
+      // campaign; it must still be a serialization fixed point.
+      const std::string re = serialize_campaign(parsed.value());
+      auto again = parse_campaign(re);
+      ASSERT_TRUE(again.is_ok()) << "cut at " << cut;
+      EXPECT_EQ(serialize_campaign(again.value()), re) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(parsed.error().code(), status_code::invalid_argument)
+          << "cut at " << cut;
+    }
+  }
+}
+
+TEST_P(campaign_fuzz, byte_soup_and_mutations_never_crash_the_parser) {
+  rng r(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::string soup;
+    const std::size_t len = r.next_index(400);
+    for (std::size_t j = 0; j < len; ++j) {
+      soup.push_back(r.next_bool(0.2)
+                         ? '\n'
+                         : static_cast<char>(r.next_u64() & 0xff));
+    }
+    (void)parse_campaign(soup);  // must not crash; outcome is free
+  }
+
+  const std::string good = serialize_campaign(fuzz_base_spec());
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = good;
+    const std::size_t flips = 1 + r.next_index(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[r.next_index(mutated.size())] =
+          static_cast<char>(r.next_u64() & 0xff);
+    }
+    auto parsed = parse_campaign(mutated);
+    if (!parsed.is_ok()) {
+      EXPECT_EQ(parsed.error().code(), status_code::invalid_argument);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, campaign_fuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

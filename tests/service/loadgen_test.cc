@@ -127,9 +127,22 @@ TEST(loadgen, short_run_against_real_worker_reports_sane_numbers) {
   const std::string json = load_report_json(r, "unit", 1);
   for (const char* key :
        {"\"label\": \"unit\"", "\"workers\": 1", "\"offered_qps\"",
-        "\"achieved_qps_ok\"", "\"latency_ms\"", "\"p99\"", "\"sent\""}) {
+        "\"achieved_qps_ok\"", "\"latency_ms\"", "\"p99\"", "\"sent\"",
+        "\"overflow\"", "\"sub_bin\"", "\"clamped\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+
+  // A report whose every latency overflowed the 1ms-bin histogram must
+  // say so instead of silently reporting the bin cap as a percentile.
+  load_report hot = r;
+  {
+    metric_series over(/*hi=*/10.0, /*bins=*/10);
+    over.record(123.0);
+    hot.latency_ms = over.snapshot();
+  }
+  const std::string flagged = load_report_json(hot, "unit", 1);
+  EXPECT_NE(flagged.find("\"clamped\": true"), std::string::npos);
+  EXPECT_NE(flagged.find("\"overflow\": 1"), std::string::npos);
 
   cancel.request_cancel();
   loop.wait_idle();

@@ -132,6 +132,49 @@ TEST(metric_series, percentiles_clamped_to_observed_extrema) {
   EXPECT_GE(snap.p50, 3.0);
 }
 
+TEST(metric_series, overflow_samples_counted_and_percentiles_flagged) {
+  metric_series series(/*hi=*/10.0, /*bins=*/10);
+  // Everything past the top edge: the histogram collapses all three
+  // into the last bin, so every percentile is pinned to the max.
+  series.record(50.0);
+  series.record(500.0);
+  series.record(5000.0);
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.overflow, 3u);
+  EXPECT_EQ(snap.sub_bin, 0u);
+  // The histogram has no information past 10.0; percentiles can only
+  // be pinned into the observed range, and `clamped` says to distrust
+  // them (the true p50 here is 500, the report says 50).
+  EXPECT_TRUE(snap.clamped);
+  EXPECT_EQ(snap.max, 5000.0);
+  EXPECT_GE(snap.p50, 50.0);
+  EXPECT_LE(snap.p50, 5000.0);
+}
+
+TEST(metric_series, sub_bin_samples_counted_without_clamp_flag) {
+  metric_series series(/*hi=*/10'000.0, /*bins=*/10'000);  // 1ms bins
+  series.record(0.25);  // sub-millisecond: finer than one bin
+  series.record(0.75);
+  series.record(2.5);
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.sub_bin, 2u);
+  EXPECT_EQ(snap.overflow, 0u);
+  EXPECT_FALSE(snap.clamped);
+  // Sub-bin percentiles still clamp into the observed range instead of
+  // reporting the whole first bin.
+  EXPECT_LE(snap.p50, 2.5);
+  EXPECT_GE(snap.p50, 0.25);
+}
+
+TEST(metric_series, in_range_data_sets_no_resolution_flags) {
+  metric_series series(/*hi=*/100.0, /*bins=*/100);
+  for (int i = 1; i <= 50; ++i) series.record(static_cast<double>(i));
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.overflow, 0u);
+  EXPECT_EQ(snap.sub_bin, 0u);
+  EXPECT_FALSE(snap.clamped);
+}
+
 TEST(service_metrics, stats_list_sorted_with_stable_keys_and_ratio) {
   service_metrics m;
   m.requests_admitted.store(10);

@@ -96,6 +96,29 @@ std::string report_line(const deployability_report& rep, std::uint64_t seed) {
   return sweep_checkpoint_line(e);
 }
 
+TEST(server, listen_refuses_live_socket_but_reclaims_stale_path) {
+  const std::string path = unique_socket_path();
+  const endpoint ep = parse_endpoint("unix:" + path).value();
+  auto first = listen_on(ep, /*backlog=*/4);
+  ASSERT_TRUE(first.is_ok()) << first.error().to_string();
+
+  // Live listener on the path: a second daemon must refuse loudly
+  // instead of silently stealing it, and the first stays bound.
+  auto second = listen_on(ep, /*backlog=*/4);
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_NE(second.error().to_string().find("already serving"),
+            std::string::npos)
+      << second.error().to_string();
+  EXPECT_TRUE(connect_to(ep).is_ok());
+
+  // Close without unlinking — the crashed-daemon case. The path still
+  // exists but nothing accepts, so a fresh listener must reclaim it.
+  first.value().reset();
+  auto third = listen_on(ep, /*backlog=*/4);
+  EXPECT_TRUE(third.is_ok()) << third.error().to_string();
+  ::unlink(path.c_str());
+}
+
 TEST(server, ping_stats_invalidate_round_trip) {
   server_fixture fx{server_config{}};
   ASSERT_TRUE(fx.bind_status.is_ok()) << fx.bind_status.to_string();

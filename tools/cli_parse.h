@@ -1,0 +1,95 @@
+// Checked numeric parsing for --key=value CLI flags, shared by every
+// physnet tool.
+//
+// The tools' argv loops used to call std::stoi/std::stoull/std::stod
+// directly, so a malformed value like `--size=abc` threw
+// std::invalid_argument and terminated with an unhandled exception
+// instead of printing usage. parse_or_usage is the checked replacement:
+// it parses the FULL value string strictly (no trailing junk, no
+// silent wrap-around of negatives into unsigned flags, no overflow),
+// prints a one-line diagnostic naming the flag on failure, and returns
+// false so the caller falls through to its usage text and exits 2.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace pn::cli {
+
+namespace detail {
+
+inline bool bad_value(const std::string& key, const std::string& value,
+                      const char* expected) {
+  std::cerr << key << ": bad value '" << value << "' (expected " << expected
+            << ")\n";
+  return false;
+}
+
+}  // namespace detail
+
+// Signed 64-bit. Strict: the whole value must be one base-10 integer.
+[[nodiscard]] inline bool parse_or_usage(const std::string& key,
+                                         const std::string& value,
+                                         long long& out) {
+  if (value.empty()) return detail::bad_value(key, value, "an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || errno == ERANGE) {
+    return detail::bad_value(key, value, "an integer");
+  }
+  out = v;
+  return true;
+}
+
+[[nodiscard]] inline bool parse_or_usage(const std::string& key,
+                                         const std::string& value,
+                                         int& out) {
+  long long v = 0;
+  if (!parse_or_usage(key, value, v)) return false;
+  if (v < INT_MIN || v > INT_MAX) {
+    return detail::bad_value(key, value, "a 32-bit integer");
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+// Unsigned 64-bit (seeds, counts, sizes). strtoull silently wraps
+// "-1" to 2^64-1, so a leading sign is rejected explicitly.
+[[nodiscard]] inline bool parse_or_usage(const std::string& key,
+                                         const std::string& value,
+                                         std::uint64_t& out) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') {
+    return detail::bad_value(key, value, "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || errno == ERANGE) {
+    return detail::bad_value(key, value, "a non-negative integer");
+  }
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+[[nodiscard]] inline bool parse_or_usage(const std::string& key,
+                                         const std::string& value,
+                                         double& out) {
+  if (value.empty()) return detail::bad_value(key, value, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return detail::bad_value(key, value, "a finite number");
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace pn::cli

@@ -1,0 +1,293 @@
+// physnet_campaign — replay a lifetime digital-twin campaign.
+//
+//   physnet_campaign --campaign=examples/campaigns/jellyfish_3y.campaign
+//   physnet_campaign --campaign=FILE --delta --checkpoint=c.ckpt
+//   physnet_campaign --campaign=FILE --resume=c.ckpt
+//   physnet_campaign --campaign=FILE --via-serve=unix:/tmp/physnet.sock
+//
+// Parses the declarative multi-year campaign file (src/campaign), compiles
+// it into one deploy scenario (step 0 = the day-1 design), and replays it
+// through run_sweep's scenario mode. stdout gets the per-step trajectory
+// CSV (one row per evaluation, same columns as physnet_eval sweeps); the
+// day-1 vs lifetime summary CSV goes to --summary=FILE, or stderr when no
+// file is named. --checkpoint/--resume extend the sweep contract to whole
+// campaigns: an interrupted replay resumes to byte-identical CSVs.
+//
+// --via-serve=ENDPOINT sends every step's evaluation through the
+// evaluation service (physnet_serve, or physnet_proxy in front of a
+// fleet) as real client traffic instead of evaluating locally. Served
+// reports are bit-identical to local evaluation on the CSV columns,
+// with one caveat: the wire format canonicalizes adjacency order
+// (edges re-added in id order) while the local lineage graph keeps
+// revive_edge's append-at-end order, so after a churn event revives a
+// link, adjacency-order-sensitive estimates (bisection sampling) can
+// legitimately differ. Campaigns without churn replay byte-identical
+// in both modes.
+//
+// SIGINT (^C) requests cooperative cancellation; with --checkpoint the
+// replay resumes later via --resume. Exit codes: 0 ok, 1 evaluation or
+// transport failure, 2 usage error, 130 cancelled.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "cli_parse.h"
+#include "core/physnet.h"
+#include "service/client.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace {
+
+using namespace pn;
+
+struct cli_args {
+  std::string campaign_file;
+  bool delta = true;
+  bool trace = false;
+  std::string summary_file;
+  std::string checkpoint_file;
+  std::string resume_file;
+  std::size_t cancel_after = 0;
+  std::string via_serve;  // endpoint spec; empty = evaluate locally
+  retry_policy retry;
+};
+
+// Shared with the SIGINT handler: request_cancel is one relaxed atomic
+// store, which is async-signal-safe once the token exists.
+cancel_token g_sigint_cancel;
+
+extern "C" void handle_sigint(int) { g_sigint_cancel.request_cancel(); }
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--campaign") {
+      out.campaign_file = value;
+    } else if (key == "--delta") {
+      out.delta = true;
+    } else if (key == "--no-delta") {
+      out.delta = false;
+    } else if (key == "--trace") {
+      out.trace = true;
+    } else if (key == "--summary") {
+      out.summary_file = value;
+    } else if (key == "--checkpoint") {
+      out.checkpoint_file = value;
+    } else if (key == "--resume") {
+      out.resume_file = value;
+    } else if (key == "--cancel-after") {
+      if (!cli::parse_or_usage(key, value, out.cancel_after)) return false;
+    } else if (key == "--via-serve") {
+      out.via_serve = value;
+      if (out.via_serve.empty()) {
+        std::cerr << "--via-serve needs an endpoint spec\n";
+        return false;
+      }
+    } else if (key == "--retries") {
+      if (!cli::parse_or_usage(key, value, out.retry.retries)) return false;
+      if (out.retry.retries < 0) {
+        std::cerr << "--retries must be >= 0\n";
+        return false;
+      }
+    } else if (key == "--backoff-ms") {
+      if (!cli::parse_or_usage(key, value, out.retry.backoff_ms)) {
+        return false;
+      }
+      if (out.retry.backoff_ms <= 0.0) {
+        std::cerr << "--backoff-ms must be > 0\n";
+        return false;
+      }
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out.campaign_file.empty()) {
+    std::cerr << "--campaign is required\n";
+    return false;
+  }
+  if (!out.via_serve.empty() &&
+      (!out.checkpoint_file.empty() || !out.resume_file.empty())) {
+    std::cerr << "--via-serve does not compose with --checkpoint/--resume "
+                 "(the service holds no sweep state)\n";
+    return false;
+  }
+  return true;
+}
+
+void emit_summary(const cli_args& args, const campaign_plan& plan,
+                  const std::vector<deployability_report>& reports) {
+  if (reports.empty()) return;
+  const campaign_summary s = summarize_campaign(plan, reports);
+  const std::string csv =
+      campaign_summary_csv_header() + campaign_summary_csv_row(s);
+  if (args.summary_file.empty()) {
+    std::cerr << csv;
+    return;
+  }
+  std::ofstream out(args.summary_file);
+  if (!out) {
+    std::cerr << "cannot write " << args.summary_file << "\n";
+    return;
+  }
+  out << csv;
+}
+
+int run_local(const cli_args& args, const campaign_plan& plan) {
+  campaign_run_options ropt;
+  ropt.delta = args.delta;
+  ropt.cancel = g_sigint_cancel;
+  ropt.cancel_after_points = args.cancel_after;
+
+  sweep_checkpoint resume_from;
+  if (!args.resume_file.empty()) {
+    auto loaded = load_sweep_checkpoint(args.resume_file);
+    if (!loaded.is_ok()) {
+      std::cerr << "cannot resume: " << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    resume_from = std::move(loaded).value();
+    if (resume_from.base_seed != plan.spec.seed ||
+        resume_from.point_count != plan.scenario.steps.size()) {
+      std::cerr << "cannot resume: checkpoint is for seed "
+                << resume_from.base_seed << " / " << resume_from.point_count
+                << " points, this campaign is seed " << plan.spec.seed
+                << " / " << plan.scenario.steps.size() << " points\n";
+      return 2;
+    }
+    ropt.resume = &resume_from;
+  }
+  ropt.checkpoint_path = !args.checkpoint_file.empty() ? args.checkpoint_file
+                                                       : args.resume_file;
+
+  std::signal(SIGINT, handle_sigint);
+  const sweep_results res = run_campaign(plan, ropt);
+  std::signal(SIGINT, SIG_DFL);
+
+  sweep_csv_options copt;
+  copt.stage_timings = args.trace;
+  std::cout << sweep_to_csv(res, copt);
+  if (!res.failures.empty()) {
+    std::cerr << sweep_failures_to_csv(res);
+  }
+  if (res.cancelled) {
+    std::cerr << "campaign cancelled: "
+              << res.reports.size() + res.failures.size() << "/"
+              << plan.scenario.steps.size() << " steps done, "
+              << res.cancelled_points.size() << " remaining";
+    if (!ropt.checkpoint_path.empty()) {
+      std::cerr << "; resume with --resume=" << ropt.checkpoint_path;
+    }
+    std::cerr << "\n";
+    return 130;
+  }
+  emit_summary(args, plan, res.reports);
+  return res.failures.empty() ? 0 : 1;
+}
+
+// --via-serve: same steps, same per-point seeds, but every evaluation
+// ships as a framed request to the evaluation service. The graph still
+// evolves locally (the service is stateless per request); each step's
+// mutated design travels as its twin serialization.
+int run_via_serve(const cli_args& args, const campaign_plan& plan) {
+  auto client = eval_client::connect(args.via_serve);
+  if (!client.is_ok()) {
+    std::cerr << "connect failed: " << client.error().to_string() << "\n";
+    return 1;
+  }
+
+  network_graph g = plan.base;
+  std::vector<deployability_report> reports;
+  reports.reserve(plan.scenario.steps.size());
+  const auto sleeper = [](double ms) { sleep_ms(ms); };
+
+  std::signal(SIGINT, handle_sigint);
+  for (std::size_t i = 0; i < plan.scenario.steps.size(); ++i) {
+    if (g_sigint_cancel.cancelled()) break;
+    const scenario_step& step = plan.scenario.steps[i];
+    apply_scenario_step(g, step);
+
+    eval_request req;
+    req.name = step.label;
+    req.options.seed = sweep_point_seed(plan.spec.seed, i);
+    req.options.strategy = plan.spec.strategy;
+    req.options.run_repair_sim = plan.spec.repair;
+    req.design_twin = serialize_twin(design_to_twin(g));
+
+    auto report = client.value().evaluate_with_retry(req, args.retry, sleeper);
+    if (!report.is_ok()) {
+      std::cerr << "evaluate failed at step " << step.label << ": "
+                << report.error().to_string() << "\n";
+      std::signal(SIGINT, SIG_DFL);
+      return 1;
+    }
+    reports.push_back(std::move(report).value());
+  }
+  std::signal(SIGINT, SIG_DFL);
+  const bool cancelled = g_sigint_cancel.cancelled();
+
+  sweep_results res;
+  res.reports = reports;
+  std::cout << sweep_to_csv(res, sweep_csv_options{});
+  if (cancelled) {
+    std::cerr << "campaign cancelled: " << reports.size() << "/"
+              << plan.scenario.steps.size() << " steps done\n";
+    return 130;
+  }
+  emit_summary(args, plan, reports);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_campaign --campaign=FILE [--no-delta] [--trace]\n"
+           "  [--summary=FILE] [--checkpoint=FILE] [--resume=FILE] "
+           "[--cancel-after=N]\n"
+           "  [--via-serve=unix:PATH|tcp:HOST:PORT [--retries=N] "
+           "[--backoff-ms=MS]]\n"
+           "stdout: per-step trajectory CSV; summary CSV to --summary or "
+           "stderr.\n"
+           "SIGINT drains cleanly (exit 130); rerun with --resume=FILE to "
+           "finish.\n";
+    return 2;
+  }
+
+  std::ifstream in(args.campaign_file);
+  if (!in) {
+    std::cerr << "cannot read " << args.campaign_file << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto spec = parse_campaign(text.str());
+  if (!spec.is_ok()) {
+    std::cerr << args.campaign_file << ": " << spec.error().to_string()
+              << "\n";
+    return 2;
+  }
+  auto plan = compile_campaign(spec.value());
+  if (!plan.is_ok()) {
+    std::cerr << "cannot compile campaign: " << plan.error().to_string()
+              << "\n";
+    return 2;
+  }
+
+  return args.via_serve.empty() ? run_local(args, plan.value())
+                                : run_via_serve(args, plan.value());
+}

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli_parse.h"
 #include "common/clock.h"
 #include "core/physnet.h"
 #include "service/client.h"
@@ -62,21 +63,21 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     } else if (key == "--family") {
       out.family = value;
     } else if (key == "--size") {
-      out.size = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.size)) return false;
     } else if (key == "--strategy") {
       out.strategy = value;
     } else if (key == "--seed") {
-      out.seed = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.seed)) return false;
     } else if (key == "--no-repair") {
       out.repair = false;
     } else if (key == "--deadline") {
-      out.deadline_ms = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.deadline_ms)) return false;
       if (out.deadline_ms <= 0.0) {
         std::cerr << "--deadline must be > 0 (milliseconds)\n";
         return false;
       }
     } else if (key == "--repeat") {
-      out.repeat = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.repeat)) return false;
       if (out.repeat < 1) {
         std::cerr << "--repeat must be >= 1\n";
         return false;
@@ -84,25 +85,31 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     } else if (key == "--csv") {
       out.csv = true;
     } else if (key == "--retries") {
-      out.retry.retries = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.retry.retries)) return false;
       if (out.retry.retries < 0) {
         std::cerr << "--retries must be >= 0\n";
         return false;
       }
     } else if (key == "--backoff-ms") {
-      out.retry.backoff_ms = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.retry.backoff_ms)) {
+        return false;
+      }
       if (out.retry.backoff_ms <= 0.0) {
         std::cerr << "--backoff-ms must be > 0\n";
         return false;
       }
     } else if (key == "--backoff-cap-ms") {
-      out.retry.backoff_cap_ms = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.retry.backoff_cap_ms)) {
+        return false;
+      }
       if (out.retry.backoff_cap_ms <= 0.0) {
         std::cerr << "--backoff-cap-ms must be > 0\n";
         return false;
       }
     } else if (key == "--retry-jitter-seed") {
-      out.retry.jitter_seed = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.retry.jitter_seed)) {
+        return false;
+      }
     } else if (key == "--help" || key == "-h") {
       return false;
     } else {

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.h"
 #include "core/physnet.h"
 
 namespace {
@@ -94,24 +95,27 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     if (key == "--family") {
       out.family = value;
     } else if (key == "--size") {
-      out.size = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.size)) return false;
     } else if (key == "--strategy") {
       out.strategy = value;
     } else if (key == "--seed") {
-      out.seed = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.seed)) return false;
     } else if (key == "--repair") {
       out.repair = true;
     } else if (key == "--trace") {
       out.trace = true;
     } else if (key == "--jobs") {
-      out.jobs = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.jobs)) return false;
       if (out.jobs < 0) {
         std::cerr << "--jobs must be >= 0\n";
         return false;
       }
     } else if (key == "--sweep") {
       for (const std::string& part : split(value, ',')) {
-        if (!part.empty()) out.sweep_sizes.push_back(std::stoi(part));
+        if (part.empty()) continue;
+        int size = 0;
+        if (!cli::parse_or_usage(key, part, size)) return false;
+        out.sweep_sizes.push_back(size);
       }
       if (out.sweep_sizes.empty()) {
         std::cerr << "--sweep needs a comma-separated size list\n";
@@ -120,7 +124,7 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     } else if (key == "--scenario") {
       out.scenario = value;
     } else if (key == "--scenario-steps") {
-      out.scenario_steps = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.scenario_steps)) return false;
       if (out.scenario_steps <= 0) {
         std::cerr << "--scenario-steps must be > 0\n";
         return false;
@@ -134,7 +138,7 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     } else if (key == "--resume") {
       out.resume_file = value;
     } else if (key == "--deadline") {
-      out.deadline_ms = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.deadline_ms)) return false;
       if (out.deadline_ms <= 0.0) {
         std::cerr << "--deadline must be > 0 (milliseconds per point)\n";
         return false;
@@ -142,15 +146,15 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     } else if (key == "--fail-at") {
       out.fail_at = value;
     } else if (key == "--fail-prob") {
-      out.fail_prob = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.fail_prob)) return false;
       if (out.fail_prob < 0.0 || out.fail_prob > 1.0) {
         std::cerr << "--fail-prob must be in [0, 1]\n";
         return false;
       }
     } else if (key == "--fail-seed") {
-      out.fail_seed = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.fail_seed)) return false;
     } else if (key == "--cancel-after") {
-      out.cancel_after = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.cancel_after)) return false;
     } else if (key == "--help" || key == "-h") {
       return false;
     } else {
@@ -319,6 +323,31 @@ int run_scenario_mode(const cli_args& args, const evaluation_options& opt) {
   sopt.cancel = g_sigint_cancel;
   sopt.scenario_graph = &g;
   sopt.delta_eval = args.delta;
+  sopt.cancel_after_points = args.cancel_after;
+
+  // Checkpoint/resume compose with scenario mode: restored points
+  // replay their graph mutations and skip only the evaluation, so the
+  // plan must be rebuilt identically (same family/size/seed/steps).
+  sweep_checkpoint resume_from;
+  if (!args.resume_file.empty()) {
+    auto loaded = load_sweep_checkpoint(args.resume_file);
+    if (!loaded.is_ok()) {
+      std::cerr << "cannot resume: " << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    resume_from = std::move(loaded).value();
+    if (resume_from.base_seed != args.seed ||
+        resume_from.point_count != grid.size()) {
+      std::cerr << "cannot resume: checkpoint is for seed "
+                << resume_from.base_seed << " / " << resume_from.point_count
+                << " points, this scenario is seed " << args.seed << " / "
+                << grid.size() << " points\n";
+      return 2;
+    }
+    sopt.resume = &resume_from;
+  }
+  sopt.checkpoint_path = !args.checkpoint_file.empty() ? args.checkpoint_file
+                                                       : args.resume_file;
 
   std::signal(SIGINT, handle_sigint);
   const sweep_results res = run_sweep(grid, opt, sopt);
@@ -329,9 +358,19 @@ int run_scenario_mode(const cli_args& args, const evaluation_options& opt) {
   std::cout << sweep_to_csv(res, copt);
   if (!res.failures.empty()) {
     std::cerr << sweep_failures_to_csv(res);
-    return 1;
   }
-  return res.cancelled ? 130 : 0;
+  if (res.cancelled) {
+    std::cerr << "scenario cancelled: "
+              << res.reports.size() + res.failures.size() << "/"
+              << grid.size() << " steps done, "
+              << res.cancelled_points.size() << " remaining";
+    if (!sopt.checkpoint_path.empty()) {
+      std::cerr << "; resume with --resume=" << sopt.checkpoint_path;
+    }
+    std::cerr << "\n";
+    return 130;
+  }
+  return res.failures.empty() ? 0 : 1;
 }
 
 int main(int argc, char** argv) {

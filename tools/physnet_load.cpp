@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 #include <vector>
+#include "cli_parse.h"
 
 #include "common/strings.h"
 #include "service/loadgen.h"
@@ -44,7 +45,9 @@ bool parse_mix(const std::string& value,
     }
     load_mix_entry entry;
     entry.family = fields[0];
-    entry.size = std::stoi(fields[1]);
+    if (!cli::parse_or_usage("--mix size", fields[1], entry.size)) {
+      return false;
+    }
     if (fields.size() == 3) entry.strategy = fields[2];
     out.push_back(std::move(entry));
   }
@@ -65,35 +68,45 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     if (key == "--connect") {
       out.cfg.connect = value;
     } else if (key == "--qps") {
-      out.cfg.offered_qps = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.offered_qps)) {
+        return false;
+      }
       if (out.cfg.offered_qps <= 0.0) {
         std::cerr << "--qps must be > 0\n";
         return false;
       }
     } else if (key == "--duration") {
-      out.cfg.duration_s = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.duration_s)) {
+        return false;
+      }
       if (out.cfg.duration_s <= 0.0) {
         std::cerr << "--duration must be > 0 (seconds)\n";
         return false;
       }
     } else if (key == "--connections") {
-      out.cfg.connections = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.connections)) {
+        return false;
+      }
       if (out.cfg.connections < 1) {
         std::cerr << "--connections must be >= 1\n";
         return false;
       }
     } else if (key == "--seed") {
-      out.cfg.seed = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.seed)) return false;
     } else if (key == "--mix") {
       if (!parse_mix(value, out.cfg.mix)) return false;
     } else if (key == "--hot-fraction") {
-      out.cfg.hot_fraction = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.hot_fraction)) {
+        return false;
+      }
       if (out.cfg.hot_fraction < 0.0 || out.cfg.hot_fraction > 1.0) {
         std::cerr << "--hot-fraction must be in [0, 1]\n";
         return false;
       }
     } else if (key == "--hot-variants") {
-      out.cfg.hot_variants = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.hot_variants)) {
+        return false;
+      }
       if (out.cfg.hot_variants < 1) {
         std::cerr << "--hot-variants must be >= 1\n";
         return false;
@@ -105,7 +118,7 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     } else if (key == "--label") {
       out.label = value;
     } else if (key == "--workers") {
-      out.workers = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.workers)) return false;
       if (out.workers < 1) {
         std::cerr << "--workers must be >= 1\n";
         return false;

@@ -19,6 +19,7 @@
 #include <csignal>
 #include <iostream>
 #include <string>
+#include "cli_parse.h"
 
 #include "service/proxy.h"
 
@@ -51,31 +52,41 @@ bool parse_args(int argc, char** argv, cli_args& out) {
       }
       out.cfg.workers.push_back(value);
     } else if (key == "--conn-threads") {
-      out.cfg.conn_threads = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.conn_threads)) {
+        return false;
+      }
       if (out.cfg.conn_threads < 1) {
         std::cerr << "--conn-threads must be >= 1\n";
         return false;
       }
     } else if (key == "--vnodes") {
-      out.cfg.vnodes = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.vnodes)) {
+        return false;
+      }
       if (out.cfg.vnodes < 1) {
         std::cerr << "--vnodes must be >= 1\n";
         return false;
       }
     } else if (key == "--backoff-base-ms") {
-      out.cfg.backoff_base_ms = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.backoff_base_ms)) {
+        return false;
+      }
       if (out.cfg.backoff_base_ms <= 0.0) {
         std::cerr << "--backoff-base-ms must be > 0\n";
         return false;
       }
     } else if (key == "--backoff-cap-ms") {
-      out.cfg.backoff_cap_ms = std::stod(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.backoff_cap_ms)) {
+        return false;
+      }
       if (out.cfg.backoff_cap_ms <= 0.0) {
         std::cerr << "--backoff-cap-ms must be > 0\n";
         return false;
       }
     } else if (key == "--stall-timeout-ms") {
-      out.cfg.stall_timeout_ms = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.cfg.stall_timeout_ms)) {
+        return false;
+      }
       if (out.cfg.stall_timeout_ms < 1) {
         std::cerr << "--stall-timeout-ms must be >= 1\n";
         return false;

@@ -17,6 +17,7 @@
 #include <csignal>
 #include <iostream>
 #include <string>
+#include "cli_parse.h"
 
 #include "core/physnet.h"
 #include "service/client.h"
@@ -53,33 +54,43 @@ bool parse_args(int argc, char** argv, cli_args& out) {
     if (key == "--listen") {
       out.listen = value;
     } else if (key == "--conn-threads") {
-      out.conn_threads = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.conn_threads)) {
+        return false;
+      }
       if (out.conn_threads < 1) {
         std::cerr << "--conn-threads must be >= 1\n";
         return false;
       }
     } else if (key == "--eval-threads") {
-      out.eval_threads = std::stoi(value);
+      if (!cli::parse_or_usage(key, value, out.eval_threads)) {
+        return false;
+      }
       if (out.eval_threads < 0) {
         std::cerr << "--eval-threads must be >= 0 (0 = one per core)\n";
         return false;
       }
     } else if (key == "--queue-limit") {
-      out.queue_limit = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.queue_limit)) {
+        return false;
+      }
       if (out.queue_limit == 0) {
         std::cerr << "--queue-limit must be >= 1\n";
         return false;
       }
     } else if (key == "--max-batch") {
-      out.max_batch = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.max_batch)) {
+        return false;
+      }
       if (out.max_batch == 0) {
         std::cerr << "--max-batch must be >= 1\n";
         return false;
       }
     } else if (key == "--cache-capacity") {
-      out.cache_capacity = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.cache_capacity)) {
+        return false;
+      }
     } else if (key == "--seed") {
-      out.seed = std::stoull(value);
+      if (!cli::parse_or_usage(key, value, out.seed)) return false;
     } else if (key == "--quiet") {
       out.quiet = true;
     } else if (key == "--help" || key == "-h") {

@@ -104,7 +104,8 @@ void rule_raw_thread(rule_ctx& ctx) {
 
 // ---- R7: node-keyed red-black trees in hot directories ----------------
 // src/topology/ and src/core/ sit on the mutate -> delta-evaluate path,
-// where per-node state is indexed millions of times per sweep, and
+// where per-node state is indexed millions of times per sweep;
+// src/campaign/ compiles lifetime timelines through that same path; and
 // src/service/ sits on the per-request serving path (cache probe,
 // stats snapshot, proxy routing) where every allocation is paid at QPS.
 // Ordered associative containers there are almost always an accident —
@@ -116,6 +117,7 @@ void rule_raw_thread(rule_ctx& ctx) {
 void rule_hot_assoc(rule_ctx& ctx) {
   const bool hot = starts_with(ctx.file.path, "src/topology/") ||
                    starts_with(ctx.file.path, "src/core/") ||
+                   starts_with(ctx.file.path, "src/campaign/") ||
                    starts_with(ctx.file.path, "src/service/");
   if (!hot) return;
   static const std::set<std::string> banned = {"map", "set", "multimap",
