@@ -74,4 +74,8 @@ expect_usage "load --mix=fat_tree:big" "--mix" "$T/physnet_load" \
 expect_usage "load --hot-fraction=0.5.5" "--hot-fraction" \
     "$T/physnet_load" --hot-fraction=0.5.5
 
+# pn_lint: --json is a bare flag; a value-carrying spelling is malformed
+# and must exit 2 naming the option, not silently lint.
+expect_usage "pn_lint --json=x" "--json" "$T/pn_lint/pn_lint" --json=x
+
 echo "cli negative-argv smoke passed"

@@ -1,0 +1,36 @@
+// Concurrency-discipline annotations, checked by pn_lint (R8/R9).
+//
+// These expand to nothing — they are vocabulary, not mechanism. pn_lint's
+// declaration tracker parses them at token level and enforces:
+//
+//   PN_GUARDED_BY(mu)  on a data member: every read or write must happen
+//                      with `mu` visibly held — a lock_guard / unique_lock /
+//                      scoped_lock of `mu` in an enclosing scope, or a
+//                      PN_REQUIRES(mu) on the enclosing function.
+//   PN_REQUIRES(mu)    on a function: callers hold `mu` across the call,
+//                      so the body may touch mu-guarded members without a
+//                      visible guard. The lock-order pass (R9) also treats
+//                      `mu` as held for every acquisition the body makes.
+//   PN_EXCLUDES(mu)    on a function: the function manages `mu` itself
+//                      (callers must NOT hold it); any lock-free read it
+//                      makes of mu-guarded state is a documented, deliberate
+//                      relaxed read — not an oversight.
+//   PN_EXCLUDES(mu)    on a data member of a mutex-bearing class: the
+//                      member is deliberately outside mu's footprint —
+//                      immutable after construction, internally
+//                      synchronized, or handed off before publication.
+//
+// Every non-exempt member of a class that declares a std::mutex (in the
+// directories R8 designates) must carry exactly one of PN_GUARDED_BY /
+// PN_EXCLUDES, so the locking contract is written down where the data
+// lives. Members that are atomics, condition variables, const, static, or
+// references are exempt by type.
+//
+// The spellings mirror clang's -Wthread-safety attribute names on purpose:
+// if the toolchain ever grows real thread-safety analysis, these defines
+// can forward to __attribute__((guarded_by(...))) and friends unchanged.
+#pragma once
+
+#define PN_GUARDED_BY(mu)
+#define PN_REQUIRES(mu)
+#define PN_EXCLUDES(mu)

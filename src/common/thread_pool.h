@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/guarded.h"
 
 namespace pn {
 
@@ -53,10 +54,12 @@ class thread_pool {
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;  // wait_idle: queue empty and nothing running
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_ PN_GUARDED_BY(mu_);
+  std::size_t in_flight_ PN_GUARDED_BY(mu_) = 0;
+  bool stop_ PN_GUARDED_BY(mu_) = false;
+  // Filled in the constructor, joined in the destructor; no worker touches
+  // the vector itself, so it lives outside mu_'s footprint.
+  std::vector<std::thread> workers_ PN_EXCLUDES(mu_);
 };
 
 // Runs fn(i) for every i in [0, n), spreading iterations over `threads`

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/guarded.h"
 #include "common/status.h"
 #include "core/pipeline.h"
 #include "core/report.h"
@@ -92,11 +93,16 @@ class sweep_checkpoint_writer {
 
   void append(const sweep_checkpoint_entry& e);
 
-  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  // Lock-free by design: open() happens before workers start and nothing
+  // ever closes the stream mid-sweep, so the flag is stable whenever a
+  // caller can ask.
+  [[nodiscard]] bool is_open() const PN_EXCLUDES(mu_) {
+    return out_.is_open();
+  }
 
  private:
   std::mutex mu_;
-  std::ofstream out_;
+  std::ofstream out_ PN_GUARDED_BY(mu_);
 };
 
 }  // namespace pn

@@ -41,6 +41,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "common/guarded.h"
 #include "common/thread_pool.h"
 #include "core/evaluator.h"
 #include "service/metrics.h"
@@ -87,39 +88,45 @@ class eval_batcher {
 
  private:
   struct slot {
-    std::string name;
-    evaluation_options options;  // fully resolved (wire over base)
-    std::uint64_t wire_seed = 1;
-    network_graph graph;
-    cache_key key;
-    std::uint64_t cache_epoch = 0;
-    mono_ns enqueued_at = 0;
+    // The request snapshot is written once by the admitting thread before
+    // the slot is published to the queue, then only read — outside mu's
+    // footprint by construction.
+    std::string name PN_EXCLUDES(mu);
+    evaluation_options options PN_EXCLUDES(mu);  // resolved (wire over base)
+    std::uint64_t wire_seed PN_EXCLUDES(mu) = 1;
+    network_graph graph PN_EXCLUDES(mu);
+    cache_key key PN_EXCLUDES(mu);
+    std::uint64_t cache_epoch PN_EXCLUDES(mu) = 0;
+    mono_ns enqueued_at PN_EXCLUDES(mu) = 0;
 
     std::mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    std::string response;
+    bool done PN_GUARDED_BY(mu) = false;
+    std::string response PN_GUARDED_BY(mu);
   };
 
   void dispatch_loop();
   void run_one(const std::shared_ptr<slot>& s);
   [[nodiscard]] static std::string wait_for(slot& s);
 
-  batcher_config cfg_;
-  result_cache* cache_;
-  service_metrics* metrics_;
-  clock_fn clock_;
+  // Construction-time wiring: set in the constructor, immutable after.
+  batcher_config cfg_ PN_EXCLUDES(mu_);
+  result_cache* cache_ PN_EXCLUDES(mu_);
+  service_metrics* metrics_ PN_EXCLUDES(mu_);
+  clock_fn clock_ PN_EXCLUDES(mu_);
 
   std::mutex mu_;  // guards queue_, inflight_, draining_
   std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<slot>> queue_;
+  std::deque<std::shared_ptr<slot>> queue_ PN_GUARDED_BY(mu_);
   // key.lo -> in-flight slot (full key compared on probe; see
   // result_cache.h for why two lanes make collisions implausible).
-  std::unordered_map<std::uint64_t, std::shared_ptr<slot>> inflight_;
-  bool draining_ = false;
+  std::unordered_map<std::uint64_t, std::shared_ptr<slot>> inflight_
+      PN_GUARDED_BY(mu_);
+  bool draining_ PN_GUARDED_BY(mu_) = false;
 
-  thread_pool eval_pool_;
-  thread_pool dispatch_pool_;  // exactly one thread: the dispatcher
+  // Pools are internally synchronized (common/thread_pool.h).
+  thread_pool eval_pool_ PN_EXCLUDES(mu_);
+  thread_pool dispatch_pool_ PN_EXCLUDES(mu_);  // one thread: the dispatcher
 };
 
 }  // namespace pn

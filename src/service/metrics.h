@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/guarded.h"
 #include "common/stats.h"
 
 namespace pn {
@@ -71,18 +72,19 @@ class metric_series {
   // q in [0,1]: upper edge of the bin holding the rank-q sample. Sets
   // `clamped` when that bin is the overflow bin, where the edge is a
   // lie and the value is pinned to the observed max.
-  [[nodiscard]] double percentile_locked(double q, bool& clamped) const;
+  [[nodiscard]] double percentile_locked(double q, bool& clamped) const
+      PN_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  histogram hist_;
-  double hi_;
-  double width_;
-  std::uint64_t count_ = 0;
-  std::uint64_t overflow_ = 0;
-  std::uint64_t sub_bin_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  histogram hist_ PN_GUARDED_BY(mu_);
+  const double hi_;     // bin geometry: fixed at construction
+  const double width_;
+  std::uint64_t count_ PN_GUARDED_BY(mu_) = 0;
+  std::uint64_t overflow_ PN_GUARDED_BY(mu_) = 0;
+  std::uint64_t sub_bin_ PN_GUARDED_BY(mu_) = 0;
+  double sum_ PN_GUARDED_BY(mu_) = 0.0;
+  double min_ PN_GUARDED_BY(mu_) = 0.0;
+  double max_ PN_GUARDED_BY(mu_) = 0.0;
 };
 
 struct service_metrics {
@@ -114,6 +116,15 @@ struct service_metrics {
   // Flattens everything (plus the caller-supplied cache numbers) into the
   // sorted key/value list the stats response carries. Keys are stable;
   // values are decimal strings.
+  //
+  // Snapshot contract: the counters above are relaxed atomics read one at
+  // a time, and each metric_series snapshots under its own mu_ — the list
+  // is *not* a single consistent cut. A request counted in
+  // requests_admitted may not yet appear in eval_ok/eval_error, and gauges
+  // (connections_active, queue_depth) move while the list is assembled.
+  // That is deliberate: telemetry must never contend with the serving
+  // path. Consumers diff counters across scrapes; they must not assume
+  // cross-key invariants hold within one snapshot.
   [[nodiscard]] stats_list to_stats(std::uint64_t cache_hits,
                                     std::uint64_t cache_misses,
                                     std::uint64_t cache_entries,

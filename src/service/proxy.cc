@@ -357,6 +357,7 @@ void eval_proxy::handle_connection(int fd, const cancel_token& cancel) {
     if (!frame.is_ok()) {
       if (frame.error().code() == status_code::bad_frame) {
         metrics_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        // pn_lint: allow(unchecked-status) best-effort reply; peer may be gone
         (void)write_frame(fd, encode_error_response(frame.error()),
                           cfg_.max_frame_payload);
       }

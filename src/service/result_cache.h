@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/guarded.h"
+
 namespace pn {
 
 // 128-bit content hash (two independent 64-bit lanes; see cache_hash in
@@ -95,6 +97,11 @@ class result_cache {
     return epoch_.load(std::memory_order_acquire);
   }
 
+  // Snapshot contract: each shard is summed under its own mu, but the
+  // shards are visited one after another — the totals are per-shard
+  // consistent, not a single global instant. epoch is an acquire load of
+  // the atomic counter. Good enough for operator gauges; do not use the
+  // sums to reason about cross-shard invariants.
   [[nodiscard]] cache_stats stats() const;
 
  private:
@@ -106,13 +113,14 @@ class result_cache {
   struct shard {
     mutable std::mutex mu;
     // MRU at front; map points into the list for O(1) touch/evict.
-    std::list<entry> lru;
-    std::unordered_map<std::uint64_t, std::list<entry>::iterator> index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t stale_inserts = 0;
+    std::list<entry> lru PN_GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::list<entry>::iterator> index
+        PN_GUARDED_BY(mu);
+    std::uint64_t hits PN_GUARDED_BY(mu) = 0;
+    std::uint64_t misses PN_GUARDED_BY(mu) = 0;
+    std::uint64_t insertions PN_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions PN_GUARDED_BY(mu) = 0;
+    std::uint64_t stale_inserts PN_GUARDED_BY(mu) = 0;
   };
 
   [[nodiscard]] shard& shard_for(const cache_key& key);

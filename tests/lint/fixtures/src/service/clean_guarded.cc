@@ -1,0 +1,44 @@
+// Clean concurrency fixture: fully annotated mutex-bearing class, every
+// guarded access under a lock or inside a PN_REQUIRES function (declared
+// in-class, defined out-of-line — exercises the cross-decl merge), and a
+// checked status call. Zero findings.
+#include <mutex>
+
+namespace fixture_clean {
+
+struct status {
+  bool ok = true;
+};
+
+class counter {
+ public:
+  void add(int v);
+  int locked_total() const PN_REQUIRES(mu_);
+  status persist();
+  void flush();
+
+ private:
+  mutable std::mutex mu_;
+  int total_ PN_GUARDED_BY(mu_) = 0;
+  // Sized at construction, read-only afterwards: outside mu_'s footprint.
+  int hint_ PN_EXCLUDES(mu_) = 16;
+};
+
+void counter::add(int v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ += v;
+}
+
+int counter::locked_total() const { return total_; }
+
+status counter::persist() { return status{}; }
+
+void counter::flush() {
+  const status st = persist();
+  if (!st.ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ = 0;
+  }
+}
+
+}  // namespace fixture_clean

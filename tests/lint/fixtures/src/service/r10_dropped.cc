@@ -1,0 +1,21 @@
+// R10 fixture: a status-returning call in statement position with the
+// value dropped — fires unchecked-status exactly once.
+namespace fixture_r10 {
+
+struct status {
+  bool ok = true;
+};
+
+class feed {
+ public:
+  status refresh();
+  void probe();
+};
+
+status feed::refresh() { return status{}; }
+
+void feed::probe() {
+  refresh();
+}
+
+}  // namespace fixture_r10

@@ -1,0 +1,20 @@
+// R8 fixture: one member beside a mutex with no annotation — fires
+// guarded-by exactly once (depth_); limit_ is annotated and quiet.
+#include <mutex>
+
+namespace fixture_r8 {
+
+class tracker {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++depth_;
+  }
+
+ private:
+  std::mutex mu_;
+  int depth_ = 0;
+  int limit_ PN_GUARDED_BY(mu_) = 4;
+};
+
+}  // namespace fixture_r8

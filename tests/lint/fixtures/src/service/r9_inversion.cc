@@ -1,0 +1,28 @@
+// R9 fixture: a two-function lock inversion — forward() takes a_ then
+// b_, backward() takes b_ then a_ — fires lock-order exactly once (one
+// SCC). Both members are mutexes, so R8 stays quiet.
+#include <mutex>
+
+namespace fixture_r9 {
+
+class pair_state {
+ public:
+  void forward();
+  void backward();
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+};
+
+void pair_state::forward() {
+  std::lock_guard<std::mutex> hold_a(a_);
+  std::lock_guard<std::mutex> hold_b(b_);
+}
+
+void pair_state::backward() {
+  std::lock_guard<std::mutex> hold_b(b_);
+  std::lock_guard<std::mutex> hold_a(a_);
+}
+
+}  // namespace fixture_r9

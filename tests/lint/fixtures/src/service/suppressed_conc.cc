@@ -1,0 +1,29 @@
+// Suppressed concurrency fixture: the same shapes r8_unguarded.cc and
+// r10_dropped.cc flag, each carrying an inline allow() — zero findings.
+#include <mutex>
+
+namespace fixture_suppressed {
+
+struct status {
+  bool ok = true;
+};
+
+class gauge {
+ public:
+  status flush();
+  void tick();
+
+ private:
+  std::mutex mu_;
+  // pn_lint: allow(guarded-by) scratch value owned by a single thread
+  int raw_ = 0;
+};
+
+status gauge::flush() { return status{}; }
+
+void gauge::tick() {
+  // pn_lint: allow(unchecked-status) fixture: drop is deliberate
+  flush();
+}
+
+}  // namespace fixture_suppressed

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <fstream>
 
+#include "pn_lint/decls.h"
+
 namespace pn::lint {
 namespace {
 
@@ -127,7 +129,9 @@ TEST_F(lint_fixtures, each_rule_fires_exactly_once_on_its_fixture) {
       {"naked-new", "r3_new.cc"},     {"csv-comma", "r4_csv.cc"},
       {"pragma-once", "r5_missing_pragma.h"},
       {"include-cycle", "cycle_a.h"}, {"float-eq", "r6_float_eq.cc"},
-      {"hot-assoc", "r7_map.cc"},
+      {"hot-assoc", "r7_map.cc"},     {"guarded-by", "r8_unguarded.cc"},
+      {"lock-order", "r9_inversion.cc"},
+      {"unchecked-status", "r10_dropped.cc"},
   };
   for (const auto& c : cases) {
     const std::vector<finding> hits = findings_for(c.rule, all());
@@ -155,9 +159,196 @@ TEST_F(lint_fixtures, suppressed_fixture_has_zero_findings) {
       << "allow() failed to silence: " << (hits.empty() ? "" : hits[0].rule);
 }
 
+TEST_F(lint_fixtures, clean_concurrency_fixture_has_zero_findings) {
+  const std::vector<finding> hits = findings_in("clean_guarded.cc", all());
+  EXPECT_TRUE(hits.empty())
+      << "clean_guarded.cc fired: " << (hits.empty() ? "" : hits[0].message);
+}
+
+TEST_F(lint_fixtures, suppressed_concurrency_fixture_has_zero_findings) {
+  const std::vector<finding> hits = findings_in("suppressed_conc.cc", all());
+  EXPECT_TRUE(hits.empty())
+      << "allow() failed to silence: " << (hits.empty() ? "" : hits[0].rule);
+}
+
+TEST_F(lint_fixtures, lock_order_finding_carries_the_witness_chain) {
+  const std::vector<finding> hits = findings_for("lock-order", all());
+  ASSERT_EQ(hits.size(), 1u);
+  // The message names both mutexes and the functions that acquire them.
+  EXPECT_NE(hits[0].message.find("pair_state::a_"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("pair_state::b_"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("pair_state::forward"), std::string::npos)
+      << hits[0].message;
+}
+
 TEST_F(lint_fixtures, no_unexpected_findings) {
   // Exactly one finding per bad fixture — nothing else fired anywhere.
-  EXPECT_EQ(all().size(), 8u);
+  EXPECT_EQ(all().size(), 11u);
+}
+
+// ---- decl tracker -------------------------------------------------------
+
+TEST(lint_decls, tracks_members_and_annotations) {
+  const source_file f = scan_source(
+      "src/service/x.h",
+      "#pragma once\n"
+      "class widget {\n"
+      "  std::mutex mu_;\n"
+      "  int count_ PN_GUARDED_BY(mu_) = 0;\n"
+      "  std::vector<int> side_ PN_EXCLUDES(mu_);\n"
+      "  std::atomic<int> hits_{0};\n"
+      "  std::condition_variable cv_;\n"
+      "  bool plain_ = false;\n"
+      "};\n");
+  const file_decls d = extract_decls(f);
+  ASSERT_EQ(d.members.size(), 6u);
+  EXPECT_TRUE(d.members[0].is_mutex);
+  EXPECT_EQ(d.members[1].name, "count_");
+  EXPECT_EQ(d.members[1].guarded_by, "mu_");
+  EXPECT_EQ(d.members[2].name, "side_");
+  EXPECT_EQ(d.members[2].excludes, "mu_");
+  EXPECT_TRUE(d.members[3].is_exempt);  // atomic
+  EXPECT_TRUE(d.members[4].is_exempt);  // condition_variable
+  EXPECT_EQ(d.members[5].name, "plain_");
+  EXPECT_FALSE(d.members[5].is_exempt);
+  EXPECT_TRUE(d.members[5].guarded_by.empty());
+}
+
+TEST(lint_decls, tracks_guard_scopes_and_accesses) {
+  const source_file f = scan_source(
+      "src/service/x.cc",
+      "void widget::bump() {\n"
+      "  before_++;\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    count_++;\n"
+      "  }\n"
+      "  after_++;\n"
+      "}\n");
+  const file_decls d = extract_decls(f);
+  ASSERT_EQ(d.functions.size(), 1u);
+  const decl_function& fn = d.functions[0];
+  EXPECT_EQ(fn.qualified, "widget::bump");
+  ASSERT_EQ(fn.acquires.size(), 1u);
+  EXPECT_EQ(fn.acquires[0].args, std::vector<std::string>{"mu_"});
+  auto covered = [&](const char* name) {
+    for (const decl_access& a : fn.accesses) {
+      if (a.name == name) {
+        return fn.acquires[0].begin_tok <= a.tok &&
+               a.tok < fn.acquires[0].end_tok;
+      }
+    }
+    ADD_FAILURE() << name << " not tracked";
+    return false;
+  };
+  EXPECT_FALSE(covered("before_"));  // above the guard
+  EXPECT_TRUE(covered("count_"));    // inside the guard's block
+  EXPECT_FALSE(covered("after_"));   // the guard's block has closed
+}
+
+TEST(lint_decls, merges_requires_across_declarations) {
+  const source_file f = scan_source(
+      "src/service/x.cc",
+      "class widget {\n"
+      "  int locked_get() const PN_REQUIRES(mu_);\n"
+      "  std::mutex mu_;\n"
+      "  int v_ PN_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "int widget::locked_get() const { return v_; }\n");
+  std::vector<finding> out;
+  run_concurrency_rules({f}, out);
+  // The out-of-line body inherits the in-class PN_REQUIRES, so the bare
+  // v_ read is sanctioned.
+  EXPECT_TRUE(out.empty()) << out[0].message;
+}
+
+// ---- concurrency rules --------------------------------------------------
+
+TEST(lint_concurrency, flags_unguarded_access_and_missing_annotation) {
+  const source_file f = scan_source(
+      "src/service/x.cc",
+      "class widget {\n"
+      " public:\n"
+      "  void fast();\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int naked_ = 0;\n"
+      "  int count_ PN_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "void widget::fast() { count_++; }\n");
+  std::vector<finding> out;
+  run_concurrency_rules({f}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rule, "guarded-by");  // naked_ lacks an annotation
+  EXPECT_NE(out[0].message.find("naked_"), std::string::npos);
+  EXPECT_EQ(out[1].rule, "guarded-by");  // count_ touched without mu_
+  EXPECT_NE(out[1].message.find("count_"), std::string::npos);
+}
+
+TEST(lint_concurrency, requires_through_a_callee_builds_lock_edges) {
+  // f holds a_ and calls g, which acquires b_; h does the reverse — a
+  // cross-function inversion only visible through call resolution.
+  const source_file f = scan_source(
+      "src/service/x.cc",
+      "class widget {\n"
+      "  void f(); void g(); void h();\n"
+      "  std::mutex a_; std::mutex b_;\n"
+      "};\n"
+      "void widget::f() { std::lock_guard<std::mutex> l(a_); g(); }\n"
+      "void widget::g() { std::lock_guard<std::mutex> l(b_); }\n"
+      "void widget::h() {\n"
+      "  std::lock_guard<std::mutex> l(b_);\n"
+      "  std::lock_guard<std::mutex> m(a_);\n"
+      "}\n");
+  std::vector<finding> out;
+  run_concurrency_rules({f}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "lock-order");
+  EXPECT_NE(out[0].message.find("widget::f -> widget::g"), std::string::npos)
+      << out[0].message;
+}
+
+TEST(lint_concurrency, void_cast_alone_does_not_silence_r10) {
+  const source_file f = scan_source(
+      "src/service/x.cc",
+      "struct status { bool ok; };\n"
+      "class feed {\n"
+      "  status refresh();\n"
+      "  void a(); void b(); void c();\n"
+      "};\n"
+      "status feed::refresh() { return status{}; }\n"
+      "void feed::a() { refresh(); }\n"
+      "void feed::b() { (void)refresh(); }\n"
+      "void feed::c() {\n"
+      "  // pn_lint: allow(unchecked-status) probe only; failure is benign\n"
+      "  (void)refresh();\n"
+      "}\n");
+  std::vector<finding> out;
+  run_concurrency_rules({f}, out);
+  ASSERT_EQ(out.size(), 2u);  // a() and b(); c() carries the justification
+  EXPECT_EQ(out[0].rule, "unchecked-status");
+  EXPECT_EQ(out[1].rule, "unchecked-status");
+  EXPECT_NE(out[1].message.find("(void)"), std::string::npos);
+}
+
+TEST(lint_concurrency, unresolvable_objects_stay_quiet) {
+  // `auto` locals and chained accesses cannot be resolved — the passes
+  // must skip them rather than guess.
+  const source_file f = scan_source(
+      "src/service/x.cc",
+      "class widget {\n"
+      "  void poke();\n"
+      "  std::mutex mu_;\n"
+      "  int v_ PN_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "void widget::poke() {\n"
+      "  auto w = lookup();\n"
+      "  w->v_ = 1;\n"
+      "  a.b.v_ = 2;\n"
+      "}\n");
+  std::vector<finding> out;
+  run_concurrency_rules({f}, out);
+  EXPECT_TRUE(out.empty()) << out[0].message;
 }
 
 // ---- suppression / baseline semantics -----------------------------------

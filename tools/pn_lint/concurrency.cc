@@ -1,0 +1,510 @@
+// The cross-file concurrency passes, built on the declaration tracker:
+//
+//   R8 guarded-by        annotation completeness + unguarded accesses
+//   R9 lock-order        repo-wide lock acquisition graph, cycle = finding
+//   R10 unchecked-status discarded status/result return values
+//
+// Mutex identity is canonical: "Class::member" (nested classes keep their
+// full path, function-local mutexes are "Function::name"). Everything the
+// tracker cannot resolve — `auto` locals, chained accesses, callees with
+// no visible declaration — is skipped, never guessed: a heuristic linter
+// earns trust by having no false positives, and the annotations make the
+// true positives resolvable.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pn_lint/decls.h"
+#include "pn_lint/tarjan.h"
+
+namespace pn::lint {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Files whose declarations and bodies the passes analyze. Tests are out:
+// they poke internals on purpose and assert on error paths.
+bool analyzed_path(std::string_view path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
+// Directories where R8 *requires* annotations on mutex-bearing classes
+// (ISSUE: the serving spine plus the two shared concurrency primitives).
+bool annotation_required_path(std::string_view path) {
+  return starts_with(path, "src/service/") ||
+         starts_with(path, "src/common/thread_pool.") ||
+         starts_with(path, "src/core/checkpoint.");
+}
+
+std::string last_segment(const std::string& qualified) {
+  const std::size_t at = qualified.rfind("::");
+  return at == std::string::npos ? qualified : qualified.substr(at + 2);
+}
+
+struct member_rec {
+  decl_member m;
+  std::string path;
+};
+
+// Words in a type spelling that can never *be* the resolving class.
+bool type_noise_word(std::string_view s) {
+  return s == "const" || s == "constexpr" || s == "static" ||
+         s == "mutable" || s == "volatile" || s == "auto" || s == "std" ||
+         s == "typename" || s == "unsigned" || s == "signed" ||
+         s == "long" || s == "short";
+}
+
+bool ident_like(std::string_view s) {
+  if (s.empty()) return false;
+  const char c = s[0];
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+struct analysis {
+  // class -> its members (annotations included), with declaring file.
+  std::map<std::string, std::vector<member_rec>> members_by_class;
+  // last name segment -> qualified class names (resolution is only
+  // attempted when unambiguous).
+  std::map<std::string, std::vector<std::string>> class_by_last;
+  // qualified function name -> every declaration/definition seen.
+  std::map<std::string, std::vector<decl_function>> fns;
+  std::map<std::string, const source_file*> file_by_path;
+
+  const decl_member* find_member(const std::string& cls,
+                                 const std::string& name) const {
+    const auto it = members_by_class.find(cls);
+    if (it == members_by_class.end()) return nullptr;
+    for (const member_rec& r : it->second) {
+      if (r.m.name == name) return &r.m;
+    }
+    return nullptr;
+  }
+
+  // Space-separated type spelling -> qualified class name, scanning from
+  // the most-derived token backwards ("std::shared_ptr<slot>&" -> slot's
+  // class). "" when nothing resolves unambiguously.
+  std::string resolve_type_class(const std::string& type) const {
+    std::vector<std::string> words;
+    std::string cur;
+    for (const char c : type) {
+      if (c == ' ') {
+        if (!cur.empty()) words.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) words.push_back(cur);
+    for (auto it = words.rbegin(); it != words.rend(); ++it) {
+      if (!ident_like(*it) || type_noise_word(*it)) continue;
+      if (members_by_class.count(*it) != 0) return *it;
+      const auto hit = class_by_last.find(*it);
+      if (hit != class_by_last.end() && hit->second.size() == 1) {
+        return hit->second.front();
+      }
+    }
+    return {};
+  }
+
+  // Type of `obj` inside `fn`: parameters and explicitly-typed locals
+  // first (later declarations shadow earlier ones), then members of the
+  // enclosing class.
+  std::string obj_class(const decl_function& fn,
+                        const std::string& obj) const {
+    for (auto it = fn.locals.rbegin(); it != fn.locals.rend(); ++it) {
+      if (it->name == obj) return resolve_type_class(it->type);
+    }
+    if (!fn.cls.empty()) {
+      if (const decl_member* m = find_member(fn.cls, obj)) {
+        return resolve_type_class(m->type);
+      }
+    }
+    return {};
+  }
+
+  bool has_local(const decl_function& fn, const std::string& name) const {
+    for (const decl_local& l : fn.locals) {
+      if (l.name == name) return true;
+    }
+    return false;
+  }
+
+  // Canonical mutex id for a raw guard/annotation argument ("mu_",
+  // "s->mu", "sh.mu") in the context of `fn`. "" when unresolvable.
+  std::string canon_mutex(const decl_function& fn,
+                          const std::string& raw) const {
+    std::string a = raw;
+    if (starts_with(a, "this->")) a = a.substr(6);
+    if (starts_with(a, "this.")) a = a.substr(5);
+    std::size_t sep = a.find("->");
+    std::size_t sep_len = 2;
+    const std::size_t dot = a.find('.');
+    if (dot != std::string::npos && (sep == std::string::npos || dot < sep)) {
+      sep = dot;
+      sep_len = 1;
+    }
+    if (sep == std::string::npos) {
+      if (!fn.cls.empty() && find_member(fn.cls, a) != nullptr) {
+        return fn.cls + "::" + a;
+      }
+      if (has_local(fn, a)) return fn.qualified + "::" + a;
+      if (!fn.cls.empty()) return fn.cls + "::" + a;
+      return a;
+    }
+    const std::string obj = a.substr(0, sep);
+    const std::string field = a.substr(sep + sep_len);
+    if (obj.empty() || field.empty()) return {};
+    const std::string cls = obj_class(fn, obj);
+    return cls.empty() ? std::string() : cls + "::" + field;
+  }
+
+  // Callee resolution, one level, by qualified name. "" when unknown.
+  std::string resolve_callee(const decl_function& fn,
+                             const decl_call& c) const {
+    if (!c.obj.empty()) {
+      const std::string cls = obj_class(fn, c.obj);
+      if (!cls.empty() && fns.count(cls + "::" + c.name) != 0) {
+        return cls + "::" + c.name;
+      }
+      return {};
+    }
+    // Unqualified: the enclosing class (walking out through nesting),
+    // then free functions.
+    std::string cls = fn.cls;
+    while (!cls.empty()) {
+      if (fns.count(cls + "::" + c.name) != 0) return cls + "::" + c.name;
+      const std::size_t at = cls.rfind("::");
+      cls = at == std::string::npos ? std::string() : cls.substr(0, at);
+    }
+    const auto it = fns.find(c.name);
+    if (it != fns.end() && !it->second.empty() &&
+        it->second.front().cls.empty()) {
+      return c.name;
+    }
+    return {};
+  }
+};
+
+analysis build_analysis(const std::vector<source_file>& files) {
+  analysis az;
+  for (const source_file& f : files) {
+    az.file_by_path[f.path] = &f;
+    if (!analyzed_path(f.path)) continue;
+    file_decls d = extract_decls(f);
+    for (decl_member& m : d.members) {
+      az.members_by_class[m.cls].push_back(member_rec{std::move(m), f.path});
+    }
+    for (decl_function& fn : d.functions) {
+      az.fns[fn.qualified].push_back(std::move(fn));
+    }
+  }
+  for (const auto& [cls, mems] : az.members_by_class) {
+    (void)mems;
+    az.class_by_last[last_segment(cls)].push_back(cls);
+  }
+  // Fold prototype annotations (header declarations) into the definitions
+  // they belong to, so PN_REQUIRES in a class body covers the out-of-line
+  // body in the .cc.
+  for (auto& [q, decls] : az.fns) {
+    (void)q;
+    std::set<std::string> req, exc;
+    bool returns_status = false;
+    for (const decl_function& fn : decls) {
+      req.insert(fn.requires_args.begin(), fn.requires_args.end());
+      exc.insert(fn.excludes_args.begin(), fn.excludes_args.end());
+      returns_status = returns_status || fn.returns_status;
+    }
+    for (decl_function& fn : decls) {
+      fn.requires_args.assign(req.begin(), req.end());
+      fn.excludes_args.assign(exc.begin(), exc.end());
+      fn.returns_status = returns_status;
+    }
+  }
+  return az;
+}
+
+// Precomputed per-function lock context: canonical ids for PN_REQUIRES /
+// PN_EXCLUDES and for every scoped acquisition.
+struct lock_ctx {
+  std::set<std::string> requires_ids;
+  std::set<std::string> excludes_ids;
+  struct scoped {
+    std::set<std::string> ids;
+    std::size_t begin_tok = 0;
+    std::size_t end_tok = 0;
+    int line = 0;
+  };
+  std::vector<scoped> acquires;
+
+  std::set<std::string> held_at(std::size_t tok) const {
+    std::set<std::string> held = requires_ids;
+    for (const scoped& s : acquires) {
+      if (s.begin_tok <= tok && tok < s.end_tok) {
+        held.insert(s.ids.begin(), s.ids.end());
+      }
+    }
+    return held;
+  }
+};
+
+lock_ctx make_lock_ctx(const analysis& az, const decl_function& fn) {
+  lock_ctx ctx;
+  for (const std::string& r : fn.requires_args) {
+    const std::string id = az.canon_mutex(fn, r);
+    if (!id.empty()) ctx.requires_ids.insert(id);
+  }
+  for (const std::string& e : fn.excludes_args) {
+    const std::string id = az.canon_mutex(fn, e);
+    if (!id.empty()) ctx.excludes_ids.insert(id);
+  }
+  for (const decl_acquire& a : fn.acquires) {
+    lock_ctx::scoped s;
+    s.begin_tok = a.begin_tok;
+    s.end_tok = a.end_tok;
+    s.line = a.line;
+    for (const std::string& arg : a.args) {
+      const std::string id = az.canon_mutex(fn, arg);
+      if (!id.empty()) s.ids.insert(id);
+    }
+    ctx.acquires.push_back(std::move(s));
+  }
+  return ctx;
+}
+
+// ---- R8: guarded-by ----------------------------------------------------
+void rule_guarded_by(const analysis& az, std::vector<finding>& out) {
+  // (a) every member beside a mutex is annotated (designated dirs only).
+  for (const auto& [cls, mems] : az.members_by_class) {
+    bool has_mutex = false;
+    for (const member_rec& r : mems) has_mutex = has_mutex || r.m.is_mutex;
+    if (!has_mutex) continue;
+    for (const member_rec& r : mems) {
+      if (!annotation_required_path(r.path)) continue;
+      const decl_member& m = r.m;
+      if (m.is_mutex || m.is_exempt) continue;
+      if (!m.guarded_by.empty() || !m.excludes.empty()) continue;
+      out.push_back(finding{
+          "guarded-by", r.path, m.line,
+          "member '" + cls + "::" + m.name +
+              "' is declared beside a std::mutex but carries no "
+              "PN_GUARDED_BY / PN_EXCLUDES annotation (common/guarded.h)"});
+    }
+  }
+
+  // (b) accesses to annotated members must see the named mutex held.
+  for (const auto& [q, decls] : az.fns) {
+    (void)q;
+    for (const decl_function& fn : decls) {
+      if (!fn.has_body || fn.is_ctor_dtor) continue;
+      const lock_ctx ctx = make_lock_ctx(az, fn);
+      for (const decl_access& a : fn.accesses) {
+        const decl_member* m = nullptr;
+        std::string owner;
+        if (a.obj.empty()) {
+          if (fn.cls.empty() || az.has_local(fn, a.name)) continue;
+          m = az.find_member(fn.cls, a.name);
+          owner = fn.cls;
+        } else {
+          owner = az.obj_class(fn, a.obj);
+          if (owner.empty()) continue;
+          m = az.find_member(owner, a.name);
+        }
+        if (m == nullptr || m->guarded_by.empty()) continue;
+        const std::string mutex_id = owner + "::" + m->guarded_by;
+        bool covered = ctx.requires_ids.count(mutex_id) != 0 ||
+                       ctx.excludes_ids.count(mutex_id) != 0;
+        for (const lock_ctx::scoped& s : ctx.acquires) {
+          covered = covered || (s.begin_tok <= a.tok && a.tok < s.end_tok &&
+                                s.ids.count(mutex_id) != 0);
+        }
+        if (covered) continue;
+        out.push_back(finding{
+            "guarded-by", fn.path, a.line,
+            "'" + owner + "::" + a.name + "' is PN_GUARDED_BY(" +
+                m->guarded_by + ") but '" + m->guarded_by +
+                "' is not visibly held here — take a lock_guard/"
+                "unique_lock/scoped_lock, or annotate the function "
+                "PN_REQUIRES / PN_EXCLUDES"});
+      }
+    }
+  }
+}
+
+// ---- R9: lock-order ----------------------------------------------------
+struct edge_info {
+  std::string via;  // "holder at path:line"
+  std::string path;
+  int line = 0;
+};
+
+void rule_lock_order(const analysis& az, std::vector<finding>& out) {
+  std::map<std::pair<std::string, std::string>, edge_info> edges;
+  auto add_edge = [&](const std::string& held, const std::string& acq,
+                      const std::string& via, const std::string& path,
+                      int line) {
+    if (held.empty() || acq.empty() || held == acq) return;
+    edges.emplace(std::make_pair(held, acq), edge_info{via, path, line});
+  };
+
+  for (const auto& [q, decls] : az.fns) {
+    (void)q;
+    for (const decl_function& fn : decls) {
+      if (!fn.has_body) continue;
+      const lock_ctx ctx = make_lock_ctx(az, fn);
+      // Direct acquisitions while something is already held.
+      for (std::size_t i = 0; i < ctx.acquires.size(); ++i) {
+        const lock_ctx::scoped& a = ctx.acquires[i];
+        std::set<std::string> held = ctx.requires_ids;
+        for (std::size_t j = 0; j < ctx.acquires.size(); ++j) {
+          if (j == i) continue;
+          const lock_ctx::scoped& b = ctx.acquires[j];
+          if (b.begin_tok <= a.begin_tok && a.begin_tok < b.end_tok) {
+            held.insert(b.ids.begin(), b.ids.end());
+          }
+        }
+        for (const std::string& h : held) {
+          for (const std::string& m : a.ids) {
+            add_edge(h, m, fn.qualified, fn.path, a.line);
+          }
+        }
+      }
+      // One level through resolvable callees: everything the callee
+      // acquires directly is acquired while our locks are held.
+      for (const decl_call& c : fn.calls) {
+        const std::set<std::string> held = ctx.held_at(c.tok);
+        if (held.empty()) continue;
+        const std::string callee = az.resolve_callee(fn, c);
+        if (callee.empty() || callee == fn.qualified) continue;
+        const auto it = az.fns.find(callee);
+        if (it == az.fns.end()) continue;
+        for (const decl_function& g : it->second) {
+          for (const decl_acquire& acq : g.acquires) {
+            for (const std::string& arg : acq.args) {
+              const std::string id = az.canon_mutex(g, arg);
+              for (const std::string& h : held) {
+                add_edge(h, id, fn.qualified + " -> " + callee, fn.path,
+                         c.line);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Tarjan over the mutex graph; every SCC of size > 1 is one finding.
+  std::map<std::string, std::size_t> node_of;
+  std::vector<std::string> nodes;
+  for (const auto& [e, info] : edges) {
+    (void)info;
+    for (const std::string& n : {e.first, e.second}) {
+      if (node_of.emplace(n, nodes.size()).second) nodes.push_back(n);
+    }
+  }
+  std::vector<std::vector<std::size_t>> adj(nodes.size());
+  for (const auto& [e, info] : edges) {
+    (void)info;
+    adj[node_of[e.first]].push_back(node_of[e.second]);
+  }
+  tarjan t(adj);
+  t.run();
+  for (const auto& scc : t.sccs) {
+    if (scc.size() < 2) continue;
+    std::vector<std::string> members;
+    members.reserve(scc.size());
+    for (const std::size_t v : scc) members.push_back(nodes[v]);
+    std::sort(members.begin(), members.end());
+    const std::set<std::string> in_scc(members.begin(), members.end());
+    // Witness chain: walk edges inside the SCC from the smallest member
+    // until the cycle closes.
+    std::ostringstream msg;
+    msg << "lock-order cycle: " << members.front();
+    std::string first_path = members.front();
+    int first_line = 1;
+    std::string cur = members.front();
+    std::set<std::string> visited{cur};
+    for (std::size_t step = 0; step <= members.size(); ++step) {
+      const edge_info* via = nullptr;
+      std::string next;
+      for (const auto& [e, info] : edges) {
+        if (e.first != cur || in_scc.count(e.second) == 0) continue;
+        const bool closes = e.second == members.front() && step > 0;
+        if (visited.count(e.second) != 0 && !closes) continue;
+        next = e.second;
+        via = &info;
+        break;
+      }
+      if (via == nullptr) break;
+      if (step == 0) {
+        first_path = via->path;
+        first_line = via->line;
+      }
+      msg << " -> " << next << " (" << via->via << " at " << via->path << ":"
+          << via->line << ")";
+      if (next == members.front()) break;
+      visited.insert(next);
+      cur = next;
+    }
+    out.push_back(
+        finding{"lock-order", first_path, first_line, msg.str()});
+  }
+}
+
+// ---- R10: unchecked-status ---------------------------------------------
+void rule_unchecked_status(const analysis& az, std::vector<finding>& out) {
+  for (const auto& [q, decls] : az.fns) {
+    (void)q;
+    for (const decl_function& fn : decls) {
+      if (!fn.has_body) continue;
+      for (const decl_call& c : fn.calls) {
+        if (!c.discarded) continue;
+        const std::string callee = az.resolve_callee(fn, c);
+        if (callee.empty()) continue;
+        const auto it = az.fns.find(callee);
+        if (it == az.fns.end() || it->second.empty() ||
+            !it->second.front().returns_status) {
+          continue;
+        }
+        out.push_back(finding{
+            "unchecked-status", fn.path, c.line,
+            c.voided
+                ? "'(void)' cast on '" + callee +
+                      "' (status/result return) without a pn_lint "
+                      "allow(unchecked-status) justification — say why "
+                      "dropping the status is safe"
+                : "result of '" + callee +
+                      "' (status/result return) is discarded — check it, "
+                      "or '(void)' it with a pn_lint "
+                      "allow(unchecked-status) justification"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_concurrency_rules(const std::vector<source_file>& files,
+                           std::vector<finding>& out) {
+  const analysis az = build_analysis(files);
+  std::vector<finding> local;
+  rule_guarded_by(az, local);
+  rule_unchecked_status(az, local);
+  // R8/R10 honour inline allow() like every per-file rule; R9 is a
+  // whole-graph property (like include-cycle) and is baseline-only.
+  for (finding& f : local) {
+    const auto it = az.file_by_path.find(f.path);
+    if (it != az.file_by_path.end() && allow_suppressed(*it->second, f)) {
+      continue;
+    }
+    out.push_back(std::move(f));
+  }
+  rule_lock_order(az, out);
+}
+
+}  // namespace pn::lint

@@ -1,0 +1,753 @@
+// Declaration/scope tracker: a forward pass over the token stream with an
+// explicit scope stack. See decls.h for what it extracts and why it is
+// allowed to be heuristic (every consumer skips what it cannot resolve).
+#include "pn_lint/decls.h"
+
+#include <set>
+
+namespace pn::lint {
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_punct(const token& t, std::string_view s) {
+  return t.kind == tok_kind::punct && t.text == s;
+}
+
+// Statement/expression keywords that can never start a declaration we
+// care about (and never name a member access or a callee).
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",       "else",       "for",          "while",
+      "do",       "switch",     "case",         "default",
+      "return",   "break",      "continue",     "goto",
+      "sizeof",   "alignof",    "decltype",     "new",
+      "delete",   "throw",      "try",          "catch",
+      "operator", "this",       "nullptr",      "true",
+      "false",    "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast",
+  };
+  return kw;
+}
+
+// Qualifier-ish tokens that may prefix a type in a declaration.
+const std::set<std::string>& type_qualifiers() {
+  static const std::set<std::string> kw = {
+      "const",  "constexpr", "static", "mutable", "volatile",
+      "inline", "unsigned",  "signed", "long",    "short",
+      "typename",
+  };
+  return kw;
+}
+
+bool is_annotation(std::string_view s) {
+  return s == "PN_GUARDED_BY" || s == "PN_REQUIRES" || s == "PN_EXCLUDES";
+}
+
+bool is_guard_type(std::string_view s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+bool is_mutex_type_word(std::string_view s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex";
+}
+
+// Member types that are synchronization primitives in their own right (or
+// immutable), so R8 never requires an annotation on them.
+bool is_exempt_type_word(std::string_view s) {
+  return s == "atomic" || s == "atomic_flag" || s == "condition_variable" ||
+         s == "condition_variable_any" || s == "once_flag" || s == "const" ||
+         s == "constexpr" || s == "static" || s == "thread_local";
+}
+
+struct parser {
+  const source_file& f;
+  const std::vector<token>& toks;
+  file_decls out;
+  std::vector<std::string> records;  // qualified record nesting, innermost last
+
+  explicit parser(const source_file& file) : f(file), toks(file.tokens) {}
+
+  std::string record_name() const {
+    return records.empty() ? std::string() : records.back();
+  }
+
+  // ---- balanced skips --------------------------------------------------
+  // Each takes the index of the opener and returns the index just past the
+  // matching closer (or toks.size() on malformed input — every caller
+  // treats "ran off the end" as "stop parsing this construct").
+
+  std::size_t skip_group(std::size_t i, std::string_view open,
+                         std::string_view close) const {
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+      if (is_punct(toks[i], open)) ++depth;
+      if (is_punct(toks[i], close) && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+  std::size_t skip_parens(std::size_t i) const { return skip_group(i, "(", ")"); }
+  std::size_t skip_braces(std::size_t i) const { return skip_group(i, "{", "}"); }
+  std::size_t skip_brackets(std::size_t i) const {
+    return skip_group(i, "[", "]");
+  }
+
+  // Template-argument skip. `>>` closes two levels (the scanner lexes it
+  // as one token). Bails out (npos) when the run hits a token that cannot
+  // appear in a template-argument list — the caller then treats '<' as a
+  // comparison.
+  std::size_t skip_angles(std::size_t i) const {
+    int depth = 0;
+    while (i < toks.size()) {
+      const token& t = toks[i];
+      if (is_punct(t, "<")) {
+        ++depth;
+        ++i;
+      } else if (is_punct(t, ">")) {
+        if (--depth == 0) return i + 1;
+        ++i;
+      } else if (is_punct(t, ">>")) {
+        depth -= 2;
+        if (depth <= 0) return i + 1;
+        ++i;
+      } else if (is_punct(t, "(")) {
+        i = skip_parens(i);
+      } else if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) {
+        return npos;
+      } else {
+        ++i;
+      }
+    }
+    return npos;
+  }
+
+  // Everything up to and past the next top-level ';' (balancing every
+  // bracket kind on the way) — used for using/typedef/enum/friend.
+  std::size_t skip_statement(std::size_t i) const {
+    while (i < toks.size()) {
+      const token& t = toks[i];
+      if (is_punct(t, "(")) {
+        i = skip_parens(i);
+      } else if (is_punct(t, "{")) {
+        i = skip_braces(i);
+      } else if (is_punct(t, "[")) {
+        i = skip_brackets(i);
+      } else if (is_punct(t, ";")) {
+        return i + 1;
+      } else if (is_punct(t, "}")) {
+        return i;  // never swallow the enclosing scope's closer
+      } else {
+        ++i;
+      }
+    }
+    return i;
+  }
+
+  // ---- declaration sequencing -----------------------------------------
+
+  // Parses declarations until the enclosing '}' (returned, not consumed)
+  // or end of file.
+  std::size_t parse_seq(std::size_t i) {
+    while (i < toks.size()) {
+      const token& t = toks[i];
+      if (is_punct(t, "}")) return i;
+      if (is_punct(t, ";")) {
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "[")) {  // [[attribute]] — harmless to drop
+        i = skip_brackets(i);
+        continue;
+      }
+      if (is_punct(t, "{")) {  // stray block (extern "C" { ... })
+        i = skip_braces(i);
+        continue;
+      }
+      if (t.kind == tok_kind::ident) {
+        if (t.text == "namespace") {
+          i = parse_namespace(i);
+          continue;
+        }
+        if (t.text == "template") {
+          const std::size_t a =
+              (i + 1 < toks.size() && is_punct(toks[i + 1], "<"))
+                  ? skip_angles(i + 1)
+                  : npos;
+          i = a == npos ? i + 1 : a;
+          continue;
+        }
+        if (t.text == "using" || t.text == "typedef" || t.text == "friend" ||
+            t.text == "static_assert" || t.text == "enum") {
+          i = skip_statement(i);
+          continue;
+        }
+        if ((t.text == "public" || t.text == "private" ||
+             t.text == "protected") &&
+            i + 1 < toks.size() && is_punct(toks[i + 1], ":")) {
+          i += 2;
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct") {
+          const std::size_t r = try_parse_record(i);
+          if (r != npos) {
+            i = r;
+            continue;
+          }
+        }
+        i = parse_declaration(i);
+        continue;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  std::size_t parse_namespace(std::size_t i) {
+    ++i;  // 'namespace'
+    while (i < toks.size() && (toks[i].kind == tok_kind::ident ||
+                               is_punct(toks[i], "::"))) {
+      ++i;
+    }
+    if (i < toks.size() && is_punct(toks[i], "=")) {
+      return skip_statement(i);  // namespace alias
+    }
+    if (i < toks.size() && is_punct(toks[i], "{")) {
+      std::size_t j = parse_seq(i + 1);
+      return j < toks.size() ? j + 1 : j;  // past '}'
+    }
+    return i;
+  }
+
+  // i at 'class'/'struct'. Returns past the definition (or forward
+  // declaration), or npos when this is an elaborated type inside some
+  // other declaration.
+  std::size_t try_parse_record(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < toks.size() && is_punct(toks[j], "[")) j = skip_brackets(j);
+    if (j >= toks.size() || toks[j].kind != tok_kind::ident) return npos;
+    const std::string name = toks[j].text;
+    ++j;
+    if (j < toks.size() && toks[j].kind == tok_kind::ident &&
+        toks[j].text == "final") {
+      ++j;
+    }
+    if (j < toks.size() && is_punct(toks[j], ";")) return j + 1;  // fwd decl
+    if (j < toks.size() && is_punct(toks[j], ":")) {
+      // base clause: scan to the body '{'
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "<")) {
+          const std::size_t a = skip_angles(j);
+          j = a == npos ? j + 1 : a;
+        } else {
+          ++j;
+        }
+      }
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "{")) return npos;
+    records.push_back(records.empty() ? name : records.back() + "::" + name);
+    std::size_t k = parse_seq(j + 1);
+    records.pop_back();
+    if (k < toks.size()) ++k;  // '}'
+    if (k < toks.size() && is_punct(toks[k], ";")) ++k;
+    return k;
+  }
+
+  // ---- one member / function declaration -------------------------------
+
+  struct anno {
+    std::string macro;
+    std::vector<std::string> args;
+    std::size_t tok = 0;
+  };
+
+  // i at '(' — returns the raw argument spellings (top-level commas,
+  // tokens concatenated: "s.mu", "mu_") and sets *after to past ')'.
+  std::vector<std::string> parse_arg_list(std::size_t i,
+                                          std::size_t* after) const {
+    std::vector<std::string> args;
+    std::string cur;
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+      const token& t = toks[i];
+      if (is_punct(t, "(")) {
+        if (++depth == 1) continue;
+      } else if (is_punct(t, ")")) {
+        if (--depth == 0) {
+          if (!cur.empty()) args.push_back(cur);
+          *after = i + 1;
+          return args;
+        }
+      } else if (is_punct(t, ",") && depth == 1) {
+        if (!cur.empty()) args.push_back(cur);
+        cur.clear();
+        continue;
+      }
+      if (depth >= 1) cur += t.text;
+    }
+    *after = toks.size();
+    if (!cur.empty()) args.push_back(cur);
+    return args;
+  }
+
+  std::size_t parse_declaration(std::size_t begin) {
+    std::size_t i = begin;
+    std::size_t name_tok = npos;
+    std::size_t params_open = npos;
+    std::size_t params_close = npos;
+    std::size_t init_pos = npos;
+    bool is_operator = false;
+    std::vector<anno> annos;
+
+    while (i < toks.size()) {
+      const token& t = toks[i];
+      if (t.kind == tok_kind::ident) {
+        if (is_annotation(t.text) && i + 1 < toks.size() &&
+            is_punct(toks[i + 1], "(")) {
+          anno a;
+          a.macro = t.text;
+          a.tok = i;
+          a.args = parse_arg_list(i + 1, &i);
+          annos.push_back(std::move(a));
+          continue;
+        }
+        if (t.text == "operator") is_operator = true;
+        ++i;
+        continue;
+      }
+      if (t.kind != tok_kind::punct) {
+        ++i;
+        continue;
+      }
+      if (t.text == "(") {
+        if (params_open == npos && init_pos == npos) {
+          const bool named =
+              i > begin && toks[i - 1].kind == tok_kind::ident;
+          if (named || is_operator) {
+            params_open = i;
+            if (named) name_tok = i - 1;
+            params_close = skip_parens(i) - 1;
+            i = params_close + 1;
+            continue;
+          }
+        }
+        i = skip_parens(i);
+        continue;
+      }
+      if (t.text == "[") {
+        i = skip_brackets(i);
+        continue;
+      }
+      if (t.text == "<") {
+        const std::size_t a = skip_angles(i);
+        i = a == npos ? i + 1 : a;
+        continue;
+      }
+      if (t.text == "{") {
+        if (params_open != npos) {
+          finish_function(begin, name_tok, params_open, params_close, annos,
+                          i);
+          return skip_braces(i);
+        }
+        if (init_pos == npos) init_pos = i;
+        i = skip_braces(i);
+        continue;
+      }
+      if (t.text == "=") {
+        if (init_pos == npos) init_pos = i;
+        ++i;
+        continue;
+      }
+      if (t.text == ":" && params_open != npos) {
+        i = skip_ctor_init(i + 1);  // lands on the body '{'
+        continue;
+      }
+      if (t.text == ";") {
+        if (params_open != npos) {
+          finish_function(begin, name_tok, params_open, params_close, annos,
+                          npos);
+        } else {
+          finish_member(begin, i, annos, init_pos);
+        }
+        return i + 1;
+      }
+      if (t.text == "}") return i;  // malformed; bail without swallowing
+      ++i;
+    }
+    return i;
+  }
+
+  // Skips `member(expr), base{...}, ...` items; returns at the body '{'.
+  std::size_t skip_ctor_init(std::size_t i) const {
+    while (i < toks.size()) {
+      while (i < toks.size() && (toks[i].kind == tok_kind::ident ||
+                                 is_punct(toks[i], "::"))) {
+        ++i;
+      }
+      if (i < toks.size() && is_punct(toks[i], "<")) {
+        const std::size_t a = skip_angles(i);
+        if (a != npos) i = a;
+      }
+      if (i < toks.size() && is_punct(toks[i], "(")) {
+        i = skip_parens(i);
+      } else if (i < toks.size() && is_punct(toks[i], "{")) {
+        i = skip_braces(i);
+      }
+      if (i < toks.size() && is_punct(toks[i], ",")) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return i;
+  }
+
+  void finish_member(std::size_t begin, std::size_t semi,
+                     const std::vector<anno>& annos, std::size_t init_pos) {
+    if (records.empty()) return;  // namespace-scope variables: not tracked
+    std::size_t limit = std::min(semi, init_pos);
+    for (const anno& a : annos) limit = std::min(limit, a.tok);
+    std::size_t name_tok = npos;
+    for (std::size_t j = begin; j < limit; ++j) {
+      if (toks[j].kind == tok_kind::ident &&
+          control_keywords().count(toks[j].text) == 0) {
+        name_tok = j;
+      }
+      if (is_punct(toks[j], "<")) {  // never pick a template argument
+        const std::size_t a = skip_angles(j);
+        if (a != npos) j = a - 1;
+      }
+    }
+    if (name_tok == npos || name_tok == begin) return;  // no type + name pair
+    decl_member m;
+    m.cls = record_name();
+    m.name = toks[name_tok].text;
+    m.line = toks[name_tok].line;
+    for (std::size_t j = begin; j < name_tok; ++j) {
+      if (!m.type.empty()) m.type += ' ';
+      m.type += toks[j].text;
+      if (toks[j].kind == tok_kind::ident) {
+        if (is_mutex_type_word(toks[j].text)) m.is_mutex = true;
+        if (is_exempt_type_word(toks[j].text)) m.is_exempt = true;
+      }
+      if (is_punct(toks[j], "&")) m.is_exempt = true;  // reference member
+    }
+    if (m.is_mutex) m.is_exempt = false;  // a mutex is its own category
+    for (const anno& a : annos) {
+      if (a.args.empty()) continue;
+      if (a.macro == "PN_GUARDED_BY") m.guarded_by = a.args[0];
+      if (a.macro == "PN_EXCLUDES") m.excludes = a.args[0];
+    }
+    out.members.push_back(std::move(m));
+  }
+
+  static std::string last_segment(const std::string& qualified) {
+    const std::size_t at = qualified.rfind("::");
+    return at == std::string::npos ? qualified : qualified.substr(at + 2);
+  }
+
+  void finish_function(std::size_t begin, std::size_t name_tok,
+                       std::size_t params_open, std::size_t params_close,
+                       const std::vector<anno>& annos,
+                       std::size_t body_open) {
+    decl_function fn;
+    fn.path = f.path;
+    std::size_t head_end = name_tok == npos ? params_open : name_tok;
+    if (name_tok != npos) {
+      fn.name = toks[name_tok].text;
+      fn.line = toks[name_tok].line;
+      // Out-of-line qualification: Class::[Nested::]name(
+      std::string qual;
+      std::size_t q = name_tok;
+      while (q >= 2 && is_punct(toks[q - 1], "::") &&
+             toks[q - 2].kind == tok_kind::ident) {
+        qual = qual.empty() ? toks[q - 2].text : toks[q - 2].text + "::" + qual;
+        q -= 2;
+        head_end = q;
+      }
+      if (q >= 1 && is_punct(toks[q - 1], "~")) {
+        fn.name = "~" + fn.name;
+        head_end = q - 1;
+      }
+      fn.cls = !qual.empty() ? qual : record_name();
+    } else {
+      fn.name = "operator";
+      fn.line = toks[params_open].line;
+      fn.cls = record_name();
+    }
+    fn.qualified = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+    fn.is_ctor_dtor =
+        !fn.name.empty() &&
+        (fn.name[0] == '~' ||
+         (!fn.cls.empty() && fn.name == last_segment(fn.cls)));
+    for (std::size_t j = begin; j < head_end; ++j) {
+      if (toks[j].kind == tok_kind::ident &&
+          (toks[j].text == "status" || toks[j].text == "result")) {
+        fn.returns_status = true;
+      }
+    }
+    for (const anno& a : annos) {
+      if (a.macro == "PN_REQUIRES") {
+        fn.requires_args.insert(fn.requires_args.end(), a.args.begin(),
+                                a.args.end());
+      }
+      if (a.macro == "PN_EXCLUDES") {
+        fn.excludes_args.insert(fn.excludes_args.end(), a.args.begin(),
+                                a.args.end());
+      }
+    }
+    parse_params(fn, params_open, params_close);
+    if (body_open != npos) {
+      fn.has_body = true;
+      parse_body(fn, body_open);
+    }
+    out.functions.push_back(std::move(fn));
+  }
+
+  void parse_params(decl_function& fn, std::size_t open,
+                    std::size_t close) const {
+    std::size_t item_begin = open + 1;
+    int depth = 0;
+    for (std::size_t j = open + 1; j <= close && j < toks.size(); ++j) {
+      const bool at_end_of_item =
+          j == close || (depth == 0 && is_punct(toks[j], ","));
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")") && j != close) --depth;
+      if (is_punct(toks[j], "<")) {
+        const std::size_t a = skip_angles(j);
+        if (a != npos && a <= close) j = a - 1;
+        continue;
+      }
+      if (!at_end_of_item) continue;
+      add_typed_name(fn, item_begin, j);
+      item_begin = j + 1;
+    }
+  }
+
+  // Records "Type name" from tokens [begin, end) as a local/param, if the
+  // range looks like one (at least one type token before a final plain
+  // identifier; a default-argument '=' truncates the range).
+  void add_typed_name(decl_function& fn, std::size_t begin,
+                      std::size_t end) const {
+    std::size_t stop = end;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (is_punct(toks[j], "=")) {
+        stop = j;
+        break;
+      }
+    }
+    std::size_t name_tok = npos;
+    for (std::size_t j = begin; j < stop; ++j) {
+      if (toks[j].kind == tok_kind::ident &&
+          control_keywords().count(toks[j].text) == 0) {
+        name_tok = j;
+      }
+      if (is_punct(toks[j], "<")) {
+        const std::size_t a = skip_angles(j);
+        if (a != npos) j = a - 1;
+      }
+    }
+    if (name_tok == npos || name_tok == begin) return;
+    decl_local l;
+    l.name = toks[name_tok].text;
+    for (std::size_t j = begin; j < name_tok; ++j) {
+      if (!l.type.empty()) l.type += ' ';
+      l.type += toks[j].text;
+    }
+    if (l.type.empty()) return;
+    fn.locals.push_back(std::move(l));
+  }
+
+  // ---- body analysis ---------------------------------------------------
+
+  void parse_body(decl_function& fn, std::size_t open) {
+    const std::size_t past = skip_braces(open);
+    const std::size_t body_end = past == toks.size() ? past : past - 1;
+    // Per-open-block indices into fn.acquires, for scoping end_tok.
+    std::vector<std::vector<std::size_t>> blocks;
+    blocks.emplace_back();  // the body itself
+    for (std::size_t k = open + 1; k < body_end; ++k) {
+      const token& t = toks[k];
+      if (is_punct(t, "{")) {
+        blocks.emplace_back();
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (!blocks.empty()) {
+          for (std::size_t a : blocks.back()) fn.acquires[a].end_tok = k;
+          blocks.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != tok_kind::ident) continue;
+      if (control_keywords().count(t.text) != 0 || is_annotation(t.text)) {
+        continue;
+      }
+      // Scoped lock acquisition:
+      //   (std::)lock_guard[<...>] var ( args ) ;
+      if (is_guard_type(t.text)) {
+        std::size_t j = k + 1;
+        if (j < toks.size() && is_punct(toks[j], "<")) {
+          const std::size_t a = skip_angles(j);
+          if (a != npos) j = a;
+        }
+        if (j < toks.size() && toks[j].kind == tok_kind::ident &&
+            j + 1 < toks.size() && is_punct(toks[j + 1], "(")) {
+          decl_acquire acq;
+          acq.line = t.line;
+          std::size_t after = j + 1;
+          acq.args = parse_arg_list(j + 1, &after);
+          acq.begin_tok = after;
+          acq.end_tok = body_end;  // tightened when the block closes
+          if (!blocks.empty()) blocks.back().push_back(fn.acquires.size());
+          fn.acquires.push_back(std::move(acq));
+          k = after - 1;
+          continue;
+        }
+      }
+      const bool qual_prev = k > open + 1 && is_punct(toks[k - 1], "::");
+      const bool qual_next =
+          k + 1 < body_end && is_punct(toks[k + 1], "::");
+      if (qual_prev || qual_next) continue;  // std::..., Class::static
+      // Explicitly-typed local declaration at a statement start.
+      const token& prev = toks[k - 1];
+      const bool stmt_start = is_punct(prev, ";") || is_punct(prev, "{") ||
+                              is_punct(prev, "}") || is_punct(prev, "(");
+      if (stmt_start) try_local(fn, k, body_end);
+
+      const bool member_prev =
+          is_punct(prev, ".") || is_punct(prev, "->");
+      std::string obj;
+      if (member_prev && k >= 2 && toks[k - 2].kind == tok_kind::ident) {
+        const bool chained =
+            k >= 3 && (is_punct(toks[k - 3], ".") ||
+                       is_punct(toks[k - 3], "->") ||
+                       is_punct(toks[k - 3], "::"));
+        if (!chained && toks[k - 2].text != "this") obj = toks[k - 2].text;
+      }
+      const bool called = k + 1 < body_end && is_punct(toks[k + 1], "(");
+      if (called) {
+        decl_call c;
+        c.name = t.text;
+        c.obj = obj;
+        c.line = t.line;
+        c.tok = k;
+        mark_discard(c, k, open, body_end);
+        fn.calls.push_back(std::move(c));
+      } else {
+        decl_access a;
+        a.name = t.text;
+        a.obj = member_prev ? obj : std::string();
+        // `x.y` with unresolvable x (chained/this) is obj "" but still a
+        // member access — distinguish from an unqualified read by eliding
+        // it entirely: unqualified reads have no '.'/'->' before them.
+        if (member_prev && obj.empty()) continue;
+        a.line = t.line;
+        a.tok = k;
+        fn.accesses.push_back(std::move(a));
+      }
+    }
+    for (std::size_t a : blocks.empty() ? std::vector<std::size_t>{}
+                                        : blocks.front()) {
+      fn.acquires[a].end_tok = body_end;
+    }
+  }
+
+  void try_local(decl_function& fn, std::size_t k, std::size_t body_end) {
+    // Greedily consume a type-and-name run: idents/::/<...>/&/*, at least
+    // two identifier groups, terminated by = ; ( { or : (range-for).
+    std::size_t j = k;
+    std::size_t groups = 0;
+    std::size_t name_tok = npos;
+    while (j < body_end) {
+      const token& t = toks[j];
+      if (t.kind == tok_kind::ident) {
+        if (control_keywords().count(t.text) != 0 &&
+            type_qualifiers().count(t.text) == 0) {
+          return;
+        }
+        name_tok = j;
+        ++groups;
+        ++j;
+        while (j + 1 < body_end && is_punct(toks[j], "::") &&
+               toks[j + 1].kind == tok_kind::ident) {
+          name_tok = j + 1;
+          j += 2;  // qualified name: still one group
+        }
+        continue;
+      }
+      if (is_punct(t, "<")) {
+        const std::size_t a = skip_angles(j);
+        if (a == npos) return;
+        j = a;
+        continue;
+      }
+      if (is_punct(t, "&") || is_punct(t, "*") || is_punct(t, "&&")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (groups < 2 || name_tok == npos || j >= body_end) return;
+    const token& stop = toks[j];
+    if (!(is_punct(stop, "=") || is_punct(stop, ";") || is_punct(stop, "(") ||
+          is_punct(stop, "{") || is_punct(stop, ":"))) {
+      return;
+    }
+    if (toks[name_tok].kind != tok_kind::ident) return;
+    decl_local l;
+    l.name = toks[name_tok].text;
+    for (std::size_t q = k; q < name_tok; ++q) {
+      if (!l.type.empty()) l.type += ' ';
+      l.type += toks[q].text;
+    }
+    if (l.type.empty()) return;
+    fn.locals.push_back(std::move(l));
+  }
+
+  void mark_discard(decl_call& c, std::size_t k, std::size_t body_open,
+                    std::size_t body_end) const {
+    // Result used when the postfix chain continues after the call.
+    const std::size_t after = skip_parens(k + 1);
+    if (after > body_end || after >= toks.size() ||
+        !is_punct(toks[after], ";")) {
+      return;
+    }
+    // Walk the object chain back to the statement's first token.
+    std::size_t s = k;
+    while (s >= 2 &&
+           (is_punct(toks[s - 1], ".") || is_punct(toks[s - 1], "->")) &&
+           toks[s - 2].kind == tok_kind::ident) {
+      s -= 2;
+    }
+    std::size_t boundary = s;  // token index before which we need ; { }
+    if (s >= 3 && is_punct(toks[s - 1], ")") &&
+        toks[s - 2].kind == tok_kind::ident && toks[s - 2].text == "void" &&
+        is_punct(toks[s - 3], "(")) {
+      c.voided = true;
+      boundary = s - 3;
+    }
+    if (boundary == body_open + 1) {
+      c.discarded = true;
+      return;
+    }
+    if (boundary >= 1) {
+      const token& b = toks[boundary - 1];
+      if (is_punct(b, ";") || is_punct(b, "{") || is_punct(b, "}")) {
+        c.discarded = true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+file_decls extract_decls(const source_file& f) {
+  parser p(f);
+  p.parse_seq(0);
+  return p.out;
+}
+
+}  // namespace pn::lint

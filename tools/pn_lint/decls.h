@@ -1,0 +1,112 @@
+// A lightweight declaration/scope tracker layered on the token scanner.
+//
+// pn_lint deliberately has no real C++ frontend; the concurrency passes
+// (R8 guarded-by, R9 lock-order, R10 unchecked-status) need just enough
+// structure to reason about *who* touches *what* under *which* lock:
+//
+//   - which records (class/struct, including nested ones) declare which
+//     members, with their type tokens and any PN_GUARDED_BY / PN_EXCLUDES
+//     annotation (common/guarded.h),
+//   - which functions exist (inline bodies and out-of-line definitions,
+//     merged by qualified name across files), their parameters and
+//     explicitly-typed locals, their PN_REQUIRES / PN_EXCLUDES trailers,
+//   - inside each body: every lock_guard/unique_lock/scoped_lock/
+//     shared_lock acquisition with the token range it covers, every
+//     member-ish identifier access, and every call with its object
+//     expression and whether the result is used.
+//
+// The parser is a forward pass over the token stream with an explicit
+// scope stack (namespace / record / body braces). It is a heuristic: it
+// resolves types only when a declaration spells them (auto and computed
+// expressions are skipped), which keeps every downstream rule
+// conservative — no resolution, no finding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pn_lint/lint.h"
+
+namespace pn::lint {
+
+// One data member of a record.
+struct decl_member {
+  std::string cls;   // qualified record name, e.g. "eval_batcher::slot"
+  std::string name;
+  std::string type;  // declaration type tokens, space-joined
+  bool is_mutex = false;   // type mentions `mutex` (and is not a lock RAII)
+  bool is_exempt = false;  // atomic / condition_variable / const / static / &
+  std::string guarded_by;  // PN_GUARDED_BY argument ("" when absent)
+  std::string excludes;    // PN_EXCLUDES argument ("" when absent)
+  int line = 0;
+};
+
+// A scoped lock acquisition inside a body. Covers tokens in
+// [begin_tok, end_tok) — the guard's declaration to its block's `}`.
+struct decl_acquire {
+  std::vector<std::string> args;  // raw guard arguments, e.g. "mu_", "s.mu"
+  int line = 0;
+  std::size_t begin_tok = 0;
+  std::size_t end_tok = 0;
+};
+
+// A call site inside a body.
+struct decl_call {
+  std::string name;  // callee, last identifier before '('
+  std::string obj;   // object identifier for x.f() / x->f(), else ""
+  int line = 0;
+  std::size_t tok = 0;    // token index of the callee identifier
+  bool discarded = false;  // statement position, result unused
+  bool voided = false;     // preceded by a (void) cast
+};
+
+// A member-ish identifier read/write inside a body.
+struct decl_access {
+  std::string name;  // identifier accessed
+  std::string obj;   // "" for unqualified (implicit this), else the object
+  int line = 0;
+  std::size_t tok = 0;
+};
+
+// A parameter or explicitly-typed local variable.
+struct decl_local {
+  std::string name;
+  std::string type;  // space-joined type tokens ("auto" stays unresolved)
+};
+
+struct decl_function {
+  std::string cls;        // owning qualified record, "" for free functions
+  std::string name;
+  std::string qualified;  // "cls::name", or just "name" for free functions
+  std::string path;       // file the body (or declaration) lives in
+  int line = 0;
+  bool returns_status = false;  // return type mentions pn status/result
+  bool is_ctor_dtor = false;
+  bool has_body = false;
+  std::vector<std::string> requires_args;  // PN_REQUIRES trailer arguments
+  std::vector<std::string> excludes_args;  // PN_EXCLUDES trailer arguments
+  std::vector<decl_local> locals;          // params + typed locals
+  std::vector<decl_acquire> acquires;
+  std::vector<decl_call> calls;
+  std::vector<decl_access> accesses;
+};
+
+struct file_decls {
+  std::vector<decl_member> members;
+  std::vector<decl_function> functions;
+};
+
+// Extracts every record member and function (with analyzed body) from one
+// scanned file. Pure; merging across files is the concurrency pass's job.
+file_decls extract_decls(const source_file& f);
+
+// The concurrency analyses (R8 guarded-by, R9 lock-order) and the
+// unchecked-status audit (R10), run over the whole scanned set at once.
+// Appends findings; inline allow() suppression is applied internally
+// (except for lock-order, which is a whole-graph property like
+// include-cycle and is baseline-only).
+void run_concurrency_rules(const std::vector<source_file>& files,
+                           std::vector<finding>& out);
+
+}  // namespace pn::lint

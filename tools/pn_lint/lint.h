@@ -33,6 +33,23 @@
 //                 evaluate path, so use index-keyed vectors or
 //                 sort + unique; deliberate ordered iteration carries
 //                 an allow() with its justification
+//   guarded-by    (R8) concurrency discipline (common/guarded.h): every
+//                 non-exempt member of a mutex-bearing class in
+//                 src/service/, src/common/thread_pool.*, and
+//                 src/core/checkpoint.* carries PN_GUARDED_BY /
+//                 PN_EXCLUDES, and every access to a PN_GUARDED_BY
+//                 member happens with the named mutex visibly held (a
+//                 lock_guard/unique_lock/scoped_lock in scope, or
+//                 PN_REQUIRES / PN_EXCLUDES on the enclosing function)
+//   lock-order    (R9) the repo-wide lock acquisition graph — "holds A,
+//                 acquires B" edges from bodies and one level of
+//                 resolvable callees — is cycle-free (Tarjan SCC, with
+//                 a witness chain in the message). Whole-graph like
+//                 include-cycle, so baseline-only: not inline-allowable
+//   unchecked-status
+//                 (R10) a call to a function returning status/result in
+//                 statement position with the value discarded — check
+//                 it, or cast to (void) with an allow() justification
 //
 // Deliberate violations carry an inline suppression with a justification:
 //
@@ -129,5 +146,10 @@ std::vector<finding> filter_baselined(const std::vector<finding>& fs,
 
 // All rule names, for --list-rules and allow() validation.
 const std::vector<std::string>& rule_names();
+
+// True when `fnd` is covered by an inline allow() in `f` (the finding's
+// own line or the line above). Exposed for passes that run after the
+// per-file loop and apply suppression themselves.
+bool allow_suppressed(const source_file& f, const finding& fnd);
 
 }  // namespace pn::lint

@@ -8,6 +8,9 @@
 //     --include-root=D  root-relative dir quoted includes resolve against
 //                       (default: src)
 //     --list-rules      print rule names and exit
+//     --json            machine-readable output: a JSON object with a
+//                       findings array (rule, file, line, message) and
+//                       counts; exit codes unchanged
 //
 //   dirs default to: src tools tests (root-relative)
 //
@@ -27,12 +30,51 @@ bool take_value(const std::string& arg, const std::string& flag,
   return true;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<pn::lint::finding>& fresh,
+                std::size_t baselined) {
+  std::printf("{\n  \"findings\": [");
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const pn::lint::finding& f = fresh[i];
+    std::printf("%s\n    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+                "\"message\": \"%s\"}",
+                i == 0 ? "" : ",", json_escape(f.rule).c_str(),
+                json_escape(f.path).c_str(), f.line,
+                json_escape(f.message).c_str());
+  }
+  std::printf("%s],\n  \"count\": %zu,\n  \"baselined\": %zu\n}\n",
+              fresh.empty() ? "" : "\n  ", fresh.size(), baselined);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   pn::lint::lint_options opts;
   std::string baseline_path;
   bool fix_baseline = false;
+  bool json = false;
   std::vector<std::string> dirs;
 
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +88,8 @@ int main(int argc, char** argv) {
       opts.include_root = value;
     } else if (arg == "--fix-baseline") {
       fix_baseline = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--list-rules") {
       for (const std::string& name : pn::lint::rule_names()) {
         std::printf("%s\n", name.c_str());
@@ -54,7 +98,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: pn_lint [--root=DIR] [--baseline=FILE|none] "
-          "[--fix-baseline] [--include-root=DIR] [--list-rules] [dir ...]\n");
+          "[--fix-baseline] [--include-root=DIR] [--list-rules] [--json] "
+          "[dir ...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "pn_lint: unknown option '%s'\n", arg.c_str());
@@ -91,6 +136,11 @@ int main(int argc, char** argv) {
   }
   const std::vector<pn::lint::finding> fresh =
       pn::lint::filter_baselined(all, baseline);
+
+  if (json) {
+    print_json(fresh, all.size() - fresh.size());
+    return fresh.empty() ? 0 : 1;
+  }
 
   for (const pn::lint::finding& f : fresh) {
     std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),

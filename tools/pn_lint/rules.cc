@@ -12,6 +12,9 @@
 #include <algorithm>
 #include <tuple>
 
+#include "pn_lint/decls.h"
+#include "pn_lint/tarjan.h"
+
 namespace pn::lint {
 namespace {
 
@@ -260,71 +263,9 @@ void rule_float_eq(rule_ctx& ctx) {
 // ---- R5b: include cycles (cross-file) ---------------------------------
 // Edges: quoted includes resolved (a) against include_root — the
 // project-wide `-I src` convention — then (b) against the including
-// file's own directory. Tarjan over the resolved graph; every SCC of
-// size > 1 (or a self-include) is one finding.
-struct tarjan {
-  const std::vector<std::vector<std::size_t>>& adj;
-  std::vector<int> index, lowlink;
-  std::vector<bool> on_stack;
-  std::vector<std::size_t> stack;
-  std::vector<std::vector<std::size_t>> sccs;
-  int next_index = 0;
-
-  explicit tarjan(const std::vector<std::vector<std::size_t>>& a)
-      : adj(a),
-        index(a.size(), -1),
-        lowlink(a.size(), 0),
-        on_stack(a.size(), false) {}
-
-  void strongconnect(std::size_t v) {
-    // Iterative DFS: (node, next-edge-to-visit) frames.
-    std::vector<std::pair<std::size_t, std::size_t>> frames{{v, 0}};
-    while (!frames.empty()) {
-      auto& [node, edge] = frames.back();
-      if (edge == 0) {
-        index[node] = lowlink[node] = next_index++;
-        stack.push_back(node);
-        on_stack[node] = true;
-      }
-      bool descended = false;
-      while (edge < adj[node].size()) {
-        const std::size_t w = adj[node][edge++];
-        if (index[w] < 0) {
-          frames.emplace_back(w, 0);
-          descended = true;
-          break;
-        }
-        if (on_stack[w]) lowlink[node] = std::min(lowlink[node], index[w]);
-      }
-      if (descended) continue;
-      if (lowlink[node] == index[node]) {
-        std::vector<std::size_t> scc;
-        for (;;) {
-          const std::size_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = false;
-          scc.push_back(w);
-          if (w == node) break;
-        }
-        sccs.push_back(std::move(scc));
-      }
-      const std::size_t done = node;
-      frames.pop_back();
-      if (!frames.empty()) {
-        auto& [parent, unused] = frames.back();
-        (void)unused;
-        lowlink[parent] = std::min(lowlink[parent], lowlink[done]);
-      }
-    }
-  }
-
-  void run() {
-    for (std::size_t v = 0; v < adj.size(); ++v) {
-      if (index[v] < 0) strongconnect(v);
-    }
-  }
-};
-
+// file's own directory. Tarjan (pn_lint/tarjan.h, shared with the
+// lock-order pass) over the resolved graph; every SCC of size > 1 (or a
+// self-include) is one finding.
 void rule_include_cycle(const std::vector<source_file>& files,
                         const std::string& include_root,
                         std::vector<finding>& out) {
@@ -369,10 +310,12 @@ void rule_include_cycle(const std::vector<source_file>& files,
   }
 }
 
-// ---- suppression ------------------------------------------------------
+}  // namespace
+
 // An allow() on line N covers findings on lines N and N+1 — same-line
 // trailing comments and a comment directly above a long statement.
-bool suppressed(const source_file& f, const finding& fnd) {
+// Shared with the concurrency passes, which apply it internally.
+bool allow_suppressed(const source_file& f, const finding& fnd) {
   for (int ln : {fnd.line, fnd.line - 1}) {
     const auto it = f.allows.find(ln);
     if (it == f.allows.end()) continue;
@@ -383,12 +326,11 @@ bool suppressed(const source_file& f, const finding& fnd) {
   return false;
 }
 
-}  // namespace
-
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
-      "nondet",      "raw-thread",    "naked-new", "csv-comma",
-      "pragma-once", "include-cycle", "float-eq",  "hot-assoc",
+      "nondet",     "raw-thread", "naked-new",  "csv-comma",
+      "pragma-once", "include-cycle", "float-eq", "hot-assoc",
+      "guarded-by", "lock-order", "unchecked-status",
   };
   return names;
 }
@@ -407,10 +349,11 @@ std::vector<finding> run_rules(const std::vector<source_file>& files,
     rule_pragma_once(ctx);
     rule_float_eq(ctx);
     for (finding& fnd : local) {
-      if (!suppressed(f, fnd)) out.push_back(std::move(fnd));
+      if (!allow_suppressed(f, fnd)) out.push_back(std::move(fnd));
     }
   }
   rule_include_cycle(files, include_root, out);
+  run_concurrency_rules(files, out);
   std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
     return std::tie(a.path, a.line, a.rule) < std::tie(b.path, b.line, b.rule);
   });

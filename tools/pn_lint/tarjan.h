@@ -1,0 +1,77 @@
+// Iterative Tarjan SCC, shared by the include-cycle pass (R5b) and the
+// lock-order pass (R9). Both build a small adjacency list over their own
+// node ids (files, mutexes) and report every SCC of size > 1 — plus
+// size-1 SCCs with a self-edge, which the callers track themselves.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pn::lint {
+
+struct tarjan {
+  const std::vector<std::vector<std::size_t>>& adj;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  int next_index = 0;
+
+  explicit tarjan(const std::vector<std::vector<std::size_t>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        lowlink(a.size(), 0),
+        on_stack(a.size(), false) {}
+
+  void strongconnect(std::size_t v) {
+    // Iterative DFS: (node, next-edge-to-visit) frames.
+    std::vector<std::pair<std::size_t, std::size_t>> frames{{v, 0}};
+    while (!frames.empty()) {
+      auto& [node, edge] = frames.back();
+      if (edge == 0) {
+        index[node] = lowlink[node] = next_index++;
+        stack.push_back(node);
+        on_stack[node] = true;
+      }
+      bool descended = false;
+      while (edge < adj[node].size()) {
+        const std::size_t w = adj[node][edge++];
+        if (index[w] < 0) {
+          frames.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[node] = std::min(lowlink[node], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[node] == index[node]) {
+        std::vector<std::size_t> scc;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == node) break;
+        }
+        sccs.push_back(std::move(scc));
+      }
+      const std::size_t done = node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        auto& [parent, unused] = frames.back();
+        (void)unused;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[done]);
+      }
+    }
+  }
+
+  void run() {
+    for (std::size_t v = 0; v < adj.size(); ++v) {
+      if (index[v] < 0) strongconnect(v);
+    }
+  }
+};
+
+}  // namespace pn::lint
