@@ -15,7 +15,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/physnet.h"
+#include "search/engine.h"
 #include "service/batcher.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
@@ -566,6 +568,143 @@ void bm_service_eval_batched(benchmark::State& state) {
 BENCHMARK(bm_service_eval_batched)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// --- deployability-constrained topology search ---
+//
+// The search subsystem's hot paths: space text handling, grid
+// enumeration, Pareto-front maintenance, and a full (small) run_search
+// through the local backend. These feed BENCH_search.json via
+// --json-search (see scripts/bench_gate.py).
+
+constexpr const char* bench_space_text = R"(physnet-search-space v1
+name bench
+seed 3
+constraint min_hosts 48
+family jellyfish
+dim switches range 8 64 8
+dim radix range 8 22 2
+dim hosts_per_switch choice 4 6 8 10
+dim strategy choice block random
+end
+family leaf_spine
+dim leaves range 4 32 4
+dim uplinks range 1 2 1
+end
+)";
+
+void bm_search_space_parse(benchmark::State& state) {
+  const std::string text = bench_space_text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_space(text));
+  }
+}
+BENCHMARK(bm_search_space_parse);
+
+void bm_search_space_serialize(benchmark::State& state) {
+  const search_space space = parse_space(bench_space_text).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_space(space));
+  }
+}
+BENCHMARK(bm_search_space_serialize);
+
+// Cartesian enumeration alone (4160 candidates): the fixed cost every
+// grid search pays before the first evaluation.
+void bm_search_grid_enumerate(benchmark::State& state) {
+  const search_space space = parse_space(bench_space_text).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_grid(space));
+  }
+}
+BENCHMARK(bm_search_grid_enumerate);
+
+std::vector<pareto_entry> pareto_population(std::size_t n) {
+  rng r(17);
+  std::vector<pareto_entry> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pareto_objectives o;
+    o.cost_usd = static_cast<double>(r.next_index(1u << 20));
+    o.time_h = static_cast<double>(r.next_index(4096));
+    o.rewires = static_cast<double>(r.next_index(16));
+    o.bisection = static_cast<double>(r.next_index(4096));
+    pop.push_back(pareto_entry{i, o});
+  }
+  return pop;
+}
+
+// The O(n^2) every-pair oracle — the "before" side of the front speedup
+// and the differential oracle in tests/search/search_test.cc.
+void bm_pareto_front_reference(benchmark::State& state) {
+  const auto pop =
+      pareto_population(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_front(pop));
+  }
+}
+BENCHMARK(bm_pareto_front_reference)->Arg(256)->Arg(1024);
+
+// Incremental insert as the engine actually accumulates the front: each
+// insert compares against the current front only, which stays tiny
+// relative to the population.
+void bm_pareto_front_incremental(benchmark::State& state) {
+  const auto pop =
+      pareto_population(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pareto_front front;
+    for (const pareto_entry& e : pop) front.insert(e.ordinal, e.obj);
+    benchmark::DoNotOptimize(front.entries().size());
+  }
+}
+BENCHMARK(bm_pareto_front_incremental)->Arg(256)->Arg(1024);
+
+// An end-to-end grid search (11 candidates, 3 families) through the
+// local backend — jobs > 1 must show real wall-clock speedup, the same
+// contract bm_run_sweep tracks for the layer below.
+constexpr const char* bench_run_space_text = R"(physnet-search-space v1
+name bench-run
+seed 5
+constraint min_hosts 32
+family jellyfish
+dim switches range 8 16 4
+dim radix choice 12
+dim strategy choice block random
+end
+family fat_tree
+dim k range 4 6 2
+end
+family leaf_spine
+dim leaves range 4 8 2
+end
+)";
+
+void bm_search_grid_run(benchmark::State& state) {
+  const search_space space = parse_space(bench_run_space_text).value();
+  std::size_t front = 0;
+  for (auto _ : state) {
+    local_backend_options lopt;
+    lopt.jobs = static_cast<int>(state.range(0));
+    local_search_backend backend(lopt);
+    const auto res = run_search(space, backend, {});
+    front = res.value().front.size();
+    benchmark::DoNotOptimize(front);
+  }
+  state.counters["front"] = static_cast<double>(front);
+}
+BENCHMARK(bm_search_grid_run)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void bm_search_local_run(benchmark::State& state) {
+  const search_space space = parse_space(bench_run_space_text).value();
+  search_run_options opt;
+  opt.strategy = search_strategy::local;
+  opt.local.restarts = 2;
+  for (auto _ : state) {
+    local_search_backend backend{local_backend_options{}};
+    benchmark::DoNotOptimize(run_search(space, backend, opt));
+  }
+}
+BENCHMARK(bm_search_local_run)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 // Per-stage timing table for a representative evaluation, printed before
 // the benchmark runs so every bench log carries the pipeline breakdown.
 void print_stage_timing_table() {
@@ -620,8 +759,22 @@ constexpr speedup_pair kSpeedupPairs[] = {
     {"decom_sweep_delta", "bm_decom_sweep_reference", "bm_decom_sweep_delta"},
 };
 
+// The search subsystem's speedups, dumped separately (--json-search ->
+// BENCH_search.json) so the search gate can evolve its floors without
+// touching the micro baseline.
+constexpr speedup_pair kSearchSpeedupPairs[] = {
+    {"pareto_front_incremental", "bm_pareto_front_reference",
+     "bm_pareto_front_incremental"},
+};
+
+bool is_search_bench(const std::string& name) {
+  return name.rfind("bm_search_", 0) == 0 || name.rfind("bm_pareto_", 0) == 0;
+}
+
+template <std::size_t N>
 bool write_json(const std::string& path,
-                const std::map<std::string, double>& ns_per_op) {
+                const std::map<std::string, double>& ns_per_op,
+                const speedup_pair (&pairs)[N]) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_micro: cannot write " << path << "\n";
@@ -636,7 +789,7 @@ bool write_json(const std::string& path,
   }
   out << "\n  },\n  \"speedups_vs_reference\": {";
   first = true;
-  for (const speedup_pair& pair : kSpeedupPairs) {
+  for (const speedup_pair& pair : pairs) {
     const std::string before_prefix = std::string(pair.before) + "/";
     for (const auto& [name, before_ns] : ns_per_op) {
       if (name.rfind(before_prefix, 0) != 0) continue;
@@ -655,9 +808,11 @@ bool write_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --json <path> / --json=<path> before benchmark::Initialize so
-  // the library doesn't reject it as unrecognized.
+  // Strip --json <path> / --json=<path> (and the --json-search variant)
+  // before benchmark::Initialize so the library doesn't reject them as
+  // unrecognized.
   std::string json_path;
+  std::string json_search_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -667,6 +822,14 @@ int main(int argc, char** argv) {
     }
     if (a.rfind("--json=", 0) == 0) {
       json_path = std::string(a.substr(7));
+      continue;
+    }
+    if (a == "--json-search" && i + 1 < argc) {
+      json_search_path = argv[++i];
+      continue;
+    }
+    if (a.rfind("--json-search=", 0) == 0) {
+      json_search_path = std::string(a.substr(14));
       continue;
     }
     args.push_back(argv[i]);
@@ -681,8 +844,18 @@ int main(int argc, char** argv) {
   recording_reporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  if (!json_path.empty() && !write_json(json_path, reporter.ns_per_op())) {
+  if (!json_path.empty() &&
+      !write_json(json_path, reporter.ns_per_op(), kSpeedupPairs)) {
     return 1;
+  }
+  if (!json_search_path.empty()) {
+    std::map<std::string, double> search_only;
+    for (const auto& [name, ns] : reporter.ns_per_op()) {
+      if (is_search_bench(name)) search_only.emplace(name, ns);
+    }
+    if (!write_json(json_search_path, search_only, kSearchSpeedupPairs)) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -19,6 +19,17 @@ speedups_vs_reference maps) against ``BENCH_baseline.json``:
     ``LABEL/arg``). At least one entry must match, so a renamed bench
     cannot silently skip its floor.
 
+The same fresh/baseline machinery gates BENCH_search.json (the
+``--json-search`` output of bench_micro) — point ``--fresh``/
+``--baseline`` at the search artifacts in a second invocation.
+
+``--serve FILE`` additionally validates a physnet_proxy serving-sweep
+artifact (BENCH_serve.json): every leg must have answered every request
+it sent with positive achieved QPS, and the hot_qps_scaling_4w_over_1w
+ratio must clear ``--serve-scaling-min`` — a 4-worker fleet that does
+not beat one worker by that factor means consistent-hash routing or the
+fleet cache regressed.
+
 Exit code 0 = gate passed, 1 = regression or contract violation,
 2 = bad invocation / unreadable input.
 """
@@ -63,6 +74,42 @@ def matches(label, key):
     return key == label or key.startswith(label + "/")
 
 
+def check_serve(path, scaling_min, failures):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+    legs = doc.get("legs")
+    if not isinstance(legs, list) or not legs:
+        failures.append(f"serve: {path} has no legs")
+        legs = []
+    for leg in legs:
+        label = leg.get("label", "?")
+        req = leg.get("requests") or {}
+        sent, ok = req.get("sent"), req.get("ok")
+        if sent != ok:
+            failures.append(
+                f"serve leg {label}: answered {ok} of {sent} requests")
+        qps = leg.get("achieved_qps_ok", 0.0)
+        if not qps or qps <= 0.0:
+            failures.append(f"serve leg {label}: achieved_qps_ok is {qps}")
+
+    scaling = doc.get("hot_qps_scaling_4w_over_1w")
+    if not isinstance(scaling, (int, float)):
+        failures.append(f"serve: {path} has no hot_qps_scaling_4w_over_1w")
+    elif scaling < scaling_min:
+        failures.append(
+            f"serve: hot_qps_scaling_4w_over_1w is {scaling:.2f}x "
+            f"(floor {scaling_min:g}x)")
+    else:
+        print(f"bench_gate: serve hot_qps_scaling_4w_over_1w = "
+              f"{scaling:.2f}x (floor {scaling_min:g}x) ok, "
+              f"{len(legs)} leg(s) fully answered")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fresh", default="BENCH_micro.json",
@@ -77,6 +124,13 @@ def main():
                     metavar="LABEL=MIN",
                     help="absolute floor for a tracked speedup label; "
                          "repeatable")
+    ap.add_argument("--serve", metavar="FILE",
+                    help="also validate a serving-sweep artifact "
+                         "(BENCH_serve.json): legs fully answered, "
+                         "scaling ratio above --serve-scaling-min")
+    ap.add_argument("--serve-scaling-min", type=float, default=2.0,
+                    help="floor for hot_qps_scaling_4w_over_1w "
+                         "(default 2.0)")
     args = ap.parse_args()
 
     fresh = load(args.fresh)
@@ -129,6 +183,9 @@ def main():
             else:
                 print(f"bench_gate: {key} = {fresh_sp[key]:.2f}x "
                       f"(floor {floor:g}x) ok")
+
+    if args.serve:
+        check_serve(args.serve, args.serve_scaling_min, failures)
 
     if failures:
         print(f"bench_gate: FAIL ({len(failures)} problem(s))")

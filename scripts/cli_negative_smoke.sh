@@ -74,6 +74,16 @@ expect_usage "load --mix=fat_tree:big" "--mix" "$T/physnet_load" \
 expect_usage "load --hot-fraction=0.5.5" "--hot-fraction" \
     "$T/physnet_load" --hot-fraction=0.5.5
 
+# physnet_search: parse failures trip before --space is required.
+expect_usage "search --jobs=abc" "--jobs" "$T/physnet_search" --jobs=abc
+expect_usage "search --seed=-1" "--seed" "$T/physnet_search" --seed=-1
+expect_usage "search --restarts=2.5" "--restarts" "$T/physnet_search" \
+    --restarts=2.5
+expect_usage "search --cancel-after=soon" "--cancel-after" \
+    "$T/physnet_search" --cancel-after=soon
+expect_usage "search --connections=1x" "--connections" \
+    "$T/physnet_search" --connections=1x
+
 # pn_lint: --json is a bare flag; a value-carrying spelling is malformed
 # and must exit 2 naming the option, not silently lint.
 expect_usage "pn_lint --json=x" "--json" "$T/pn_lint/pn_lint" --json=x

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# physnet_search smoke test.
+#
+# Proves, end to end through the real binaries on real Unix sockets:
+#   1. a small grid search over the committed example space finds a
+#      multi-family Pareto front deterministically (--jobs=4 output is
+#      byte-identical to serial);
+#   2. a --via-serve run against a 2-worker fleet behind physnet_proxy
+#      produces the exact same front and trace bytes as the local run;
+#   3. an interrupted run (SIGINT mid-search with --checkpoint) exits
+#      130 with a resume hint, and --resume completes it to output
+#      byte-identical to the uninterrupted run.
+#
+# Usage: scripts/search_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SEARCH="$BUILD_DIR/tools/physnet_search"
+SERVE="$BUILD_DIR/tools/physnet_serve"
+PROXY="$BUILD_DIR/tools/physnet_proxy"
+CLIENT="$BUILD_DIR/tools/physnet_client"
+for bin in "$SEARCH" "$SERVE" "$PROXY" "$CLIENT"; do
+  [[ -x "$bin" ]] || { echo "missing $bin (build first)" >&2; exit 1; }
+done
+SPACE="examples/search/quickstart.space"
+[[ -f "$SPACE" ]] || { echo "missing $SPACE (run from repo root)" >&2
+                       exit 1; }
+
+WORK="$(mktemp -d)"
+W0_PID=""
+W1_PID=""
+PROXY_PID=""
+cleanup() {
+  for pid in "$PROXY_PID" "$W0_PID" "$W1_PID"; do
+    [[ -n "$pid" ]] && kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== local grid search, serial vs --jobs=4 =="
+"$SEARCH" --space="$SPACE" --front="$WORK/front_serial.csv" \
+    --trace="$WORK/trace_serial.csv" 2>"$WORK/serial.err"
+"$SEARCH" --space="$SPACE" --jobs=4 --front="$WORK/front_jobs.csv" \
+    --trace="$WORK/trace_jobs.csv" 2>"$WORK/jobs.err"
+cmp "$WORK/front_serial.csv" "$WORK/front_jobs.csv" \
+    || { echo "--jobs=4 front differs from serial" >&2; exit 1; }
+cmp "$WORK/trace_serial.csv" "$WORK/trace_jobs.csv" \
+    || { echo "--jobs=4 trace differs from serial" >&2; exit 1; }
+
+# The acceptance bar: >= 3 non-dominated points spanning >= 2 families.
+python3 - "$WORK/front_serial.csv" <<'EOF'
+import csv, sys
+rows = list(csv.DictReader(open(sys.argv[1])))
+families = {r["family"] for r in rows}
+assert len(rows) >= 3, f"front has {len(rows)} points (want >= 3)"
+assert len(families) >= 2, f"front spans {families} (want >= 2 families)"
+print(f"front ok: {len(rows)} points across {sorted(families)}")
+EOF
+
+echo "== --via-serve against a 2-worker fleet =="
+W0="unix:$WORK/w0.sock"
+W1="unix:$WORK/w1.sock"
+PX="unix:$WORK/proxy.sock"
+"$SERVE" --listen="$W0" --quiet 2>"$WORK/w0.err" &
+W0_PID=$!
+"$SERVE" --listen="$W1" --quiet 2>"$WORK/w1.err" &
+W1_PID=$!
+"$PROXY" --listen="$PX" --worker="$W0" --worker="$W1" --quiet \
+    2>"$WORK/proxy.err" &
+PROXY_PID=$!
+
+up=0
+for _ in $(seq 1 100); do
+  if "$CLIENT" --connect="$PX" --ping >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+[[ "$up" -eq 1 ]] || { echo "proxy never came up" >&2
+                       cat "$WORK/proxy.err" >&2; exit 1; }
+
+"$SEARCH" --space="$SPACE" --via-serve="$PX" --connections=2 \
+    --front="$WORK/front_serve.csv" --trace="$WORK/trace_serve.csv" \
+    2>"$WORK/serve.err" \
+    || { echo "--via-serve run failed" >&2; cat "$WORK/serve.err" >&2
+         exit 1; }
+cmp "$WORK/front_serial.csv" "$WORK/front_serve.csv" \
+    || { echo "--via-serve front differs from local" >&2; exit 1; }
+cmp "$WORK/trace_serial.csv" "$WORK/trace_serve.csv" \
+    || { echo "--via-serve trace differs from local" >&2; exit 1; }
+echo "served front and trace byte-identical to local"
+
+echo "== deterministic interrupt (--cancel-after=5), then --resume =="
+rc=0
+"$SEARCH" --space="$SPACE" --checkpoint="$WORK/det.ckpt" \
+    --cancel-after=5 --front="$WORK/front_det.csv" \
+    2>"$WORK/det.err" || rc=$?
+[[ "$rc" -eq 130 ]] \
+    || { echo "cancel-after run exited $rc (want 130)" >&2
+         cat "$WORK/det.err" >&2; exit 1; }
+grep -q -- "--resume" "$WORK/det.err" \
+    || { echo "no resume hint after cancel" >&2
+         cat "$WORK/det.err" >&2; exit 1; }
+[[ "$(wc -l <"$WORK/det.ckpt")" -eq 6 ]] \
+    || { echo "checkpoint should hold header + 5 entries" >&2
+         cat "$WORK/det.ckpt" >&2; exit 1; }
+"$SEARCH" --space="$SPACE" --resume="$WORK/det.ckpt" \
+    --front="$WORK/front_det_resumed.csv" \
+    --trace="$WORK/trace_det_resumed.csv" 2>"$WORK/det_resume.err"
+cmp "$WORK/front_serial.csv" "$WORK/front_det_resumed.csv" \
+    || { echo "cancel-after resumed front differs" >&2; exit 1; }
+cmp "$WORK/trace_serial.csv" "$WORK/trace_det_resumed.csv" \
+    || { echo "cancel-after resumed trace differs" >&2; exit 1; }
+grep -q "5 resumed" "$WORK/det_resume.err" \
+    || { echo "resume did not restore the 5 checkpointed points" >&2
+         cat "$WORK/det_resume.err" >&2; exit 1; }
+echo "cancel-after interrupt resumed to byte-identical output"
+
+echo "== real SIGINT mid-search, then --resume =="
+"$SEARCH" --space="$SPACE" --checkpoint="$WORK/smoke.ckpt" \
+    --front="$WORK/front_int.csv" --trace="$WORK/trace_int.csv" \
+    2>"$WORK/int.err" &
+SEARCH_PID=$!
+sleep 0.05
+kill -INT "$SEARCH_PID" 2>/dev/null || true
+rc=0
+wait "$SEARCH_PID" || rc=$?
+if [[ "$rc" -eq 130 ]]; then
+  grep -q -- "--resume" "$WORK/int.err" \
+      || { echo "no resume hint on stderr after SIGINT" >&2
+           cat "$WORK/int.err" >&2; exit 1; }
+  [[ -f "$WORK/smoke.ckpt" ]] \
+      || { echo "no checkpoint written before SIGINT" >&2; exit 1; }
+  echo "interrupted: exit 130 with resume hint"
+elif [[ "$rc" -eq 0 ]]; then
+  # The grid finished before the signal landed — rare but legal; the
+  # resume below then restores every point instead of some.
+  echo "run finished before SIGINT landed; resume restores everything"
+else
+  echo "interrupted run exited $rc (want 130 or 0)" >&2
+  cat "$WORK/int.err" >&2
+  exit 1
+fi
+
+"$SEARCH" --space="$SPACE" --resume="$WORK/smoke.ckpt" \
+    --front="$WORK/front_resumed.csv" --trace="$WORK/trace_resumed.csv" \
+    2>"$WORK/resume.err"
+cmp "$WORK/front_serial.csv" "$WORK/front_resumed.csv" \
+    || { echo "resumed front differs from uninterrupted" >&2; exit 1; }
+cmp "$WORK/trace_serial.csv" "$WORK/trace_resumed.csv" \
+    || { echo "resumed trace differs from uninterrupted" >&2; exit 1; }
+# "N resumed" appears whenever the interrupt landed after at least one
+# completed point (checkpoint = header + entry lines).
+if [[ "$(wc -l <"$WORK/smoke.ckpt")" -gt 1 ]]; then
+  grep -q "resumed" "$WORK/resume.err" \
+      || { echo "resume run did not report restored candidates" >&2
+           cat "$WORK/resume.err" >&2; exit 1; }
+fi
+echo "resumed output byte-identical to uninterrupted run"
+
+echo "search smoke test passed"

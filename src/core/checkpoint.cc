@@ -239,7 +239,10 @@ result<sweep_checkpoint> load_sweep_checkpoint(const std::string& path) {
                                    path.c_str());
       continue;
     }
-    if (entry.value().point_index >= cp.point_count) {
+    // point_count 0 = open-ended: the producer's trajectory length was
+    // unknown when the header was written (iterative search), so any
+    // index is in range.
+    if (cp.point_count > 0 && entry.value().point_index >= cp.point_count) {
       return corrupt_data_error(
           str_format("checkpoint point %zu out of range (grid has %zu)",
                      entry.value().point_index, cp.point_count));

@@ -13,6 +13,9 @@
 //   ok <index> <point_seed> <report fields...>
 //   fail <index> <point_seed> <label> <stage> <status_code> <message>
 //
+// points 0 means open-ended: the producer (an iterative search whose
+// trajectory length is unknown up front) validates entry indices itself.
+//
 // Fields are space-separated; free-form strings are backslash-escaped
 // (\s space, \n newline, \r CR, \t tab, \\ backslash, \e empty) and
 // doubles are written as %.17g, which round-trips IEEE doubles exactly —

@@ -70,7 +70,11 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
                                           << " points, grid has "
                                           << grid.size());
     for (const auto& [index, entry] : sopt.resume->entries) {
-      PN_CHECK_MSG(entry.seed == sweep_point_seed(opt.seed, index),
+      const std::uint64_t expected =
+          index < grid.size() && grid[index].seed.has_value()
+              ? *grid[index].seed
+              : sweep_point_seed(opt.seed, index);
+      PN_CHECK_MSG(entry.seed == expected,
                    "checkpoint entry " << index
                                        << " has a foreign per-point seed");
       point_slot& slot = slots[index];
@@ -124,7 +128,8 @@ sweep_results run_sweep(const std::vector<sweep_point>& grid,
 
         const sweep_point& point = grid[i];
         evaluation_options popt = opt;
-        popt.seed = sweep_point_seed(opt.seed, i);
+        popt.seed = point.seed.has_value() ? *point.seed
+                                           : sweep_point_seed(opt.seed, i);
         // A parallel sweep already keeps every core busy; nested distance-
         // cache warming would only oversubscribe. (Warm threads never
         // affect results, so jobs=N stays bit-identical to jobs=1.)

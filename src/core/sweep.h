@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ struct sweep_point {
   // the shared evolving graph before this point is evaluated; `build` is
   // ignored. Points execute strictly in input order.
   std::function<void(network_graph&)> evolve;
+  // When set, this point evaluates under exactly this seed instead of the
+  // derived sweep_point_seed(options.seed, index). The search engine uses
+  // it to keep a candidate's seed tied to its global discovery ordinal,
+  // not its position inside whichever batch evaluates it, so an iterative
+  // search replays identically however its batches are sliced. Checkpoint
+  // entries record the effective seed either way, and a resume validates
+  // against it.
+  std::optional<std::uint64_t> seed;
 };
 
 // A failed sweep point, attributed to the pipeline stage that failed —

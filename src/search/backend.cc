@@ -1,0 +1,168 @@
+#include "search/backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "core/sweep.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+
+namespace {
+
+backend_outcome failed_outcome(status err) {
+  backend_outcome o;
+  o.evaluated = true;
+  o.ok = false;
+  o.error = std::move(err);
+  return o;
+}
+
+}  // namespace
+
+std::vector<backend_outcome> local_search_backend::evaluate(
+    const search_space& space, const std::vector<backend_task>& tasks) {
+  std::vector<backend_outcome> out(tasks.size());
+
+  // run_sweep takes one placement strategy per call, so the batch splits
+  // into per-strategy sub-sweeps. Grouping is by first appearance, a pure
+  // function of the batch, so the split never perturbs results.
+  std::vector<std::string> strategies;
+  for (const backend_task& t : tasks) {
+    if (std::find(strategies.begin(), strategies.end(), t.strategy) ==
+        strategies.end()) {
+      strategies.push_back(t.strategy);
+    }
+  }
+
+  for (const std::string& strat : strategies) {
+    // Build serially up front: build failures become structured outcomes
+    // (run_sweep's build hook cannot fail), and graph construction is
+    // cheap next to evaluation.
+    std::vector<sweep_point> grid;
+    std::vector<std::size_t> grid_to_task;
+    std::vector<network_graph> graphs;
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      if (tasks[ti].strategy != strat) continue;
+      if (opt_.cancel.cancelled()) break;  // stays un-evaluated
+      auto g = build_candidate(space, tasks[ti].candidate, space.seed);
+      if (!g.is_ok()) {
+        out[ti] = failed_outcome(g.error());
+        ++completed_;
+        continue;
+      }
+      graphs.push_back(std::move(g).value());
+      sweep_point pt;
+      pt.label = tasks[ti].label;
+      pt.seed = tasks[ti].eval_seed;  // ordinal-bound, not batch-position
+      grid.push_back(std::move(pt));
+      grid_to_task.push_back(ti);
+    }
+    // Closures bind after `graphs` stops growing; each point is built
+    // exactly once, so handing the graph over by move is safe.
+    for (std::size_t j = 0; j < grid.size(); ++j) {
+      grid[j].build = [&graphs, j] { return std::move(graphs[j]); };
+    }
+
+    evaluation_options eopt;
+    eopt.seed = space.seed;  // unused: every point carries its own seed
+    eopt.strategy = placement_strategy_from_name(strat).value_or(
+        placement_strategy::block);
+    eopt.run_repair_sim = space.repair;
+    eopt.run_throughput = space.throughput;
+
+    sweep_options sopt;
+    sopt.jobs = opt_.jobs;
+    sopt.cancel = opt_.cancel;
+    sopt.point_deadline_ms = opt_.point_deadline_ms;
+    if (opt_.cancel_after > 0) {
+      if (completed_ >= opt_.cancel_after) {
+        opt_.cancel.request_cancel();
+      } else {
+        sopt.cancel_after_points = opt_.cancel_after - completed_;
+      }
+    }
+
+    const sweep_results res = run_sweep(grid, eopt, sopt);
+
+    // Reports carry no grid index but are emitted in input order, so
+    // after marking failed and cancelled points, the survivors map onto
+    // the reports sequentially.
+    std::vector<char> settled(grid.size(), 0);
+    for (const sweep_failure& f : res.failures) {
+      out[grid_to_task[f.point_index]] = failed_outcome(f.error);
+      settled[f.point_index] = 1;
+      ++completed_;
+    }
+    for (const std::size_t c : res.cancelled_points) settled[c] = 1;
+    std::size_t r = 0;
+    for (std::size_t j = 0; j < grid.size(); ++j) {
+      if (settled[j]) continue;
+      backend_outcome& o = out[grid_to_task[j]];
+      o.evaluated = true;
+      o.ok = true;
+      o.report = res.reports[r++];
+      ++completed_;
+    }
+  }
+  return out;
+}
+
+result<std::unique_ptr<serve_search_backend>> serve_search_backend::connect(
+    serve_backend_options opt) {
+  if (opt.connections < 1) opt.connections = 1;
+  if (!opt.sleeper) opt.sleeper = [](double ms) { sleep_ms(ms); };
+  std::vector<eval_client> clients;
+  clients.reserve(static_cast<std::size_t>(opt.connections));
+  for (int i = 0; i < opt.connections; ++i) {
+    auto c = eval_client::connect(opt.endpoint);
+    if (!c.is_ok()) return c.error();
+    clients.push_back(std::move(c).value());
+  }
+  return std::unique_ptr<serve_search_backend>(
+      // pn_lint: allow(naked-new) private ctor bars make_unique
+      new serve_search_backend(std::move(opt), std::move(clients)));
+}
+
+std::vector<backend_outcome> serve_search_backend::evaluate(
+    const search_space& space, const std::vector<backend_task>& tasks) {
+  std::vector<backend_outcome> out(tasks.size());
+  const std::size_t channels = clients_.size();
+  // Stripe j owns tasks j, j+C, j+2C... — a pure function of the batch,
+  // so which connection carries which candidate (and therefore every
+  // byte on every socket) is deterministic. Each stripe has exclusive
+  // use of its client and writes only its own outcome slots.
+  parallel_for(static_cast<int>(channels), channels, [&](std::size_t j) {
+    for (std::size_t t = j; t < tasks.size(); t += channels) {
+      if (opt_.cancel.cancelled()) return;  // rest of stripe un-evaluated
+      auto g = build_candidate(space, tasks[t].candidate, space.seed);
+      if (!g.is_ok()) {
+        out[t] = failed_outcome(g.error());
+        continue;
+      }
+      eval_request req;
+      req.name = tasks[t].label;
+      req.options.seed = tasks[t].eval_seed;
+      req.options.strategy = tasks[t].strategy;
+      req.options.run_repair_sim = space.repair;
+      req.options.run_throughput = space.throughput;
+      req.design_twin = serialize_twin(design_to_twin(g.value()));
+      auto rep =
+          clients_[j].evaluate_with_retry(req, opt_.retry, opt_.sleeper);
+      if (!rep.is_ok()) {
+        out[t] = failed_outcome(rep.error());
+        continue;
+      }
+      out[t].evaluated = true;
+      out[t].ok = true;
+      out[t].report = std::move(rep).value();
+    }
+  });
+  return out;
+}
+
+}  // namespace pn

@@ -1,0 +1,127 @@
+// Evaluation backends: how a search batch of candidates becomes a batch
+// of deployability reports.
+//
+// The engine (engine.h) decides *which* candidates to evaluate; a
+// backend decides *where*. The local backend drives run_sweep, so a
+// search inherits the sweep contract wholesale — --jobs parallelism
+// that stays bit-identical to serial, cooperative cancellation,
+// per-point deadlines, and the deterministic per-ordinal seeds. The
+// serve backend ships each candidate to an evaluation service
+// (physnet_serve, or physnet_proxy fronting a fleet) as canonical
+// protocol traffic over a fixed set of connections — a real concurrent
+// multi-client workload — and is bit-identical to local on every CSV
+// column by the differential tests (served reports zero only
+// eval_total_ms, which search CSVs never include).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/report.h"
+#include "search/space.h"
+#include "service/client.h"
+
+namespace pn {
+
+// One candidate the engine wants evaluated. The eval seed is bound to
+// the candidate's global discovery ordinal before the backend ever sees
+// it, so results cannot depend on how the engine slices its batches.
+struct backend_task {
+  std::size_t ordinal = 0;
+  std::string label;            // candidate_label — the design name
+  std::string strategy;         // candidate_strategy — placement choice
+  search_candidate candidate;
+  std::uint64_t eval_seed = 0;
+};
+
+struct backend_outcome {
+  // False: the task never ran (cancellation drained it) — not an
+  // outcome, just undone work; the engine does not checkpoint it.
+  bool evaluated = false;
+  bool ok = false;
+  deployability_report report;  // meaningful when ok
+  status error;                 // meaningful when evaluated && !ok
+};
+
+class search_backend {
+ public:
+  virtual ~search_backend() = default;
+
+  // Evaluates every task; returns outcomes parallel to `tasks`. Builds
+  // that fail (e.g. an odd fat-tree k swept into range) become failed
+  // outcomes, never crashes.
+  [[nodiscard]] virtual std::vector<backend_outcome> evaluate(
+      const search_space& space, const std::vector<backend_task>& tasks) = 0;
+};
+
+struct local_backend_options {
+  // Worker threads per batch (run_sweep jobs). 1 = serial; 0 = one per
+  // hardware thread. Results are identical for every value.
+  int jobs = 1;
+  cancel_token cancel;
+  double point_deadline_ms = 0.0;  // per-candidate wall budget, 0 = none
+  // Testing hook: request cancellation on `cancel` once this many
+  // candidates have completed across the backend's lifetime (0 = off).
+  // Deterministic with jobs = 1.
+  std::size_t cancel_after = 0;
+};
+
+// Evaluates batches through run_sweep. Stateful only for the
+// cancel_after counter, which spans batches so "interrupt after N
+// evaluations" means N per search, not N per batch.
+class local_search_backend final : public search_backend {
+ public:
+  explicit local_search_backend(local_backend_options opt)
+      : opt_(std::move(opt)) {}
+
+  [[nodiscard]] std::vector<backend_outcome> evaluate(
+      const search_space& space,
+      const std::vector<backend_task>& tasks) override;
+
+ private:
+  local_backend_options opt_;
+  std::size_t completed_ = 0;
+};
+
+struct serve_backend_options {
+  std::string endpoint;  // "unix:PATH" or "tcp:HOST:PORT"
+  // Concurrent connections; batch tasks are striped across them
+  // round-robin, so the stripe → task mapping (and every result) is
+  // independent of scheduling. Every channel stays open for the whole
+  // search and the server's handlers are thread-per-connection, so this
+  // must not exceed the endpoint's conn_threads or the surplus stripes
+  // starve.
+  int connections = 2;
+  retry_policy retry;
+  cancel_token cancel;
+  // Millisecond sleeper for retry backoff; tests inject a stub.
+  std::function<void(double)> sleeper;
+};
+
+// Evaluates batches as concurrent client traffic against an evaluation
+// service. Connects every channel up front, so a dead endpoint fails
+// fast instead of mid-search.
+class serve_search_backend final : public search_backend {
+ public:
+  [[nodiscard]] static result<std::unique_ptr<serve_search_backend>> connect(
+      serve_backend_options opt);
+
+  [[nodiscard]] std::vector<backend_outcome> evaluate(
+      const search_space& space,
+      const std::vector<backend_task>& tasks) override;
+
+ private:
+  serve_search_backend(serve_backend_options opt,
+                       std::vector<eval_client> clients)
+      : opt_(std::move(opt)), clients_(std::move(clients)) {}
+
+  serve_backend_options opt_;
+  std::vector<eval_client> clients_;
+};
+
+}  // namespace pn

@@ -1,0 +1,339 @@
+#include "search/engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/sweep.h"
+
+namespace pn {
+
+std::size_t search_checkpoint_points(const search_space& space,
+                                     search_strategy strategy) {
+  return strategy == search_strategy::grid ? space.grid_size() : 0;
+}
+
+namespace {
+
+const char* record_state_name(search_record::state st) {
+  switch (st) {
+    case search_record::state::ok: return "ok";
+    case search_record::state::failed: return "failed";
+    case search_record::state::skipped: return "skipped";
+  }
+  return "?";
+}
+
+// Everything a run accumulates, so the strategy loops stay readable.
+struct engine {
+  engine(const search_space& s, search_backend& b,
+         const search_run_options& o)
+      : space(s), backend(b), opt(o) {}
+
+  const search_space& space;
+  search_backend& backend;
+  const search_run_options& opt;
+
+  std::vector<search_record> records;            // by ordinal
+  std::vector<search_candidate> candidates;      // parallel to records
+  std::unordered_map<std::string, std::size_t> memo;  // label -> ordinal
+  sweep_checkpoint_writer ckpt;
+  std::size_t restored = 0;
+  bool cancelled = false;
+
+  [[nodiscard]] bool feasible_of(const deployability_report& r) const {
+    return std::all_of(space.constraints.begin(), space.constraints.end(),
+                       [&](const search_constraint& c) {
+                         return c.satisfied_by(r);
+                       });
+  }
+
+  // Discovers (assigns ordinals to) every previously unseen candidate in
+  // `batch`, restores the ones the resume checkpoint already holds, and
+  // evaluates the rest through the backend. Memo hits are free.
+  [[nodiscard]] status evaluate_batch(
+      const std::vector<search_candidate>& batch) {
+    std::vector<backend_task> tasks;
+    std::vector<std::size_t> task_ordinals;
+    for (const search_candidate& c : batch) {
+      std::string label = candidate_label(space, c);
+      if (memo.find(label) != memo.end()) continue;
+      const std::size_t ord = records.size();
+      memo.emplace(label, ord);
+      search_record rec;
+      rec.ordinal = ord;
+      rec.label = label;
+      rec.family = space.families[c.family_index].family;
+      rec.strategy = candidate_strategy(space, c);
+      records.push_back(std::move(rec));
+      candidates.push_back(c);
+
+      const sweep_checkpoint_entry* e =
+          opt.resume != nullptr ? opt.resume->find(ord) : nullptr;
+      if (e != nullptr) {
+        // Ordinals are trajectory-deterministic, so entry `ord` must
+        // describe exactly the candidate this run discovered at `ord` —
+        // anything else is a foreign checkpoint.
+        if (e->seed != sweep_point_seed(space.seed, ord)) {
+          return invalid_argument_error(str_format(
+              "checkpoint entry %zu has a foreign per-point seed", ord));
+        }
+        const std::string& have = e->ok ? e->report.name : e->label;
+        if (have != records[ord].label) {
+          return invalid_argument_error(str_format(
+              "checkpoint entry %zu is for '%s', this search discovered "
+              "'%s'",
+              ord, have.c_str(), records[ord].label.c_str()));
+        }
+        search_record& r = records[ord];
+        r.restored = true;
+        ++restored;
+        if (e->ok) {
+          r.st = search_record::state::ok;
+          r.report = e->report;
+          r.feasible = feasible_of(r.report);
+        } else {
+          r.st = search_record::state::failed;
+          r.error = e->error;
+        }
+        continue;
+      }
+
+      backend_task t;
+      t.ordinal = ord;
+      t.label = records[ord].label;
+      t.strategy = records[ord].strategy;
+      t.candidate = c;
+      t.eval_seed = sweep_point_seed(space.seed, ord);
+      tasks.push_back(std::move(t));
+      task_ordinals.push_back(ord);
+    }
+    if (tasks.empty()) return status::ok();
+    if (opt.cancel.cancelled()) {
+      cancelled = true;  // the new records stay skipped; a resume re-runs
+      return status::ok();
+    }
+
+    const std::vector<backend_outcome> outcomes =
+        backend.evaluate(space, tasks);
+    PN_CHECK(outcomes.size() == tasks.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const backend_outcome& o = outcomes[i];
+      search_record& r = records[task_ordinals[i]];
+      if (!o.evaluated) {
+        cancelled = true;
+        continue;
+      }
+      if (o.ok) {
+        r.st = search_record::state::ok;
+        r.report = o.report;
+        // The evaluator pipeline never fills the expansion-rewiring
+        // metric (it is family analytics, not graph measurement); stamp
+        // the analytic estimate here — before checkpointing, so restored
+        // reports match — to make the rewires objective real.
+        r.report.rewires_per_added_switch =
+            expansion_rewires_estimate(space, candidates[r.ordinal]);
+        r.feasible = feasible_of(r.report);
+      } else {
+        r.st = search_record::state::failed;
+        r.error = o.error;
+      }
+      if (ckpt.is_open()) {
+        ckpt.append(sweep_checkpoint_entry{
+            r.ordinal, sweep_point_seed(space.seed, r.ordinal), o.ok,
+            r.report, r.label, eval_stage::topology_metrics, r.error});
+      }
+    }
+    if (opt.cancel.cancelled()) cancelled = true;
+    return status::ok();
+  }
+
+  // Strict "a beats b" for hill-climbing: feasible before infeasible,
+  // then cheaper capex/host, then faster deploy, then lexicographically
+  // smaller label. The label tie-break makes the order total over
+  // distinct candidates, so every move strictly descends and the climb
+  // always terminates.
+  [[nodiscard]] bool better(std::size_t a, std::size_t b) const {
+    const search_record& ra = records[a];
+    const search_record& rb = records[b];
+    const bool va = ra.st == search_record::state::ok && ra.feasible;
+    const bool vb = rb.st == search_record::state::ok && rb.feasible;
+    if (va != vb) return va;
+    if (!va) return false;
+    const double ca = ra.report.capex_per_host.value();
+    const double cb = rb.report.capex_per_host.value();
+    if (ca != cb) return ca < cb;
+    const double ta = ra.report.time_to_deploy.value();
+    const double tb = rb.report.time_to_deploy.value();
+    if (ta != tb) return ta < tb;
+    return ra.label < rb.label;
+  }
+
+  [[nodiscard]] status run_grid() { return evaluate_batch(enumerate_grid(space)); }
+
+  [[nodiscard]] status run_local() {
+    rng r(space.seed);
+    for (std::size_t f = 0; f < space.families.size() && !cancelled; ++f) {
+      const family_space& fam = space.families[f];
+      for (int restart = 0; restart < opt.local.restarts && !cancelled;
+           ++restart) {
+        // All draws happen here, before any result is known, so the rng
+        // stream depends only on (seed, restart count) — never on what
+        // the evaluations returned or where a prior run was interrupted.
+        search_candidate cur;
+        cur.family_index = f;
+        cur.value_indices.resize(fam.dims.size());
+        for (std::size_t d = 0; d < fam.dims.size(); ++d) {
+          cur.value_indices[d] = r.next_index(fam.dims[d].value_count());
+        }
+        status st = evaluate_batch({cur});
+        if (!st.is_ok()) return st;
+        if (cancelled) break;
+
+        for (int iter = 0; iter < opt.local.max_iters; ++iter) {
+          // One step along each dimension, dim order, minus before plus.
+          std::vector<search_candidate> nbrs;
+          for (std::size_t d = 0; d < fam.dims.size(); ++d) {
+            for (const int delta : {-1, +1}) {
+              const std::size_t idx = cur.value_indices[d];
+              if (delta < 0 && idx == 0) continue;
+              if (delta > 0 && idx + 1 >= fam.dims[d].value_count()) {
+                continue;
+              }
+              search_candidate n = cur;
+              n.value_indices[d] = delta < 0 ? idx - 1 : idx + 1;
+              nbrs.push_back(std::move(n));
+            }
+          }
+          if (nbrs.empty()) break;
+          st = evaluate_batch(nbrs);
+          if (!st.is_ok()) return st;
+          if (cancelled) break;
+
+          const std::size_t cur_ord = memo.at(candidate_label(space, cur));
+          std::size_t best = cur_ord;
+          for (const search_candidate& n : nbrs) {
+            const std::size_t ord = memo.at(candidate_label(space, n));
+            if (better(ord, best)) best = ord;
+          }
+          if (best == cur_ord) break;  // local optimum
+          cur = candidates[best];
+        }
+      }
+    }
+    return status::ok();
+  }
+};
+
+}  // namespace
+
+result<search_results> run_search(const search_space& space,
+                                  search_backend& backend,
+                                  const search_run_options& opt) {
+  const std::size_t points = search_checkpoint_points(space, opt.strategy);
+  if (opt.resume != nullptr) {
+    if (opt.resume->base_seed != space.seed) {
+      return invalid_argument_error(
+          str_format("resume checkpoint seed %llu != space seed %llu",
+                     static_cast<unsigned long long>(opt.resume->base_seed),
+                     static_cast<unsigned long long>(space.seed)));
+    }
+    if (opt.resume->point_count != points) {
+      return invalid_argument_error(str_format(
+          "resume checkpoint has %zu points, this search expects %zu",
+          opt.resume->point_count, points));
+    }
+  }
+
+  engine eng{space, backend, opt};
+  if (!opt.checkpoint_path.empty()) {
+    const status st = eng.ckpt.open(opt.checkpoint_path, space.seed, points);
+    if (!st.is_ok()) return st;
+  }
+
+  const status st = opt.strategy == search_strategy::grid ? eng.run_grid()
+                                                          : eng.run_local();
+  if (!st.is_ok()) return st;
+
+  search_results out;
+  out.cancelled = eng.cancelled || opt.cancel.cancelled();
+  out.restored = eng.restored;
+
+  pareto_front front;
+  for (const search_record& r : eng.records) {
+    if (r.st == search_record::state::ok && r.feasible) {
+      front.insert(r.ordinal, objectives_of(r.report));
+    }
+  }
+  for (const pareto_entry& e : front.entries()) {
+    eng.records[e.ordinal].on_front = true;
+    out.front.push_back(e.ordinal);
+  }
+  std::sort(out.front.begin(), out.front.end(),
+            [&](std::size_t a, std::size_t b) {
+              const deployability_report& ra = eng.records[a].report;
+              const deployability_report& rb = eng.records[b].report;
+              if (ra.capex().value() != rb.capex().value()) {
+                return ra.capex().value() < rb.capex().value();
+              }
+              if (ra.time_to_deploy.value() != rb.time_to_deploy.value()) {
+                return ra.time_to_deploy.value() < rb.time_to_deploy.value();
+              }
+              return a < b;
+            });
+  out.records = std::move(eng.records);
+  return out;
+}
+
+namespace {
+
+void append_record_row(std::ostringstream& out, const search_record& r) {
+  out << r.ordinal << ',' << csv_field(r.label) << ',' << csv_field(r.family)
+      << ',' << r.strategy << ',' << record_state_name(r.st) << ','
+      << (r.feasible ? 1 : 0) << ',' << (r.on_front ? 1 : 0) << ','
+      << str_format(
+             // pn_lint: allow(csv-comma) numeric-only fields, nothing to
+             // escape
+             "%zu,%zu,%zu,%.2f,%.2f,%.3f,%.3f,%.2f,%.2f,%.4f,%.4f",
+             r.report.switches, r.report.hosts, r.report.links,
+             r.report.capex().value(), r.report.capex_per_host.value(),
+             r.report.time_to_deploy.value(), r.report.deploy_labor.value(),
+             r.report.rewires_per_added_switch,
+             r.report.bisection_gbps_per_host, r.report.mean_path_length,
+             r.report.throughput_alpha_uniform)
+      << ',' << csv_field(r.st == search_record::state::failed
+                              ? r.error.to_string()
+                              : std::string())
+      << "\n";
+}
+
+const char* search_csv_header() {
+  // pn_lint: allow(csv-comma) fixed header row — column names, no data
+  return "ordinal,label,family,strategy,status,feasible,on_front,switches,"
+         "hosts,links,capex_usd,capex_per_host_usd,time_to_deploy_h,"
+         "deploy_labor_h,rewires_per_added_switch,bisection_gbps_per_host,"
+         "mean_path,tput_alpha_uniform,error\n";
+}
+
+}  // namespace
+
+std::string search_trace_csv(const search_results& results) {
+  std::ostringstream out;
+  out << search_csv_header();
+  for (const search_record& r : results.records) append_record_row(out, r);
+  return out.str();
+}
+
+std::string search_front_csv(const search_results& results) {
+  std::ostringstream out;
+  out << search_csv_header();
+  for (const std::size_t ord : results.front) {
+    append_record_row(out, results.records[ord]);
+  }
+  return out.str();
+}
+
+}  // namespace pn

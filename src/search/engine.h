@@ -1,0 +1,117 @@
+// The search engine: deterministic strategies over a search space,
+// filtered by hard constraints, accumulating a Pareto front.
+//
+// Two strategies, both bit-reproducible at equal seeds:
+//
+//  - grid: every candidate of the space's cartesian product, in
+//    enumerate_grid order.
+//  - local: seeded hill-climbing with restarts. Per family block, each
+//    restart draws a uniform starting assignment (every draw through
+//    common/rng.h), then repeatedly batch-evaluates the ±1-step
+//    neighbors of the current assignment and moves to the strictly best
+//    feasible neighbor (capex-per-host, then time-to-deploy, then label)
+//    until none improves. Draws happen only when a restart begins, so
+//    the rng stream is a pure function of trajectory position — a
+//    resumed run replays it exactly.
+//
+// Every distinct candidate gets a global ordinal in first-discovery
+// order and evaluates under sweep_point_seed(space.seed, ordinal),
+// however the strategy batches it. A memo keyed by candidate label
+// makes re-proposed candidates free.
+//
+// Checkpoint/resume reuse the sweep checkpoint format keyed by ordinal
+// (point count = grid size for grid, 0 for local, whose trajectory
+// length is unknown up front). Completed candidates restore from the
+// checkpoint instead of re-evaluating; because ordinals, seeds, and the
+// rng stream are trajectory-deterministic, an interrupted search
+// resumes to byte-identical CSVs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "search/backend.h"
+#include "search/pareto.h"
+#include "search/space.h"
+
+namespace pn {
+
+enum class search_strategy : std::uint8_t { grid, local };
+
+struct local_search_options {
+  int restarts = 3;   // independent starts per family block
+  int max_iters = 16; // hill-climb steps per restart
+};
+
+struct search_run_options {
+  search_strategy strategy = search_strategy::grid;
+  local_search_options local;
+
+  // Non-empty: append each completed candidate to this sweep-format
+  // checkpoint file as it finishes.
+  std::string checkpoint_path;
+  // Resume from a previously loaded checkpoint. Must match the space's
+  // seed and the strategy's point count (search_checkpoint_points) and
+  // must outlive run_search; mismatches are errors, not crashes.
+  const sweep_checkpoint* resume = nullptr;
+
+  // Cooperative cancellation: no new batch starts after the token
+  // fires; candidates already dispatched drain per the backend.
+  cancel_token cancel;
+};
+
+// The `points` field of a search checkpoint header: the full grid size
+// for the grid strategy, 0 (unknown-length trajectory) for local.
+[[nodiscard]] std::size_t search_checkpoint_points(const search_space& space,
+                                                   search_strategy strategy);
+
+// One discovered candidate, final state. Records live at their ordinal:
+// results.records[i].ordinal == i.
+struct search_record {
+  std::size_t ordinal = 0;
+  std::string label;
+  std::string family;
+  std::string strategy;  // placement strategy name
+  enum class state : std::uint8_t {
+    ok,       // evaluated (or restored) to a report
+    failed,   // evaluated to a structured error
+    skipped,  // cancellation drained it — a resume re-runs it
+  };
+  state st = state::skipped;
+  bool feasible = false;   // ok && every hard constraint satisfied
+  bool on_front = false;   // member of the final Pareto front
+  bool restored = false;   // taken from the resume checkpoint
+  deployability_report report;  // meaningful when ok
+  status error;                 // meaningful when failed
+};
+
+struct search_results {
+  std::vector<search_record> records;  // ordinal order
+  // Front ordinals sorted by (cost ascending, time ascending, ordinal).
+  std::vector<std::size_t> front;
+  bool cancelled = false;
+  std::size_t restored = 0;  // candidates restored from the checkpoint
+};
+
+// Runs the search. Errors (bad resume checkpoint, unwritable checkpoint
+// path) return a status; evaluation failures of individual candidates
+// are per-record outcomes, never errors.
+[[nodiscard]] result<search_results> run_search(
+    const search_space& space, search_backend& backend,
+    const search_run_options& opt);
+
+// Full trace: one row per ordinal, every record state. Deliberately no
+// timing columns, so equal searches — serial vs --jobs N, local vs
+// --via-serve, interrupted-then-resumed vs uninterrupted — compare
+// byte-for-byte.
+[[nodiscard]] std::string search_trace_csv(const search_results& results);
+
+// The Pareto front only, in results.front order. Same columns as the
+// trace, so the front is grep-able out of either file.
+[[nodiscard]] std::string search_front_csv(const search_results& results);
+
+}  // namespace pn

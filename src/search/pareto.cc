@@ -1,0 +1,53 @@
+#include "search/pareto.h"
+
+#include <algorithm>
+
+namespace pn {
+
+pareto_objectives objectives_of(const deployability_report& r) {
+  pareto_objectives o;
+  o.cost_usd = r.capex().value();
+  o.time_h = r.time_to_deploy.value();
+  o.rewires = r.rewires_per_added_switch;
+  o.bisection = r.bisection_gbps_per_host;
+  return o;
+}
+
+bool dominates(const pareto_objectives& a, const pareto_objectives& b) {
+  if (a.cost_usd > b.cost_usd || a.time_h > b.time_h ||
+      a.rewires > b.rewires || a.bisection < b.bisection) {
+    return false;
+  }
+  return a.cost_usd < b.cost_usd || a.time_h < b.time_h ||
+         a.rewires < b.rewires || a.bisection > b.bisection;
+}
+
+bool pareto_front::insert(std::size_t ordinal, const pareto_objectives& obj) {
+  for (const pareto_entry& e : entries_) {
+    if (dominates(e.obj, obj)) return false;
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const pareto_entry& e) {
+                                  return dominates(obj, e.obj);
+                                }),
+                 entries_.end());
+  entries_.push_back(pareto_entry{ordinal, obj});
+  return true;
+}
+
+std::vector<std::size_t> reference_front(
+    const std::vector<pareto_entry>& population) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < population.size() && !dominated; ++j) {
+      if (j != i && dominates(population[j].obj, population[i].obj)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) out.push_back(population[i].ordinal);
+  }
+  return out;
+}
+
+}  // namespace pn

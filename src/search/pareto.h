@@ -1,0 +1,71 @@
+// Pareto dominance over deployability objectives.
+//
+// The search optimizes four objectives at once — capex, time-to-deploy,
+// rewiring cost of growth, and bisection bandwidth — because the paper's
+// point is exactly that these trade off: the graph-theoretically best
+// topology is often the worst to physically build. A scalarized score
+// would bake in one exchange rate between dollars and hours; a Pareto
+// front keeps every efficient trade on the table.
+//
+// Dominance: candidate a dominates candidate b iff a is <= b on every
+// minimized objective (cost_usd, time_h, rewires), >= on the maximized
+// one (bisection_gbps_per_host), and strictly better on at least one.
+// All comparisons are exact double compares — objectives come from the
+// deterministic evaluator, so equal designs produce bit-equal objectives
+// and ties collapse instead of flapping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/report.h"
+
+namespace pn {
+
+struct pareto_objectives {
+  double cost_usd = 0.0;    // minimize: capex()
+  double time_h = 0.0;      // minimize: time_to_deploy
+  double rewires = 0.0;     // minimize: rewires_per_added_switch
+  double bisection = 0.0;   // maximize: bisection_gbps_per_host
+};
+
+// The four search objectives of a report.
+[[nodiscard]] pareto_objectives objectives_of(const deployability_report& r);
+
+// True iff `a` weakly beats `b` everywhere and strictly somewhere.
+[[nodiscard]] bool dominates(const pareto_objectives& a,
+                             const pareto_objectives& b);
+
+// One front member, keyed by the candidate's global discovery ordinal.
+struct pareto_entry {
+  std::size_t ordinal = 0;
+  pareto_objectives obj;
+};
+
+// Incremental non-dominated set. insert() is O(front size): reject a
+// dominated candidate, evict members the candidate dominates, append.
+// A candidate exactly tied with an existing member on every objective
+// joins the front (neither dominates), so distinct designs with equal
+// trade-offs all survive — the trace says which is which.
+class pareto_front {
+ public:
+  // True iff the candidate entered the front.
+  bool insert(std::size_t ordinal, const pareto_objectives& obj);
+
+  // Members in insertion order (evictions preserve relative order).
+  [[nodiscard]] const std::vector<pareto_entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<pareto_entry> entries_;
+};
+
+// Reference O(n²) recompute over the whole population: the ordinals of
+// every non-dominated entry, in input order. The differential oracle for
+// pareto_front in tests, and the "before" side of the pareto_insert
+// speedup benchmark.
+[[nodiscard]] std::vector<std::size_t> reference_front(
+    const std::vector<pareto_entry>& population);
+
+}  // namespace pn

@@ -1,0 +1,520 @@
+#include "search/space.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "common/units.h"
+#include "core/evaluator.h"
+#include "topology/metrics.h"
+#include "topology/generators/clos.h"
+#include "topology/generators/families.h"
+#include "topology/generators/jellyfish.h"
+#include "topology/generators/leaf_spine.h"
+#include "topology/generators/slim_fly.h"
+#include "topology/generators/xpander.h"
+
+namespace pn {
+
+std::size_t search_dimension::value_count() const {
+  switch (kind) {
+    case dim_kind::int_range:
+      return step > 0 && hi >= lo
+                 ? static_cast<std::size_t>((hi - lo) / step) + 1
+                 : 0;
+    case dim_kind::int_choice:
+      return int_values.size();
+    case dim_kind::name_choice:
+      return name_values.size();
+  }
+  return 0;
+}
+
+long long search_dimension::int_value(std::size_t index) const {
+  PN_CHECK(index < value_count());
+  if (kind == dim_kind::int_range) {
+    return lo + static_cast<long long>(index) * step;
+  }
+  PN_CHECK(kind == dim_kind::int_choice);
+  return int_values[index];
+}
+
+const std::string& search_dimension::name_value(std::size_t index) const {
+  PN_CHECK(kind == dim_kind::name_choice && index < name_values.size());
+  return name_values[index];
+}
+
+std::string search_dimension::value_token(std::size_t index) const {
+  return kind == dim_kind::name_choice ? name_value(index)
+                                       : std::to_string(int_value(index));
+}
+
+const char* constraint_kind_name(constraint_kind k) {
+  switch (k) {
+    case constraint_kind::min_hosts: return "min_hosts";
+    case constraint_kind::min_switches: return "min_switches";
+    case constraint_kind::min_bisection_gbps_per_host:
+      return "min_bisection_gbps_per_host";
+    case constraint_kind::max_capex_per_host_usd:
+      return "max_capex_per_host_usd";
+    case constraint_kind::max_time_to_deploy_h:
+      return "max_time_to_deploy_h";
+  }
+  return "?";
+}
+
+bool search_constraint::satisfied_by(const deployability_report& r) const {
+  switch (kind) {
+    case constraint_kind::min_hosts:
+      return static_cast<double>(r.hosts) >= bound;
+    case constraint_kind::min_switches:
+      return static_cast<double>(r.switches) >= bound;
+    case constraint_kind::min_bisection_gbps_per_host:
+      return r.bisection_gbps_per_host >= bound;
+    case constraint_kind::max_capex_per_host_usd:
+      return r.capex_per_host.value() <= bound;
+    case constraint_kind::max_time_to_deploy_h:
+      return r.time_to_deploy.value() <= bound;
+  }
+  return false;
+}
+
+std::size_t search_space::grid_size() const {
+  std::size_t total = 0;
+  for (const family_space& fam : families) {
+    std::size_t n = 1;
+    for (const search_dimension& d : fam.dims) n *= d.value_count();
+    total += n;
+  }
+  return total;
+}
+
+std::optional<constraint_kind> constraint_kind_from_name(
+    const std::string& name) {
+  for (const constraint_kind k :
+       {constraint_kind::min_hosts, constraint_kind::min_switches,
+        constraint_kind::min_bisection_gbps_per_host,
+        constraint_kind::max_capex_per_host_usd,
+        constraint_kind::max_time_to_deploy_h}) {
+    if (name == constraint_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// The dimension that fixes the family's size knob; a block must carry it
+// (the registry has no default size).
+std::string main_dimension(const std::string& family) {
+  if (family == "jellyfish" || family == "xpander") return "switches";
+  if (family == "fat_tree") return "k";
+  if (family == "leaf_spine") return "leaves";
+  return "size";
+}
+
+const search_dimension* find_dim(const family_space& fam,
+                                 const std::string& name) {
+  for (const search_dimension& d : fam.dims) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> known_dimensions(const std::string& family) {
+  std::vector<std::string> out = {main_dimension(family)};
+  if (family == "jellyfish") {
+    out.push_back("radix");
+    out.push_back("hosts_per_switch");
+  } else if (family == "xpander") {
+    out.push_back("degree");
+    out.push_back("hosts_per_switch");
+  } else if (family == "leaf_spine") {
+    out.push_back("spines");
+    out.push_back("hosts_per_leaf");
+    out.push_back("uplinks");
+  }
+  out.push_back("strategy");
+  return out;
+}
+
+std::string candidate_label(const search_space& space,
+                            const search_candidate& c) {
+  PN_CHECK(c.family_index < space.families.size());
+  const family_space& fam = space.families[c.family_index];
+  PN_CHECK(c.value_indices.size() == fam.dims.size());
+  // '/'-separated (never ',') so labels survive un-escaped in CSV fields
+  // and awk-driven smoke scripts.
+  std::string out = fam.family;
+  for (std::size_t i = 0; i < fam.dims.size(); ++i) {
+    out += '/';
+    out += fam.dims[i].name;
+    out += '=';
+    out += fam.dims[i].value_token(c.value_indices[i]);
+  }
+  return out;
+}
+
+std::string candidate_strategy(const search_space& space,
+                               const search_candidate& c) {
+  const family_space& fam = space.families[c.family_index];
+  for (std::size_t i = 0; i < fam.dims.size(); ++i) {
+    if (fam.dims[i].name == "strategy") {
+      return fam.dims[i].name_value(c.value_indices[i]);
+    }
+  }
+  return "block";
+}
+
+namespace {
+
+// A search sweeps into corners a hand-picked design never visits (a
+// degree-2 jellyfish can come out disconnected), and the evaluator
+// treats disconnection as a caller bug. Convert it to a structured
+// per-candidate failure instead.
+result<network_graph> connected_or_error(network_graph g) {
+  if (!is_connected(g)) {
+    return invalid_argument_error("graph is disconnected");
+  }
+  return g;
+}
+
+}  // namespace
+
+result<network_graph> build_candidate(const search_space& space,
+                                      const search_candidate& c,
+                                      std::uint64_t seed) {
+  PN_CHECK(c.family_index < space.families.size());
+  const family_space& fam = space.families[c.family_index];
+  PN_CHECK(c.value_indices.size() == fam.dims.size());
+
+  const auto dim_value = [&](const std::string& name,
+                             long long fallback) -> long long {
+    for (std::size_t i = 0; i < fam.dims.size(); ++i) {
+      if (fam.dims[i].name == name) {
+        return fam.dims[i].int_value(c.value_indices[i]);
+      }
+    }
+    return fallback;
+  };
+
+  // Families with richer dimensions build through their own params; the
+  // defaults mirror build_family exactly, so a block that names only the
+  // main dimension gets the registry's graph.
+  if (fam.family == "jellyfish") {
+    jellyfish_params p;
+    p.switches = static_cast<int>(dim_value("switches", 64));
+    p.radix = static_cast<int>(dim_value("radix", 16));
+    p.hosts_per_switch = static_cast<int>(dim_value("hosts_per_switch", 8));
+    p.seed = seed;
+    if (p.radix - p.hosts_per_switch < 2) {
+      return invalid_argument_error(
+          "jellyfish needs radix - hosts_per_switch >= 2");
+    }
+    if (p.switches <= 2) {
+      return invalid_argument_error("jellyfish needs switches > 2");
+    }
+    if (p.radix - p.hosts_per_switch >= p.switches) {
+      // The generator PN_CHECKs this (degree < switch count); a swept
+      // combination must fail structurally, not abort the search.
+      return invalid_argument_error(
+          "jellyfish inter-switch degree must be < switches");
+    }
+    return connected_or_error(build_jellyfish(p));
+  }
+  if (fam.family == "xpander") {
+    xpander_params p;
+    p.degree = static_cast<int>(dim_value("degree", 8));
+    if (p.degree < 2) return invalid_argument_error("degree must be >= 2");
+    const long long switches = dim_value("switches", 64);
+    p.lift_size = std::max(1, static_cast<int>(switches) / (p.degree + 1));
+    p.hosts_per_switch = static_cast<int>(dim_value("hosts_per_switch", 8));
+    p.seed = seed;
+    return connected_or_error(build_xpander(p));
+  }
+  if (fam.family == "fat_tree") {
+    const long long k = dim_value("k", 4);
+    if (k % 2 != 0) return invalid_argument_error("k must be even");
+    return build_fat_tree(static_cast<int>(k), gbps{100.0});
+  }
+  if (fam.family == "leaf_spine") {
+    leaf_spine_params p;
+    p.leaves = static_cast<int>(dim_value("leaves", 16));
+    p.spines = static_cast<int>(
+        dim_value("spines", std::max(2, p.leaves / 3)));
+    p.hosts_per_leaf = static_cast<int>(dim_value("hosts_per_leaf", 16));
+    p.links_per_pair = static_cast<int>(dim_value("uplinks", 1));
+    if (p.spines < 1 || p.links_per_pair < 1) {
+      return invalid_argument_error("spines and uplinks must be >= 1");
+    }
+    return build_leaf_spine(p);
+  }
+  return build_family(fam.family,
+                      static_cast<int>(dim_value("size", 0)), seed);
+}
+
+double expansion_rewires_estimate(const search_space& space,
+                                  const search_candidate& c) {
+  const family_space& fam = space.families[c.family_index];
+  const auto dim_value = [&](const std::string& name,
+                             long long fallback) -> long long {
+    for (std::size_t i = 0; i < fam.dims.size(); ++i) {
+      if (fam.dims[i].name == name) {
+        return fam.dims[i].int_value(c.value_indices[i]);
+      }
+    }
+    return fallback;
+  };
+  // The bench_e5 expansion table, parameterized: ~degree/2 rewires per
+  // added switch for the families whose growth splices into existing
+  // links, zero for pre-provisioned Clos-style fabrics.
+  if (fam.family == "jellyfish") {
+    const long long degree =
+        dim_value("radix", 16) - dim_value("hosts_per_switch", 8);
+    return static_cast<double>(degree) / 2.0;
+  }
+  if (fam.family == "xpander") {
+    return static_cast<double>(dim_value("degree", 8)) / 2.0;
+  }
+  if (fam.family == "flattened_butterfly") {
+    // Growing one dimension rewires the new position's full row links.
+    return static_cast<double>(dim_value("size", 0) - 1);
+  }
+  if (fam.family == "slim_fly") {
+    return static_cast<double>(
+               slim_fly_degree(static_cast<int>(dim_value("size", 0)))) /
+           2.0;
+  }
+  if (fam.family == "dragonfly") {
+    // Intra-group clique share plus global-link rebalance, h = 3 as the
+    // registry builds it: ~(a - 1 + h) / 2 with a = 2h.
+    return (2 * 3 - 1 + 3) / 2.0;
+  }
+  return 0.0;  // fat_tree, leaf_spine, vl2, jupiter_*: pre-provisioned
+}
+
+result<search_space> parse_space(const std::string& text) {
+  search_space space;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  family_space current;
+  bool in_family = false;
+
+  auto fail = [&](const std::string& why) {
+    return invalid_argument_error(
+        str_format("line %zu: %s", line_no, why.c_str()));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    if (!saw_header) {
+      if (line != "physnet-search-space v1") {
+        return fail("expected 'physnet-search-space v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+
+    if (directive == "family") {
+      if (in_family) return fail("family block not closed (missing 'end')");
+      current = family_space{};
+      if (!(ls >> current.family)) return fail("family needs a name");
+      const auto& names = family_names();
+      if (std::find(names.begin(), names.end(), current.family) ==
+          names.end()) {
+        return fail("unknown family " + current.family);
+      }
+      in_family = true;
+      continue;
+    }
+    if (directive == "end") {
+      if (!in_family) return fail("'end' outside a family block");
+      const std::string main = main_dimension(current.family);
+      if (find_dim(current, main) == nullptr) {
+        return fail("family " + current.family + " needs dimension " + main);
+      }
+      space.families.push_back(std::move(current));
+      in_family = false;
+      continue;
+    }
+    if (directive == "dim") {
+      if (!in_family) return fail("'dim' outside a family block");
+      search_dimension d;
+      std::string kind;
+      if (!(ls >> d.name >> kind)) {
+        return fail("malformed dim (want: dim <name> range|choice ...)");
+      }
+      const std::vector<std::string> known = known_dimensions(current.family);
+      if (std::find(known.begin(), known.end(), d.name) == known.end()) {
+        return fail("unknown dimension '" + d.name + "' for family " +
+                    current.family);
+      }
+      if (find_dim(current, d.name) != nullptr) {
+        return fail("duplicate dimension " + d.name);
+      }
+      if (kind == "range") {
+        if (d.name == "strategy") {
+          return fail("strategy is a choice dimension");
+        }
+        d.kind = dim_kind::int_range;
+        if (!(ls >> d.lo >> d.hi >> d.step) || d.step <= 0 || d.hi < d.lo) {
+          return fail("malformed range (want: <lo> <hi> <step>, step > 0, "
+                      "hi >= lo)");
+        }
+      } else if (kind == "choice") {
+        std::string tok;
+        if (d.name == "strategy") {
+          d.kind = dim_kind::name_choice;
+          while (ls >> tok) {
+            if (!placement_strategy_from_name(tok).has_value()) {
+              return fail("unknown placement strategy " + tok);
+            }
+            d.name_values.push_back(tok);
+          }
+        } else {
+          d.kind = dim_kind::int_choice;
+          while (ls >> tok) {
+            long long v = 0;
+            std::size_t used = 0;
+            try {
+              v = std::stoll(tok, &used);
+            } catch (...) {
+              used = 0;
+            }
+            if (used != tok.size()) {
+              return fail("choice value '" + tok + "' is not an integer");
+            }
+            d.int_values.push_back(v);
+          }
+        }
+        if (d.value_count() == 0) return fail("choice needs >= 1 value");
+      } else {
+        return fail("unknown dim kind " + kind + " (want range|choice)");
+      }
+      current.dims.push_back(std::move(d));
+      continue;
+    }
+    if (in_family) {
+      return fail("unknown directive '" + directive + "' in family block");
+    }
+
+    if (directive == "name") {
+      ls >> space.name;
+      if (space.name.empty()) return fail("name needs a value");
+    } else if (directive == "seed") {
+      if (!(ls >> space.seed)) return fail("seed must be an integer");
+    } else if (directive == "option") {
+      std::string key, value;
+      ls >> key >> value;
+      const bool on = value == "on";
+      if (!on && value != "off") {
+        return fail("option " + key + " wants on|off");
+      }
+      if (key == "repair") {
+        space.repair = on;
+      } else if (key == "throughput") {
+        space.throughput = on;
+      } else {
+        return fail("unknown option " + key);
+      }
+    } else if (directive == "constraint") {
+      std::string kind_name;
+      search_constraint con;
+      if (!(ls >> kind_name >> con.bound)) {
+        return fail("malformed constraint (want: constraint <name> <bound>)");
+      }
+      const auto kind = constraint_kind_from_name(kind_name);
+      if (!kind.has_value()) {
+        return fail("unknown constraint " + kind_name);
+      }
+      con.kind = *kind;
+      space.constraints.push_back(con);
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+
+  if (!saw_header) {
+    line_no = 1;
+    return fail("expected 'physnet-search-space v1' header");
+  }
+  if (in_family) {
+    return fail("family block not closed (missing 'end')");
+  }
+  if (space.families.empty()) {
+    return fail("a search space needs at least one family block");
+  }
+  if (space.name.empty()) space.name = "search";
+  return space;
+}
+
+std::string serialize_space(const search_space& space) {
+  std::ostringstream out;
+  out << "physnet-search-space v1\n";
+  out << "name " << space.name << "\n";
+  out << "seed " << space.seed << "\n";
+  out << "option repair " << (space.repair ? "on" : "off") << "\n";
+  out << "option throughput " << (space.throughput ? "on" : "off") << "\n";
+  for (const search_constraint& con : space.constraints) {
+    out << "constraint " << constraint_kind_name(con.kind) << " "
+        << str_format("%.17g", con.bound) << "\n";
+  }
+  for (const family_space& fam : space.families) {
+    out << "family " << fam.family << "\n";
+    for (const search_dimension& d : fam.dims) {
+      out << "dim " << d.name;
+      if (d.kind == dim_kind::int_range) {
+        out << " range " << d.lo << " " << d.hi << " " << d.step;
+      } else {
+        out << " choice";
+        for (std::size_t i = 0; i < d.value_count(); ++i) {
+          out << " " << d.value_token(i);
+        }
+      }
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+std::vector<search_candidate> enumerate_grid(const search_space& space) {
+  std::vector<search_candidate> out;
+  out.reserve(space.grid_size());
+  for (std::size_t f = 0; f < space.families.size(); ++f) {
+    const family_space& fam = space.families[f];
+    search_candidate c;
+    c.family_index = f;
+    c.value_indices.assign(fam.dims.size(), 0);
+    for (;;) {
+      out.push_back(c);
+      // Odometer: last dimension varies fastest.
+      bool wrapped = true;
+      std::size_t i = fam.dims.size();
+      while (i > 0) {
+        --i;
+        if (++c.value_indices[i] < fam.dims[i].value_count()) {
+          wrapped = false;
+          break;
+        }
+        c.value_indices[i] = 0;
+      }
+      if (wrapped) break;  // full carry-out: block enumerated
+    }
+  }
+  return out;
+}
+
+}  // namespace pn

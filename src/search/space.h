@@ -1,0 +1,170 @@
+// Deployability-constrained search: the parameter-space descriptor.
+//
+// A search space names, per topology family from the families.h registry,
+// the typed dimensions a search may vary — integer ranges with a step
+// (jellyfish switch count or radix, fat-tree k, leaf-spine uplinks) and
+// categorical choices (placement strategy) — plus the hard constraints a
+// candidate must satisfy before it may enter the Pareto front. It is the
+// input half of inverting the evaluator: instead of "what does this
+// design cost", "which buildable design meets the floor cheapest"
+// (Solnushkin's automated-design program, generalized across every
+// registered family).
+//
+// The text format follows the twin serializer idioms: line-oriented,
+// whitespace-separated tokens, `#` comments, CRLF-tolerant, errors as
+// "line N: why", and serialize_space∘parse_space is a fixed point.
+//
+//   physnet-search-space v1
+//   name quickstart
+//   seed 42
+//   option repair off
+//   constraint min_hosts 128
+//   constraint min_bisection_gbps_per_host 4
+//   family jellyfish
+//   dim switches range 24 48 8
+//   dim strategy choice block random
+//   end
+//   family fat_tree
+//   dim k range 4 8 2
+//   end
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/report.h"
+#include "topology/graph.h"
+
+namespace pn {
+
+// One typed dimension. int_range carries lo/hi/step and materializes
+// lo, lo+step, ... <= hi; int_choice and name_choice carry their value
+// lists verbatim. Every kind exposes its values by index, so a candidate
+// is just one index per dimension.
+enum class dim_kind : std::uint8_t { int_range, int_choice, name_choice };
+
+struct search_dimension {
+  std::string name;
+  dim_kind kind = dim_kind::int_range;
+  // int_range.
+  long long lo = 0, hi = 0, step = 1;
+  // int_choice / name_choice.
+  std::vector<long long> int_values;
+  std::vector<std::string> name_values;
+
+  [[nodiscard]] std::size_t value_count() const;
+  // Valid for int_range / int_choice (PN_CHECKed).
+  [[nodiscard]] long long int_value(std::size_t index) const;
+  // Valid for name_choice (PN_CHECKed).
+  [[nodiscard]] const std::string& name_value(std::size_t index) const;
+  // The value at `index` as its serialized token ("32", "block").
+  [[nodiscard]] std::string value_token(std::size_t index) const;
+};
+
+// One family block: a registry family name plus the dimensions the
+// search varies for it. Dimensions a block does not name stay at the
+// registry defaults (build_family's opinionated knobs), so "family
+// fat_tree / dim k" means exactly the fat-tree physnet_eval builds.
+struct family_space {
+  std::string family;
+  std::vector<search_dimension> dims;  // file order = canonical order
+};
+
+// Hard feasibility constraints: filters applied to a candidate's report
+// before Pareto insertion. Infeasible candidates stay in the trace but
+// never enter the front.
+enum class constraint_kind : std::uint8_t {
+  min_hosts,
+  min_switches,
+  min_bisection_gbps_per_host,
+  max_capex_per_host_usd,
+  max_time_to_deploy_h,
+};
+
+[[nodiscard]] const char* constraint_kind_name(constraint_kind k);
+
+// Inverse of constraint_kind_name (space files, --constraint flags).
+[[nodiscard]] std::optional<constraint_kind> constraint_kind_from_name(
+    const std::string& name);
+
+struct search_constraint {
+  constraint_kind kind = constraint_kind::min_hosts;
+  double bound = 0.0;
+
+  [[nodiscard]] bool satisfied_by(const deployability_report& r) const;
+};
+
+struct search_space {
+  std::string name;
+  std::uint64_t seed = 1;
+  bool repair = false;       // run the repair sim per evaluation
+  bool throughput = true;    // run the ECMP throughput stage
+  std::vector<search_constraint> constraints;  // file order
+  std::vector<family_space> families;          // file order
+
+  // Total candidate count of the full cartesian grid, across families.
+  [[nodiscard]] std::size_t grid_size() const;
+};
+
+// One candidate: a family block plus one value index per dimension.
+struct search_candidate {
+  std::size_t family_index = 0;
+  std::vector<std::size_t> value_indices;  // parallel to the block's dims
+};
+
+// Canonical label, e.g. "jellyfish/switches=32,strategy=block". Labels
+// are unique per candidate and stable across strategies, so they key the
+// engine's memo table and name the candidate in every CSV.
+[[nodiscard]] std::string candidate_label(const search_space& space,
+                                          const search_candidate& c);
+
+// The candidate's placement strategy: the value of its `strategy`
+// dimension, or "block" when the block has none.
+[[nodiscard]] std::string candidate_strategy(const search_space& space,
+                                             const search_candidate& c);
+
+// Builds the candidate's graph. Dimensions override the registry
+// defaults for that family; `seed` feeds the randomized families
+// (jellyfish, xpander) and is deliberately the *space* seed, not the
+// per-candidate evaluation seed, so a candidate's graph is a pure
+// function of (space seed, its parameters) regardless of when the
+// search discovers it.
+[[nodiscard]] result<network_graph> build_candidate(
+    const search_space& space, const search_candidate& c,
+    std::uint64_t seed);
+
+// Analytic §5.4 expansion-rewiring estimate for the candidate: links
+// that must be physically rewired to add one host-facing switch.
+// Random-graph families pay ~degree/2 (Jellyfish's construction splices
+// the new switch into existing links; Xpander steals matching-edge
+// endpoints); pre-provisioned Clos-style fabrics (fat-tree, leaf-spine,
+// VL2, Jupiter) pay zero. Computed from the candidate's parameters, not
+// from a built graph, so every backend reports the same value and it
+// can serve as a Pareto objective the wire protocol never carries.
+[[nodiscard]] double expansion_rewires_estimate(const search_space& space,
+                                                const search_candidate& c);
+
+// Every dimension name build_candidate understands for `family`, in
+// display order. `strategy` is valid everywhere; families with richer
+// builders (jellyfish, xpander, leaf_spine, fat_tree) add their own.
+[[nodiscard]] std::vector<std::string> known_dimensions(
+    const std::string& family);
+
+// Parses the search-space text format. Errors name the offending line;
+// a torn or truncated file parses to an error, never a crash.
+[[nodiscard]] result<search_space> parse_space(const std::string& text);
+
+// Canonical text for a space; parse_space(serialize_space(s))
+// round-trips every field, and serialize∘parse is a fixed point.
+[[nodiscard]] std::string serialize_space(const search_space& space);
+
+// The full cartesian product per family block, families in file order,
+// later dimensions varying fastest. This is the grid strategy's
+// candidate sequence and the ordinal order of a grid run.
+[[nodiscard]] std::vector<search_candidate> enumerate_grid(
+    const search_space& space);
+
+}  // namespace pn

@@ -1,0 +1,548 @@
+// The search subsystem's suite: space parse/serialize fixed point,
+// candidate building against the registry, Pareto dominance (incremental
+// front vs the O(n²) reference oracle), engine determinism across --jobs,
+// checkpoint/resume byte-identity for both strategies, and the local
+// vs --via-serve differential against a real in-process server.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "core/sweep.h"
+#include "search/backend.h"
+#include "search/engine.h"
+#include "search/pareto.h"
+#include "search/space.h"
+#include "service/server.h"
+#include "topology/generators/families.h"
+#include "twin/design_codec.h"
+#include "twin/serialize.h"
+
+namespace pn {
+namespace {
+
+// A small grid (8 jellyfish + 2 fat-tree + 2 leaf-spine candidates at
+// tiny sizes) that still exercises multiple families, a categorical
+// dimension, constraints, and an infeasible corner.
+constexpr const char* kSpaceText = R"(physnet-search-space v1
+name unit
+seed 11
+option repair off
+constraint min_hosts 24
+family jellyfish
+dim switches range 8 12 4
+dim radix choice 12
+dim strategy choice block random
+end
+family fat_tree
+dim k range 4 6 2
+end
+family leaf_spine
+dim leaves range 4 6 2
+end
+)";
+
+search_space parse_or_die(const std::string& text) {
+  auto s = parse_space(text);
+  EXPECT_TRUE(s.is_ok()) << (s.is_ok() ? "" : s.error().to_string());
+  return std::move(s).value();
+}
+
+TEST(SearchSpace, SerializeParseFixedPoint) {
+  const search_space s = parse_or_die(kSpaceText);
+  const std::string once = serialize_space(s);
+  const search_space again = parse_or_die(once);
+  EXPECT_EQ(once, serialize_space(again));
+  EXPECT_EQ(again.name, "unit");
+  EXPECT_EQ(again.seed, 11u);
+  EXPECT_FALSE(again.repair);
+  EXPECT_TRUE(again.throughput);
+  ASSERT_EQ(again.constraints.size(), 1u);
+  EXPECT_EQ(again.constraints[0].kind, constraint_kind::min_hosts);
+  EXPECT_EQ(again.constraints[0].bound, 24.0);
+  ASSERT_EQ(again.families.size(), 3u);
+  EXPECT_EQ(again.families[0].dims.size(), 3u);
+}
+
+TEST(SearchSpace, GridSizeAndEnumeration) {
+  const search_space s = parse_or_die(kSpaceText);
+  EXPECT_EQ(s.grid_size(), 2u * 1u * 2u + 2u + 2u);
+  const auto grid = enumerate_grid(s);
+  ASSERT_EQ(grid.size(), s.grid_size());
+  // Later dimensions vary fastest; families in file order.
+  EXPECT_EQ(candidate_label(s, grid[0]),
+            "jellyfish/switches=8/radix=12/strategy=block");
+  EXPECT_EQ(candidate_label(s, grid[1]),
+            "jellyfish/switches=8/radix=12/strategy=random");
+  EXPECT_EQ(candidate_label(s, grid[2]),
+            "jellyfish/switches=12/radix=12/strategy=block");
+  EXPECT_EQ(candidate_label(s, grid[4]), "fat_tree/k=4");
+  EXPECT_EQ(candidate_label(s, grid[7]), "leaf_spine/leaves=6");
+  EXPECT_EQ(candidate_strategy(s, grid[1]), "random");
+  EXPECT_EQ(candidate_strategy(s, grid[4]), "block");
+}
+
+TEST(SearchSpace, DimensionValues) {
+  search_dimension d;
+  d.kind = dim_kind::int_range;
+  d.lo = 24;
+  d.hi = 48;
+  d.step = 8;
+  ASSERT_EQ(d.value_count(), 4u);
+  EXPECT_EQ(d.int_value(0), 24);
+  EXPECT_EQ(d.int_value(3), 48);
+  EXPECT_EQ(d.value_token(1), "32");
+}
+
+TEST(SearchSpace, ParseErrorsNameTheLine) {
+  const auto missing_header = parse_space("name x\n");
+  ASSERT_FALSE(missing_header.is_ok());
+  EXPECT_NE(missing_header.error().message().find("line 1"),
+            std::string::npos);
+
+  const auto bad_dim = parse_space(
+      "physnet-search-space v1\nfamily fat_tree\ndim nope range 1 2 1\n");
+  ASSERT_FALSE(bad_dim.is_ok());
+  EXPECT_NE(bad_dim.error().message().find("line 3"), std::string::npos);
+  EXPECT_NE(bad_dim.error().message().find("unknown dimension"),
+            std::string::npos);
+
+  const auto unclosed = parse_space(
+      "physnet-search-space v1\nfamily fat_tree\ndim k range 4 6 2\n");
+  ASSERT_FALSE(unclosed.is_ok());
+  EXPECT_NE(unclosed.error().message().find("not closed"),
+            std::string::npos);
+
+  const auto no_main = parse_space(
+      "physnet-search-space v1\nfamily fat_tree\n"
+      "dim strategy choice block\nend\n");
+  ASSERT_FALSE(no_main.is_ok());
+  EXPECT_NE(no_main.error().message().find("needs dimension k"),
+            std::string::npos);
+
+  const auto bad_family = parse_space(
+      "physnet-search-space v1\nfamily moebius\nend\n");
+  ASSERT_FALSE(bad_family.is_ok());
+  EXPECT_NE(bad_family.error().message().find("unknown family"),
+            std::string::npos);
+
+  const auto bad_step = parse_space(
+      "physnet-search-space v1\nfamily fat_tree\ndim k range 6 4 2\nend\n");
+  ASSERT_FALSE(bad_step.is_ok());
+
+  const auto bad_strategy = parse_space(
+      "physnet-search-space v1\nfamily fat_tree\ndim k range 4 6 2\n"
+      "dim strategy choice sideways\nend\n");
+  ASSERT_FALSE(bad_strategy.is_ok());
+  EXPECT_NE(bad_strategy.error().message().find("placement strategy"),
+            std::string::npos);
+}
+
+TEST(SearchSpace, CrlfAndCommentsTolerated) {
+  const std::string crlf =
+      "# leading comment\r\nphysnet-search-space v1\r\nseed 3\r\n"
+      "family fat_tree\r\ndim k range 4 6 2\r\nend\r\n";
+  const search_space s = parse_or_die(crlf);
+  EXPECT_EQ(s.seed, 3u);
+}
+
+TEST(SearchSpace, ConstraintKinds) {
+  EXPECT_EQ(constraint_kind_from_name("min_hosts"),
+            constraint_kind::min_hosts);
+  EXPECT_EQ(constraint_kind_from_name("max_time_to_deploy_h"),
+            constraint_kind::max_time_to_deploy_h);
+  EXPECT_FALSE(constraint_kind_from_name("min_vibes").has_value());
+
+  deployability_report r;
+  r.hosts = 100;
+  r.bisection_gbps_per_host = 3.0;
+  search_constraint c{constraint_kind::min_hosts, 128.0};
+  EXPECT_FALSE(c.satisfied_by(r));
+  c.bound = 100.0;
+  EXPECT_TRUE(c.satisfied_by(r));
+  c = {constraint_kind::min_bisection_gbps_per_host, 4.0};
+  EXPECT_FALSE(c.satisfied_by(r));
+}
+
+TEST(SearchSpace, BuildCandidateMatchesRegistryDefaults) {
+  // A block naming only the main dimension must build exactly the graph
+  // build_family builds — byte-equal as twins.
+  const search_space s = parse_or_die(
+      "physnet-search-space v1\nseed 5\n"
+      "family jellyfish\ndim switches range 16 16 1\nend\n"
+      "family fat_tree\ndim k range 4 4 1\nend\n"
+      "family leaf_spine\ndim leaves range 6 6 1\nend\n");
+  const auto grid = enumerate_grid(s);
+  const int sizes[] = {16, 4, 6};
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    auto mine = build_candidate(s, grid[i], s.seed);
+    ASSERT_TRUE(mine.is_ok());
+    auto registry =
+        build_family(s.families[i].family, sizes[i], s.seed);
+    ASSERT_TRUE(registry.is_ok());
+    EXPECT_EQ(serialize_twin(design_to_twin(mine.value())),
+              serialize_twin(design_to_twin(registry.value())))
+        << s.families[i].family;
+  }
+}
+
+TEST(SearchSpace, BuildCandidateStructuredFailures) {
+  const search_space odd_k = parse_or_die(
+      "physnet-search-space v1\nfamily fat_tree\ndim k choice 5\nend\n");
+  auto g = build_candidate(odd_k, enumerate_grid(odd_k)[0], 1);
+  ASSERT_FALSE(g.is_ok());
+  EXPECT_EQ(g.error().code(), status_code::invalid_argument);
+
+  const search_space thin = parse_or_die(
+      "physnet-search-space v1\nfamily jellyfish\n"
+      "dim switches choice 16\ndim radix choice 9\n"
+      "dim hosts_per_switch choice 8\nend\n");
+  auto thin_g = build_candidate(thin, enumerate_grid(thin)[0], 1);
+  ASSERT_FALSE(thin_g.is_ok());
+  EXPECT_NE(thin_g.error().message().find("radix"), std::string::npos);
+
+  // Inter-switch degree >= switch count would PN_CHECK-abort inside the
+  // generator; the search must turn it into a structured failure.
+  const search_space dense = parse_or_die(
+      "physnet-search-space v1\nfamily jellyfish\n"
+      "dim switches choice 8\nend\n");
+  auto dense_g = build_candidate(dense, enumerate_grid(dense)[0], 1);
+  ASSERT_FALSE(dense_g.is_ok());
+  EXPECT_NE(dense_g.error().message().find("degree"), std::string::npos);
+}
+
+TEST(SearchSpace, RewiresEstimate) {
+  const search_space s = parse_or_die(kSpaceText);
+  const auto grid = enumerate_grid(s);
+  // jellyfish radix 12, default hosts_per_switch 8: degree 4 -> 2.0.
+  EXPECT_EQ(expansion_rewires_estimate(s, grid[0]), 2.0);
+  EXPECT_EQ(expansion_rewires_estimate(s, grid[4]), 0.0);  // fat_tree
+  EXPECT_EQ(expansion_rewires_estimate(s, grid[6]), 0.0);  // leaf_spine
+}
+
+TEST(Pareto, DominanceRules) {
+  const pareto_objectives base{100.0, 10.0, 1.0, 4.0};
+  pareto_objectives better = base;
+  better.cost_usd = 90.0;
+  EXPECT_TRUE(dominates(better, base));
+  EXPECT_FALSE(dominates(base, better));
+  // Equal on every objective: neither dominates.
+  EXPECT_FALSE(dominates(base, base));
+  // Trades: cheaper but less bisection — incomparable.
+  pareto_objectives trade = base;
+  trade.cost_usd = 50.0;
+  trade.bisection = 2.0;
+  EXPECT_FALSE(dominates(trade, base));
+  EXPECT_FALSE(dominates(base, trade));
+  // Bisection is maximized.
+  pareto_objectives fat = base;
+  fat.bisection = 8.0;
+  EXPECT_TRUE(dominates(fat, base));
+}
+
+TEST(Pareto, IncrementalMatchesReferenceOracle) {
+  rng r(99);
+  std::vector<pareto_entry> population;
+  for (std::size_t i = 0; i < 200; ++i) {
+    pareto_objectives o;
+    o.cost_usd = static_cast<double>(r.next_index(40));
+    o.time_h = static_cast<double>(r.next_index(40));
+    o.rewires = static_cast<double>(r.next_index(4));
+    o.bisection = static_cast<double>(r.next_index(40));
+    population.push_back(pareto_entry{i, o});
+  }
+  pareto_front front;
+  for (const pareto_entry& e : population) front.insert(e.ordinal, e.obj);
+  std::vector<std::size_t> incremental;
+  for (const pareto_entry& e : front.entries()) {
+    incremental.push_back(e.ordinal);
+  }
+  std::sort(incremental.begin(), incremental.end());
+  std::vector<std::size_t> reference = reference_front(population);
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(incremental, reference);
+}
+
+TEST(Pareto, TiedEntriesBothSurvive) {
+  pareto_front front;
+  EXPECT_TRUE(front.insert(0, pareto_objectives{10, 1, 0, 4}));
+  EXPECT_TRUE(front.insert(1, pareto_objectives{10, 1, 0, 4}));
+  EXPECT_EQ(front.entries().size(), 2u);
+  // A dominating insert evicts both.
+  EXPECT_TRUE(front.insert(2, pareto_objectives{9, 1, 0, 4}));
+  ASSERT_EQ(front.entries().size(), 1u);
+  EXPECT_EQ(front.entries()[0].ordinal, 2u);
+}
+
+search_results run_or_die(const search_space& space, search_backend& backend,
+                          const search_run_options& opt) {
+  auto res = run_search(space, backend, opt);
+  EXPECT_TRUE(res.is_ok()) << (res.is_ok() ? "" : res.error().to_string());
+  return std::move(res).value();
+}
+
+TEST(SearchEngine, GridJobsByteIdentical) {
+  const search_space s = parse_or_die(kSpaceText);
+  search_run_options opt;
+  local_search_backend serial{local_backend_options{}};
+  const search_results a = run_or_die(s, serial, opt);
+
+  local_backend_options par;
+  par.jobs = 4;
+  local_search_backend parallel{par};
+  const search_results b = run_or_die(s, parallel, opt);
+
+  EXPECT_EQ(search_trace_csv(a), search_trace_csv(b));
+  EXPECT_EQ(search_front_csv(a), search_front_csv(b));
+  EXPECT_EQ(a.records.size(), s.grid_size());
+  EXPECT_GE(a.front.size(), 2u);
+}
+
+TEST(SearchEngine, LocalJobsByteIdentical) {
+  const search_space s = parse_or_die(kSpaceText);
+  search_run_options opt;
+  opt.strategy = search_strategy::local;
+  opt.local.restarts = 2;
+  local_search_backend serial{local_backend_options{}};
+  const search_results a = run_or_die(s, serial, opt);
+
+  local_backend_options par;
+  par.jobs = 4;
+  local_search_backend parallel{par};
+  const search_results b = run_or_die(s, parallel, opt);
+
+  EXPECT_EQ(search_trace_csv(a), search_trace_csv(b));
+  EXPECT_EQ(search_front_csv(a), search_front_csv(b));
+  // The memo keeps re-proposed candidates to one record each.
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].ordinal, i);
+    for (std::size_t j = i + 1; j < a.records.size(); ++j) {
+      EXPECT_NE(a.records[i].label, a.records[j].label);
+    }
+  }
+}
+
+TEST(SearchEngine, InfeasibleAndFailedStayOffFront) {
+  // fat_tree k=4 (16 hosts) violates min_hosts 24; k=5 fails to build.
+  const search_space s = parse_or_die(
+      "physnet-search-space v1\nconstraint min_hosts 24\n"
+      "family fat_tree\ndim k choice 4 5 6\nend\n");
+  local_search_backend backend{local_backend_options{}};
+  const search_results res = run_or_die(s, backend, search_run_options{});
+  ASSERT_EQ(res.records.size(), 3u);
+  EXPECT_EQ(res.records[0].st, search_record::state::ok);
+  EXPECT_FALSE(res.records[0].feasible);
+  EXPECT_EQ(res.records[1].st, search_record::state::failed);
+  EXPECT_EQ(res.records[2].st, search_record::state::ok);
+  EXPECT_TRUE(res.records[2].feasible);
+  ASSERT_EQ(res.front.size(), 1u);
+  EXPECT_EQ(res.front[0], 2u);
+  // The trace shows all three; the front CSV only the survivor.
+  EXPECT_NE(search_trace_csv(res).find("failed"), std::string::npos);
+  EXPECT_EQ(search_front_csv(res).find("failed"), std::string::npos);
+}
+
+class checkpoint_cleanup {
+ public:
+  explicit checkpoint_cleanup(std::string path) : path_(std::move(path)) {
+    ::unlink(path_.c_str());
+  }
+  ~checkpoint_cleanup() { ::unlink(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string unique_tmp(const char* stem) {
+  static std::atomic<int> counter{0};
+  return std::string("/tmp/pn_search_test_") + stem + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+TEST(SearchEngine, GridResumeByteIdentical) {
+  const search_space s = parse_or_die(kSpaceText);
+  local_search_backend plain{local_backend_options{}};
+  const search_results full = run_or_die(s, plain, search_run_options{});
+
+  checkpoint_cleanup ckpt(unique_tmp("grid"));
+  // Interrupted run: cancel fires after 4 completions.
+  {
+    local_backend_options lopt;
+    lopt.cancel_after = 4;
+    local_search_backend backend{lopt};
+    search_run_options opt;
+    opt.checkpoint_path = ckpt.path();
+    opt.cancel = lopt.cancel;
+    const search_results partial = run_or_die(s, backend, opt);
+    EXPECT_TRUE(partial.cancelled);
+  }
+  auto loaded = load_sweep_checkpoint(ckpt.path());
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().entries.size(), 4u);
+
+  local_search_backend backend{local_backend_options{}};
+  search_run_options opt;
+  opt.resume = &loaded.value();
+  opt.checkpoint_path = ckpt.path();
+  const search_results resumed = run_or_die(s, backend, opt);
+  EXPECT_EQ(resumed.restored, 4u);
+  EXPECT_FALSE(resumed.cancelled);
+  EXPECT_EQ(search_trace_csv(resumed), search_trace_csv(full));
+  EXPECT_EQ(search_front_csv(resumed), search_front_csv(full));
+}
+
+TEST(SearchEngine, LocalResumeByteIdentical) {
+  const search_space s = parse_or_die(kSpaceText);
+  search_run_options base;
+  base.strategy = search_strategy::local;
+  base.local.restarts = 2;
+  local_search_backend plain{local_backend_options{}};
+  const search_results full = run_or_die(s, plain, base);
+
+  checkpoint_cleanup ckpt(unique_tmp("local"));
+  {
+    local_backend_options lopt;
+    lopt.cancel_after = 3;
+    local_search_backend backend{lopt};
+    search_run_options opt = base;
+    opt.checkpoint_path = ckpt.path();
+    opt.cancel = lopt.cancel;
+    const search_results partial = run_or_die(s, backend, opt);
+    EXPECT_TRUE(partial.cancelled);
+  }
+  auto loaded = load_sweep_checkpoint(ckpt.path());
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().point_count, 0u);  // open-ended trajectory
+
+  local_search_backend backend{local_backend_options{}};
+  search_run_options opt = base;
+  opt.resume = &loaded.value();
+  opt.checkpoint_path = ckpt.path();
+  const search_results resumed = run_or_die(s, backend, opt);
+  EXPECT_GE(resumed.restored, 3u);
+  EXPECT_EQ(search_trace_csv(resumed), search_trace_csv(full));
+  EXPECT_EQ(search_front_csv(resumed), search_front_csv(full));
+}
+
+TEST(SearchEngine, ForeignCheckpointRejected) {
+  const search_space s = parse_or_die(kSpaceText);
+  sweep_checkpoint foreign;
+  foreign.base_seed = s.seed + 1;
+  foreign.point_count = s.grid_size();
+  local_search_backend backend{local_backend_options{}};
+  search_run_options opt;
+  opt.resume = &foreign;
+  auto res = run_search(s, backend, opt);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.error().code(), status_code::invalid_argument);
+
+  // Right seed, tampered per-point seed.
+  foreign.base_seed = s.seed;
+  sweep_checkpoint_entry e;
+  e.point_index = 0;
+  e.seed = 1234;  // != sweep_point_seed(s.seed, 0)
+  e.ok = false;
+  e.label = "jellyfish/switches=8/radix=12/strategy=block";
+  foreign.entries[0] = e;
+  auto res2 = run_search(s, backend, opt);
+  ASSERT_FALSE(res2.is_ok());
+  EXPECT_NE(res2.error().message().find("foreign"), std::string::npos);
+}
+
+// --- local vs serve differential ---------------------------------------
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pn_search_srv_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+class server_fixture {
+ public:
+  server_fixture() {
+    server_config cfg;
+    spec_ = "unix:" + unique_socket_path();
+    cfg.listen = spec_;
+    // Must cover the widest backend connection count below: handlers are
+    // thread-per-connection, and a search backend keeps every channel
+    // open for the whole run.
+    cfg.conn_threads = 4;
+    server_ = std::make_unique<eval_server>(std::move(cfg));
+    bind_status_ = server_->bind();
+    if (bind_status_.is_ok()) {
+      loop_ = std::make_unique<thread_pool>(1);
+      loop_->submit([this] { serve_status_ = server_->serve(cancel_); });
+    }
+  }
+  ~server_fixture() {
+    if (loop_) {
+      cancel_.request_cancel();
+      loop_->wait_idle();
+      loop_.reset();
+    }
+  }
+
+  [[nodiscard]] const status& bind_status() const { return bind_status_; }
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+ private:
+  std::string spec_;
+  std::unique_ptr<eval_server> server_;
+  std::unique_ptr<thread_pool> loop_;
+  cancel_token cancel_;
+  status bind_status_;
+  status serve_status_;
+};
+
+TEST(SearchServe, ViaServeByteIdenticalToLocal) {
+  const search_space s = parse_or_die(kSpaceText);
+  local_search_backend local{local_backend_options{}};
+  const search_results want = run_or_die(s, local, search_run_options{});
+
+  server_fixture srv;
+  ASSERT_TRUE(srv.bind_status().is_ok()) << srv.bind_status().to_string();
+  serve_backend_options sopt;
+  sopt.endpoint = srv.spec();
+  sopt.connections = 3;
+  auto backend = serve_search_backend::connect(std::move(sopt));
+  ASSERT_TRUE(backend.is_ok()) << backend.error().to_string();
+
+  const search_results got =
+      run_or_die(s, *backend.value(), search_run_options{});
+  EXPECT_EQ(search_trace_csv(got), search_trace_csv(want));
+  EXPECT_EQ(search_front_csv(got), search_front_csv(want));
+}
+
+TEST(SearchServe, LocalStrategyViaServeByteIdentical) {
+  const search_space s = parse_or_die(kSpaceText);
+  search_run_options opt;
+  opt.strategy = search_strategy::local;
+  opt.local.restarts = 2;
+  local_search_backend local{local_backend_options{}};
+  const search_results want = run_or_die(s, local, opt);
+
+  server_fixture srv;
+  ASSERT_TRUE(srv.bind_status().is_ok()) << srv.bind_status().to_string();
+  serve_backend_options sopt;
+  sopt.endpoint = srv.spec();
+  auto backend = serve_search_backend::connect(std::move(sopt));
+  ASSERT_TRUE(backend.is_ok()) << backend.error().to_string();
+
+  const search_results got = run_or_die(s, *backend.value(), opt);
+  EXPECT_EQ(search_trace_csv(got), search_trace_csv(want));
+  EXPECT_EQ(search_front_csv(got), search_front_csv(want));
+}
+
+}  // namespace
+}  // namespace pn

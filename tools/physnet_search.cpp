@@ -1,0 +1,327 @@
+// physnet_search — deployability-constrained topology search.
+//
+//   physnet_search --space=examples/search/quickstart.space
+//   physnet_search --space=FILE --strategy=local --restarts=4 --jobs=8
+//   physnet_search --space=FILE --checkpoint=s.ckpt
+//   physnet_search --space=FILE --resume=s.ckpt
+//   physnet_search --space=FILE --via-serve=unix:/tmp/physnet.sock
+//
+// Parses the declarative search-space file (src/search), runs the chosen
+// strategy (exhaustive grid, or seeded hill-climbing with restarts), and
+// prints the Pareto front over (cost-to-deploy, time-to-deploy,
+// rewiring-steps, bisection) as CSV on stdout. --trace=FILE additionally
+// writes the full trace — every candidate the search discovered, in
+// ordinal order. Neither CSV has timing columns, so equal searches are
+// byte-identical however they ran: serial, --jobs N, --via-serve against
+// a fleet, or interrupted and resumed.
+//
+// --via-serve=ENDPOINT evaluates candidates through the evaluation
+// service (physnet_serve, or physnet_proxy fronting a fleet) over
+// --connections concurrent channels instead of locally.
+//
+// SIGINT (^C) requests cooperative cancellation; with --checkpoint the
+// search resumes later via --resume. Exit codes: 0 ok, 1 candidate
+// evaluation failed, 2 usage error, 130 cancelled.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli_parse.h"
+#include "search/engine.h"
+#include "service/client.h"
+
+namespace {
+
+using namespace pn;
+
+struct cli_args {
+  std::string space_file;
+  std::string strategy = "grid";
+  bool seed_set = false;
+  std::uint64_t seed = 0;
+  int jobs = 1;
+  local_search_options local;
+  std::vector<search_constraint> extra_constraints;
+  double point_deadline_ms = 0.0;
+  std::string front_file;  // empty = stdout
+  std::string trace_file;
+  std::string checkpoint_file;
+  std::string resume_file;
+  std::size_t cancel_after = 0;
+  std::string via_serve;  // endpoint spec; empty = evaluate locally
+  int connections = 2;
+  retry_policy retry;
+};
+
+// Shared with the SIGINT handler: request_cancel is one relaxed atomic
+// store, which is async-signal-safe once the token exists.
+cancel_token g_sigint_cancel;
+
+extern "C" void handle_sigint(int) { g_sigint_cancel.request_cancel(); }
+
+// --constraint=min_hosts:128 — appended after the space file's own.
+bool parse_constraint_flag(const std::string& value,
+                           search_constraint& out) {
+  const auto colon = value.find(':');
+  if (colon == std::string::npos) {
+    std::cerr << "--constraint wants NAME:BOUND, e.g. min_hosts:128\n";
+    return false;
+  }
+  const auto kind = constraint_kind_from_name(value.substr(0, colon));
+  if (!kind.has_value()) {
+    std::cerr << "--constraint: unknown constraint '"
+              << value.substr(0, colon) << "'\n";
+    return false;
+  }
+  out.kind = *kind;
+  return cli::parse_or_usage("--constraint", value.substr(colon + 1),
+                             out.bound);
+}
+
+bool parse_args(int argc, char** argv, cli_args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--space") {
+      out.space_file = value;
+    } else if (key == "--strategy") {
+      out.strategy = value;
+      if (value != "grid" && value != "local") {
+        std::cerr << "--strategy must be grid or local\n";
+        return false;
+      }
+    } else if (key == "--seed") {
+      if (!cli::parse_or_usage(key, value, out.seed)) return false;
+      out.seed_set = true;
+    } else if (key == "--jobs") {
+      if (!cli::parse_or_usage(key, value, out.jobs)) return false;
+      if (out.jobs < 0) {
+        std::cerr << "--jobs must be >= 0\n";
+        return false;
+      }
+    } else if (key == "--restarts") {
+      if (!cli::parse_or_usage(key, value, out.local.restarts)) return false;
+      if (out.local.restarts < 1) {
+        std::cerr << "--restarts must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--iters") {
+      if (!cli::parse_or_usage(key, value, out.local.max_iters)) return false;
+      if (out.local.max_iters < 1) {
+        std::cerr << "--iters must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--constraint") {
+      search_constraint con;
+      if (!parse_constraint_flag(value, con)) return false;
+      out.extra_constraints.push_back(con);
+    } else if (key == "--point-deadline-ms") {
+      if (!cli::parse_or_usage(key, value, out.point_deadline_ms)) {
+        return false;
+      }
+    } else if (key == "--front") {
+      out.front_file = value;
+    } else if (key == "--trace") {
+      out.trace_file = value;
+    } else if (key == "--checkpoint") {
+      out.checkpoint_file = value;
+    } else if (key == "--resume") {
+      out.resume_file = value;
+    } else if (key == "--cancel-after") {
+      if (!cli::parse_or_usage(key, value, out.cancel_after)) return false;
+    } else if (key == "--via-serve") {
+      out.via_serve = value;
+      if (out.via_serve.empty()) {
+        std::cerr << "--via-serve needs an endpoint spec\n";
+        return false;
+      }
+    } else if (key == "--connections") {
+      if (!cli::parse_or_usage(key, value, out.connections)) return false;
+      if (out.connections < 1) {
+        std::cerr << "--connections must be >= 1\n";
+        return false;
+      }
+    } else if (key == "--retries") {
+      if (!cli::parse_or_usage(key, value, out.retry.retries)) return false;
+      if (out.retry.retries < 0) {
+        std::cerr << "--retries must be >= 0\n";
+        return false;
+      }
+    } else if (key == "--backoff-ms") {
+      if (!cli::parse_or_usage(key, value, out.retry.backoff_ms)) {
+        return false;
+      }
+      if (out.retry.backoff_ms <= 0.0) {
+        std::cerr << "--backoff-ms must be > 0\n";
+        return false;
+      }
+    } else if (key == "--help" || key == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out.space_file.empty()) {
+    std::cerr << "--space is required\n";
+    return false;
+  }
+  return true;
+}
+
+bool write_file_or_stderr(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr
+        << "usage: physnet_search --space=FILE [--strategy=grid|local]\n"
+           "  [--seed=N] [--jobs=N] [--restarts=N] [--iters=N]\n"
+           "  [--constraint=NAME:BOUND]... [--point-deadline-ms=MS]\n"
+           "  [--front=FILE] [--trace=FILE] [--checkpoint=FILE] "
+           "[--resume=FILE]\n"
+           "  [--cancel-after=N]\n"
+           "  [--via-serve=unix:PATH|tcp:HOST:PORT [--connections=N]\n"
+           "   [--retries=N] [--backoff-ms=MS]]\n"
+           "stdout: Pareto-front CSV (or --front=FILE); --trace=FILE gets "
+           "the full\n"
+           "candidate trace. SIGINT drains cleanly (exit 130); rerun with\n"
+           "--resume=FILE to finish.\n";
+    return 2;
+  }
+
+  std::ifstream in(args.space_file);
+  if (!in) {
+    std::cerr << "cannot read " << args.space_file << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = parse_space(text.str());
+  if (!parsed.is_ok()) {
+    std::cerr << args.space_file << ": " << parsed.error().to_string()
+              << "\n";
+    return 2;
+  }
+  search_space space = std::move(parsed).value();
+  if (args.seed_set) space.seed = args.seed;
+  for (const search_constraint& con : args.extra_constraints) {
+    space.constraints.push_back(con);
+  }
+
+  search_run_options ropt;
+  ropt.strategy = args.strategy == "local" ? search_strategy::local
+                                           : search_strategy::grid;
+  ropt.local = args.local;
+  ropt.cancel = g_sigint_cancel;
+
+  sweep_checkpoint resume_from;
+  if (!args.resume_file.empty()) {
+    auto loaded = load_sweep_checkpoint(args.resume_file);
+    if (!loaded.is_ok()) {
+      std::cerr << "cannot resume: " << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    resume_from = std::move(loaded).value();
+    ropt.resume = &resume_from;
+  }
+  ropt.checkpoint_path = !args.checkpoint_file.empty() ? args.checkpoint_file
+                                                       : args.resume_file;
+
+  local_search_backend local_backend{[&] {
+    local_backend_options lopt;
+    lopt.jobs = args.jobs;
+    lopt.cancel = g_sigint_cancel;
+    lopt.point_deadline_ms = args.point_deadline_ms;
+    lopt.cancel_after = args.cancel_after;
+    return lopt;
+  }()};
+  std::unique_ptr<serve_search_backend> serve_backend;
+  if (!args.via_serve.empty()) {
+    serve_backend_options sopt;
+    sopt.endpoint = args.via_serve;
+    sopt.connections = args.connections;
+    sopt.retry = args.retry;
+    sopt.cancel = g_sigint_cancel;
+    auto connected = serve_search_backend::connect(std::move(sopt));
+    if (!connected.is_ok()) {
+      std::cerr << "connect failed: " << connected.error().to_string()
+                << "\n";
+      return 1;
+    }
+    serve_backend = std::move(connected).value();
+  }
+  search_backend& backend =
+      serve_backend != nullptr
+          ? static_cast<search_backend&>(*serve_backend)
+          : static_cast<search_backend&>(local_backend);
+
+  std::signal(SIGINT, handle_sigint);
+  auto run = run_search(space, backend, ropt);
+  std::signal(SIGINT, SIG_DFL);
+  if (!run.is_ok()) {
+    std::cerr << "search failed: " << run.error().to_string() << "\n";
+    return 2;
+  }
+  const search_results& res = run.value();
+
+  const std::string front_csv = search_front_csv(res);
+  if (args.front_file.empty()) {
+    std::cout << front_csv;
+  } else if (!write_file_or_stderr(args.front_file, front_csv)) {
+    return 2;
+  }
+  if (!args.trace_file.empty() &&
+      !write_file_or_stderr(args.trace_file, search_trace_csv(res))) {
+    return 2;
+  }
+
+  std::size_t evaluated = 0, failed = 0, feasible = 0, pending = 0;
+  for (const search_record& r : res.records) {
+    switch (r.st) {
+      case search_record::state::ok:
+        ++evaluated;
+        if (r.feasible) ++feasible;
+        break;
+      case search_record::state::failed:
+        ++evaluated;
+        ++failed;
+        break;
+      case search_record::state::skipped:
+        ++pending;
+        break;
+    }
+  }
+  std::cerr << "search: " << res.records.size() << " candidates, "
+            << feasible << " feasible, " << failed << " failed, front "
+            << res.front.size();
+  if (res.restored > 0) std::cerr << ", " << res.restored << " resumed";
+  std::cerr << "\n";
+
+  if (res.cancelled) {
+    std::cerr << "search cancelled: " << evaluated << "/"
+              << res.records.size() << " discovered candidates done, "
+              << pending << " remaining";
+    if (!ropt.checkpoint_path.empty()) {
+      std::cerr << "; resume with --resume=" << ropt.checkpoint_path;
+    }
+    std::cerr << "\n";
+    return 130;
+  }
+  return failed == 0 ? 0 : 1;
+}

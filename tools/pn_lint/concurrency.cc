@@ -35,9 +35,11 @@ bool analyzed_path(std::string_view path) {
 }
 
 // Directories where R8 *requires* annotations on mutex-bearing classes
-// (ISSUE: the serving spine plus the two shared concurrency primitives).
+// (ISSUE: the serving spine plus the two shared concurrency primitives,
+// and the search subsystem that drives both).
 bool annotation_required_path(std::string_view path) {
-  return starts_with(path, "src/service/") ||
+  return starts_with(path, "src/search/") ||
+         starts_with(path, "src/service/") ||
          starts_with(path, "src/common/thread_pool.") ||
          starts_with(path, "src/core/checkpoint.");
 }

@@ -28,15 +28,16 @@
 //   float-eq      (R6) == / != against a floating-point literal outside
 //                 tests/ — compare against a tolerance or an integer
 //   hot-assoc     (R7) std::map / std::set (and multi-) in the hot
-//                 directories src/topology/ and src/core/ — node and
-//                 edge ids are dense integers on the mutate -> delta-
-//                 evaluate path, so use index-keyed vectors or
-//                 sort + unique; deliberate ordered iteration carries
-//                 an allow() with its justification
+//                 directories src/topology/, src/core/, src/campaign/,
+//                 src/search/, and src/service/ — node and edge ids are
+//                 dense integers on the mutate -> delta-evaluate path,
+//                 so use index-keyed vectors or sort + unique;
+//                 deliberate ordered iteration carries an allow() with
+//                 its justification
 //   guarded-by    (R8) concurrency discipline (common/guarded.h): every
 //                 non-exempt member of a mutex-bearing class in
-//                 src/service/, src/common/thread_pool.*, and
-//                 src/core/checkpoint.* carries PN_GUARDED_BY /
+//                 src/search/, src/service/, src/common/thread_pool.*,
+//                 and src/core/checkpoint.* carries PN_GUARDED_BY /
 //                 PN_EXCLUDES, and every access to a PN_GUARDED_BY
 //                 member happens with the named mutex visibly held (a
 //                 lock_guard/unique_lock/scoped_lock in scope, or

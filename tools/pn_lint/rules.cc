@@ -111,6 +111,8 @@ void rule_raw_thread(rule_ctx& ctx) {
 // src/campaign/ compiles lifetime timelines through that same path; and
 // src/service/ sits on the per-request serving path (cache probe,
 // stats snapshot, proxy routing) where every allocation is paid at QPS.
+// src/search/ memoizes candidates and accumulates Pareto fronts at grid
+// scale through the same evaluator.
 // Ordered associative containers there are almost always an accident —
 // node and edge ids are dense integers and stats keys are assembled
 // once then iterated — so the natural structure is an index-keyed or
@@ -121,6 +123,7 @@ void rule_hot_assoc(rule_ctx& ctx) {
   const bool hot = starts_with(ctx.file.path, "src/topology/") ||
                    starts_with(ctx.file.path, "src/core/") ||
                    starts_with(ctx.file.path, "src/campaign/") ||
+                   starts_with(ctx.file.path, "src/search/") ||
                    starts_with(ctx.file.path, "src/service/");
   if (!hot) return;
   static const std::set<std::string> banned = {"map", "set", "multimap",
